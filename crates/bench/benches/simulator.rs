@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the simulation substrates: the DES event loop
+//! driving an FDW DAGMan, and the per-second bursting replay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fakequakes::stations::ChileanInput;
+use fdw_core::prelude::*;
+use vdc_burst::prelude::*;
+
+fn bench_des(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_fdw_run");
+    group.sample_size(10);
+    for quantity in [512u64, 2048, 8192] {
+        let cfg = FdwConfig {
+            n_waveforms: quantity,
+            station_input: StationInput::Chilean(ChileanInput::Small),
+            ..Default::default()
+        };
+        group.bench_function(BenchmarkId::new("waveforms", quantity), |b| {
+            b.iter(|| {
+                run_fdw(black_box(&cfg), osg_cluster_config(), 1).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_burst_replay(c: &mut Criterion) {
+    // Record one batch, then benchmark the replay loop alone.
+    let cfg = FdwConfig {
+        n_waveforms: 4_000,
+        station_input: StationInput::Chilean(ChileanInput::Full),
+        ..Default::default()
+    };
+    let out = run_fdw(&cfg, osg_cluster_config(), 1).unwrap();
+    let input = BatchInput::from_report(&out.report).unwrap();
+    let mut group = c.benchmark_group("burst_replay");
+    group.sample_size(10);
+    group.bench_function("control", |b| {
+        b.iter(|| simulate(black_box(&input), &BurstPolicies::control()).unwrap());
+    });
+    group.bench_function("paper_sweep_probe5_q90", |b| {
+        b.iter(|| {
+            simulate(black_box(&input), &BurstPolicies::paper_sweep(5, 90)).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_single_machine(c: &mut Criterion) {
+    let cfg = FdwConfig { n_waveforms: 4_096, ..Default::default() };
+    c.bench_function("aws_baseline_4096", |b| {
+        b.iter(|| aws_baseline(black_box(&cfg), 1));
+    });
+}
+
+criterion_group!(simulators, bench_des, bench_burst_replay, bench_single_machine);
+criterion_main!(simulators);

@@ -1,0 +1,45 @@
+//! Ablation (DESIGN.md §4) — matchmaker sensitivity: negotiation-cycle
+//! period and pool contention level. Quantifies how much of the FDW's
+//! wait-time behaviour comes from matchmaking cadence vs raw capacity.
+
+use fakequakes::stations::ChileanInput;
+use fdw_core::prelude::*;
+
+fn main() {
+    println!("Ablation — negotiation period and available capacity (4,000 full-input waveforms)\n");
+    let base = FdwConfig {
+        n_waveforms: 4_000,
+        station_input: StationInput::Chilean(ChileanInput::Full),
+        ..Default::default()
+    };
+    println!(
+        "{:<26} {:>12} {:>16} {:>16}",
+        "configuration", "runtime (h)", "throughput", "mean wait (min)"
+    );
+    let run = |label: &str, mutate: &dyn Fn(&mut htcsim::cluster::ClusterConfig)| {
+        let mut cluster = osg_cluster_config();
+        mutate(&mut cluster);
+        let out = run_fdw(&base, cluster, 1).expect("run failed");
+        let s = &out.stats[0];
+        println!(
+            "{:<26} {:>12.2} {:>16.2} {:>16.1}",
+            label,
+            s.runtime_hours(),
+            s.throughput_jpm(),
+            dagman::monitor::DagmanStats::mean_mins(&s.wait_secs).unwrap_or(0.0)
+        );
+    };
+    run("baseline (60 s cycle)", &|_| {});
+    run("fast negotiation (15 s)", &|c| c.pool.negotiation_period_s = 15);
+    run("slow negotiation (300 s)", &|c| c.pool.negotiation_period_s = 300);
+    run("calm pool (avail 0.8)", &|c| {
+        c.pool.avail_mean = 0.8;
+        c.pool.avail_sigma = 0.05;
+    });
+    run("congested pool (avail 0.3)", &|c| {
+        c.pool.avail_mean = 0.3;
+        c.pool.avail_sigma = 0.18;
+    });
+    println!("\nExpected: cadence matters little next to available capacity — the");
+    println!("paper's wait-time tails are a shared-pool phenomenon, not a scheduler one.");
+}

@@ -1,0 +1,65 @@
+//! Fig. 3 — Concurrent HTCondor DAGMans.
+//!
+//! One, two, four and eight DAGMans jointly produce 16,000 waveforms with
+//! the full Chilean input (three replications each); prints the average
+//! total runtime and average total throughput per DAGMan, eqs. (3)/(4).
+
+use dagman::monitor::mean_sd;
+use fakequakes::stations::ChileanInput;
+use fdw_bench::{pm_range, REPLICATION_SEEDS};
+use fdw_core::prelude::*;
+
+const TOTAL_WAVEFORMS: u64 = 16_000;
+
+fn main() {
+    let cluster = osg_cluster_config();
+    let base = FdwConfig {
+        station_input: StationInput::Chilean(ChileanInput::Full),
+        ..Default::default()
+    };
+    println!("Fig. 3 — concurrent DAGMans producing {TOTAL_WAVEFORMS} waveforms together");
+    println!("(full Chilean input, 3 replications, eqs. (3)/(4); paper Fig. 3)\n");
+    println!(
+        "{:>8} {:>14} {:>32} {:>32}",
+        "DAGMans", "jobs/DAGMan", "avg runtime (h)", "avg throughput (JPM)"
+    );
+    let mut prev_thpt: Option<f64> = None;
+    for n in [1usize, 2, 4, 8] {
+        let mut runtimes = Vec::new();
+        let mut thpts = Vec::new();
+        for &seed in &REPLICATION_SEEDS {
+            let out = run_concurrent_fdw(&base, n, TOTAL_WAVEFORMS, cluster.clone(), seed)
+                .expect("fig3 run failed");
+            runtimes.extend(out.runtimes_hours());
+            for (j, r) in out.throughput_inputs() {
+                thpts.push(if r > 0.0 { j as f64 / r } else { 0.0 });
+            }
+        }
+        let rt = mean_sd(&runtimes);
+        let tp = mean_sd(&thpts);
+        let per_dag = FdwConfig {
+            n_waveforms: TOTAL_WAVEFORMS / n as u64,
+            ..base.clone()
+        }
+        .total_jobs();
+        println!(
+            "{:>8} {:>14} {:>32} {:>32}",
+            n,
+            per_dag,
+            pm_range(&rt),
+            pm_range(&tp)
+        );
+        if let Some(prev) = prev_thpt {
+            println!(
+                "{:>8}   per-DAGMan throughput change vs previous level: {:+.1}%",
+                "",
+                (tp.mean / prev - 1.0) * 100.0
+            );
+        }
+        prev_thpt = Some(tp.mean);
+    }
+    println!();
+    println!("Expected shape (paper): per-DAGMan throughput drops >=39.5% per level");
+    println!("(10.7 -> 6.5 -> 3.7 -> 2.2 JPM); runtime does NOT shrink proportionally");
+    println!("(14.1 / 11.9 / 12.5 / 15.7 h) and its SD grows with concurrency.");
+}

@@ -1,0 +1,58 @@
+//! Fig. 4 + §5.2.3 — Individual job execution/wait times (sorted by
+//! duration), instant throughput and running-job count over each
+//! workflow's lifetime, for 1/2/4/8 concurrent DAGMans.
+
+use dagman::monitor::{instant_throughput_for, running_for, DagmanStats};
+use fakequakes::stations::ChileanInput;
+use fdw_bench::{five_number, sorted_minutes, sparkline};
+use fdw_core::prelude::*;
+
+const TOTAL_WAVEFORMS: u64 = 16_000;
+
+fn main() {
+    let cluster = osg_cluster_config();
+    let base = FdwConfig {
+        station_input: StationInput::Chilean(ChileanInput::Full),
+        ..Default::default()
+    };
+    println!("Fig. 4 — per-job profiles and per-second footprints (paper Fig. 4, §5.2.3)\n");
+    for n in [1usize, 2, 4, 8] {
+        let out = run_concurrent_fdw(&base, n, TOTAL_WAVEFORMS, cluster.clone(), 1)
+            .expect("fig4 run failed");
+        println!("== {n} concurrent DAGMan(s), {TOTAL_WAVEFORMS} waveforms total ==");
+        // Per-job distributions of the first DAGMan (the figure shows
+        // representative workflows).
+        let s = &out.stats[0];
+        println!(
+            "  waveform exec times: {}",
+            five_number(&sorted_minutes(&s.waveform_exec_secs))
+        );
+        println!(
+            "  rupture  exec times: {}",
+            five_number(&sorted_minutes(&s.rupture_exec_secs))
+        );
+        println!(
+            "  waveform wait times: {}  (mean {:.1} min)",
+            five_number(&sorted_minutes(&s.waveform_wait_secs)),
+            DagmanStats::mean_mins(&s.waveform_wait_secs).unwrap_or(0.0)
+        );
+        let thr = instant_throughput_for(&out.report, s.owner);
+        let run = running_for(&out.report, s.owner);
+        let run_f: Vec<f64> = run.iter().map(|v| *v as f64).collect();
+        let peak_thr = thr.iter().cloned().fold(0.0, f64::max);
+        let peak_run = run.iter().copied().max().unwrap_or(0);
+        println!(
+            "  instant throughput: peak {peak_thr:.1} JPM  {}",
+            sparkline(&thr, 48)
+        );
+        println!(
+            "  running jobs:       peak {peak_run:>5}      {}",
+            sparkline(&run_f, 48)
+        );
+        println!();
+    }
+    println!("Expected shape (paper §5.2.3): waveform jobs 15-20 min, rupture ~2.5 min,");
+    println!("consistent across concurrency; wait times blow up with concurrency");
+    println!("(70.1 min at N=1 vs 189.2 min at N=4); lone DAGMans spike >35 JPM early");
+    println!("while 4-way DAGMans rarely exceed ~6; all levels can exceed 400 running jobs.");
+}

@@ -1,0 +1,58 @@
+//! Supplementary harness — pool "weather" during an FDW run: the
+//! glidein-churn and background-contention telemetry behind the paper's
+//! §6 explanation that volatility comes from "OSG's variable resources
+//! and many simulations".
+
+use fakequakes::stations::ChileanInput;
+use fdw_bench::sparkline;
+use fdw_core::prelude::*;
+
+fn main() {
+    println!("Pool weather during a 16,000-waveform FDW run\n");
+    let cfg = FdwConfig {
+        n_waveforms: 16_000,
+        station_input: StationInput::Chilean(ChileanInput::Full),
+        ..Default::default()
+    };
+    let out = run_fdw(&cfg, osg_cluster_config(), 1).expect("run");
+    let series = &out.report.pool_series;
+    assert!(!series.is_empty());
+
+    let total: Vec<f64> = series.iter().map(|s| s.total_slots as f64).collect();
+    let busy: Vec<f64> = series.iter().map(|s| s.busy_slots as f64).collect();
+    let avail: Vec<f64> = series.iter().map(|s| s.avail_frac).collect();
+    let idle: Vec<f64> = series.iter().map(|s| s.idle_jobs as f64).collect();
+
+    let stat = |xs: &[f64]| {
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        (mean, min, max)
+    };
+    let rows = [
+        ("total slots", &total),
+        ("busy slots (ours)", &busy),
+        ("avail fraction", &avail),
+        ("idle jobs queued", &idle),
+    ];
+    println!(
+        "{:<20} {:>9} {:>9} {:>9}   over {} negotiation cycles",
+        "series", "mean", "min", "max",
+        series.len()
+    );
+    for (name, xs) in rows {
+        let (mean, min, max) = stat(xs);
+        println!(
+            "{name:<20} {mean:>9.1} {min:>9.1} {max:>9.1}   {}",
+            sparkline(xs, 48)
+        );
+    }
+    println!(
+        "\nmakespan {:.2} h, {} evictions from glidein churn",
+        out.report.makespan.as_hours_f64(),
+        out.report.evictions
+    );
+    println!("\nThe busy-slot trace is the supply side of Fig. 4's running-job");
+    println!("footprint: glidein churn plus the contention process produce the gaps");
+    println!("and peaks the paper attributes to OSG's shared, variable resources.");
+}

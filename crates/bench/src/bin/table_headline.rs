@@ -1,0 +1,52 @@
+//! §6 headline numbers — FDW vs the single-machine AWS baseline, and the
+//! throughput scaling claims.
+//!
+//! * "a 56.8% decrease in runtime when simulating 1,024 earthquakes in
+//!   Chile using parallel computation on OSG versus on a single machine";
+//! * "The throughput also increases by approximately five times when
+//!   running 50,000 simulations compared to 1,024";
+//! * "we produced, on average, 24,960 in 12.5 hours and 50,000 in under
+//!   35 hours" (vs Lin et al.'s 20+ days for 36,800).
+
+use fakequakes::stations::ChileanInput;
+use fdw_bench::REPLICATION_SEEDS;
+use fdw_core::prelude::*;
+
+fn main() {
+    let cluster = osg_cluster_config();
+    let full = StationInput::Chilean(ChileanInput::Full);
+
+    println!("§6 headline comparisons\n");
+
+    // 1,024 full-input waveforms: FDW vs single machine.
+    let cfg = FdwConfig { n_waveforms: 1024, station_input: full, ..Default::default() };
+    let reps = replicate_fdw(&cfg, 1, 1024, &cluster, &REPLICATION_SEEDS).unwrap();
+    let aws = aws_baseline(&cfg, 1);
+    let reduction = (1.0 - reps.runtime_h.mean / aws.makespan.as_hours_f64()) * 100.0;
+    println!("FDW,   1,024 waveforms (full input): {:.2} h (avg of 3)", reps.runtime_h.mean);
+    println!(
+        "AWS baseline (4-slot single machine):  {:.2} h",
+        aws.makespan.as_hours_f64()
+    );
+    println!("runtime reduction: {reduction:.1}%   (paper: 56.8%)\n");
+
+    // Throughput scaling 1,024 -> 50,000 (full input).
+    let t1 = replicate_fdw(&cfg, 1, 1024, &cluster, &REPLICATION_SEEDS).unwrap();
+    let cfg50 = FdwConfig { n_waveforms: 50_000, ..cfg.clone() };
+    let t50 = replicate_fdw(&cfg50, 1, 50_000, &cluster, &REPLICATION_SEEDS).unwrap();
+    println!(
+        "throughput, full input: {:.1} JPM at 1,024 -> {:.1} JPM at 50,000 ({:.1}x; paper ~5x)\n",
+        t1.throughput_jpm.mean,
+        t50.throughput_jpm.mean,
+        t50.throughput_jpm.mean / t1.throughput_jpm.mean
+    );
+
+    // Large-batch wall times vs Lin et al.
+    let cfg24960 = FdwConfig { n_waveforms: 24_960, ..cfg.clone() };
+    let t24960 = replicate_fdw(&cfg24960, 1, 24_960, &cluster, &REPLICATION_SEEDS).unwrap();
+    println!(
+        "24,960 waveforms: {:.1} h (paper: 12.5 h);  50,000: {:.1} h (paper: < 35 h)",
+        t24960.runtime_h.mean, t50.runtime_h.mean
+    );
+    println!("reference point: Lin et al. produced 36,800 on one machine in 20+ days (480+ h)");
+}

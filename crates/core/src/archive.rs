@@ -1,0 +1,190 @@
+//! Output congregation: "after simulation, thousands of files are
+//! congregated, labeled, and archived on OSG storage capacity" (§3).
+//!
+//! The archive manifest labels every product of a run — rupture files,
+//! the GF bundle, per-scenario waveform bundles — with consistent names
+//! and sizes, and serialises to a text manifest that downstream tooling
+//! (and, in the paper's vision, the VDC data services) can index.
+
+use crate::config::FdwConfig;
+
+/// One archived product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveEntry {
+    /// Archive-relative path, e.g. `waveforms/run1/scenario_000042.mseed`.
+    pub path: String,
+    /// Product kind label (`rupture`, `gf`, `waveform`).
+    pub kind: String,
+    /// Size in megabytes.
+    pub size_mb: f64,
+}
+
+/// The manifest of one FDW run's products.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ArchiveManifest {
+    /// Run label the products are archived under.
+    pub run_label: String,
+    /// All entries.
+    pub entries: Vec<ArchiveEntry>,
+}
+
+impl ArchiveManifest {
+    /// Build the manifest an FDW run with `cfg` produces, labelled
+    /// `run_label`.
+    pub fn for_run(run_label: &str, cfg: &FdwConfig) -> Self {
+        let stations = cfg.station_input.station_count();
+        let mut entries = Vec::new();
+        entries.push(ArchiveEntry {
+            path: format!("{run_label}/matrices/distance_matrices.npy"),
+            kind: "npy".into(),
+            size_mb: crate::calibration::npy_matrices().size_mb,
+        });
+        entries.push(ArchiveEntry {
+            path: format!("{run_label}/gf/gf_{stations}sta.mseed"),
+            kind: "gf".into(),
+            size_mb: crate::calibration::gf_mseed(stations).size_mb,
+        });
+        for i in 0..cfg.n_waveforms {
+            entries.push(ArchiveEntry {
+                path: format!("{run_label}/ruptures/scenario_{i:06}.rupt"),
+                kind: "rupture".into(),
+                size_mb: 1.2,
+            });
+            entries.push(ArchiveEntry {
+                path: format!("{run_label}/waveforms/scenario_{i:06}.mseed"),
+                kind: "waveform".into(),
+                size_mb: 10.0 * (stations as f64 / 121.0).max(0.05),
+            });
+        }
+        Self { run_label: run_label.to_string(), entries }
+    }
+
+    /// Number of products.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no products are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total archive size in megabytes.
+    pub fn total_mb(&self) -> f64 {
+        self.entries.iter().map(|e| e.size_mb).sum()
+    }
+
+    /// Entries of one kind.
+    pub fn of_kind(&self, kind: &str) -> Vec<&ArchiveEntry> {
+        self.entries.iter().filter(|e| e.kind == kind).collect()
+    }
+
+    /// Serialise as a text manifest (`size_mb<TAB>kind<TAB>path`).
+    pub fn to_manifest_file(&self) -> String {
+        let mut out = format!("# archive manifest: {}\n", self.run_label);
+        for e in &self.entries {
+            out.push_str(&format!("{:.3}\t{}\t{}\n", e.size_mb, e.kind, e.path));
+        }
+        out
+    }
+
+    /// Parse the text manifest format.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut manifest = ArchiveManifest::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# archive manifest:") {
+                manifest.run_label = rest.trim().to_string();
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let size_mb: f64 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| format!("line {}: bad size", lineno + 1))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing kind", lineno + 1))?
+                .to_string();
+            let path = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing path", lineno + 1))?
+                .to_string();
+            manifest.entries.push(ArchiveEntry { path, kind, size_mb });
+        }
+        Ok(manifest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StationInput;
+    use fakequakes::stations::ChileanInput;
+
+    fn cfg() -> FdwConfig {
+        FdwConfig {
+            n_waveforms: 10,
+            station_input: StationInput::Chilean(ChileanInput::Full),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn manifest_covers_all_products() {
+        let m = ArchiveManifest::for_run("run1", &cfg());
+        assert_eq!(m.of_kind("rupture").len(), 10);
+        assert_eq!(m.of_kind("waveform").len(), 10);
+        assert_eq!(m.of_kind("gf").len(), 1);
+        assert_eq!(m.of_kind("npy").len(), 1);
+        assert_eq!(m.len(), 22);
+        assert!(!m.is_empty());
+        assert!(m.total_mb() > 0.0);
+    }
+
+    #[test]
+    fn paths_are_labelled_and_unique() {
+        let m = ArchiveManifest::for_run("batchX", &cfg());
+        let mut paths: Vec<&str> = m.entries.iter().map(|e| e.path.as_str()).collect();
+        assert!(paths.iter().all(|p| p.starts_with("batchX/")));
+        paths.sort_unstable();
+        paths.dedup();
+        assert_eq!(paths.len(), m.len());
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = ArchiveManifest::for_run("r", &cfg());
+        let text = m.to_manifest_file();
+        let parsed = ArchiveManifest::parse(&text).unwrap();
+        assert_eq!(parsed.run_label, "r");
+        assert_eq!(parsed.len(), m.len());
+        assert!((parsed.total_mb() - m.total_mb()).abs() < 0.1);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(ArchiveManifest::parse("notasize\tkind\tpath\n").is_err());
+        assert!(ArchiveManifest::parse("1.0\tkindonly\n").is_err());
+        assert!(ArchiveManifest::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn small_input_products_are_smaller() {
+        let small = ArchiveManifest::for_run(
+            "s",
+            &FdwConfig {
+                station_input: StationInput::Chilean(ChileanInput::Small),
+                ..cfg()
+            },
+        );
+        let full = ArchiveManifest::for_run("f", &cfg());
+        assert!(small.total_mb() < full.total_mb());
+    }
+}

@@ -1,0 +1,143 @@
+//! Cost calibration: execution-time and artifact-size models for FDW jobs,
+//! pinned to the values reported in the paper.
+//!
+//! | Quantity | Paper source | Value used |
+//! |---|---|---|
+//! | Rupture-job runtime | §5.2.3 "consistently executed in around 2.5 minutes" | median 150 s |
+//! | Waveform-job runtime, full input | §5.2.3 "typically took 15 to 20 minutes" | median 20 s + 4.05 s/station/scenario (≈ 16.7 min at 121 stations × 2 scenarios) |
+//! | Waveform-job runtime, small input | §5.2.3 "often completed in under 1 minute" | same model (≈ 36 s at 2 stations) |
+//! | GF (B-phase) job runtime | §3.0.1 "can span multiple hours depending on the length of a required input list of GNSS stations" | 90 s + 85 s/station (≈ 2.9 h at 121) |
+//! | Distance-matrix job | §3.0.1 "generating these files is time-consuming" | median 600 s |
+//! | Singularity image size | §3 "928MB Singularity image" | 928 MB, cacheable |
+//! | GF `.mseed` size | §3.0.1 "possibly exceeding 1GB" | 9.3 MB/station (≈ 1.1 GB full, ≈ 19 MB small), cacheable |
+//! | `.npy` matrices size | §3 "less than 10GB per job input" | 450 MB total, cacheable |
+//! | VDC rupture-job time | §3.1.1 | 287 s (constant) |
+//! | VDC waveform-job time | §3.1.1 | 144 s (constant) |
+//! | Cloud cost | §4.3, EC2 a1.xlarge on-demand | $0.0017 per minute |
+
+use htcsim::job::{ExecModel, InputFile};
+
+/// Seconds a VDC-bursted rupture job takes (paper §3.1.1).
+pub const VDC_RUPTURE_SECS: u64 = 287;
+/// Seconds a VDC-bursted waveform job takes (paper §3.1.1).
+pub const VDC_WAVEFORM_SECS: u64 = 144;
+/// Cloud cost per minute of VDC usage, USD (paper §4.3).
+pub const CLOUD_COST_PER_MIN: f64 = 0.0017;
+
+/// Lognormal spread applied to OSG job runtimes (node heterogeneity on
+/// top of the pool's per-machine speed factor).
+pub const RUNTIME_SIGMA: f64 = 0.10;
+
+/// Execution model of an A-phase rupture job generating
+/// `ruptures_per_job` scenarios.
+pub fn rupture_job_exec(ruptures_per_job: u32) -> ExecModel {
+    // 2.5 min at the default 16 ruptures/job; scales linearly.
+    let median = 150.0 * ruptures_per_job as f64 / 16.0;
+    ExecModel::LogNormalMedian { median_s: median.max(30.0), sigma: RUNTIME_SIGMA }
+}
+
+/// Execution model of the one-off distance-matrix job.
+pub fn matrix_job_exec() -> ExecModel {
+    ExecModel::LogNormalMedian { median_s: 600.0, sigma: RUNTIME_SIGMA }
+}
+
+/// Execution model of the B-phase Green's-function job for `stations`
+/// GNSS stations.
+pub fn gf_job_exec(stations: u32) -> ExecModel {
+    ExecModel::LogNormalMedian {
+        median_s: 90.0 + 85.0 * stations as f64,
+        sigma: RUNTIME_SIGMA,
+    }
+}
+
+/// Execution model of a C-phase waveform job synthesising
+/// `waveforms_per_job` scenarios at `stations` stations.
+pub fn waveform_job_exec(stations: u32, waveforms_per_job: u32) -> ExecModel {
+    ExecModel::LogNormalMedian {
+        median_s: 20.0 + 4.05 * stations as f64 * waveforms_per_job as f64,
+        sigma: RUNTIME_SIGMA,
+    }
+}
+
+/// The Singularity/Apptainer image every FDW job stages in (cache-served).
+pub fn singularity_image() -> InputFile {
+    InputFile { name: "mudpy_singularity.sif".into(), size_mb: 928.0, cacheable: true }
+}
+
+/// The recyclable `.npy` distance-matrix pair.
+pub fn npy_matrices() -> InputFile {
+    InputFile { name: "distance_matrices.npy".into(), size_mb: 450.0, cacheable: true }
+}
+
+/// The B-phase `.mseed` GF bundle for `stations` stations ("possibly
+/// exceeding 1 GB" at the full 121-station input).
+pub fn gf_mseed(stations: u32) -> InputFile {
+    InputFile {
+        name: format!("gf_{stations}sta.mseed"),
+        size_mb: 9.3 * stations as f64,
+        cacheable: true,
+    }
+}
+
+/// The GNSS station-list input file (tiny, but staged like any input).
+pub fn station_list_file(stations: u32) -> InputFile {
+    InputFile {
+        name: format!("stations_{stations}.gflist"),
+        size_mb: 0.01 * stations as f64,
+        cacheable: false,
+    }
+}
+
+/// Single-machine (AWS baseline) per-job times: the §3.1 instance runs a
+/// rupture job in [`VDC_RUPTURE_SECS`] and a waveform job in
+/// [`VDC_WAVEFORM_SECS`]; with 4 Xeon CPUs it executes 4 jobs concurrently.
+pub const AWS_BASELINE_SLOTS: usize = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rupture_job_near_2_5_minutes() {
+        assert_eq!(rupture_job_exec(16).median_s(), 150.0);
+        assert_eq!(rupture_job_exec(32).median_s(), 300.0);
+        // Tiny batches still cost the folder-setup floor.
+        assert!(rupture_job_exec(1).median_s() >= 30.0);
+    }
+
+    #[test]
+    fn waveform_job_matches_paper_ranges() {
+        // Full input, 2 scenarios per job: 15–20 minutes.
+        let full = waveform_job_exec(121, 2).median_s();
+        assert!((900.0..1200.0).contains(&full), "full {full}");
+        // Small input: under a minute.
+        let small = waveform_job_exec(2, 2).median_s();
+        assert!(small < 60.0, "small {small}");
+    }
+
+    #[test]
+    fn gf_job_spans_hours_for_full_input() {
+        let full = gf_job_exec(121).median_s();
+        assert!((2.5 * 3600.0..3.5 * 3600.0).contains(&full), "full {full}");
+        let small = gf_job_exec(2).median_s();
+        assert!(small < 600.0, "small {small}");
+    }
+
+    #[test]
+    fn artifact_sizes_match_paper() {
+        assert_eq!(singularity_image().size_mb, 928.0);
+        assert!(singularity_image().cacheable);
+        let gf_full = gf_mseed(121);
+        assert!(gf_full.size_mb > 1000.0, "full GF bundle exceeds 1 GB");
+        let gf_small = gf_mseed(2);
+        assert!(gf_small.size_mb < 25.0);
+        assert!(npy_matrices().size_mb < 10_000.0, "under the 10 GB OSG input bound");
+    }
+
+    #[test]
+    fn vdc_constants() {
+        assert_eq!(VDC_RUPTURE_SECS, 287);
+        assert_eq!(VDC_WAVEFORM_SECS, 144);
+        assert!((CLOUD_COST_PER_MIN - 0.0017).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,330 @@
+//! FDW configuration: the single parameter file a user edits before
+//! launching the workflow ("editing a configuration file for simulation
+//! parameters", §3).
+//!
+//! The format is `key = value` lines with `#` comments — serialisable via
+//! [`FdwConfig::to_config_file`] and parsed by [`FdwConfig::parse`].
+
+use fakequakes::stations::ChileanInput;
+use fakequakes::stf::StfKind;
+
+/// Which subduction margin to simulate. The paper evaluates Chile; §7
+/// names "regions beyond Chile" as future work, realised here as
+/// Cascadia.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Region {
+    /// The Chilean subduction zone (the paper's evaluation region).
+    #[default]
+    Chile,
+    /// The Cascadia subduction zone (future-work region).
+    Cascadia,
+}
+
+impl Region {
+    /// Configuration-file label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Region::Chile => "chile",
+            Region::Cascadia => "cascadia",
+        }
+    }
+
+    /// Parse a configuration label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "chile" => Some(Region::Chile),
+            "cascadia" => Some(Region::Cascadia),
+            _ => None,
+        }
+    }
+}
+
+/// Which GNSS station input to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StationInput {
+    /// One of the paper's two canonical inputs.
+    Chilean(ChileanInput),
+    /// An arbitrary station count (for sweeps beyond the paper).
+    Count(u32),
+}
+
+impl StationInput {
+    /// Number of stations this input provides.
+    pub fn station_count(self) -> u32 {
+        match self {
+            StationInput::Chilean(c) => c.station_count() as u32,
+            StationInput::Count(n) => n,
+        }
+    }
+
+    /// Configuration-file label.
+    pub fn label(self) -> String {
+        match self {
+            StationInput::Chilean(c) => c.label().to_string(),
+            StationInput::Count(n) => n.to_string(),
+        }
+    }
+}
+
+/// The FDW parameter file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FdwConfig {
+    /// Subduction margin to simulate.
+    pub region: Region,
+    /// Along-strike subfault count of the fault mesh.
+    pub fault_nx: usize,
+    /// Down-dip subfault count.
+    pub fault_nd: usize,
+    /// Station input selection.
+    pub station_input: StationInput,
+    /// Total waveform scenarios to generate.
+    pub n_waveforms: u64,
+    /// Rupture scenarios generated per A-phase job.
+    pub ruptures_per_job: u32,
+    /// Waveform scenarios synthesised per C-phase job.
+    pub waveforms_per_job: u32,
+    /// Target magnitude range.
+    pub mw_range: (f64, f64),
+    /// Source time function.
+    pub stf: StfKind,
+    /// Whether recycled `.npy` matrices are supplied (skips the matrix job).
+    pub recycle_npy: bool,
+    /// DAGMan maxidle throttle (0 = unlimited).
+    pub max_idle: usize,
+    /// DAGMan maxjobs throttle (0 = unlimited).
+    pub max_jobs: usize,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl Default for FdwConfig {
+    fn default() -> Self {
+        Self {
+            region: Region::Chile,
+            fault_nx: 32,
+            fault_nd: 16,
+            station_input: StationInput::Chilean(ChileanInput::Full),
+            n_waveforms: 1024,
+            ruptures_per_job: 16,
+            waveforms_per_job: 2,
+            mw_range: (7.5, 9.0),
+            stf: StfKind::Dreger,
+            recycle_npy: false,
+            max_idle: 1000,
+            max_jobs: 0,
+            seed: 1,
+        }
+    }
+}
+
+impl FdwConfig {
+    /// Validate parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fault_nx == 0 || self.fault_nd == 0 {
+            return Err("fault mesh dimensions must be positive".into());
+        }
+        if self.n_waveforms == 0 {
+            return Err("n_waveforms must be positive".into());
+        }
+        if self.ruptures_per_job == 0 || self.waveforms_per_job == 0 {
+            return Err("per-job batch sizes must be positive".into());
+        }
+        if self.station_input.station_count() == 0 {
+            return Err("station input cannot be empty".into());
+        }
+        if self.mw_range.0 > self.mw_range.1 {
+            return Err("mw_range must be ordered".into());
+        }
+        Ok(())
+    }
+
+    /// Number of A-phase rupture jobs this config produces.
+    pub fn n_rupture_jobs(&self) -> u64 {
+        self.n_waveforms.div_ceil(self.ruptures_per_job as u64)
+    }
+
+    /// Number of C-phase waveform jobs this config produces.
+    pub fn n_waveform_jobs(&self) -> u64 {
+        self.n_waveforms.div_ceil(self.waveforms_per_job as u64)
+    }
+
+    /// Total OSG jobs in the DAG (including the B-phase GF job and the
+    /// optional matrix job).
+    pub fn total_jobs(&self) -> u64 {
+        self.n_rupture_jobs()
+            + self.n_waveform_jobs()
+            + 1
+            + if self.recycle_npy { 0 } else { 1 }
+    }
+
+    /// Serialise as the FDW parameter file.
+    pub fn to_config_file(&self) -> String {
+        format!(
+            "# FakeQuakes DAGMan Workflow configuration\n\
+             region = {}\n\
+             fault_nx = {}\n\
+             fault_nd = {}\n\
+             station_input = {}\n\
+             n_waveforms = {}\n\
+             ruptures_per_job = {}\n\
+             waveforms_per_job = {}\n\
+             mw_min = {}\n\
+             mw_max = {}\n\
+             stf = {}\n\
+             recycle_npy = {}\n\
+             max_idle = {}\n\
+             max_jobs = {}\n\
+             seed = {}\n",
+            self.region.label(),
+            self.fault_nx,
+            self.fault_nd,
+            self.station_input.label(),
+            self.n_waveforms,
+            self.ruptures_per_job,
+            self.waveforms_per_job,
+            self.mw_range.0,
+            self.mw_range.1,
+            self.stf.label(),
+            self.recycle_npy,
+            self.max_idle,
+            self.max_jobs,
+            self.seed,
+        )
+    }
+
+    /// Parse the parameter-file format; unknown keys are an error (typos
+    /// in simulation configs must not pass silently).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut cfg = FdwConfig::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected key = value", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |what: &str| format!("line {}: invalid {what} '{value}'", lineno + 1);
+            match key {
+                "region" => {
+                    cfg.region = Region::parse(value).ok_or_else(|| bad("region"))?;
+                }
+                "fault_nx" => cfg.fault_nx = value.parse().map_err(|_| bad("fault_nx"))?,
+                "fault_nd" => cfg.fault_nd = value.parse().map_err(|_| bad("fault_nd"))?,
+                "station_input" => {
+                    cfg.station_input = match value {
+                        "full" => StationInput::Chilean(ChileanInput::Full),
+                        "small" => StationInput::Chilean(ChileanInput::Small),
+                        n => StationInput::Count(
+                            n.parse().map_err(|_| bad("station_input"))?,
+                        ),
+                    }
+                }
+                "n_waveforms" => {
+                    cfg.n_waveforms = value.parse().map_err(|_| bad("n_waveforms"))?
+                }
+                "ruptures_per_job" => {
+                    cfg.ruptures_per_job =
+                        value.parse().map_err(|_| bad("ruptures_per_job"))?
+                }
+                "waveforms_per_job" => {
+                    cfg.waveforms_per_job =
+                        value.parse().map_err(|_| bad("waveforms_per_job"))?
+                }
+                "mw_min" => cfg.mw_range.0 = value.parse().map_err(|_| bad("mw_min"))?,
+                "mw_max" => cfg.mw_range.1 = value.parse().map_err(|_| bad("mw_max"))?,
+                "stf" => {
+                    cfg.stf = StfKind::parse(value).ok_or_else(|| bad("stf"))?;
+                }
+                "recycle_npy" => {
+                    cfg.recycle_npy = value.parse().map_err(|_| bad("recycle_npy"))?
+                }
+                "max_idle" => cfg.max_idle = value.parse().map_err(|_| bad("max_idle"))?,
+                "max_jobs" => cfg.max_jobs = value.parse().map_err(|_| bad("max_jobs"))?,
+                "seed" => cfg.seed = value.parse().map_err(|_| bad("seed"))?,
+                other => return Err(format!("line {}: unknown key '{other}'", lineno + 1)),
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(FdwConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn job_counts() {
+        let cfg = FdwConfig { n_waveforms: 1024, ..Default::default() };
+        assert_eq!(cfg.n_rupture_jobs(), 64);
+        assert_eq!(cfg.n_waveform_jobs(), 512);
+        assert_eq!(cfg.total_jobs(), 64 + 512 + 1 + 1);
+        let recycled = FdwConfig { recycle_npy: true, ..cfg };
+        assert_eq!(recycled.total_jobs(), 64 + 512 + 1);
+    }
+
+    #[test]
+    fn job_counts_round_up() {
+        let cfg = FdwConfig { n_waveforms: 17, ..Default::default() };
+        assert_eq!(cfg.n_rupture_jobs(), 2);
+        assert_eq!(cfg.n_waveform_jobs(), 9);
+    }
+
+    #[test]
+    fn config_file_roundtrip() {
+        let cfg = FdwConfig {
+            n_waveforms: 50_000,
+            station_input: StationInput::Chilean(ChileanInput::Small),
+            recycle_npy: true,
+            mw_range: (7.8, 8.4),
+            stf: StfKind::Cosine,
+            ..Default::default()
+        };
+        let text = cfg.to_config_file();
+        let parsed = FdwConfig::parse(&text).unwrap();
+        assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn parse_custom_station_count() {
+        let cfg = FdwConfig::parse("station_input = 60\n").unwrap();
+        assert_eq!(cfg.station_input, StationInput::Count(60));
+        assert_eq!(cfg.station_input.station_count(), 60);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_and_bad_values() {
+        assert!(FdwConfig::parse("frobnicate = 3\n").is_err());
+        assert!(FdwConfig::parse("n_waveforms = many\n").is_err());
+        assert!(FdwConfig::parse("n_waveforms 1024\n").is_err());
+        assert!(FdwConfig::parse("stf = boxcar\n").is_err());
+    }
+
+    #[test]
+    fn parse_validates_result() {
+        assert!(FdwConfig::parse("n_waveforms = 0\n").is_err());
+        assert!(FdwConfig::parse("mw_min = 9.0\nmw_max = 8.0\n").is_err());
+        assert!(FdwConfig::parse("fault_nx = 0\n").is_err());
+        assert!(FdwConfig::parse("station_input = 0\n").is_err());
+        assert!(FdwConfig::parse("ruptures_per_job = 0\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let cfg = FdwConfig::parse("# hi\n\nseed = 9 # trailing\n").unwrap();
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn station_input_labels() {
+        assert_eq!(StationInput::Chilean(ChileanInput::Full).label(), "full");
+        assert_eq!(StationInput::Count(7).label(), "7");
+    }
+}

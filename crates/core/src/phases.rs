@@ -1,0 +1,233 @@
+//! DAG construction: the FDW's three sequential phases (§3.0.1).
+//!
+//! * **A Phase** — one optional distance-matrix job (when no recycled
+//!   `.npy` files are provided) followed by parallel rupture jobs;
+//! * **B Phase** — the Green's-function job producing the `.mseed` bundle;
+//! * **C Phase** — parallel waveform jobs, each staging the large
+//!   `.mseed` through the Stash cache.
+//!
+//! Phases are sequenced with DAG edges: `matrix → ruptures → gf →
+//! waveforms`, matching the paper's "phases run sequentially, with the
+//! numerous jobs of each one executed in parallel".
+
+use dagman::dag::{Dag, NodeId, Throttles};
+use htcsim::job::JobSpec;
+
+use crate::calibration;
+use crate::config::FdwConfig;
+
+/// Phase labels used in job names (`<phase>.<index>`); the monitoring and
+/// bursting tooling dispatch on these prefixes.
+pub mod phase_names {
+    /// Distance-matrix bootstrap job.
+    pub const MATRIX: &str = "matrix";
+    /// A-phase rupture jobs.
+    pub const RUPTURE: &str = "rupture";
+    /// B-phase Green's-function job.
+    pub const GF: &str = "gf";
+    /// C-phase waveform jobs.
+    pub const WAVEFORM: &str = "waveform";
+}
+
+/// Build the FDW DAG for one configuration.
+pub fn build_fdw_dag(cfg: &FdwConfig) -> Result<Dag, String> {
+    cfg.validate()?;
+    let stations = cfg.station_input.station_count();
+    let mut dag = Dag::new();
+    dag.throttles = Throttles { max_jobs: cfg.max_jobs, max_idle: cfg.max_idle };
+
+    let image = calibration::singularity_image();
+    let npy = calibration::npy_matrices();
+    let gf_bundle = calibration::gf_mseed(stations);
+
+    // Optional matrix job (A-phase bootstrap).
+    let matrix: Option<NodeId> = if cfg.recycle_npy {
+        None
+    } else {
+        let mut spec = JobSpec {
+            name: format!("{}.0", phase_names::MATRIX),
+            cpus: 4,
+            memory_mb: 16_384, // "up to 16GB ... if jobs need to generate large matrix files"
+            disk_mb: 16_384,
+            inputs: vec![image.clone()],
+            output_mb: npy.size_mb,
+            exec: calibration::matrix_job_exec(),
+        };
+        spec.inputs.push(calibration::station_list_file(stations));
+        Some(dag.add_node(spec).map_err(|e| e.to_string())?)
+    };
+
+    // A-phase rupture jobs.
+    let mut rupture_ids = Vec::with_capacity(cfg.n_rupture_jobs() as usize);
+    for i in 0..cfg.n_rupture_jobs() {
+        let spec = JobSpec {
+            name: format!("{}.{i}", phase_names::RUPTURE),
+            cpus: 4,
+            memory_mb: 8192,
+            disk_mb: 8192,
+            inputs: vec![image.clone(), npy.clone()],
+            output_mb: 1.2 * cfg.ruptures_per_job as f64, // .rupt files
+            exec: calibration::rupture_job_exec(cfg.ruptures_per_job),
+        };
+        let id = dag.add_node(spec).map_err(|e| e.to_string())?;
+        if let Some(m) = matrix {
+            dag.add_edge(m, id)?;
+        }
+        rupture_ids.push(id);
+    }
+
+    // B-phase GF job: requires all ruptures (phases run sequentially).
+    let gf_spec = JobSpec {
+        name: format!("{}.0", phase_names::GF),
+        cpus: 4,
+        memory_mb: 16_384,
+        disk_mb: 16_384,
+        inputs: vec![image.clone(), npy.clone(), calibration::station_list_file(stations)],
+        output_mb: gf_bundle.size_mb,
+        exec: calibration::gf_job_exec(stations),
+    };
+    let gf = dag.add_node(gf_spec).map_err(|e| e.to_string())?;
+    for &r in &rupture_ids {
+        dag.add_edge(r, gf)?;
+    }
+
+    // C-phase waveform jobs.
+    for i in 0..cfg.n_waveform_jobs() {
+        // "up to 16GB (depending on if jobs need to generate large matrix
+        // files)" — only the matrix/GF jobs need the big request; waveform
+        // jobs fit standard 8 GB slots (inputs ≈ 2.5 GB + workspace).
+        let spec = JobSpec {
+            name: format!("{}.{i}", phase_names::WAVEFORM),
+            cpus: 4,
+            memory_mb: 8192,
+            disk_mb: 8192,
+            inputs: vec![image.clone(), npy.clone(), gf_bundle.clone()],
+            // Compressed waveform archives for this job's scenarios.
+            output_mb: 20.0 * cfg.waveforms_per_job as f64 * (stations as f64 / 121.0).max(0.05),
+            exec: calibration::waveform_job_exec(stations, cfg.waveforms_per_job),
+        };
+        let id = dag.add_node(spec).map_err(|e| e.to_string())?;
+        dag.add_edge(gf, id)?;
+    }
+
+    Ok(dag)
+}
+
+/// Split a target waveform count evenly across `n` concurrent DAGMans
+/// (the §4.2 experiment); remainders go to the earlier DAGs.
+pub fn split_waveforms(total: u64, n: usize) -> Vec<u64> {
+    let n64 = n as u64;
+    let base = total / n64;
+    let extra = total % n64;
+    (0..n64).map(|i| base + u64::from(i < extra)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StationInput;
+    use fakequakes::stations::ChileanInput;
+
+    fn cfg(n: u64) -> FdwConfig {
+        FdwConfig { n_waveforms: n, ..Default::default() }
+    }
+
+    #[test]
+    fn dag_has_expected_node_count() {
+        let c = cfg(1024);
+        let dag = build_fdw_dag(&c).unwrap();
+        assert_eq!(dag.len() as u64, c.total_jobs());
+    }
+
+    #[test]
+    fn recycled_npy_drops_matrix_job() {
+        let c = FdwConfig { recycle_npy: true, ..cfg(64) };
+        let dag = build_fdw_dag(&c).unwrap();
+        assert!(dag.id_of("matrix.0").is_none());
+        // Rupture jobs become roots.
+        let roots = dag.roots();
+        assert_eq!(roots.len() as u64, c.n_rupture_jobs());
+    }
+
+    #[test]
+    fn phase_sequencing_edges() {
+        let dag = build_fdw_dag(&cfg(64)).unwrap();
+        let matrix = dag.id_of("matrix.0").unwrap();
+        let gf = dag.id_of("gf.0").unwrap();
+        // Matrix is the only root.
+        assert_eq!(dag.roots(), vec![matrix]);
+        // GF depends on every rupture job.
+        assert_eq!(dag.node(gf).parents.len() as u64, cfg(64).n_rupture_jobs());
+        // Every waveform job depends on GF.
+        assert_eq!(dag.node(gf).children.len() as u64, cfg(64).n_waveform_jobs());
+        // The whole thing is acyclic.
+        assert!(dag.topological_order().is_ok());
+    }
+
+    #[test]
+    fn waveform_jobs_stage_gf_through_cache() {
+        let dag = build_fdw_dag(&cfg(16)).unwrap();
+        let w = dag.node(dag.id_of("waveform.0").unwrap());
+        let gf_input = w
+            .spec
+            .inputs
+            .iter()
+            .find(|f| f.name.contains("mseed"))
+            .expect("waveform job must stage the GF bundle");
+        assert!(gf_input.cacheable);
+        assert!(gf_input.size_mb > 1000.0, "full-input GF bundle exceeds 1 GB");
+        // All jobs carry the Singularity image.
+        for n in dag.nodes() {
+            assert!(n.spec.inputs.iter().any(|f| f.name.ends_with(".sif")));
+        }
+    }
+
+    #[test]
+    fn small_input_shrinks_gf_and_runtime() {
+        let small = FdwConfig {
+            station_input: StationInput::Chilean(ChileanInput::Small),
+            ..cfg(64)
+        };
+        let dag_small = build_fdw_dag(&small).unwrap();
+        let dag_full = build_fdw_dag(&cfg(64)).unwrap();
+        let wf_small =
+            &dag_small.node(dag_small.id_of("waveform.0").unwrap()).spec;
+        let wf_full = &dag_full.node(dag_full.id_of("waveform.0").unwrap()).spec;
+        assert!(wf_small.exec.median_s() < 60.0);
+        assert!(wf_full.exec.median_s() > 900.0);
+        assert!(wf_small.total_input_mb() < wf_full.total_input_mb());
+    }
+
+    #[test]
+    fn throttles_propagate() {
+        let c = FdwConfig { max_idle: 500, max_jobs: 200, ..cfg(32) };
+        let dag = build_fdw_dag(&c).unwrap();
+        assert_eq!(dag.throttles.max_idle, 500);
+        assert_eq!(dag.throttles.max_jobs, 200);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let c = FdwConfig { n_waveforms: 0, ..Default::default() };
+        assert!(build_fdw_dag(&c).is_err());
+    }
+
+    #[test]
+    fn split_waveforms_conserves_total() {
+        assert_eq!(split_waveforms(16_000, 8), vec![2000; 8]);
+        let parts = split_waveforms(16_001, 4);
+        assert_eq!(parts.iter().sum::<u64>(), 16_001);
+        assert_eq!(parts, vec![4001, 4000, 4000, 4000]);
+        assert_eq!(split_waveforms(3, 8).iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn memory_requests_match_paper_bounds() {
+        // "dynamically request varying amounts of disk and memory, up to 16GB"
+        let dag = build_fdw_dag(&cfg(16)).unwrap();
+        for n in dag.nodes() {
+            assert!(n.spec.memory_mb <= 16_384);
+            assert_eq!(n.spec.cpus, 4, "OSG-ideal jobs use 4 CPU cores");
+        }
+    }
+}

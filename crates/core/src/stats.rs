@@ -1,0 +1,69 @@
+//! The paper's evaluation formulas, equations (1)–(4).
+//!
+//! Equations (5)–(7) live where they are used: instant throughput (5) in
+//! `dagman::monitor` / the bursting simulator, average instant throughput
+//! (6) and cost (7) in `vdc-burst`.
+
+/// Equation (1): average total runtime `α = (r1 + r2 + r3)/3` over
+/// replicated runs (any replication count).
+pub fn avg_total_runtime(runtimes: &[f64]) -> f64 {
+    if runtimes.is_empty() {
+        return 0.0;
+    }
+    runtimes.iter().sum::<f64>() / runtimes.len() as f64
+}
+
+/// Equation (2): average total throughput `β = Σ(j_n/r_n)/N` over
+/// replicated runs, given `(jobs, runtime_minutes)` pairs.
+pub fn avg_total_throughput(runs: &[(u64, f64)]) -> f64 {
+    if runs.is_empty() {
+        return 0.0;
+    }
+    runs.iter()
+        .map(|(j, r)| if *r > 0.0 { *j as f64 / r } else { 0.0 })
+        .sum::<f64>()
+        / runs.len() as f64
+}
+
+/// Equation (3): average total runtime across all DAGMans of all parallel
+/// batches, `α = Σ d_i / N`, where `d_i` are individual DAGMan runtimes
+/// and `N` their total count.
+pub fn concurrent_avg_runtime(dagman_runtimes: &[f64]) -> f64 {
+    avg_total_runtime(dagman_runtimes)
+}
+
+/// Equation (4): average total throughput across all DAGMans of all
+/// parallel batches, `β = Σ (j_i/r_i) / N`.
+pub fn concurrent_avg_throughput(dagman_runs: &[(u64, f64)]) -> f64 {
+    avg_total_throughput(dagman_runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_matches_paper_form() {
+        assert_eq!(avg_total_runtime(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(avg_total_runtime(&[]), 0.0);
+    }
+
+    #[test]
+    fn eq2_divides_per_run_then_averages() {
+        // Two runs: 100 jobs in 10 min (10 JPM) and 100 jobs in 20 min
+        // (5 JPM) → average 7.5, NOT 200/30 = 6.67.
+        let b = avg_total_throughput(&[(100, 10.0), (100, 20.0)]);
+        assert!((b - 7.5).abs() < 1e-12);
+        assert_eq!(avg_total_throughput(&[]), 0.0);
+        assert_eq!(avg_total_throughput(&[(5, 0.0)]), 0.0);
+    }
+
+    #[test]
+    fn eq3_eq4_are_flat_averages_over_all_dagmans() {
+        // 2 batches of 2 DAGMans each: runtimes 10,12,14,16 → α = 13.
+        assert_eq!(concurrent_avg_runtime(&[10.0, 12.0, 14.0, 16.0]), 13.0);
+        let runs = [(100u64, 10.0), (100, 20.0), (200, 10.0), (200, 40.0)];
+        let beta = concurrent_avg_throughput(&runs);
+        assert!((beta - (10.0 + 5.0 + 20.0 + 5.0) / 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,267 @@
+//! HTCondor submit description files.
+//!
+//! "HTCondor uses 'submit description files' to specify job compute
+//! requirements, orchestrate scripts on OSG nodes, and handle input
+//! files" (§3). The FDW generates one per DAG node; this module renders
+//! [`JobSpec`]s into the submit-file dialect and parses it back, so the
+//! generated workflow directory looks exactly like what a user would
+//! inspect on an OSG login node.
+
+use htcsim::job::{ExecModel, InputFile, JobSpec};
+
+/// Render a job spec as an HTCondor submit description file.
+///
+/// The executable is the FDW phase script (`<phase>.sh`); the runtime
+/// model is carried in a comment so the round-trip through
+/// [`parse_submit_file`] is lossless for simulation purposes (real
+/// submit files obviously do not declare their runtime).
+pub fn to_submit_file(spec: &JobSpec) -> String {
+    let phase = spec.name.split('.').next().unwrap_or("job");
+    let mut out = String::new();
+    out.push_str(&format!("# FDW submit description for node {}\n", spec.name));
+    out.push_str("universe = vanilla\n");
+    out.push_str(&format!("executable = {phase}.sh\n"));
+    out.push_str(&format!("arguments = {}\n", spec.name));
+    out.push_str(&format!("request_cpus = {}\n", spec.cpus));
+    out.push_str(&format!("request_memory = {}MB\n", spec.memory_mb));
+    out.push_str(&format!("request_disk = {}MB\n", spec.disk_mb));
+    if !spec.inputs.is_empty() {
+        let names: Vec<String> = spec
+            .inputs
+            .iter()
+            .map(|f| {
+                if f.cacheable {
+                    // Stash/OSDF-served inputs use the osdf:// scheme.
+                    format!("osdf:///ospool/fdw/{}", f.name)
+                } else {
+                    f.name.clone()
+                }
+            })
+            .collect();
+        out.push_str(&format!(
+            "transfer_input_files = {}\n",
+            names.join(", ")
+        ));
+        // Size metadata kept as comments for the simulator round-trip.
+        for f in &spec.inputs {
+            out.push_str(&format!("# input_size {} {}\n", f.name, f.size_mb));
+        }
+    }
+    out.push_str("should_transfer_files = YES\n");
+    out.push_str("when_to_transfer_output = ON_EXIT\n");
+    out.push_str(&format!("# output_size {}\n", spec.output_mb));
+    match spec.exec {
+        ExecModel::Fixed(s) => out.push_str(&format!("# exec_model fixed {s}\n")),
+        ExecModel::LogNormalMedian { median_s, sigma } => {
+            out.push_str(&format!("# exec_model lognormal {median_s} {sigma}\n"))
+        }
+    }
+    out.push_str("+SingularityImage = \"osdf:///ospool/fdw/mudpy_singularity.sif\"\n");
+    out.push_str("queue\n");
+    out
+}
+
+/// Parse a submit description file produced by [`to_submit_file`].
+pub fn parse_submit_file(text: &str) -> Result<JobSpec, String> {
+    let mut name = String::new();
+    let mut cpus = 1u32;
+    let mut memory_mb = 1024u32;
+    let mut disk_mb = 1024u32;
+    let mut inputs: Vec<InputFile> = Vec::new();
+    let mut sizes: Vec<(String, f64)> = Vec::new();
+    let mut output_mb = 0.0f64;
+    let mut exec = ExecModel::Fixed(60.0);
+    let mut saw_queue = false;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}", lineno + 1);
+        if let Some(rest) = line.strip_prefix("# input_size ") {
+            let mut parts = rest.split_whitespace();
+            let fname = parts.next().ok_or_else(|| err("input_size needs a name"))?;
+            let mb: f64 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("input_size needs a size"))?;
+            sizes.push((fname.to_string(), mb));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# output_size ") {
+            output_mb = rest.trim().parse().map_err(|_| err("bad output_size"))?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# exec_model ") {
+            let mut parts = rest.split_whitespace();
+            match parts.next() {
+                Some("fixed") => {
+                    let s: f64 = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("fixed exec needs seconds"))?;
+                    exec = ExecModel::Fixed(s);
+                }
+                Some("lognormal") => {
+                    let median_s: f64 = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("lognormal needs a median"))?;
+                    let sigma: f64 = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("lognormal needs a sigma"))?;
+                    exec = ExecModel::LogNormalMedian { median_s, sigma };
+                }
+                _ => return Err(err("unknown exec_model")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        if line == "queue" {
+            saw_queue = true;
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err("expected key = value"));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "arguments" => name = value.to_string(),
+            "request_cpus" => {
+                cpus = value.parse().map_err(|_| err("bad request_cpus"))?
+            }
+            "request_memory" => {
+                memory_mb = value
+                    .trim_end_matches("MB")
+                    .parse()
+                    .map_err(|_| err("bad request_memory"))?
+            }
+            "request_disk" => {
+                disk_mb = value
+                    .trim_end_matches("MB")
+                    .parse()
+                    .map_err(|_| err("bad request_disk"))?
+            }
+            "transfer_input_files" => {
+                for item in value.split(',') {
+                    let item = item.trim();
+                    let (fname, cacheable) = match item.strip_prefix("osdf:///ospool/fdw/") {
+                        Some(rest) => (rest.to_string(), true),
+                        None => (item.to_string(), false),
+                    };
+                    inputs.push(InputFile { name: fname, size_mb: 0.0, cacheable });
+                }
+            }
+            // Boilerplate keys accepted and ignored.
+            "universe" | "executable" | "should_transfer_files"
+            | "when_to_transfer_output" | "+SingularityImage" => {}
+            other => return Err(err(&format!("unknown key '{other}'"))),
+        }
+    }
+    if !saw_queue {
+        return Err("missing 'queue' statement".into());
+    }
+    if name.is_empty() {
+        return Err("missing job name (arguments line)".into());
+    }
+    // Re-attach recorded sizes.
+    for f in &mut inputs {
+        if let Some((_, mb)) = sizes.iter().find(|(n, _)| n == &f.name) {
+            f.size_mb = *mb;
+        }
+    }
+    Ok(JobSpec { name, cpus, memory_mb, disk_mb, inputs, output_mb, exec })
+}
+
+/// Render the whole workflow directory listing for a DAG: the `.dag` file
+/// plus one `.sub` per node, as `(file name, contents)` pairs. This is
+/// the directory the FDW materialises before `condor_submit_dag`.
+pub fn workflow_files(dag: &dagman::dag::Dag) -> Vec<(String, String)> {
+    let mut files = Vec::with_capacity(dag.len() + 1);
+    files.push(("fdw.dag".to_string(), dag.to_dag_file()));
+    for node in dag.nodes() {
+        files.push((format!("{}.sub", node.name), to_submit_file(&node.spec)));
+    }
+    files
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FdwConfig;
+    use crate::phases::build_fdw_dag;
+
+    fn waveform_spec() -> JobSpec {
+        let dag = build_fdw_dag(&FdwConfig { n_waveforms: 8, ..Default::default() })
+            .unwrap();
+        dag.node(dag.id_of("waveform.0").unwrap()).spec.clone()
+    }
+
+    #[test]
+    fn renders_condor_keywords() {
+        let text = to_submit_file(&waveform_spec());
+        assert!(text.contains("universe = vanilla"));
+        assert!(text.contains("request_cpus = 4"));
+        assert!(text.contains("request_memory = 8192MB"));
+        assert!(text.contains("osdf:///ospool/fdw/"));
+        assert!(text.contains("+SingularityImage"));
+        assert!(text.trim_end().ends_with("queue"));
+        assert!(text.contains("executable = waveform.sh"));
+    }
+
+    #[test]
+    fn submit_file_roundtrip() {
+        let spec = waveform_spec();
+        let parsed = parse_submit_file(&to_submit_file(&spec)).unwrap();
+        assert_eq!(parsed.name, spec.name);
+        assert_eq!(parsed.cpus, spec.cpus);
+        assert_eq!(parsed.memory_mb, spec.memory_mb);
+        assert_eq!(parsed.disk_mb, spec.disk_mb);
+        assert_eq!(parsed.output_mb, spec.output_mb);
+        assert_eq!(parsed.exec, spec.exec);
+        assert_eq!(parsed.inputs.len(), spec.inputs.len());
+        for (a, b) in parsed.inputs.iter().zip(&spec.inputs) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.cacheable, b.cacheable);
+            assert!((a.size_mb - b.size_mb).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_submit_file("").is_err());
+        assert!(parse_submit_file("queue\n").is_err(), "needs a name");
+        assert!(parse_submit_file("arguments = x\nfrobnicate = 1\nqueue\n").is_err());
+        assert!(parse_submit_file("arguments = x\nrequest_cpus = many\nqueue\n").is_err());
+        assert!(parse_submit_file("arguments = x\n").is_err(), "missing queue");
+        assert!(parse_submit_file("arguments = x\n# exec_model warp 9\nqueue\n").is_err());
+    }
+
+    #[test]
+    fn fixed_exec_model_roundtrip() {
+        let mut spec = JobSpec::fixed("matrix.0", 600.0);
+        spec.output_mb = 450.0;
+        let parsed = parse_submit_file(&to_submit_file(&spec)).unwrap();
+        assert_eq!(parsed.exec, ExecModel::Fixed(600.0));
+        assert_eq!(parsed.output_mb, 450.0);
+    }
+
+    #[test]
+    fn workflow_directory_is_complete() {
+        let cfg = FdwConfig { n_waveforms: 8, ..Default::default() };
+        let dag = build_fdw_dag(&cfg).unwrap();
+        let files = workflow_files(&dag);
+        assert_eq!(files.len() as u64, cfg.total_jobs() + 1);
+        assert_eq!(files[0].0, "fdw.dag");
+        assert!(files.iter().any(|(n, _)| n == "gf.0.sub"));
+        // Every sub file parses back to a spec matching its node.
+        for (fname, contents) in files.iter().skip(1) {
+            let parsed = parse_submit_file(contents).unwrap();
+            assert_eq!(format!("{}.sub", parsed.name), *fname);
+        }
+    }
+}

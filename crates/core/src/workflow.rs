@@ -1,0 +1,279 @@
+//! Workflow orchestration: run one or several FDW DAGMans on the simulated
+//! OSPool, gather the paper's statistics, and run the single-machine AWS
+//! baseline.
+
+use dagman::driver::MultiDagman;
+use dagman::monitor::{mean_sd, per_dagman_stats, DagmanStats, MeanSd};
+use htcsim::cluster::{Cluster, ClusterConfig, RunReport};
+use htcsim::job::JobSpec;
+use htcsim::pool::PoolConfig;
+use htcsim::single::{SingleMachine, SingleRunReport};
+
+use crate::calibration;
+use crate::config::FdwConfig;
+use crate::phases::{build_fdw_dag, split_waveforms};
+use crate::stats;
+
+/// The OSPool configuration the experiments run against, calibrated so the
+/// FDW lands in the paper's operating regime (≈10 JPM average and ~14 h
+/// for 16,000 full-input waveforms from a single DAGMan; >400 running-job
+/// peaks).
+pub fn osg_cluster_config() -> ClusterConfig {
+    ClusterConfig {
+        pool: PoolConfig {
+            target_slots: 520,
+            glidein_slots: 8,
+            glidein_lifetime_s: 4.0 * 3600.0,
+            n_sites: 30,
+            negotiation_period_s: 60,
+            avail_mean: 0.55,
+            avail_sigma: 0.18,
+            avail_theta: 0.05,
+            speed_sigma: 0.15,
+            big_slot_fraction: 0.35,
+            max_sim_time_s: 21 * 24 * 3600,
+        },
+        transfer: Default::default(),
+        cache_enabled: true,
+        // OSG does not cap evictions for FDW jobs; retries are free.
+        max_evictions_per_job: 0,
+    }
+}
+
+/// Outcome of one FDW execution (one or more concurrent DAGMans).
+#[derive(Debug)]
+pub struct FdwOutcome {
+    /// Raw cluster report (user log, cache stats, …).
+    pub report: RunReport,
+    /// Per-DAGMan statistics, ordered by owner id.
+    pub stats: Vec<DagmanStats>,
+}
+
+impl FdwOutcome {
+    /// Per-DAGMan runtimes in hours.
+    pub fn runtimes_hours(&self) -> Vec<f64> {
+        self.stats.iter().map(|s| s.runtime_hours()).collect()
+    }
+
+    /// Per-DAGMan `(jobs, runtime-minutes)` pairs for eq. (2)/(4).
+    pub fn throughput_inputs(&self) -> Vec<(u64, f64)> {
+        self.stats
+            .iter()
+            .map(|s| (s.completed as u64, s.runtime_secs() as f64 / 60.0))
+            .collect()
+    }
+}
+
+/// Run one FDW DAGMan built from `cfg` on a cluster.
+pub fn run_fdw(
+    cfg: &FdwConfig,
+    cluster_cfg: ClusterConfig,
+    seed: u64,
+) -> Result<FdwOutcome, String> {
+    run_concurrent_fdw(cfg, 1, cfg.n_waveforms, cluster_cfg, seed)
+}
+
+/// Run `n_dagmans` concurrent FDW DAGMans that together produce
+/// `total_waveforms` (the §4.2 experiment). Each DAGMan gets its own
+/// owner id, so the pool's fair share arbitrates between them.
+pub fn run_concurrent_fdw(
+    base_cfg: &FdwConfig,
+    n_dagmans: usize,
+    total_waveforms: u64,
+    cluster_cfg: ClusterConfig,
+    seed: u64,
+) -> Result<FdwOutcome, String> {
+    if n_dagmans == 0 {
+        return Err("need at least one DAGMan".into());
+    }
+    let mut dags = Vec::with_capacity(n_dagmans);
+    for share in split_waveforms(total_waveforms, n_dagmans) {
+        let cfg = FdwConfig { n_waveforms: share.max(1), ..base_cfg.clone() };
+        dags.push(build_fdw_dag(&cfg)?);
+    }
+    let mut multi = MultiDagman::new(dags);
+    let report = Cluster::new(cluster_cfg, seed).run(&mut multi);
+    if report.timed_out {
+        return Err(format!(
+            "simulation hit the time cap with {} of {} jobs complete",
+            report.completed,
+            multi.dagmans().iter().map(|d| d.dag().len()).sum::<usize>()
+        ));
+    }
+    let stats = per_dagman_stats(&report);
+    Ok(FdwOutcome { report, stats })
+}
+
+/// Aggregates over replicated runs of the same configuration (the paper
+/// repeats everything three times and reports mean ± SD).
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicatedStats {
+    /// Runtime (hours): eq. (1) mean plus spread.
+    pub runtime_h: MeanSd,
+    /// Total throughput (jobs/minute): eq. (2) mean plus spread.
+    pub throughput_jpm: MeanSd,
+}
+
+/// Run `cfg` once per seed and aggregate with eqs. (1)–(4). For
+/// multi-DAGMan runs the aggregation is over every DAGMan of every
+/// replication, exactly like the paper's eq. (3)/(4).
+pub fn replicate_fdw(
+    cfg: &FdwConfig,
+    n_dagmans: usize,
+    total_waveforms: u64,
+    cluster_cfg: &ClusterConfig,
+    seeds: &[u64],
+) -> Result<ReplicatedStats, String> {
+    let mut runtimes = Vec::new();
+    let mut through_inputs = Vec::new();
+    for &seed in seeds {
+        let out =
+            run_concurrent_fdw(cfg, n_dagmans, total_waveforms, cluster_cfg.clone(), seed)?;
+        runtimes.extend(out.runtimes_hours());
+        through_inputs.extend(out.throughput_inputs());
+    }
+    let throughputs: Vec<f64> = through_inputs
+        .iter()
+        .map(|(j, r)| if *r > 0.0 { *j as f64 / r } else { 0.0 })
+        .collect();
+    let mut runtime_h = mean_sd(&runtimes);
+    runtime_h.mean = stats::concurrent_avg_runtime(&runtimes);
+    let mut throughput_jpm = mean_sd(&throughputs);
+    throughput_jpm.mean = stats::concurrent_avg_throughput(&through_inputs);
+    Ok(ReplicatedStats { runtime_h, throughput_jpm })
+}
+
+/// Run the single-machine AWS baseline for a configuration: the same job
+/// list executed on one 4-CPU instance at the §3.1-measured per-job times
+/// (rupture 287 s, waveform 144 s).
+pub fn aws_baseline(cfg: &FdwConfig, seed: u64) -> SingleRunReport {
+    let mut specs: Vec<JobSpec> = Vec::new();
+    if !cfg.recycle_npy {
+        let mut s = JobSpec::fixed("matrix.0", 600.0);
+        s.exec = calibration::matrix_job_exec();
+        specs.push(s);
+    }
+    for i in 0..cfg.n_rupture_jobs() {
+        specs.push(JobSpec::fixed(
+            format!("rupture.{i}"),
+            calibration::VDC_RUPTURE_SECS as f64,
+        ));
+    }
+    specs.push(JobSpec::fixed(
+        "gf.0",
+        calibration::gf_job_exec(cfg.station_input.station_count()).median_s(),
+    ));
+    for i in 0..cfg.n_waveform_jobs() {
+        specs.push(JobSpec::fixed(
+            format!("waveform.{i}"),
+            calibration::VDC_WAVEFORM_SECS as f64,
+        ));
+    }
+    SingleMachine { slots: calibration::AWS_BASELINE_SLOTS, speed: 1.0 }
+        .run(&specs, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StationInput;
+    use fakequakes::stations::ChileanInput;
+
+    /// A small, fast cluster for unit tests (the full OSG config is
+    /// exercised by the bench harness and integration tests).
+    fn tiny_cluster() -> ClusterConfig {
+        ClusterConfig {
+            pool: PoolConfig {
+                target_slots: 64,
+                glidein_slots: 8,
+                avail_mean: 0.9,
+                avail_sigma: 0.05,
+                glidein_lifetime_s: 1e9,
+                ..Default::default()
+            },
+            ..ClusterConfig::with_cache()
+        }
+    }
+
+    fn small_cfg(n: u64) -> FdwConfig {
+        FdwConfig {
+            n_waveforms: n,
+            station_input: StationInput::Chilean(ChileanInput::Small),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_fdw_completes_all_jobs() {
+        let cfg = small_cfg(64);
+        let out = run_fdw(&cfg, tiny_cluster(), 1).unwrap();
+        assert_eq!(out.stats.len(), 1);
+        assert_eq!(out.stats[0].completed as u64, cfg.total_jobs());
+        assert!(out.runtimes_hours()[0] > 0.0);
+    }
+
+    #[test]
+    fn concurrent_fdw_splits_work() {
+        let cfg = small_cfg(64);
+        let out = run_concurrent_fdw(&cfg, 2, 64, tiny_cluster(), 2).unwrap();
+        assert_eq!(out.stats.len(), 2);
+        let total: usize = out.stats.iter().map(|s| s.completed).sum();
+        // 2 DAGMans × (2 rupture + 16 waveform + gf + matrix) = 2 × 20.
+        assert_eq!(total as u64, FdwConfig { n_waveforms: 32, ..cfg }.total_jobs() * 2);
+    }
+
+    #[test]
+    fn zero_dagmans_rejected() {
+        assert!(run_concurrent_fdw(&small_cfg(8), 0, 8, tiny_cluster(), 1).is_err());
+    }
+
+    #[test]
+    fn replication_aggregates_all_runs() {
+        let cfg = small_cfg(32);
+        let reps = replicate_fdw(&cfg, 1, 32, &tiny_cluster(), &[1, 2, 3]).unwrap();
+        assert!(reps.runtime_h.mean > 0.0);
+        assert!(reps.throughput_jpm.mean > 0.0);
+        assert!(reps.runtime_h.min <= reps.runtime_h.mean);
+        assert!(reps.runtime_h.max >= reps.runtime_h.mean);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = small_cfg(32);
+        let a = run_fdw(&cfg, tiny_cluster(), 7).unwrap();
+        let b = run_fdw(&cfg, tiny_cluster(), 7).unwrap();
+        assert_eq!(a.report.makespan, b.report.makespan);
+        let c = run_fdw(&cfg, tiny_cluster(), 8).unwrap();
+        assert_ne!(a.report.makespan, c.report.makespan);
+    }
+
+    #[test]
+    fn aws_baseline_runtime_shape() {
+        // 1,024 full-input waveforms: 64 rupture + 512 waveform jobs + gf
+        // + matrix on 4 slots.
+        let cfg = FdwConfig { n_waveforms: 1024, ..Default::default() };
+        let r = aws_baseline(&cfg, 1);
+        assert_eq!(r.jobs as u64, cfg.total_jobs());
+        let expected =
+            (600.0 + 64.0 * 287.0 + (90.0 + 85.0 * 121.0) + 512.0 * 144.0) / 4.0;
+        let got = r.makespan.as_secs() as f64;
+        // List scheduling won't be perfectly balanced but must be close.
+        assert!(
+            (got / expected - 1.0).abs() < 0.25,
+            "baseline {got} vs ideal {expected}"
+        );
+        // ~7 hours, the regime the 56.8% claim implies.
+        assert!(got > 5.0 * 3600.0 && got < 9.5 * 3600.0, "baseline {got}");
+    }
+
+    #[test]
+    fn gf_bundle_is_cache_hit_heavy_in_c_phase() {
+        let cfg = small_cfg(64);
+        let out = run_fdw(&cfg, tiny_cluster(), 3).unwrap();
+        assert!(
+            out.report.cache_hit_rate > 0.3,
+            "hit rate {}",
+            out.report.cache_hit_rate
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of fdw-core: configuration roundtrips, DAG
+//! structure invariants, work partitioning, and the evaluation formulas.
+
+use proptest::prelude::*;
+
+use fakequakes::stations::ChileanInput;
+use fakequakes::stf::StfKind;
+use fdw_core::config::{FdwConfig, Region, StationInput};
+use fdw_core::phases::{build_fdw_dag, split_waveforms};
+use fdw_core::stats::{avg_total_runtime, avg_total_throughput};
+
+fn arb_config() -> impl Strategy<Value = FdwConfig> {
+    (
+        1usize..40,
+        1usize..16,
+        prop_oneof![
+            Just(StationInput::Chilean(ChileanInput::Full)),
+            Just(StationInput::Chilean(ChileanInput::Small)),
+            (1u32..200).prop_map(StationInput::Count),
+        ],
+        1u64..5_000,
+        1u32..64,
+        1u32..16,
+        (0u8..3).prop_map(|k| [StfKind::Dreger, StfKind::Cosine, StfKind::Triangle][k as usize]),
+        any::<bool>(),
+        0usize..2_000,
+        0usize..2_000,
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(nx, nd, station_input, n, rpj, wpj, stf, recycle, mi, mj, seed, casc)| FdwConfig {
+                region: if casc { Region::Cascadia } else { Region::Chile },
+                fault_nx: nx,
+                fault_nd: nd,
+                station_input,
+                n_waveforms: n,
+                ruptures_per_job: rpj,
+                waveforms_per_job: wpj,
+                mw_range: (7.5, 9.0),
+                stf,
+                recycle_npy: recycle,
+                max_idle: mi,
+                max_jobs: mj,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn config_file_roundtrip_any_config(cfg in arb_config()) {
+        let parsed = FdwConfig::parse(&cfg.to_config_file()).unwrap();
+        prop_assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn job_counts_cover_the_workload(cfg in arb_config()) {
+        // Enough jobs to cover every scenario, without a whole spare job.
+        let rj = cfg.n_rupture_jobs();
+        prop_assert!(rj * (cfg.ruptures_per_job as u64) >= cfg.n_waveforms);
+        prop_assert!((rj - 1) * (cfg.ruptures_per_job as u64) < cfg.n_waveforms);
+        let wj = cfg.n_waveform_jobs();
+        prop_assert!(wj * (cfg.waveforms_per_job as u64) >= cfg.n_waveforms);
+        prop_assert!((wj - 1) * (cfg.waveforms_per_job as u64) < cfg.n_waveforms);
+        let expected = rj + wj + 1 + u64::from(!cfg.recycle_npy);
+        prop_assert_eq!(cfg.total_jobs(), expected);
+    }
+
+    #[test]
+    fn dag_structure_invariants(cfg in arb_config()) {
+        let dag = build_fdw_dag(&cfg).unwrap();
+        prop_assert_eq!(dag.len() as u64, cfg.total_jobs());
+        dag.topological_order().unwrap();
+        // Exactly one GF node; it gates every waveform node.
+        let gf = dag.id_of("gf.0").unwrap();
+        prop_assert_eq!(dag.node(gf).children.len() as u64, cfg.n_waveform_jobs());
+        prop_assert_eq!(dag.node(gf).parents.len() as u64, cfg.n_rupture_jobs());
+        // Matrix node present iff not recycling.
+        prop_assert_eq!(dag.id_of("matrix.0").is_some(), !cfg.recycle_npy);
+        // Throttles propagate.
+        prop_assert_eq!(dag.throttles.max_idle, cfg.max_idle);
+        prop_assert_eq!(dag.throttles.max_jobs, cfg.max_jobs);
+    }
+
+    #[test]
+    fn split_conserves_and_balances(total in 1u64..1_000_000, n in 1usize..64) {
+        let parts = split_waveforms(total, n);
+        prop_assert_eq!(parts.len(), n);
+        prop_assert_eq!(parts.iter().sum::<u64>(), total);
+        let min = *parts.iter().min().unwrap();
+        let max = *parts.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "parts must differ by at most 1");
+        // Earlier parts get the remainder.
+        prop_assert!(parts.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn eq1_is_mean_and_eq2_bounded_by_extremes(
+        runs in proptest::collection::vec((1u64..10_000, 1.0..10_000.0f64), 1..10)
+    ) {
+        let runtimes: Vec<f64> = runs.iter().map(|(_, r)| *r).collect();
+        let alpha = avg_total_runtime(&runtimes);
+        let min = runtimes.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = runtimes.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(alpha >= min - 1e-9 && alpha <= max + 1e-9);
+
+        let beta = avg_total_throughput(&runs);
+        let per: Vec<f64> = runs.iter().map(|(j, r)| *j as f64 / r).collect();
+        let pmin = per.iter().cloned().fold(f64::INFINITY, f64::min);
+        let pmax = per.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(beta >= pmin - 1e-9 && beta <= pmax + 1e-9);
+    }
+
+    #[test]
+    fn calibration_models_scale_sanely(stations in 1u32..300, wpj in 1u32..16) {
+        use fdw_core::calibration::*;
+        // GF and waveform jobs must cost strictly more with more stations.
+        prop_assert!(
+            gf_job_exec(stations + 1).median_s() > gf_job_exec(stations).median_s()
+        );
+        prop_assert!(
+            waveform_job_exec(stations + 1, wpj).median_s()
+                > waveform_job_exec(stations, wpj).median_s()
+        );
+        prop_assert!(
+            waveform_job_exec(stations, wpj + 1).median_s()
+                > waveform_job_exec(stations, wpj).median_s()
+        );
+        // GF bundle grows with the station list.
+        prop_assert!(gf_mseed(stations + 1).size_mb > gf_mseed(stations).size_mb);
+    }
+}

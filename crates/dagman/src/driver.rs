@@ -1,0 +1,579 @@
+//! The DAGMan scheduler: a [`WorkloadDriver`] that walks a [`Dag`] on the
+//! cluster, submitting nodes whose parents have finished, subject to
+//! `maxjobs`/`maxidle` throttles, with per-node retries.
+
+use std::collections::HashMap;
+
+use htcsim::cluster::WorkloadDriver;
+use htcsim::job::{JobEvent, JobEventKind, JobId, OwnerId, SubmitRequest};
+use htcsim::time::SimTime;
+
+use crate::dag::{Dag, NodeId};
+
+/// Per-node scheduling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Parents not yet done.
+    Waiting,
+    /// Eligible for submission.
+    Ready,
+    /// Submitted, queued idle.
+    Queued,
+    /// Executing (or staging) on the pool.
+    Started,
+    /// Finished successfully.
+    Done,
+    /// Removed/failed with retries exhausted.
+    Failed,
+}
+
+/// A running DAGMan instance.
+pub struct Dagman {
+    dag: Dag,
+    owner: OwnerId,
+    state: Vec<NodeState>,
+    remaining_retries: Vec<u32>,
+    unfinished_parents: Vec<usize>,
+    ready: Vec<NodeId>,
+    job_to_node: HashMap<JobId, NodeId>,
+    /// Nodes submitted and not yet terminal.
+    in_flight: usize,
+    /// Nodes submitted and not yet started (idle in the queue).
+    idle: usize,
+    done: usize,
+    failed: usize,
+    /// Pending submissions awaiting id assignment, in order.
+    awaiting_assign: std::collections::VecDeque<NodeId>,
+    /// Whether any node carries a non-zero priority (enables the
+    /// priority-aware ready-set scan).
+    has_priorities: bool,
+}
+
+impl Dagman {
+    /// Create a DAGMan for `dag`, submitting as `owner`.
+    pub fn new(dag: Dag, owner: OwnerId) -> Self {
+        let n = dag.len();
+        let unfinished_parents: Vec<usize> =
+            dag.nodes().iter().map(|nd| nd.parents.len()).collect();
+        let mut state = vec![NodeState::Waiting; n];
+        let mut ready = Vec::new();
+        for id in dag.roots() {
+            state[id.0] = NodeState::Ready;
+            ready.push(id);
+        }
+        let remaining_retries = dag.nodes().iter().map(|nd| nd.retries).collect();
+        let has_priorities = dag.nodes().iter().any(|nd| nd.priority != 0);
+        Self {
+            dag,
+            owner,
+            state,
+            remaining_retries,
+            unfinished_parents,
+            ready,
+            job_to_node: HashMap::new(),
+            in_flight: 0,
+            idle: 0,
+            done: 0,
+            failed: 0,
+            awaiting_assign: std::collections::VecDeque::new(),
+            has_priorities,
+        }
+    }
+
+    /// The owner id this DAGMan submits under.
+    pub fn owner(&self) -> OwnerId {
+        self.owner
+    }
+
+    /// Borrow the underlying DAG.
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// Nodes completed so far.
+    pub fn completed(&self) -> usize {
+        self.done
+    }
+
+    /// Nodes failed permanently.
+    pub fn failed(&self) -> usize {
+        self.failed
+    }
+
+    /// Current state of a node.
+    pub fn node_state(&self, id: NodeId) -> NodeState {
+        self.state[id.0]
+    }
+
+    /// Names of permanently failed nodes (for rescue DAG generation).
+    pub fn failed_nodes(&self) -> Vec<&str> {
+        (0..self.dag.len())
+            .filter(|i| self.state[*i] == NodeState::Failed)
+            .map(|i| self.dag.node(NodeId(i)).name.as_str())
+            .collect()
+    }
+
+    /// Names of completed nodes (for rescue DAG generation).
+    pub fn done_nodes(&self) -> Vec<&str> {
+        (0..self.dag.len())
+            .filter(|i| self.state[*i] == NodeState::Done)
+            .map(|i| self.dag.node(NodeId(i)).name.as_str())
+            .collect()
+    }
+
+    /// Rescue-DAG resume path: complete a node that was never submitted.
+    pub(crate) fn force_done_inner(&mut self, node: NodeId) {
+        self.state[node.0] = NodeState::Done;
+        self.done += 1;
+        self.ready.retain(|&r| r != node);
+        let children = self.dag.node(node).children.clone();
+        for c in children {
+            self.unfinished_parents[c.0] -= 1;
+            if self.unfinished_parents[c.0] == 0 && self.state[c.0] == NodeState::Waiting {
+                self.state[c.0] = NodeState::Ready;
+                self.ready.push(c);
+            }
+        }
+    }
+
+    fn mark_done(&mut self, node: NodeId) {
+        if self.state[node.0] == NodeState::Done {
+            return;
+        }
+        self.state[node.0] = NodeState::Done;
+        self.done += 1;
+        self.in_flight -= 1;
+        let children = self.dag.node(node).children.clone();
+        for c in children {
+            self.unfinished_parents[c.0] -= 1;
+            if self.unfinished_parents[c.0] == 0 && self.state[c.0] == NodeState::Waiting {
+                self.state[c.0] = NodeState::Ready;
+                self.ready.push(c);
+            }
+        }
+    }
+
+    fn mark_removed(&mut self, node: NodeId) {
+        self.in_flight -= 1;
+        if self.remaining_retries[node.0] > 0 {
+            self.remaining_retries[node.0] -= 1;
+            self.state[node.0] = NodeState::Ready;
+            self.ready.push(node);
+        } else {
+            self.state[node.0] = NodeState::Failed;
+            self.failed += 1;
+        }
+    }
+
+    fn process(&mut self, events: &[JobEvent]) {
+        for ev in events {
+            if ev.owner != self.owner {
+                continue;
+            }
+            let Some(&node) = self.job_to_node.get(&ev.job) else { continue };
+            match ev.kind {
+                JobEventKind::ExecuteStarted => {
+                    if self.state[node.0] == NodeState::Queued {
+                        self.state[node.0] = NodeState::Started;
+                        self.idle = self.idle.saturating_sub(1);
+                    }
+                }
+                JobEventKind::Evicted => {
+                    // Cluster re-queues evicted jobs automatically; the
+                    // node is idle again for throttle purposes.
+                    if self.state[node.0] == NodeState::Started {
+                        self.state[node.0] = NodeState::Queued;
+                        self.idle += 1;
+                    }
+                }
+                JobEventKind::Completed => {
+                    if self.state[node.0] == NodeState::Queued {
+                        self.idle = self.idle.saturating_sub(1);
+                    }
+                    self.mark_done(node);
+                }
+                JobEventKind::Removed => {
+                    if self.state[node.0] == NodeState::Queued {
+                        self.idle = self.idle.saturating_sub(1);
+                    }
+                    self.mark_removed(node);
+                }
+                JobEventKind::Submitted | JobEventKind::Matched => {}
+            }
+        }
+    }
+
+    /// Index in `ready` of the next node to submit: highest priority
+    /// first (DAGMan `PRIORITY`), FIFO among equals. DAGs without
+    /// priorities (the common FDW case) take an O(1) fast path.
+    fn next_ready_index(&self) -> Option<usize> {
+        if self.ready.is_empty() {
+            return None;
+        }
+        if !self.has_priorities {
+            return Some(self.ready.len() - 1);
+        }
+        let mut best: Option<(usize, i32)> = None;
+        for (idx, node) in self.ready.iter().enumerate() {
+            let p = self.dag.node(*node).priority;
+            match best {
+                Some((_, bp)) if bp >= p => {}
+                _ => best = Some((idx, p)),
+            }
+        }
+        best.map(|(idx, _)| idx)
+    }
+
+    fn submissions(&mut self) -> Vec<SubmitRequest> {
+        let t = self.dag.throttles;
+        let mut out = Vec::new();
+        while let Some(idx) = self.next_ready_index() {
+            let node = self.ready[idx];
+            if t.max_idle > 0 && self.idle >= t.max_idle {
+                break;
+            }
+            if t.max_jobs > 0 && self.in_flight >= t.max_jobs {
+                break;
+            }
+            self.ready.remove(idx);
+            self.state[node.0] = NodeState::Queued;
+            self.in_flight += 1;
+            self.idle += 1;
+            self.awaiting_assign.push_back(node);
+            out.push(SubmitRequest {
+                owner: self.owner,
+                spec: self.dag.node(node).spec.clone(),
+            });
+        }
+        out
+    }
+}
+
+impl WorkloadDriver for Dagman {
+    fn poll(&mut self, _now: SimTime, events: &[JobEvent]) -> Vec<SubmitRequest> {
+        self.process(events);
+        self.submissions()
+    }
+
+    fn on_assigned(&mut self, job: JobId, _name: &str) {
+        let node = self
+            .awaiting_assign
+            .pop_front()
+            .expect("assignment without pending submission");
+        self.job_to_node.insert(job, node);
+    }
+
+    fn is_done(&self) -> bool {
+        self.done + self.failed == self.dag.len()
+    }
+}
+
+/// Several DAGMans submitting concurrently to the same schedd — the
+/// paper's §4.2 experiment. Each DAGMan keeps its own owner id so the
+/// pool's fair-share treats them as separate submitters.
+pub struct MultiDagman {
+    dagmans: Vec<Dagman>,
+    /// Which dagman is waiting for the next id assignment, FIFO.
+    assign_queue: std::collections::VecDeque<usize>,
+}
+
+impl MultiDagman {
+    /// Create from a list of DAGs; owner ids are assigned 0..n.
+    pub fn new(dags: Vec<Dag>) -> Self {
+        let dagmans = dags
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| Dagman::new(d, OwnerId(i as u32)))
+            .collect();
+        Self { dagmans, assign_queue: std::collections::VecDeque::new() }
+    }
+
+    /// Borrow the inner DAGMans.
+    pub fn dagmans(&self) -> &[Dagman] {
+        &self.dagmans
+    }
+
+    /// Number of DAGMans.
+    pub fn len(&self) -> usize {
+        self.dagmans.len()
+    }
+
+    /// True when holding no DAGMans.
+    pub fn is_empty(&self) -> bool {
+        self.dagmans.is_empty()
+    }
+}
+
+impl WorkloadDriver for MultiDagman {
+    fn poll(&mut self, now: SimTime, events: &[JobEvent]) -> Vec<SubmitRequest> {
+        let mut out = Vec::new();
+        for (i, dm) in self.dagmans.iter_mut().enumerate() {
+            let subs = dm.poll(now, events);
+            for s in subs {
+                self.assign_queue.push_back(i);
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    fn on_assigned(&mut self, job: JobId, name: &str) {
+        let i = self
+            .assign_queue
+            .pop_front()
+            .expect("assignment without pending submission");
+        self.dagmans[i].on_assigned(job, name);
+    }
+
+    fn is_done(&self) -> bool {
+        self.dagmans.iter().all(|d| d.is_done())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htcsim::cluster::{Cluster, ClusterConfig};
+    use htcsim::job::JobSpec;
+    use htcsim::pool::PoolConfig;
+
+    fn quick_cluster(seed: u64) -> Cluster {
+        Cluster::new(
+            ClusterConfig {
+                pool: PoolConfig {
+                    target_slots: 32,
+                    glidein_slots: 8,
+                    avail_mean: 0.95,
+                    avail_sigma: 0.02,
+                    glidein_lifetime_s: 1e9,
+                    ..Default::default()
+                },
+                ..ClusterConfig::with_cache()
+            },
+            seed,
+        )
+    }
+
+    fn chain_dag(n: usize) -> Dag {
+        let mut d = Dag::new();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| d.add_node(JobSpec::fixed(format!("n{i}"), 60.0)).unwrap())
+            .collect();
+        for w in ids.windows(2) {
+            d.add_edge(w[0], w[1]).unwrap();
+        }
+        d
+    }
+
+    fn fan_dag(width: usize) -> Dag {
+        let mut d = Dag::new();
+        let root = d.add_node(JobSpec::fixed("root", 30.0)).unwrap();
+        let sink = d.add_node(JobSpec::fixed("sink", 30.0)).unwrap();
+        for i in 0..width {
+            let mid = d
+                .add_node(JobSpec::fixed(format!("mid{i}"), 120.0))
+                .unwrap();
+            d.add_edge(root, mid).unwrap();
+            d.add_edge(mid, sink).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn chain_executes_in_order() {
+        let mut dm = Dagman::new(chain_dag(5), OwnerId(0));
+        let report = quick_cluster(1).run(&mut dm);
+        assert!(dm.is_done());
+        assert_eq!(dm.completed(), 5);
+        assert_eq!(dm.failed(), 0);
+        // Completion order in the log must match chain order.
+        let completions: Vec<String> = report
+            .log
+            .events()
+            .iter()
+            .filter(|e| e.kind == JobEventKind::Completed)
+            .map(|e| report.job_names[&e.job].clone())
+            .collect();
+        assert_eq!(completions, vec!["n0", "n1", "n2", "n3", "n4"]);
+        // A chain of five 60 s jobs takes at least 300 s.
+        assert!(report.makespan.as_secs() >= 300);
+    }
+
+    #[test]
+    fn fan_out_runs_in_parallel() {
+        let mut dm = Dagman::new(fan_dag(24), OwnerId(0));
+        let report = quick_cluster(2).run(&mut dm);
+        assert_eq!(dm.completed(), 26);
+        // 24 parallel 120 s jobs on 32 slots: far less than serial (2880 s
+        // of work) plus root+sink.
+        assert!(
+            report.makespan.as_secs() < 1500,
+            "makespan {} suggests no parallelism",
+            report.makespan
+        );
+        // Sink must be last.
+        let last = report
+            .log
+            .events()
+            .iter()
+            .rev()
+            .find(|e| e.kind == JobEventKind::Completed)
+            .unwrap();
+        assert_eq!(report.job_names[&last.job], "sink");
+    }
+
+    #[test]
+    fn maxjobs_throttle_limits_in_flight() {
+        let mut dag = fan_dag(16);
+        dag.throttles.max_jobs = 2;
+        let mut dm = Dagman::new(dag, OwnerId(0));
+        let report = quick_cluster(3).run(&mut dm);
+        assert_eq!(dm.completed(), 18);
+        // With at most 2 in flight, the running series never exceeds 2.
+        let peak = report.log.running_series().into_iter().max().unwrap_or(0);
+        assert!(peak <= 2, "peak running {peak} exceeds maxjobs");
+    }
+
+    #[test]
+    fn maxidle_throttle_still_completes() {
+        let mut dag = fan_dag(16);
+        dag.throttles.max_idle = 1;
+        let mut dm = Dagman::new(dag, OwnerId(0));
+        let report = quick_cluster(4).run(&mut dm);
+        assert_eq!(dm.completed(), 18);
+        assert!(!report.timed_out);
+    }
+
+    #[test]
+    fn node_states_progress() {
+        let dag = chain_dag(2);
+        let dm = Dagman::new(dag, OwnerId(0));
+        assert_eq!(dm.node_state(NodeId(0)), NodeState::Ready);
+        assert_eq!(dm.node_state(NodeId(1)), NodeState::Waiting);
+    }
+
+    #[test]
+    fn priority_orders_submissions() {
+        // A fan of independent nodes with distinct priorities on a
+        // single-slot pool: completion order must follow priority.
+        let mut dag = Dag::new();
+        for (name, prio) in [("low", -5), ("mid", 0), ("high", 7), ("top", 9)] {
+            let id = dag.add_node(JobSpec::fixed(name, 60.0)).unwrap();
+            dag.set_priority(id, prio);
+        }
+        dag.throttles.max_jobs = 1; // serialise through the DAGMan itself
+        let mut dm = Dagman::new(dag, OwnerId(0));
+        let report = quick_cluster(12).run(&mut dm);
+        let order: Vec<String> = report
+            .log
+            .events()
+            .iter()
+            .filter(|e| e.kind == JobEventKind::Completed)
+            .map(|e| report.job_names[&e.job].clone())
+            .collect();
+        assert_eq!(order, vec!["top", "high", "mid", "low"]);
+    }
+
+    #[test]
+    fn priority_file_roundtrip() {
+        let mut dag = Dag::new();
+        let a = dag.add_node(JobSpec::fixed("A", 1.0)).unwrap();
+        dag.add_node(JobSpec::fixed("B", 1.0)).unwrap();
+        dag.set_priority(a, 42);
+        let text = dag.to_dag_file();
+        assert!(text.contains("PRIORITY A 42"));
+        let parsed = Dag::parse(&text, |n| JobSpec::fixed(n, 1.0)).unwrap();
+        assert_eq!(parsed.node(parsed.id_of("A").unwrap()).priority, 42);
+        assert_eq!(parsed.node(parsed.id_of("B").unwrap()).priority, 0);
+        assert!(Dag::parse("PRIORITY X 1\n", |n| JobSpec::fixed(n, 1.0)).is_err());
+        assert!(Dag::parse("JOB A a\nPRIORITY A x\n", |n| JobSpec::fixed(n, 1.0)).is_err());
+    }
+
+    #[test]
+    fn multi_dagman_completes_all() {
+        let dags: Vec<Dag> = (0..3).map(|_| fan_dag(8)).collect();
+        let mut multi = MultiDagman::new(dags);
+        assert_eq!(multi.len(), 3);
+        assert!(!multi.is_empty());
+        let report = quick_cluster(5).run(&mut multi);
+        assert!(multi.is_done());
+        for dm in multi.dagmans() {
+            assert_eq!(dm.completed(), 10);
+        }
+        assert_eq!(report.completed, 30);
+    }
+
+    #[test]
+    fn multi_dagman_owners_are_distinct() {
+        let dags: Vec<Dag> = (0..2).map(|_| chain_dag(2)).collect();
+        let mut multi = MultiDagman::new(dags);
+        let report = quick_cluster(6).run(&mut multi);
+        let mut owners: Vec<u32> = report
+            .log
+            .events()
+            .iter()
+            .map(|e| e.owner.0)
+            .collect();
+        owners.sort_unstable();
+        owners.dedup();
+        assert_eq!(owners, vec![0, 1]);
+    }
+
+    #[test]
+    fn removed_jobs_are_retried_and_exhaust_to_failed() {
+        use htcsim::cluster::ClusterConfig;
+        // Violent churn + a one-eviction removal policy: long jobs get
+        // removed repeatedly; nodes with retries resubmit, nodes without
+        // eventually fail — exercising the full RETRY path.
+        let cfg = ClusterConfig {
+            pool: PoolConfig {
+                target_slots: 16,
+                glidein_slots: 4,
+                glidein_lifetime_s: 240.0, // 4-minute glideins
+                avail_mean: 1.0,
+                avail_sigma: 0.0,
+                max_sim_time_s: 48 * 3600,
+                ..Default::default()
+            },
+            max_evictions_per_job: 1,
+            ..ClusterConfig::with_cache()
+        };
+        let mut dag = Dag::new();
+        for i in 0..12 {
+            let id = dag
+                .add_node(JobSpec::fixed(format!("long.{i}"), 600.0))
+                .unwrap();
+            dag.set_retries(id, 400);
+        }
+        let mut dm = Dagman::new(dag, OwnerId(0));
+        let report = Cluster::new(cfg.clone(), 5).run(&mut dm);
+        let removed = report
+            .log
+            .events()
+            .iter()
+            .filter(|e| e.kind == JobEventKind::Removed)
+            .count();
+        assert!(removed > 0, "the churny pool must remove some jobs");
+        assert_eq!(dm.completed(), 12, "generous retries recover everything");
+        assert_eq!(dm.failed(), 0);
+
+        // Same storm without retries: at least one node fails for good.
+        let mut dag = Dag::new();
+        for i in 0..12 {
+            dag.add_node(JobSpec::fixed(format!("long.{i}"), 600.0)).unwrap();
+        }
+        let mut dm = Dagman::new(dag, OwnerId(0));
+        let _ = Cluster::new(cfg, 5).run(&mut dm);
+        assert!(dm.failed() > 0, "without retries, removals become failures");
+        assert!(dm.is_done());
+        assert_eq!(dm.failed_nodes().len(), dm.failed());
+    }
+
+    #[test]
+    fn done_and_failed_node_lists() {
+        let mut dm = Dagman::new(chain_dag(3), OwnerId(0));
+        let _ = quick_cluster(7).run(&mut dm);
+        assert_eq!(dm.done_nodes().len(), 3);
+        assert!(dm.failed_nodes().is_empty());
+    }
+}

@@ -1,0 +1,342 @@
+//! DAGMan monitoring: the statistics the paper's shell scripts extract by
+//! parsing HTCondor log files — per-DAGMan runtimes, total and instant
+//! throughput, per-job wait/execution time distributions, and running-job
+//! footprints (the quantities plotted in Figs. 2–4).
+
+use std::collections::HashMap;
+
+use htcsim::cluster::RunReport;
+use htcsim::job::{JobEventKind, JobId, OwnerId};
+use htcsim::time::SimTime;
+use htcsim::userlog::JobTimes;
+
+/// Summary statistics of one DAGMan's run.
+#[derive(Debug, Clone)]
+pub struct DagmanStats {
+    /// Owner (DAGMan) these stats describe.
+    pub owner: OwnerId,
+    /// Jobs completed.
+    pub completed: usize,
+    /// First submission time.
+    pub started: SimTime,
+    /// Last completion time.
+    pub finished: SimTime,
+    /// Per-job wait times in seconds (submission → final execute start).
+    pub wait_secs: Vec<u64>,
+    /// Per-job execution times in seconds, keyed like `wait_secs`.
+    pub exec_secs: Vec<u64>,
+    /// Wait times of jobs whose name starts with `waveform` (the paper
+    /// reports those separately in §5.2.3).
+    pub waveform_wait_secs: Vec<u64>,
+    /// Execution times of `waveform.*` jobs.
+    pub waveform_exec_secs: Vec<u64>,
+    /// Execution times of `rupture.*` jobs.
+    pub rupture_exec_secs: Vec<u64>,
+}
+
+impl DagmanStats {
+    /// Total runtime in seconds (first submit → last completion).
+    pub fn runtime_secs(&self) -> u64 {
+        self.finished.since(self.started)
+    }
+
+    /// Total runtime in hours.
+    pub fn runtime_hours(&self) -> f64 {
+        self.runtime_secs() as f64 / 3600.0
+    }
+
+    /// Average total throughput in jobs/minute: `j / r` (paper eq. 2's
+    /// per-run term).
+    pub fn throughput_jpm(&self) -> f64 {
+        let mins = self.runtime_secs() as f64 / 60.0;
+        if mins <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / mins
+        }
+    }
+
+    /// Mean of a duration list in minutes (None when empty).
+    pub fn mean_mins(xs: &[u64]) -> Option<f64> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(xs.iter().sum::<u64>() as f64 / xs.len() as f64 / 60.0)
+        }
+    }
+}
+
+/// Extract per-owner statistics from a cluster run report.
+pub fn per_dagman_stats(report: &RunReport) -> Vec<DagmanStats> {
+    let times = report.log.job_times();
+    let mut by_owner: HashMap<OwnerId, Vec<&JobTimes>> = HashMap::new();
+    for jt in &times {
+        by_owner.entry(jt.owner).or_default().push(jt);
+    }
+    let mut owners: Vec<OwnerId> = by_owner.keys().copied().collect();
+    owners.sort();
+    owners
+        .into_iter()
+        .map(|owner| {
+            let jts = &by_owner[&owner];
+            let name_of = |j: JobId| {
+                report.job_names.get(&j).cloned().unwrap_or_default()
+            };
+            let mut stats = DagmanStats {
+                owner,
+                completed: 0,
+                started: jts.iter().map(|j| j.submitted).min().unwrap_or(SimTime::ZERO),
+                finished: SimTime::ZERO,
+                wait_secs: Vec::new(),
+                exec_secs: Vec::new(),
+                waveform_wait_secs: Vec::new(),
+                waveform_exec_secs: Vec::new(),
+                rupture_exec_secs: Vec::new(),
+            };
+            for jt in jts {
+                let Some(completed) = jt.completed else { continue };
+                stats.completed += 1;
+                stats.finished = stats.finished.max(completed);
+                let name = name_of(jt.job);
+                if let (Some(w), Some(e)) = (jt.wait_secs(), jt.exec_secs()) {
+                    stats.wait_secs.push(w);
+                    stats.exec_secs.push(e);
+                    if name.starts_with("waveform") {
+                        stats.waveform_wait_secs.push(w);
+                        stats.waveform_exec_secs.push(e);
+                    } else if name.starts_with("rupture") {
+                        stats.rupture_exec_secs.push(e);
+                    }
+                }
+            }
+            stats
+        })
+        .collect()
+}
+
+/// Per-second instant throughput (eq. 5) of one owner's jobs, measured
+/// from that owner's first submission.
+pub fn instant_throughput_for(report: &RunReport, owner: OwnerId) -> Vec<f64> {
+    let events: Vec<_> = report
+        .log
+        .events()
+        .iter()
+        .filter(|e| e.owner == owner)
+        .collect();
+    if events.is_empty() {
+        return Vec::new();
+    }
+    let start = events.iter().map(|e| e.time).min().unwrap();
+    let end = events.iter().map(|e| e.time).max().unwrap();
+    let len = end.since(start) as usize + 1;
+    let mut completions = vec![0u32; len];
+    for e in &events {
+        if e.kind == JobEventKind::Completed {
+            completions[e.time.since(start) as usize] += 1;
+        }
+    }
+    let mut out = Vec::with_capacity(len);
+    let mut done = 0u64;
+    for (s, c) in completions.iter().enumerate() {
+        done += *c as u64;
+        out.push(done as f64 / (s.max(1) as f64 / 60.0));
+    }
+    out
+}
+
+/// Per-second running-job count of one owner's jobs, measured from that
+/// owner's first submission.
+pub fn running_for(report: &RunReport, owner: OwnerId) -> Vec<u32> {
+    let events: Vec<_> = report
+        .log
+        .events()
+        .iter()
+        .filter(|e| e.owner == owner)
+        .collect();
+    if events.is_empty() {
+        return Vec::new();
+    }
+    let start = events.iter().map(|e| e.time).min().unwrap();
+    let end = events.iter().map(|e| e.time).max().unwrap();
+    let len = end.since(start) as usize + 1;
+    let mut delta = vec![0i64; len + 1];
+    let mut started: HashMap<JobId, usize> = HashMap::new();
+    for e in &events {
+        let idx = e.time.since(start) as usize;
+        match e.kind {
+            JobEventKind::ExecuteStarted => {
+                started.insert(e.job, idx);
+            }
+            JobEventKind::Completed | JobEventKind::Evicted => {
+                if let Some(s) = started.remove(&e.job) {
+                    delta[s] += 1;
+                    delta[idx] -= 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    for (_, s) in started {
+        delta[s] += 1;
+        delta[len] -= 1;
+    }
+    let mut out = Vec::with_capacity(len);
+    let mut cur = 0i64;
+    for d in delta.iter().take(len) {
+        cur += d;
+        out.push(cur.max(0) as u32);
+    }
+    out
+}
+
+/// Aggregate statistics across replicated runs: mean and population SD.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanSd {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub sd: f64,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+}
+
+/// Compute mean/SD/min/max of a sample (zeros when empty).
+pub fn mean_sd(xs: &[f64]) -> MeanSd {
+    if xs.is_empty() {
+        return MeanSd { mean: 0.0, sd: 0.0, min: 0.0, max: 0.0 };
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    MeanSd {
+        mean,
+        sd: var.sqrt(),
+        min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+        max: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::Dag;
+    use crate::driver::{Dagman, MultiDagman};
+    use htcsim::cluster::{Cluster, ClusterConfig};
+    use htcsim::job::JobSpec;
+    use htcsim::pool::PoolConfig;
+
+    fn run_two_dagmans() -> RunReport {
+        let mk = || {
+            let mut d = Dag::new();
+            let r = d.add_node(JobSpec::fixed("rupture.0", 150.0)).unwrap();
+            for i in 0..6 {
+                let w = d
+                    .add_node(JobSpec::fixed(format!("waveform.{i}"), 300.0))
+                    .unwrap();
+                d.add_edge(r, w).unwrap();
+            }
+            d
+        };
+        let mut multi = MultiDagman::new(vec![mk(), mk()]);
+        Cluster::new(
+            ClusterConfig {
+                pool: PoolConfig {
+                    target_slots: 16,
+                    glidein_slots: 8,
+                    avail_mean: 0.9,
+                    avail_sigma: 0.05,
+                    glidein_lifetime_s: 1e9,
+                    ..Default::default()
+                },
+                ..ClusterConfig::with_cache()
+            },
+            11,
+        )
+        .run(&mut multi)
+    }
+
+    #[test]
+    fn per_dagman_stats_cover_both_owners() {
+        let report = run_two_dagmans();
+        let stats = per_dagman_stats(&report);
+        assert_eq!(stats.len(), 2);
+        for s in &stats {
+            assert_eq!(s.completed, 7);
+            assert!(s.runtime_secs() > 0);
+            assert!(s.throughput_jpm() > 0.0);
+            assert_eq!(s.wait_secs.len(), 7);
+            assert_eq!(s.waveform_exec_secs.len(), 6);
+            assert_eq!(s.rupture_exec_secs.len(), 1);
+            // Waveform jobs run ~300 s, modulated by machine speed (σ=0.15
+            // lognormal) plus stage-out overhead.
+            let mean_exec =
+                DagmanStats::mean_mins(&s.waveform_exec_secs).unwrap();
+            assert!(mean_exec >= 3.2 && mean_exec < 9.0, "exec {mean_exec} min");
+        }
+    }
+
+    #[test]
+    fn instant_throughput_series_ends_at_total() {
+        let report = run_two_dagmans();
+        let stats = per_dagman_stats(&report);
+        let s0 = &stats[0];
+        let series = instant_throughput_for(&report, s0.owner);
+        assert!(!series.is_empty());
+        let last = *series.last().unwrap();
+        let expected = s0.completed as f64 / (series.len() as f64 - 1.0).max(1.0) * 60.0;
+        assert!((last - expected).abs() / expected < 0.05, "{last} vs {expected}");
+    }
+
+    #[test]
+    fn running_series_is_bounded_by_dag_width() {
+        let report = run_two_dagmans();
+        let series = running_for(&report, OwnerId(0));
+        let peak = series.iter().copied().max().unwrap_or(0);
+        assert!(peak >= 1 && peak <= 6, "peak {peak}");
+    }
+
+    #[test]
+    fn empty_owner_yields_empty_series() {
+        let report = run_two_dagmans();
+        assert!(instant_throughput_for(&report, OwnerId(9)).is_empty());
+        assert!(running_for(&report, OwnerId(9)).is_empty());
+    }
+
+    #[test]
+    fn mean_sd_known_values() {
+        let m = mean_sd(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m.mean - 5.0).abs() < 1e-12);
+        assert!((m.sd - 2.0).abs() < 1e-12);
+        assert_eq!(m.min, 2.0);
+        assert_eq!(m.max, 9.0);
+        let empty = mean_sd(&[]);
+        assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.sd, 0.0);
+    }
+
+    #[test]
+    fn single_dagman_runtime_matches_log_makespan() {
+        let mut d = Dag::new();
+        d.add_node(JobSpec::fixed("rupture.0", 100.0)).unwrap();
+        let mut dm = Dagman::new(d, OwnerId(0));
+        let report = Cluster::new(
+            ClusterConfig {
+                pool: PoolConfig {
+                    target_slots: 8,
+                    glidein_slots: 8,
+                    avail_mean: 1.0,
+                    avail_sigma: 0.0,
+                    glidein_lifetime_s: 1e9,
+                    ..Default::default()
+                },
+                ..ClusterConfig::with_cache()
+            },
+            1,
+        )
+        .run(&mut dm);
+        let stats = per_dagman_stats(&report);
+        assert_eq!(stats[0].finished, report.makespan);
+    }
+}

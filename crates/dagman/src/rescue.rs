@@ -1,0 +1,160 @@
+//! Rescue DAGs: when a DAGMan run ends with failed nodes, DAGMan writes a
+//! rescue file marking completed nodes `DONE` so a re-submission skips
+//! them. This module generates and applies that file.
+
+use std::collections::HashSet;
+
+#[cfg(test)]
+use htcsim::cluster::WorkloadDriver;
+
+use crate::dag::Dag;
+use crate::driver::{Dagman, NodeState};
+
+/// Serialise a rescue file: one `DONE <node>` line per completed node.
+pub fn rescue_file(dagman: &Dagman) -> String {
+    let mut out = String::from("# Rescue DAG\n");
+    for name in dagman.done_nodes() {
+        out.push_str(&format!("DONE {name}\n"));
+    }
+    out
+}
+
+/// Parse a rescue file into the set of done node names.
+pub fn parse_rescue(text: &str) -> Result<HashSet<String>, String> {
+    let mut done = HashSet::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        match toks.next().map(|t| t.to_ascii_uppercase()).as_deref() {
+            Some("DONE") => {
+                let name = toks
+                    .next()
+                    .ok_or_else(|| format!("line {}: DONE needs a node", lineno + 1))?;
+                done.insert(name.to_string());
+            }
+            Some(other) => {
+                return Err(format!("line {}: unknown keyword '{other}'", lineno + 1))
+            }
+            None => {}
+        }
+    }
+    Ok(done)
+}
+
+/// Build a resumed DAGMan for `dag`, pre-marking the rescue file's done
+/// nodes as complete. Errors if the rescue file names unknown nodes.
+pub fn resume(
+    dag: Dag,
+    done: &HashSet<String>,
+    owner: htcsim::job::OwnerId,
+) -> Result<Dagman, String> {
+    for name in done {
+        if dag.id_of(name).is_none() {
+            return Err(format!("rescue file names unknown node '{name}'"));
+        }
+    }
+    let mut dm = Dagman::new(dag, owner);
+    // Mark in topological order so readiness propagates correctly.
+    let order = dm.dag().topological_order()?;
+    for id in order {
+        let name = dm.dag().node(id).name.clone();
+        if done.contains(&name) {
+            dm.force_done(id);
+        }
+    }
+    Ok(dm)
+}
+
+impl Dagman {
+    /// Mark a node complete without running it (rescue-DAG resume).
+    /// Panics if the node is not currently Waiting/Ready.
+    pub fn force_done(&mut self, id: crate::dag::NodeId) {
+        let st = self.node_state(id);
+        assert!(
+            matches!(st, NodeState::Waiting | NodeState::Ready),
+            "force_done on node in state {st:?}"
+        );
+        self.force_done_inner(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::NodeId;
+    use htcsim::job::{JobSpec, OwnerId};
+
+    fn chain() -> Dag {
+        let mut d = Dag::new();
+        let a = d.add_node(JobSpec::fixed("A", 10.0)).unwrap();
+        let b = d.add_node(JobSpec::fixed("B", 10.0)).unwrap();
+        let c = d.add_node(JobSpec::fixed("C", 10.0)).unwrap();
+        d.add_edge(a, b).unwrap();
+        d.add_edge(b, c).unwrap();
+        d
+    }
+
+    #[test]
+    fn rescue_roundtrip() {
+        let text = "# Rescue DAG\nDONE A\nDONE B\n";
+        let done = parse_rescue(text).unwrap();
+        assert_eq!(done.len(), 2);
+        assert!(done.contains("A") && done.contains("B"));
+    }
+
+    #[test]
+    fn parse_rescue_errors() {
+        assert!(parse_rescue("FROB A\n").is_err());
+        assert!(parse_rescue("DONE\n").is_err());
+        assert!(parse_rescue("# only comments\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn resume_skips_done_nodes() {
+        let done: HashSet<String> = ["A".to_string(), "B".to_string()].into();
+        let dm = resume(chain(), &done, OwnerId(0)).unwrap();
+        assert_eq!(dm.completed(), 2);
+        assert_eq!(dm.node_state(NodeId(0)), NodeState::Done);
+        assert_eq!(dm.node_state(NodeId(1)), NodeState::Done);
+        // C became ready because both ancestors are done.
+        assert_eq!(dm.node_state(NodeId(2)), NodeState::Ready);
+        assert!(!dm.is_done());
+    }
+
+    #[test]
+    fn resume_with_all_done_is_complete() {
+        let done: HashSet<String> =
+            ["A".to_string(), "B".to_string(), "C".to_string()].into();
+        let dm = resume(chain(), &done, OwnerId(0)).unwrap();
+        assert!(dm.is_done());
+    }
+
+    #[test]
+    fn resume_rejects_unknown_nodes() {
+        let done: HashSet<String> = ["ZZZ".to_string()].into();
+        assert!(resume(chain(), &done, OwnerId(0)).is_err());
+    }
+
+    #[test]
+    fn rescue_file_from_dagman() {
+        let done: HashSet<String> = ["A".to_string()].into();
+        let dm = resume(chain(), &done, OwnerId(0)).unwrap();
+        let text = rescue_file(&dm);
+        assert!(text.contains("DONE A"));
+        assert!(!text.contains("DONE B"));
+        let parsed = parse_rescue(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "force_done")]
+    fn force_done_twice_panics() {
+        let done: HashSet<String> = HashSet::new();
+        let mut dm = resume(chain(), &done, OwnerId(0)).unwrap();
+        dm.force_done(NodeId(0));
+        dm.force_done(NodeId(0));
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests of the dagman crate: random DAG construction,
+//! format roundtrips, and scheduler liveness.
+
+use proptest::prelude::*;
+
+use dagman::dag::{Dag, NodeId, Throttles};
+use dagman::driver::Dagman;
+use dagman::monitor::per_dagman_stats;
+use dagman::rescue::{parse_rescue, rescue_file, resume};
+use htcsim::cluster::{Cluster, ClusterConfig};
+use htcsim::job::{JobSpec, OwnerId};
+use htcsim::pool::PoolConfig;
+use std::collections::HashSet;
+
+/// Build a random DAG from (n, forward edges) — edges always point from a
+/// lower to a higher index, so the graph is acyclic by construction.
+fn random_dag(n: usize, edges: &[(usize, usize)]) -> Dag {
+    let mut dag = Dag::new();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| dag.add_node(JobSpec::fixed(format!("n{i}"), 30.0)).unwrap())
+        .collect();
+    for (a, b) in edges {
+        let (a, b) = (a % n, b % n);
+        if a < b {
+            dag.add_edge(ids[a], ids[b]).unwrap();
+        } else if b < a {
+            dag.add_edge(ids[b], ids[a]).unwrap();
+        }
+    }
+    dag
+}
+
+fn fast_cluster(seed: u64) -> Cluster {
+    Cluster::new(
+        ClusterConfig {
+            pool: PoolConfig {
+                target_slots: 32,
+                glidein_slots: 8,
+                avail_mean: 0.95,
+                avail_sigma: 0.02,
+                glidein_lifetime_s: 1e9,
+                ..Default::default()
+            },
+            transfer: Default::default(),
+            cache_enabled: true,
+            max_evictions_per_job: 0,
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #[test]
+    fn topological_order_is_valid_for_random_dags(
+        n in 1usize..30,
+        edges in proptest::collection::vec((0usize..30, 0usize..30), 0..60),
+    ) {
+        let dag = random_dag(n, &edges);
+        let order = dag.topological_order().unwrap();
+        prop_assert_eq!(order.len(), n);
+        let pos: std::collections::HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        for k in 0..n {
+            for &c in &dag.node(NodeId(k)).children {
+                prop_assert!(pos[&NodeId(k)] < pos[&c]);
+            }
+        }
+    }
+
+    #[test]
+    fn dag_file_roundtrip_random(
+        n in 1usize..20,
+        edges in proptest::collection::vec((0usize..20, 0usize..20), 0..40),
+        max_jobs in 0usize..500,
+        max_idle in 0usize..500,
+    ) {
+        let mut dag = random_dag(n, &edges);
+        dag.throttles = Throttles { max_jobs, max_idle };
+        let text = dag.to_dag_file();
+        let parsed = Dag::parse(&text, |name| JobSpec::fixed(name, 30.0)).unwrap();
+        prop_assert_eq!(parsed.len(), dag.len());
+        prop_assert_eq!(parsed.throttles.max_jobs, max_jobs);
+        for k in 0..n {
+            let a = dag.node(NodeId(k));
+            let b = parsed.node(parsed.id_of(&a.name).unwrap());
+            let mut ca: Vec<&str> =
+                a.children.iter().map(|c| dag.node(*c).name.as_str()).collect();
+            let mut cb: Vec<&str> =
+                b.children.iter().map(|c| parsed.node(*c).name.as_str()).collect();
+            ca.sort_unstable();
+            cb.sort_unstable();
+            prop_assert_eq!(ca, cb);
+        }
+    }
+
+    #[test]
+    fn rescue_file_roundtrip(names in proptest::collection::hash_set("[a-z][a-z0-9]{0,8}", 0..20)) {
+        let mut dag = Dag::new();
+        for name in &names {
+            dag.add_node(JobSpec::fixed(name.clone(), 10.0)).unwrap();
+        }
+        let done: HashSet<String> = names.iter().take(names.len() / 2).cloned().collect();
+        let dm = resume(dag, &done, OwnerId(0)).unwrap();
+        let parsed = parse_rescue(&rescue_file(&dm)).unwrap();
+        prop_assert_eq!(parsed, done);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any random DAG runs to completion on the cluster, in an order that
+    /// never violates dependencies, regardless of throttles.
+    #[test]
+    fn scheduler_liveness_and_dependency_safety(
+        n in 1usize..20,
+        edges in proptest::collection::vec((0usize..20, 0usize..20), 0..30),
+        max_idle in prop_oneof![Just(0usize), 1usize..8],
+        max_jobs in prop_oneof![Just(0usize), 1usize..8],
+        seed in any::<u64>(),
+    ) {
+        let mut dag = random_dag(n, &edges);
+        dag.throttles = Throttles { max_jobs, max_idle };
+        let dag_copy = dag.clone();
+        let mut dm = Dagman::new(dag, OwnerId(0));
+        let report = fast_cluster(seed).run(&mut dm);
+        prop_assert!(!report.timed_out);
+        prop_assert_eq!(report.completed, n);
+        prop_assert_eq!(dm.completed(), n);
+        // Completion order respects every edge.
+        let completions: Vec<String> = report
+            .log
+            .events()
+            .iter()
+            .filter(|e| e.kind == htcsim::job::JobEventKind::Completed)
+            .map(|e| report.job_names[&e.job].clone())
+            .collect();
+        let pos: std::collections::HashMap<&str, usize> = completions
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.as_str(), i))
+            .collect();
+        for k in 0..n {
+            let parent = &dag_copy.node(NodeId(k)).name;
+            for &c in &dag_copy.node(NodeId(k)).children {
+                let child = &dag_copy.node(c).name;
+                prop_assert!(
+                    pos[parent.as_str()] < pos[child.as_str()],
+                    "{parent} completed after child {child}"
+                );
+            }
+        }
+        // Monitor stats agree with the report.
+        let stats = per_dagman_stats(&report);
+        prop_assert_eq!(stats[0].completed, n);
+    }
+}

@@ -1,0 +1,162 @@
+//! Dataset assembly: turn an FDW catalog (rupture scenarios + per-station
+//! waveforms) into PGD training observations — the "AI-ready data
+//! products" of the paper's Fig. 7.
+
+use fakequakes::catalog::Catalog;
+use fakequakes::geometry::FaultModel;
+use fakequakes::stations::StationNetwork;
+
+use crate::pgd::PgdObservation;
+
+/// Extract one observation per (scenario, station) pair from a catalog.
+///
+/// Distance is hypocentral: station to the scenario's hypocentral
+/// subfault. Stations whose PGD fell below `min_pgd_m` are dropped
+/// (sub-noise observations carry no magnitude information — the same
+/// screening real PGD pipelines apply).
+pub fn observations_from_catalog(
+    catalog: &Catalog,
+    fault: &FaultModel,
+    network: &StationNetwork,
+    min_pgd_m: f64,
+) -> Vec<PgdObservation> {
+    let mut out = Vec::new();
+    for (scenario, waveforms) in catalog.scenarios.iter().zip(&catalog.waveforms) {
+        let hypo = fault.subfault(scenario.hypocenter_idx).center;
+        for w in waveforms {
+            let station = network
+                .stations()
+                .iter()
+                .find(|s| s.code == w.station_code)
+                .expect("waveform station must exist in the network");
+            let pgd = w.pgd_m();
+            if pgd < min_pgd_m {
+                continue;
+            }
+            out.push(PgdObservation {
+                mw: scenario.mw,
+                pgd_m: pgd,
+                distance_km: station.location.distance_3d_km(&hypo).max(1.0),
+            });
+        }
+    }
+    out
+}
+
+/// Deterministic train/test split by observation index parity groups:
+/// every `k`-th observation (k = `test_every`) goes to the test set.
+/// Index-based rather than random so results are reproducible without
+/// threading a RNG through evaluation code.
+pub fn split(
+    observations: &[PgdObservation],
+    test_every: usize,
+) -> (Vec<PgdObservation>, Vec<PgdObservation>) {
+    assert!(test_every >= 2, "test_every must be >= 2");
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (i, o) in observations.iter().enumerate() {
+        if i % test_every == 0 {
+            test.push(*o);
+        } else {
+            train.push(*o);
+        }
+    }
+    (train, test)
+}
+
+/// Evaluation of magnitude estimates: mean absolute error and bias.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MagnitudeErrors {
+    /// Mean absolute error in magnitude units.
+    pub mae: f64,
+    /// Mean signed error (positive = overestimates).
+    pub bias: f64,
+    /// Number of events evaluated.
+    pub n: usize,
+}
+
+/// Score per-event magnitude estimates against truth.
+pub fn score(estimates: &[(f64, f64)]) -> MagnitudeErrors {
+    if estimates.is_empty() {
+        return MagnitudeErrors { mae: 0.0, bias: 0.0, n: 0 };
+    }
+    let n = estimates.len() as f64;
+    let mae = estimates.iter().map(|(e, t)| (e - t).abs()).sum::<f64>() / n;
+    let bias = estimates.iter().map(|(e, t)| e - t).sum::<f64>() / n;
+    MagnitudeErrors { mae, bias, n: estimates.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fakequakes::catalog::generate_catalog;
+    use fakequakes::noise::NoiseModel;
+    use fakequakes::rupture::RuptureConfig;
+    use fakequakes::waveform::WaveformConfig;
+
+    fn fixture() -> (FaultModel, StationNetwork, Catalog) {
+        let fault = FaultModel::chilean_subduction(14, 7).unwrap();
+        let net = StationNetwork::chilean(10, 1).unwrap();
+        let catalog = generate_catalog(
+            &fault,
+            &net,
+            None,
+            None,
+            RuptureConfig { mw_range: (7.8, 8.8), ..Default::default() },
+            WaveformConfig {
+                duration_s: 256.0,
+                noise: NoiseModel::none(),
+                ..Default::default()
+            },
+            6,
+            4,
+        )
+        .unwrap();
+        (fault, net, catalog)
+    }
+
+    #[test]
+    fn observations_cover_catalog() {
+        let (fault, net, catalog) = fixture();
+        let obs = observations_from_catalog(&catalog, &fault, &net, 0.0);
+        assert_eq!(obs.len(), 6 * 10);
+        for o in &obs {
+            assert!(o.pgd_m >= 0.0);
+            assert!(o.distance_km >= 1.0);
+            assert!((7.8..=8.8).contains(&o.mw));
+        }
+    }
+
+    #[test]
+    fn pgd_threshold_screens_far_stations() {
+        let (fault, net, catalog) = fixture();
+        let all = observations_from_catalog(&catalog, &fault, &net, 0.0);
+        let screened = observations_from_catalog(&catalog, &fault, &net, 0.05);
+        assert!(screened.len() < all.len());
+        assert!(screened.iter().all(|o| o.pgd_m >= 0.05));
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let (fault, net, catalog) = fixture();
+        let obs = observations_from_catalog(&catalog, &fault, &net, 0.0);
+        let (train, test) = split(&obs, 5);
+        assert_eq!(train.len() + test.len(), obs.len());
+        assert_eq!(test.len(), obs.len().div_ceil(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "test_every")]
+    fn split_rejects_degenerate_ratio() {
+        split(&[], 1);
+    }
+
+    #[test]
+    fn score_known_values() {
+        let s = score(&[(8.0, 8.2), (8.4, 8.2)]);
+        assert!((s.mae - 0.2).abs() < 1e-12);
+        assert!(s.bias.abs() < 1e-12);
+        assert_eq!(s.n, 2);
+        assert_eq!(score(&[]).n, 0);
+    }
+}

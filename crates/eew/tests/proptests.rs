@@ -1,0 +1,118 @@
+//! Property-based tests of the EEW magnitude model.
+
+use proptest::prelude::*;
+
+use eew::dataset::{score, split};
+use eew::pgd::{PgdObservation, PgdScalingModel};
+
+proptest! {
+    /// Fitting on noiseless synthetic data from any reasonable model
+    /// recovers the generating coefficients.
+    #[test]
+    fn fit_recovers_any_generating_model(
+        a in -6.0..-2.0f64,
+        b in 0.5..1.5f64,
+        c in -0.3..-0.05f64,
+        mw_lo in 6.5..8.0f64,
+        mw_span in 0.5..1.5f64,
+        r_lo in 20.0..200.0f64,
+        r_span in 100.0..600.0f64,
+        k_m in 3usize..8,
+        k_r in 3usize..8,
+    ) {
+        // A full factorial magnitude × distance grid: always a
+        // well-conditioned design (real regressions screen for this too).
+        let truth = PgdScalingModel { a, b, c };
+        let mut obs = Vec::new();
+        for i in 0..k_m {
+            let mw = mw_lo + mw_span * i as f64 / (k_m - 1) as f64;
+            for j in 0..k_r {
+                let r = r_lo + r_span * j as f64 / (k_r - 1) as f64;
+                let pgd_m = truth.predict_pgd_m(mw, r);
+                // Screen sub-micrometre PGDs: below the observation
+                // floor the log transform clamps and the point carries
+                // no information (real pipelines screen at ~1 cm).
+                if pgd_m >= 1e-6 {
+                    obs.push(PgdObservation { mw, pgd_m, distance_km: r });
+                }
+            }
+        }
+        // The grid must retain spread in both dimensions after screening.
+        let distinct = |xs: Vec<i64>| {
+            let mut v = xs;
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        prop_assume!(obs.len() >= 9);
+        prop_assume!(distinct(obs.iter().map(|o| (o.mw * 1e6) as i64).collect()) >= 3);
+        prop_assume!(
+            distinct(obs.iter().map(|o| (o.distance_km * 1e6) as i64).collect()) >= 3
+        );
+        let fitted = PgdScalingModel::fit(&obs).unwrap();
+        prop_assert!((fitted.a - a).abs() < 1e-4, "A {} vs {}", fitted.a, a);
+        prop_assert!((fitted.b - b).abs() < 1e-4, "B {} vs {}", fitted.b, b);
+        prop_assert!((fitted.c - c).abs() < 1e-4, "C {} vs {}", fitted.c, c);
+    }
+
+    /// Prediction→inversion is the identity wherever the inversion is
+    /// defined.
+    #[test]
+    fn inversion_is_left_inverse_of_prediction(
+        mw in 6.5..9.2f64,
+        r in 20.0..800.0f64,
+    ) {
+        let m = PgdScalingModel::MELGAR_2015;
+        let pgd = m.predict_pgd_m(mw, r);
+        let est = m.estimate_mw_single(pgd, r);
+        prop_assert!(est.is_some());
+        prop_assert!((est.unwrap() - mw).abs() < 1e-8);
+    }
+
+    /// The network median lies within the span of per-station estimates.
+    #[test]
+    fn network_estimate_within_station_range(
+        readings in proptest::collection::vec((0.001..5.0f64, 20.0..800.0f64), 1..20),
+    ) {
+        let m = PgdScalingModel::MELGAR_2015;
+        let singles: Vec<f64> = readings
+            .iter()
+            .filter_map(|(p, r)| m.estimate_mw_single(*p, *r))
+            .collect();
+        prop_assume!(!singles.is_empty());
+        let est = m.estimate_mw(&readings).unwrap();
+        let lo = singles.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = singles.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9);
+    }
+
+    /// Train/test split partitions without loss or duplication.
+    #[test]
+    fn split_partitions(
+        n in 0usize..200,
+        k in 2usize..10,
+    ) {
+        let obs: Vec<PgdObservation> = (0..n)
+            .map(|i| PgdObservation {
+                mw: 7.0 + (i % 10) as f64 * 0.1,
+                pgd_m: 0.1,
+                distance_km: 100.0 + i as f64,
+            })
+            .collect();
+        let (train, test) = split(&obs, k);
+        prop_assert_eq!(train.len() + test.len(), n);
+        prop_assert_eq!(test.len(), n.div_ceil(k));
+    }
+
+    /// Scoring bounds: MAE >= |bias|, both zero on perfect estimates.
+    #[test]
+    fn score_bounds(pairs in proptest::collection::vec((6.0..9.5f64, -1.0..1.0f64), 0..50)) {
+        let est: Vec<(f64, f64)> = pairs.iter().map(|(t, e)| (t + e, *t)).collect();
+        let s = score(&est);
+        prop_assert!(s.mae >= s.bias.abs() - 1e-12);
+        let perfect: Vec<(f64, f64)> = pairs.iter().map(|(t, _)| (*t, *t)).collect();
+        let p = score(&perfect);
+        prop_assert!(p.mae.abs() < 1e-12);
+        prop_assert!(p.bias.abs() < 1e-12);
+    }
+}

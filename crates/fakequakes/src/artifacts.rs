@@ -1,0 +1,255 @@
+//! Artifact serialisation: bridging the in-memory products to the on-disk
+//! formats the FDW ships through the Stash cache.
+//!
+//! * [`DistanceMatrices`] ⇄ a pair of `.npy` files,
+//! * [`GfLibrary`] ⇄ one `.mseed` file (3 channels per station),
+//! * [`GnssWaveform`] ⇄ `.mseed` channels `CODE.LXE/LXN/LXZ`.
+
+use crate::distance::DistanceMatrices;
+use crate::error::{FqError, FqResult};
+use crate::greens::{GfLibrary, StationGf, StaticResponse};
+use crate::mseed::MseedFile;
+use crate::npy;
+use crate::waveform::GnssWaveform;
+
+/// Encode the distance matrices as two NPY byte buffers
+/// `(subfault_to_subfault, station_to_subfault)`.
+pub fn distance_matrices_to_npy(d: &DistanceMatrices) -> (Vec<u8>, Vec<u8>) {
+    (
+        npy::to_npy_bytes(&d.subfault_to_subfault),
+        npy::to_npy_bytes(&d.station_to_subfault),
+    )
+}
+
+/// Decode distance matrices from the two NPY buffers produced by
+/// [`distance_matrices_to_npy`]. Names are supplied by the caller since
+/// NPY carries no metadata (matching MudPy, which encodes them in file
+/// names).
+pub fn distance_matrices_from_npy(
+    fault_name: &str,
+    network_name: &str,
+    subfault_bytes: &[u8],
+    station_bytes: &[u8],
+) -> FqResult<DistanceMatrices> {
+    let ss = npy::from_npy_bytes(subfault_bytes)?;
+    let sta = npy::from_npy_bytes(station_bytes)?;
+    if ss.rows() != ss.cols() {
+        return Err(FqError::Format(
+            "subfault distance matrix must be square".into(),
+        ));
+    }
+    if sta.cols() != ss.cols() {
+        return Err(FqError::Format(format!(
+            "station matrix has {} columns but fault has {} subfaults",
+            sta.cols(),
+            ss.cols()
+        )));
+    }
+    Ok(DistanceMatrices::from_parts(
+        fault_name.to_string(),
+        network_name.to_string(),
+        ss,
+        sta,
+    ))
+}
+
+/// Encode a GF library as one `.mseed` container: per station, three
+/// channels `CODE.GFE/GFN/GFZ` holding the per-subfault response
+/// components.
+pub fn gf_library_to_mseed(g: &GfLibrary) -> MseedFile {
+    let mut f = MseedFile::new();
+    for st in g.stations() {
+        let e: Vec<f64> = st.responses.iter().map(|r| r.e).collect();
+        let n: Vec<f64> = st.responses.iter().map(|r| r.n).collect();
+        let u: Vec<f64> = st.responses.iter().map(|r| r.u).collect();
+        f.push(format!("{}.GFE", st.station_code), 0.0, e);
+        f.push(format!("{}.GFN", st.station_code), 0.0, n);
+        f.push(format!("{}.GFZ", st.station_code), 0.0, u);
+    }
+    f
+}
+
+/// Decode a GF library from the `.mseed` container produced by
+/// [`gf_library_to_mseed`].
+pub fn gf_library_from_mseed(
+    fault_name: &str,
+    network_name: &str,
+    f: &MseedFile,
+) -> FqResult<GfLibrary> {
+    if f.records.len() % 3 != 0 {
+        return Err(FqError::Format(format!(
+            "GF mseed must hold 3 channels per station, got {} records",
+            f.records.len()
+        )));
+    }
+    let mut stations = Vec::with_capacity(f.records.len() / 3);
+    let mut n_subfaults = 0usize;
+    for chunk in f.records.chunks_exact(3) {
+        let code = chunk[0]
+            .code
+            .strip_suffix(".GFE")
+            .ok_or_else(|| FqError::Format(format!("unexpected channel '{}'", chunk[0].code)))?
+            .to_string();
+        for (rec, suffix) in chunk.iter().zip([".GFE", ".GFN", ".GFZ"]) {
+            if !rec.code.ends_with(suffix) || !rec.code.starts_with(&code) {
+                return Err(FqError::Format(format!(
+                    "channel '{}' out of order (expected {code}{suffix})",
+                    rec.code
+                )));
+            }
+        }
+        let ne = chunk[0].samples.len();
+        if chunk[1].samples.len() != ne || chunk[2].samples.len() != ne {
+            return Err(FqError::Format(format!(
+                "GF channel length mismatch for station {code}"
+            )));
+        }
+        if n_subfaults == 0 {
+            n_subfaults = ne;
+        } else if ne != n_subfaults {
+            return Err(FqError::Format(format!(
+                "station {code} covers {ne} subfaults, expected {n_subfaults}"
+            )));
+        }
+        let responses: Vec<StaticResponse> = (0..ne)
+            .map(|i| StaticResponse {
+                e: chunk[0].samples[i],
+                n: chunk[1].samples[i],
+                u: chunk[2].samples[i],
+            })
+            .collect();
+        stations.push(StationGf { station_code: code, responses });
+    }
+    Ok(GfLibrary::from_parts(
+        fault_name.to_string(),
+        network_name.to_string(),
+        stations,
+        n_subfaults,
+    ))
+}
+
+/// Append a waveform's three components to an `.mseed` container as
+/// channels `CODE.LXE/LXN/LXZ` (the FDSN channel naming for 1 Hz GNSS
+/// displacement).
+pub fn waveform_to_mseed(f: &mut MseedFile, w: &GnssWaveform) {
+    f.push(format!("{}.LXE", w.station_code), w.dt_s, w.east_m.clone());
+    f.push(format!("{}.LXN", w.station_code), w.dt_s, w.north_m.clone());
+    f.push(format!("{}.LXZ", w.station_code), w.dt_s, w.up_m.clone());
+}
+
+/// Extract the waveform for `station_code` from an `.mseed` container.
+pub fn waveform_from_mseed(
+    f: &MseedFile,
+    station_code: &str,
+    scenario_id: u64,
+) -> FqResult<GnssWaveform> {
+    let get = |suffix: &str| {
+        f.record(&format!("{station_code}.{suffix}")).ok_or_else(|| {
+            FqError::Format(format!("missing channel {station_code}.{suffix}"))
+        })
+    };
+    let e = get("LXE")?;
+    let n = get("LXN")?;
+    let z = get("LXZ")?;
+    if e.samples.len() != n.samples.len() || e.samples.len() != z.samples.len() {
+        return Err(FqError::Format(format!(
+            "component length mismatch for {station_code}"
+        )));
+    }
+    Ok(GnssWaveform {
+        station_code: station_code.to_string(),
+        scenario_id,
+        dt_s: e.dt_s,
+        east_m: e.samples.clone(),
+        north_m: n.samples.clone(),
+        up_m: z.samples.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::FaultModel;
+    use crate::stations::{ChileanInput, StationNetwork};
+
+    fn fixture() -> (FaultModel, StationNetwork) {
+        (
+            FaultModel::chilean_subduction(6, 3).unwrap(),
+            StationNetwork::chilean_input(ChileanInput::Small, 1),
+        )
+    }
+
+    #[test]
+    fn distance_matrix_npy_roundtrip() {
+        let (f, n) = fixture();
+        let d = DistanceMatrices::compute(&f, &n);
+        let (sb, tb) = distance_matrices_to_npy(&d);
+        let back =
+            distance_matrices_from_npy(f.name(), n.name(), &sb, &tb).unwrap();
+        assert_eq!(back.subfault_to_subfault, d.subfault_to_subfault);
+        assert_eq!(back.station_to_subfault, d.station_to_subfault);
+        assert_eq!(back.fault_name(), f.name());
+    }
+
+    #[test]
+    fn distance_matrix_shape_validation() {
+        let (f, n) = fixture();
+        let d = DistanceMatrices::compute(&f, &n);
+        let (sb, tb) = distance_matrices_to_npy(&d);
+        // Swap the buffers: station matrix is rectangular, so it fails the
+        // square check.
+        assert!(distance_matrices_from_npy("f", "n", &tb, &sb).is_err());
+    }
+
+    #[test]
+    fn gf_library_mseed_roundtrip() {
+        let (f, n) = fixture();
+        let g = GfLibrary::compute(&f, &n).unwrap();
+        let ms = gf_library_to_mseed(&g);
+        assert_eq!(ms.records.len(), 2 * 3);
+        let back = gf_library_from_mseed(f.name(), n.name(), &ms).unwrap();
+        assert_eq!(back.n_stations(), g.n_stations());
+        assert_eq!(back.n_subfaults(), g.n_subfaults());
+        for (a, b) in g.stations().iter().zip(back.stations()) {
+            assert_eq!(a.station_code, b.station_code);
+            assert_eq!(a.responses, b.responses);
+        }
+    }
+
+    #[test]
+    fn gf_mseed_rejects_wrong_record_count() {
+        let mut ms = MseedFile::new();
+        ms.push("X.GFE", 0.0, vec![1.0]);
+        ms.push("X.GFN", 0.0, vec![1.0]);
+        assert!(gf_library_from_mseed("f", "n", &ms).is_err());
+    }
+
+    #[test]
+    fn gf_mseed_rejects_length_mismatch() {
+        let mut ms = MseedFile::new();
+        ms.push("X.GFE", 0.0, vec![1.0, 2.0]);
+        ms.push("X.GFN", 0.0, vec![1.0]);
+        ms.push("X.GFZ", 0.0, vec![1.0, 2.0]);
+        assert!(gf_library_from_mseed("f", "n", &ms).is_err());
+    }
+
+    #[test]
+    fn waveform_mseed_roundtrip() {
+        let w = GnssWaveform {
+            station_code: "CH007".into(),
+            scenario_id: 42,
+            dt_s: 1.0,
+            east_m: vec![0.0, 0.1, 0.2],
+            north_m: vec![0.0, -0.1, -0.2],
+            up_m: vec![0.0, 0.05, 0.06],
+        };
+        let mut ms = MseedFile::new();
+        waveform_to_mseed(&mut ms, &w);
+        let back = waveform_from_mseed(&ms, "CH007", 42).unwrap();
+        assert_eq!(back.east_m, w.east_m);
+        assert_eq!(back.north_m, w.north_m);
+        assert_eq!(back.up_m, w.up_m);
+        assert_eq!(back.scenario_id, 42);
+        assert!(waveform_from_mseed(&ms, "CH999", 0).is_err());
+    }
+}

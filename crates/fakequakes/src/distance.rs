@@ -1,0 +1,211 @@
+//! Recyclable distance matrices — the `.npy` artifacts of the A Phase.
+//!
+//! MudPy precomputes two large distance matrices and recycles them across
+//! every rupture in a batch because regenerating them is time-consuming:
+//!
+//! * the **subfault–subfault** 3-D distance matrix, used by the von Kármán
+//!   slip correlation, and
+//! * the **station–subfault** distance matrix, used by the Green's function
+//!   and waveform stages.
+//!
+//! [`DistanceMatrices::compute`] builds both; they serialise to the NPY
+//! format via [`crate::npy`], mirroring the `.npy` files the FDW ships
+//! through the Stash cache.
+
+use crate::error::{FqError, FqResult};
+use crate::geometry::FaultModel;
+use crate::linalg::Matrix;
+use crate::stations::StationNetwork;
+
+/// The pair of recyclable distance matrices.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrices {
+    fault_name: String,
+    network_name: String,
+    /// `n_subfault × n_subfault` 3-D separations in km.
+    pub subfault_to_subfault: Matrix,
+    /// `n_station × n_subfault` 3-D separations in km.
+    pub station_to_subfault: Matrix,
+}
+
+impl DistanceMatrices {
+    /// Compute both matrices from a fault model and a station network.
+    ///
+    /// Cost is O(n_sub² + n_sta·n_sub); for the full Chilean mesh this is
+    /// the dominant startup cost, which is exactly why the FDW recycles
+    /// the result.
+    pub fn compute(fault: &FaultModel, network: &StationNetwork) -> Self {
+        let subs = fault.subfaults();
+        let n = subs.len();
+        let mut ss = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = subs[i].center.distance_3d_km(&subs[j].center);
+                ss[(i, j)] = d;
+                ss[(j, i)] = d;
+            }
+        }
+        let stations = network.stations();
+        let m = stations.len();
+        let mut sta = Matrix::zeros(m, n);
+        for (k, st) in stations.iter().enumerate() {
+            for (j, sf) in subs.iter().enumerate() {
+                sta[(k, j)] = st.location.distance_3d_km(&sf.center);
+            }
+        }
+        Self {
+            fault_name: fault.name().to_string(),
+            network_name: network.name().to_string(),
+            subfault_to_subfault: ss,
+            station_to_subfault: sta,
+        }
+    }
+
+    /// Reassemble from deserialised parts (used by [`crate::artifacts`]).
+    #[doc(hidden)]
+    pub fn from_parts(
+        fault_name: String,
+        network_name: String,
+        subfault_to_subfault: Matrix,
+        station_to_subfault: Matrix,
+    ) -> Self {
+        Self { fault_name, network_name, subfault_to_subfault, station_to_subfault }
+    }
+
+    /// Name of the fault model these matrices were computed for.
+    pub fn fault_name(&self) -> &str {
+        &self.fault_name
+    }
+
+    /// Name of the station network these matrices were computed for.
+    pub fn network_name(&self) -> &str {
+        &self.network_name
+    }
+
+    /// Number of subfaults covered.
+    pub fn n_subfaults(&self) -> usize {
+        self.subfault_to_subfault.rows()
+    }
+
+    /// Number of stations covered.
+    pub fn n_stations(&self) -> usize {
+        self.station_to_subfault.rows()
+    }
+
+    /// Validate compatibility with a fault/network pair before recycling.
+    /// The FDW performs this check when a user supplies pre-existing
+    /// `.npy` files so stale artifacts are rejected instead of silently
+    /// producing wrong waveforms.
+    pub fn check_compatible(
+        &self,
+        fault: &FaultModel,
+        network: &StationNetwork,
+    ) -> FqResult<()> {
+        if self.n_subfaults() != fault.len() {
+            return Err(FqError::Config(format!(
+                "recycled distance matrix covers {} subfaults but fault model '{}' has {}",
+                self.n_subfaults(),
+                fault.name(),
+                fault.len()
+            )));
+        }
+        if self.n_stations() != network.len() {
+            return Err(FqError::Config(format!(
+                "recycled distance matrix covers {} stations but network '{}' has {}",
+                self.n_stations(),
+                network.name(),
+                network.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Approximate in-memory size in bytes (what the FDW reports when
+    /// estimating transfer sizes for the Stash cache).
+    pub fn nbytes(&self) -> usize {
+        8 * (self.subfault_to_subfault.as_slice().len()
+            + self.station_to_subfault.as_slice().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stations::ChileanInput;
+
+    fn small_setup() -> (FaultModel, StationNetwork) {
+        (
+            FaultModel::chilean_subduction(6, 4).unwrap(),
+            StationNetwork::chilean_input(ChileanInput::Small, 1),
+        )
+    }
+
+    #[test]
+    fn shapes_match_inputs() {
+        let (f, n) = small_setup();
+        let d = DistanceMatrices::compute(&f, &n);
+        assert_eq!(d.n_subfaults(), 24);
+        assert_eq!(d.n_stations(), 2);
+        assert_eq!(d.subfault_to_subfault.cols(), 24);
+        assert_eq!(d.station_to_subfault.cols(), 24);
+    }
+
+    #[test]
+    fn subfault_matrix_symmetric_with_zero_diagonal() {
+        let (f, n) = small_setup();
+        let d = DistanceMatrices::compute(&f, &n);
+        let m = &d.subfault_to_subfault;
+        for i in 0..m.rows() {
+            assert_eq!(m[(i, i)], 0.0);
+            for j in 0..m.cols() {
+                assert_eq!(m[(i, j)], m[(j, i)]);
+                assert!(m[(i, j)] >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn distances_are_positive_off_diagonal() {
+        let (f, n) = small_setup();
+        let d = DistanceMatrices::compute(&f, &n);
+        let m = &d.subfault_to_subfault;
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                if i != j {
+                    assert!(m[(i, j)] > 0.0, "({i},{j}) zero distance between distinct patches");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compatibility_check() {
+        let (f, n) = small_setup();
+        let d = DistanceMatrices::compute(&f, &n);
+        assert!(d.check_compatible(&f, &n).is_ok());
+        let other_fault = FaultModel::chilean_subduction(5, 4).unwrap();
+        assert!(d.check_compatible(&other_fault, &n).is_err());
+        let other_net = StationNetwork::chilean_input(ChileanInput::Full, 1);
+        assert!(d.check_compatible(&f, &other_net).is_err());
+    }
+
+    #[test]
+    fn nbytes_counts_both_matrices() {
+        let (f, n) = small_setup();
+        let d = DistanceMatrices::compute(&f, &n);
+        assert_eq!(d.nbytes(), 8 * (24 * 24 + 2 * 24));
+    }
+
+    #[test]
+    fn station_distances_exceed_depth() {
+        // Every station is at the surface, every subfault at >=5 km depth,
+        // so no station-subfault distance can be below 5 km.
+        let (f, n) = small_setup();
+        let d = DistanceMatrices::compute(&f, &n);
+        for k in 0..d.n_stations() {
+            for j in 0..d.n_subfaults() {
+                assert!(d.station_to_subfault[(k, j)] >= 5.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Error types for the `fakequakes` crate.
+
+use std::fmt;
+
+/// Errors produced by the FakeQuakes engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FqError {
+    /// A geometry constraint was violated (e.g. zero-size fault mesh).
+    Geometry(String),
+    /// A linear-algebra routine failed (e.g. non-positive-definite matrix).
+    Linalg(String),
+    /// Invalid configuration parameter.
+    Config(String),
+    /// An I/O or format error while reading/writing artifacts.
+    Format(String),
+    /// Requested magnitude is outside the supported range of the scaling laws.
+    Magnitude(f64),
+}
+
+impl fmt::Display for FqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FqError::Geometry(m) => write!(f, "geometry error: {m}"),
+            FqError::Linalg(m) => write!(f, "linear algebra error: {m}"),
+            FqError::Config(m) => write!(f, "configuration error: {m}"),
+            FqError::Format(m) => write!(f, "format error: {m}"),
+            FqError::Magnitude(mw) => {
+                write!(f, "magnitude Mw {mw:.2} outside supported range [6.0, 9.5]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FqError {}
+
+/// Convenience result alias used throughout the crate.
+pub type FqResult<T> = Result<T, FqError>;
+
+impl From<std::io::Error> for FqError {
+    fn from(e: std::io::Error) -> Self {
+        FqError::Format(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        assert!(FqError::Geometry("empty mesh".into())
+            .to_string()
+            .contains("empty mesh"));
+        assert!(FqError::Magnitude(5.0).to_string().contains("5.00"));
+        assert!(FqError::Linalg("not PD".into()).to_string().contains("not PD"));
+        assert!(FqError::Config("bad".into()).to_string().contains("bad"));
+        assert!(FqError::Format("eof".into()).to_string().contains("eof"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof!");
+        let fq: FqError = io.into();
+        assert!(matches!(fq, FqError::Format(_)));
+    }
+}

@@ -1,0 +1,205 @@
+//! Geographic primitives: geodetic points, great-circle distances and a
+//! local East-North-Up (ENU) projection.
+//!
+//! MudPy works in geographic coordinates (lon/lat/depth) and converts to
+//! local Cartesian frames when evaluating Green's functions. We follow the
+//! same pattern with a spherical-Earth approximation, which is accurate to
+//! well under 1 % over the few-hundred-kilometre apertures of a subduction
+//! zone rupture.
+
+/// Mean Earth radius in kilometres (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A geodetic point: longitude/latitude in degrees, depth in km (positive down).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Longitude in degrees East.
+    pub lon: f64,
+    /// Latitude in degrees North.
+    pub lat: f64,
+    /// Depth below the surface in kilometres (positive downwards; stations use 0).
+    pub depth_km: f64,
+}
+
+impl GeoPoint {
+    /// Create a new geodetic point.
+    pub fn new(lon: f64, lat: f64, depth_km: f64) -> Self {
+        Self { lon, lat, depth_km }
+    }
+
+    /// Surface (epicentral) great-circle distance to `other`, in km,
+    /// ignoring depth. Uses the haversine formula, which is numerically
+    /// stable for small separations.
+    pub fn surface_distance_km(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lat2) = (self.lat.to_radians(), other.lat.to_radians());
+        let dlat = (other.lat - self.lat).to_radians();
+        let dlon = (other.lon - self.lon).to_radians();
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().min(1.0).asin()
+    }
+
+    /// Full 3-D (hypocentral) distance to `other` in km: the surface
+    /// separation combined with the depth difference in a flat-Earth sense.
+    /// This is what MudPy's recyclable "distance matrices" store.
+    pub fn distance_3d_km(&self, other: &GeoPoint) -> f64 {
+        let s = self.surface_distance_km(other);
+        let dz = self.depth_km - other.depth_km;
+        (s * s + dz * dz).sqrt()
+    }
+}
+
+/// A point in a local East-North-Up Cartesian frame (km). Up is negative
+/// depth, so a point at 10 km depth has `u = -10.0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnuPoint {
+    /// East offset from the frame origin, km.
+    pub e: f64,
+    /// North offset from the frame origin, km.
+    pub n: f64,
+    /// Up offset from the frame origin, km (negative below the surface).
+    pub u: f64,
+}
+
+impl EnuPoint {
+    /// Euclidean norm of the ENU vector, km.
+    pub fn norm(&self) -> f64 {
+        (self.e * self.e + self.n * self.n + self.u * self.u).sqrt()
+    }
+
+    /// Horizontal (epicentral) norm of the ENU vector, km.
+    pub fn horizontal_norm(&self) -> f64 {
+        (self.e * self.e + self.n * self.n).sqrt()
+    }
+}
+
+/// A local tangent-plane projection centred on a reference geodetic point.
+///
+/// Longitude/latitude offsets are mapped to East/North kilometres with the
+/// cosine-latitude correction; depth maps to negative Up. Suitable for
+/// apertures of a few hundred km.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalFrame {
+    origin: GeoPoint,
+    cos_lat: f64,
+}
+
+impl LocalFrame {
+    /// Create a projection centred on `origin` (its depth is ignored; the
+    /// frame surface sits at depth 0).
+    pub fn new(origin: GeoPoint) -> Self {
+        Self {
+            origin,
+            cos_lat: origin.lat.to_radians().cos(),
+        }
+    }
+
+    /// The reference origin of this frame.
+    pub fn origin(&self) -> GeoPoint {
+        self.origin
+    }
+
+    /// Project a geodetic point into this frame.
+    pub fn project(&self, p: &GeoPoint) -> EnuPoint {
+        let deg_km = EARTH_RADIUS_KM * std::f64::consts::PI / 180.0;
+        EnuPoint {
+            e: (p.lon - self.origin.lon) * deg_km * self.cos_lat,
+            n: (p.lat - self.origin.lat) * deg_km,
+            u: -p.depth_km,
+        }
+    }
+
+    /// Inverse projection: ENU coordinates back to a geodetic point.
+    pub fn unproject(&self, p: &EnuPoint) -> GeoPoint {
+        let deg_km = EARTH_RADIUS_KM * std::f64::consts::PI / 180.0;
+        GeoPoint {
+            lon: self.origin.lon + p.e / (deg_km * self.cos_lat),
+            lat: self.origin.lat + p.n / deg_km,
+            depth_km: -p.u,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = GeoPoint::new(-71.5, -30.0, 25.0);
+        assert_eq!(p.surface_distance_km(&p), 0.0);
+        assert_eq!(p.distance_3d_km(&p), 0.0);
+    }
+
+    #[test]
+    fn one_degree_latitude_is_about_111km() {
+        let a = GeoPoint::new(-71.0, -30.0, 0.0);
+        let b = GeoPoint::new(-71.0, -31.0, 0.0);
+        let d = a.surface_distance_km(&b);
+        assert!(close(d, 111.19, 0.2), "got {d}");
+    }
+
+    #[test]
+    fn longitude_distance_shrinks_with_latitude() {
+        let eq_a = GeoPoint::new(0.0, 0.0, 0.0);
+        let eq_b = GeoPoint::new(1.0, 0.0, 0.0);
+        let hi_a = GeoPoint::new(0.0, 60.0, 0.0);
+        let hi_b = GeoPoint::new(1.0, 60.0, 0.0);
+        let d_eq = eq_a.surface_distance_km(&eq_b);
+        let d_hi = hi_a.surface_distance_km(&hi_b);
+        assert!(close(d_hi, d_eq * 0.5, 0.5), "eq={d_eq} hi={d_hi}");
+    }
+
+    #[test]
+    fn depth_enters_3d_distance_pythagoras() {
+        let a = GeoPoint::new(-71.0, -30.0, 0.0);
+        let b = GeoPoint::new(-71.0, -30.0, 30.0);
+        assert!(close(a.distance_3d_km(&b), 30.0, 1e-9));
+        let c = GeoPoint::new(-71.0, -30.36, 40.0); // ~40km north, 40km deep
+        let s = a.surface_distance_km(&c);
+        assert!(close(a.distance_3d_km(&c), (s * s + 1600.0).sqrt(), 1e-9));
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = GeoPoint::new(-70.2, -33.0, 12.0);
+        let b = GeoPoint::new(-72.9, -19.5, 44.0);
+        assert!(close(a.distance_3d_km(&b), b.distance_3d_km(&a), 1e-9));
+    }
+
+    #[test]
+    fn project_unproject_roundtrip() {
+        let frame = LocalFrame::new(GeoPoint::new(-71.5, -30.0, 0.0));
+        let p = GeoPoint::new(-70.8, -29.2, 35.0);
+        let enu = frame.project(&p);
+        let back = frame.unproject(&enu);
+        assert!(close(back.lon, p.lon, 1e-9));
+        assert!(close(back.lat, p.lat, 1e-9));
+        assert!(close(back.depth_km, p.depth_km, 1e-9));
+    }
+
+    #[test]
+    fn projection_matches_haversine_for_small_offsets() {
+        let origin = GeoPoint::new(-71.5, -30.0, 0.0);
+        let frame = LocalFrame::new(origin);
+        let p = GeoPoint::new(-71.3, -29.9, 0.0);
+        let enu = frame.project(&p);
+        let hav = origin.surface_distance_km(&p);
+        assert!(
+            (enu.horizontal_norm() - hav).abs() / hav < 0.01,
+            "enu={} hav={hav}",
+            enu.horizontal_norm()
+        );
+    }
+
+    #[test]
+    fn enu_norms() {
+        let p = EnuPoint { e: 3.0, n: 4.0, u: -12.0 };
+        assert!(close(p.horizontal_norm(), 5.0, 1e-12));
+        assert!(close(p.norm(), 13.0, 1e-12));
+    }
+}

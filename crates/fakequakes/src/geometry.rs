@@ -1,0 +1,403 @@
+//! Fault geometry: subfault meshes on a Slab2-like subduction interface and
+//! earthquake scaling laws.
+//!
+//! The paper's experiments run on the Chilean subduction zone using
+//! geometry from the USGS Slab2 project (Hayes et al. 2018). Slab2 data is
+//! not redistributable here, so [`FaultModel::chilean_subduction`] builds a
+//! *procedural* Slab2-like interface: a trench trace following the Chilean
+//! coast, dip increasing with down-dip distance (shallow ~10° near the
+//! trench steepening to ~30° at depth), which reproduces the geometric
+//! properties the workflow actually exercises (mesh size, depth range,
+//! inter-subfault distances).
+
+use crate::error::{FqError, FqResult};
+use crate::geo::GeoPoint;
+
+/// One rectangular subfault patch on the fault interface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Subfault {
+    /// Index along strike (0 = southern end).
+    pub along_strike: usize,
+    /// Index down dip (0 = at the trench).
+    pub down_dip: usize,
+    /// Patch centre.
+    pub center: GeoPoint,
+    /// Local strike in degrees clockwise from North.
+    pub strike_deg: f64,
+    /// Local dip in degrees from horizontal.
+    pub dip_deg: f64,
+    /// Patch length along strike, km.
+    pub length_km: f64,
+    /// Patch width down dip, km.
+    pub width_km: f64,
+}
+
+impl Subfault {
+    /// Patch area in km².
+    pub fn area_km2(&self) -> f64 {
+        self.length_km * self.width_km
+    }
+}
+
+/// A gridded fault model: `n_strike × n_dip` subfaults on a curved
+/// subduction interface.
+#[derive(Debug, Clone)]
+pub struct FaultModel {
+    name: String,
+    n_strike: usize,
+    n_dip: usize,
+    subfaults: Vec<Subfault>,
+    /// Shear modulus (rigidity) in Pa, used for moment computations.
+    pub rigidity_pa: f64,
+}
+
+impl FaultModel {
+    /// Build a procedural Slab2-like model of the Chilean subduction zone.
+    ///
+    /// * `n_strike` patches span ~18°S to ~38°S along a coast-parallel
+    ///   trench (~2,200 km).
+    /// * `n_dip` patches span the seismogenic interface from ~5 km to
+    ///   ~55 km depth, with dip steepening down-dip.
+    pub fn chilean_subduction(n_strike: usize, n_dip: usize) -> FqResult<Self> {
+        if n_strike == 0 || n_dip == 0 {
+            return Err(FqError::Geometry(
+                "fault mesh must have at least one patch in each direction".into(),
+            ));
+        }
+        let lat_south = -38.0;
+        let lat_north = -18.0;
+        let total_length_km = GeoPoint::new(-73.0, lat_south, 0.0)
+            .surface_distance_km(&GeoPoint::new(-71.0, lat_north, 0.0));
+        let patch_len = total_length_km / n_strike as f64;
+
+        // Down-dip: seismogenic zone ~150 km wide on the interface.
+        let total_width_km = 150.0;
+        let patch_wid = total_width_km / n_dip as f64;
+
+        let mut subfaults = Vec::with_capacity(n_strike * n_dip);
+        for is in 0..n_strike {
+            let f = (is as f64 + 0.5) / n_strike as f64;
+            let lat = lat_south + f * (lat_north - lat_south);
+            // Trench longitude follows the Chilean coastline: bows westward
+            // in the centre of the margin.
+            let trench_lon = -72.0 - 1.5 * (std::f64::consts::PI * f).sin();
+            // Local strike from the lat/lon gradient of the trench trace;
+            // approximately coast-parallel (~N10–20E в Chile ≈ strike ~5–20°).
+            let strike = 10.0 + 8.0 * (2.0 * std::f64::consts::PI * f).cos();
+            for id in 0..n_dip {
+                let s_downdip = (id as f64 + 0.5) * patch_wid; // km along the interface
+                // Dip steepens with down-dip distance: 10° at the trench up
+                // to ~30° at the deep end.
+                let dip = 10.0 + 20.0 * (s_downdip / total_width_km).min(1.0);
+                // Integrate depth: approximate with average dip to this point.
+                let avg_dip = 10.0 + 10.0 * (s_downdip / total_width_km).min(1.0);
+                let depth = 5.0 + s_downdip * avg_dip.to_radians().sin();
+                let horiz = s_downdip * avg_dip.to_radians().cos();
+                // Down-dip direction points east (landward) for a
+                // west-dipping trench; offset longitude accordingly.
+                let deg_per_km_lon =
+                    1.0 / (111.19 * lat.to_radians().cos().abs().max(1e-6));
+                let lon = trench_lon + horiz * deg_per_km_lon;
+                subfaults.push(Subfault {
+                    along_strike: is,
+                    down_dip: id,
+                    center: GeoPoint::new(lon, lat, depth),
+                    strike_deg: strike,
+                    dip_deg: dip,
+                    length_km: patch_len,
+                    width_km: patch_wid,
+                });
+            }
+        }
+        Ok(Self {
+            name: "chile_slab2like".to_string(),
+            n_strike,
+            n_dip,
+            subfaults,
+            rigidity_pa: 3.0e10,
+        })
+    }
+
+    /// Build a procedural Slab2-like model of the Cascadia subduction zone
+    /// (the paper's §7 "regions beyond Chile"; Melgar et al. 2016 apply
+    /// FakeQuakes to exactly this margin).
+    ///
+    /// * `n_strike` patches span ~40°N to ~49°N (~1,000 km of margin);
+    /// * `n_dip` patches span a shallower, flatter interface than Chile
+    ///   (~5–30 km depth over ~120 km), reflecting Cascadia's young,
+    ///   buoyant slab.
+    pub fn cascadia_subduction(n_strike: usize, n_dip: usize) -> FqResult<Self> {
+        if n_strike == 0 || n_dip == 0 {
+            return Err(FqError::Geometry(
+                "fault mesh must have at least one patch in each direction".into(),
+            ));
+        }
+        let lat_south = 40.0;
+        let lat_north = 49.0;
+        let total_length_km = GeoPoint::new(-125.0, lat_south, 0.0)
+            .surface_distance_km(&GeoPoint::new(-126.5, lat_north, 0.0));
+        let patch_len = total_length_km / n_strike as f64;
+        let total_width_km = 120.0;
+        let patch_wid = total_width_km / n_dip as f64;
+
+        let mut subfaults = Vec::with_capacity(n_strike * n_dip);
+        for is in 0..n_strike {
+            let f = (is as f64 + 0.5) / n_strike as f64;
+            let lat = lat_south + f * (lat_north - lat_south);
+            // Deformation front bows gently westward off Washington.
+            let trench_lon = -125.0 - 1.5 * f - 0.6 * (std::f64::consts::PI * f).sin();
+            // Margin-parallel strike ~N-S to NNW.
+            let strike = 350.0 + 12.0 * f;
+            for id in 0..n_dip {
+                let s_downdip = (id as f64 + 0.5) * patch_wid;
+                // Cascadia dips shallowly: ~6° near the trench to ~18° deep.
+                let dip = 6.0 + 12.0 * (s_downdip / total_width_km).min(1.0);
+                let avg_dip = 6.0 + 6.0 * (s_downdip / total_width_km).min(1.0);
+                let depth = 5.0 + s_downdip * avg_dip.to_radians().sin();
+                let horiz = s_downdip * avg_dip.to_radians().cos();
+                let deg_per_km_lon =
+                    1.0 / (111.19 * lat.to_radians().cos().abs().max(1e-6));
+                // The slab dips landward (eastward) under North America.
+                let lon = trench_lon + horiz * deg_per_km_lon;
+                subfaults.push(Subfault {
+                    along_strike: is,
+                    down_dip: id,
+                    center: GeoPoint::new(lon, lat, depth),
+                    strike_deg: strike,
+                    dip_deg: dip,
+                    length_km: patch_len,
+                    width_km: patch_wid,
+                });
+            }
+        }
+        Ok(Self {
+            name: "cascadia_slab2like".to_string(),
+            n_strike,
+            n_dip,
+            subfaults,
+            rigidity_pa: 3.0e10,
+        })
+    }
+
+    /// Model name (used to label artifacts).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of patches along strike.
+    pub fn n_strike(&self) -> usize {
+        self.n_strike
+    }
+
+    /// Number of patches down dip.
+    pub fn n_dip(&self) -> usize {
+        self.n_dip
+    }
+
+    /// Total number of subfaults.
+    pub fn len(&self) -> usize {
+        self.subfaults.len()
+    }
+
+    /// True when the mesh has no subfaults (cannot happen for constructed models).
+    pub fn is_empty(&self) -> bool {
+        self.subfaults.is_empty()
+    }
+
+    /// All subfaults in `strike-major` order (`index = is * n_dip + id`).
+    pub fn subfaults(&self) -> &[Subfault] {
+        &self.subfaults
+    }
+
+    /// Subfault by linear index.
+    pub fn subfault(&self, idx: usize) -> &Subfault {
+        &self.subfaults[idx]
+    }
+
+    /// Linear index of the patch at `(along_strike, down_dip)`.
+    pub fn index_of(&self, along_strike: usize, down_dip: usize) -> usize {
+        along_strike * self.n_dip + down_dip
+    }
+
+    /// Total fault area in km².
+    pub fn total_area_km2(&self) -> f64 {
+        self.subfaults.iter().map(|s| s.area_km2()).sum()
+    }
+}
+
+/// Earthquake scaling laws relating moment magnitude to rupture dimensions,
+/// after the interface-event regressions used by FakeQuakes (Blaser et al.
+/// 2010 style: log10 L = -2.37 + 0.57 Mw, log10 W = -1.86 + 0.46 Mw).
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingLaw {
+    /// Intercept/slope of log10(length-km) vs Mw.
+    pub length_a: f64,
+    /// Slope of log10(length-km) vs Mw.
+    pub length_b: f64,
+    /// Intercept of log10(width-km) vs Mw.
+    pub width_a: f64,
+    /// Slope of log10(width-km) vs Mw.
+    pub width_b: f64,
+}
+
+impl Default for ScalingLaw {
+    fn default() -> Self {
+        Self { length_a: -2.37, length_b: 0.57, width_a: -1.86, width_b: 0.46 }
+    }
+}
+
+impl ScalingLaw {
+    /// Expected rupture length (km) for a given moment magnitude.
+    pub fn length_km(&self, mw: f64) -> f64 {
+        10f64.powf(self.length_a + self.length_b * mw)
+    }
+
+    /// Expected rupture width (km) for a given moment magnitude.
+    pub fn width_km(&self, mw: f64) -> f64 {
+        10f64.powf(self.width_a + self.width_b * mw)
+    }
+
+    /// Expected rupture area (km²).
+    pub fn area_km2(&self, mw: f64) -> f64 {
+        self.length_km(mw) * self.width_km(mw)
+    }
+}
+
+/// Seismic moment (N·m) from moment magnitude (Hanks & Kanamori 1979).
+pub fn moment_from_mw(mw: f64) -> f64 {
+    10f64.powf(1.5 * mw + 9.1)
+}
+
+/// Moment magnitude from seismic moment (N·m).
+pub fn mw_from_moment(m0: f64) -> f64 {
+    (m0.log10() - 9.1) / 1.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_mesh_rejected() {
+        assert!(FaultModel::chilean_subduction(0, 10).is_err());
+        assert!(FaultModel::chilean_subduction(10, 0).is_err());
+    }
+
+    #[test]
+    fn mesh_has_expected_count_and_order() {
+        let m = FaultModel::chilean_subduction(20, 8).unwrap();
+        assert_eq!(m.len(), 160);
+        assert!(!m.is_empty());
+        for (k, sf) in m.subfaults().iter().enumerate() {
+            assert_eq!(m.index_of(sf.along_strike, sf.down_dip), k);
+        }
+    }
+
+    #[test]
+    fn depth_increases_down_dip() {
+        let m = FaultModel::chilean_subduction(10, 12).unwrap();
+        for is in 0..10 {
+            for id in 1..12 {
+                let shallower = m.subfault(m.index_of(is, id - 1));
+                let deeper = m.subfault(m.index_of(is, id));
+                assert!(
+                    deeper.center.depth_km > shallower.center.depth_km,
+                    "dip column {is} not monotone at {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depths_within_seismogenic_range() {
+        let m = FaultModel::chilean_subduction(30, 15).unwrap();
+        for sf in m.subfaults() {
+            assert!(sf.center.depth_km >= 5.0 && sf.center.depth_km <= 60.0,
+                "depth {} out of range", sf.center.depth_km);
+            assert!(sf.dip_deg >= 10.0 && sf.dip_deg <= 30.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn latitudes_span_chile() {
+        let m = FaultModel::chilean_subduction(40, 10).unwrap();
+        let lats: Vec<f64> = m.subfaults().iter().map(|s| s.center.lat).collect();
+        let min = lats.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = lats.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min > -38.0 && min < -37.0);
+        assert!(max < -18.0 && max > -19.0);
+    }
+
+    #[test]
+    fn total_area_matches_patch_sum() {
+        let m = FaultModel::chilean_subduction(8, 4).unwrap();
+        let per = m.subfault(0).area_km2();
+        assert!((m.total_area_km2() - per * 32.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cascadia_mesh_properties() {
+        let m = FaultModel::cascadia_subduction(20, 8).unwrap();
+        assert_eq!(m.len(), 160);
+        assert_eq!(m.name(), "cascadia_slab2like");
+        for sf in m.subfaults() {
+            assert!(sf.center.lat >= 40.0 && sf.center.lat <= 49.0);
+            assert!(sf.center.lon >= -128.5 && sf.center.lon <= -121.0,
+                "lon {}", sf.center.lon);
+            // Cascadia dips shallower than Chile everywhere.
+            assert!(sf.dip_deg >= 6.0 && sf.dip_deg <= 18.0 + 1e-9);
+            assert!(sf.center.depth_km >= 5.0 && sf.center.depth_km <= 35.0);
+        }
+        // Depth still increases down dip.
+        for is in 0..20 {
+            for id in 1..8 {
+                assert!(
+                    m.subfault(m.index_of(is, id)).center.depth_km
+                        > m.subfault(m.index_of(is, id - 1)).center.depth_km
+                );
+            }
+        }
+        assert!(FaultModel::cascadia_subduction(0, 1).is_err());
+    }
+
+    #[test]
+    fn cascadia_differs_from_chile() {
+        let casc = FaultModel::cascadia_subduction(10, 5).unwrap();
+        let chile = FaultModel::chilean_subduction(10, 5).unwrap();
+        // Different hemispheres, shallower dips.
+        assert!(casc.subfault(0).center.lat > 0.0);
+        assert!(chile.subfault(0).center.lat < 0.0);
+        let mean_dip = |m: &FaultModel| {
+            m.subfaults().iter().map(|s| s.dip_deg).sum::<f64>() / m.len() as f64
+        };
+        assert!(mean_dip(&casc) < mean_dip(&chile));
+    }
+
+    #[test]
+    fn scaling_law_monotone_in_magnitude() {
+        let s = ScalingLaw::default();
+        assert!(s.length_km(8.0) > s.length_km(7.0));
+        assert!(s.width_km(8.0) > s.width_km(7.0));
+        assert!(s.area_km2(8.0) > s.area_km2(7.0));
+    }
+
+    #[test]
+    fn scaling_law_sane_magnitude8_dimensions() {
+        let s = ScalingLaw::default();
+        let l = s.length_km(8.0);
+        let w = s.width_km(8.0);
+        // Mw 8 interface events rupture on the order of 150–250 km length.
+        assert!(l > 100.0 && l < 350.0, "length {l}");
+        assert!(w > 40.0 && w < 150.0, "width {w}");
+    }
+
+    #[test]
+    fn moment_magnitude_roundtrip() {
+        for mw in [6.0, 7.5, 8.1, 9.0] {
+            let m0 = moment_from_mw(mw);
+            assert!((mw_from_moment(m0) - mw).abs() < 1e-12);
+        }
+        // Mw 8.0 is ~1.26e21 N·m
+        assert!((moment_from_mw(8.0) / 1.26e21 - 1.0).abs() < 0.01);
+    }
+}

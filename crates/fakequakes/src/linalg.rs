@@ -1,0 +1,473 @@
+//! Minimal dense linear algebra: a row-major `Matrix`, Cholesky
+//! factorisation, and a Jacobi symmetric eigensolver.
+//!
+//! The stochastic slip generator needs to factor covariance matrices built
+//! from von Kármán correlations. Rather than pulling in a BLAS binding, we
+//! implement the two factorisations FakeQuakes actually relies on:
+//!
+//! * **Cholesky** (with diagonal jitter fallback) for sampling correlated
+//!   Gaussian fields, and
+//! * **Jacobi eigendecomposition** for Karhunen–Loève mode truncation —
+//!   the ablation in `DESIGN.md` compares the two.
+//!
+//! Matrices here are at most a few thousand square (one row/column per
+//! subfault), for which the O(n^3) dense routines are perfectly adequate.
+
+use crate::error::{FqError, FqResult};
+
+/// A dense, row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a zero-filled matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Build from a row-major vector; `data.len()` must equal `rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> FqResult<Self> {
+        if data.len() != rows * cols {
+            return Err(FqError::Linalg(format!(
+                "shape mismatch: {}x{} needs {} elements, got {}",
+                rows,
+                cols,
+                rows * cols,
+                data.len()
+            )));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consume into the underlying row-major storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow one row as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(v) {
+                acc += a * b;
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Maximum absolute off-diagonal element (square matrices only);
+    /// used as the Jacobi convergence criterion.
+    fn max_offdiag(&self) -> (usize, usize, f64) {
+        let mut best = (0usize, 1usize, 0.0f64);
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let v = self[(i, j)].abs();
+                if v > best.2 {
+                    best = (i, j, v);
+                }
+            }
+        }
+        best
+    }
+
+    /// Cholesky factorisation `A = L * L^T`, returning lower-triangular `L`.
+    ///
+    /// If the matrix is only marginally positive definite (common for dense
+    /// correlation matrices with near-duplicate rows), retries with
+    /// progressively larger diagonal jitter before giving up.
+    pub fn cholesky(&self) -> FqResult<Matrix> {
+        if self.rows != self.cols {
+            return Err(FqError::Linalg("cholesky requires a square matrix".into()));
+        }
+        let n = self.rows;
+        let mut jitter = 0.0;
+        for attempt in 0..6 {
+            match self.try_cholesky(jitter) {
+                Ok(l) => return Ok(l),
+                Err(_) if attempt < 5 => {
+                    jitter = if jitter == 0.0 { 1e-10 } else { jitter * 100.0 };
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(FqError::Linalg(format!(
+            "matrix of size {n} not positive definite even with jitter"
+        )))
+    }
+
+    fn try_cholesky(&self, jitter: f64) -> FqResult<Matrix> {
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                if i == j {
+                    sum += jitter;
+                }
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(FqError::Linalg(format!(
+                            "non-positive pivot {sum:e} at row {i}"
+                        )));
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solve `A x = b` for symmetric positive-definite `A` via Cholesky
+    /// (forward/back substitution). Used by the EEW regression's normal
+    /// equations.
+    pub fn solve_spd(&self, b: &[f64]) -> FqResult<Vec<f64>> {
+        if self.rows != self.cols {
+            return Err(FqError::Linalg("solve_spd requires a square matrix".into()));
+        }
+        if b.len() != self.rows {
+            return Err(FqError::Linalg(format!(
+                "rhs length {} != matrix size {}",
+                b.len(),
+                self.rows
+            )));
+        }
+        let l = self.cholesky()?;
+        let n = self.rows;
+        // Forward: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= l[(i, k)] * y[k];
+            }
+            y[i] = s / l[(i, i)];
+        }
+        // Back: L^T x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= l[(k, i)] * x[k];
+            }
+            x[i] = s / l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Jacobi eigendecomposition of a symmetric matrix.
+    ///
+    /// Returns `(eigenvalues, eigenvectors)` sorted by descending
+    /// eigenvalue; eigenvector `k` is column `k` of the returned matrix.
+    pub fn symmetric_eigen(&self, max_sweeps: usize) -> FqResult<(Vec<f64>, Matrix)> {
+        if self.rows != self.cols {
+            return Err(FqError::Linalg("eigen requires a square matrix".into()));
+        }
+        let n = self.rows;
+        if n == 0 {
+            return Ok((Vec::new(), Matrix::zeros(0, 0)));
+        }
+        let mut a = self.clone();
+        let mut v = Matrix::identity(n);
+        let scale: f64 = self
+            .data
+            .iter()
+            .fold(0.0f64, |m, x| m.max(x.abs()))
+            .max(f64::MIN_POSITIVE);
+        let tol = 1e-12 * scale;
+        for _sweep in 0..max_sweeps * n * n {
+            let (p, q, off) = a.max_offdiag();
+            if off <= tol {
+                break;
+            }
+            // Classic Jacobi rotation annihilating a[p][q].
+            let app = a[(p, p)];
+            let aqq = a[(q, q)];
+            let apq = a[(p, q)];
+            let theta = (aqq - app) / (2.0 * apq);
+            let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+            let c = 1.0 / (t * t + 1.0).sqrt();
+            let s = t * c;
+            for k in 0..n {
+                let akp = a[(k, p)];
+                let akq = a[(k, q)];
+                a[(k, p)] = c * akp - s * akq;
+                a[(k, q)] = s * akp + c * akq;
+            }
+            for k in 0..n {
+                let apk = a[(p, k)];
+                let aqk = a[(q, k)];
+                a[(p, k)] = c * apk - s * aqk;
+                a[(q, k)] = s * apk + c * aqk;
+            }
+            for k in 0..n {
+                let vkp = v[(k, p)];
+                let vkq = v[(k, q)];
+                v[(k, p)] = c * vkp - s * vkq;
+                v[(k, q)] = s * vkp + c * vkq;
+            }
+        }
+        let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a[(i, i)], i)).collect();
+        pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
+        let eigenvalues: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let eigenvectors =
+            Matrix::from_fn(n, n, |i, k| v[(i, pairs[k].1)]);
+        Ok((eigenvalues, eigenvectors))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn from_vec_checks_shape() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn identity_matvec_is_noop() {
+        let m = Matrix::identity(4);
+        let v = vec![1.0, -2.0, 3.5, 0.25];
+        assert_eq!(m.matvec(&v), v);
+    }
+
+    #[test]
+    fn matvec_known_values() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let out = m.matvec(&[1.0, 1.0, 1.0]);
+        assert_eq!(out, vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 7 + j) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn cholesky_of_identity_is_identity() {
+        let l = Matrix::identity(5).cholesky().unwrap();
+        assert_eq!(l, Matrix::identity(5));
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        // SPD matrix A = B^T B + I
+        let b = Matrix::from_fn(4, 4, |i, j| ((i + 2 * j) % 5) as f64 * 0.3);
+        let bt = b.transpose();
+        let mut a = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut s = if i == j { 1.0 } else { 0.0 };
+                for k in 0..4 {
+                    s += bt[(i, k)] * b[(k, j)];
+                }
+                a[(i, j)] = s;
+            }
+        }
+        let l = a.cholesky().unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut s = 0.0;
+                for k in 0..4 {
+                    s += l[(i, k)] * l[(j, k)];
+                }
+                assert!(approx(s, a[(i, j)], 1e-9), "({i},{j}): {s} vs {}", a[(i, j)]);
+            }
+        }
+        // Upper triangle of L must be zero.
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_nonsquare() {
+        assert!(Matrix::zeros(2, 3).cholesky().is_err());
+    }
+
+    #[test]
+    fn cholesky_negative_definite_fails() {
+        let mut m = Matrix::identity(3);
+        m[(0, 0)] = -5.0;
+        assert!(m.cholesky().is_err());
+    }
+
+    #[test]
+    fn solve_spd_recovers_known_solution() {
+        // A = [[4,1],[1,3]], x = [1, 2], b = A x = [6, 7].
+        let a = Matrix::from_vec(2, 2, vec![4.0, 1.0, 1.0, 3.0]).unwrap();
+        let x = a.solve_spd(&[6.0, 7.0]).unwrap();
+        assert!(approx(x[0], 1.0, 1e-10));
+        assert!(approx(x[1], 2.0, 1e-10));
+    }
+
+    #[test]
+    fn solve_spd_residual_is_small_for_random_spd() {
+        let n = 6;
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 3 + j * 7) % 11) as f64 * 0.1);
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = if i == j { n as f64 } else { 0.0 };
+                for k in 0..n {
+                    s += b[(i, k)] * b[(j, k)];
+                }
+                a[(i, j)] = s;
+            }
+        }
+        let rhs: Vec<f64> = (0..n).map(|i| i as f64 - 2.5).collect();
+        let x = a.solve_spd(&rhs).unwrap();
+        let ax = a.matvec(&x);
+        for (got, want) in ax.iter().zip(&rhs) {
+            assert!(approx(*got, *want, 1e-8), "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn solve_spd_rejects_bad_shapes() {
+        assert!(Matrix::zeros(2, 3).solve_spd(&[1.0, 2.0]).is_err());
+        assert!(Matrix::identity(3).solve_spd(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn jacobi_diagonal_matrix() {
+        let mut m = Matrix::zeros(3, 3);
+        m[(0, 0)] = 3.0;
+        m[(1, 1)] = 1.0;
+        m[(2, 2)] = 2.0;
+        let (vals, _) = m.symmetric_eigen(30).unwrap();
+        assert!(approx(vals[0], 3.0, 1e-10));
+        assert!(approx(vals[1], 2.0, 1e-10));
+        assert!(approx(vals[2], 1.0, 1e-10));
+    }
+
+    #[test]
+    fn jacobi_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let m = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let (vals, vecs) = m.symmetric_eigen(30).unwrap();
+        assert!(approx(vals[0], 3.0, 1e-10));
+        assert!(approx(vals[1], 1.0, 1e-10));
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let (x, y) = (vecs[(0, 0)], vecs[(1, 0)]);
+        assert!(approx(x.abs(), y.abs(), 1e-8));
+        assert!(approx(x.hypot(y), 1.0, 1e-8));
+    }
+
+    #[test]
+    fn jacobi_reconstruction() {
+        // Symmetric matrix; check A ≈ V diag(λ) V^T.
+        let n = 6;
+        let m = Matrix::from_fn(n, n, |i, j| {
+            1.0 / (1.0 + (i as f64 - j as f64).abs())
+        });
+        let (vals, vecs) = m.symmetric_eigen(50).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += vecs[(i, k)] * vals[k] * vecs[(j, k)];
+                }
+                assert!(approx(s, m[(i, j)], 1e-8), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_empty_matrix() {
+        let (vals, vecs) = Matrix::zeros(0, 0).symmetric_eigen(10).unwrap();
+        assert!(vals.is_empty());
+        assert_eq!(vecs.rows(), 0);
+    }
+
+    #[test]
+    fn eigenvalue_sum_equals_trace() {
+        let n = 8;
+        let m = Matrix::from_fn(n, n, |i, j| {
+            (-((i as f64 - j as f64).powi(2)) / 4.0).exp()
+        });
+        let (vals, _) = m.symmetric_eigen(50).unwrap();
+        let trace: f64 = (0..n).map(|i| m[(i, i)]).sum();
+        let sum: f64 = vals.iter().sum();
+        assert!(approx(sum, trace, 1e-8), "sum={sum} trace={trace}");
+    }
+}

@@ -1,0 +1,280 @@
+//! A MiniSEED-like record container for Green's function matrices and
+//! waveforms — the `.mseed` artifacts of the B and C Phases.
+//!
+//! Real MiniSEED (FDSN SEED data records) carries channel time series in
+//! fixed-size blockettes with Steim compression. We implement a simplified
+//! but self-describing binary container (`FQMS` format) with the properties
+//! the workflow depends on: multiple named channels per file, f64 payloads,
+//! a CRC for transfer integrity (Stash cache validation), and sizes in the
+//! hundreds-of-MB-to-GB range for full-input GF libraries.
+//!
+//! Layout (little-endian):
+//! ```text
+//! magic "FQMS" | u16 version | u16 n_records
+//! per record: u16 code_len | code bytes | f64 dt_s | u32 n_samples
+//!             | n_samples * f64 | u32 crc32
+//! ```
+
+use crate::error::{FqError, FqResult};
+
+const MAGIC: &[u8; 4] = b"FQMS";
+const VERSION: u16 = 1;
+
+/// One named channel of samples (e.g. `CH042.LXE` for the east component).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MseedRecord {
+    /// Channel code, e.g. `CH042.LXE`.
+    pub code: String,
+    /// Sample interval, seconds.
+    pub dt_s: f64,
+    /// Sample payload.
+    pub samples: Vec<f64>,
+}
+
+/// A container of records — one `.mseed` file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MseedFile {
+    /// Records in file order.
+    pub records: Vec<MseedRecord>,
+}
+
+impl MseedFile {
+    /// Create an empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a record.
+    pub fn push(&mut self, code: impl Into<String>, dt_s: f64, samples: Vec<f64>) {
+        self.records.push(MseedRecord { code: code.into(), dt_s, samples });
+    }
+
+    /// Find a record by channel code.
+    pub fn record(&self, code: &str) -> Option<&MseedRecord> {
+        self.records.iter().find(|r| r.code == code)
+    }
+
+    /// Serialise to bytes.
+    pub fn to_bytes(&self) -> FqResult<Vec<u8>> {
+        if self.records.len() > u16::MAX as usize {
+            return Err(FqError::Format("too many records for one mseed file".into()));
+        }
+        let payload: usize = self
+            .records
+            .iter()
+            .map(|r| 2 + r.code.len() + 8 + 4 + r.samples.len() * 8 + 4)
+            .sum();
+        let mut out = Vec::with_capacity(8 + payload);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.records.len() as u16).to_le_bytes());
+        for r in &self.records {
+            if r.code.len() > u16::MAX as usize {
+                return Err(FqError::Format("channel code too long".into()));
+            }
+            out.extend_from_slice(&(r.code.len() as u16).to_le_bytes());
+            out.extend_from_slice(r.code.as_bytes());
+            out.extend_from_slice(&r.dt_s.to_le_bytes());
+            out.extend_from_slice(&(r.samples.len() as u32).to_le_bytes());
+            let data_start = out.len();
+            for s in &r.samples {
+                out.extend_from_slice(&s.to_le_bytes());
+            }
+            let crc = crc32(&out[data_start..]);
+            out.extend_from_slice(&crc.to_le_bytes());
+        }
+        Ok(out)
+    }
+
+    /// Parse from bytes, verifying each record's CRC.
+    pub fn from_bytes(bytes: &[u8]) -> FqResult<Self> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        let magic = cur.take(4)?;
+        if magic != MAGIC {
+            return Err(FqError::Format("not an FQMS mseed file".into()));
+        }
+        let version = cur.u16()?;
+        if version != VERSION {
+            return Err(FqError::Format(format!("unsupported FQMS version {version}")));
+        }
+        let n = cur.u16()? as usize;
+        let mut records = Vec::with_capacity(n);
+        for _ in 0..n {
+            let code_len = cur.u16()? as usize;
+            let code = std::str::from_utf8(cur.take(code_len)?)
+                .map_err(|_| FqError::Format("channel code not UTF-8".into()))?
+                .to_string();
+            let dt_s = cur.f64()?;
+            let n_samples = cur.u32()? as usize;
+            let data = cur.take(n_samples * 8)?;
+            let expected = crc32(data);
+            let mut samples = Vec::with_capacity(n_samples);
+            for chunk in data.chunks_exact(8) {
+                samples.push(f64::from_le_bytes(chunk.try_into().unwrap()));
+            }
+            let stored = cur.u32()?;
+            if stored != expected {
+                return Err(FqError::Format(format!(
+                    "CRC mismatch in record '{code}': stored {stored:#010x}, computed {expected:#010x}"
+                )));
+            }
+            records.push(MseedRecord { code, dt_s, samples });
+        }
+        Ok(Self { records })
+    }
+
+    /// Write to a file on disk.
+    pub fn write(&self, path: &std::path::Path) -> FqResult<()> {
+        std::fs::write(path, self.to_bytes()?)?;
+        Ok(())
+    }
+
+    /// Read from a file on disk.
+    pub fn read(path: &std::path::Path) -> FqResult<Self> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Total serialised size in bytes without materialising the buffer.
+    pub fn nbytes(&self) -> usize {
+        8 + self
+            .records
+            .iter()
+            .map(|r| 2 + r.code.len() + 8 + 4 + r.samples.len() * 8 + 4)
+            .sum::<usize>()
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> FqResult<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(FqError::Format(format!(
+                "truncated FQMS file at offset {}",
+                self.pos
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> FqResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> FqResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> FqResult<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-free
+/// bitwise implementation — transfer-integrity checks are not hot.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let f = MseedFile::new();
+        let back = MseedFile::from_bytes(&f.to_bytes().unwrap()).unwrap();
+        assert!(back.records.is_empty());
+    }
+
+    #[test]
+    fn multi_record_roundtrip() {
+        let mut f = MseedFile::new();
+        f.push("CH000.LXE", 1.0, vec![0.1, -0.2, 0.3]);
+        f.push("CH000.LXN", 1.0, vec![]);
+        f.push("CH000.LXZ", 0.5, vec![f64::MAX, f64::MIN, 1e-300]);
+        let bytes = f.to_bytes().unwrap();
+        let back = MseedFile::from_bytes(&bytes).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(bytes.len(), f.nbytes());
+    }
+
+    #[test]
+    fn record_lookup() {
+        let mut f = MseedFile::new();
+        f.push("A", 1.0, vec![1.0]);
+        f.push("B", 1.0, vec![2.0]);
+        assert_eq!(f.record("B").unwrap().samples, vec![2.0]);
+        assert!(f.record("C").is_none());
+    }
+
+    #[test]
+    fn corruption_detected_by_crc() {
+        let mut f = MseedFile::new();
+        f.push("CH000.LXE", 1.0, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut bytes = f.to_bytes().unwrap();
+        // Flip a bit inside the sample payload (after header+code+dt+len).
+        let idx = bytes.len() - 12; // inside the last sample
+        bytes[idx] ^= 0x01;
+        let err = MseedFile::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("CRC mismatch"), "{err}");
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut f = MseedFile::new();
+        f.push("CH000.LXE", 1.0, vec![1.0, 2.0]);
+        let bytes = f.to_bytes().unwrap();
+        for cut in [3, 7, 10, bytes.len() - 1] {
+            assert!(
+                MseedFile::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(MseedFile::from_bytes(b"XXXX\x01\x00\x00\x00").is_err());
+    }
+
+    #[test]
+    fn file_io_roundtrip() {
+        let dir = std::env::temp_dir().join("fq_mseed_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gf.mseed");
+        let mut f = MseedFile::new();
+        f.push("CH001.GF", 1.0, (0..1000).map(|i| i as f64 * 0.001).collect());
+        f.write(&path).unwrap();
+        assert_eq!(MseedFile::read(&path).unwrap(), f);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn nbytes_matches_serialized_length() {
+        let mut f = MseedFile::new();
+        f.push("LONG.CHANNEL.CODE", 2.0, vec![0.0; 137]);
+        f.push("S", 0.1, vec![1.0; 3]);
+        assert_eq!(f.to_bytes().unwrap().len(), f.nbytes());
+    }
+}

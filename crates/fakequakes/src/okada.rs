@@ -1,0 +1,350 @@
+//! Okada (1985) surface displacements of a rectangular dislocation in an
+//! elastic half-space — the analytic Green's functions MudPy uses for
+//! static deformation.
+//!
+//! Implements equations (25)–(30) of Okada, *Surface deformation due to
+//! shear and tensile faults in a half-space*, BSSA 75(4), 1985, for
+//! observation points on the free surface (z = 0), in the fault-local
+//! coordinate system: x along strike, y horizontal perpendicular to
+//! strike (footwall → hanging wall), fault upper edge at depth `d`,
+//! extending `length` along strike (0 ≤ ξ ≤ L) and `width` down dip.
+//! Verified against the check values in Okada's Table 2.
+
+/// Slip components on the fault plane, metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Dislocation {
+    /// Strike-slip component U1.
+    pub strike_slip: f64,
+    /// Dip-slip component U2 (positive = reverse/thrust).
+    pub dip_slip: f64,
+    /// Tensile opening U3.
+    pub tensile: f64,
+}
+
+/// Surface displacement in the fault-local frame: `x` along strike, `y`
+/// perpendicular, `z` up. Metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SurfaceDisplacement {
+    /// Along-strike displacement.
+    pub x: f64,
+    /// Strike-perpendicular displacement.
+    pub y: f64,
+    /// Vertical displacement (positive up).
+    pub z: f64,
+}
+
+/// Medium constant μ/(λ+μ); 0.5 for a Poisson solid (λ = μ), which is
+/// what MudPy assumes.
+pub const POISSON_ALPHA: f64 = 0.5;
+
+/// Compute the surface displacement at `(x, y)` (fault-local km or any
+/// consistent unit) for a rectangular fault of `length × width` with its
+/// upper edge at depth `d`, dipping `dip_deg`, carrying `slip`.
+///
+/// All lengths share one unit; displacements come out in the slip's unit.
+pub fn rectangular_dislocation(
+    x: f64,
+    y: f64,
+    d: f64,
+    length: f64,
+    width: f64,
+    dip_deg: f64,
+    slip: &Dislocation,
+    alpha: f64,
+) -> SurfaceDisplacement {
+    assert!(d >= 0.0, "upper edge must be at or below the surface");
+    assert!(length > 0.0 && width > 0.0, "fault must have positive extent");
+    let dip = dip_deg.to_radians();
+    let (sd, cd) = (dip.sin(), dip.cos());
+    let p = y * cd + d * sd;
+    let q = y * sd - d * cd;
+
+    // Chinnery double difference f(ξ,η)‖.
+    let chinnery = |f: &dyn Fn(f64, f64) -> f64| -> f64 {
+        f(x, p) - f(x, p - width) - f(x - length, p) + f(x - length, p - width)
+    };
+
+    // Shared sub-expressions per (ξ, η) evaluation.
+    struct Terms {
+        r: f64,
+        ytil: f64,
+        dtil: f64,
+        atan_term: f64,
+        i1: f64,
+        i2: f64,
+        i3: f64,
+        i4: f64,
+        i5: f64,
+    }
+    let eval = |xi: f64, eta: f64| -> Terms {
+        let r = (xi * xi + eta * eta + q * q).sqrt();
+        let ytil = eta * cd + q * sd;
+        let dtil = eta * sd - q * cd;
+        let big_x = (xi * xi + q * q).sqrt();
+        // atan(ξη/(qR)): zero in the q→0 limit.
+        let atan_term = if q.abs() < 1e-14 {
+            0.0
+        } else {
+            (xi * eta / (q * r)).atan()
+        };
+        // ln(R+η) has a removable singularity when R+η→0 (observation
+        // aligned behind the fault edge); use the standard replacement
+        // −ln(R−η).
+        let ln_r_eta = if (r + eta).abs() < 1e-14 {
+            -((r - eta).ln())
+        } else {
+            (r + eta).ln()
+        };
+        let (i1, i2, i3, i4, i5);
+        if cd.abs() > 1e-10 {
+            i5 = if xi.abs() < 1e-14 {
+                0.0
+            } else {
+                alpha * 2.0 / cd
+                    * ((eta * (big_x + q * cd) + big_x * (r + big_x) * sd)
+                        / (xi * (r + big_x) * cd))
+                        .atan()
+            };
+            i4 = alpha / cd * ((r + dtil).ln() - sd * ln_r_eta);
+            i3 = alpha * (ytil / (cd * (r + dtil)) - ln_r_eta) + sd / cd * i4;
+            i1 = alpha * (-xi / (cd * (r + dtil))) - sd / cd * i5;
+            i2 = alpha * (-ln_r_eta) - i3;
+        } else {
+            // Vertical fault (cos δ = 0) limits, Okada eq. (29).
+            let rd = r + dtil;
+            i1 = -alpha / 2.0 * xi * q / (rd * rd);
+            i3 = alpha / 2.0 * (eta / rd + ytil * q / (rd * rd) - ln_r_eta);
+            i2 = alpha * (-ln_r_eta) - i3;
+            i4 = -alpha * q / rd;
+            i5 = -alpha * xi * sd / rd;
+        }
+        let _ = ln_r_eta;
+        Terms { r, ytil, dtil, atan_term, i1, i2, i3, i4, i5 }
+    };
+
+    let mut out = SurfaceDisplacement::default();
+
+    if slip.strike_slip != 0.0 {
+        let f_x = |xi: f64, eta: f64| {
+            let t = eval(xi, eta);
+            xi * q / (t.r * (t.r + eta)) + t.atan_term + t.i1 * sd
+        };
+        let f_y = |xi: f64, eta: f64| {
+            let t = eval(xi, eta);
+            t.ytil * q / (t.r * (t.r + eta)) + q * cd / (t.r + eta) + t.i2 * sd
+        };
+        let f_z = |xi: f64, eta: f64| {
+            let t = eval(xi, eta);
+            t.dtil * q / (t.r * (t.r + eta)) + q * sd / (t.r + eta) + t.i4 * sd
+        };
+        let u1 = slip.strike_slip / (2.0 * std::f64::consts::PI);
+        out.x -= u1 * chinnery(&f_x);
+        out.y -= u1 * chinnery(&f_y);
+        out.z -= u1 * chinnery(&f_z);
+    }
+
+    if slip.dip_slip != 0.0 {
+        let f_x = |xi: f64, eta: f64| {
+            let t = eval(xi, eta);
+            q / t.r - t.i3 * sd * cd
+        };
+        let f_y = |xi: f64, eta: f64| {
+            let t = eval(xi, eta);
+            t.ytil * q / (t.r * (t.r + xi)) + cd * t.atan_term - t.i1 * sd * cd
+        };
+        let f_z = |xi: f64, eta: f64| {
+            let t = eval(xi, eta);
+            t.dtil * q / (t.r * (t.r + xi)) + sd * t.atan_term - t.i5 * sd * cd
+        };
+        let u2 = slip.dip_slip / (2.0 * std::f64::consts::PI);
+        out.x -= u2 * chinnery(&f_x);
+        out.y -= u2 * chinnery(&f_y);
+        out.z -= u2 * chinnery(&f_z);
+    }
+
+    if slip.tensile != 0.0 {
+        let f_x = |xi: f64, eta: f64| {
+            let t = eval(xi, eta);
+            q * q / (t.r * (t.r + eta)) - t.i3 * sd * sd
+        };
+        let f_y = |xi: f64, eta: f64| {
+            let t = eval(xi, eta);
+            -t.dtil * q / (t.r * (t.r + xi))
+                - sd * (xi * q / (t.r * (t.r + eta)) - t.atan_term)
+                - t.i1 * sd * sd
+        };
+        let f_z = |xi: f64, eta: f64| {
+            let t = eval(xi, eta);
+            t.ytil * q / (t.r * (t.r + xi))
+                + cd * (xi * q / (t.r * (t.r + eta)) - t.atan_term)
+                - t.i5 * sd * sd
+        };
+        let u3 = slip.tensile / (2.0 * std::f64::consts::PI);
+        out.x += u3 * chinnery(&f_x);
+        out.y += u3 * chinnery(&f_y);
+        out.z += u3 * chinnery(&f_z);
+    }
+
+    // Suppress the unused warning when some slip modes are zero.
+    let _ = SurfaceDisplacement::default();
+    out
+}
+
+/// Rotate a fault-local displacement into East/North/Up given the fault
+/// strike (degrees clockwise from North). Fault-local x points along
+/// strike, y points in the hanging-wall direction (90° clockwise from
+/// strike).
+pub fn to_enu(strike_deg: f64, u: &SurfaceDisplacement) -> (f64, f64, f64) {
+    let s = strike_deg.to_radians();
+    let (sin_s, cos_s) = (s.sin(), s.cos());
+    // Strike unit vector (E, N) = (sin s, cos s); perpendicular
+    // (hanging-wall side) = (cos s, -sin s).
+    let e = u.x * sin_s + u.y * cos_s;
+    let n = u.x * cos_s - u.y * sin_s;
+    (e, n, u.z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Okada (1985) Table 2, case 2: x=2, y=3, d=4, δ=70°, L=3, W=2.
+    /// Published check values for unit slip in each mode.
+    const X: f64 = 2.0;
+    const Y: f64 = 3.0;
+    const D: f64 = 4.0;
+    const DIP: f64 = 70.0;
+    const L: f64 = 3.0;
+    const W: f64 = 2.0;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn okada_table2_strike_slip() {
+        let u = rectangular_dislocation(
+            X, Y, D, L, W, DIP,
+            &Dislocation { strike_slip: 1.0, ..Default::default() },
+            POISSON_ALPHA,
+        );
+        assert!(close(u.x, -8.689e-3, 1e-6), "ux {}", u.x);
+        assert!(close(u.y, -4.298e-3, 1e-6), "uy {}", u.y);
+        assert!(close(u.z, -2.747e-3, 1e-6), "uz {}", u.z);
+    }
+
+    #[test]
+    fn okada_table2_dip_slip() {
+        let u = rectangular_dislocation(
+            X, Y, D, L, W, DIP,
+            &Dislocation { dip_slip: 1.0, ..Default::default() },
+            POISSON_ALPHA,
+        );
+        assert!(close(u.x, -4.682e-3, 1e-6), "ux {}", u.x);
+        assert!(close(u.y, -3.527e-2, 1e-5), "uy {}", u.y);
+        assert!(close(u.z, -3.564e-2, 1e-5), "uz {}", u.z);
+    }
+
+    #[test]
+    fn okada_table2_tensile() {
+        let u = rectangular_dislocation(
+            X, Y, D, L, W, DIP,
+            &Dislocation { tensile: 1.0, ..Default::default() },
+            POISSON_ALPHA,
+        );
+        assert!(close(u.x, -2.660e-4, 1e-6), "ux {}", u.x);
+        assert!(close(u.y, 1.056e-2, 1e-5), "uy {}", u.y);
+        assert!(close(u.z, 3.214e-3, 1e-6), "uz {}", u.z);
+    }
+
+    #[test]
+    fn displacement_decays_with_distance() {
+        let slip = Dislocation { dip_slip: 1.0, ..Default::default() };
+        let near = rectangular_dislocation(1.5, 5.0, 4.0, 3.0, 2.0, 20.0, &slip, 0.5);
+        let far = rectangular_dislocation(1.5, 80.0, 4.0, 3.0, 2.0, 20.0, &slip, 0.5);
+        let mag = |u: &SurfaceDisplacement| (u.x * u.x + u.y * u.y + u.z * u.z).sqrt();
+        assert!(mag(&near) > mag(&far) * 20.0);
+    }
+
+    #[test]
+    fn thrust_uplifts_hanging_wall() {
+        // A shallow thrust: the surface above/ahead of the fault (positive
+        // y, hanging-wall side) goes up.
+        let slip = Dislocation { dip_slip: 1.0, ..Default::default() };
+        let u = rectangular_dislocation(5.0, 8.0, 2.0, 10.0, 8.0, 20.0, &slip, 0.5);
+        assert!(u.z > 0.0, "hanging wall must rise, got {}", u.z);
+    }
+
+    #[test]
+    fn superposition_of_modes() {
+        let both = rectangular_dislocation(
+            X, Y, D, L, W, DIP,
+            &Dislocation { strike_slip: 0.7, dip_slip: 1.3, tensile: 0.0 },
+            POISSON_ALPHA,
+        );
+        let ss = rectangular_dislocation(
+            X, Y, D, L, W, DIP,
+            &Dislocation { strike_slip: 0.7, ..Default::default() },
+            POISSON_ALPHA,
+        );
+        let ds = rectangular_dislocation(
+            X, Y, D, L, W, DIP,
+            &Dislocation { dip_slip: 1.3, ..Default::default() },
+            POISSON_ALPHA,
+        );
+        assert!(close(both.x, ss.x + ds.x, 1e-12));
+        assert!(close(both.y, ss.y + ds.y, 1e-12));
+        assert!(close(both.z, ss.z + ds.z, 1e-12));
+    }
+
+    #[test]
+    fn linear_in_slip_amplitude() {
+        let one = rectangular_dislocation(
+            X, Y, D, L, W, DIP,
+            &Dislocation { dip_slip: 1.0, ..Default::default() },
+            POISSON_ALPHA,
+        );
+        let three = rectangular_dislocation(
+            X, Y, D, L, W, DIP,
+            &Dislocation { dip_slip: 3.0, ..Default::default() },
+            POISSON_ALPHA,
+        );
+        assert!(close(three.z, 3.0 * one.z, 1e-12));
+    }
+
+    #[test]
+    fn vertical_fault_branch_is_finite() {
+        let slip = Dislocation { strike_slip: 1.0, dip_slip: 1.0, tensile: 0.5 };
+        let u = rectangular_dislocation(1.0, 2.0, 3.0, 4.0, 2.0, 90.0, &slip, 0.5);
+        assert!(u.x.is_finite() && u.y.is_finite() && u.z.is_finite());
+        // Must differ from a shallow-dip result.
+        let v = rectangular_dislocation(1.0, 2.0, 3.0, 4.0, 2.0, 10.0, &slip, 0.5);
+        assert!((u.z - v.z).abs() > 1e-6);
+    }
+
+    #[test]
+    fn enu_rotation_preserves_norm_and_vertical() {
+        let u = SurfaceDisplacement { x: 0.3, y: -0.4, z: 0.12 };
+        for strike in [0.0, 10.0, 90.0, 215.0] {
+            let (e, n, z) = to_enu(strike, &u);
+            assert!(close(z, u.z, 1e-15));
+            assert!(close(
+                (e * e + n * n).sqrt(),
+                (u.x * u.x + u.y * u.y).sqrt(),
+                1e-12
+            ));
+        }
+        // Strike 0 (due North): local x maps to North.
+        let (e, n, _) = to_enu(0.0, &SurfaceDisplacement { x: 1.0, y: 0.0, z: 0.0 });
+        assert!(close(n, 1.0, 1e-12) && close(e, 0.0, 1e-12));
+        // Strike 90 (due East): local x maps to East.
+        let (e, n, _) = to_enu(90.0, &SurfaceDisplacement { x: 1.0, y: 0.0, z: 0.0 });
+        assert!(close(e, 1.0, 1e-12) && close(n, 0.0, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive extent")]
+    fn zero_extent_rejected() {
+        rectangular_dislocation(0.0, 0.0, 1.0, 0.0, 1.0, 30.0, &Dislocation::default(), 0.5);
+    }
+}

@@ -1,0 +1,296 @@
+//! GNSS station networks.
+//!
+//! The paper uses the real Chilean network of 120+ high-rate GNSS stations
+//! operating since 2010. We do not have the station catalogue, so
+//! [`StationNetwork::chilean`] generates a procedural network with the same
+//! spatial statistics: stations scattered along the coast and inland valleys
+//! between 18°S and 38°S, densest near the central margin. The experiments
+//! only depend on the station *count* (the B/C phase cost scales with it)
+//! and on source–receiver distances being realistic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{FqError, FqResult};
+use crate::geo::GeoPoint;
+
+/// One GNSS station.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Station {
+    /// Four-character station code, e.g. `CH042`.
+    pub code: String,
+    /// Station location (depth is always 0).
+    pub location: GeoPoint,
+    /// Sampling rate of the receiver in Hz (high-rate GNSS is 1 Hz).
+    pub sample_rate_hz: f64,
+}
+
+/// A list of GNSS stations; the FDW's `station list` input file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationNetwork {
+    name: String,
+    stations: Vec<Station>,
+}
+
+/// The two input sizes exercised in the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChileanInput {
+    /// Full Chilean input: 121 stations.
+    Full,
+    /// Small Chilean input: 2 stations.
+    Small,
+}
+
+impl ChileanInput {
+    /// Number of stations for this input size.
+    pub fn station_count(self) -> usize {
+        match self {
+            ChileanInput::Full => 121,
+            ChileanInput::Small => 2,
+        }
+    }
+
+    /// Human-readable label used in reports ("full" / "small").
+    pub fn label(self) -> &'static str {
+        match self {
+            ChileanInput::Full => "full",
+            ChileanInput::Small => "small",
+        }
+    }
+}
+
+impl StationNetwork {
+    /// Generate a procedural Chilean GNSS network with `n` stations,
+    /// deterministically from `seed`.
+    pub fn chilean(n: usize, seed: u64) -> FqResult<Self> {
+        if n == 0 {
+            return Err(FqError::Config("station network cannot be empty".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5747_4e53_u64);
+        let mut stations = Vec::with_capacity(n);
+        for i in 0..n {
+            // Latitude: triangular-ish density peaking near the central margin (-30°).
+            let u: f64 = rng.gen();
+            let v: f64 = rng.gen();
+            let lat = -38.0 + 20.0 * ((u + v) / 2.0);
+            // Longitude: between the coast (~-72.5 at that latitude) and the
+            // Andean foothills ~2.5 degrees inland.
+            let coast = -72.0 - 1.3 * (std::f64::consts::PI * (lat + 38.0) / 20.0).sin();
+            let lon = coast + rng.gen::<f64>() * 2.5;
+            stations.push(Station {
+                code: format!("CH{i:03}"),
+                location: GeoPoint::new(lon, lat, 0.0),
+                sample_rate_hz: 1.0,
+            });
+        }
+        Ok(Self { name: format!("chile_{n}"), stations })
+    }
+
+    /// Build the network for one of the paper's two input sizes.
+    pub fn chilean_input(input: ChileanInput, seed: u64) -> Self {
+        Self::chilean(input.station_count(), seed)
+            .expect("station counts are non-zero by construction")
+    }
+
+    /// Generate a procedural Pacific-Northwest GNSS network with `n`
+    /// stations for the Cascadia margin (the paper's §7 "regions beyond
+    /// Chile"), deterministically from `seed`. Mirrors the real PANGA /
+    /// PBO station distribution: coastal and valley sites between 40°N
+    /// and 49°N.
+    pub fn cascadia(n: usize, seed: u64) -> FqResult<Self> {
+        if n == 0 {
+            return Err(FqError::Config("station network cannot be empty".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4341_5343_u64);
+        let mut stations = Vec::with_capacity(n);
+        for i in 0..n {
+            let u: f64 = rng.gen();
+            let v: f64 = rng.gen();
+            let lat = 40.0 + 9.0 * ((u + v) / 2.0);
+            // Coastline runs near -124.5 to -123.5; stations reach ~2.5
+            // degrees inland (Willamette valley, Puget lowland).
+            let coast = -124.6 + 0.8 * (lat - 40.0) / 9.0;
+            let lon = coast + rng.gen::<f64>() * 2.5;
+            stations.push(Station {
+                code: format!("PW{i:03}"),
+                location: GeoPoint::new(lon, lat, 0.0),
+                sample_rate_hz: 1.0,
+            });
+        }
+        Ok(Self { name: format!("cascadia_{n}"), stations })
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of stations.
+    pub fn len(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// True when the network has no stations.
+    pub fn is_empty(&self) -> bool {
+        self.stations.is_empty()
+    }
+
+    /// All stations.
+    pub fn stations(&self) -> &[Station] {
+        &self.stations
+    }
+
+    /// Station by index.
+    pub fn station(&self, i: usize) -> &Station {
+        &self.stations[i]
+    }
+
+    /// Serialise to the FDW station-list text format: one
+    /// `CODE lon lat` line per station.
+    pub fn to_station_file(&self) -> String {
+        let mut out = String::with_capacity(self.stations.len() * 32);
+        for s in &self.stations {
+            out.push_str(&format!(
+                "{} {:.6} {:.6}\n",
+                s.code, s.location.lon, s.location.lat
+            ));
+        }
+        out
+    }
+
+    /// Parse the FDW station-list text format produced by
+    /// [`Self::to_station_file`].
+    pub fn from_station_file(name: &str, text: &str) -> FqResult<Self> {
+        let mut stations = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let code = parts
+                .next()
+                .ok_or_else(|| FqError::Format(format!("line {}: missing code", lineno + 1)))?;
+            let lon: f64 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| FqError::Format(format!("line {}: bad longitude", lineno + 1)))?;
+            let lat: f64 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| FqError::Format(format!("line {}: bad latitude", lineno + 1)))?;
+            stations.push(Station {
+                code: code.to_string(),
+                location: GeoPoint::new(lon, lat, 0.0),
+                sample_rate_hz: 1.0,
+            });
+        }
+        if stations.is_empty() {
+            return Err(FqError::Format("station file contained no stations".into()));
+        }
+        Ok(Self { name: name.to_string(), stations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_network_rejected() {
+        assert!(StationNetwork::chilean(0, 1).is_err());
+    }
+
+    #[test]
+    fn full_input_has_121_stations() {
+        let n = StationNetwork::chilean_input(ChileanInput::Full, 7);
+        assert_eq!(n.len(), 121);
+        assert!(!n.is_empty());
+    }
+
+    #[test]
+    fn small_input_has_2_stations() {
+        let n = StationNetwork::chilean_input(ChileanInput::Small, 7);
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = StationNetwork::chilean(50, 42).unwrap();
+        let b = StationNetwork::chilean(50, 42).unwrap();
+        assert_eq!(a, b);
+        let c = StationNetwork::chilean(50, 43).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stations_are_on_land_near_chile() {
+        let n = StationNetwork::chilean(200, 3).unwrap();
+        for s in n.stations() {
+            assert!(s.location.lat >= -38.0 && s.location.lat <= -18.0);
+            assert!(s.location.lon >= -74.0 && s.location.lon <= -68.0);
+            assert_eq!(s.location.depth_km, 0.0);
+        }
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let n = StationNetwork::chilean(121, 9).unwrap();
+        let mut codes: Vec<&str> = n.stations().iter().map(|s| s.code.as_str()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 121);
+    }
+
+    #[test]
+    fn station_file_roundtrip() {
+        let n = StationNetwork::chilean(10, 5).unwrap();
+        let text = n.to_station_file();
+        let parsed = StationNetwork::from_station_file("roundtrip", &text).unwrap();
+        assert_eq!(parsed.len(), 10);
+        for (a, b) in n.stations().iter().zip(parsed.stations()) {
+            assert_eq!(a.code, b.code);
+            assert!((a.location.lon - b.location.lon).abs() < 1e-5);
+            assert!((a.location.lat - b.location.lat).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn station_file_skips_comments_and_blanks() {
+        let text = "# header\n\nAAAA -71.0 -30.0\n# trailing\nBBBB -70.5 -29.0\n";
+        let n = StationNetwork::from_station_file("t", text).unwrap();
+        assert_eq!(n.len(), 2);
+        assert_eq!(n.station(0).code, "AAAA");
+    }
+
+    #[test]
+    fn station_file_errors() {
+        assert!(StationNetwork::from_station_file("t", "").is_err());
+        assert!(StationNetwork::from_station_file("t", "AAAA notanumber -30").is_err());
+        assert!(StationNetwork::from_station_file("t", "AAAA -71.0").is_err());
+    }
+
+    #[test]
+    fn cascadia_network_in_pnw() {
+        let net = StationNetwork::cascadia(50, 4).unwrap();
+        assert_eq!(net.len(), 50);
+        for s in net.stations() {
+            assert!(s.location.lat >= 40.0 && s.location.lat <= 49.0);
+            assert!(s.location.lon >= -125.0 && s.location.lon <= -120.5);
+            assert!(s.code.starts_with("PW"));
+        }
+        assert!(StationNetwork::cascadia(0, 4).is_err());
+        // Deterministic and distinct from the Chilean generator.
+        assert_eq!(
+            StationNetwork::cascadia(10, 1).unwrap(),
+            StationNetwork::cascadia(10, 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn input_labels() {
+        assert_eq!(ChileanInput::Full.label(), "full");
+        assert_eq!(ChileanInput::Small.label(), "small");
+        assert_eq!(ChileanInput::Full.station_count(), 121);
+    }
+}

@@ -1,0 +1,280 @@
+//! Stochastic slip field synthesis: correlated Gaussian fields on the fault
+//! mesh via Cholesky sampling or truncated Karhunen–Loève expansion.
+//!
+//! This is the heart of FakeQuakes' "stochastic slip" method: build the von
+//! Kármán covariance over the (recycled) subfault–subfault distance matrix,
+//! factor it once, then draw as many independent slip realisations as the
+//! batch needs. The factorisation is the expensive, recyclable part; draws
+//! are cheap — exactly the cost structure that makes the A Phase
+//! embarrassingly parallel once the `.npy` matrices exist.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+#[cfg(test)]
+use rand::SeedableRng;
+
+use crate::error::{FqError, FqResult};
+use crate::linalg::Matrix;
+use crate::vonkarman::VonKarman;
+
+/// How to factor the covariance for sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldMethod {
+    /// Exact sampling via Cholesky factorisation.
+    Cholesky,
+    /// Truncated Karhunen–Loève expansion keeping the leading `modes`
+    /// eigenmodes. Cheaper draws, smoother fields; FakeQuakes' default
+    /// approach (Melgar et al. use the leading ~K modes).
+    KarhunenLoeve {
+        /// Number of leading eigenmodes retained.
+        modes: usize,
+    },
+}
+
+/// A factored correlated-Gaussian-field sampler over `n` mesh points.
+#[derive(Debug, Clone)]
+pub struct CorrelatedField {
+    n: usize,
+    method_label: &'static str,
+    /// For Cholesky: lower-triangular L. For KL: `V * diag(sqrt(λ))`
+    /// restricted to the retained modes (an `n × k` matrix).
+    factor: Matrix,
+    /// Fraction of total variance captured by the retained modes (1.0 for
+    /// Cholesky).
+    variance_captured: f64,
+}
+
+impl CorrelatedField {
+    /// Build a sampler from the von Kármán kernel evaluated on the
+    /// subfault–subfault distance matrix.
+    pub fn from_distances(
+        distances: &Matrix,
+        kernel: &VonKarman,
+        method: FieldMethod,
+    ) -> FqResult<Self> {
+        if distances.rows() != distances.cols() {
+            return Err(FqError::Linalg(
+                "distance matrix must be square".into(),
+            ));
+        }
+        let n = distances.rows();
+        if n == 0 {
+            return Err(FqError::Linalg("empty distance matrix".into()));
+        }
+        let cov = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                1.0
+            } else {
+                kernel.correlation(distances[(i, j)])
+            }
+        });
+        match method {
+            FieldMethod::Cholesky => {
+                let l = cov.cholesky()?;
+                Ok(Self {
+                    n,
+                    method_label: "cholesky",
+                    factor: l,
+                    variance_captured: 1.0,
+                })
+            }
+            FieldMethod::KarhunenLoeve { modes } => {
+                let k = modes.clamp(1, n);
+                let (vals, vecs) = cov.symmetric_eigen(30)?;
+                let total: f64 = vals.iter().map(|v| v.max(0.0)).sum();
+                let kept: f64 = vals.iter().take(k).map(|v| v.max(0.0)).sum();
+                let factor = Matrix::from_fn(n, k, |i, m| {
+                    vecs[(i, m)] * vals[m].max(0.0).sqrt()
+                });
+                Ok(Self {
+                    n,
+                    method_label: "karhunen-loeve",
+                    factor,
+                    variance_captured: if total > 0.0 { kept / total } else { 0.0 },
+                })
+            }
+        }
+    }
+
+    /// Number of mesh points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the field covers no mesh points (cannot occur after construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Label of the factorisation method ("cholesky" / "karhunen-loeve").
+    pub fn method_label(&self) -> &'static str {
+        self.method_label
+    }
+
+    /// Fraction of field variance the factorisation preserves.
+    pub fn variance_captured(&self) -> f64 {
+        self.variance_captured
+    }
+
+    /// Draw one zero-mean, unit-marginal-variance correlated field.
+    pub fn sample(&self, rng: &mut StdRng) -> Vec<f64> {
+        let k = self.factor.cols();
+        let z: Vec<f64> = (0..k).map(|_| standard_normal(rng)).collect();
+        self.factor.matvec(&z)
+    }
+}
+
+/// Draw a standard normal via Box–Muller (avoids a distribution-crate
+/// dependency; the polar form is rejection-free here because we always use
+/// both uniforms).
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Summary statistics of a sampled field (used by tests and the Fig. 1
+/// product report).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+/// Compute summary statistics of a slice; empty input yields all-zero stats.
+pub fn field_stats(x: &[f64]) -> FieldStats {
+    if x.is_empty() {
+        return FieldStats { mean: 0.0, std: 0.0, min: 0.0, max: 0.0 };
+    }
+    let n = x.len() as f64;
+    let mean = x.iter().sum::<f64>() / n;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let min = x.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    FieldStats { mean, std: var.sqrt(), min, max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::DistanceMatrices;
+    use crate::geometry::FaultModel;
+    use crate::stations::{ChileanInput, StationNetwork};
+
+    fn field_fixture(method: FieldMethod) -> CorrelatedField {
+        let fault = FaultModel::chilean_subduction(8, 4).unwrap();
+        let net = StationNetwork::chilean_input(ChileanInput::Small, 1);
+        let d = DistanceMatrices::compute(&fault, &net);
+        CorrelatedField::from_distances(
+            &d.subfault_to_subfault,
+            &VonKarman { a_strike_km: 120.0, a_dip_km: 60.0, hurst: 0.75 },
+            method,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cholesky_field_covers_mesh() {
+        let f = field_fixture(FieldMethod::Cholesky);
+        assert_eq!(f.len(), 32);
+        assert!(!f.is_empty());
+        assert_eq!(f.method_label(), "cholesky");
+        assert_eq!(f.variance_captured(), 1.0);
+    }
+
+    #[test]
+    fn kl_truncation_captures_most_variance() {
+        let f = field_fixture(FieldMethod::KarhunenLoeve { modes: 16 });
+        assert_eq!(f.method_label(), "karhunen-loeve");
+        assert!(
+            f.variance_captured() > 0.8,
+            "16/32 modes capture {}",
+            f.variance_captured()
+        );
+        assert!(f.variance_captured() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn kl_modes_clamped_to_mesh_size() {
+        let f = field_fixture(FieldMethod::KarhunenLoeve { modes: 10_000 });
+        assert!((f.variance_captured() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn samples_are_deterministic_given_seed() {
+        let f = field_fixture(FieldMethod::Cholesky);
+        let mut r1 = StdRng::seed_from_u64(11);
+        let mut r2 = StdRng::seed_from_u64(11);
+        assert_eq!(f.sample(&mut r1), f.sample(&mut r2));
+    }
+
+    #[test]
+    fn samples_have_roughly_unit_variance() {
+        let f = field_fixture(FieldMethod::Cholesky);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut acc = 0.0;
+        let reps = 200;
+        for _ in 0..reps {
+            let s = f.sample(&mut rng);
+            let st = field_stats(&s);
+            acc += st.std * st.std + st.mean * st.mean;
+        }
+        let var = acc / reps as f64;
+        assert!((0.7..1.3).contains(&var), "ensemble variance {var}");
+    }
+
+    #[test]
+    fn nearby_points_are_correlated() {
+        // With long correlation lengths, adjacent subfaults must co-vary
+        // strongly across an ensemble.
+        let f = field_fixture(FieldMethod::Cholesky);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut cov01 = 0.0;
+        let reps = 400;
+        for _ in 0..reps {
+            let s = f.sample(&mut rng);
+            cov01 += s[0] * s[1]; // adjacent down-dip neighbours
+        }
+        cov01 /= reps as f64;
+        assert!(cov01 > 0.5, "neighbour covariance {cov01}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let xs: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        let st = field_stats(&xs);
+        assert!(st.mean.abs() < 0.03, "mean {}", st.mean);
+        assert!((st.std - 1.0).abs() < 0.03, "std {}", st.std);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let vk = VonKarman::default();
+        let rect = Matrix::zeros(2, 3);
+        assert!(
+            CorrelatedField::from_distances(&rect, &vk, FieldMethod::Cholesky).is_err()
+        );
+        let empty = Matrix::zeros(0, 0);
+        assert!(
+            CorrelatedField::from_distances(&empty, &vk, FieldMethod::Cholesky).is_err()
+        );
+    }
+
+    #[test]
+    fn field_stats_empty_and_known() {
+        let st = field_stats(&[]);
+        assert_eq!(st.mean, 0.0);
+        let st = field_stats(&[1.0, 2.0, 3.0]);
+        assert_eq!(st.mean, 2.0);
+        assert_eq!(st.min, 1.0);
+        assert_eq!(st.max, 3.0);
+        assert!((st.std - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+}

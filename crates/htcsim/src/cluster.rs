@@ -1,0 +1,827 @@
+//! The cluster: a deterministic discrete-event simulation of job execution
+//! on the pool, tying together the event queue, matchmaker, transfers and
+//! user log. Workloads (DAGMans) plug in through [`WorkloadDriver`].
+//!
+//! Lifecycle of one job: `Idle → (negotiation match) → TransferringInput →
+//! Running → TransferringOutput → Completed`, with `Evicted → Idle`
+//! whenever the glidein underneath disappears — exactly the observable
+//! state machine of an OSPool job.
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::event::{Event, EventQueue};
+use crate::job::{
+    JobEvent, JobEventKind, JobId, JobSpec, JobState, OwnerId, SubmitRequest,
+};
+use crate::pool::{MachineId, Pool, PoolConfig};
+use crate::rand_util::exponential;
+use crate::time::SimTime;
+use crate::transfer::{StashCache, TransferConfig};
+use crate::userlog::UserLog;
+
+/// A workload that submits jobs in reaction to cluster events (a DAGMan,
+/// a bag of tasks, …).
+pub trait WorkloadDriver {
+    /// Called once at simulation start and after every event batch.
+    /// `events` holds the job events since the previous call. Return new
+    /// submissions (possibly empty).
+    fn poll(&mut self, now: SimTime, events: &[JobEvent]) -> Vec<SubmitRequest>;
+
+    /// Notification of the id assigned to a submission, in the order the
+    /// requests were returned from [`Self::poll`].
+    fn on_assigned(&mut self, _job: JobId, _name: &str) {}
+
+    /// True when the workload has nothing more to submit and considers
+    /// itself finished.
+    fn is_done(&self) -> bool;
+}
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterConfig {
+    /// Pool behaviour.
+    pub pool: PoolConfig,
+    /// Transfer bandwidths.
+    pub transfer: TransferConfig,
+    /// Whether the Stash cache is active (ablation switch).
+    pub cache_enabled: bool,
+    /// Remove a job from the queue after this many evictions (HTCondor's
+    /// `periodic_remove` guard against crash-looping nodes). 0 = never.
+    pub max_evictions_per_job: u32,
+}
+
+impl ClusterConfig {
+    /// Default configuration with the cache enabled.
+    pub fn with_cache() -> Self {
+        Self { cache_enabled: true, ..Default::default() }
+    }
+}
+
+struct JobRuntime {
+    spec: JobSpec,
+    owner: OwnerId,
+    state: JobState,
+    machine: Option<MachineId>,
+    /// Serial bumped on every (re)schedule; stale events are ignored.
+    serial: u64,
+    /// Evictions suffered so far (drives `max_evictions_per_job`).
+    evictions: u32,
+}
+
+/// One negotiation-cycle snapshot of pool state — the "OSG's variable
+/// resources" the paper's discussion blames for runtime volatility.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolSample {
+    /// Cycle time.
+    pub time: SimTime,
+    /// Total slots in the pool.
+    pub total_slots: usize,
+    /// Slots running our jobs.
+    pub busy_slots: usize,
+    /// Background-contention available fraction this cycle.
+    pub avail_frac: f64,
+    /// Idle jobs waiting in the queue.
+    pub idle_jobs: usize,
+}
+
+/// Result of a cluster run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Full event log.
+    pub log: UserLog,
+    /// Final simulated time.
+    pub makespan: SimTime,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Total evictions observed.
+    pub evictions: u64,
+    /// Stash cache hit rate over the run.
+    pub cache_hit_rate: f64,
+    /// Job-id to job-name mapping (for phase attribution).
+    pub job_names: HashMap<JobId, String>,
+    /// True if the run hit the simulated-time safety cap before the
+    /// workload finished.
+    pub timed_out: bool,
+    /// Per-negotiation-cycle pool telemetry.
+    pub pool_series: Vec<PoolSample>,
+}
+
+impl RunReport {
+    /// Convenience: name lookup closure for [`UserLog::jobs_csv`].
+    pub fn name_of(&self) -> impl Fn(JobId) -> String + '_ {
+        move |j| self.job_names.get(&j).cloned().unwrap_or_else(|| "?".into())
+    }
+}
+
+/// The simulator.
+pub struct Cluster {
+    config: ClusterConfig,
+    rng: StdRng,
+    pool: Pool,
+    queue: EventQueue,
+    log: UserLog,
+    cache: StashCache,
+    jobs: HashMap<JobId, JobRuntime>,
+    job_names: HashMap<JobId, String>,
+    /// Idle queues per owner, FIFO.
+    idle: HashMap<OwnerId, VecDeque<JobId>>,
+    /// Round-robin cursor over owners for fair share.
+    owner_order: Vec<OwnerId>,
+    next_job: u64,
+    now: SimTime,
+    pending_events: Vec<JobEvent>,
+    evictions: u64,
+    /// Rotating index into the free-slot list (spreads jobs over sites).
+    slot_cursor: usize,
+    /// Origin transfers currently in flight (uplink contention).
+    active_origin: usize,
+    /// Jobs whose in-flight stage-in used the origin (so eviction and
+    /// completion release the counter correctly).
+    origin_users: std::collections::HashSet<JobId>,
+    pool_series: Vec<PoolSample>,
+}
+
+impl Cluster {
+    /// Create a cluster with the given configuration and seed.
+    pub fn new(config: ClusterConfig, seed: u64) -> Self {
+        let pool = Pool::new(config.pool.clone());
+        let cache = if config.cache_enabled {
+            StashCache::new()
+        } else {
+            StashCache::disabled()
+        };
+        Self {
+            config,
+            rng: StdRng::seed_from_u64(seed ^ 0x4854_434f_4e44_4f52),
+            pool,
+            queue: EventQueue::new(),
+            log: UserLog::new(),
+            cache,
+            jobs: HashMap::new(),
+            job_names: HashMap::new(),
+            idle: HashMap::new(),
+            owner_order: Vec::new(),
+            next_job: 0,
+            now: SimTime::ZERO,
+            pending_events: Vec::new(),
+            evictions: 0,
+            slot_cursor: 0,
+            active_origin: 0,
+            origin_users: std::collections::HashSet::new(),
+            pool_series: Vec::new(),
+        }
+    }
+
+    /// Run `driver` to completion (or to the simulated-time cap). Consumes
+    /// the cluster and returns the report.
+    pub fn run(mut self, driver: &mut dyn WorkloadDriver) -> RunReport {
+        self.bootstrap();
+        self.drive(driver);
+        let mut timed_out = false;
+        while let Some((t, ev)) = self.queue.pop() {
+            if t.as_secs() > self.config.pool.max_sim_time_s {
+                timed_out = true;
+                break;
+            }
+            self.now = t;
+            self.handle(ev);
+            // Batch events that share this timestamp before polling the
+            // driver, so it sees a consistent snapshot.
+            while self.queue.peek_time() == Some(self.now) {
+                let (_, ev) = self.queue.pop().unwrap();
+                self.handle(ev);
+            }
+            self.drive(driver);
+            if driver.is_done() && self.all_jobs_settled() {
+                break;
+            }
+        }
+        RunReport {
+            makespan: self.log.makespan(),
+            completed: self.log.completed_count(),
+            evictions: self.evictions,
+            cache_hit_rate: self.cache.hit_rate(),
+            log: self.log,
+            job_names: self.job_names,
+            timed_out,
+            pool_series: self.pool_series,
+        }
+    }
+
+    fn bootstrap(&mut self) {
+        // Seed the pool at its steady-state size with staggered lifetimes.
+        let groups = self.config.pool.target_slots / self.config.pool.glidein_slots;
+        for _ in 0..groups.max(1) {
+            let (id, life) = self.pool.add_machine(&mut self.rng);
+            self.queue
+                .push(self.now + life as u64, Event::MachineDepart(id));
+        }
+        let interval = self.pool.config().arrival_interval_s();
+        let next = exponential(&mut self.rng, interval) as u64;
+        self.queue.push(self.now + next.max(1), Event::MachineArrive);
+        self.queue.push(
+            self.now + self.config.pool.negotiation_period_s,
+            Event::Negotiate,
+        );
+    }
+
+    fn all_jobs_settled(&self) -> bool {
+        self.jobs.values().all(|j| {
+            matches!(j.state, JobState::Completed | JobState::Removed)
+        })
+    }
+
+    fn drive(&mut self, driver: &mut dyn WorkloadDriver) {
+        let events = std::mem::take(&mut self.pending_events);
+        let submissions = driver.poll(self.now, &events);
+        for req in submissions {
+            let id = self.submit(req);
+            let name = self.job_names[&id].clone();
+            driver.on_assigned(id, &name);
+        }
+    }
+
+    fn submit(&mut self, req: SubmitRequest) -> JobId {
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        self.job_names.insert(id, req.spec.name.clone());
+        self.jobs.insert(
+            id,
+            JobRuntime {
+                spec: req.spec,
+                owner: req.owner,
+                state: JobState::Idle,
+                machine: None,
+                serial: 0,
+                evictions: 0,
+            },
+        );
+        if !self.owner_order.contains(&req.owner) {
+            self.owner_order.push(req.owner);
+        }
+        self.idle.entry(req.owner).or_default().push_back(id);
+        self.emit(id, req.owner, JobEventKind::Submitted);
+        id
+    }
+
+    fn emit(&mut self, job: JobId, owner: OwnerId, kind: JobEventKind) {
+        let ev = JobEvent { time: self.now, job, owner, kind };
+        self.log.record(ev);
+        self.pending_events.push(ev);
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::MachineArrive => {
+                let (id, life) = self.pool.add_machine(&mut self.rng);
+                self.queue
+                    .push(self.now + (life as u64).max(60), Event::MachineDepart(id));
+                let interval = self.pool.config().arrival_interval_s();
+                let next = exponential(&mut self.rng, interval) as u64;
+                self.queue.push(self.now + next.max(1), Event::MachineArrive);
+            }
+            Event::MachineDepart(mid) => {
+                if self.pool.remove_machine(mid).is_some() {
+                    self.evict_machine_jobs(mid);
+                }
+            }
+            Event::Negotiate => {
+                self.negotiate();
+                self.queue.push(
+                    self.now + self.config.pool.negotiation_period_s,
+                    Event::Negotiate,
+                );
+            }
+            Event::StageInDone(job) => {
+                if self.origin_users.remove(&job) {
+                    self.active_origin = self.active_origin.saturating_sub(1);
+                }
+                if let Some(j) = self.jobs.get_mut(&job) {
+                    if j.state == JobState::TransferringInput {
+                        j.state = JobState::Running;
+                        j.serial += 1;
+                        let speed = j
+                            .machine
+                            .and_then(|m| self.pool.machine(m))
+                            .map(|m| m.speed)
+                            .unwrap_or(1.0);
+                        let dur = (j.spec.exec.sample(&mut self.rng) / speed).max(1.0);
+                        let owner = j.owner;
+                        self.queue
+                            .push(self.now + dur as u64, Event::ExecDone(job));
+                        self.emit(job, owner, JobEventKind::ExecuteStarted);
+                    }
+                }
+            }
+            Event::ExecDone(job) => {
+                if let Some(j) = self.jobs.get_mut(&job) {
+                    if j.state == JobState::Running {
+                        j.state = JobState::TransferringOutput;
+                        j.serial += 1;
+                        let dur =
+                            self.cache.stage_out_secs(&j.spec, &self.config.transfer);
+                        self.queue
+                            .push(self.now + (dur as u64).max(1), Event::StageOutDone(job));
+                    }
+                }
+            }
+            Event::StageOutDone(job) => {
+                if let Some(j) = self.jobs.get_mut(&job) {
+                    if j.state == JobState::TransferringOutput {
+                        j.state = JobState::Completed;
+                        let owner = j.owner;
+                        if let Some(m) = j.machine.take() {
+                            self.pool.release_slot(m);
+                        }
+                        self.emit(job, owner, JobEventKind::Completed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evict every non-terminal job assigned to a departed machine.
+    fn evict_machine_jobs(&mut self, mid: MachineId) {
+        let victims: Vec<(JobId, OwnerId)> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| {
+                j.machine == Some(mid)
+                    && matches!(
+                        j.state,
+                        JobState::TransferringInput
+                            | JobState::Running
+                            | JobState::TransferringOutput
+                    )
+            })
+            .map(|(id, j)| (*id, j.owner))
+            .collect();
+        let limit = self.config.max_evictions_per_job;
+        for (id, owner) in victims {
+            if self.origin_users.remove(&id) {
+                self.active_origin = self.active_origin.saturating_sub(1);
+            }
+            let j = self.jobs.get_mut(&id).expect("victim exists");
+            j.machine = None;
+            j.serial += 1; // invalidate any in-flight lifecycle event
+            j.evictions += 1;
+            self.evictions += 1;
+            let exhausted = limit > 0 && j.evictions >= limit;
+            if exhausted {
+                j.state = JobState::Removed;
+                self.emit(id, owner, JobEventKind::Evicted);
+                self.emit(id, owner, JobEventKind::Removed);
+            } else {
+                j.state = JobState::Idle;
+                self.idle.entry(owner).or_default().push_back(id);
+                self.emit(id, owner, JobEventKind::Evicted);
+            }
+        }
+    }
+
+    /// One negotiation cycle: advance background contention, then match
+    /// idle jobs to free slots round-robin across owners (fair share),
+    /// honouring per-slot memory/disk requirements (ClassAd matching).
+    fn negotiate(&mut self) {
+        self.pool.step_avail(&mut self.rng);
+        self.pool_series.push(PoolSample {
+            time: self.now,
+            total_slots: self.pool.total_slots(),
+            busy_slots: self.pool.busy_slots(),
+            avail_frac: self.pool.avail_frac(),
+            idle_jobs: self.idle.values().map(|q| q.len()).sum(),
+        });
+        let capacity = self.pool.user_capacity();
+        let busy = self.pool.busy_slots();
+        let mut budget = capacity.saturating_sub(busy);
+        if budget == 0 {
+            return;
+        }
+        let mut free = self.pool.free_slots();
+        if free.is_empty() {
+            return;
+        }
+        // Round-robin across owners that have idle jobs. Jobs whose
+        // requirements no current slot satisfies go to a hold-back buffer
+        // so the cycle terminates; they return to the queue afterwards.
+        let owners: Vec<OwnerId> = self.owner_order.clone();
+        let mut held: HashMap<OwnerId, Vec<JobId>> = HashMap::new();
+        let mut progressed = true;
+        while budget > 0 && progressed {
+            progressed = false;
+            for owner in &owners {
+                if budget == 0 {
+                    break;
+                }
+                let Some(q) = self.idle.get_mut(owner) else { continue };
+                let Some(job) = q.pop_front() else { continue };
+                // Stale entries (evicted jobs re-queued twice, removed
+                // jobs) are skipped.
+                let valid = self
+                    .jobs
+                    .get(&job)
+                    .map(|j| j.state == JobState::Idle)
+                    .unwrap_or(false);
+                if !valid {
+                    progressed = true;
+                    continue;
+                }
+                // Pick the next machine with a free slot satisfying the
+                // job's requirements (rotating cursor spreads jobs over
+                // sites so the cache model is exercised).
+                let (need_mem, need_disk) = {
+                    let spec = &self.jobs[&job].spec;
+                    (spec.memory_mb, spec.disk_mb)
+                };
+                let Some(slot) = self.pick_slot(&mut free, need_mem, need_disk)
+                else {
+                    // Requirements unmatched this cycle: hold the job back.
+                    held.entry(*owner).or_default().push(job);
+                    progressed = true;
+                    continue;
+                };
+                let (mid, site, _speed, _, _, _) = slot;
+                self.pool.claim_slot(mid);
+                let j = self.jobs.get_mut(&job).expect("valid job");
+                j.state = JobState::TransferringInput;
+                j.machine = Some(mid);
+                j.serial += 1;
+                let (stage, used_origin) = self.cache.stage_in_secs_contended(
+                    site,
+                    &j.spec,
+                    &self.config.transfer,
+                    self.active_origin + 1,
+                );
+                if used_origin {
+                    self.active_origin += 1;
+                    self.origin_users.insert(job);
+                }
+                let owner = j.owner;
+                self.queue
+                    .push(self.now + (stage as u64).max(1), Event::StageInDone(job));
+                self.emit(job, owner, JobEventKind::Matched);
+                budget -= 1;
+                progressed = true;
+            }
+        }
+        // Held-back jobs return to the front of their queues, preserving
+        // FIFO order for the next cycle.
+        for (owner, jobs) in held {
+            let q = self.idle.entry(owner).or_default();
+            for job in jobs.into_iter().rev() {
+                q.push_front(job);
+            }
+        }
+    }
+
+    /// Take one free slot from `free` that satisfies the memory/disk
+    /// requirements, decrementing its count; rotates the starting machine
+    /// between calls.
+    fn pick_slot(
+        &mut self,
+        free: &mut Vec<(MachineId, crate::transfer::SiteId, f64, usize, u32, u32)>,
+        need_mem: u32,
+        need_disk: u32,
+    ) -> Option<(MachineId, crate::transfer::SiteId, f64, usize, u32, u32)> {
+        // Drop exhausted entries eagerly.
+        free.retain(|e| e.3 > 0);
+        if free.is_empty() {
+            return None;
+        }
+        let n = free.len();
+        for probe in 0..n {
+            let idx = (self.slot_cursor + probe) % n;
+            if free[idx].4 >= need_mem && free[idx].5 >= need_disk {
+                free[idx].3 -= 1;
+                self.slot_cursor = self.slot_cursor.wrapping_add(probe + 1);
+                return Some(free[idx]);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A bag-of-tasks driver: submit `n` jobs at t=0, done when all
+    /// completions observed.
+    struct BagDriver {
+        to_submit: Vec<JobSpec>,
+        completed: usize,
+        total: usize,
+        assigned: Vec<(JobId, String)>,
+    }
+
+    impl BagDriver {
+        fn new(specs: Vec<JobSpec>) -> Self {
+            let total = specs.len();
+            Self { to_submit: specs, completed: 0, total, assigned: Vec::new() }
+        }
+    }
+
+    impl WorkloadDriver for BagDriver {
+        fn poll(&mut self, _now: SimTime, events: &[JobEvent]) -> Vec<SubmitRequest> {
+            self.completed += events
+                .iter()
+                .filter(|e| e.kind == JobEventKind::Completed)
+                .count();
+            std::mem::take(&mut self.to_submit)
+                .into_iter()
+                .map(|spec| SubmitRequest { owner: OwnerId(0), spec })
+                .collect()
+        }
+
+        fn on_assigned(&mut self, job: JobId, name: &str) {
+            self.assigned.push((job, name.to_string()));
+        }
+
+        fn is_done(&self) -> bool {
+            self.to_submit.is_empty() && self.completed >= self.total
+        }
+    }
+
+    fn quick_config() -> ClusterConfig {
+        ClusterConfig {
+            pool: PoolConfig {
+                target_slots: 64,
+                glidein_slots: 8,
+                avail_mean: 0.9,
+                avail_sigma: 0.05,
+                ..Default::default()
+            },
+            ..ClusterConfig::with_cache()
+        }
+    }
+
+    #[test]
+    fn bag_of_tasks_completes() {
+        let specs: Vec<JobSpec> =
+            (0..40).map(|i| JobSpec::fixed(format!("task.{i}"), 120.0)).collect();
+        let mut driver = BagDriver::new(specs);
+        let report = Cluster::new(quick_config(), 1).run(&mut driver);
+        assert!(!report.timed_out);
+        assert_eq!(report.completed, 40);
+        assert_eq!(driver.assigned.len(), 40);
+        assert_eq!(driver.assigned[0].1, "task.0");
+        // Everything completed after t=0 with queueing + transfer overhead.
+        assert!(report.makespan.as_secs() > 120);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mk = || {
+            let specs: Vec<JobSpec> =
+                (0..25).map(|i| JobSpec::fixed(format!("t.{i}"), 200.0)).collect();
+            let mut d = BagDriver::new(specs);
+            Cluster::new(quick_config(), 99).run(&mut d).makespan
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mk = |seed| {
+            let specs: Vec<JobSpec> = (0..25)
+                .map(|i| {
+                    let mut s = JobSpec::fixed(format!("t.{i}"), 200.0);
+                    s.exec = crate::job::ExecModel::LogNormalMedian {
+                        median_s: 200.0,
+                        sigma: 0.3,
+                    };
+                    s
+                })
+                .collect();
+            let mut d = BagDriver::new(specs);
+            Cluster::new(quick_config(), seed).run(&mut d).makespan
+        };
+        assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn capacity_limits_parallelism() {
+        // 100 jobs of 300 s on a 16-slot pool (avail ~1) takes at least
+        // ceil(100/16)*300 s of pure execution.
+        let cfg = ClusterConfig {
+            pool: PoolConfig {
+                target_slots: 16,
+                glidein_slots: 8,
+                avail_mean: 1.0,
+                avail_sigma: 0.0,
+                glidein_lifetime_s: 1e9, // no churn
+                ..Default::default()
+            },
+            ..ClusterConfig::with_cache()
+        };
+        let specs: Vec<JobSpec> =
+            (0..100).map(|i| JobSpec::fixed(format!("t.{i}"), 300.0)).collect();
+        let mut d = BagDriver::new(specs);
+        let report = Cluster::new(cfg, 5).run(&mut d);
+        assert_eq!(report.completed, 100);
+        assert!(
+            report.makespan.as_secs() >= 7 * 300,
+            "makespan {} too fast for 16 slots",
+            report.makespan
+        );
+    }
+
+    #[test]
+    fn evictions_occur_with_fast_churn_and_jobs_still_finish() {
+        let cfg = ClusterConfig {
+            pool: PoolConfig {
+                target_slots: 32,
+                glidein_slots: 4,
+                glidein_lifetime_s: 600.0, // 10-minute glideins
+                avail_mean: 1.0,
+                avail_sigma: 0.0,
+                ..Default::default()
+            },
+            ..ClusterConfig::with_cache()
+        };
+        let specs: Vec<JobSpec> =
+            (0..60).map(|i| JobSpec::fixed(format!("t.{i}"), 500.0)).collect();
+        let mut d = BagDriver::new(specs);
+        let report = Cluster::new(cfg, 3).run(&mut d);
+        assert_eq!(report.completed, 60, "all jobs eventually complete");
+        assert!(report.evictions > 0, "short glideins must evict some jobs");
+        // Each eviction appears in the log.
+        let evs = report
+            .log
+            .events()
+            .iter()
+            .filter(|e| e.kind == JobEventKind::Evicted)
+            .count() as u64;
+        assert_eq!(evs, report.evictions);
+    }
+
+    #[test]
+    fn cache_hits_accumulate_for_shared_inputs() {
+        use crate::job::InputFile;
+        let mut specs = Vec::new();
+        for i in 0..30 {
+            let mut s = JobSpec::fixed(format!("w.{i}"), 60.0);
+            s.inputs.push(InputFile {
+                name: "gf.mseed".into(),
+                size_mb: 900.0,
+                cacheable: true,
+            });
+            specs.push(s);
+        }
+        let cfg = ClusterConfig {
+            pool: PoolConfig {
+                target_slots: 32,
+                glidein_slots: 8,
+                n_sites: 2, // few sites → high hit rate
+                avail_mean: 1.0,
+                avail_sigma: 0.0,
+                glidein_lifetime_s: 1e9,
+                ..Default::default()
+            },
+            ..ClusterConfig::with_cache()
+        };
+        let mut d = BagDriver::new(specs);
+        let report = Cluster::new(cfg, 4).run(&mut d);
+        assert!(report.cache_hit_rate > 0.5, "hit rate {}", report.cache_hit_rate);
+    }
+
+    #[test]
+    fn fair_share_across_owners() {
+        // Two owners, each with 40 jobs, on a tight pool: completions
+        // should interleave rather than run owner 0 to exhaustion first.
+        struct TwoOwner {
+            submitted: bool,
+            done: usize,
+            first_30: Vec<OwnerId>,
+        }
+        impl WorkloadDriver for TwoOwner {
+            fn poll(&mut self, _now: SimTime, events: &[JobEvent]) -> Vec<SubmitRequest> {
+                for e in events {
+                    if e.kind == JobEventKind::Completed {
+                        self.done += 1;
+                        if self.first_30.len() < 30 {
+                            self.first_30.push(e.owner);
+                        }
+                    }
+                }
+                if self.submitted {
+                    return Vec::new();
+                }
+                self.submitted = true;
+                let mut v = Vec::new();
+                for owner in [OwnerId(0), OwnerId(1)] {
+                    for i in 0..40 {
+                        v.push(SubmitRequest {
+                            owner,
+                            spec: JobSpec::fixed(format!("o{}.{i}", owner.0), 300.0),
+                        });
+                    }
+                }
+                v
+            }
+            fn is_done(&self) -> bool {
+                self.submitted && self.done >= 80
+            }
+        }
+        let cfg = ClusterConfig {
+            pool: PoolConfig {
+                target_slots: 8,
+                glidein_slots: 8,
+                avail_mean: 1.0,
+                avail_sigma: 0.0,
+                glidein_lifetime_s: 1e9,
+                ..Default::default()
+            },
+            ..ClusterConfig::with_cache()
+        };
+        let mut d = TwoOwner { submitted: false, done: 0, first_30: Vec::new() };
+        let report = Cluster::new(cfg, 8).run(&mut d);
+        assert_eq!(report.completed, 80);
+        let owner1_share = d.first_30.iter().filter(|o| o.0 == 1).count();
+        assert!(
+            (10..=20).contains(&owner1_share),
+            "fair share violated: owner 1 got {owner1_share}/30 of early completions"
+        );
+    }
+
+    #[test]
+    fn requirements_matching_gates_big_jobs() {
+        // A 16 GB job can only match big slots; with none in the pool it
+        // waits forever, with an all-big pool it completes.
+        let mk_cfg = |big: f64| ClusterConfig {
+            pool: PoolConfig {
+                target_slots: 16,
+                glidein_slots: 8,
+                avail_mean: 1.0,
+                avail_sigma: 0.0,
+                glidein_lifetime_s: 1e9,
+                big_slot_fraction: big,
+                max_sim_time_s: 4 * 3600,
+                ..Default::default()
+            },
+            ..ClusterConfig::with_cache()
+        };
+        let mk_spec = || {
+            let mut s = JobSpec::fixed("matrix.0", 120.0);
+            s.memory_mb = 16_384;
+            s.disk_mb = 16_384;
+            s
+        };
+        let mut d = BagDriver::new(vec![mk_spec()]);
+        let starved = Cluster::new(mk_cfg(0.0), 1).run(&mut d);
+        assert!(starved.timed_out, "no slot can ever match a 16 GB request");
+        assert_eq!(starved.completed, 0);
+
+        let mut d = BagDriver::new(vec![mk_spec()]);
+        let served = Cluster::new(mk_cfg(1.0), 1).run(&mut d);
+        assert!(!served.timed_out);
+        assert_eq!(served.completed, 1);
+
+        // Small jobs are unaffected by a big-slot-free pool.
+        let mut d = BagDriver::new(vec![JobSpec::fixed("w.0", 120.0)]);
+        let small = Cluster::new(mk_cfg(0.0), 1).run(&mut d);
+        assert_eq!(small.completed, 1);
+    }
+
+    #[test]
+    fn pool_series_records_cycles() {
+        let specs: Vec<JobSpec> =
+            (0..20).map(|i| JobSpec::fixed(format!("t.{i}"), 300.0)).collect();
+        let mut d = BagDriver::new(specs);
+        let report = Cluster::new(quick_config(), 2).run(&mut d);
+        assert!(!report.pool_series.is_empty());
+        for pair in report.pool_series.windows(2) {
+            assert!(pair[1].time > pair[0].time);
+        }
+        for s in &report.pool_series {
+            assert!(s.busy_slots <= s.total_slots);
+            assert!((0.0..=1.0).contains(&s.avail_frac));
+        }
+        // At least one cycle saw our jobs running.
+        assert!(report.pool_series.iter().any(|s| s.busy_slots > 0));
+    }
+
+    #[test]
+    fn timeout_reported_when_workload_cannot_finish() {
+        let cfg = ClusterConfig {
+            pool: PoolConfig {
+                target_slots: 8,
+                glidein_slots: 8,
+                avail_mean: 1.0,
+                avail_sigma: 0.0,
+                max_sim_time_s: 3600, // 1 simulated hour only
+                ..Default::default()
+            },
+            ..ClusterConfig::with_cache()
+        };
+        let specs: Vec<JobSpec> =
+            (0..500).map(|i| JobSpec::fixed(format!("t.{i}"), 4000.0)).collect();
+        let mut d = BagDriver::new(specs);
+        let report = Cluster::new(cfg, 9).run(&mut d);
+        assert!(report.timed_out);
+        assert!(report.completed < 500);
+    }
+}

@@ -1,0 +1,130 @@
+//! A minimal CSV encoder/decoder.
+//!
+//! The paper's bursting simulator consumes two `.csv` files of DAGMan/job
+//! times and emits a per-second throughput `.csv`. Our records contain no
+//! embedded commas or quotes, so the implementation intentionally covers
+//! only that simple dialect — with quoting support on read for robustness
+//! against hand-edited inputs.
+
+/// Encode rows as CSV with a header row.
+pub fn encode(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse CSV into `(header, rows)`. Handles double-quoted fields and
+/// skips blank lines. Rows with a different field count from the header
+/// are an error.
+pub fn parse(text: &str) -> Result<(Vec<String>, Vec<Vec<String>>), String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header_line = lines.next().ok_or_else(|| "empty CSV".to_string())?;
+    let header = split_line(header_line)?;
+    let mut rows = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let row = split_line(line)?;
+        if row.len() != header.len() {
+            return Err(format!(
+                "row {} has {} fields, header has {}",
+                i + 2,
+                row.len(),
+                header.len()
+            ));
+        }
+        rows.push(row);
+    }
+    Ok((header, rows))
+}
+
+/// Split one CSV line respecting double quotes.
+fn split_line(line: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(format!("unterminated quote in line: {line}"));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Find the index of a named column in a header (case-insensitive).
+pub fn column(header: &[String], name: &str) -> Result<usize, String> {
+    header
+        .iter()
+        .position(|h| h.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("missing column '{name}' in header {header:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let text = encode(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        let (h, rows) = parse(&text).unwrap();
+        assert_eq!(h, vec!["a", "b"]);
+        assert_eq!(rows, vec![vec!["1", "2"], vec!["3", "4"]]);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let (h, rows) = parse("name,value\n\"hello, world\",3\n\"say \"\"hi\"\"\",4\n").unwrap();
+        assert_eq!(h, vec!["name", "value"]);
+        assert_eq!(rows[0][0], "hello, world");
+        assert_eq!(rows[1][0], "say \"hi\"");
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let (_, rows) = parse("a,b\n\n1,2\n\n3,4\n\n").unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("a,b\n1\n").is_err());
+        assert!(parse("a,b\n\"oops,2\n").is_err());
+    }
+
+    #[test]
+    fn column_lookup() {
+        let h = vec!["JobId".to_string(), "SubmitTime".to_string()];
+        assert_eq!(column(&h, "submittime").unwrap(), 1);
+        assert!(column(&h, "nope").is_err());
+    }
+
+    #[test]
+    fn empty_fields_preserved() {
+        let (_, rows) = parse("a,b,c\n1,,3\n").unwrap();
+        assert_eq!(rows[0], vec!["1", "", "3"]);
+    }
+}

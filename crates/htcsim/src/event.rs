@@ -1,0 +1,134 @@
+//! The discrete-event queue: a time-ordered heap with a deterministic
+//! tie-break sequence number, so identical seeds replay identical runs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::job::JobId;
+use crate::pool::MachineId;
+use crate::time::SimTime;
+
+/// Everything that can happen in the cluster simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A glidein group joins the pool.
+    MachineArrive,
+    /// Glidein `0` leaves the pool (evicting its jobs).
+    MachineDepart(MachineId),
+    /// The negotiator runs a matchmaking cycle.
+    Negotiate,
+    /// Input staging for a job finished; it starts executing.
+    StageInDone(JobId),
+    /// A job's executable finished; output staging starts.
+    ExecDone(JobId),
+    /// Output staging finished; the job is complete.
+    StageOutDone(JobId),
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), Event::Negotiate);
+        q.push(SimTime(10), Event::MachineArrive);
+        q.push(SimTime(20), Event::ExecDone(JobId(1)));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(SimTime(10)));
+        assert_eq!(q.pop().unwrap().0, SimTime(10));
+        assert_eq!(q.pop().unwrap().0, SimTime(20));
+        assert_eq!(q.pop().unwrap().0, SimTime(30));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), Event::StageInDone(JobId(1)));
+        q.push(SimTime(5), Event::StageInDone(JobId(2)));
+        q.push(SimTime(5), Event::StageInDone(JobId(3)));
+        let order: Vec<Event> = std::iter::from_fn(|| q.pop().map(|p| p.1)).collect();
+        assert_eq!(
+            order,
+            vec![
+                Event::StageInDone(JobId(1)),
+                Event::StageInDone(JobId(2)),
+                Event::StageInDone(JobId(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), Event::Negotiate);
+        assert_eq!(q.pop().unwrap().0, SimTime(10));
+        q.push(SimTime(4), Event::Negotiate);
+        q.push(SimTime(2), Event::MachineArrive);
+        assert_eq!(q.pop().unwrap().1, Event::MachineArrive);
+        assert_eq!(q.pop().unwrap().1, Event::Negotiate);
+    }
+}

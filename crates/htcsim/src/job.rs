@@ -1,0 +1,209 @@
+//! Job descriptions and lifecycle records — the simulator's analogue of
+//! HTCondor submit description files and job ClassAds.
+
+use crate::time::SimTime;
+
+/// Identifier of a submitted job, unique within one cluster run
+/// (HTCondor's `ClusterId.ProcId` collapsed to one counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+/// Identifier of a submitter (one DAGMan instance = one owner for
+/// fair-share purposes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OwnerId(pub u32);
+
+/// How a job's execution time is drawn when it lands on a slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecModel {
+    /// Fixed duration in seconds.
+    Fixed(f64),
+    /// Lognormal with the given median (seconds) and log-sigma — the
+    /// canonical heavy-ish tail of real OSG jobs.
+    LogNormalMedian {
+        /// Median execution time in seconds.
+        median_s: f64,
+        /// Sigma of the underlying normal.
+        sigma: f64,
+    },
+}
+
+impl ExecModel {
+    /// Sample a duration in seconds (>= 1).
+    pub fn sample(&self, rng: &mut rand::rngs::StdRng) -> f64 {
+        let raw = match self {
+            ExecModel::Fixed(s) => *s,
+            ExecModel::LogNormalMedian { median_s, sigma } => {
+                crate::rand_util::lognormal_median(rng, *median_s, *sigma)
+            }
+        };
+        raw.max(1.0)
+    }
+
+    /// The distribution's median in seconds (used by capacity planning).
+    pub fn median_s(&self) -> f64 {
+        match self {
+            ExecModel::Fixed(s) => *s,
+            ExecModel::LogNormalMedian { median_s, .. } => *median_s,
+        }
+    }
+}
+
+/// A named input file a job must stage in before executing. Files with the
+/// same name are identical across jobs (the FDW's recycled `.npy` and
+/// `.mseed` artifacts), which is what makes the Stash cache effective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputFile {
+    /// Logical file name, e.g. `gf_chile_121.mseed`.
+    pub name: String,
+    /// Size in megabytes.
+    pub size_mb: f64,
+    /// Whether the file may be served from the Stash/OSDF cache.
+    pub cacheable: bool,
+}
+
+/// The resources and behaviour of one job — the submit description file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Human-readable label, e.g. `rupture.0042` (the DAG node name).
+    pub name: String,
+    /// CPU cores requested (FDW jobs request 4).
+    pub cpus: u32,
+    /// Memory requested, MB (FDW requests up to 16 GB dynamically).
+    pub memory_mb: u32,
+    /// Disk requested, MB.
+    pub disk_mb: u32,
+    /// Input files to stage in.
+    pub inputs: Vec<InputFile>,
+    /// Output size to stage out, MB.
+    pub output_mb: f64,
+    /// Execution-time model.
+    pub exec: ExecModel,
+}
+
+impl JobSpec {
+    /// A minimal 4-core job with the given name and fixed runtime —
+    /// convenient for tests.
+    pub fn fixed(name: impl Into<String>, secs: f64) -> Self {
+        Self {
+            name: name.into(),
+            cpus: 4,
+            memory_mb: 8192,
+            disk_mb: 8192,
+            inputs: Vec::new(),
+            output_mb: 10.0,
+            exec: ExecModel::Fixed(secs),
+        }
+    }
+
+    /// Total input megabytes.
+    pub fn total_input_mb(&self) -> f64 {
+        self.inputs.iter().map(|f| f.size_mb).sum()
+    }
+}
+
+/// A request handed to the cluster by a workload driver.
+#[derive(Debug, Clone)]
+pub struct SubmitRequest {
+    /// Submitting owner (DAGMan).
+    pub owner: OwnerId,
+    /// The job to run.
+    pub spec: JobSpec,
+}
+
+/// Job lifecycle states, mirroring the HTCondor job state machine at the
+/// granularity the paper's scripts observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// In the queue, waiting for a match.
+    Idle,
+    /// Staging input to the execute node.
+    TransferringInput,
+    /// Executing.
+    Running,
+    /// Staging output back.
+    TransferringOutput,
+    /// Finished successfully.
+    Completed,
+    /// Evicted (glidein vanished); will return to Idle and retry.
+    Evicted,
+    /// Removed from the queue (e.g. bursted away by a policy).
+    Removed,
+}
+
+/// Events reported to workload drivers and recorded in the user log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobEventKind {
+    /// Job entered the queue.
+    Submitted,
+    /// Job matched a slot and began input transfer.
+    Matched,
+    /// Job began executing.
+    ExecuteStarted,
+    /// Job was evicted from a dying glidein.
+    Evicted,
+    /// Job finished and its output is back.
+    Completed,
+    /// Job was removed from the queue without completing.
+    Removed,
+}
+
+/// One timestamped job event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobEvent {
+    /// Time of the event.
+    pub time: SimTime,
+    /// The job this event concerns.
+    pub job: JobId,
+    /// Owning submitter.
+    pub owner: OwnerId,
+    /// What happened.
+    pub kind: JobEventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_exec_model_samples_exactly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = ExecModel::Fixed(150.0);
+        assert_eq!(m.sample(&mut rng), 150.0);
+        assert_eq!(m.median_s(), 150.0);
+    }
+
+    #[test]
+    fn exec_sample_floor_is_one_second() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(ExecModel::Fixed(0.01).sample(&mut rng), 1.0);
+    }
+
+    #[test]
+    fn lognormal_median_accessor() {
+        let m = ExecModel::LogNormalMedian { median_s: 900.0, sigma: 0.25 };
+        assert_eq!(m.median_s(), 900.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut xs: Vec<f64> = (0..10_001).map(|_| m.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((xs[xs.len() / 2] / 900.0 - 1.0).abs() < 0.06);
+    }
+
+    #[test]
+    fn jobspec_fixed_helper() {
+        let j = JobSpec::fixed("rupture.0", 60.0);
+        assert_eq!(j.cpus, 4);
+        assert_eq!(j.total_input_mb(), 0.0);
+        assert_eq!(j.exec.median_s(), 60.0);
+    }
+
+    #[test]
+    fn total_input_mb_sums() {
+        let mut j = JobSpec::fixed("w", 1.0);
+        j.inputs.push(InputFile { name: "a.npy".into(), size_mb: 100.0, cacheable: true });
+        j.inputs.push(InputFile { name: "b.mseed".into(), size_mb: 900.0, cacheable: true });
+        assert_eq!(j.total_input_mb(), 1000.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Sampling helpers for the pool's stochastic processes.
+//!
+//! Kept dependency-light: only `rand`'s uniform source is used; the
+//! exponential and lognormal transforms are implemented directly.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draw a standard normal via Box–Muller.
+pub fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draw an exponential with the given mean (inverse-CDF transform).
+pub fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    -mean * u.ln()
+}
+
+/// Draw a lognormal specified by its *median* and the sigma of the
+/// underlying normal. Medians are how operators think about job runtimes
+/// ("typically 15–20 minutes"), so this is the natural parameterisation.
+pub fn lognormal_median(rng: &mut StdRng, median: f64, sigma: f64) -> f64 {
+    median * (sigma * normal(rng)).exp()
+}
+
+/// Draw a Poisson count with the given mean (Knuth's method for small
+/// means; normal approximation above 30 where Knuth's loop gets long).
+pub fn poisson(rng: &mut StdRng, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        let x = mean + mean.sqrt() * normal(rng);
+        return x.round().max(0.0) as u64;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| exponential(&mut r, 42.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean / 42.0 - 1.0).abs() < 0.05, "mean {mean}");
+        assert!(xs.iter().all(|x| *x >= 0.0));
+    }
+
+    #[test]
+    fn lognormal_median_is_median() {
+        let mut r = rng();
+        let mut xs: Vec<f64> =
+            (0..20_001).map(|_| lognormal_median(&mut r, 900.0, 0.3)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[xs.len() / 2];
+        assert!((med / 900.0 - 1.0).abs() < 0.05, "median {med}");
+        assert!(xs.iter().all(|x| *x > 0.0));
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_constant() {
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(lognormal_median(&mut r, 100.0, 0.0), 100.0);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut r = rng();
+        for target in [0.5, 5.0, 80.0] {
+            let n = 20_000;
+            let total: u64 = (0..n).map(|_| poisson(&mut r, target)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean / target - 1.0).abs() < 0.06,
+                "target {target}: mean {mean}"
+            );
+        }
+        assert_eq!(poisson(&mut r, 0.0), 0);
+        assert_eq!(poisson(&mut r, -1.0), 0);
+    }
+}

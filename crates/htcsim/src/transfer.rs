@@ -1,0 +1,279 @@
+//! File transfer model with a Stash/OSDF cache.
+//!
+//! OSG distributes large, shared input files (the FDW's Singularity image,
+//! `.npy` distance matrices, and `.mseed` GF bundles) through regional
+//! caches. The first job at a site pulls a file from the origin; subsequent
+//! jobs at that site hit the cache and stage in an order of magnitude
+//! faster. This module models exactly that, plus plain origin transfers for
+//! non-cacheable files and outputs.
+
+use std::collections::HashSet;
+
+use crate::job::JobSpec;
+
+/// Identifier of a site (a university cluster contributing glideins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(pub u32);
+
+/// Bandwidths of the transfer paths, MB/s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferConfig {
+    /// Origin (submit-node) to execute-node bandwidth per transfer, MB/s.
+    pub origin_mbps: f64,
+    /// Aggregate capacity of the origin's uplink, MB/s. Concurrent origin
+    /// fetches share it; this is why OSG fronts large shared inputs with
+    /// the Stash cache at all. `f64::INFINITY` disables contention.
+    pub origin_capacity_mbps: f64,
+    /// Site cache to execute-node bandwidth, MB/s (caches are
+    /// distributed, so no shared-capacity term).
+    pub cache_mbps: f64,
+    /// Fixed per-transfer latency, seconds (connection setup, directory
+    /// creation, Singularity start).
+    pub setup_latency_s: f64,
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        Self {
+            origin_mbps: 25.0,
+            origin_capacity_mbps: 400.0,
+            cache_mbps: 250.0,
+            setup_latency_s: 10.0,
+        }
+    }
+}
+
+impl TransferConfig {
+    /// Effective per-transfer origin bandwidth when `active` origin
+    /// transfers (including this one) share the uplink.
+    pub fn effective_origin_mbps(&self, active: usize) -> f64 {
+        let share = self.origin_capacity_mbps / active.max(1) as f64;
+        self.origin_mbps.min(share).max(0.01)
+    }
+}
+
+/// The Stash cache: per-site sets of already-cached file names.
+#[derive(Debug, Clone, Default)]
+pub struct StashCache {
+    cached: HashSet<(SiteId, String)>,
+    hits: u64,
+    misses: u64,
+    enabled: bool,
+}
+
+impl StashCache {
+    /// Create an enabled cache.
+    pub fn new() -> Self {
+        Self { enabled: true, ..Default::default() }
+    }
+
+    /// Create a disabled cache (every fetch goes to the origin) — the
+    /// `ablate_cache` bench baseline.
+    pub fn disabled() -> Self {
+        Self { enabled: false, ..Default::default() }
+    }
+
+    /// Whether caching is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; zero when nothing has been fetched.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Compute the stage-in time of all of `spec`'s inputs at `site`, in
+    /// seconds, updating cache state. Cacheable files fetched at a site
+    /// for the first time are pulled from the origin and become cached
+    /// there.
+    pub fn stage_in_secs(
+        &mut self,
+        site: SiteId,
+        spec: &JobSpec,
+        cfg: &TransferConfig,
+    ) -> f64 {
+        self.stage_in_secs_contended(site, spec, cfg, 1).0
+    }
+
+    /// Like [`Self::stage_in_secs`], but origin fetches run at the
+    /// effective bandwidth given `active_origin` concurrent origin
+    /// transfers. Returns `(seconds, used_origin)` so the caller can
+    /// track the concurrent-transfer count.
+    pub fn stage_in_secs_contended(
+        &mut self,
+        site: SiteId,
+        spec: &JobSpec,
+        cfg: &TransferConfig,
+        active_origin: usize,
+    ) -> (f64, bool) {
+        let mut secs = cfg.setup_latency_s;
+        let mut used_origin = false;
+        for f in &spec.inputs {
+            let cached = self.enabled
+                && f.cacheable
+                && self.cached.contains(&(site, f.name.clone()));
+            if cached {
+                self.hits += 1;
+                secs += f.size_mb / cfg.cache_mbps;
+            } else {
+                if self.enabled && f.cacheable {
+                    self.misses += 1;
+                    self.cached.insert((site, f.name.clone()));
+                }
+                secs += f.size_mb / cfg.effective_origin_mbps(active_origin);
+                used_origin = true;
+            }
+        }
+        (secs, used_origin)
+    }
+
+    /// Compute the stage-out time of a job's output, seconds. Outputs are
+    /// never cached (they are unique per job).
+    pub fn stage_out_secs(&self, spec: &JobSpec, cfg: &TransferConfig) -> f64 {
+        cfg.setup_latency_s / 2.0 + spec.output_mb / cfg.origin_mbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::InputFile;
+
+    fn job_with_input(name: &str, mb: f64, cacheable: bool) -> JobSpec {
+        let mut j = JobSpec::fixed("t", 60.0);
+        j.inputs.push(InputFile { name: name.into(), size_mb: mb, cacheable });
+        j
+    }
+
+    #[test]
+    fn first_fetch_misses_then_hits() {
+        let mut cache = StashCache::new();
+        let cfg = TransferConfig::default();
+        let j = job_with_input("gf.mseed", 1000.0, true);
+        let site = SiteId(3);
+        let cold = cache.stage_in_secs(site, &j, &cfg);
+        let warm = cache.stage_in_secs(site, &j, &cfg);
+        assert!(cold > warm * 3.0, "cold {cold} vs warm {warm}");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn caches_are_per_site() {
+        let mut cache = StashCache::new();
+        let cfg = TransferConfig::default();
+        let j = job_with_input("gf.mseed", 1000.0, true);
+        cache.stage_in_secs(SiteId(1), &j, &cfg);
+        let other_site = cache.stage_in_secs(SiteId(2), &j, &cfg);
+        // Both cold: different sites don't share cache contents.
+        assert!(other_site > 40.0);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn non_cacheable_always_origin() {
+        let mut cache = StashCache::new();
+        let cfg = TransferConfig::default();
+        let j = job_with_input("unique_input.bin", 500.0, false);
+        let a = cache.stage_in_secs(SiteId(1), &j, &cfg);
+        let b = cache.stage_in_secs(SiteId(1), &j, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(cache.hits() + cache.misses(), 0);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let mut cache = StashCache::disabled();
+        assert!(!cache.is_enabled());
+        let cfg = TransferConfig::default();
+        let j = job_with_input("gf.mseed", 1000.0, true);
+        let a = cache.stage_in_secs(SiteId(1), &j, &cfg);
+        let b = cache.stage_in_secs(SiteId(1), &j, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(cache.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_cost_only_latency() {
+        let mut cache = StashCache::new();
+        let cfg = TransferConfig::default();
+        let j = JobSpec::fixed("t", 60.0);
+        assert_eq!(cache.stage_in_secs(SiteId(0), &j, &cfg), cfg.setup_latency_s);
+    }
+
+    #[test]
+    fn stage_out_scales_with_output() {
+        let cache = StashCache::new();
+        let cfg = TransferConfig::default();
+        let mut j = JobSpec::fixed("t", 60.0);
+        j.output_mb = 250.0;
+        let big = cache.stage_out_secs(&j, &cfg);
+        j.output_mb = 10.0;
+        let small = cache.stage_out_secs(&j, &cfg);
+        assert!(big > small);
+        assert!((big - (5.0 + 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn origin_contention_slows_concurrent_fetches() {
+        let cfg = TransferConfig::default();
+        // Few transfers: per-transfer bandwidth is the limit.
+        assert_eq!(cfg.effective_origin_mbps(1), 25.0);
+        assert_eq!(cfg.effective_origin_mbps(16), 25.0);
+        // Many transfers: the uplink capacity is the limit.
+        assert_eq!(cfg.effective_origin_mbps(40), 10.0);
+        assert_eq!(cfg.effective_origin_mbps(400), 1.0);
+        // Floor prevents zero bandwidth.
+        assert!(cfg.effective_origin_mbps(usize::MAX) >= 0.01);
+    }
+
+    #[test]
+    fn contended_stage_in_reports_origin_use() {
+        let mut cache = StashCache::new();
+        let cfg = TransferConfig::default();
+        let j = job_with_input("gf.mseed", 1000.0, true);
+        let (cold, used) = cache.stage_in_secs_contended(SiteId(0), &j, &cfg, 100);
+        assert!(used, "first fetch hits the origin");
+        let (uncontended, _) = cache.stage_in_secs_contended(SiteId(9), &j, &cfg, 1);
+        assert!(cold > uncontended * 2.0, "{cold} vs {uncontended}");
+        let (warm, used) = cache.stage_in_secs_contended(SiteId(0), &j, &cfg, 100);
+        assert!(!used, "cache hit avoids the origin entirely");
+        assert!(warm < uncontended);
+    }
+
+    #[test]
+    fn infinite_capacity_disables_contention() {
+        let cfg = TransferConfig {
+            origin_capacity_mbps: f64::INFINITY,
+            ..Default::default()
+        };
+        assert_eq!(cfg.effective_origin_mbps(1_000_000), 25.0);
+    }
+
+    #[test]
+    fn multiple_inputs_accumulate() {
+        let mut cache = StashCache::new();
+        let cfg = TransferConfig::default();
+        let mut j = job_with_input("a.npy", 250.0, true);
+        j.inputs.push(InputFile { name: "b.npy".into(), size_mb: 250.0, cacheable: true });
+        let t = cache.stage_in_secs(SiteId(0), &j, &cfg);
+        assert!((t - (10.0 + 500.0 / 25.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,377 @@
+//! Elastic bursting — the controller the paper's §6 names as the next
+//! step: "creating a comprehensive, elastic algorithm for bursting OSG
+//! jobs to VDC resources … scaling utilized VDC resources based on OSG's
+//! common resources", aiming for *consistent* throughput (the paper notes
+//! its static policies made throughput SDs worse).
+//!
+//! The controller holds a pool of simulated VDC slots whose size is
+//! adjusted every control period by proportional feedback on the recent
+//! (windowed) completion throughput: below-target throughput grows the
+//! pool, above-target shrinks it (slots drain as their jobs finish). Free
+//! slots pull the longest-queued OSG job, or the last unsubmitted one.
+
+use std::collections::VecDeque;
+
+use crate::records::BatchInput;
+use crate::simulator::{vdc_duration_secs, BurstOutcome, CLOUD_COST_PER_MIN};
+
+/// Parameters of the elastic bursting controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElasticPolicy {
+    /// Throughput the controller tries to hold, jobs/minute.
+    pub target_jpm: f64,
+    /// Control period, seconds.
+    pub control_period_s: u64,
+    /// Proportional gain: slots added per JPM of throughput deficit.
+    pub gain: f64,
+    /// Hard cap on simulated VDC slots.
+    pub max_vdc_slots: usize,
+    /// Sliding window for the throughput measurement, seconds.
+    pub window_s: u64,
+}
+
+impl Default for ElasticPolicy {
+    fn default() -> Self {
+        Self {
+            target_jpm: 20.0,
+            control_period_s: 30,
+            gain: 1.0,
+            max_vdc_slots: 200,
+            window_s: 300,
+        }
+    }
+}
+
+/// Outcome of an elastic bursting run: the standard metrics plus
+/// controller telemetry.
+#[derive(Debug, Clone)]
+pub struct ElasticOutcome {
+    /// Standard bursting metrics (series, AIT, runtime, cost, …).
+    pub base: BurstOutcome,
+    /// Largest VDC pool size the controller reached.
+    pub peak_vdc_slots: usize,
+    /// Time-averaged VDC pool size.
+    pub mean_vdc_slots: f64,
+    /// Standard deviation of the windowed throughput after the first
+    /// window — the "consistency" the paper wants improved.
+    pub windowed_throughput_sd: f64,
+    /// Per-second VDC pool size series.
+    pub slots_series: Vec<u32>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Osg,
+    Bursted(u64), // completion time
+    Done,
+}
+
+/// Run the elastic controller over a recorded batch.
+pub fn simulate_elastic(
+    input: &BatchInput,
+    policy: &ElasticPolicy,
+) -> Result<ElasticOutcome, String> {
+    input.validate()?;
+    if policy.control_period_s == 0 || policy.window_s == 0 {
+        return Err("control period and window must be positive".into());
+    }
+    let t0 = input.batch.submit_s;
+    let n = input.jobs.len();
+    let mut state = vec![State::Osg; n];
+    let mut completed = 0usize;
+    let mut bursted = 0usize;
+    let mut vdc_seconds = 0u64;
+    let mut active_vdc = 0usize;
+    let mut slots_target = 0usize;
+    let mut last_completion = t0;
+
+    let mut instant_series = Vec::new();
+    let mut slots_series = Vec::new();
+    // Completions per second within the sliding window.
+    let mut window: VecDeque<u32> = VecDeque::with_capacity(policy.window_s as usize);
+    let mut window_sum: u64 = 0;
+    let mut windowed_samples: Vec<f64> = Vec::new();
+
+    let t_end_cap = input.batch.terminate_s + 86_400;
+    let mut t = t0;
+    while completed < n && t <= t_end_cap {
+        let mut completions_now = 0u32;
+
+        // OSG completions from the record.
+        for (i, job) in input.jobs.iter().enumerate() {
+            if state[i] == State::Osg && job.terminate_s == Some(t) {
+                state[i] = State::Done;
+                completed += 1;
+                completions_now += 1;
+                last_completion = t;
+            }
+        }
+        // VDC completions.
+        for s in state.iter_mut() {
+            if let State::Bursted(finish) = *s {
+                if finish == t {
+                    *s = State::Done;
+                    completed += 1;
+                    completions_now += 1;
+                    active_vdc -= 1;
+                    last_completion = t;
+                }
+            }
+        }
+
+        // Windowed throughput bookkeeping.
+        window.push_back(completions_now);
+        window_sum += completions_now as u64;
+        if window.len() as u64 > policy.window_s {
+            window_sum -= window.pop_front().unwrap() as u64;
+        }
+        let window_mins = window.len() as f64 / 60.0;
+        let recent_jpm = if window_mins > 0.0 {
+            window_sum as f64 / window_mins
+        } else {
+            0.0
+        };
+        if window.len() as u64 == policy.window_s {
+            windowed_samples.push(recent_jpm);
+        }
+
+        // Controller: adjust the slot target every control period, but
+        // only once the measurement window has filled — acting on an
+        // empty window would burst before OSG has shown what it can do
+        // (the elastic analogue of Policy 1's arming rule).
+        if window.len() as u64 >= policy.window_s
+            && (t - t0) % policy.control_period_s == 0
+        {
+            let error = policy.target_jpm - recent_jpm;
+            let delta = (policy.gain * error).round() as i64;
+            slots_target = (slots_target as i64 + delta)
+                .clamp(0, policy.max_vdc_slots as i64) as usize;
+        }
+
+        // Fill free VDC slots: longest-queued job first, then the last
+        // unsubmitted one.
+        while active_vdc < slots_target && completed + active_vdc_count(&state) < n {
+            let candidate = pick_candidate(input, &state, t);
+            let Some(i) = candidate else { break };
+            let dur = vdc_duration_secs(input.jobs[i].phase);
+            state[i] = State::Bursted(t + dur);
+            active_vdc += 1;
+            bursted += 1;
+            vdc_seconds += dur;
+        }
+
+        // Eq. (5) instant throughput.
+        let mins = ((t - t0).max(1)) as f64 / 60.0;
+        instant_series.push(completed as f64 / mins);
+        slots_series.push(active_vdc as u32);
+        t += 1;
+    }
+
+    let unfinished = state.iter().filter(|s| !matches!(s, State::Done)).count();
+    let vdc_minutes = vdc_seconds as f64 / 60.0;
+    let ait = if instant_series.is_empty() {
+        0.0
+    } else {
+        instant_series.iter().sum::<f64>() / instant_series.len() as f64
+    };
+    let mean_slots = if slots_series.is_empty() {
+        0.0
+    } else {
+        slots_series.iter().map(|v| *v as f64).sum::<f64>() / slots_series.len() as f64
+    };
+    let sd = if windowed_samples.is_empty() {
+        0.0
+    } else {
+        let m = windowed_samples.iter().sum::<f64>() / windowed_samples.len() as f64;
+        (windowed_samples.iter().map(|x| (x - m).powi(2)).sum::<f64>()
+            / windowed_samples.len() as f64)
+            .sqrt()
+    };
+    Ok(ElasticOutcome {
+        peak_vdc_slots: slots_series.iter().copied().max().unwrap_or(0) as usize,
+        mean_vdc_slots: mean_slots,
+        windowed_throughput_sd: sd,
+        slots_series,
+        base: BurstOutcome {
+            instant_series,
+            ait_jpm: ait,
+            runtime_secs: last_completion - t0,
+            total_jobs: n,
+            bursted_jobs: bursted,
+            unfinished_jobs: unfinished,
+            vdc_minutes,
+            cost_usd: vdc_minutes * CLOUD_COST_PER_MIN,
+        },
+    })
+}
+
+fn active_vdc_count(state: &[State]) -> usize {
+    state.iter().filter(|s| matches!(s, State::Bursted(_))).count()
+}
+
+/// The next job to burst: the queued OSG job waiting longest, else the
+/// unsubmitted job with the latest submit time.
+fn pick_candidate(input: &BatchInput, state: &[State], t: u64) -> Option<usize> {
+    let queued = input
+        .jobs
+        .iter()
+        .enumerate()
+        .filter(|(i, j)| {
+            state[*i] == State::Osg
+                && j.submit_s <= t
+                && j.execute_s.map(|e| e > t).unwrap_or(true)
+        })
+        .min_by_key(|(_, j)| j.submit_s);
+    if let Some((i, _)) = queued {
+        return Some(i);
+    }
+    input
+        .jobs
+        .iter()
+        .enumerate()
+        .filter(|(i, j)| state[*i] == State::Osg && j.submit_s > t)
+        .max_by_key(|(_, j)| j.submit_s)
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{BatchRecord, JobPhase, JobRecord};
+
+    fn slow_batch(n: u64) -> BatchInput {
+        let jobs: Vec<JobRecord> = (0..n)
+            .map(|i| JobRecord {
+                job: i,
+                phase: JobPhase::Waveform,
+                submit_s: i * 10,
+                execute_s: Some(600 + i * 120),
+                terminate_s: Some(1600 + i * 120),
+            })
+            .collect();
+        let term = jobs.iter().filter_map(|j| j.terminate_s).max().unwrap();
+        BatchInput {
+            batch: BatchRecord { submit_s: 0, execute_s: 600, terminate_s: term },
+            jobs,
+        }
+    }
+
+    #[test]
+    fn zero_target_never_bursts() {
+        let input = slow_batch(20);
+        let out = simulate_elastic(
+            &input,
+            &ElasticPolicy { target_jpm: 0.0, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(out.base.bursted_jobs, 0);
+        assert_eq!(out.base.runtime_secs, input.batch.runtime_secs());
+        assert_eq!(out.peak_vdc_slots, 0);
+    }
+
+    #[test]
+    fn high_target_scales_up_and_finishes_early() {
+        let input = slow_batch(40);
+        let out = simulate_elastic(
+            &input,
+            &ElasticPolicy { target_jpm: 30.0, ..Default::default() },
+        )
+        .unwrap();
+        assert!(out.base.bursted_jobs > 0);
+        assert!(out.peak_vdc_slots > 0);
+        assert!(
+            out.base.runtime_secs < input.batch.runtime_secs(),
+            "elastic bursting must shorten this slow batch"
+        );
+        assert_eq!(out.base.unfinished_jobs, 0);
+        assert!(out.base.cost_usd > 0.0);
+    }
+
+    #[test]
+    fn slot_cap_respected() {
+        let input = slow_batch(60);
+        let out = simulate_elastic(
+            &input,
+            &ElasticPolicy {
+                target_jpm: 1_000.0,
+                max_vdc_slots: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(out.peak_vdc_slots <= 3, "peak {}", out.peak_vdc_slots);
+        assert!(out.slots_series.iter().all(|s| *s <= 3));
+    }
+
+    #[test]
+    fn controller_downscales_when_target_met() {
+        // A batch that completes quickly on its own: after the initial
+        // ramp the controller should retire slots (mean well below peak).
+        let jobs: Vec<JobRecord> = (0..200)
+            .map(|i| JobRecord {
+                job: i,
+                phase: JobPhase::Rupture,
+                submit_s: 0,
+                execute_s: Some(5),
+                terminate_s: Some(10 + i / 2), // ~2 jobs per second early on
+            })
+            .collect();
+        let input = BatchInput {
+            batch: BatchRecord { submit_s: 0, execute_s: 5, terminate_s: 110 },
+            jobs,
+        };
+        let out = simulate_elastic(
+            &input,
+            &ElasticPolicy { target_jpm: 30.0, window_s: 30, ..Default::default() },
+        )
+        .unwrap();
+        // OSG alone delivers ~120 JPM, far above target: no slots needed.
+        assert_eq!(out.base.bursted_jobs, 0, "controller must not burst");
+    }
+
+    #[test]
+    fn invalid_policy_rejected() {
+        let input = slow_batch(5);
+        assert!(simulate_elastic(
+            &input,
+            &ElasticPolicy { control_period_s: 0, ..Default::default() }
+        )
+        .is_err());
+        assert!(simulate_elastic(
+            &input,
+            &ElasticPolicy { window_s: 0, ..Default::default() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn conservation_and_cost() {
+        let input = slow_batch(30);
+        let out = simulate_elastic(
+            &input,
+            &ElasticPolicy { target_jpm: 10.0, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(out.base.total_jobs, 30);
+        assert_eq!(out.base.unfinished_jobs, 0);
+        assert!(
+            (out.base.cost_usd - out.base.vdc_minutes * CLOUD_COST_PER_MIN).abs()
+                < 1e-12
+        );
+        // Every bursted waveform job contributes exactly 144 s.
+        assert!(
+            (out.base.vdc_minutes - out.base.bursted_jobs as f64 * 144.0 / 60.0).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let input = slow_batch(25);
+        let p = ElasticPolicy { target_jpm: 15.0, ..Default::default() };
+        let a = simulate_elastic(&input, &p).unwrap();
+        let b = simulate_elastic(&input, &p).unwrap();
+        assert_eq!(a.base.instant_series, b.base.instant_series);
+        assert_eq!(a.slots_series, b.slots_series);
+    }
+}

@@ -1,0 +1,125 @@
+//! The three OSG-tailored bursting policies (§3.1.2).
+//!
+//! * **Policy 1** — low throughput: probe the batch's instant throughput
+//!   every `probe_secs`; once it has been armed (reached the threshold at
+//!   least once), burst the last unsubmitted job whenever it falls below
+//!   the threshold.
+//! * **Policy 2** — congested queue: jobs waiting in the queue longer than
+//!   `max_queue_secs` are removed and bursted.
+//! * **Policy 3** — submission gaps: if no job has entered the queue for
+//!   `max_gap_secs`, periodically burst the last unsubmitted job.
+
+/// Policy 1 parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputPolicy {
+    /// Probe interval in seconds (the paper sweeps 1–120 s).
+    pub probe_secs: u64,
+    /// Instant-throughput threshold in jobs/minute (paper uses 34).
+    pub threshold_jpm: f64,
+}
+
+impl Default for ThroughputPolicy {
+    fn default() -> Self {
+        Self { probe_secs: 10, threshold_jpm: 34.0 }
+    }
+}
+
+/// Policy 2 parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueTimePolicy {
+    /// Maximum tolerated queue wait in seconds (paper uses 90 and 120
+    /// minutes).
+    pub max_queue_secs: u64,
+    /// How often the queue is scanned, seconds.
+    pub check_secs: u64,
+}
+
+impl Default for QueueTimePolicy {
+    fn default() -> Self {
+        Self { max_queue_secs: 90 * 60, check_secs: 60 }
+    }
+}
+
+/// Policy 3 parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubmissionGapPolicy {
+    /// Maximum tolerated gap since the last submission, seconds.
+    pub max_gap_secs: u64,
+    /// How often the gap is checked (and one job bursted), seconds.
+    pub check_secs: u64,
+}
+
+impl Default for SubmissionGapPolicy {
+    fn default() -> Self {
+        Self { max_gap_secs: 20 * 60, check_secs: 60 }
+    }
+}
+
+/// The bursting configuration: any combination of the three policies plus
+/// an optional cap on the fraction of jobs bursted (the paper's cost
+/// experiment keeps it ≤ 30 %).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BurstPolicies {
+    /// Policy 1 (low throughput), if enabled.
+    pub throughput: Option<ThroughputPolicy>,
+    /// Policy 2 (congested queue), if enabled.
+    pub queue_time: Option<QueueTimePolicy>,
+    /// Policy 3 (submission gaps), if enabled.
+    pub submission_gap: Option<SubmissionGapPolicy>,
+    /// Maximum fraction of total jobs that may be bursted (None =
+    /// unlimited).
+    pub max_burst_fraction: Option<f64>,
+}
+
+impl BurstPolicies {
+    /// The configuration of the paper's Fig. 5 sweep: Policy 1 with the
+    /// given probe time, Policy 2 with the given queue limit.
+    pub fn paper_sweep(probe_secs: u64, max_queue_mins: u64) -> Self {
+        Self {
+            throughput: Some(ThroughputPolicy { probe_secs, threshold_jpm: 34.0 }),
+            queue_time: Some(QueueTimePolicy {
+                max_queue_secs: max_queue_mins * 60,
+                check_secs: 60,
+            }),
+            submission_gap: None,
+            max_burst_fraction: None,
+        }
+    }
+
+    /// No bursting at all — the control replays the OSG record untouched.
+    pub fn control() -> Self {
+        Self::default()
+    }
+
+    /// True when no policy is enabled.
+    pub fn is_control(&self) -> bool {
+        self.throughput.is_none()
+            && self.queue_time.is_none()
+            && self.submission_gap.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        assert_eq!(ThroughputPolicy::default().threshold_jpm, 34.0);
+        assert_eq!(QueueTimePolicy::default().max_queue_secs, 5400);
+    }
+
+    #[test]
+    fn paper_sweep_config() {
+        let p = BurstPolicies::paper_sweep(5, 120);
+        assert_eq!(p.throughput.unwrap().probe_secs, 5);
+        assert_eq!(p.queue_time.unwrap().max_queue_secs, 7200);
+        assert!(p.submission_gap.is_none());
+        assert!(!p.is_control());
+    }
+
+    #[test]
+    fn control_is_empty() {
+        assert!(BurstPolicies::control().is_control());
+    }
+}

@@ -1,0 +1,225 @@
+//! Input records of the bursting simulator: the two `.csv` files the paper
+//! describes (§3.1) — one row of batch-level times and one row per job —
+//! plus direct construction from an `htcsim` run report.
+
+use htcsim::cluster::RunReport;
+use htcsim::csvlite;
+
+/// Which FDW phase a job belongs to; bursted completion times differ per
+/// phase (§3.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// A-phase rupture job (bursted completion 287 s).
+    Rupture,
+    /// C-phase waveform job (bursted completion 144 s).
+    Waveform,
+    /// Everything else (matrix/GF); treated like rupture jobs when
+    /// bursted.
+    Other,
+}
+
+impl JobPhase {
+    /// Parse the phase label used in the jobs CSV.
+    pub fn parse(s: &str) -> Self {
+        match s {
+            "rupture" => JobPhase::Rupture,
+            "waveform" => JobPhase::Waveform,
+            _ => JobPhase::Other,
+        }
+    }
+}
+
+/// Batch-level times of one recorded DAGMan run (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// First submission.
+    pub submit_s: u64,
+    /// First execution start.
+    pub execute_s: u64,
+    /// Termination (last completion).
+    pub terminate_s: u64,
+}
+
+impl BatchRecord {
+    /// Parse the batch CSV (`submit_s,execute_s,terminate_s`, one row).
+    pub fn parse_csv(text: &str) -> Result<Self, String> {
+        let (header, rows) = csvlite::parse(text)?;
+        let row = rows.first().ok_or("batch CSV has no data row")?;
+        let col = |name: &str| -> Result<u64, String> {
+            let idx = csvlite::column(&header, name)?;
+            row[idx]
+                .parse()
+                .map_err(|_| format!("bad {name} value '{}'", row[idx]))
+        };
+        let rec = Self {
+            submit_s: col("submit_s")?,
+            execute_s: col("execute_s")?,
+            terminate_s: col("terminate_s")?,
+        };
+        if rec.terminate_s < rec.submit_s {
+            return Err("batch terminates before it submits".into());
+        }
+        Ok(rec)
+    }
+
+    /// Batch runtime in seconds.
+    pub fn runtime_secs(&self) -> u64 {
+        self.terminate_s - self.submit_s
+    }
+}
+
+/// Per-job times of one recorded DAGMan run (seconds; times are absolute
+/// in the same clock as the batch record).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Job id from the log.
+    pub job: u64,
+    /// Phase of the FDW this job belongs to.
+    pub phase: JobPhase,
+    /// Submission time.
+    pub submit_s: u64,
+    /// Execution start (None if it never started).
+    pub execute_s: Option<u64>,
+    /// Completion time (None if it never completed).
+    pub terminate_s: Option<u64>,
+}
+
+impl JobRecord {
+    /// Parse the jobs CSV exported by
+    /// [`htcsim::userlog::UserLog::jobs_csv`].
+    pub fn parse_csv(text: &str) -> Result<Vec<Self>, String> {
+        let (header, rows) = csvlite::parse(text)?;
+        let job_i = csvlite::column(&header, "job")?;
+        let phase_i = csvlite::column(&header, "phase")?;
+        let submit_i = csvlite::column(&header, "submit_s")?;
+        let exec_i = csvlite::column(&header, "execute_s")?;
+        let term_i = csvlite::column(&header, "terminate_s")?;
+        let mut out = Vec::with_capacity(rows.len());
+        for (n, row) in rows.iter().enumerate() {
+            let parse_opt = |s: &str| -> Result<Option<u64>, String> {
+                if s.is_empty() {
+                    Ok(None)
+                } else {
+                    s.parse().map(Some).map_err(|_| format!("row {}: bad time '{s}'", n + 2))
+                }
+            };
+            out.push(Self {
+                job: row[job_i]
+                    .parse()
+                    .map_err(|_| format!("row {}: bad job id", n + 2))?,
+                phase: JobPhase::parse(&row[phase_i]),
+                submit_s: row[submit_i]
+                    .parse()
+                    .map_err(|_| format!("row {}: bad submit time", n + 2))?,
+                execute_s: parse_opt(&row[exec_i])?,
+                terminate_s: parse_opt(&row[term_i])?,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Batch + jobs records of one DAGMan — the simulator's full input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchInput {
+    /// Batch-level times.
+    pub batch: BatchRecord,
+    /// Per-job times.
+    pub jobs: Vec<JobRecord>,
+}
+
+impl BatchInput {
+    /// Parse from the two CSV texts.
+    pub fn from_csv(batch_csv: &str, jobs_csv: &str) -> Result<Self, String> {
+        Ok(Self {
+            batch: BatchRecord::parse_csv(batch_csv)?,
+            jobs: JobRecord::parse_csv(jobs_csv)?,
+        })
+    }
+
+    /// Extract directly from an `htcsim` run report (single-owner runs).
+    pub fn from_report(report: &RunReport) -> Result<Self, String> {
+        let name_of = report.name_of();
+        Self::from_csv(&report.log.batch_csv(), &report.log.jobs_csv(name_of))
+    }
+
+    /// Validate internal consistency (job times within batch bounds,
+    /// execute ≥ submit, terminate ≥ execute).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.jobs.is_empty() {
+            return Err("no job records".into());
+        }
+        for j in &self.jobs {
+            if let Some(e) = j.execute_s {
+                if e < j.submit_s {
+                    return Err(format!("job {} executes before submission", j.job));
+                }
+                if let Some(t) = j.terminate_s {
+                    if t < e {
+                        return Err(format!("job {} terminates before executing", j.job));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BATCH: &str = "submit_s,execute_s,terminate_s\n0,60,1000\n";
+    const JOBS: &str = "\
+job,owner,phase,submit_s,execute_s,terminate_s
+0,0,rupture,0,60,200
+1,0,waveform,0,300,900
+2,0,waveform,500,800,1000
+3,0,gf,0,,
+";
+
+    #[test]
+    fn batch_record_parses() {
+        let b = BatchRecord::parse_csv(BATCH).unwrap();
+        assert_eq!(b.submit_s, 0);
+        assert_eq!(b.runtime_secs(), 1000);
+    }
+
+    #[test]
+    fn batch_record_rejects_inverted_times() {
+        assert!(BatchRecord::parse_csv("submit_s,execute_s,terminate_s\n100,0,50\n").is_err());
+        assert!(BatchRecord::parse_csv("submit_s,execute_s\n1,2\n").is_err());
+        assert!(BatchRecord::parse_csv("submit_s,execute_s,terminate_s\n").is_err());
+    }
+
+    #[test]
+    fn job_records_parse_with_phases_and_missing_times() {
+        let jobs = JobRecord::parse_csv(JOBS).unwrap();
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(jobs[0].phase, JobPhase::Rupture);
+        assert_eq!(jobs[1].phase, JobPhase::Waveform);
+        assert_eq!(jobs[3].phase, JobPhase::Other);
+        assert_eq!(jobs[3].execute_s, None);
+        assert_eq!(jobs[3].terminate_s, None);
+        assert_eq!(jobs[2].terminate_s, Some(1000));
+    }
+
+    #[test]
+    fn batch_input_validates() {
+        let input = BatchInput::from_csv(BATCH, JOBS).unwrap();
+        assert!(input.validate().is_ok());
+        let bad = "job,owner,phase,submit_s,execute_s,terminate_s\n0,0,rupture,100,50,200\n";
+        let input = BatchInput::from_csv(BATCH, bad).unwrap();
+        assert!(input.validate().is_err());
+        let empty = "job,owner,phase,submit_s,execute_s,terminate_s\n";
+        let input = BatchInput::from_csv(BATCH, empty).unwrap();
+        assert!(input.validate().is_err());
+    }
+
+    #[test]
+    fn phase_parse_labels() {
+        assert_eq!(JobPhase::parse("rupture"), JobPhase::Rupture);
+        assert_eq!(JobPhase::parse("waveform"), JobPhase::Waveform);
+        assert_eq!(JobPhase::parse("matrix"), JobPhase::Other);
+    }
+}

@@ -1,0 +1,467 @@
+//! The bursting simulation loop (§3.1.1): iterate through each second of a
+//! recorded DAGMan run, detect OSG completions from the record, apply the
+//! bursting policies, and advance simulated VDC jobs by one second until
+//! they hit their constant completion times (287 s rupture / 144 s
+//! waveform).
+
+use crate::policy::BurstPolicies;
+use crate::records::{BatchInput, JobPhase};
+
+/// Seconds a bursted job of each phase takes on VDC (§3.1.1).
+pub fn vdc_duration_secs(phase: JobPhase) -> u64 {
+    match phase {
+        JobPhase::Waveform => 144,
+        JobPhase::Rupture | JobPhase::Other => 287,
+    }
+}
+
+/// Where a job ended up running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Disposition {
+    /// Follows its OSG record untouched.
+    Osg,
+    /// Bursted to VDC at `start`; completes at `start + duration`.
+    Bursted {
+        /// Second the burst began.
+        start: u64,
+        /// VDC execution time.
+        duration: u64,
+    },
+    /// Completed (either path).
+    Done,
+}
+
+/// Result of one bursting simulation.
+#[derive(Debug, Clone)]
+pub struct BurstOutcome {
+    /// Instant throughput (jobs/minute) for every second of the run
+    /// (eq. 5), starting at the batch submit time.
+    pub instant_series: Vec<f64>,
+    /// Average instant throughput (eq. 6).
+    pub ait_jpm: f64,
+    /// Total runtime in seconds (batch submit → last completion).
+    pub runtime_secs: u64,
+    /// Total jobs in the batch.
+    pub total_jobs: usize,
+    /// Jobs bursted to VDC.
+    pub bursted_jobs: usize,
+    /// Jobs that never completed (incomplete records never bursted).
+    pub unfinished_jobs: usize,
+    /// Total VDC compute minutes consumed.
+    pub vdc_minutes: f64,
+    /// Simulated bursting cost in USD (eq. 7).
+    pub cost_usd: f64,
+}
+
+impl BurstOutcome {
+    /// Fraction of jobs bursted to VDC in [0, 1].
+    pub fn burst_fraction(&self) -> f64 {
+        if self.total_jobs == 0 {
+            0.0
+        } else {
+            self.bursted_jobs as f64 / self.total_jobs as f64
+        }
+    }
+
+    /// VDC usage as a percentage of jobs (the Fig. 5 metric).
+    pub fn vdc_usage_pct(&self) -> f64 {
+        self.burst_fraction() * 100.0
+    }
+}
+
+/// Cloud cost per VDC minute (EC2 a1.xlarge on-demand; §4.3 eq. 7).
+pub const CLOUD_COST_PER_MIN: f64 = 0.0017;
+
+/// Run the bursting simulation over one recorded batch.
+pub fn simulate(input: &BatchInput, policies: &BurstPolicies) -> Result<BurstOutcome, String> {
+    input.validate()?;
+    let t0 = input.batch.submit_s;
+    let n = input.jobs.len();
+    let burst_cap = policies
+        .max_burst_fraction
+        .map(|f| (f * n as f64).floor() as usize)
+        .unwrap_or(usize::MAX);
+
+    let mut disp = vec![Disposition::Osg; n];
+    let mut completed = 0usize;
+    let mut bursted = 0usize;
+    let mut vdc_seconds = 0u64;
+    let mut armed = policies
+        .throughput
+        .map(|p| p.threshold_jpm <= 0.0)
+        .unwrap_or(false);
+    let mut instant_series = Vec::new();
+    let mut last_completion = t0;
+
+    // Hard stop: a day past the recorded termination is enough for any
+    // bursted tail to drain.
+    let t_end_cap = input.batch.terminate_s + 86_400;
+
+    let mut t = t0;
+    while completed < n && t <= t_end_cap {
+        // 1. OSG completions at this second.
+        for (i, job) in input.jobs.iter().enumerate() {
+            if disp[i] == Disposition::Osg && job.terminate_s == Some(t) {
+                disp[i] = Disposition::Done;
+                completed += 1;
+                last_completion = t;
+            }
+        }
+        // 2. Bursted completions at this second.
+        for d in disp.iter_mut() {
+            if let Disposition::Bursted { start, duration } = *d {
+                if start + duration == t {
+                    *d = Disposition::Done;
+                    completed += 1;
+                    vdc_seconds += duration;
+                    last_completion = t;
+                }
+            }
+        }
+
+        // Instant throughput at this second (eq. 5).
+        let elapsed_min = ((t - t0).max(1)) as f64 / 60.0;
+        let omega = completed as f64 / elapsed_min;
+        instant_series.push(omega);
+
+        // 3. Policies.
+        let elapsed = t - t0;
+        let can_burst = |bursted: usize| bursted < burst_cap;
+
+        // Policy 1: low throughput (armed once the threshold is reached).
+        if let Some(p) = policies.throughput {
+            if omega >= p.threshold_jpm {
+                armed = true;
+            }
+            if p.probe_secs > 0
+                && elapsed % p.probe_secs == 0
+                && armed
+                && omega < p.threshold_jpm
+                && can_burst(bursted)
+            {
+                if let Some(i) = last_unsubmitted(&input.jobs, &disp, t) {
+                    disp[i] = Disposition::Bursted {
+                        start: t,
+                        duration: vdc_duration_secs(input.jobs[i].phase),
+                    };
+                    bursted += 1;
+                }
+            }
+        }
+
+        // Policy 2: congested queue.
+        if let Some(p) = policies.queue_time {
+            if p.check_secs > 0 && elapsed % p.check_secs == 0 {
+                for (i, job) in input.jobs.iter().enumerate() {
+                    if !can_burst(bursted) {
+                        break;
+                    }
+                    let queued = disp[i] == Disposition::Osg
+                        && job.submit_s <= t
+                        && job.execute_s.map(|e| e > t).unwrap_or(true);
+                    if queued && t - job.submit_s > p.max_queue_secs {
+                        disp[i] = Disposition::Bursted {
+                            start: t,
+                            duration: vdc_duration_secs(job.phase),
+                        };
+                        bursted += 1;
+                    }
+                }
+            }
+        }
+
+        // Policy 3: submission gaps.
+        if let Some(p) = policies.submission_gap {
+            if p.check_secs > 0 && elapsed % p.check_secs == 0 && can_burst(bursted) {
+                let last_sub = input
+                    .jobs
+                    .iter()
+                    .filter(|j| j.submit_s <= t)
+                    .map(|j| j.submit_s)
+                    .max()
+                    .unwrap_or(t0);
+                if t - last_sub > p.max_gap_secs {
+                    if let Some(i) = last_unsubmitted(&input.jobs, &disp, t) {
+                        disp[i] = Disposition::Bursted {
+                            start: t,
+                            duration: vdc_duration_secs(input.jobs[i].phase),
+                        };
+                        bursted += 1;
+                    }
+                }
+            }
+        }
+
+        t += 1;
+    }
+
+    let unfinished = disp
+        .iter()
+        .filter(|d| !matches!(d, Disposition::Done))
+        .count();
+    let runtime_secs = last_completion - t0;
+    let ait = if instant_series.is_empty() {
+        0.0
+    } else {
+        instant_series.iter().sum::<f64>() / instant_series.len() as f64
+    };
+    let vdc_minutes = vdc_seconds as f64 / 60.0;
+    Ok(BurstOutcome {
+        instant_series,
+        ait_jpm: ait,
+        runtime_secs,
+        total_jobs: n,
+        bursted_jobs: bursted,
+        unfinished_jobs: unfinished,
+        vdc_minutes,
+        cost_usd: vdc_minutes * CLOUD_COST_PER_MIN,
+    })
+}
+
+/// Index of the not-yet-submitted OSG job with the latest submit time
+/// ("the last unsubmitted OSG job for the phase", §3.1.2).
+fn last_unsubmitted(
+    jobs: &[crate::records::JobRecord],
+    disp: &[Disposition],
+    t: u64,
+) -> Option<usize> {
+    jobs.iter()
+        .enumerate()
+        .filter(|(i, j)| disp[*i] == Disposition::Osg && j.submit_s > t)
+        .max_by_key(|(_, j)| j.submit_s)
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{
+        BurstPolicies, QueueTimePolicy, SubmissionGapPolicy, ThroughputPolicy,
+    };
+    use crate::records::{BatchRecord, JobRecord};
+
+    /// A batch of `n` waveform jobs completing one per minute after a slow
+    /// start.
+    fn slow_batch(n: u64) -> BatchInput {
+        let jobs: Vec<JobRecord> = (0..n)
+            .map(|i| JobRecord {
+                job: i,
+                phase: JobPhase::Waveform,
+                submit_s: i * 30,
+                execute_s: Some(1000 + i * 60),
+                terminate_s: Some(2000 + i * 60),
+            })
+            .collect();
+        let term = jobs.iter().filter_map(|j| j.terminate_s).max().unwrap();
+        BatchInput {
+            batch: BatchRecord { submit_s: 0, execute_s: 1000, terminate_s: term },
+            jobs,
+        }
+    }
+
+    #[test]
+    fn control_replays_record_exactly() {
+        let input = slow_batch(20);
+        let out = simulate(&input, &BurstPolicies::control()).unwrap();
+        assert_eq!(out.bursted_jobs, 0);
+        assert_eq!(out.cost_usd, 0.0);
+        assert_eq!(out.runtime_secs, input.batch.runtime_secs());
+        assert_eq!(out.total_jobs, 20);
+        assert_eq!(out.unfinished_jobs, 0);
+        assert_eq!(
+            out.instant_series.len() as u64,
+            input.batch.runtime_secs() + 1
+        );
+        // Final instant throughput equals jobs/total-minutes.
+        let last = *out.instant_series.last().unwrap();
+        let expected = 20.0 / (input.batch.runtime_secs() as f64 / 60.0);
+        assert!((last - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_policy_bursts_long_waiters_and_shortens_runtime() {
+        let input = slow_batch(20);
+        let policies = BurstPolicies {
+            queue_time: Some(QueueTimePolicy { max_queue_secs: 300, check_secs: 30 }),
+            ..Default::default()
+        };
+        let out = simulate(&input, &policies).unwrap();
+        assert!(out.bursted_jobs > 0, "long-queued jobs must burst");
+        assert!(
+            out.runtime_secs < input.batch.runtime_secs(),
+            "bursting must shorten this tail-heavy batch"
+        );
+        assert!(out.cost_usd > 0.0);
+        assert_eq!(out.unfinished_jobs, 0);
+    }
+
+    #[test]
+    fn throughput_policy_requires_arming() {
+        // Batch whose throughput never reaches the threshold: policy 1
+        // must never fire.
+        let input = slow_batch(10);
+        let policies = BurstPolicies {
+            throughput: Some(ThroughputPolicy { probe_secs: 1, threshold_jpm: 1000.0 }),
+            ..Default::default()
+        };
+        let out = simulate(&input, &policies).unwrap();
+        assert_eq!(out.bursted_jobs, 0, "unarmed policy must not burst");
+    }
+
+    #[test]
+    fn throughput_policy_bursts_after_arming() {
+        // Fast initial completions arm the policy; the long tail then
+        // triggers bursting of unsubmitted jobs.
+        let mut jobs: Vec<JobRecord> = (0..30)
+            .map(|i| JobRecord {
+                job: i,
+                phase: JobPhase::Rupture,
+                submit_s: 0,
+                execute_s: Some(10),
+                terminate_s: Some(60 + i), // 30 jobs inside the first 90 s
+            })
+            .collect();
+        // Late tail submitted much later.
+        for i in 30..40 {
+            jobs.push(JobRecord {
+                job: i,
+                phase: JobPhase::Waveform,
+                submit_s: 4000 + (i - 30) * 100,
+                execute_s: Some(8000),
+                terminate_s: Some(12_000),
+            });
+        }
+        let input = BatchInput {
+            batch: BatchRecord { submit_s: 0, execute_s: 10, terminate_s: 12_000 },
+            jobs,
+        };
+        let policies = BurstPolicies {
+            throughput: Some(ThroughputPolicy { probe_secs: 1, threshold_jpm: 15.0 }),
+            ..Default::default()
+        };
+        let out = simulate(&input, &policies).unwrap();
+        assert!(out.bursted_jobs > 0);
+        assert!(out.runtime_secs < 12_000);
+    }
+
+    #[test]
+    fn faster_probing_bursts_more() {
+        let input = slow_batch(40);
+        let run = |probe| {
+            let policies = BurstPolicies {
+                throughput: Some(ThroughputPolicy {
+                    probe_secs: probe,
+                    // Low threshold so arming happens with the first
+                    // completion spike.
+                    threshold_jpm: 0.5,
+                }),
+                ..Default::default()
+            };
+            simulate(&input, &policies).unwrap()
+        };
+        let fast = run(1);
+        let slow = run(120);
+        assert!(
+            fast.bursted_jobs >= slow.bursted_jobs,
+            "probe 1 s bursted {} < probe 120 s {}",
+            fast.bursted_jobs,
+            slow.bursted_jobs
+        );
+        assert!(fast.ait_jpm >= slow.ait_jpm * 0.95);
+    }
+
+    #[test]
+    fn gap_policy_fires_on_submission_gaps() {
+        // Submissions stop after t=100 but late jobs arrive at t=5000.
+        let mut jobs: Vec<JobRecord> = (0..5)
+            .map(|i| JobRecord {
+                job: i,
+                phase: JobPhase::Rupture,
+                submit_s: i * 20,
+                execute_s: Some(200),
+                terminate_s: Some(400 + i * 10),
+            })
+            .collect();
+        jobs.push(JobRecord {
+            job: 5,
+            phase: JobPhase::Waveform,
+            submit_s: 5000,
+            execute_s: Some(5100),
+            terminate_s: Some(6000),
+        });
+        let input = BatchInput {
+            batch: BatchRecord { submit_s: 0, execute_s: 200, terminate_s: 6000 },
+            jobs,
+        };
+        let policies = BurstPolicies {
+            submission_gap: Some(SubmissionGapPolicy {
+                max_gap_secs: 600,
+                check_secs: 60,
+            }),
+            ..Default::default()
+        };
+        let out = simulate(&input, &policies).unwrap();
+        assert_eq!(out.bursted_jobs, 1, "the late job must be bursted");
+        assert!(out.runtime_secs < 6000);
+    }
+
+    #[test]
+    fn burst_cap_enforced() {
+        let input = slow_batch(40);
+        let policies = BurstPolicies {
+            queue_time: Some(QueueTimePolicy { max_queue_secs: 60, check_secs: 10 }),
+            max_burst_fraction: Some(0.30),
+            ..Default::default()
+        };
+        let out = simulate(&input, &policies).unwrap();
+        assert!(out.burst_fraction() <= 0.30 + 1e-9, "{}", out.burst_fraction());
+        assert!(out.bursted_jobs <= 12);
+    }
+
+    #[test]
+    fn vdc_durations_match_paper() {
+        assert_eq!(vdc_duration_secs(JobPhase::Rupture), 287);
+        assert_eq!(vdc_duration_secs(JobPhase::Waveform), 144);
+        assert_eq!(vdc_duration_secs(JobPhase::Other), 287);
+    }
+
+    #[test]
+    fn cost_is_minutes_times_rate() {
+        let input = slow_batch(20);
+        let policies = BurstPolicies {
+            queue_time: Some(QueueTimePolicy { max_queue_secs: 120, check_secs: 10 }),
+            ..Default::default()
+        };
+        let out = simulate(&input, &policies).unwrap();
+        assert!((out.cost_usd - out.vdc_minutes * CLOUD_COST_PER_MIN).abs() < 1e-12);
+        // Every bursted waveform job costs 144 s of VDC time.
+        assert!(
+            (out.vdc_minutes - out.bursted_jobs as f64 * 144.0 / 60.0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn incomplete_records_without_bursting_stay_unfinished() {
+        let jobs = vec![JobRecord {
+            job: 0,
+            phase: JobPhase::Waveform,
+            submit_s: 0,
+            execute_s: None,
+            terminate_s: None,
+        }];
+        let input = BatchInput {
+            batch: BatchRecord { submit_s: 0, execute_s: 0, terminate_s: 100 },
+            jobs,
+        };
+        let out = simulate(&input, &BurstPolicies::control()).unwrap();
+        assert_eq!(out.unfinished_jobs, 1);
+        // …but policy 2 rescues it.
+        let policies = BurstPolicies {
+            queue_time: Some(QueueTimePolicy { max_queue_secs: 50, check_secs: 10 }),
+            ..Default::default()
+        };
+        let out = simulate(&input, &policies).unwrap();
+        assert_eq!(out.unfinished_jobs, 0);
+        assert_eq!(out.bursted_jobs, 1);
+    }
+}

@@ -1,0 +1,400 @@
+//! The catalog: deposition, curation, tagging and discovery — the VDC
+//! data services the paper integrates the FDW with (§6, Fig. 7).
+
+use std::collections::{BTreeSet, HashMap};
+
+use fdw_core::archive::ArchiveManifest;
+
+use crate::record::{CurationState, DataRecord, RecordId};
+
+/// A query over the catalog; all set criteria must match (conjunctive).
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    /// Product kind filter.
+    pub kind: Option<String>,
+    /// Region filter.
+    pub region: Option<String>,
+    /// Tags the record must all carry.
+    pub tags_all: Vec<String>,
+    /// Inclusive magnitude range filter (records without magnitude never
+    /// match a magnitude-filtered query).
+    pub mw_range: Option<(f64, f64)>,
+    /// Substring match on the path.
+    pub path_contains: Option<String>,
+    /// Include raw (uncurated) records; default is curated-only, the
+    /// discoverability rule of the VDC.
+    pub include_raw: bool,
+}
+
+impl Query {
+    /// A query matching every curated record.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Filter by kind.
+    pub fn kind(mut self, k: &str) -> Self {
+        self.kind = Some(k.to_string());
+        self
+    }
+
+    /// Filter by region.
+    pub fn region(mut self, r: &str) -> Self {
+        self.region = Some(r.to_string());
+        self
+    }
+
+    /// Require a tag.
+    pub fn tag(mut self, t: &str) -> Self {
+        self.tags_all.push(t.to_string());
+        self
+    }
+
+    /// Filter by inclusive magnitude range.
+    pub fn mw(mut self, lo: f64, hi: f64) -> Self {
+        self.mw_range = Some((lo, hi));
+        self
+    }
+
+    /// Filter by path substring.
+    pub fn path_contains(mut self, s: &str) -> Self {
+        self.path_contains = Some(s.to_string());
+        self
+    }
+
+    /// Include uncurated records.
+    pub fn include_raw(mut self) -> Self {
+        self.include_raw = true;
+        self
+    }
+
+    fn matches(&self, r: &DataRecord) -> bool {
+        if !self.include_raw && !r.is_curated() {
+            return false;
+        }
+        if let Some(k) = &self.kind {
+            if &r.kind != k {
+                return false;
+            }
+        }
+        if let Some(reg) = &self.region {
+            if &r.region != reg {
+                return false;
+            }
+        }
+        for t in &self.tags_all {
+            if !r.tags.contains(t) {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.mw_range {
+            match r.mw {
+                Some(mw) if mw >= lo && mw <= hi => {}
+                _ => return false,
+            }
+        }
+        if let Some(s) = &self.path_contains {
+            if !r.path.contains(s) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The VDC data catalog.
+#[derive(Debug, Default)]
+pub struct VdcCatalog {
+    records: Vec<DataRecord>,
+    by_path: HashMap<String, RecordId>,
+    /// Inverted tag index: tag → record ids carrying it.
+    tag_index: HashMap<String, BTreeSet<RecordId>>,
+}
+
+impl VdcCatalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of records (any curation state).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are deposited.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Deposit a product. Paths are unique; re-depositing an existing
+    /// path is an error (immutable data products).
+    pub fn deposit(
+        &mut self,
+        path: &str,
+        kind: &str,
+        region: &str,
+        mw: Option<f64>,
+        size_mb: f64,
+        deposited_at: u64,
+    ) -> Result<RecordId, String> {
+        if self.by_path.contains_key(path) {
+            return Err(format!("path '{path}' already deposited"));
+        }
+        let id = RecordId(self.records.len() as u64);
+        let record = DataRecord {
+            id,
+            path: path.to_string(),
+            kind: kind.to_string(),
+            region: region.to_string(),
+            mw,
+            size_mb,
+            tags: BTreeSet::new(),
+            deposited_at,
+            state: CurationState::Raw,
+        };
+        record.validate()?;
+        self.by_path.insert(record.path.clone(), id);
+        self.records.push(record);
+        Ok(id)
+    }
+
+    /// Deposit every entry of an FDW archive manifest under a region
+    /// label, returning the new ids.
+    pub fn deposit_manifest(
+        &mut self,
+        manifest: &ArchiveManifest,
+        region: &str,
+        deposited_at: u64,
+    ) -> Result<Vec<RecordId>, String> {
+        let mut ids = Vec::with_capacity(manifest.len());
+        for e in &manifest.entries {
+            ids.push(self.deposit(&e.path, &e.kind, region, None, e.size_mb, deposited_at)?);
+        }
+        Ok(ids)
+    }
+
+    /// Borrow a record.
+    pub fn record(&self, id: RecordId) -> Option<&DataRecord> {
+        self.records.get(id.0 as usize)
+    }
+
+    /// Look up by path.
+    pub fn by_path(&self, path: &str) -> Option<&DataRecord> {
+        self.by_path.get(path).and_then(|id| self.record(*id))
+    }
+
+    /// Curate a record: re-validate its metadata and mark it
+    /// discoverable.
+    pub fn curate(&mut self, id: RecordId) -> Result<(), String> {
+        let r = self
+            .records
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| format!("unknown record {id:?}"))?;
+        r.validate()?;
+        r.state = CurationState::Curated;
+        Ok(())
+    }
+
+    /// Set a record's magnitude metadata (curation enrichment).
+    pub fn set_magnitude(&mut self, id: RecordId, mw: f64) -> Result<(), String> {
+        let r = self
+            .records
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| format!("unknown record {id:?}"))?;
+        r.mw = Some(mw);
+        r.validate()
+    }
+
+    /// Add a tag to a record.
+    pub fn tag(&mut self, id: RecordId, tag: &str) -> Result<(), String> {
+        let tag = tag.trim();
+        if tag.is_empty() {
+            return Err("tags cannot be empty".into());
+        }
+        let r = self
+            .records
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| format!("unknown record {id:?}"))?;
+        if r.tags.insert(tag.to_string()) {
+            self.tag_index.entry(tag.to_string()).or_default().insert(id);
+        }
+        Ok(())
+    }
+
+    /// Remove a tag from a record (no-op if absent).
+    pub fn untag(&mut self, id: RecordId, tag: &str) {
+        if let Some(r) = self.records.get_mut(id.0 as usize) {
+            if r.tags.remove(tag) {
+                if let Some(set) = self.tag_index.get_mut(tag) {
+                    set.remove(&id);
+                }
+            }
+        }
+    }
+
+    /// Run a query; results in deposition order. Tag-filtered queries go
+    /// through the inverted index.
+    pub fn query(&self, q: &Query) -> Vec<&DataRecord> {
+        // Seed the candidate set from the rarest tag when possible.
+        if let Some(first_tag) = q.tags_all.first() {
+            let Some(seed) = self.tag_index.get(first_tag) else {
+                return Vec::new();
+            };
+            return seed
+                .iter()
+                .filter_map(|id| self.record(*id))
+                .filter(|r| q.matches(r))
+                .collect();
+        }
+        self.records.iter().filter(|r| q.matches(r)).collect()
+    }
+
+    /// Total size of a query's results in megabytes (what a delivery
+    /// service would need to move).
+    pub fn query_size_mb(&self, q: &Query) -> f64 {
+        self.query(q).iter().map(|r| r.size_mb).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> VdcCatalog {
+        let mut c = VdcCatalog::new();
+        for i in 0..10 {
+            let id = c
+                .deposit(
+                    &format!("run1/waveforms/s{i:03}.mseed"),
+                    "waveform",
+                    "chile",
+                    Some(7.5 + 0.15 * i as f64),
+                    10.0,
+                    100 + i,
+                )
+                .unwrap();
+            c.curate(id).unwrap();
+            c.tag(id, "eew-training").unwrap();
+            if i % 2 == 0 {
+                c.tag(id, "validated").unwrap();
+            }
+        }
+        let gf = c
+            .deposit("run1/gf/gf.mseed", "gf", "chile", None, 1100.0, 99)
+            .unwrap();
+        c.curate(gf).unwrap();
+        // An uncurated deposit from another region.
+        c.deposit("run2/waveforms/x.mseed", "waveform", "cascadia", Some(8.0), 10.0, 200)
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn deposit_and_lookup() {
+        let c = seeded();
+        assert_eq!(c.len(), 12);
+        assert!(!c.is_empty());
+        let r = c.by_path("run1/gf/gf.mseed").unwrap();
+        assert_eq!(r.kind, "gf");
+        assert!(c.by_path("nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_paths_rejected() {
+        let mut c = seeded();
+        assert!(c
+            .deposit("run1/gf/gf.mseed", "gf", "chile", None, 1.0, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn invalid_metadata_rejected_at_deposit() {
+        let mut c = VdcCatalog::new();
+        assert!(c.deposit("p", "", "chile", None, 1.0, 0).is_err());
+        assert!(c.deposit("p", "gf", "chile", None, 0.0, 0).is_err());
+        assert!(c.deposit("p", "gf", "chile", Some(15.0), 1.0, 0).is_err());
+        assert!(c.is_empty(), "failed deposits must not leak records");
+    }
+
+    #[test]
+    fn default_queries_see_only_curated() {
+        let c = seeded();
+        let all = c.query(&Query::all());
+        assert_eq!(all.len(), 11, "the raw cascadia record is hidden");
+        let with_raw = c.query(&Query::all().include_raw());
+        assert_eq!(with_raw.len(), 12);
+    }
+
+    #[test]
+    fn conjunctive_filters() {
+        let c = seeded();
+        let q = Query::all().kind("waveform").region("chile").mw(8.0, 9.0);
+        let hits = c.query(&q);
+        assert!(!hits.is_empty());
+        for r in &hits {
+            assert_eq!(r.kind, "waveform");
+            assert!(r.mw.unwrap() >= 8.0);
+        }
+        // GF record has no magnitude: never matches an mw filter.
+        let q = Query::all().kind("gf").mw(0.0, 100.0);
+        assert!(c.query(&q).is_empty());
+    }
+
+    #[test]
+    fn tag_index_queries() {
+        let c = seeded();
+        assert_eq!(c.query(&Query::all().tag("eew-training")).len(), 10);
+        assert_eq!(
+            c.query(&Query::all().tag("eew-training").tag("validated")).len(),
+            5
+        );
+        assert!(c.query(&Query::all().tag("nonexistent")).is_empty());
+    }
+
+    #[test]
+    fn untag_updates_index() {
+        let mut c = seeded();
+        let id = c.by_path("run1/waveforms/s000.mseed").unwrap().id;
+        c.untag(id, "validated");
+        assert_eq!(c.query(&Query::all().tag("validated")).len(), 4);
+        c.untag(id, "validated"); // idempotent
+        assert!(c.tag(id, "  ").is_err());
+    }
+
+    #[test]
+    fn path_substring_and_size() {
+        let c = seeded();
+        let q = Query::all().path_contains("waveforms");
+        assert_eq!(c.query(&q).len(), 10);
+        assert!((c.query_size_mb(&q) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn manifest_ingest() {
+        use fdw_core::config::FdwConfig;
+        let manifest = ArchiveManifest::for_run(
+            "runX",
+            &FdwConfig { n_waveforms: 5, ..Default::default() },
+        );
+        let mut c = VdcCatalog::new();
+        let ids = c.deposit_manifest(&manifest, "chile", 1).unwrap();
+        assert_eq!(ids.len(), manifest.len());
+        for id in &ids {
+            c.curate(*id).unwrap();
+        }
+        assert_eq!(c.query(&Query::all().kind("waveform")).len(), 5);
+        assert_eq!(c.query(&Query::all().kind("gf")).len(), 1);
+    }
+
+    #[test]
+    fn magnitude_enrichment() {
+        let mut c = seeded();
+        let id = c.by_path("run1/gf/gf.mseed").unwrap().id;
+        c.set_magnitude(id, 8.5).unwrap();
+        assert_eq!(c.record(id).unwrap().mw, Some(8.5));
+        assert!(c.set_magnitude(id, 99.0).is_err());
+        assert!(c.set_magnitude(RecordId(999), 8.0).is_err());
+        assert!(c.curate(RecordId(999)).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! # vdc-catalog — Virtual Data Collaboratory data services
+//!
+//! The data-side of the paper's Fig. 7: once the FDW produces AI-ready
+//! synthetic products, the VDC provides "data deposition, curation, and
+//! tagging with metadata, allowing synthetic data products to be accessed
+//! more easily and timely for training EEW models" (§6), plus the
+//! "intelligent data delivery services" of Qin et al. 2022 that prefetch
+//! data from user access traces.
+//!
+//! * [`record`] — deposited products with validated metadata and a
+//!   curation lifecycle;
+//! * [`catalog`] — deposition (incl. FDW archive-manifest ingest),
+//!   curation, tagging with an inverted index, and conjunctive discovery
+//!   queries;
+//! * [`delivery`] — an LRU delivery cache with a trace-trained Markov
+//!   prefetcher and hit-rate accounting.
+//!
+//! ```
+//! use vdc_catalog::prelude::*;
+//!
+//! let mut cat = VdcCatalog::new();
+//! let id = cat.deposit("run/w1.mseed", "waveform", "chile", Some(8.1), 10.0, 0).unwrap();
+//! cat.curate(id).unwrap();
+//! cat.tag(id, "eew-training").unwrap();
+//! let hits = cat.query(&Query::all().tag("eew-training").mw(8.0, 9.0));
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod delivery;
+pub mod persist;
+pub mod record;
+
+/// Glob import of the most-used types.
+pub mod prelude {
+    pub use crate::catalog::{Query, VdcCatalog};
+    pub use crate::delivery::{DeliveryCache, DeliveryStats, TransitionModel};
+    pub use crate::persist::{from_text, load, save, to_text};
+    pub use crate::record::{CurationState, DataRecord, RecordId};
+}

@@ -1,0 +1,211 @@
+//! Catalog persistence: a line-oriented text format so a VDC catalog
+//! survives across sessions (data services must be durable — a registry
+//! that forgets its deposits curates nothing).
+//!
+//! Format (tab-separated, one record per line after the header):
+//! ```text
+//! #vdc-catalog v1
+//! <id>\t<state>\t<kind>\t<region>\t<mw|-\t><size_mb>\t<deposited_at>\t<tags,csv|->\t<path>
+//! ```
+//! The path is last because it is the only field that may be long; tags
+//! and paths never contain tabs (enforced at deposit/tag time by
+//! validation).
+
+use std::collections::BTreeSet;
+
+use crate::catalog::VdcCatalog;
+use crate::record::{CurationState, DataRecord, RecordId};
+
+const HEADER: &str = "#vdc-catalog v1";
+
+/// Serialise a catalog to the persistence format.
+pub fn to_text(catalog: &VdcCatalog) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for id in 0..catalog.len() {
+        let r = catalog.record(RecordId(id as u64)).expect("dense ids");
+        let state = match r.state {
+            CurationState::Raw => "raw",
+            CurationState::Curated => "curated",
+        };
+        let mw = r.mw.map(|m| format!("{m}")).unwrap_or_else(|| "-".into());
+        let tags = if r.tags.is_empty() {
+            "-".to_string()
+        } else {
+            r.tags.iter().cloned().collect::<Vec<_>>().join(",")
+        };
+        out.push_str(&format!(
+            "{}\t{state}\t{}\t{}\t{mw}\t{}\t{}\t{tags}\t{}\n",
+            r.id.0, r.kind, r.region, r.size_mb, r.deposited_at, r.path
+        ));
+    }
+    out
+}
+
+/// Parse the persistence format back into a catalog. Ids are reassigned
+/// densely in file order (they are stable because [`to_text`] writes in
+/// id order).
+pub fn from_text(text: &str) -> Result<VdcCatalog, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h.trim() == HEADER => {}
+        other => {
+            return Err(format!(
+                "not a vdc-catalog file (header {other:?}, expected '{HEADER}')"
+            ))
+        }
+    }
+    let mut catalog = VdcCatalog::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 9 {
+            return Err(format!(
+                "line {}: expected 9 fields, got {}",
+                lineno + 2,
+                fields.len()
+            ));
+        }
+        let err = |what: &str| format!("line {}: bad {what}", lineno + 2);
+        let state = match fields[1] {
+            "raw" => CurationState::Raw,
+            "curated" => CurationState::Curated,
+            _ => return Err(err("state")),
+        };
+        let mw = if fields[4] == "-" {
+            None
+        } else {
+            Some(fields[4].parse::<f64>().map_err(|_| err("mw"))?)
+        };
+        let size_mb: f64 = fields[5].parse().map_err(|_| err("size"))?;
+        let deposited_at: u64 = fields[6].parse().map_err(|_| err("timestamp"))?;
+        let tags: BTreeSet<String> = if fields[7] == "-" {
+            BTreeSet::new()
+        } else {
+            fields[7].split(',').map(str::to_string).collect()
+        };
+        let id = catalog
+            .deposit(fields[8], fields[2], fields[3], mw, size_mb, deposited_at)
+            .map_err(|e| format!("line {}: {e}", lineno + 2))?;
+        for t in &tags {
+            catalog.tag(id, t).map_err(|e| format!("line {}: {e}", lineno + 2))?;
+        }
+        if state == CurationState::Curated {
+            catalog.curate(id).map_err(|e| format!("line {}: {e}", lineno + 2))?;
+        }
+    }
+    Ok(catalog)
+}
+
+/// Write a catalog to disk.
+pub fn save(catalog: &VdcCatalog, path: &std::path::Path) -> Result<(), String> {
+    std::fs::write(path, to_text(catalog)).map_err(|e| e.to_string())
+}
+
+/// Load a catalog from disk.
+pub fn load(path: &std::path::Path) -> Result<VdcCatalog, String> {
+    from_text(&std::fs::read_to_string(path).map_err(|e| e.to_string())?)
+}
+
+/// Check two records carry the same metadata (used by tests and
+/// consistency checks after reload).
+pub fn records_equal(a: &DataRecord, b: &DataRecord) -> bool {
+    a.path == b.path
+        && a.kind == b.kind
+        && a.region == b.region
+        && a.mw == b.mw
+        && (a.size_mb - b.size_mb).abs() < 1e-9
+        && a.tags == b.tags
+        && a.deposited_at == b.deposited_at
+        && a.state == b.state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Query;
+
+    fn seeded() -> VdcCatalog {
+        let mut c = VdcCatalog::new();
+        for i in 0..6 {
+            let id = c
+                .deposit(
+                    &format!("run/w{i}.mseed"),
+                    "waveform",
+                    if i % 2 == 0 { "chile" } else { "cascadia" },
+                    if i < 4 { Some(7.5 + i as f64 * 0.3) } else { None },
+                    10.0 + i as f64,
+                    1000 + i as u64,
+                )
+                .unwrap();
+            if i != 5 {
+                c.curate(id).unwrap();
+            }
+            if i % 2 == 0 {
+                c.tag(id, "eew-training").unwrap();
+                c.tag(id, "validated").unwrap();
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let original = seeded();
+        let text = to_text(&original);
+        let loaded = from_text(&text).unwrap();
+        assert_eq!(loaded.len(), original.len());
+        for i in 0..original.len() {
+            let a = original.record(RecordId(i as u64)).unwrap();
+            let b = loaded.record(RecordId(i as u64)).unwrap();
+            assert!(records_equal(a, b), "record {i} differs:\n{a:?}\n{b:?}");
+        }
+        // Queries behave identically, including the tag index.
+        let q = Query::all().tag("eew-training");
+        assert_eq!(loaded.query(&q).len(), original.query(&q).len());
+        let q = Query::all().include_raw();
+        assert_eq!(loaded.query(&q).len(), original.query(&q).len());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("vdc_catalog_persist");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.tsv");
+        let original = seeded();
+        save(&original, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), original.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_text("").is_err());
+        assert!(from_text("#wrong header\n").is_err());
+        assert!(from_text(&format!("{HEADER}\nnot\tenough\tfields\n")).is_err());
+        assert!(from_text(&format!(
+            "{HEADER}\n0\tcurated\tgf\tchile\tnotamw\t1\t0\t-\tp\n"
+        ))
+        .is_err());
+        assert!(from_text(&format!(
+            "{HEADER}\n0\tfrozen\tgf\tchile\t-\t1\t0\t-\tp\n"
+        ))
+        .is_err());
+        // Duplicate paths in the file are rejected by deposit.
+        assert!(from_text(&format!(
+            "{HEADER}\n0\traw\tgf\tchile\t-\t1\t0\t-\tp\n1\traw\tgf\tchile\t-\t1\t0\t-\tp\n"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn empty_catalog_roundtrips() {
+        let c = VdcCatalog::new();
+        let loaded = from_text(&to_text(&c)).unwrap();
+        assert!(loaded.is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Data records: the metadata the VDC attaches to deposited products so
+//! they can be "accessed more easily and timely for training EEW models"
+//! (paper §6, Fig. 7).
+
+use std::collections::BTreeSet;
+
+/// Identifier of a deposited record within one catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId(pub u64);
+
+/// Curation state of a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CurationState {
+    /// Deposited but not yet validated by a curator.
+    Raw,
+    /// Metadata validated; discoverable by default.
+    Curated,
+}
+
+/// A deposited data product with its metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataRecord {
+    /// Catalog-assigned id.
+    pub id: RecordId,
+    /// Storage path (e.g. an archive-manifest path).
+    pub path: String,
+    /// Product kind (`rupture`, `gf`, `waveform`, `npy`, …).
+    pub kind: String,
+    /// Geographic region label (`chile`, `cascadia`, …).
+    pub region: String,
+    /// Moment magnitude, for per-scenario products.
+    pub mw: Option<f64>,
+    /// Size in megabytes.
+    pub size_mb: f64,
+    /// Free-form metadata tags.
+    pub tags: BTreeSet<String>,
+    /// Deposition timestamp (seconds; caller-defined epoch).
+    pub deposited_at: u64,
+    /// Curation state.
+    pub state: CurationState,
+}
+
+impl DataRecord {
+    /// Validate the metadata a curator checks before marking a record
+    /// curated: non-empty path/kind/region, positive size, magnitude in
+    /// the physical range when present.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.path.trim().is_empty() {
+            return Err("record path is empty".into());
+        }
+        if self.kind.trim().is_empty() {
+            return Err(format!("record '{}' has no kind", self.path));
+        }
+        if self.region.trim().is_empty() {
+            return Err(format!("record '{}' has no region", self.path));
+        }
+        if !(self.size_mb > 0.0) {
+            return Err(format!("record '{}' has non-positive size", self.path));
+        }
+        if let Some(mw) = self.mw {
+            if !(4.0..=10.0).contains(&mw) {
+                return Err(format!(
+                    "record '{}' has unphysical magnitude {mw}",
+                    self.path
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// True once curated (discoverable in default queries).
+    pub fn is_curated(&self) -> bool {
+        self.state == CurationState::Curated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> DataRecord {
+        DataRecord {
+            id: RecordId(1),
+            path: "run/waveforms/scenario_000001.mseed".into(),
+            kind: "waveform".into(),
+            region: "chile".into(),
+            mw: Some(8.2),
+            size_mb: 10.0,
+            tags: BTreeSet::new(),
+            deposited_at: 0,
+            state: CurationState::Raw,
+        }
+    }
+
+    #[test]
+    fn valid_record_passes() {
+        assert!(record().validate().is_ok());
+        assert!(!record().is_curated());
+    }
+
+    #[test]
+    fn validation_catches_bad_metadata() {
+        let mut r = record();
+        r.path = "  ".into();
+        assert!(r.validate().is_err());
+        let mut r = record();
+        r.kind.clear();
+        assert!(r.validate().is_err());
+        let mut r = record();
+        r.region.clear();
+        assert!(r.validate().is_err());
+        let mut r = record();
+        r.size_mb = 0.0;
+        assert!(r.validate().is_err());
+        let mut r = record();
+        r.mw = Some(12.0);
+        assert!(r.validate().is_err());
+        let mut r = record();
+        r.mw = None;
+        assert!(r.validate().is_ok());
+    }
+}

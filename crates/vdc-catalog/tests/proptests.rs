@@ -1,0 +1,157 @@
+//! Property-based tests of the VDC catalog and delivery services.
+
+use proptest::prelude::*;
+
+use vdc_catalog::prelude::*;
+
+/// Strategy: a list of (kind, region, mw, size, tags) deposits.
+fn arb_deposits() -> impl Strategy<Value = Vec<(String, String, Option<f64>, f64, Vec<String>)>> {
+    proptest::collection::vec(
+        (
+            prop_oneof![
+                Just("waveform".to_string()),
+                Just("rupture".to_string()),
+                Just("gf".to_string())
+            ],
+            prop_oneof![Just("chile".to_string()), Just("cascadia".to_string())],
+            proptest::option::of(6.0..9.5f64),
+            0.1..2000.0f64,
+            proptest::collection::vec("[a-z]{1,6}", 0..4),
+        ),
+        1..40,
+    )
+}
+
+fn build(
+    deposits: &[(String, String, Option<f64>, f64, Vec<String>)],
+) -> (VdcCatalog, Vec<RecordId>) {
+    let mut cat = VdcCatalog::new();
+    let mut ids = Vec::new();
+    for (i, (kind, region, mw, size, tags)) in deposits.iter().enumerate() {
+        let id = cat
+            .deposit(&format!("p{i:04}"), kind, region, *mw, *size, i as u64)
+            .unwrap();
+        cat.curate(id).unwrap();
+        for t in tags {
+            cat.tag(id, t).unwrap();
+        }
+        ids.push(id);
+    }
+    (cat, ids)
+}
+
+proptest! {
+    #[test]
+    fn query_results_always_satisfy_filters(deposits in arb_deposits()) {
+        let (cat, _) = build(&deposits);
+        let q = Query::all().kind("waveform").region("chile").mw(7.0, 9.0);
+        for r in cat.query(&q) {
+            prop_assert_eq!(&r.kind, "waveform");
+            prop_assert_eq!(&r.region, "chile");
+            let mw = r.mw.unwrap();
+            prop_assert!((7.0..=9.0).contains(&mw));
+            prop_assert!(r.is_curated());
+        }
+    }
+
+    #[test]
+    fn tag_index_agrees_with_linear_scan(deposits in arb_deposits()) {
+        let (cat, ids) = build(&deposits);
+        // For each tag used anywhere, the indexed query must equal a
+        // brute-force filter.
+        let mut all_tags: Vec<String> = deposits
+            .iter()
+            .flat_map(|(_, _, _, _, t)| t.iter().cloned())
+            .collect();
+        all_tags.sort();
+        all_tags.dedup();
+        for tag in all_tags {
+            let indexed: Vec<RecordId> =
+                cat.query(&Query::all().tag(&tag)).iter().map(|r| r.id).collect();
+            let brute: Vec<RecordId> = ids
+                .iter()
+                .filter(|id| cat.record(**id).unwrap().tags.contains(&tag))
+                .copied()
+                .collect();
+            prop_assert_eq!(indexed, brute, "tag '{}'", tag);
+        }
+    }
+
+    #[test]
+    fn query_size_is_sum_of_result_sizes(deposits in arb_deposits()) {
+        let (cat, _) = build(&deposits);
+        let q = Query::all();
+        let total: f64 = cat.query(&q).iter().map(|r| r.size_mb).sum();
+        prop_assert!((cat.query_size_mb(&q) - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delivery_accounting_invariants(
+        sizes in proptest::collection::vec(1.0..50.0f64, 1..20),
+        trace_idx in proptest::collection::vec(0usize..20, 1..100),
+        capacity in 20.0..500.0f64,
+    ) {
+        let mut cat = VdcCatalog::new();
+        let mut ids = Vec::new();
+        for (i, s) in sizes.iter().enumerate() {
+            let id = cat
+                .deposit(&format!("d{i}"), "waveform", "chile", None, *s, 0)
+                .unwrap();
+            cat.curate(id).unwrap();
+            ids.push(id);
+        }
+        let trace: Vec<RecordId> =
+            trace_idx.iter().map(|i| ids[i % ids.len()]).collect();
+        let mut cache = DeliveryCache::new(&cat, capacity);
+        cache.replay(&trace);
+        let s = cache.stats();
+        prop_assert_eq!(s.requests, trace.len());
+        prop_assert!(s.hits <= s.requests);
+        prop_assert!((0.0..=1.0).contains(&s.hit_rate()));
+        // Origin traffic equals the sum of missed record sizes.
+        let miss_mb: f64 = s.origin_mb;
+        let max_possible: f64 = trace
+            .iter()
+            .map(|id| cat.record(*id).unwrap().size_mb)
+            .sum();
+        prop_assert!(miss_mb <= max_possible + 1e-9);
+        // Cached contents never exceed capacity.
+        let cached_mb: f64 = cache
+            .cached()
+            .iter()
+            .map(|id| cat.record(*id).unwrap().size_mb)
+            .sum();
+        prop_assert!(cached_mb <= capacity + 1e-9);
+    }
+
+    #[test]
+    fn prefetch_never_hurts_hit_rate_on_repeated_traces(
+        n in 2usize..15,
+        capacity_frac in 0.2..1.5f64,
+    ) {
+        let mut cat = VdcCatalog::new();
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let id = cat
+                .deposit(&format!("d{i}"), "waveform", "chile", None, 10.0, 0)
+                .unwrap();
+            cat.curate(id).unwrap();
+            ids.push(id);
+        }
+        let capacity = (n as f64 * 10.0 * capacity_frac).max(10.0);
+        let mut model = TransitionModel::default();
+        model.train(&ids);
+        let mut plain = DeliveryCache::new(&cat, capacity);
+        let mut smart = DeliveryCache::new(&cat, capacity);
+        for _ in 0..4 {
+            plain.replay(&ids);
+            smart.replay_with_prefetch(&ids, &model);
+        }
+        prop_assert!(
+            smart.stats().hit_rate() >= plain.stats().hit_rate() - 1e-9,
+            "prefetch {} < plain {}",
+            smart.stats().hit_rate(),
+            plain.stats().hit_rate()
+        );
+    }
+}

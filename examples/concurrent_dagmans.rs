@@ -1,0 +1,47 @@
+//! Concurrent DAGMans: the paper's §4.2 question at example scale —
+//! should you split a workload across several simultaneously running
+//! DAGMan workflows on a shared pool? (Answer, per the paper and
+//! reproduced here: no.)
+//!
+//! Run with: `cargo run --release --example concurrent_dagmans`
+
+use fdw_core::prelude::*;
+use fdw_suite::dagman::monitor::mean_sd;
+use fakequakes::stations::ChileanInput;
+
+const TOTAL: u64 = 8_000;
+
+fn main() {
+    let base = FdwConfig {
+        station_input: StationInput::Chilean(ChileanInput::Full),
+        ..Default::default()
+    };
+    println!("splitting {TOTAL} full-input waveforms across concurrent DAGMans\n");
+    println!(
+        "{:>8} {:>16} {:>20} {:>22}",
+        "DAGMans", "jobs/DAGMan", "runtime h (mean±sd)", "per-DAG JPM (mean±sd)"
+    );
+    for n in [1usize, 2, 4, 8] {
+        let out = run_concurrent_fdw(&base, n, TOTAL, osg_cluster_config(), 3)
+            .expect("run completes");
+        let rt = mean_sd(&out.runtimes_hours());
+        let thpts: Vec<f64> = out
+            .throughput_inputs()
+            .iter()
+            .map(|(j, r)| *j as f64 / r)
+            .collect();
+        let tp = mean_sd(&thpts);
+        println!(
+            "{:>8} {:>16} {:>12.1} ± {:<5.1} {:>14.2} ± {:<5.2}",
+            n,
+            out.stats[0].completed,
+            rt.mean,
+            rt.sd,
+            tp.mean,
+            tp.sd
+        );
+    }
+    println!("\nPartitioning work into concurrent DAGMans does not shrink runtime —");
+    println!("each DAGMan's share of the pool shrinks instead (fair share), so");
+    println!("per-DAGMan throughput collapses while wall time stays roughly flat.");
+}

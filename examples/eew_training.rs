@@ -1,0 +1,117 @@
+//! EEW training: the paper's Fig. 7 data flow end to end — generate an
+//! FDW synthetic catalog (the "AI-ready data products"), fit a
+//! PGD-scaling magnitude model on it, and evaluate how well the model
+//! recovers the magnitudes of held-out synthetic events.
+//!
+//! This is why the workflow exists: large earthquakes are too rare
+//! (~one Mw 8+ per year) to train early-warning models on real data.
+//!
+//! Run with: `cargo run --release --example eew_training`
+
+use fdw_suite::eew::prelude::*;
+use fdw_suite::fakequakes::prelude::*;
+
+fn main() {
+    // 1. An FDW-style synthetic catalog: 48 large Chilean scenarios
+    //    recorded at 40 GNSS stations.
+    println!("generating a 48-event synthetic training catalog...");
+    let fault = FaultModel::chilean_subduction(28, 10).expect("fault");
+    let network = StationNetwork::chilean(40, 3).expect("network");
+    let catalog = generate_catalog(
+        &fault,
+        &network,
+        None,
+        None,
+        RuptureConfig { mw_range: (7.5, 9.0), ..Default::default() },
+        WaveformConfig { duration_s: 512.0, ..Default::default() },
+        48,
+        2024,
+    )
+    .expect("catalog");
+
+    // 2. Extract PGD observations and split train/test by event.
+    let obs = fdw_suite::eew::dataset::observations_from_catalog(
+        &catalog, &fault, &network, 0.01,
+    );
+    println!(
+        "extracted {} PGD observations above the 1 cm noise floor",
+        obs.len()
+    );
+    let (train, test) = fdw_suite::eew::dataset::split(&obs, 4);
+
+    // 3. Fit the scaling law on the training observations.
+    let model = PgdScalingModel::fit(&train).expect("fit");
+    println!(
+        "fitted scaling:  log10(PGD_cm) = {:.3} + {:.3}·Mw + {:.3}·Mw·log10(R)",
+        model.a, model.b, model.c
+    );
+    let reference = PgdScalingModel::MELGAR_2015;
+    println!(
+        "Melgar et al. 2015 reference:    {:.3} / {:.3} / {:.3}",
+        reference.a, reference.b, reference.c
+    );
+
+    // 4. Held-out per-observation inversion quality.
+    let estimates: Vec<(f64, f64)> = test
+        .iter()
+        .filter_map(|o| {
+            model
+                .estimate_mw_single(o.pgd_m, o.distance_km)
+                .map(|e| (e, o.mw))
+        })
+        .collect();
+    let errs = fdw_suite::eew::dataset::score(&estimates);
+    println!(
+        "\nheld-out single-station inversion: MAE {:.2} Mw units, bias {:+.2} (n = {})",
+        errs.mae, errs.bias, errs.n
+    );
+
+    // 5. The EEW scenario: network median magnitude for fresh events the
+    //    model never saw.
+    println!("\nnetwork magnitude estimates for 6 fresh events:");
+    println!("{:>8} {:>10} {:>10} {:>8}", "event", "true Mw", "est Mw", "error");
+    let fresh = generate_catalog(
+        &fault,
+        &network,
+        None,
+        None,
+        RuptureConfig { mw_range: (7.6, 8.9), ..Default::default() },
+        WaveformConfig { duration_s: 512.0, ..Default::default() },
+        6,
+        9_999,
+    )
+    .expect("fresh catalog");
+    let mut event_estimates = Vec::new();
+    for (scenario, waveforms) in fresh.scenarios.iter().zip(&fresh.waveforms) {
+        let hypo = fault.subfault(scenario.hypocenter_idx).center;
+        let readings: Vec<(f64, f64)> = waveforms
+            .iter()
+            .filter(|w| w.pgd_m() > 0.01)
+            .map(|w| {
+                let st = network
+                    .stations()
+                    .iter()
+                    .find(|s| s.code == w.station_code)
+                    .unwrap();
+                (w.pgd_m(), st.location.distance_3d_km(&hypo).max(1.0))
+            })
+            .collect();
+        if let Some(est) = model.estimate_mw(&readings) {
+            println!(
+                "{:>8} {:>10.2} {:>10.2} {:>+8.2}",
+                scenario.id,
+                scenario.mw,
+                est,
+                est - scenario.mw
+            );
+            event_estimates.push((est, scenario.mw));
+        }
+    }
+    let ev = fdw_suite::eew::dataset::score(&event_estimates);
+    println!(
+        "\nevent-level network MAE: {:.2} Mw units over {} events",
+        ev.mae, ev.n
+    );
+    println!("(Lin et al. 2021 report deep models on FakeQuakes data resolving");
+    println!(" large-event magnitudes to a few tenths of a unit — same regime.)");
+}

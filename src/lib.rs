@@ -1,0 +1,30 @@
+//! # fdw-suite — FakeQuakes DAGMan Workflow reproduction suite
+//!
+//! Umbrella crate re-exporting the whole stack built for the reproduction
+//! of *"Accelerating Data-Intensive Seismic Research Through Parallel
+//! Workflow Optimization and Federated Cyberinfrastructure"* (Adair,
+//! Rodero, Parashar, Melgar — SC-W 2023):
+//!
+//! * [`fakequakes`] — stochastic rupture + synthetic GNSS waveform engine
+//!   (the MudPy/FakeQuakes substitute);
+//! * [`htcsim`] — discrete-event HTCondor-style pool simulator (the
+//!   OSG/OSPool substitute);
+//! * [`dagman`] — DAG workflow engine with throttles, retries, rescue
+//!   DAGs and monitoring;
+//! * [`fdw_core`] — the FakeQuakes DAGMan Workflow itself (the paper's
+//!   contribution);
+//! * [`vdc_burst`] — the VDC cloud-bursting simulator with the three
+//!   OSG-tailored policies.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and the
+//! `fdw-bench` crate for the per-figure experiment harness.
+
+#![warn(missing_docs)]
+
+pub use dagman;
+pub use eew;
+pub use fakequakes;
+pub use fdw_core;
+pub use htcsim;
+pub use vdc_burst;
+pub use vdc_catalog;

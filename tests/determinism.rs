@@ -1,0 +1,88 @@
+//! Workspace-wide determinism: identical seeds must reproduce identical
+//! results across every layer — the property DESIGN.md §5 promises and
+//! the paper's "3 replications" methodology depends on.
+
+use fdw_suite::fakequakes::prelude::*;
+use fdw_suite::fdw_core::prelude::*;
+use fdw_suite::htcsim::cluster::ClusterConfig;
+use fdw_suite::htcsim::pool::PoolConfig;
+use fdw_suite::vdc_burst::prelude::*;
+
+fn cluster() -> ClusterConfig {
+    ClusterConfig {
+        pool: PoolConfig {
+            target_slots: 64,
+            glidein_slots: 8,
+            ..Default::default()
+        },
+        transfer: Default::default(),
+        cache_enabled: true,
+        max_evictions_per_job: 0,
+    }
+}
+
+#[test]
+fn full_stack_replay_is_bit_identical() {
+    let cfg = FdwConfig::parse("station_input = small\nn_waveforms = 96\n").unwrap();
+    let run = || {
+        let out = run_fdw(&cfg, cluster(), 11).unwrap();
+        let jobs_csv = out.report.log.jobs_csv(out.report.name_of());
+        let batch_csv = out.report.log.batch_csv();
+        (out.report.makespan, out.report.evictions, batch_csv, jobs_csv)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "makespan");
+    assert_eq!(a.1, b.1, "evictions");
+    assert_eq!(a.2, b.2, "batch CSV");
+    assert_eq!(a.3, b.3, "jobs CSV");
+}
+
+#[test]
+fn bursting_replay_is_deterministic() {
+    let cfg = FdwConfig::parse("station_input = small\nn_waveforms = 96\n").unwrap();
+    let out = run_fdw(&cfg, cluster(), 13).unwrap();
+    let input = BatchInput::from_report(&out.report).unwrap();
+    let policies = BurstPolicies::paper_sweep(5, 90);
+    let x = simulate(&input, &policies).unwrap();
+    let y = simulate(&input, &policies).unwrap();
+    assert_eq!(x.bursted_jobs, y.bursted_jobs);
+    assert_eq!(x.runtime_secs, y.runtime_secs);
+    assert_eq!(x.instant_series, y.instant_series);
+}
+
+#[test]
+fn science_is_seed_stable_across_catalog_sizes() {
+    // Scenario k of a batch must not depend on how many other scenarios
+    // the batch contains — the contract that lets the FDW partition the
+    // id space across jobs arbitrarily.
+    let fault = FaultModel::chilean_subduction(10, 5).unwrap();
+    let net = StationNetwork::chilean(3, 2).unwrap();
+    let wcfg = WaveformConfig {
+        duration_s: 64.0,
+        noise: NoiseModel::none(),
+        ..Default::default()
+    };
+    let small = generate_catalog(
+        &fault, &net, None, None, RuptureConfig::default(), wcfg, 2, 9,
+    )
+    .unwrap();
+    let large = generate_catalog(
+        &fault, &net, None, None, RuptureConfig::default(), wcfg, 6, 9,
+    )
+    .unwrap();
+    for k in 0..2 {
+        assert_eq!(small.scenarios[k].slip_m, large.scenarios[k].slip_m);
+        for (a, b) in small.waveforms[k].iter().zip(&large.waveforms[k]) {
+            assert_eq!(a.east_m, b.east_m);
+        }
+    }
+}
+
+#[test]
+fn different_seeds_give_different_worlds() {
+    let cfg = FdwConfig::parse("station_input = small\nn_waveforms = 96\n").unwrap();
+    let a = run_fdw(&cfg, cluster(), 1).unwrap().report.makespan;
+    let b = run_fdw(&cfg, cluster(), 2).unwrap().report.makespan;
+    assert_ne!(a, b);
+}

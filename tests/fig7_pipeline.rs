@@ -1,0 +1,126 @@
+//! The paper's Fig. 7 data flow as one integration test: FDW simulation
+//! products → archive manifest → VDC deposition/curation/tagging →
+//! discovery → delivery → EEW model training. Every crate participates.
+
+use fdw_suite::eew::prelude::*;
+use fdw_suite::fdw_core::archive::ArchiveManifest;
+use fdw_suite::fdw_core::config::{FdwConfig, StationInput};
+use fdw_suite::fdw_core::live;
+use fdw_suite::vdc_catalog::prelude::*;
+
+#[test]
+fn fig7_products_to_eew_model() {
+    // 1. Live FDW science: a small catalog with real numerics.
+    let cfg = FdwConfig {
+        fault_nx: 20,
+        fault_nd: 8,
+        station_input: StationInput::Count(16),
+        n_waveforms: 16,
+        mw_range: (7.6, 8.9),
+        seed: 6,
+        ..Default::default()
+    };
+    let inputs = live::build_inputs(&cfg).unwrap();
+    let catalog = live::live_full_run(&cfg, 256.0).unwrap();
+    assert_eq!(catalog.len(), 16);
+
+    // 2. Archive + deposit into the VDC with magnitude enrichment.
+    let manifest = ArchiveManifest::for_run("fig7_run", &cfg);
+    let mut vdc = VdcCatalog::new();
+    let ids = vdc.deposit_manifest(&manifest, "chile", 0).unwrap();
+    assert_eq!(ids.len(), manifest.len());
+    for id in &ids {
+        vdc.curate(*id).unwrap();
+    }
+    // Tag waveform products with their scenario magnitudes.
+    for scenario in &catalog.scenarios {
+        let path = format!("fig7_run/waveforms/scenario_{:06}.mseed", scenario.id);
+        let rec_id = vdc.by_path(&path).expect("archived waveform").id;
+        vdc.set_magnitude(rec_id, scenario.mw).unwrap();
+        vdc.tag(rec_id, "eew-training").unwrap();
+    }
+
+    // 3. Discovery: an EEW researcher's query finds exactly the tagged
+    //    large-event products.
+    let q = Query::all().tag("eew-training").mw(7.6, 9.0);
+    let hits = vdc.query(&q);
+    assert_eq!(hits.len(), 16);
+
+    // 4. Delivery: two training epochs through the prefetching cache.
+    let trace: Vec<RecordId> = hits.iter().map(|r| r.id).collect();
+    let mut model = TransitionModel::default();
+    model.train(&trace);
+    let mut cache = DeliveryCache::new(&vdc, vdc.query_size_mb(&q) * 0.5);
+    cache.replay_with_prefetch(&trace, &model);
+    cache.replay_with_prefetch(&trace, &model);
+    assert!(
+        cache.stats().hit_rate() > 0.3,
+        "prefetching delivery should serve repeat epochs: {}",
+        cache.stats().hit_rate()
+    );
+
+    // 5. EEW training on the delivered products.
+    let obs = fdw_suite::eew::dataset::observations_from_catalog(
+        &catalog,
+        &inputs.fault,
+        &inputs.network,
+        0.005,
+    );
+    assert!(obs.len() > 50, "enough observations to fit: {}", obs.len());
+    let (train, test) = fdw_suite::eew::dataset::split(&obs, 4);
+    let model = PgdScalingModel::fit(&train).expect("scaling law fits");
+    // PGD must grow with magnitude and decay with distance — the physics
+    // the regression is supposed to capture from our synthetic data.
+    assert!(model.b > 0.0, "magnitude slope {}", model.b);
+    assert!(model.c < 0.0, "attenuation coefficient {}", model.c);
+
+    let estimates: Vec<(f64, f64)> = test
+        .iter()
+        .filter_map(|o| {
+            model
+                .estimate_mw_single(o.pgd_m, o.distance_km)
+                .map(|e| (e, o.mw))
+        })
+        .collect();
+    let errs = fdw_suite::eew::dataset::score(&estimates);
+    assert!(errs.n > 10);
+    assert!(
+        errs.mae < 1.5,
+        "single-station inversion should be informative: MAE {}",
+        errs.mae
+    );
+}
+
+#[test]
+fn fig7_pipeline_works_for_cascadia_too() {
+    use fdw_suite::fdw_core::config::Region;
+    let cfg = FdwConfig {
+        region: Region::Cascadia,
+        fault_nx: 14,
+        fault_nd: 6,
+        station_input: StationInput::Count(8),
+        n_waveforms: 6,
+        seed: 10,
+        ..Default::default()
+    };
+    let inputs = live::build_inputs(&cfg).unwrap();
+    let catalog = live::live_full_run(&cfg, 128.0).unwrap();
+    let obs = fdw_suite::eew::dataset::observations_from_catalog(
+        &catalog,
+        &inputs.fault,
+        &inputs.network,
+        0.0,
+    );
+    assert_eq!(obs.len(), 6 * 8);
+    // Cascadia products archive and deposit the same way.
+    let manifest = ArchiveManifest::for_run("cascadia_run", &cfg);
+    let mut vdc = VdcCatalog::new();
+    let ids = vdc.deposit_manifest(&manifest, "cascadia", 0).unwrap();
+    for id in &ids {
+        vdc.curate(*id).unwrap();
+    }
+    assert_eq!(
+        vdc.query(&Query::all().region("cascadia").kind("waveform")).len(),
+        6
+    );
+}

@@ -1,0 +1,129 @@
+//! Integration of the science substrate: live FakeQuakes products flowing
+//! through the artifact formats that the workflow ships between phases —
+//! exactly what A/B/C-phase jobs do with real files on OSG nodes.
+
+use fdw_suite::fakequakes::artifacts;
+use fdw_suite::fakequakes::prelude::*;
+use fdw_suite::fdw_core::config::{FdwConfig, StationInput};
+use fdw_suite::fdw_core::live;
+
+fn tiny_cfg() -> FdwConfig {
+    FdwConfig {
+        fault_nx: 12,
+        fault_nd: 6,
+        station_input: StationInput::Count(5),
+        n_waveforms: 4,
+        ruptures_per_job: 2,
+        waveforms_per_job: 2,
+        seed: 21,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn phase_artifacts_roundtrip_through_files() {
+    let cfg = tiny_cfg();
+    let dir = std::env::temp_dir().join("fdw_it_artifacts");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A-phase matrix job: compute and persist the .npy pair.
+    let inputs = live::build_inputs(&cfg).unwrap();
+    let matrices = live::live_matrix_phase(&inputs);
+    let (sub, sta) = artifacts::distance_matrices_to_npy(&matrices);
+    std::fs::write(dir.join("sub.npy"), &sub).unwrap();
+    std::fs::write(dir.join("sta.npy"), &sta).unwrap();
+
+    // A later job recycles them from disk.
+    let sub_bytes = std::fs::read(dir.join("sub.npy")).unwrap();
+    let sta_bytes = std::fs::read(dir.join("sta.npy")).unwrap();
+    let recycled = artifacts::distance_matrices_from_npy(
+        inputs.fault.name(),
+        inputs.network.name(),
+        &sub_bytes,
+        &sta_bytes,
+    )
+    .unwrap();
+    recycled
+        .check_compatible(&inputs.fault, &inputs.network)
+        .expect("recycled matrices must validate");
+
+    // B-phase: GF library through its .mseed bundle.
+    let gfs = live::live_gf_phase(&inputs).unwrap();
+    let bundle = artifacts::gf_library_to_mseed(&gfs);
+    bundle.write(&dir.join("gf.mseed")).unwrap();
+    let loaded = MseedFile::read(&dir.join("gf.mseed")).unwrap();
+    let gfs2 = artifacts::gf_library_from_mseed(
+        inputs.fault.name(),
+        inputs.network.name(),
+        &loaded,
+    )
+    .unwrap();
+    assert_eq!(gfs2.n_stations(), 5);
+
+    // C-phase with recycled artifacts equals C-phase with fresh ones.
+    let scenarios = live::live_rupture_job(&cfg, &inputs, &recycled, 0, 4).unwrap();
+    let fresh =
+        live::live_waveform_job(&cfg, &inputs, &matrices, &gfs, &scenarios, 64.0)
+            .unwrap();
+    let warm =
+        live::live_waveform_job(&cfg, &inputs, &recycled, &gfs2, &scenarios, 64.0)
+            .unwrap();
+    for (a, b) in fresh.iter().flatten().zip(warm.iter().flatten()) {
+        assert_eq!(a.east_m, b.east_m, "recycling must be bit-exact");
+        assert_eq!(a.up_m, b.up_m);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn waveform_products_roundtrip_and_carry_signal() {
+    let cfg = FdwConfig { mw_range: (8.4, 8.4), ..tiny_cfg() };
+    let catalog = live::live_full_run(&cfg, 256.0).unwrap();
+    assert_eq!(catalog.len(), 4);
+
+    // Ship one scenario's waveforms through the .mseed container.
+    let mut file = MseedFile::new();
+    for w in &catalog.waveforms[0] {
+        artifacts::waveform_to_mseed(&mut file, w);
+    }
+    let bytes = file.to_bytes().unwrap();
+    let loaded = MseedFile::from_bytes(&bytes).unwrap();
+    for w in &catalog.waveforms[0] {
+        let back =
+            artifacts::waveform_from_mseed(&loaded, &w.station_code, w.scenario_id)
+                .unwrap();
+        assert_eq!(back.east_m, w.east_m);
+    }
+
+    // A Mw 8.4 event must displace at least one station visibly.
+    let max_pgd = catalog
+        .waveforms
+        .iter()
+        .flatten()
+        .map(|w| w.pgd_m())
+        .fold(0.0f64, f64::max);
+    assert!(max_pgd > 0.01, "max PGD {max_pgd} m too small for Mw 8.4");
+}
+
+#[test]
+fn dag_counts_match_live_work_partition() {
+    // The DAG's job count must exactly cover the scenario ids the live
+    // path would compute: n_rupture_jobs * ruptures_per_job >= n and the
+    // last job handles the remainder.
+    let cfg = FdwConfig { n_waveforms: 7, ..tiny_cfg() };
+    let dag = fdw_suite::fdw_core::phases::build_fdw_dag(&cfg).unwrap();
+    let rupture_nodes = dag
+        .nodes()
+        .iter()
+        .filter(|n| n.name.starts_with("rupture."))
+        .count() as u64;
+    assert_eq!(rupture_nodes, cfg.n_rupture_jobs());
+    assert!(rupture_nodes * cfg.ruptures_per_job as u64 >= cfg.n_waveforms);
+    let waveform_nodes = dag
+        .nodes()
+        .iter()
+        .filter(|n| n.name.starts_with("waveform."))
+        .count() as u64;
+    assert_eq!(waveform_nodes, cfg.n_waveform_jobs());
+    assert!(waveform_nodes * cfg.waveforms_per_job as u64 >= cfg.n_waveforms);
+}
