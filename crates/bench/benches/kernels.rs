@@ -16,9 +16,7 @@ use fakequakes::noise::NoiseModel;
 use fakequakes::rupture::{RuptureConfig, RuptureGenerator};
 use fakequakes::stations::StationNetwork;
 use fakequakes::stochastic::FieldMethod;
-use fakequakes::waveform::{
-    synthesize_all_stations, synthesize_all_stations_seq, WaveformConfig,
-};
+use fakequakes::waveform::{synthesize_all_stations, synthesize_all_stations_seq, WaveformConfig};
 use fakequakes::{artifacts, npy};
 
 fn bench_rupture(c: &mut Criterion) {
@@ -33,7 +31,10 @@ fn bench_rupture(c: &mut Criterion) {
         let generator = RuptureGenerator::new(
             &fault,
             &d.subfault_to_subfault,
-            RuptureConfig { method, ..Default::default() },
+            RuptureConfig {
+                method,
+                ..Default::default()
+            },
         )
         .unwrap();
         group.bench_function(BenchmarkId::new("draw", label), |b| {
@@ -58,7 +59,10 @@ fn bench_factorization(c: &mut Criterion) {
             RuptureGenerator::new(
                 &fault,
                 &d.subfault_to_subfault,
-                RuptureConfig { method: FieldMethod::Cholesky, ..Default::default() },
+                RuptureConfig {
+                    method: FieldMethod::Cholesky,
+                    ..Default::default()
+                },
             )
             .unwrap()
         });
@@ -84,14 +88,13 @@ fn bench_waveform(c: &mut Criterion) {
     let net = StationNetwork::chilean(24, 1).unwrap();
     let d = DistanceMatrices::compute(&fault, &net);
     let gfs = GfLibrary::compute(&fault, &net).unwrap();
-    let generator = RuptureGenerator::new(
-        &fault,
-        &d.subfault_to_subfault,
-        RuptureConfig::default(),
-    )
-    .unwrap();
+    let generator =
+        RuptureGenerator::new(&fault, &d.subfault_to_subfault, RuptureConfig::default()).unwrap();
     let scenario = generator.generate(1, 0);
-    let cfg = WaveformConfig { noise: NoiseModel::none(), ..Default::default() };
+    let cfg = WaveformConfig {
+        noise: NoiseModel::none(),
+        ..Default::default()
+    };
     let mut group = c.benchmark_group("waveform_synthesis_24sta");
     group.bench_function("rayon", |b| {
         b.iter(|| {

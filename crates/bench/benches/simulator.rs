@@ -18,9 +18,7 @@ fn bench_des(c: &mut Criterion) {
             ..Default::default()
         };
         group.bench_function(BenchmarkId::new("waveforms", quantity), |b| {
-            b.iter(|| {
-                run_fdw(black_box(&cfg), osg_cluster_config(), 1).unwrap()
-            });
+            b.iter(|| run_fdw(black_box(&cfg), osg_cluster_config(), 1).unwrap());
         });
     }
     group.finish();
@@ -41,19 +39,25 @@ fn bench_burst_replay(c: &mut Criterion) {
         b.iter(|| simulate(black_box(&input), &BurstPolicies::control()).unwrap());
     });
     group.bench_function("paper_sweep_probe5_q90", |b| {
-        b.iter(|| {
-            simulate(black_box(&input), &BurstPolicies::paper_sweep(5, 90)).unwrap()
-        });
+        b.iter(|| simulate(black_box(&input), &BurstPolicies::paper_sweep(5, 90)).unwrap());
     });
     group.finish();
 }
 
 fn bench_single_machine(c: &mut Criterion) {
-    let cfg = FdwConfig { n_waveforms: 4_096, ..Default::default() };
+    let cfg = FdwConfig {
+        n_waveforms: 4_096,
+        ..Default::default()
+    };
     c.bench_function("aws_baseline_4096", |b| {
         b.iter(|| aws_baseline(black_box(&cfg), 1));
     });
 }
 
-criterion_group!(simulators, bench_des, bench_burst_replay, bench_single_machine);
+criterion_group!(
+    simulators,
+    bench_des,
+    bench_burst_replay,
+    bench_single_machine
+);
 criterion_main!(simulators);

@@ -30,8 +30,12 @@ fn main() {
         );
     };
     run("baseline (60 s cycle)", &|_| {});
-    run("fast negotiation (15 s)", &|c| c.pool.negotiation_period_s = 15);
-    run("slow negotiation (300 s)", &|c| c.pool.negotiation_period_s = 300);
+    run("fast negotiation (15 s)", &|c| {
+        c.pool.negotiation_period_s = 15
+    });
+    run("slow negotiation (300 s)", &|c| {
+        c.pool.negotiation_period_s = 300
+    });
     run("calm pool (avail 0.8)", &|c| {
         c.pool.avail_mean = 0.8;
         c.pool.avail_sigma = 0.05;

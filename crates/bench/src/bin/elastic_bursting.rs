@@ -47,12 +47,25 @@ fn main() {
                 o.runtime_secs as f64 / 3600.0,
                 o.bursted_jobs,
                 o.cost_usd,
-                sd.map(|s| format!("sd {s:.1}")).unwrap_or_else(|| "-".into()),
+                sd.map(|s| format!("sd {s:.1}"))
+                    .unwrap_or_else(|| "-".into()),
             );
         };
-        row("control (OSG only)", &control, Some(windowed_sd(&control.instant_series)));
-        row("static policy 1 (5 s)", &static1, Some(windowed_sd(&static1.instant_series)));
-        row("elastic (target 20)", &elastic.base, Some(windowed_sd(&elastic.base.instant_series)));
+        row(
+            "control (OSG only)",
+            &control,
+            Some(windowed_sd(&control.instant_series)),
+        );
+        row(
+            "static policy 1 (5 s)",
+            &static1,
+            Some(windowed_sd(&static1.instant_series)),
+        );
+        row(
+            "elastic (target 20)",
+            &elastic.base,
+            Some(windowed_sd(&elastic.base.instant_series)),
+        );
         println!(
             "  elastic telemetry: peak {} VDC slots, mean {:.1} slots",
             elastic.peak_vdc_slots, elastic.mean_vdc_slots

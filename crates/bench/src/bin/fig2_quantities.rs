@@ -19,8 +19,14 @@ fn main() {
     println!("Fig. 2 — increasing earthquake simulation quantities");
     println!("(3 replications per point, eqs. (1)/(2); paper Fig. 2)\n");
     for (input, label) in [
-        (StationInput::Chilean(ChileanInput::Small), "small Chilean input (2 stations)"),
-        (StationInput::Chilean(ChileanInput::Full), "full Chilean input (121 stations)"),
+        (
+            StationInput::Chilean(ChileanInput::Small),
+            "small Chilean input (2 stations)",
+        ),
+        (
+            StationInput::Chilean(ChileanInput::Full),
+            "full Chilean input (121 stations)",
+        ),
     ] {
         println!("== {label} ==");
         println!(
@@ -28,9 +34,13 @@ fn main() {
             "waveforms", "jobs", "runtime (h)", "throughput (JPM)"
         );
         for q in QUANTITIES {
-            let cfg = FdwConfig { n_waveforms: q, station_input: input, ..Default::default() };
-            let reps = replicate_fdw(&cfg, 1, q, &cluster, &REPLICATION_SEEDS)
-                .expect("fig2 run failed");
+            let cfg = FdwConfig {
+                n_waveforms: q,
+                station_input: input,
+                ..Default::default()
+            };
+            let reps =
+                replicate_fdw(&cfg, 1, q, &cluster, &REPLICATION_SEEDS).expect("fig2 run failed");
             println!(
                 "{:>10} {:>8} {:>20} {:>20}",
                 q,

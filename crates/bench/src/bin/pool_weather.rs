@@ -37,7 +37,10 @@ fn main() {
     ];
     println!(
         "{:<20} {:>9} {:>9} {:>9}   over {} negotiation cycles",
-        "series", "mean", "min", "max",
+        "series",
+        "mean",
+        "min",
+        "max",
         series.len()
     );
     for (name, xs) in rows {

@@ -19,11 +19,18 @@ fn main() {
     println!("§6 headline comparisons\n");
 
     // 1,024 full-input waveforms: FDW vs single machine.
-    let cfg = FdwConfig { n_waveforms: 1024, station_input: full, ..Default::default() };
+    let cfg = FdwConfig {
+        n_waveforms: 1024,
+        station_input: full,
+        ..Default::default()
+    };
     let reps = replicate_fdw(&cfg, 1, 1024, &cluster, &REPLICATION_SEEDS).unwrap();
     let aws = aws_baseline(&cfg, 1);
     let reduction = (1.0 - reps.runtime_h.mean / aws.makespan.as_hours_f64()) * 100.0;
-    println!("FDW,   1,024 waveforms (full input): {:.2} h (avg of 3)", reps.runtime_h.mean);
+    println!(
+        "FDW,   1,024 waveforms (full input): {:.2} h (avg of 3)",
+        reps.runtime_h.mean
+    );
     println!(
         "AWS baseline (4-slot single machine):  {:.2} h",
         aws.makespan.as_hours_f64()
@@ -32,7 +39,10 @@ fn main() {
 
     // Throughput scaling 1,024 -> 50,000 (full input).
     let t1 = replicate_fdw(&cfg, 1, 1024, &cluster, &REPLICATION_SEEDS).unwrap();
-    let cfg50 = FdwConfig { n_waveforms: 50_000, ..cfg.clone() };
+    let cfg50 = FdwConfig {
+        n_waveforms: 50_000,
+        ..cfg.clone()
+    };
     let t50 = replicate_fdw(&cfg50, 1, 50_000, &cluster, &REPLICATION_SEEDS).unwrap();
     println!(
         "throughput, full input: {:.1} JPM at 1,024 -> {:.1} JPM at 50,000 ({:.1}x; paper ~5x)\n",
@@ -42,7 +52,10 @@ fn main() {
     );
 
     // Large-batch wall times vs Lin et al.
-    let cfg24960 = FdwConfig { n_waveforms: 24_960, ..cfg.clone() };
+    let cfg24960 = FdwConfig {
+        n_waveforms: 24_960,
+        ..cfg.clone()
+    };
     let t24960 = replicate_fdw(&cfg24960, 1, 24_960, &cluster, &REPLICATION_SEEDS).unwrap();
     println!(
         "24,960 waveforms: {:.1} h (paper: 12.5 h);  50,000: {:.1} h (paper: < 35 h)",

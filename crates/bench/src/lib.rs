@@ -14,6 +14,7 @@
 //! | `table_headline`   | §6 headline numbers (56.8 % reduction, ~5× throughput) |
 //! | `ablate_cache`     | DESIGN.md ablation — Stash cache on/off |
 //! | `ablate_matchmaker`| DESIGN.md ablation — negotiation period / fair share |
+//! | `chaos_matrix`     | DESIGN.md §6 — fault class × intensity recovery matrix with science-digest check |
 //!
 //! Criterion micro-benchmarks (`cargo bench -p fdw-bench`) cover the
 //! compute kernels: rupture generation (Cholesky vs Karhunen–Loève),
@@ -98,7 +99,10 @@ pub fn sparkline(series: &[f64], width: usize) -> String {
     if pts.is_empty() {
         return String::new();
     }
-    let max = pts.iter().map(|(_, v)| *v).fold(f64::MIN_POSITIVE, f64::max);
+    let max = pts
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::MIN_POSITIVE, f64::max);
     pts.iter()
         .map(|(_, v)| {
             let lvl = ((v / max) * 7.0).round().clamp(0.0, 7.0) as usize;
@@ -157,7 +161,12 @@ mod tests {
 
     #[test]
     fn pm_formats() {
-        let m = MeanSd { mean: 10.25, sd: 1.04, min: 9.0, max: 11.5 };
+        let m = MeanSd {
+            mean: 10.25,
+            sd: 1.04,
+            min: 9.0,
+            max: 11.5,
+        };
         assert_eq!(pm(&m), "10.2 ± 1.0");
         assert!(pm_range(&m).contains("[9.0, 11.5]"));
     }

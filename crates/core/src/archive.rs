@@ -56,7 +56,10 @@ impl ArchiveManifest {
                 size_mb: 10.0 * (stations as f64 / 121.0).max(0.05),
             });
         }
-        Self { run_label: run_label.to_string(), entries }
+        Self {
+            run_label: run_label.to_string(),
+            entries,
+        }
     }
 
     /// Number of products.
@@ -116,7 +119,11 @@ impl ArchiveManifest {
                 .next()
                 .ok_or_else(|| format!("line {}: missing path", lineno + 1))?
                 .to_string();
-            manifest.entries.push(ArchiveEntry { path, kind, size_mb });
+            manifest.entries.push(ArchiveEntry {
+                path,
+                kind,
+                size_mb,
+            });
         }
         Ok(manifest)
     }

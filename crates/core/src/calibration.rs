@@ -33,12 +33,18 @@ pub const RUNTIME_SIGMA: f64 = 0.10;
 pub fn rupture_job_exec(ruptures_per_job: u32) -> ExecModel {
     // 2.5 min at the default 16 ruptures/job; scales linearly.
     let median = 150.0 * ruptures_per_job as f64 / 16.0;
-    ExecModel::LogNormalMedian { median_s: median.max(30.0), sigma: RUNTIME_SIGMA }
+    ExecModel::LogNormalMedian {
+        median_s: median.max(30.0),
+        sigma: RUNTIME_SIGMA,
+    }
 }
 
 /// Execution model of the one-off distance-matrix job.
 pub fn matrix_job_exec() -> ExecModel {
-    ExecModel::LogNormalMedian { median_s: 600.0, sigma: RUNTIME_SIGMA }
+    ExecModel::LogNormalMedian {
+        median_s: 600.0,
+        sigma: RUNTIME_SIGMA,
+    }
 }
 
 /// Execution model of the B-phase Green's-function job for `stations`
@@ -61,12 +67,20 @@ pub fn waveform_job_exec(stations: u32, waveforms_per_job: u32) -> ExecModel {
 
 /// The Singularity/Apptainer image every FDW job stages in (cache-served).
 pub fn singularity_image() -> InputFile {
-    InputFile { name: "mudpy_singularity.sif".into(), size_mb: 928.0, cacheable: true }
+    InputFile {
+        name: "mudpy_singularity.sif".into(),
+        size_mb: 928.0,
+        cacheable: true,
+    }
 }
 
 /// The recyclable `.npy` distance-matrix pair.
 pub fn npy_matrices() -> InputFile {
-    InputFile { name: "distance_matrices.npy".into(), size_mb: 450.0, cacheable: true }
+    InputFile {
+        name: "distance_matrices.npy".into(),
+        size_mb: 450.0,
+        cacheable: true,
+    }
 }
 
 /// The B-phase `.mseed` GF bundle for `stations` stations ("possibly
@@ -131,7 +145,10 @@ mod tests {
         assert!(gf_full.size_mb > 1000.0, "full GF bundle exceeds 1 GB");
         let gf_small = gf_mseed(2);
         assert!(gf_small.size_mb < 25.0);
-        assert!(npy_matrices().size_mb < 10_000.0, "under the 10 GB OSG input bound");
+        assert!(
+            npy_matrices().size_mb < 10_000.0,
+            "under the 10 GB OSG input bound"
+        );
     }
 
     #[test]

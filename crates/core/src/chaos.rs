@@ -1,0 +1,331 @@
+//! Chaos-recovery harness: run an FDW campaign under injected faults and
+//! prove the rescue-DAG round-trip recovers every science product.
+//!
+//! A campaign repeats rounds of *run → rescue → repair → resume* until the
+//! DAG completes: the first round executes under a [`FaultClass`] at some
+//! intensity; when nodes fail permanently, the rescue file is written,
+//! parsed back, and resumed against a repaired configuration (faults
+//! cleared, walltime limit lifted) — the operational "fix the bug and
+//! resubmit the rescue DAG" loop. The campaign then proves zero artifact
+//! loss by digesting the live science products of every completed node and
+//! comparing against the fault-free baseline at the same seed.
+
+use std::collections::HashSet;
+
+use dagman::driver::Dagman;
+use dagman::rescue::{parse_rescue, rescue_file, resume};
+use htcsim::cluster::{Cluster, ClusterConfig};
+use htcsim::fault::FaultConfig;
+use htcsim::job::OwnerId;
+use htcsim::pool::PoolConfig;
+
+use crate::config::FdwConfig;
+use crate::live;
+use crate::phases::build_fdw_dag;
+
+/// The six fault classes the chaos matrix exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Execution attempts exit non-zero at random; retries cure them.
+    TransientExit,
+    /// A fraction of job names exits non-zero on every attempt; only the
+    /// rescue/repair round-trip cures them.
+    PermanentExit,
+    /// A fraction of machines match fast and kill every job placed on
+    /// them.
+    BlackHole,
+    /// Stage-in/stage-out transfers fail, holding the job until release.
+    TransferFail,
+    /// Jobs are held at execute time for policy reasons, then released.
+    Hold,
+    /// A tight walltime limit holds-and-removes long jobs.
+    Timeout,
+}
+
+impl FaultClass {
+    /// Every class, in matrix order.
+    pub const ALL: [FaultClass; 6] = [
+        FaultClass::TransientExit,
+        FaultClass::PermanentExit,
+        FaultClass::BlackHole,
+        FaultClass::TransferFail,
+        FaultClass::Hold,
+        FaultClass::Timeout,
+    ];
+
+    /// Human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::TransientExit => "transient-exit",
+            FaultClass::PermanentExit => "permanent-exit",
+            FaultClass::BlackHole => "black-hole",
+            FaultClass::TransferFail => "transfer-fail",
+            FaultClass::Hold => "hold",
+            FaultClass::Timeout => "timeout",
+        }
+    }
+
+    /// Turn this fault class on in `cfg` at the given intensity (a
+    /// probability/fraction for the stochastic classes; the timeout class
+    /// tightens the walltime limit instead, harder at higher intensity).
+    pub fn apply(self, intensity: f64, cfg: &mut FdwConfig) {
+        match self {
+            FaultClass::TransientExit => cfg.fault.transient_exit_prob = intensity,
+            FaultClass::PermanentExit => cfg.fault.permanent_job_fraction = intensity,
+            FaultClass::BlackHole => cfg.fault.black_hole_fraction = intensity,
+            FaultClass::TransferFail => cfg.fault.transfer_fail_prob = intensity,
+            FaultClass::Hold => cfg.fault.hold_prob = intensity,
+            FaultClass::Timeout => {
+                // 600 s cuts the fixed-time matrix job and the slow tail
+                // of rupture jobs; higher intensity squeezes harder.
+                cfg.job_timeout_s = (600.0 * (1.0 - intensity)).max(60.0) as u64;
+            }
+        }
+    }
+}
+
+/// Outcome of one chaos campaign.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Fault class exercised.
+    pub class: FaultClass,
+    /// Intensity the class ran at.
+    pub intensity: f64,
+    /// Rounds until the DAG completed (1 = no rescue needed).
+    pub rounds: u32,
+    /// Retries consumed across all rounds.
+    pub retries: u64,
+    /// Hold events observed across all rounds.
+    pub holds: u64,
+    /// Nodes that failed permanently in round one (recovered later).
+    pub first_round_failures: usize,
+    /// FNV-1a digest of the live science products of every node.
+    pub digest: u64,
+}
+
+/// A small, fully available pool: campaigns finish in seconds and the
+/// only nondeterminism is the seeded fault plan.
+pub fn chaos_cluster_config() -> ClusterConfig {
+    ClusterConfig {
+        pool: PoolConfig {
+            target_slots: 16,
+            glidein_slots: 4,
+            avail_mean: 1.0,
+            avail_sigma: 0.0,
+            glidein_lifetime_s: 1e9,
+            ..Default::default()
+        },
+        ..ClusterConfig::with_cache()
+    }
+}
+
+/// Run one chaos campaign: execute `cfg` (faults included) on the
+/// cluster, and loop through the rescue/repair/resume round-trip until
+/// every node completes. Errors if `max_rounds` rounds do not converge.
+pub fn run_chaos_campaign(
+    class: FaultClass,
+    intensity: f64,
+    base_cfg: &FdwConfig,
+    cluster_cfg: &ClusterConfig,
+    max_rounds: u32,
+) -> Result<ChaosReport, String> {
+    let mut cfg = base_cfg.clone();
+    class.apply(intensity, &mut cfg);
+    let total = cfg.total_jobs() as usize;
+
+    let mut dm = Dagman::new(build_fdw_dag(&cfg)?, OwnerId(0));
+    let mut faulty_cluster = cluster_cfg.clone();
+    faulty_cluster.faults = cfg.fault;
+
+    let mut rounds = 0u32;
+    let mut retries = 0u64;
+    let mut holds = 0u64;
+    let mut first_round_failures = 0usize;
+    loop {
+        rounds += 1;
+        if rounds > max_rounds {
+            return Err(format!(
+                "campaign {}@{intensity} did not converge in {max_rounds} rounds",
+                class.label()
+            ));
+        }
+        // Repair rounds run fault-free with the walltime limit lifted:
+        // the operator fixed the environment and resubmitted the rescue.
+        let cluster = if rounds == 1 {
+            faulty_cluster.clone()
+        } else {
+            cluster_cfg.clone()
+        };
+        let report = Cluster::new(cluster, cfg.seed.wrapping_add(rounds as u64)).run(&mut dm);
+        retries += dm.retries();
+        holds += dm.holds();
+        if report.timed_out {
+            return Err(format!(
+                "campaign {}@{intensity} hit the simulation time cap",
+                class.label()
+            ));
+        }
+        if dm.completed() == total {
+            break;
+        }
+        if rounds == 1 {
+            first_round_failures = dm.failed_nodes().len();
+        }
+        // Rescue round-trip: serialise, parse back, resume on a repaired
+        // configuration (no faults, no walltime limit).
+        let done = parse_rescue(&rescue_file(&dm))?;
+        let repaired = FdwConfig {
+            fault: FaultConfig::default(),
+            job_timeout_s: 0,
+            ..cfg.clone()
+        };
+        dm = resume(build_fdw_dag(&repaired)?, &done, OwnerId(0))?;
+    }
+
+    let done: HashSet<String> = dm.done_nodes().iter().map(|s| s.to_string()).collect();
+    let digest = science_digest(base_cfg, &done)?;
+    Ok(ChaosReport {
+        class,
+        intensity,
+        rounds,
+        retries,
+        holds,
+        first_round_failures,
+        digest,
+    })
+}
+
+/// The fault-free reference digest for a configuration: every node
+/// completes, so every science product is present.
+pub fn baseline_digest(cfg: &FdwConfig) -> Result<u64, String> {
+    let dag = build_fdw_dag(cfg)?;
+    let all: HashSet<String> = dag.nodes().iter().map(|n| n.name.clone()).collect();
+    science_digest(cfg, &all)
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Digest the live science products covered by `completed` nodes: every
+/// rupture job's slip distributions, plus a station-0 waveform sample of
+/// the first waveform job. Errors if any expected node is missing — a
+/// lost artifact must fail loudly, not produce a different digest.
+pub fn science_digest(cfg: &FdwConfig, completed: &HashSet<String>) -> Result<u64, String> {
+    let dag = build_fdw_dag(cfg)?;
+    for node in dag.nodes() {
+        if !completed.contains(&node.name) {
+            return Err(format!("lost artifact: node {} never completed", node.name));
+        }
+    }
+
+    let inputs = live::build_inputs(cfg).map_err(|e| e.to_string())?;
+    let matrices = live::live_matrix_phase(&inputs);
+    let mut h = FNV_OFFSET;
+    // A-phase products: slip distributions of every rupture job.
+    for i in 0..cfg.n_rupture_jobs() {
+        let first = i * cfg.ruptures_per_job as u64;
+        let count = (cfg.n_waveforms - first).min(cfg.ruptures_per_job as u64);
+        let scenarios = live::live_rupture_job(cfg, &inputs, &matrices, first, count)
+            .map_err(|e| e.to_string())?;
+        for sc in &scenarios {
+            for s in &sc.slip_m {
+                h = fnv_u64(h, s.to_bits());
+            }
+        }
+    }
+    // C-phase sample: station traces of the first waveform job's
+    // scenarios, short duration (keeps campaigns fast while still
+    // covering the GF library and synthesis path).
+    let gfs = live::live_gf_phase(&inputs).map_err(|e| e.to_string())?;
+    let count = (cfg.waveforms_per_job as u64).min(cfg.n_waveforms);
+    let scenarios =
+        live::live_rupture_job(cfg, &inputs, &matrices, 0, count).map_err(|e| e.to_string())?;
+    let wfs = live::live_waveform_job(cfg, &inputs, &matrices, &gfs, &scenarios, 32.0)
+        .map_err(|e| e.to_string())?;
+    for per_station in &wfs {
+        for sample in per_station[0].east_m.iter().chain(&per_station[0].north_m) {
+            h = fnv_u64(h, sample.to_bits());
+        }
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StationInput;
+    use fakequakes::stations::ChileanInput;
+
+    fn tiny_cfg() -> FdwConfig {
+        FdwConfig {
+            fault_nx: 10,
+            fault_nd: 5,
+            station_input: StationInput::Chilean(ChileanInput::Small),
+            n_waveforms: 4,
+            ruptures_per_job: 2,
+            waveforms_per_job: 2,
+            retries: 3,
+            retry_defer_s: 30,
+            seed: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn transient_campaign_recovers_with_matching_digest() {
+        let cfg = tiny_cfg();
+        let baseline = baseline_digest(&cfg).unwrap();
+        let rep = run_chaos_campaign(
+            FaultClass::TransientExit,
+            0.4,
+            &cfg,
+            &chaos_cluster_config(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(rep.digest, baseline, "science products must be identical");
+        assert!(rep.retries > 0, "p=0.4 must trigger retries");
+    }
+
+    #[test]
+    fn permanent_campaign_needs_the_rescue_round_trip() {
+        let cfg = tiny_cfg();
+        let baseline = baseline_digest(&cfg).unwrap();
+        let rep = run_chaos_campaign(
+            FaultClass::PermanentExit,
+            1.0,
+            &cfg,
+            &chaos_cluster_config(),
+            4,
+        )
+        .unwrap();
+        assert!(rep.rounds >= 2, "permanent faults require a rescue round");
+        assert!(rep.first_round_failures > 0);
+        assert_eq!(rep.digest, baseline);
+    }
+
+    #[test]
+    fn digest_detects_lost_artifacts() {
+        let cfg = tiny_cfg();
+        let dag = build_fdw_dag(&cfg).unwrap();
+        let mut done: HashSet<String> = dag.nodes().iter().map(|n| n.name.clone()).collect();
+        done.remove("waveform.1");
+        let err = science_digest(&cfg, &done).unwrap_err();
+        assert!(err.contains("lost artifact"), "{err}");
+    }
+
+    #[test]
+    fn class_labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            FaultClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), FaultClass::ALL.len());
+    }
+}

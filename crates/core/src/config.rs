@@ -7,6 +7,7 @@
 
 use fakequakes::stations::ChileanInput;
 use fakequakes::stf::StfKind;
+use htcsim::fault::FaultConfig;
 
 /// Which subduction margin to simulate. The paper evaluates Chile; §7
 /// names "regions beyond Chile" as future work, realised here as
@@ -95,6 +96,15 @@ pub struct FdwConfig {
     pub max_jobs: usize,
     /// Base random seed.
     pub seed: u64,
+    /// Per-node retry budget (DAGMan `RETRY`).
+    pub retries: u32,
+    /// Base retry backoff in seconds (`RETRY ... DEFER`, 0 = immediate).
+    pub retry_defer_s: u64,
+    /// Per-job wall-time limit in seconds (0 = unlimited); jobs over the
+    /// limit are held and removed, consuming a retry.
+    pub job_timeout_s: u64,
+    /// Fault-injection plan applied to the cluster (all-zero = no faults).
+    pub fault: FaultConfig,
 }
 
 impl Default for FdwConfig {
@@ -113,6 +123,10 @@ impl Default for FdwConfig {
             max_idle: 1000,
             max_jobs: 0,
             seed: 1,
+            retries: 3,
+            retry_defer_s: 60,
+            job_timeout_s: 0,
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -135,6 +149,7 @@ impl FdwConfig {
         if self.mw_range.0 > self.mw_range.1 {
             return Err("mw_range must be ordered".into());
         }
+        self.fault.validate()?;
         Ok(())
     }
 
@@ -151,10 +166,7 @@ impl FdwConfig {
     /// Total OSG jobs in the DAG (including the B-phase GF job and the
     /// optional matrix job).
     pub fn total_jobs(&self) -> u64 {
-        self.n_rupture_jobs()
-            + self.n_waveform_jobs()
-            + 1
-            + if self.recycle_npy { 0 } else { 1 }
+        self.n_rupture_jobs() + self.n_waveform_jobs() + 1 + if self.recycle_npy { 0 } else { 1 }
     }
 
     /// Serialise as the FDW parameter file.
@@ -174,7 +186,17 @@ impl FdwConfig {
              recycle_npy = {}\n\
              max_idle = {}\n\
              max_jobs = {}\n\
-             seed = {}\n",
+             seed = {}\n\
+             retries = {}\n\
+             retry_defer_s = {}\n\
+             job_timeout_s = {}\n\
+             fault_seed = {}\n\
+             fault_transient = {}\n\
+             fault_permanent = {}\n\
+             fault_black_hole = {}\n\
+             fault_transfer = {}\n\
+             fault_hold = {}\n\
+             fault_hold_release_s = {}\n",
             self.region.label(),
             self.fault_nx,
             self.fault_nd,
@@ -189,6 +211,16 @@ impl FdwConfig {
             self.max_idle,
             self.max_jobs,
             self.seed,
+            self.retries,
+            self.retry_defer_s,
+            self.job_timeout_s,
+            self.fault.seed,
+            self.fault.transient_exit_prob,
+            self.fault.permanent_job_fraction,
+            self.fault.black_hole_fraction,
+            self.fault.transfer_fail_prob,
+            self.fault.hold_prob,
+            self.fault.hold_release_s,
         )
     }
 
@@ -216,33 +248,56 @@ impl FdwConfig {
                     cfg.station_input = match value {
                         "full" => StationInput::Chilean(ChileanInput::Full),
                         "small" => StationInput::Chilean(ChileanInput::Small),
-                        n => StationInput::Count(
-                            n.parse().map_err(|_| bad("station_input"))?,
-                        ),
+                        n => StationInput::Count(n.parse().map_err(|_| bad("station_input"))?),
                     }
                 }
-                "n_waveforms" => {
-                    cfg.n_waveforms = value.parse().map_err(|_| bad("n_waveforms"))?
-                }
+                "n_waveforms" => cfg.n_waveforms = value.parse().map_err(|_| bad("n_waveforms"))?,
                 "ruptures_per_job" => {
-                    cfg.ruptures_per_job =
-                        value.parse().map_err(|_| bad("ruptures_per_job"))?
+                    cfg.ruptures_per_job = value.parse().map_err(|_| bad("ruptures_per_job"))?
                 }
                 "waveforms_per_job" => {
-                    cfg.waveforms_per_job =
-                        value.parse().map_err(|_| bad("waveforms_per_job"))?
+                    cfg.waveforms_per_job = value.parse().map_err(|_| bad("waveforms_per_job"))?
                 }
                 "mw_min" => cfg.mw_range.0 = value.parse().map_err(|_| bad("mw_min"))?,
                 "mw_max" => cfg.mw_range.1 = value.parse().map_err(|_| bad("mw_max"))?,
                 "stf" => {
                     cfg.stf = StfKind::parse(value).ok_or_else(|| bad("stf"))?;
                 }
-                "recycle_npy" => {
-                    cfg.recycle_npy = value.parse().map_err(|_| bad("recycle_npy"))?
-                }
+                "recycle_npy" => cfg.recycle_npy = value.parse().map_err(|_| bad("recycle_npy"))?,
                 "max_idle" => cfg.max_idle = value.parse().map_err(|_| bad("max_idle"))?,
                 "max_jobs" => cfg.max_jobs = value.parse().map_err(|_| bad("max_jobs"))?,
                 "seed" => cfg.seed = value.parse().map_err(|_| bad("seed"))?,
+                "retries" => cfg.retries = value.parse().map_err(|_| bad("retries"))?,
+                "retry_defer_s" => {
+                    cfg.retry_defer_s = value.parse().map_err(|_| bad("retry_defer_s"))?
+                }
+                "job_timeout_s" => {
+                    cfg.job_timeout_s = value.parse().map_err(|_| bad("job_timeout_s"))?
+                }
+                "fault_seed" => cfg.fault.seed = value.parse().map_err(|_| bad("fault_seed"))?,
+                "fault_transient" => {
+                    cfg.fault.transient_exit_prob =
+                        value.parse().map_err(|_| bad("fault_transient"))?
+                }
+                "fault_permanent" => {
+                    cfg.fault.permanent_job_fraction =
+                        value.parse().map_err(|_| bad("fault_permanent"))?
+                }
+                "fault_black_hole" => {
+                    cfg.fault.black_hole_fraction =
+                        value.parse().map_err(|_| bad("fault_black_hole"))?
+                }
+                "fault_transfer" => {
+                    cfg.fault.transfer_fail_prob =
+                        value.parse().map_err(|_| bad("fault_transfer"))?
+                }
+                "fault_hold" => {
+                    cfg.fault.hold_prob = value.parse().map_err(|_| bad("fault_hold"))?
+                }
+                "fault_hold_release_s" => {
+                    cfg.fault.hold_release_s =
+                        value.parse().map_err(|_| bad("fault_hold_release_s"))?
+                }
                 other => return Err(format!("line {}: unknown key '{other}'", lineno + 1)),
             }
         }
@@ -262,17 +317,26 @@ mod tests {
 
     #[test]
     fn job_counts() {
-        let cfg = FdwConfig { n_waveforms: 1024, ..Default::default() };
+        let cfg = FdwConfig {
+            n_waveforms: 1024,
+            ..Default::default()
+        };
         assert_eq!(cfg.n_rupture_jobs(), 64);
         assert_eq!(cfg.n_waveform_jobs(), 512);
         assert_eq!(cfg.total_jobs(), 64 + 512 + 1 + 1);
-        let recycled = FdwConfig { recycle_npy: true, ..cfg };
+        let recycled = FdwConfig {
+            recycle_npy: true,
+            ..cfg
+        };
         assert_eq!(recycled.total_jobs(), 64 + 512 + 1);
     }
 
     #[test]
     fn job_counts_round_up() {
-        let cfg = FdwConfig { n_waveforms: 17, ..Default::default() };
+        let cfg = FdwConfig {
+            n_waveforms: 17,
+            ..Default::default()
+        };
         assert_eq!(cfg.n_rupture_jobs(), 2);
         assert_eq!(cfg.n_waveform_jobs(), 9);
     }
@@ -305,6 +369,38 @@ mod tests {
         assert!(FdwConfig::parse("n_waveforms = many\n").is_err());
         assert!(FdwConfig::parse("n_waveforms 1024\n").is_err());
         assert!(FdwConfig::parse("stf = boxcar\n").is_err());
+        // Misspelled fault knobs must error, not inject nothing silently.
+        assert!(FdwConfig::parse("fault_transients = 0.1\n").is_err());
+        assert!(FdwConfig::parse("fault_transient = lots\n").is_err());
+    }
+
+    #[test]
+    fn fault_keys_roundtrip() {
+        let cfg = FdwConfig {
+            retries: 5,
+            retry_defer_s: 120,
+            job_timeout_s: 7200,
+            fault: FaultConfig {
+                seed: 99,
+                transient_exit_prob: 0.25,
+                permanent_job_fraction: 0.01,
+                black_hole_fraction: 0.1,
+                transfer_fail_prob: 0.05,
+                hold_prob: 0.02,
+                hold_release_s: 300.0,
+            },
+            ..Default::default()
+        };
+        let text = cfg.to_config_file();
+        assert!(text.contains("fault_transient = 0.25"));
+        let parsed = FdwConfig::parse(&text).unwrap();
+        assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn fault_probabilities_are_validated() {
+        assert!(FdwConfig::parse("fault_transient = 1.5\n").is_err());
+        assert!(FdwConfig::parse("fault_hold = -0.1\n").is_err());
     }
 
     #[test]

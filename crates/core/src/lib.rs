@@ -14,6 +14,9 @@
 //! * [`stats`] — the paper's evaluation formulas, eqs. (1)–(4);
 //! * [`live`] — the real science computation each job performs (the
 //!   `fakequakes` crate), runnable end-to-end at laptop scale;
+//! * [`chaos`] — the fault-injection campaign harness: run the FDW under a
+//!   fault class, recover through the rescue-DAG round-trip, and prove the
+//!   science products match the fault-free baseline;
 //! * [`archive`] — output congregation and manifest labelling (§3).
 //!
 //! ```
@@ -33,6 +36,7 @@
 
 pub mod archive;
 pub mod calibration;
+pub mod chaos;
 pub mod config;
 pub mod live;
 pub mod phases;
@@ -43,15 +47,17 @@ pub mod workflow;
 /// Glob import of the most-used types.
 pub mod prelude {
     pub use crate::archive::{ArchiveEntry, ArchiveManifest};
+    pub use crate::chaos::{
+        baseline_digest, chaos_cluster_config, run_chaos_campaign, ChaosReport, FaultClass,
+    };
     pub use crate::config::{FdwConfig, StationInput};
     pub use crate::phases::{build_fdw_dag, split_waveforms};
-    pub use crate::submit::{parse_submit_file, to_submit_file, workflow_files};
     pub use crate::stats::{
-        avg_total_runtime, avg_total_throughput, concurrent_avg_runtime,
-        concurrent_avg_throughput,
+        avg_total_runtime, avg_total_throughput, concurrent_avg_runtime, concurrent_avg_throughput,
     };
+    pub use crate::submit::{parse_submit_file, to_submit_file, workflow_files};
     pub use crate::workflow::{
-        aws_baseline, osg_cluster_config, replicate_fdw, run_concurrent_fdw, run_fdw,
-        FdwOutcome, ReplicatedStats,
+        aws_baseline, osg_cluster_config, replicate_fdw, run_concurrent_fdw, run_fdw, FdwOutcome,
+        ReplicatedStats,
     };
 }

@@ -37,12 +37,8 @@ pub fn build_inputs(cfg: &FdwConfig) -> FqResult<LiveInputs> {
         Region::Cascadia => FaultModel::cascadia_subduction(cfg.fault_nx, cfg.fault_nd)?,
     };
     let network = match (cfg.region, cfg.station_input) {
-        (Region::Chile, StationInput::Chilean(c)) => {
-            StationNetwork::chilean_input(c, cfg.seed)
-        }
-        (Region::Chile, StationInput::Count(n)) => {
-            StationNetwork::chilean(n as usize, cfg.seed)?
-        }
+        (Region::Chile, StationInput::Chilean(c)) => StationNetwork::chilean_input(c, cfg.seed),
+        (Region::Chile, StationInput::Count(n)) => StationNetwork::chilean(n as usize, cfg.seed)?,
         // Cascadia uses its own network generator; the "full"/"small"
         // labels keep their station counts.
         (Region::Cascadia, input) => {
@@ -67,10 +63,14 @@ pub fn live_rupture_job(
     first: u64,
     count: u64,
 ) -> FqResult<Vec<RuptureScenario>> {
-    let rcfg = RuptureConfig { mw_range: cfg.mw_range, ..Default::default() };
-    let generator =
-        RuptureGenerator::new(&inputs.fault, &matrices.subfault_to_subfault, rcfg)?;
-    Ok((first..first + count).map(|id| generator.generate(cfg.seed, id)).collect())
+    let rcfg = RuptureConfig {
+        mw_range: cfg.mw_range,
+        ..Default::default()
+    };
+    let generator = RuptureGenerator::new(&inputs.fault, &matrices.subfault_to_subfault, rcfg)?;
+    Ok((first..first + count)
+        .map(|id| generator.generate(cfg.seed, id))
+        .collect())
 }
 
 /// Live B-phase work: compute the Green's function library (the `gf.0`
@@ -89,7 +89,11 @@ pub fn live_waveform_job(
     scenarios: &[RuptureScenario],
     duration_s: f64,
 ) -> FqResult<Vec<Vec<fakequakes::waveform::GnssWaveform>>> {
-    let wcfg = WaveformConfig { stf: cfg.stf, duration_s, ..Default::default() };
+    let wcfg = WaveformConfig {
+        stf: cfg.stf,
+        duration_s,
+        ..Default::default()
+    };
     scenarios
         .iter()
         .map(|sc| {
@@ -115,7 +119,10 @@ pub fn live_full_run(cfg: &FdwConfig, duration_s: f64) -> FqResult<Catalog> {
         &inputs.network,
         None,
         None,
-        RuptureConfig { mw_range: cfg.mw_range, ..Default::default() },
+        RuptureConfig {
+            mw_range: cfg.mw_range,
+            ..Default::default()
+        },
         WaveformConfig {
             stf: cfg.stf,
             duration_s,
@@ -150,7 +157,10 @@ mod tests {
         let inputs = build_inputs(&cfg).unwrap();
         assert_eq!(inputs.fault.len(), 50);
         assert_eq!(inputs.network.len(), 2);
-        let custom = FdwConfig { station_input: StationInput::Count(7), ..cfg };
+        let custom = FdwConfig {
+            station_input: StationInput::Count(7),
+            ..cfg
+        };
         assert_eq!(build_inputs(&custom).unwrap().network.len(), 7);
     }
 
@@ -162,9 +172,7 @@ mod tests {
         let scenarios = live_rupture_job(&cfg, &inputs, &matrices, 0, 4).unwrap();
         assert_eq!(scenarios.len(), 4);
         let gfs = live_gf_phase(&inputs).unwrap();
-        let wfs =
-            live_waveform_job(&cfg, &inputs, &matrices, &gfs, &scenarios[..2], 64.0)
-                .unwrap();
+        let wfs = live_waveform_job(&cfg, &inputs, &matrices, &gfs, &scenarios[..2], 64.0).unwrap();
         assert_eq!(wfs.len(), 2);
         assert_eq!(wfs[0].len(), 2); // two stations
         assert_eq!(wfs[0][0].len(), 64);
@@ -199,7 +207,10 @@ mod tests {
     #[test]
     fn cascadia_region_builds_and_runs() {
         use crate::config::Region;
-        let cfg = FdwConfig { region: Region::Cascadia, ..tiny_cfg() };
+        let cfg = FdwConfig {
+            region: Region::Cascadia,
+            ..tiny_cfg()
+        };
         let inputs = build_inputs(&cfg).unwrap();
         assert_eq!(inputs.fault.name(), "cascadia_slab2like");
         assert!(inputs.network.name().starts_with("cascadia"));
@@ -213,7 +224,10 @@ mod tests {
     #[test]
     fn region_config_roundtrip() {
         use crate::config::Region;
-        let cfg = FdwConfig { region: Region::Cascadia, ..tiny_cfg() };
+        let cfg = FdwConfig {
+            region: Region::Cascadia,
+            ..tiny_cfg()
+        };
         let parsed = FdwConfig::parse(&cfg.to_config_file()).unwrap();
         assert_eq!(parsed.region, Region::Cascadia);
         assert!(FdwConfig::parse("region = atlantis\n").is_err());

@@ -34,7 +34,10 @@ pub fn build_fdw_dag(cfg: &FdwConfig) -> Result<Dag, String> {
     cfg.validate()?;
     let stations = cfg.station_input.station_count();
     let mut dag = Dag::new();
-    dag.throttles = Throttles { max_jobs: cfg.max_jobs, max_idle: cfg.max_idle };
+    dag.throttles = Throttles {
+        max_jobs: cfg.max_jobs,
+        max_idle: cfg.max_idle,
+    };
 
     let image = calibration::singularity_image();
     let npy = calibration::npy_matrices();
@@ -52,6 +55,7 @@ pub fn build_fdw_dag(cfg: &FdwConfig) -> Result<Dag, String> {
             inputs: vec![image.clone()],
             output_mb: npy.size_mb,
             exec: calibration::matrix_job_exec(),
+            timeout_s: cfg.job_timeout_s as f64,
         };
         spec.inputs.push(calibration::station_list_file(stations));
         Some(dag.add_node(spec).map_err(|e| e.to_string())?)
@@ -68,6 +72,7 @@ pub fn build_fdw_dag(cfg: &FdwConfig) -> Result<Dag, String> {
             inputs: vec![image.clone(), npy.clone()],
             output_mb: 1.2 * cfg.ruptures_per_job as f64, // .rupt files
             exec: calibration::rupture_job_exec(cfg.ruptures_per_job),
+            timeout_s: cfg.job_timeout_s as f64,
         };
         let id = dag.add_node(spec).map_err(|e| e.to_string())?;
         if let Some(m) = matrix {
@@ -82,9 +87,14 @@ pub fn build_fdw_dag(cfg: &FdwConfig) -> Result<Dag, String> {
         cpus: 4,
         memory_mb: 16_384,
         disk_mb: 16_384,
-        inputs: vec![image.clone(), npy.clone(), calibration::station_list_file(stations)],
+        inputs: vec![
+            image.clone(),
+            npy.clone(),
+            calibration::station_list_file(stations),
+        ],
         output_mb: gf_bundle.size_mb,
         exec: calibration::gf_job_exec(stations),
+        timeout_s: cfg.job_timeout_s as f64,
     };
     let gf = dag.add_node(gf_spec).map_err(|e| e.to_string())?;
     for &r in &rupture_ids {
@@ -105,9 +115,18 @@ pub fn build_fdw_dag(cfg: &FdwConfig) -> Result<Dag, String> {
             // Compressed waveform archives for this job's scenarios.
             output_mb: 20.0 * cfg.waveforms_per_job as f64 * (stations as f64 / 121.0).max(0.05),
             exec: calibration::waveform_job_exec(stations, cfg.waveforms_per_job),
+            timeout_s: cfg.job_timeout_s as f64,
         };
         let id = dag.add_node(spec).map_err(|e| e.to_string())?;
         dag.add_edge(gf, id)?;
+    }
+
+    // Retry policy: every node shares the config's budget and backoff.
+    if cfg.retries > 0 {
+        for i in 0..dag.len() {
+            dag.set_retries(NodeId(i), cfg.retries);
+            dag.set_retry_defer(NodeId(i), cfg.retry_defer_s);
+        }
     }
 
     Ok(dag)
@@ -129,7 +148,10 @@ mod tests {
     use fakequakes::stations::ChileanInput;
 
     fn cfg(n: u64) -> FdwConfig {
-        FdwConfig { n_waveforms: n, ..Default::default() }
+        FdwConfig {
+            n_waveforms: n,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -141,7 +163,10 @@ mod tests {
 
     #[test]
     fn recycled_npy_drops_matrix_job() {
-        let c = FdwConfig { recycle_npy: true, ..cfg(64) };
+        let c = FdwConfig {
+            recycle_npy: true,
+            ..cfg(64)
+        };
         let dag = build_fdw_dag(&c).unwrap();
         assert!(dag.id_of("matrix.0").is_none());
         // Rupture jobs become roots.
@@ -159,7 +184,10 @@ mod tests {
         // GF depends on every rupture job.
         assert_eq!(dag.node(gf).parents.len() as u64, cfg(64).n_rupture_jobs());
         // Every waveform job depends on GF.
-        assert_eq!(dag.node(gf).children.len() as u64, cfg(64).n_waveform_jobs());
+        assert_eq!(
+            dag.node(gf).children.len() as u64,
+            cfg(64).n_waveform_jobs()
+        );
         // The whole thing is acyclic.
         assert!(dag.topological_order().is_ok());
     }
@@ -175,7 +203,10 @@ mod tests {
             .find(|f| f.name.contains("mseed"))
             .expect("waveform job must stage the GF bundle");
         assert!(gf_input.cacheable);
-        assert!(gf_input.size_mb > 1000.0, "full-input GF bundle exceeds 1 GB");
+        assert!(
+            gf_input.size_mb > 1000.0,
+            "full-input GF bundle exceeds 1 GB"
+        );
         // All jobs carry the Singularity image.
         for n in dag.nodes() {
             assert!(n.spec.inputs.iter().any(|f| f.name.ends_with(".sif")));
@@ -190,8 +221,7 @@ mod tests {
         };
         let dag_small = build_fdw_dag(&small).unwrap();
         let dag_full = build_fdw_dag(&cfg(64)).unwrap();
-        let wf_small =
-            &dag_small.node(dag_small.id_of("waveform.0").unwrap()).spec;
+        let wf_small = &dag_small.node(dag_small.id_of("waveform.0").unwrap()).spec;
         let wf_full = &dag_full.node(dag_full.id_of("waveform.0").unwrap()).spec;
         assert!(wf_small.exec.median_s() < 60.0);
         assert!(wf_full.exec.median_s() > 900.0);
@@ -200,15 +230,45 @@ mod tests {
 
     #[test]
     fn throttles_propagate() {
-        let c = FdwConfig { max_idle: 500, max_jobs: 200, ..cfg(32) };
+        let c = FdwConfig {
+            max_idle: 500,
+            max_jobs: 200,
+            ..cfg(32)
+        };
         let dag = build_fdw_dag(&c).unwrap();
         assert_eq!(dag.throttles.max_idle, 500);
         assert_eq!(dag.throttles.max_jobs, 200);
     }
 
     #[test]
+    fn retry_and_timeout_policy_propagates() {
+        let c = FdwConfig {
+            retries: 4,
+            retry_defer_s: 90,
+            job_timeout_s: 7200,
+            ..cfg(32)
+        };
+        let dag = build_fdw_dag(&c).unwrap();
+        for n in dag.nodes() {
+            assert_eq!(n.retries, 4);
+            assert_eq!(n.retry_defer_s, 90);
+            assert_eq!(n.spec.timeout_s, 7200.0);
+        }
+        // retries = 0 leaves nodes bare (no RETRY lines in the DAG file).
+        let bare = build_fdw_dag(&FdwConfig {
+            retries: 0,
+            ..cfg(16)
+        })
+        .unwrap();
+        assert!(!bare.to_dag_file().contains("RETRY"));
+    }
+
+    #[test]
     fn invalid_config_rejected() {
-        let c = FdwConfig { n_waveforms: 0, ..Default::default() };
+        let c = FdwConfig {
+            n_waveforms: 0,
+            ..Default::default()
+        };
         assert!(build_fdw_dag(&c).is_err());
     }
 

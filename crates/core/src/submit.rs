@@ -18,7 +18,10 @@ use htcsim::job::{ExecModel, InputFile, JobSpec};
 pub fn to_submit_file(spec: &JobSpec) -> String {
     let phase = spec.name.split('.').next().unwrap_or("job");
     let mut out = String::new();
-    out.push_str(&format!("# FDW submit description for node {}\n", spec.name));
+    out.push_str(&format!(
+        "# FDW submit description for node {}\n",
+        spec.name
+    ));
     out.push_str("universe = vanilla\n");
     out.push_str(&format!("executable = {phase}.sh\n"));
     out.push_str(&format!("arguments = {}\n", spec.name));
@@ -38,10 +41,7 @@ pub fn to_submit_file(spec: &JobSpec) -> String {
                 }
             })
             .collect();
-        out.push_str(&format!(
-            "transfer_input_files = {}\n",
-            names.join(", ")
-        ));
+        out.push_str(&format!("transfer_input_files = {}\n", names.join(", ")));
         // Size metadata kept as comments for the simulator round-trip.
         for f in &spec.inputs {
             out.push_str(&format!("# input_size {} {}\n", f.name, f.size_mb));
@@ -49,6 +49,17 @@ pub fn to_submit_file(spec: &JobSpec) -> String {
     }
     out.push_str("should_transfer_files = YES\n");
     out.push_str("when_to_transfer_output = ON_EXIT\n");
+    if spec.timeout_s > 0.0 {
+        // Walltime policy: hold over-limit jobs, then remove held jobs —
+        // the periodic_hold/periodic_remove pair OSG guides recommend.
+        out.push_str(&format!(
+            "periodic_hold = (time() - JobCurrentStartDate) > {}\n",
+            spec.timeout_s
+        ));
+        out.push_str("periodic_hold_reason = \"Job exceeded allowed walltime\"\n");
+        out.push_str("periodic_remove = JobStatus == 5\n");
+        out.push_str(&format!("# timeout_s {}\n", spec.timeout_s));
+    }
     out.push_str(&format!("# output_size {}\n", spec.output_mb));
     match spec.exec {
         ExecModel::Fixed(s) => out.push_str(&format!("# exec_model fixed {s}\n")),
@@ -71,6 +82,7 @@ pub fn parse_submit_file(text: &str) -> Result<JobSpec, String> {
     let mut sizes: Vec<(String, f64)> = Vec::new();
     let mut output_mb = 0.0f64;
     let mut exec = ExecModel::Fixed(60.0);
+    let mut timeout_s = 0.0f64;
     let mut saw_queue = false;
 
     for (lineno, raw) in text.lines().enumerate() {
@@ -91,6 +103,10 @@ pub fn parse_submit_file(text: &str) -> Result<JobSpec, String> {
         }
         if let Some(rest) = line.strip_prefix("# output_size ") {
             output_mb = rest.trim().parse().map_err(|_| err("bad output_size"))?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# timeout_s ") {
+            timeout_s = rest.trim().parse().map_err(|_| err("bad timeout_s"))?;
             continue;
         }
         if let Some(rest) = line.strip_prefix("# exec_model ") {
@@ -131,9 +147,7 @@ pub fn parse_submit_file(text: &str) -> Result<JobSpec, String> {
         let (key, value) = (key.trim(), value.trim());
         match key {
             "arguments" => name = value.to_string(),
-            "request_cpus" => {
-                cpus = value.parse().map_err(|_| err("bad request_cpus"))?
-            }
+            "request_cpus" => cpus = value.parse().map_err(|_| err("bad request_cpus"))?,
             "request_memory" => {
                 memory_mb = value
                     .trim_end_matches("MB")
@@ -153,12 +167,23 @@ pub fn parse_submit_file(text: &str) -> Result<JobSpec, String> {
                         Some(rest) => (rest.to_string(), true),
                         None => (item.to_string(), false),
                     };
-                    inputs.push(InputFile { name: fname, size_mb: 0.0, cacheable });
+                    inputs.push(InputFile {
+                        name: fname,
+                        size_mb: 0.0,
+                        cacheable,
+                    });
                 }
             }
-            // Boilerplate keys accepted and ignored.
-            "universe" | "executable" | "should_transfer_files"
-            | "when_to_transfer_output" | "+SingularityImage" => {}
+            // Boilerplate keys accepted and ignored (the walltime policy
+            // expressions are reconstructed from the timeout_s comment).
+            "universe"
+            | "executable"
+            | "should_transfer_files"
+            | "when_to_transfer_output"
+            | "+SingularityImage"
+            | "periodic_hold"
+            | "periodic_hold_reason"
+            | "periodic_remove" => {}
             other => return Err(err(&format!("unknown key '{other}'"))),
         }
     }
@@ -174,7 +199,16 @@ pub fn parse_submit_file(text: &str) -> Result<JobSpec, String> {
             f.size_mb = *mb;
         }
     }
-    Ok(JobSpec { name, cpus, memory_mb, disk_mb, inputs, output_mb, exec })
+    Ok(JobSpec {
+        name,
+        cpus,
+        memory_mb,
+        disk_mb,
+        inputs,
+        output_mb,
+        exec,
+        timeout_s,
+    })
 }
 
 /// Render the whole workflow directory listing for a DAG: the `.dag` file
@@ -196,8 +230,11 @@ mod tests {
     use crate::phases::build_fdw_dag;
 
     fn waveform_spec() -> JobSpec {
-        let dag = build_fdw_dag(&FdwConfig { n_waveforms: 8, ..Default::default() })
-            .unwrap();
+        let dag = build_fdw_dag(&FdwConfig {
+            n_waveforms: 8,
+            ..Default::default()
+        })
+        .unwrap();
         dag.node(dag.id_of("waveform.0").unwrap()).spec.clone()
     }
 
@@ -237,7 +274,10 @@ mod tests {
         assert!(parse_submit_file("queue\n").is_err(), "needs a name");
         assert!(parse_submit_file("arguments = x\nfrobnicate = 1\nqueue\n").is_err());
         assert!(parse_submit_file("arguments = x\nrequest_cpus = many\nqueue\n").is_err());
-        assert!(parse_submit_file("arguments = x\n").is_err(), "missing queue");
+        assert!(
+            parse_submit_file("arguments = x\n").is_err(),
+            "missing queue"
+        );
         assert!(parse_submit_file("arguments = x\n# exec_model warp 9\nqueue\n").is_err());
     }
 
@@ -251,8 +291,26 @@ mod tests {
     }
 
     #[test]
+    fn walltime_policy_roundtrip() {
+        let mut spec = JobSpec::fixed("waveform.0", 600.0);
+        spec.timeout_s = 7200.0;
+        let text = to_submit_file(&spec);
+        assert!(text.contains("periodic_hold = (time() - JobCurrentStartDate) > 7200"));
+        assert!(text.contains("periodic_remove = JobStatus == 5"));
+        let parsed = parse_submit_file(&text).unwrap();
+        assert_eq!(parsed.timeout_s, 7200.0);
+        // No timeout: no policy expressions in the file.
+        let bare = to_submit_file(&JobSpec::fixed("waveform.1", 600.0));
+        assert!(!bare.contains("periodic_hold"));
+        assert_eq!(parse_submit_file(&bare).unwrap().timeout_s, 0.0);
+    }
+
+    #[test]
     fn workflow_directory_is_complete() {
-        let cfg = FdwConfig { n_waveforms: 8, ..Default::default() };
+        let cfg = FdwConfig {
+            n_waveforms: 8,
+            ..Default::default()
+        };
         let dag = build_fdw_dag(&cfg).unwrap();
         let files = workflow_files(&dag);
         assert_eq!(files.len() as u64, cfg.total_jobs() + 1);

@@ -37,6 +37,7 @@ pub fn osg_cluster_config() -> ClusterConfig {
         cache_enabled: true,
         // OSG does not cap evictions for FDW jobs; retries are free.
         max_evictions_per_job: 0,
+        faults: Default::default(),
     }
 }
 
@@ -80,15 +81,23 @@ pub fn run_concurrent_fdw(
     base_cfg: &FdwConfig,
     n_dagmans: usize,
     total_waveforms: u64,
-    cluster_cfg: ClusterConfig,
+    mut cluster_cfg: ClusterConfig,
     seed: u64,
 ) -> Result<FdwOutcome, String> {
     if n_dagmans == 0 {
         return Err("need at least one DAGMan".into());
     }
+    // The FDW config's fault plan overrides the cluster's when enabled, so
+    // chaos campaigns are driven entirely from the parameter file.
+    if base_cfg.fault.any_enabled() {
+        cluster_cfg.faults = base_cfg.fault;
+    }
     let mut dags = Vec::with_capacity(n_dagmans);
     for share in split_waveforms(total_waveforms, n_dagmans) {
-        let cfg = FdwConfig { n_waveforms: share.max(1), ..base_cfg.clone() };
+        let cfg = FdwConfig {
+            n_waveforms: share.max(1),
+            ..base_cfg.clone()
+        };
         dags.push(build_fdw_dag(&cfg)?);
     }
     let mut multi = MultiDagman::new(dags);
@@ -127,8 +136,7 @@ pub fn replicate_fdw(
     let mut runtimes = Vec::new();
     let mut through_inputs = Vec::new();
     for &seed in seeds {
-        let out =
-            run_concurrent_fdw(cfg, n_dagmans, total_waveforms, cluster_cfg.clone(), seed)?;
+        let out = run_concurrent_fdw(cfg, n_dagmans, total_waveforms, cluster_cfg.clone(), seed)?;
         runtimes.extend(out.runtimes_hours());
         through_inputs.extend(out.throughput_inputs());
     }
@@ -140,7 +148,10 @@ pub fn replicate_fdw(
     runtime_h.mean = stats::concurrent_avg_runtime(&runtimes);
     let mut throughput_jpm = mean_sd(&throughputs);
     throughput_jpm.mean = stats::concurrent_avg_throughput(&through_inputs);
-    Ok(ReplicatedStats { runtime_h, throughput_jpm })
+    Ok(ReplicatedStats {
+        runtime_h,
+        throughput_jpm,
+    })
 }
 
 /// Run the single-machine AWS baseline for a configuration: the same job
@@ -169,8 +180,11 @@ pub fn aws_baseline(cfg: &FdwConfig, seed: u64) -> SingleRunReport {
             calibration::VDC_WAVEFORM_SECS as f64,
         ));
     }
-    SingleMachine { slots: calibration::AWS_BASELINE_SLOTS, speed: 1.0 }
-        .run(&specs, seed)
+    SingleMachine {
+        slots: calibration::AWS_BASELINE_SLOTS,
+        speed: 1.0,
+    }
+    .run(&specs, seed)
 }
 
 #[cfg(test)]
@@ -219,7 +233,15 @@ mod tests {
         assert_eq!(out.stats.len(), 2);
         let total: usize = out.stats.iter().map(|s| s.completed).sum();
         // 2 DAGMans × (2 rupture + 16 waveform + gf + matrix) = 2 × 20.
-        assert_eq!(total as u64, FdwConfig { n_waveforms: 32, ..cfg }.total_jobs() * 2);
+        assert_eq!(
+            total as u64,
+            FdwConfig {
+                n_waveforms: 32,
+                ..cfg
+            }
+            .total_jobs()
+                * 2
+        );
     }
 
     #[test]
@@ -251,11 +273,13 @@ mod tests {
     fn aws_baseline_runtime_shape() {
         // 1,024 full-input waveforms: 64 rupture + 512 waveform jobs + gf
         // + matrix on 4 slots.
-        let cfg = FdwConfig { n_waveforms: 1024, ..Default::default() };
+        let cfg = FdwConfig {
+            n_waveforms: 1024,
+            ..Default::default()
+        };
         let r = aws_baseline(&cfg, 1);
         assert_eq!(r.jobs as u64, cfg.total_jobs());
-        let expected =
-            (600.0 + 64.0 * 287.0 + (90.0 + 85.0 * 121.0) + 512.0 * 144.0) / 4.0;
+        let expected = (600.0 + 64.0 * 287.0 + (90.0 + 85.0 * 121.0) + 512.0 * 144.0) / 4.0;
         let got = r.makespan.as_secs() as f64;
         // List scheduling won't be perfectly balanced but must be close.
         assert!(

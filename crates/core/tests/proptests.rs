@@ -27,22 +27,55 @@ fn arb_config() -> impl Strategy<Value = FdwConfig> {
         0usize..2_000,
         any::<u64>(),
         any::<bool>(),
+        (0u32..8, 0u64..600, 0u64..20_000),
+        (any::<u64>(), 0u8..=4, 0u8..=4),
     )
         .prop_map(
-            |(nx, nd, station_input, n, rpj, wpj, stf, recycle, mi, mj, seed, casc)| FdwConfig {
-                region: if casc { Region::Cascadia } else { Region::Chile },
-                fault_nx: nx,
-                fault_nd: nd,
+            |(
+                nx,
+                nd,
                 station_input,
-                n_waveforms: n,
-                ruptures_per_job: rpj,
-                waveforms_per_job: wpj,
-                mw_range: (7.5, 9.0),
+                n,
+                rpj,
+                wpj,
                 stf,
-                recycle_npy: recycle,
-                max_idle: mi,
-                max_jobs: mj,
+                recycle,
+                mi,
+                mj,
                 seed,
+                casc,
+                (retries, defer, timeout),
+                (fseed, ftransient, fhold),
+            )| {
+                let fault = htcsim::fault::FaultConfig {
+                    seed: fseed,
+                    transient_exit_prob: f64::from(ftransient) / 16.0,
+                    hold_prob: f64::from(fhold) / 16.0,
+                    ..Default::default()
+                };
+                FdwConfig {
+                    region: if casc {
+                        Region::Cascadia
+                    } else {
+                        Region::Chile
+                    },
+                    fault_nx: nx,
+                    fault_nd: nd,
+                    station_input,
+                    n_waveforms: n,
+                    ruptures_per_job: rpj,
+                    waveforms_per_job: wpj,
+                    mw_range: (7.5, 9.0),
+                    stf,
+                    recycle_npy: recycle,
+                    max_idle: mi,
+                    max_jobs: mj,
+                    seed,
+                    retries,
+                    retry_defer_s: defer,
+                    job_timeout_s: timeout,
+                    fault,
+                }
             },
         )
 }

@@ -7,10 +7,16 @@
 //! ```text
 //! JOB <name> <submit-file>
 //! PARENT <p1> [p2 ...] CHILD <c1> [c2 ...]
-//! RETRY <name> <max-retries>
+//! RETRY <name> <max-retries> [DEFER <seconds>]
+//! ABORT-DAG-ON <name> <exit-code>
 //! MAXJOBS <n>        # extension: per-DAG running-job throttle
 //! MAXIDLE <n>        # extension: per-DAG idle-job throttle
 //! ```
+//!
+//! `RETRY ... DEFER` is the base of an exponential backoff: attempt *k*
+//! waits `defer * 2^(k-1)` seconds (plus deterministic jitter) before the
+//! node re-enters the ready set. `ABORT-DAG-ON` stops the whole DAG when
+//! the named node exits with the given code.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -29,6 +35,13 @@ pub struct Node {
     pub spec: JobSpec,
     /// Maximum retries after removal/failure.
     pub retries: u32,
+    /// Base backoff delay in seconds between retries (DAGMan's
+    /// `RETRY ... DEFER`); 0 retries immediately. Attempt *k* waits
+    /// `retry_defer_s * 2^(k-1)` seconds plus deterministic jitter.
+    pub retry_defer_s: u64,
+    /// Abort the whole DAG if this node exits with this code
+    /// (`ABORT-DAG-ON`).
+    pub abort_dag_on: Option<i32>,
     /// Submission priority (higher submits first among ready nodes),
     /// mirroring DAGMan's `PRIORITY` keyword.
     pub priority: i32,
@@ -50,7 +63,10 @@ pub struct Throttles {
 impl Default for Throttles {
     fn default() -> Self {
         // OSG guidance: keep ~1000 idle jobs per submitter.
-        Self { max_jobs: 0, max_idle: 1000 }
+        Self {
+            max_jobs: 0,
+            max_idle: 1000,
+        }
     }
 }
 
@@ -80,6 +96,8 @@ impl Dag {
             name: name.clone(),
             spec,
             retries: 0,
+            retry_defer_s: 0,
+            abort_dag_on: None,
             priority: 0,
             parents: Vec::new(),
             children: Vec::new(),
@@ -108,6 +126,16 @@ impl Dag {
     /// Set the retry budget of a node.
     pub fn set_retries(&mut self, node: NodeId, retries: u32) {
         self.nodes[node.0].retries = retries;
+    }
+
+    /// Set the base retry backoff of a node (`RETRY ... DEFER`).
+    pub fn set_retry_defer(&mut self, node: NodeId, defer_s: u64) {
+        self.nodes[node.0].retry_defer_s = defer_s;
+    }
+
+    /// Abort the whole DAG when `node` exits with `code` (`ABORT-DAG-ON`).
+    pub fn set_abort_dag_on(&mut self, node: NodeId, code: i32) {
+        self.nodes[node.0].abort_dag_on = Some(code);
     }
 
     /// Set the submission priority of a node (DAGMan `PRIORITY`).
@@ -151,8 +179,7 @@ impl Dag {
     /// Validate acyclicity via Kahn's algorithm; returns a topological
     /// order or an error naming a node on a cycle.
     pub fn topological_order(&self) -> Result<Vec<NodeId>, String> {
-        let mut indeg: Vec<usize> =
-            self.nodes.iter().map(|n| n.parents.len()).collect();
+        let mut indeg: Vec<usize> = self.nodes.iter().map(|n| n.parents.len()).collect();
         let mut queue: VecDeque<NodeId> = (0..self.nodes.len())
             .map(NodeId)
             .filter(|id| indeg[id.0] == 0)
@@ -191,16 +218,24 @@ impl Dag {
                     .iter()
                     .map(|c| self.nodes[c.0].name.as_str())
                     .collect();
-                out.push_str(&format!(
-                    "PARENT {} CHILD {}\n",
-                    n.name,
-                    children.join(" ")
-                ));
+                out.push_str(&format!("PARENT {} CHILD {}\n", n.name, children.join(" ")));
             }
         }
         for n in &self.nodes {
             if n.retries > 0 {
-                out.push_str(&format!("RETRY {} {}\n", n.name, n.retries));
+                if n.retry_defer_s > 0 {
+                    out.push_str(&format!(
+                        "RETRY {} {} DEFER {}\n",
+                        n.name, n.retries, n.retry_defer_s
+                    ));
+                } else {
+                    out.push_str(&format!("RETRY {} {}\n", n.name, n.retries));
+                }
+            }
+        }
+        for n in &self.nodes {
+            if let Some(code) = n.abort_dag_on {
+                out.push_str(&format!("ABORT-DAG-ON {} {}\n", n.name, code));
             }
         }
         for n in &self.nodes {
@@ -219,13 +254,11 @@ impl Dag {
 
     /// Parse the DAGMan dialect. `spec_of` supplies the job spec for each
     /// node name (standing in for reading the `.sub` file).
-    pub fn parse(
-        text: &str,
-        mut spec_of: impl FnMut(&str) -> JobSpec,
-    ) -> Result<Self, String> {
+    pub fn parse(text: &str, mut spec_of: impl FnMut(&str) -> JobSpec) -> Result<Self, String> {
         let mut dag = Dag::new();
         let mut edges: Vec<(Vec<String>, Vec<String>)> = Vec::new();
-        let mut retries: Vec<(String, u32)> = Vec::new();
+        let mut retries: Vec<(String, u32, u64)> = Vec::new();
+        let mut aborts: Vec<(String, i32)> = Vec::new();
         let mut priorities: Vec<(String, i32)> = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
             let line = line.split('#').next().unwrap_or("").trim();
@@ -249,9 +282,7 @@ impl Dag {
                     let split = rest
                         .iter()
                         .position(|t| t.eq_ignore_ascii_case("CHILD"))
-                        .ok_or_else(|| {
-                            format!("line {}: PARENT without CHILD", lineno + 1)
-                        })?;
+                        .ok_or_else(|| format!("line {}: PARENT without CHILD", lineno + 1))?;
                     let parents = rest[..split].to_vec();
                     let children = rest[split + 1..].to_vec();
                     if parents.is_empty() || children.is_empty() {
@@ -270,7 +301,29 @@ impl Dag {
                         .next()
                         .and_then(|t| t.parse().ok())
                         .ok_or_else(|| format!("line {}: RETRY needs a count", lineno + 1))?;
-                    retries.push((name.to_string(), n));
+                    let defer = match toks.next() {
+                        None => 0,
+                        Some(t) if t.eq_ignore_ascii_case("DEFER") => toks
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| format!("line {}: DEFER needs seconds", lineno + 1))?,
+                        Some(other) => {
+                            return Err(format!(
+                                "line {}: unexpected RETRY token '{other}'",
+                                lineno + 1
+                            ))
+                        }
+                    };
+                    retries.push((name.to_string(), n, defer));
+                }
+                "ABORT-DAG-ON" => {
+                    let name = toks
+                        .next()
+                        .ok_or_else(|| format!("line {}: ABORT-DAG-ON needs a name", lineno + 1))?;
+                    let code: i32 = toks.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                        format!("line {}: ABORT-DAG-ON needs an exit code", lineno + 1)
+                    })?;
+                    aborts.push((name.to_string(), code));
                 }
                 "PRIORITY" => {
                     let name = toks
@@ -294,9 +347,7 @@ impl Dag {
                         .and_then(|t| t.parse().ok())
                         .ok_or_else(|| format!("line {}: MAXIDLE needs a count", lineno + 1))?;
                 }
-                other => {
-                    return Err(format!("line {}: unknown keyword '{other}'", lineno + 1))
-                }
+                other => return Err(format!("line {}: unknown keyword '{other}'", lineno + 1)),
             }
         }
         for (parents, children) in edges {
@@ -312,11 +363,18 @@ impl Dag {
                 }
             }
         }
-        for (name, n) in retries {
+        for (name, n, defer) in retries {
             let id = dag
                 .id_of(&name)
                 .ok_or_else(|| format!("RETRY references unknown node '{name}'"))?;
             dag.set_retries(id, n);
+            dag.set_retry_defer(id, defer);
+        }
+        for (name, code) in aborts {
+            let id = dag
+                .id_of(&name)
+                .ok_or_else(|| format!("ABORT-DAG-ON references unknown node '{name}'"))?;
+            dag.set_abort_dag_on(id, code);
         }
         for (name, p) in priorities {
             let id = dag
@@ -422,20 +480,32 @@ mod tests {
     fn dag_file_roundtrip() {
         let mut d = diamond();
         d.set_retries(NodeId(3), 2);
-        d.throttles = Throttles { max_jobs: 100, max_idle: 500 };
+        d.set_retries(NodeId(1), 3);
+        d.set_retry_defer(NodeId(1), 120);
+        d.set_abort_dag_on(NodeId(0), 2);
+        d.throttles = Throttles {
+            max_jobs: 100,
+            max_idle: 500,
+        };
         let text = d.to_dag_file();
         assert!(text.contains("JOB A A.sub"));
         assert!(text.contains("PARENT A CHILD B C"));
         assert!(text.contains("RETRY D 2"));
+        assert!(text.contains("RETRY B 3 DEFER 120"));
+        assert!(text.contains("ABORT-DAG-ON A 2"));
         let parsed = Dag::parse(&text, spec).unwrap();
         assert_eq!(parsed.len(), 4);
         assert_eq!(parsed.node(parsed.id_of("D").unwrap()).retries, 2);
+        assert_eq!(parsed.node(parsed.id_of("D").unwrap()).retry_defer_s, 0);
+        assert_eq!(parsed.node(parsed.id_of("B").unwrap()).retries, 3);
+        assert_eq!(parsed.node(parsed.id_of("B").unwrap()).retry_defer_s, 120);
+        assert_eq!(
+            parsed.node(parsed.id_of("A").unwrap()).abort_dag_on,
+            Some(2)
+        );
         assert_eq!(parsed.throttles.max_jobs, 100);
         assert_eq!(parsed.throttles.max_idle, 500);
-        assert_eq!(
-            parsed.node(parsed.id_of("D").unwrap()).parents.len(),
-            2
-        );
+        assert_eq!(parsed.node(parsed.id_of("D").unwrap()).parents.len(), 2);
     }
 
     #[test]
@@ -444,6 +514,10 @@ mod tests {
         assert!(Dag::parse("PARENT A B", spec).is_err()); // no CHILD
         assert!(Dag::parse("FROB A", spec).is_err());
         assert!(Dag::parse("JOB A a.sub\nRETRY A x", spec).is_err());
+        assert!(Dag::parse("JOB A a.sub\nRETRY A 2 DEFER", spec).is_err());
+        assert!(Dag::parse("JOB A a.sub\nRETRY A 2 BOGUS 5", spec).is_err());
+        assert!(Dag::parse("JOB A a.sub\nABORT-DAG-ON A", spec).is_err());
+        assert!(Dag::parse("ABORT-DAG-ON Z 2", spec).is_err());
         assert!(Dag::parse("JOB A a.sub\nPARENT A CHILD Z", spec).is_err());
         assert!(Dag::parse("PARENT CHILD", spec).is_err());
         // Cyclic input rejected at parse.

@@ -1,6 +1,8 @@
 //! The DAGMan scheduler: a [`WorkloadDriver`] that walks a [`Dag`] on the
 //! cluster, submitting nodes whose parents have finished, subject to
-//! `maxjobs`/`maxidle` throttles, with per-node retries.
+//! `maxjobs`/`maxidle` throttles, with per-node retries, exponential
+//! retry backoff (`RETRY ... DEFER`), hold/release accounting, and
+//! `ABORT-DAG-ON` exit-code handling.
 
 use std::collections::HashMap;
 
@@ -9,6 +11,35 @@ use htcsim::job::{JobEvent, JobEventKind, JobId, OwnerId, SubmitRequest};
 use htcsim::time::SimTime;
 
 use crate::dag::{Dag, NodeId};
+
+/// Retry backoff never exceeds this many seconds, whatever the attempt.
+const MAX_BACKOFF_S: u64 = 3600;
+
+/// A permanently failed node, as reported by [`Dagman::failed_nodes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedNode {
+    /// Node name.
+    pub name: String,
+    /// Exit code of the final attempt (`None` when the job was removed
+    /// rather than exiting, e.g. a walltime removal).
+    pub exit_code: Option<i32>,
+    /// How many times the node was submitted.
+    pub attempts: u32,
+}
+
+/// Deterministic jitter for retry backoff, keyed on node name and
+/// attempt number so concurrent retries de-synchronise without
+/// consulting a stateful RNG.
+fn backoff_jitter(name: &str, attempt: u32) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^= attempt as u64;
+    h = h.wrapping_mul(0x100000001b3);
+    h
+}
 
 /// Per-node scheduling state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +78,24 @@ pub struct Dagman {
     /// Whether any node carries a non-zero priority (enables the
     /// priority-aware ready-set scan).
     has_priorities: bool,
+    /// Retries waiting out their backoff: (due time, node).
+    deferred: Vec<(SimTime, NodeId)>,
+    /// Submission count per node.
+    attempts: Vec<u32>,
+    /// Exit code of each node's most recent terminal event.
+    last_exit: Vec<Option<i32>>,
+    /// Simulation time of the latest poll.
+    now: SimTime,
+    /// Hold events observed across all nodes.
+    holds: u64,
+    /// Retries actually performed.
+    retries_done: u64,
+    /// Set when an `ABORT-DAG-ON` node exited with its trigger code.
+    aborted: bool,
+    /// Nodes that can never run because an ancestor failed permanently.
+    futile: Vec<bool>,
+    /// Count of futile nodes (they settle the DAG without running).
+    futile_count: usize,
 }
 
 impl Dagman {
@@ -77,6 +126,15 @@ impl Dagman {
             failed: 0,
             awaiting_assign: std::collections::VecDeque::new(),
             has_priorities,
+            deferred: Vec::new(),
+            attempts: vec![0; n],
+            last_exit: vec![None; n],
+            now: SimTime(0),
+            holds: 0,
+            retries_done: 0,
+            aborted: false,
+            futile: vec![false; n],
+            futile_count: 0,
         }
     }
 
@@ -105,12 +163,37 @@ impl Dagman {
         self.state[id.0]
     }
 
-    /// Names of permanently failed nodes (for rescue DAG generation).
-    pub fn failed_nodes(&self) -> Vec<&str> {
+    /// Permanently failed nodes with their final exit code and attempt
+    /// count (for rescue DAG generation and post-mortem reporting).
+    pub fn failed_nodes(&self) -> Vec<FailedNode> {
         (0..self.dag.len())
             .filter(|i| self.state[*i] == NodeState::Failed)
-            .map(|i| self.dag.node(NodeId(i)).name.as_str())
+            .map(|i| FailedNode {
+                name: self.dag.node(NodeId(i)).name.clone(),
+                exit_code: self.last_exit[i],
+                attempts: self.attempts[i],
+            })
             .collect()
+    }
+
+    /// Hold events observed across all nodes.
+    pub fn holds(&self) -> u64 {
+        self.holds
+    }
+
+    /// Retries performed so far (resubmissions after failure/removal).
+    pub fn retries(&self) -> u64 {
+        self.retries_done
+    }
+
+    /// True when an `ABORT-DAG-ON` trigger stopped the DAG.
+    pub fn aborted(&self) -> bool {
+        self.aborted
+    }
+
+    /// How many times `node` was submitted.
+    pub fn node_attempts(&self, node: NodeId) -> u32 {
+        self.attempts[node.0]
     }
 
     /// Names of completed nodes (for rescue DAG generation).
@@ -153,15 +236,59 @@ impl Dagman {
         }
     }
 
+    /// Terminal-but-retryable path: consume a retry with exponential
+    /// backoff, or fail the node for good when the budget is spent.
     fn mark_removed(&mut self, node: NodeId) {
         self.in_flight -= 1;
-        if self.remaining_retries[node.0] > 0 {
+        if !self.aborted && self.remaining_retries[node.0] > 0 {
             self.remaining_retries[node.0] -= 1;
-            self.state[node.0] = NodeState::Ready;
-            self.ready.push(node);
+            self.retries_done += 1;
+            let nd = self.dag.node(node);
+            let base = nd.retry_defer_s;
+            if base == 0 {
+                self.state[node.0] = NodeState::Ready;
+                self.ready.push(node);
+            } else {
+                // Attempt k (1-based) waits base * 2^(k-1), capped, plus
+                // deterministic jitter of up to a quarter of the delay.
+                let k = nd.retries - self.remaining_retries[node.0];
+                let delay = base
+                    .checked_shl(k.saturating_sub(1).min(6))
+                    .unwrap_or(u64::MAX)
+                    .min(MAX_BACKOFF_S);
+                let jitter = backoff_jitter(&nd.name, k) % (delay / 4 + 1);
+                self.state[node.0] = NodeState::Ready;
+                self.deferred.push((self.now + delay + jitter, node));
+            }
         } else {
             self.state[node.0] = NodeState::Failed;
             self.failed += 1;
+            self.mark_futile_descendants(node);
+        }
+    }
+
+    /// A permanently failed node strands every waiting descendant: mark
+    /// them futile so the DAG can settle (DAGMan's "futile node" count).
+    fn mark_futile_descendants(&mut self, node: NodeId) {
+        for d in self.dag.descendants(node) {
+            if self.state[d.0] == NodeState::Waiting && !self.futile[d.0] {
+                self.futile[d.0] = true;
+                self.futile_count += 1;
+            }
+        }
+    }
+
+    /// Move deferred retries whose backoff has expired into the ready set.
+    fn drain_deferred(&mut self) {
+        let now = self.now;
+        let mut i = 0;
+        while i < self.deferred.len() {
+            if self.deferred[i].0 <= now {
+                let (_, node) = self.deferred.swap_remove(i);
+                self.ready.push(node);
+            } else {
+                i += 1;
+            }
         }
     }
 
@@ -170,7 +297,9 @@ impl Dagman {
             if ev.owner != self.owner {
                 continue;
             }
-            let Some(&node) = self.job_to_node.get(&ev.job) else { continue };
+            let Some(&node) = self.job_to_node.get(&ev.job) else {
+                continue;
+            };
             match ev.kind {
                 JobEventKind::ExecuteStarted => {
                     if self.state[node.0] == NodeState::Queued {
@@ -186,16 +315,48 @@ impl Dagman {
                         self.idle += 1;
                     }
                 }
+                JobEventKind::Held => {
+                    // The job lost its slot; it counts as idle until the
+                    // cluster releases and re-matches it.
+                    self.holds += 1;
+                    if self.state[node.0] == NodeState::Started {
+                        self.state[node.0] = NodeState::Queued;
+                        self.idle += 1;
+                    }
+                }
+                JobEventKind::Released => {
+                    // Still queued from DAGMan's perspective; nothing to do.
+                }
                 JobEventKind::Completed => {
                     if self.state[node.0] == NodeState::Queued {
                         self.idle = self.idle.saturating_sub(1);
                     }
+                    self.last_exit[node.0] = ev.exit_code.or(Some(0));
                     self.mark_done(node);
+                }
+                JobEventKind::Failed => {
+                    if self.state[node.0] == NodeState::Queued {
+                        self.idle = self.idle.saturating_sub(1);
+                    }
+                    self.last_exit[node.0] = ev.exit_code;
+                    let trigger = self.dag.node(node).abort_dag_on;
+                    if trigger.is_some() && trigger == ev.exit_code {
+                        // ABORT-DAG-ON: the node fails for good and the
+                        // whole DAG stops submitting.
+                        self.aborted = true;
+                        self.in_flight -= 1;
+                        self.state[node.0] = NodeState::Failed;
+                        self.failed += 1;
+                        self.mark_futile_descendants(node);
+                    } else {
+                        self.mark_removed(node);
+                    }
                 }
                 JobEventKind::Removed => {
                     if self.state[node.0] == NodeState::Queued {
                         self.idle = self.idle.saturating_sub(1);
                     }
+                    self.last_exit[node.0] = None;
                     self.mark_removed(node);
                 }
                 JobEventKind::Submitted | JobEventKind::Matched => {}
@@ -237,6 +398,7 @@ impl Dagman {
             }
             self.ready.remove(idx);
             self.state[node.0] = NodeState::Queued;
+            self.attempts[node.0] += 1;
             self.in_flight += 1;
             self.idle += 1;
             self.awaiting_assign.push_back(node);
@@ -250,8 +412,13 @@ impl Dagman {
 }
 
 impl WorkloadDriver for Dagman {
-    fn poll(&mut self, _now: SimTime, events: &[JobEvent]) -> Vec<SubmitRequest> {
+    fn poll(&mut self, now: SimTime, events: &[JobEvent]) -> Vec<SubmitRequest> {
+        self.now = now;
         self.process(events);
+        self.drain_deferred();
+        if self.aborted {
+            return Vec::new();
+        }
         self.submissions()
     }
 
@@ -264,7 +431,8 @@ impl WorkloadDriver for Dagman {
     }
 
     fn is_done(&self) -> bool {
-        self.done + self.failed == self.dag.len()
+        (self.aborted && self.in_flight == 0)
+            || self.done + self.failed + self.futile_count == self.dag.len()
     }
 }
 
@@ -285,7 +453,10 @@ impl MultiDagman {
             .enumerate()
             .map(|(i, d)| Dagman::new(d, OwnerId(i as u32)))
             .collect();
-        Self { dagmans, assign_queue: std::collections::VecDeque::new() }
+        Self {
+            dagmans,
+            assign_queue: std::collections::VecDeque::new(),
+        }
     }
 
     /// Borrow the inner DAGMans.
@@ -508,12 +679,7 @@ mod tests {
         let dags: Vec<Dag> = (0..2).map(|_| chain_dag(2)).collect();
         let mut multi = MultiDagman::new(dags);
         let report = quick_cluster(6).run(&mut multi);
-        let mut owners: Vec<u32> = report
-            .log
-            .events()
-            .iter()
-            .map(|e| e.owner.0)
-            .collect();
+        let mut owners: Vec<u32> = report.log.events().iter().map(|e| e.owner.0).collect();
         owners.sort_unstable();
         owners.dedup();
         assert_eq!(owners, vec![0, 1]);
@@ -560,7 +726,8 @@ mod tests {
         // Same storm without retries: at least one node fails for good.
         let mut dag = Dag::new();
         for i in 0..12 {
-            dag.add_node(JobSpec::fixed(format!("long.{i}"), 600.0)).unwrap();
+            dag.add_node(JobSpec::fixed(format!("long.{i}"), 600.0))
+                .unwrap();
         }
         let mut dm = Dagman::new(dag, OwnerId(0));
         let _ = Cluster::new(cfg, 5).run(&mut dm);
@@ -575,5 +742,153 @@ mod tests {
         let _ = quick_cluster(7).run(&mut dm);
         assert_eq!(dm.done_nodes().len(), 3);
         assert!(dm.failed_nodes().is_empty());
+    }
+
+    use htcsim::fault::{FaultConfig, EXIT_PERMANENT};
+
+    fn faulty_cluster(seed: u64, faults: FaultConfig) -> Cluster {
+        Cluster::new(
+            ClusterConfig {
+                pool: PoolConfig {
+                    target_slots: 16,
+                    glidein_slots: 4,
+                    avail_mean: 1.0,
+                    avail_sigma: 0.0,
+                    glidein_lifetime_s: 1e9,
+                    ..Default::default()
+                },
+                faults,
+                ..ClusterConfig::with_cache()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn transient_failures_retry_with_backoff() {
+        let mut dag = Dag::new();
+        for i in 0..10 {
+            let id = dag.add_node(JobSpec::fixed(format!("t{i}"), 60.0)).unwrap();
+            dag.set_retries(id, 20);
+            dag.set_retry_defer(id, 30);
+        }
+        let faults = FaultConfig {
+            seed: 11,
+            transient_exit_prob: 0.5,
+            ..Default::default()
+        };
+        let mut dm = Dagman::new(dag, OwnerId(0));
+        let report = faulty_cluster(8, faults).run(&mut dm);
+        assert!(!report.timed_out);
+        assert_eq!(dm.completed(), 10);
+        assert!(dm.retries() > 0, "p=0.5 over 10 nodes must fail somewhere");
+        assert!(dm.failed_nodes().is_empty());
+        // Every resubmission respects the 30 s base backoff: for each job
+        // name, a Submitted following a Failed comes at least 30 s later.
+        let mut last_failed: HashMap<String, u64> = HashMap::new();
+        for ev in report.log.events() {
+            let name = report.job_names[&ev.job].clone();
+            match ev.kind {
+                JobEventKind::Failed => {
+                    last_failed.insert(name, ev.time.as_secs());
+                }
+                JobEventKind::Submitted => {
+                    if let Some(&t) = last_failed.get(&name) {
+                        assert!(
+                            ev.time.as_secs() >= t + 30,
+                            "{name} resubmitted {} s after failure",
+                            ev.time.as_secs() - t
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn abort_dag_on_stops_the_dag() {
+        let mut dag = Dag::new();
+        let a = dag.add_node(JobSpec::fixed("A", 60.0)).unwrap();
+        let b = dag.add_node(JobSpec::fixed("B", 60.0)).unwrap();
+        dag.add_edge(a, b).unwrap();
+        dag.set_retries(a, 5);
+        dag.set_abort_dag_on(a, EXIT_PERMANENT);
+        let faults = FaultConfig {
+            seed: 3,
+            permanent_job_fraction: 1.0,
+            ..Default::default()
+        };
+        let mut dm = Dagman::new(dag, OwnerId(0));
+        let _ = faulty_cluster(9, faults).run(&mut dm);
+        assert!(dm.aborted());
+        assert!(dm.is_done());
+        assert_eq!(dm.node_state(NodeId(1)), NodeState::Waiting);
+        let failed = dm.failed_nodes();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].name, "A");
+        assert_eq!(failed[0].exit_code, Some(EXIT_PERMANENT));
+        assert_eq!(
+            failed[0].attempts, 1,
+            "abort fires before retries are spent"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_report_exit_and_attempts() {
+        let mut dag = Dag::new();
+        let id = dag.add_node(JobSpec::fixed("perm", 60.0)).unwrap();
+        dag.set_retries(id, 2);
+        let faults = FaultConfig {
+            seed: 5,
+            permanent_job_fraction: 1.0,
+            ..Default::default()
+        };
+        let mut dm = Dagman::new(dag, OwnerId(0));
+        let _ = faulty_cluster(10, faults).run(&mut dm);
+        let failed = dm.failed_nodes();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].attempts, 3, "initial try plus two retries");
+        assert_eq!(failed[0].exit_code, Some(EXIT_PERMANENT));
+        assert_eq!(dm.retries(), 2);
+    }
+
+    #[test]
+    fn holds_are_counted_and_recovered() {
+        let mut dag = Dag::new();
+        for i in 0..8 {
+            dag.add_node(JobSpec::fixed(format!("h{i}"), 60.0)).unwrap();
+        }
+        let faults = FaultConfig {
+            seed: 2,
+            hold_prob: 0.4,
+            hold_release_s: 120.0,
+            ..Default::default()
+        };
+        let mut dm = Dagman::new(dag, OwnerId(0));
+        let report = faulty_cluster(11, faults).run(&mut dm);
+        assert_eq!(dm.completed(), 8, "held jobs are released and finish");
+        assert!(dm.holds() > 0);
+        assert_eq!(dm.holds(), report.holds);
+    }
+
+    #[test]
+    fn walltime_removal_consumes_retries() {
+        let mut dag = Dag::new();
+        let mut spec = JobSpec::fixed("slow", 500.0);
+        spec.timeout_s = 60.0;
+        let id = dag.add_node(spec).unwrap();
+        dag.set_retries(id, 1);
+        let mut dm = Dagman::new(dag, OwnerId(0));
+        let _ = faulty_cluster(12, Default::default()).run(&mut dm);
+        assert!(dm.is_done());
+        let failed = dm.failed_nodes();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(
+            failed[0].exit_code, None,
+            "walltime removal has no exit code"
+        );
+        assert_eq!(failed[0].attempts, 2);
+        assert_eq!(dm.holds(), 2, "each timed-out attempt is held first");
     }
 }

@@ -32,6 +32,14 @@ pub struct DagmanStats {
     pub waveform_exec_secs: Vec<u64>,
     /// Execution times of `rupture.*` jobs.
     pub rupture_exec_secs: Vec<u64>,
+    /// Execution seconds that ended in a completion (useful work).
+    pub goodput_secs: u64,
+    /// Execution seconds lost to evictions, failures, and holds.
+    pub badput_secs: u64,
+    /// Hold events observed for this owner's jobs.
+    pub holds: u64,
+    /// Execution attempts that ended with a non-zero exit.
+    pub failed_attempts: u64,
 }
 
 impl DagmanStats {
@@ -73,28 +81,68 @@ pub fn per_dagman_stats(report: &RunReport) -> Vec<DagmanStats> {
     for jt in &times {
         by_owner.entry(jt.owner).or_default().push(jt);
     }
+    // Goodput/badput split per owner: execution intervals ending in a
+    // completion are goodput; those cut short by eviction, failure, or a
+    // hold are badput.
+    let mut chaos: HashMap<OwnerId, (u64, u64, u64, u64)> = HashMap::new();
+    let mut exec_start: HashMap<JobId, SimTime> = HashMap::new();
+    for e in report.log.events() {
+        let ent = chaos.entry(e.owner).or_default();
+        match e.kind {
+            JobEventKind::ExecuteStarted => {
+                exec_start.insert(e.job, e.time);
+            }
+            JobEventKind::Completed => {
+                if let Some(s) = exec_start.remove(&e.job) {
+                    ent.0 += e.time.since(s);
+                }
+            }
+            JobEventKind::Evicted | JobEventKind::Failed | JobEventKind::Held => {
+                if let Some(s) = exec_start.remove(&e.job) {
+                    ent.1 += e.time.since(s);
+                }
+                if e.kind == JobEventKind::Held {
+                    ent.2 += 1;
+                }
+                if e.kind == JobEventKind::Failed {
+                    ent.3 += 1;
+                }
+            }
+            _ => {}
+        }
+    }
     let mut owners: Vec<OwnerId> = by_owner.keys().copied().collect();
     owners.sort();
     owners
         .into_iter()
         .map(|owner| {
             let jts = &by_owner[&owner];
-            let name_of = |j: JobId| {
-                report.job_names.get(&j).cloned().unwrap_or_default()
-            };
+            let name_of = |j: JobId| report.job_names.get(&j).cloned().unwrap_or_default();
+            let (goodput_secs, badput_secs, holds, failed_attempts) =
+                chaos.get(&owner).copied().unwrap_or_default();
             let mut stats = DagmanStats {
                 owner,
                 completed: 0,
-                started: jts.iter().map(|j| j.submitted).min().unwrap_or(SimTime::ZERO),
+                started: jts
+                    .iter()
+                    .map(|j| j.submitted)
+                    .min()
+                    .unwrap_or(SimTime::ZERO),
                 finished: SimTime::ZERO,
                 wait_secs: Vec::new(),
                 exec_secs: Vec::new(),
                 waveform_wait_secs: Vec::new(),
                 waveform_exec_secs: Vec::new(),
                 rupture_exec_secs: Vec::new(),
+                goodput_secs,
+                badput_secs,
+                holds,
+                failed_attempts,
             };
             for jt in jts {
-                let Some(completed) = jt.completed else { continue };
+                let Some(completed) = jt.completed else {
+                    continue;
+                };
                 stats.completed += 1;
                 stats.finished = stats.finished.max(completed);
                 let name = name_of(jt.job);
@@ -167,7 +215,10 @@ pub fn running_for(report: &RunReport, owner: OwnerId) -> Vec<u32> {
             JobEventKind::ExecuteStarted => {
                 started.insert(e.job, idx);
             }
-            JobEventKind::Completed | JobEventKind::Evicted => {
+            JobEventKind::Completed
+            | JobEventKind::Evicted
+            | JobEventKind::Failed
+            | JobEventKind::Held => {
                 if let Some(s) = started.remove(&e.job) {
                     delta[s] += 1;
                     delta[idx] -= 1;
@@ -205,7 +256,12 @@ pub struct MeanSd {
 /// Compute mean/SD/min/max of a sample (zeros when empty).
 pub fn mean_sd(xs: &[f64]) -> MeanSd {
     if xs.is_empty() {
-        return MeanSd { mean: 0.0, sd: 0.0, min: 0.0, max: 0.0 };
+        return MeanSd {
+            mean: 0.0,
+            sd: 0.0,
+            min: 0.0,
+            max: 0.0,
+        };
     }
     let n = xs.len() as f64;
     let mean = xs.iter().sum::<f64>() / n;
@@ -271,9 +327,8 @@ mod tests {
             assert_eq!(s.rupture_exec_secs.len(), 1);
             // Waveform jobs run ~300 s, modulated by machine speed (σ=0.15
             // lognormal) plus stage-out overhead.
-            let mean_exec =
-                DagmanStats::mean_mins(&s.waveform_exec_secs).unwrap();
-            assert!(mean_exec >= 3.2 && mean_exec < 9.0, "exec {mean_exec} min");
+            let mean_exec = DagmanStats::mean_mins(&s.waveform_exec_secs).unwrap();
+            assert!((3.2..9.0).contains(&mean_exec), "exec {mean_exec} min");
         }
     }
 
@@ -286,7 +341,10 @@ mod tests {
         assert!(!series.is_empty());
         let last = *series.last().unwrap();
         let expected = s0.completed as f64 / (series.len() as f64 - 1.0).max(1.0) * 60.0;
-        assert!((last - expected).abs() / expected < 0.05, "{last} vs {expected}");
+        assert!(
+            (last - expected).abs() / expected < 0.05,
+            "{last} vs {expected}"
+        );
     }
 
     #[test]
@@ -294,7 +352,7 @@ mod tests {
         let report = run_two_dagmans();
         let series = running_for(&report, OwnerId(0));
         let peak = series.iter().copied().max().unwrap_or(0);
-        assert!(peak >= 1 && peak <= 6, "peak {peak}");
+        assert!((1..=6).contains(&peak), "peak {peak}");
     }
 
     #[test]
@@ -314,6 +372,97 @@ mod tests {
         let empty = mean_sd(&[]);
         assert_eq!(empty.mean, 0.0);
         assert_eq!(empty.sd, 0.0);
+    }
+
+    #[test]
+    fn mean_sd_edge_cases() {
+        // Empty input: all-zero, not NaN or infinite.
+        let empty = mean_sd(&[]);
+        assert_eq!(
+            empty,
+            MeanSd {
+                mean: 0.0,
+                sd: 0.0,
+                min: 0.0,
+                max: 0.0
+            }
+        );
+        // Single element: mean is the element, SD is zero, min == max.
+        let one = mean_sd(&[42.5]);
+        assert_eq!(one.mean, 42.5);
+        assert_eq!(one.sd, 0.0);
+        assert_eq!(one.min, 42.5);
+        assert_eq!(one.max, 42.5);
+    }
+
+    #[test]
+    fn mean_mins_edge_cases() {
+        assert_eq!(DagmanStats::mean_mins(&[]), None);
+        let one = DagmanStats::mean_mins(&[120]).unwrap();
+        assert!((one - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn goodput_badput_split_under_faults() {
+        use htcsim::fault::FaultConfig;
+        let mut d = Dag::new();
+        for i in 0..10 {
+            let id = d.add_node(JobSpec::fixed(format!("j{i}"), 120.0)).unwrap();
+            d.set_retries(id, 20);
+        }
+        let mut dm = Dagman::new(d, OwnerId(0));
+        let report = Cluster::new(
+            ClusterConfig {
+                pool: PoolConfig {
+                    target_slots: 16,
+                    glidein_slots: 4,
+                    avail_mean: 1.0,
+                    avail_sigma: 0.0,
+                    glidein_lifetime_s: 1e9,
+                    ..Default::default()
+                },
+                faults: FaultConfig {
+                    seed: 7,
+                    transient_exit_prob: 0.4,
+                    ..Default::default()
+                },
+                ..ClusterConfig::with_cache()
+            },
+            21,
+        )
+        .run(&mut dm);
+        assert_eq!(dm.completed(), 10);
+        let stats = per_dagman_stats(&report);
+        let s = &stats[0];
+        assert!(s.goodput_secs > 0);
+        assert!(s.badput_secs > 0, "transient failures must burn badput");
+        assert!(s.failed_attempts > 0);
+        assert_eq!(s.failed_attempts, report.exec_failures);
+        // Fault-free run: zero badput, zero failed attempts.
+        let mut d = Dag::new();
+        for i in 0..10 {
+            d.add_node(JobSpec::fixed(format!("j{i}"), 120.0)).unwrap();
+        }
+        let mut dm = Dagman::new(d, OwnerId(0));
+        let clean = Cluster::new(
+            ClusterConfig {
+                pool: PoolConfig {
+                    target_slots: 16,
+                    glidein_slots: 4,
+                    avail_mean: 1.0,
+                    avail_sigma: 0.0,
+                    glidein_lifetime_s: 1e9,
+                    ..Default::default()
+                },
+                ..ClusterConfig::with_cache()
+            },
+            21,
+        )
+        .run(&mut dm);
+        let stats = per_dagman_stats(&clean);
+        assert_eq!(stats[0].badput_secs, 0);
+        assert_eq!(stats[0].failed_attempts, 0);
+        assert_eq!(stats[0].holds, 0);
     }
 
     #[test]

@@ -10,9 +10,21 @@ use htcsim::cluster::WorkloadDriver;
 use crate::dag::Dag;
 use crate::driver::{Dagman, NodeState};
 
-/// Serialise a rescue file: one `DONE <node>` line per completed node.
+/// Serialise a rescue file: one `DONE <node>` line per completed node,
+/// plus a `# FAILED <node> exit=<code|none> attempts=<n>` comment per
+/// permanently failed node so the post-mortem survives in the artifact.
 pub fn rescue_file(dagman: &Dagman) -> String {
     let mut out = String::from("# Rescue DAG\n");
+    for f in dagman.failed_nodes() {
+        let exit = match f.exit_code {
+            Some(c) => c.to_string(),
+            None => "none".to_string(),
+        };
+        out.push_str(&format!(
+            "# FAILED {} exit={exit} attempts={}\n",
+            f.name, f.attempts
+        ));
+    }
     for name in dagman.done_nodes() {
         out.push_str(&format!("DONE {name}\n"));
     }
@@ -35,9 +47,7 @@ pub fn parse_rescue(text: &str) -> Result<HashSet<String>, String> {
                     .ok_or_else(|| format!("line {}: DONE needs a node", lineno + 1))?;
                 done.insert(name.to_string());
             }
-            Some(other) => {
-                return Err(format!("line {}: unknown keyword '{other}'", lineno + 1))
-            }
+            Some(other) => return Err(format!("line {}: unknown keyword '{other}'", lineno + 1)),
             None => {}
         }
     }
@@ -126,8 +136,7 @@ mod tests {
 
     #[test]
     fn resume_with_all_done_is_complete() {
-        let done: HashSet<String> =
-            ["A".to_string(), "B".to_string(), "C".to_string()].into();
+        let done: HashSet<String> = ["A".to_string(), "B".to_string(), "C".to_string()].into();
         let dm = resume(chain(), &done, OwnerId(0)).unwrap();
         assert!(dm.is_done());
     }
@@ -147,6 +156,41 @@ mod tests {
         assert!(!text.contains("DONE B"));
         let parsed = parse_rescue(&text).unwrap();
         assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn rescue_file_records_failures() {
+        use htcsim::cluster::{Cluster, ClusterConfig};
+        use htcsim::fault::FaultConfig;
+        use htcsim::pool::PoolConfig;
+        let mut d = Dag::new();
+        let a = d.add_node(JobSpec::fixed("A", 10.0)).unwrap();
+        d.add_node(JobSpec::fixed("B", 10.0)).unwrap();
+        d.set_retries(a, 1);
+        let mut dm = Dagman::new(d, OwnerId(0));
+        let cfg = ClusterConfig {
+            pool: PoolConfig {
+                target_slots: 4,
+                glidein_slots: 2,
+                avail_mean: 1.0,
+                avail_sigma: 0.0,
+                glidein_lifetime_s: 1e9,
+                ..Default::default()
+            },
+            faults: FaultConfig {
+                seed: 1,
+                permanent_job_fraction: 1.0,
+                ..Default::default()
+            },
+            ..ClusterConfig::with_cache()
+        };
+        let _ = Cluster::new(cfg, 1).run(&mut dm);
+        assert!(dm.is_done());
+        let text = rescue_file(&dm);
+        assert!(text.contains("# FAILED A exit=2 attempts=2"), "{text}");
+        assert!(text.contains("# FAILED B exit=2"), "{text}");
+        // Annotations are comments: parse_rescue only sees DONE lines.
+        assert!(parse_rescue(&text).unwrap().is_empty());
     }
 
     #[test]

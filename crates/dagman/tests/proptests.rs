@@ -44,6 +44,7 @@ fn fast_cluster(seed: u64) -> Cluster {
             transfer: Default::default(),
             cache_enabled: true,
             max_evictions_per_job: 0,
+            faults: Default::default(),
         },
         seed,
     )
@@ -103,6 +104,132 @@ proptest! {
         let dm = resume(dag, &done, OwnerId(0)).unwrap();
         let parsed = parse_rescue(&rescue_file(&dm)).unwrap();
         prop_assert_eq!(parsed, done);
+    }
+
+    /// Full rescue round-trip over randomized DAGs: run a random DAG to
+    /// completion on a real cluster where a random subset of nodes fails
+    /// permanently, write the rescue file, and resume into a fresh DAGMan.
+    /// The resumed DAGMan must pre-complete exactly the done set, never
+    /// resubmit a DONE node, and reject unknown node names.
+    #[test]
+    fn rescue_resume_roundtrip_random_dags(
+        n in 1usize..14,
+        edges in proptest::collection::vec((0usize..14, 0usize..14), 0..20),
+        failing in proptest::collection::hash_set(0usize..14, 0..5),
+        seed in any::<u64>(),
+    ) {
+        use htcsim::fault::EXIT_PERMANENT;
+
+        let mut dag = random_dag(n, &edges);
+        let failing: HashSet<usize> = failing.into_iter().map(|i| i % n).collect();
+        // A node fails only if none of its ancestors fail first (a failed
+        // parent leaves descendants unsubmitted, not failed). Compute the
+        // expected reachable-done set: nodes with no failing ancestor and
+        // not failing themselves.
+        for &i in &failing {
+            dag.set_retries(NodeId(i), 2);
+        }
+        let dag_copy = dag.clone();
+        let mut dm = Dagman::new(dag, OwnerId(0));
+
+        // Drive the DAGMan by hand: a deterministic "cluster" that starts
+        // and finishes every submitted job instantly, failing the chosen
+        // subset with EXIT_PERMANENT.
+        use htcsim::cluster::WorkloadDriver;
+        use htcsim::job::{JobEvent, JobEventKind, JobId};
+        use htcsim::time::SimTime;
+        let mut next_id = 0u64;
+        let mut t = 0u64;
+        let mut pending: Vec<JobEvent> = Vec::new();
+        loop {
+            let evs = std::mem::take(&mut pending);
+            let subs = dm.poll(SimTime(t), &evs);
+            if subs.is_empty() && pending.is_empty() && dm.is_done() {
+                break;
+            }
+            if subs.is_empty() && evs.is_empty() {
+                // Nothing happened this tick: advance time (drains any
+                // retry backoff) and bail out if the DAG cannot progress.
+                t += 3600;
+                if t > 10_000_000 {
+                    break;
+                }
+                continue;
+            }
+            for s in subs {
+                let id = JobId(next_id);
+                next_id += 1;
+                dm.on_assigned(id, &s.spec.name);
+                let idx = dag_copy.id_of(&s.spec.name).unwrap().0;
+                let fails = failing.contains(&idx);
+                pending.push(JobEvent::new(
+                    SimTime(t + 1), id, OwnerId(0), JobEventKind::ExecuteStarted,
+                ));
+                if fails {
+                    pending.push(
+                        JobEvent::new(
+                            SimTime(t + 2), id, OwnerId(0), JobEventKind::Failed,
+                        )
+                        .with_exit(EXIT_PERMANENT),
+                    );
+                } else {
+                    pending.push(
+                        JobEvent::new(
+                            SimTime(t + 2), id, OwnerId(0), JobEventKind::Completed,
+                        )
+                        .with_exit(0),
+                    );
+                }
+            }
+            t += 2;
+        }
+        prop_assert!(dm.is_done(), "hand-driven DAG must settle");
+
+        // The done set is exactly the nodes with no failing ancestor that
+        // are not failing themselves.
+        let mut expected_done: HashSet<String> = HashSet::new();
+        for k in 0..n {
+            if failing.contains(&k) {
+                continue;
+            }
+            let mut blocked = false;
+            for &f in &failing {
+                if f < n && dag_copy.descendants(NodeId(f)).contains(&NodeId(k)) {
+                    blocked = true;
+                    break;
+                }
+            }
+            if !blocked {
+                expected_done.insert(dag_copy.node(NodeId(k)).name.clone());
+            }
+        }
+        let done_now: HashSet<String> =
+            dm.done_nodes().iter().map(|s| s.to_string()).collect();
+        prop_assert_eq!(&done_now, &expected_done);
+
+        // Failed nodes carry the injected exit code and full attempt count.
+        for f in dm.failed_nodes() {
+            prop_assert_eq!(f.exit_code, Some(EXIT_PERMANENT));
+            prop_assert_eq!(f.attempts, 3, "2 retries = 3 attempts");
+        }
+
+        // rescue_file -> parse_rescue reproduces the done set exactly.
+        let text = rescue_file(&dm);
+        let parsed = parse_rescue(&text).unwrap();
+        prop_assert_eq!(&parsed, &expected_done);
+
+        // Resume pre-completes exactly the done set and never re-runs it.
+        let resumed = resume(dag_copy.clone(), &parsed, OwnerId(0)).unwrap();
+        prop_assert_eq!(resumed.completed(), expected_done.len());
+        for name in &expected_done {
+            let id = dag_copy.id_of(name).unwrap();
+            prop_assert_eq!(resumed.node_state(id), dagman::driver::NodeState::Done);
+        }
+        // Unknown node names are rejected.
+        let mut bad = parsed.clone();
+        bad.insert("zzz-not-a-node".to_string());
+        prop_assert!(resume(dag_copy.clone(), &bad, OwnerId(0)).is_err());
+        let _ = seed; // DAG shape is the randomness; the run is deterministic.
     }
 }
 

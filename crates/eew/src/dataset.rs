@@ -78,12 +78,20 @@ pub struct MagnitudeErrors {
 /// Score per-event magnitude estimates against truth.
 pub fn score(estimates: &[(f64, f64)]) -> MagnitudeErrors {
     if estimates.is_empty() {
-        return MagnitudeErrors { mae: 0.0, bias: 0.0, n: 0 };
+        return MagnitudeErrors {
+            mae: 0.0,
+            bias: 0.0,
+            n: 0,
+        };
     }
     let n = estimates.len() as f64;
     let mae = estimates.iter().map(|(e, t)| (e - t).abs()).sum::<f64>() / n;
     let bias = estimates.iter().map(|(e, t)| e - t).sum::<f64>() / n;
-    MagnitudeErrors { mae, bias, n: estimates.len() }
+    MagnitudeErrors {
+        mae,
+        bias,
+        n: estimates.len(),
+    }
 }
 
 #[cfg(test)]
@@ -102,7 +110,10 @@ mod tests {
             &net,
             None,
             None,
-            RuptureConfig { mw_range: (7.8, 8.8), ..Default::default() },
+            RuptureConfig {
+                mw_range: (7.8, 8.8),
+                ..Default::default()
+            },
             WaveformConfig {
                 duration_s: 256.0,
                 noise: NoiseModel::none(),

@@ -48,8 +48,11 @@ pub struct PgdScalingModel {
 impl PgdScalingModel {
     /// The published coefficients of Melgar et al. (2015), handy as a
     /// reference point and test oracle.
-    pub const MELGAR_2015: PgdScalingModel =
-        PgdScalingModel { a: -4.434, b: 1.047, c: -0.138 };
+    pub const MELGAR_2015: PgdScalingModel = PgdScalingModel {
+        a: -4.434,
+        b: 1.047,
+        c: -0.138,
+    };
 
     /// Fit (A, B, C) by ordinary least squares over the observations.
     /// Needs at least 3 observations spanning more than one magnitude and
@@ -83,7 +86,11 @@ impl PgdScalingModel {
         let beta = xtx.solve_spd(&xty).map_err(|e| {
             FqError::Linalg(format!("normal equations singular (degenerate data): {e}"))
         })?;
-        Ok(Self { a: beta[0], b: beta[1], c: beta[2] })
+        Ok(Self {
+            a: beta[0],
+            b: beta[1],
+            c: beta[2],
+        })
     }
 
     /// Predicted log10(PGD_cm) for a magnitude/distance pair.
@@ -140,7 +147,11 @@ mod tests {
                 let mw = 7.0 + rng.gen::<f64>() * 2.0;
                 let r = 30.0 + rng.gen::<f64>() * 500.0;
                 let pgd_m = model.predict_pgd_m(mw, r);
-                PgdObservation { mw, pgd_m, distance_km: r }
+                PgdObservation {
+                    mw,
+                    pgd_m,
+                    distance_km: r,
+                }
             })
             .collect()
     }
@@ -200,7 +211,11 @@ mod tests {
     #[test]
     fn degenerate_inputs_rejected() {
         assert!(PgdScalingModel::fit(&[]).is_err());
-        let one = PgdObservation { mw: 8.0, pgd_m: 0.1, distance_km: 100.0 };
+        let one = PgdObservation {
+            mw: 8.0,
+            pgd_m: 0.1,
+            distance_km: 100.0,
+        };
         assert!(PgdScalingModel::fit(&[one, one]).is_err());
         // Identical rows make X^T X singular even with n >= 3; the solver's
         // jitter fallback may still produce a (meaningless) fit, so only
@@ -210,10 +225,13 @@ mod tests {
         assert!(m.estimate_mw_single(-1.0, 100.0).is_none());
         assert!(m.estimate_mw_single(0.1, 0.0).is_none());
         assert!(m.estimate_mw(&[]).is_none());
-        assert!(PgdScalingModel::fit(&[
-            PgdObservation { mw: 8.0, pgd_m: -0.1, distance_km: 100.0 };
-            3
-        ])
+        assert!(PgdScalingModel::fit(
+            &[PgdObservation {
+                mw: 8.0,
+                pgd_m: -0.1,
+                distance_km: 100.0
+            }; 3]
+        )
         .is_err());
     }
 

@@ -7,7 +7,7 @@
 
 use crate::distance::DistanceMatrices;
 use crate::error::{FqError, FqResult};
-use crate::greens::{GfLibrary, StationGf, StaticResponse};
+use crate::greens::{GfLibrary, StaticResponse, StationGf};
 use crate::mseed::MseedFile;
 use crate::npy;
 use crate::waveform::GnssWaveform;
@@ -76,7 +76,7 @@ pub fn gf_library_from_mseed(
     network_name: &str,
     f: &MseedFile,
 ) -> FqResult<GfLibrary> {
-    if f.records.len() % 3 != 0 {
+    if !f.records.len().is_multiple_of(3) {
         return Err(FqError::Format(format!(
             "GF mseed must hold 3 channels per station, got {} records",
             f.records.len()
@@ -118,7 +118,10 @@ pub fn gf_library_from_mseed(
                 u: chunk[2].samples[i],
             })
             .collect();
-        stations.push(StationGf { station_code: code, responses });
+        stations.push(StationGf {
+            station_code: code,
+            responses,
+        });
     }
     Ok(GfLibrary::from_parts(
         fault_name.to_string(),
@@ -144,9 +147,8 @@ pub fn waveform_from_mseed(
     scenario_id: u64,
 ) -> FqResult<GnssWaveform> {
     let get = |suffix: &str| {
-        f.record(&format!("{station_code}.{suffix}")).ok_or_else(|| {
-            FqError::Format(format!("missing channel {station_code}.{suffix}"))
-        })
+        f.record(&format!("{station_code}.{suffix}"))
+            .ok_or_else(|| FqError::Format(format!("missing channel {station_code}.{suffix}")))
     };
     let e = get("LXE")?;
     let n = get("LXN")?;
@@ -184,8 +186,7 @@ mod tests {
         let (f, n) = fixture();
         let d = DistanceMatrices::compute(&f, &n);
         let (sb, tb) = distance_matrices_to_npy(&d);
-        let back =
-            distance_matrices_from_npy(f.name(), n.name(), &sb, &tb).unwrap();
+        let back = distance_matrices_from_npy(f.name(), n.name(), &sb, &tb).unwrap();
         assert_eq!(back.subfault_to_subfault, d.subfault_to_subfault);
         assert_eq!(back.station_to_subfault, d.station_to_subfault);
         assert_eq!(back.fault_name(), f.name());

@@ -64,8 +64,7 @@ impl Catalog {
             .iter()
             .zip(&self.waveforms)
             .map(|(sc, wfs)| {
-                let active: Vec<f64> =
-                    sc.slip_m.iter().cloned().filter(|s| *s > 0.0).collect();
+                let active: Vec<f64> = sc.slip_m.iter().cloned().filter(|s| *s > 0.0).collect();
                 let st = field_stats(&active);
                 ScenarioSummary {
                     id: sc.id,
@@ -86,6 +85,7 @@ impl Catalog {
 /// Reuses precomputed [`DistanceMatrices`] and [`GfLibrary`] when supplied
 /// (the FDW recycling path); computes them otherwise (the cold-start path a
 /// lone A-Phase matrix job performs).
+#[allow(clippy::too_many_arguments)]
 pub fn generate_catalog(
     fault: &FaultModel,
     network: &StationNetwork,
@@ -96,15 +96,13 @@ pub fn generate_catalog(
     n_scenarios: u64,
     seed: u64,
 ) -> FqResult<Catalog> {
-    let distances =
-        distances.unwrap_or_else(|| DistanceMatrices::compute(fault, network));
+    let distances = distances.unwrap_or_else(|| DistanceMatrices::compute(fault, network));
     distances.check_compatible(fault, network)?;
     let gfs = match gfs {
         Some(g) => g,
         None => GfLibrary::compute(fault, network)?,
     };
-    let generator =
-        RuptureGenerator::new(fault, &distances.subfault_to_subfault, rupture_config)?;
+    let generator = RuptureGenerator::new(fault, &distances.subfault_to_subfault, rupture_config)?;
 
     // Scenario generation is embarrassingly parallel — the property the
     // whole paper builds on.
@@ -127,7 +125,10 @@ pub fn generate_catalog(
         })
         .collect::<FqResult<_>>()?;
 
-    Ok(Catalog { scenarios, waveforms })
+    Ok(Catalog {
+        scenarios,
+        waveforms,
+    })
 }
 
 #[cfg(test)]
@@ -144,7 +145,10 @@ mod tests {
             &net,
             None,
             None,
-            RuptureConfig { mw_range: (7.8, 8.6), ..Default::default() },
+            RuptureConfig {
+                mw_range: (7.8, 8.6),
+                ..Default::default()
+            },
             WaveformConfig {
                 duration_s: 128.0,
                 noise: NoiseModel::none(),
@@ -199,10 +203,8 @@ mod tests {
             noise: NoiseModel::none(),
             ..Default::default()
         };
-        let cold =
-            generate_catalog(&fault, &net, None, None, cfg.clone(), wcfg, 2, 5).unwrap();
-        let warm =
-            generate_catalog(&fault, &net, Some(d), Some(g), cfg, wcfg, 2, 5).unwrap();
+        let cold = generate_catalog(&fault, &net, None, None, cfg.clone(), wcfg, 2, 5).unwrap();
+        let warm = generate_catalog(&fault, &net, Some(d), Some(g), cfg, wcfg, 2, 5).unwrap();
         for (a, b) in cold.scenarios.iter().zip(&warm.scenarios) {
             assert_eq!(a.slip_m, b.slip_m);
         }

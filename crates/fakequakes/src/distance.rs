@@ -69,7 +69,12 @@ impl DistanceMatrices {
         subfault_to_subfault: Matrix,
         station_to_subfault: Matrix,
     ) -> Self {
-        Self { fault_name, network_name, subfault_to_subfault, station_to_subfault }
+        Self {
+            fault_name,
+            network_name,
+            subfault_to_subfault,
+            station_to_subfault,
+        }
     }
 
     /// Name of the fault model these matrices were computed for.
@@ -96,11 +101,7 @@ impl DistanceMatrices {
     /// The FDW performs this check when a user supplies pre-existing
     /// `.npy` files so stale artifacts are rejected instead of silently
     /// producing wrong waveforms.
-    pub fn check_compatible(
-        &self,
-        fault: &FaultModel,
-        network: &StationNetwork,
-    ) -> FqResult<()> {
+    pub fn check_compatible(&self, fault: &FaultModel, network: &StationNetwork) -> FqResult<()> {
         if self.n_subfaults() != fault.len() {
             return Err(FqError::Config(format!(
                 "recycled distance matrix covers {} subfaults but fault model '{}' has {}",
@@ -123,8 +124,7 @@ impl DistanceMatrices {
     /// Approximate in-memory size in bytes (what the FDW reports when
     /// estimating transfer sizes for the Stash cache).
     pub fn nbytes(&self) -> usize {
-        8 * (self.subfault_to_subfault.as_slice().len()
-            + self.station_to_subfault.as_slice().len())
+        8 * (self.subfault_to_subfault.as_slice().len() + self.station_to_subfault.as_slice().len())
     }
 }
 
@@ -172,7 +172,10 @@ mod tests {
         for i in 0..m.rows() {
             for j in 0..m.cols() {
                 if i != j {
-                    assert!(m[(i, j)] > 0.0, "({i},{j}) zero distance between distinct patches");
+                    assert!(
+                        m[(i, j)] > 0.0,
+                        "({i},{j}) zero distance between distinct patches"
+                    );
                 }
             }
         }

@@ -52,7 +52,9 @@ mod tests {
             .to_string()
             .contains("empty mesh"));
         assert!(FqError::Magnitude(5.0).to_string().contains("5.00"));
-        assert!(FqError::Linalg("not PD".into()).to_string().contains("not PD"));
+        assert!(FqError::Linalg("not PD".into())
+            .to_string()
+            .contains("not PD"));
         assert!(FqError::Config("bad".into()).to_string().contains("bad"));
         assert!(FqError::Format("eof".into()).to_string().contains("eof"));
     }

@@ -34,8 +34,7 @@ impl GeoPoint {
         let (lat1, lat2) = (self.lat.to_radians(), other.lat.to_radians());
         let dlat = (other.lat - self.lat).to_radians();
         let dlon = (other.lon - self.lon).to_radians();
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_KM * a.sqrt().min(1.0).asin()
     }
 
@@ -198,7 +197,11 @@ mod tests {
 
     #[test]
     fn enu_norms() {
-        let p = EnuPoint { e: 3.0, n: 4.0, u: -12.0 };
+        let p = EnuPoint {
+            e: 3.0,
+            n: 4.0,
+            u: -12.0,
+        };
         assert!(close(p.horizontal_norm(), 5.0, 1e-12));
         assert!(close(p.norm(), 13.0, 1e-12));
     }

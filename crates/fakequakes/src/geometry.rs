@@ -86,8 +86,8 @@ impl FaultModel {
             let strike = 10.0 + 8.0 * (2.0 * std::f64::consts::PI * f).cos();
             for id in 0..n_dip {
                 let s_downdip = (id as f64 + 0.5) * patch_wid; // km along the interface
-                // Dip steepens with down-dip distance: 10° at the trench up
-                // to ~30° at the deep end.
+                                                               // Dip steepens with down-dip distance: 10° at the trench up
+                                                               // to ~30° at the deep end.
                 let dip = 10.0 + 20.0 * (s_downdip / total_width_km).min(1.0);
                 // Integrate depth: approximate with average dip to this point.
                 let avg_dip = 10.0 + 10.0 * (s_downdip / total_width_km).min(1.0);
@@ -95,8 +95,7 @@ impl FaultModel {
                 let horiz = s_downdip * avg_dip.to_radians().cos();
                 // Down-dip direction points east (landward) for a
                 // west-dipping trench; offset longitude accordingly.
-                let deg_per_km_lon =
-                    1.0 / (111.19 * lat.to_radians().cos().abs().max(1e-6));
+                let deg_per_km_lon = 1.0 / (111.19 * lat.to_radians().cos().abs().max(1e-6));
                 let lon = trench_lon + horiz * deg_per_km_lon;
                 subfaults.push(Subfault {
                     along_strike: is,
@@ -155,8 +154,7 @@ impl FaultModel {
                 let avg_dip = 6.0 + 6.0 * (s_downdip / total_width_km).min(1.0);
                 let depth = 5.0 + s_downdip * avg_dip.to_radians().sin();
                 let horiz = s_downdip * avg_dip.to_radians().cos();
-                let deg_per_km_lon =
-                    1.0 / (111.19 * lat.to_radians().cos().abs().max(1e-6));
+                let deg_per_km_lon = 1.0 / (111.19 * lat.to_radians().cos().abs().max(1e-6));
                 // The slab dips landward (eastward) under North America.
                 let lon = trench_lon + horiz * deg_per_km_lon;
                 subfaults.push(Subfault {
@@ -242,7 +240,12 @@ pub struct ScalingLaw {
 
 impl Default for ScalingLaw {
     fn default() -> Self {
-        Self { length_a: -2.37, length_b: 0.57, width_a: -1.86, width_b: 0.46 }
+        Self {
+            length_a: -2.37,
+            length_b: 0.57,
+            width_a: -1.86,
+            width_b: 0.46,
+        }
     }
 }
 
@@ -312,8 +315,11 @@ mod tests {
     fn depths_within_seismogenic_range() {
         let m = FaultModel::chilean_subduction(30, 15).unwrap();
         for sf in m.subfaults() {
-            assert!(sf.center.depth_km >= 5.0 && sf.center.depth_km <= 60.0,
-                "depth {} out of range", sf.center.depth_km);
+            assert!(
+                sf.center.depth_km >= 5.0 && sf.center.depth_km <= 60.0,
+                "depth {} out of range",
+                sf.center.depth_km
+            );
             assert!(sf.dip_deg >= 10.0 && sf.dip_deg <= 30.0 + 1e-9);
         }
     }
@@ -342,8 +348,11 @@ mod tests {
         assert_eq!(m.name(), "cascadia_slab2like");
         for sf in m.subfaults() {
             assert!(sf.center.lat >= 40.0 && sf.center.lat <= 49.0);
-            assert!(sf.center.lon >= -128.5 && sf.center.lon <= -121.0,
-                "lon {}", sf.center.lon);
+            assert!(
+                sf.center.lon >= -128.5 && sf.center.lon <= -121.0,
+                "lon {}",
+                sf.center.lon
+            );
             // Cascadia dips shallower than Chile everywhere.
             assert!(sf.dip_deg >= 6.0 && sf.dip_deg <= 18.0 + 1e-9);
             assert!(sf.center.depth_km >= 5.0 && sf.center.depth_km <= 35.0);
@@ -367,9 +376,8 @@ mod tests {
         // Different hemispheres, shallower dips.
         assert!(casc.subfault(0).center.lat > 0.0);
         assert!(chile.subfault(0).center.lat < 0.0);
-        let mean_dip = |m: &FaultModel| {
-            m.subfaults().iter().map(|s| s.dip_deg).sum::<f64>() / m.len() as f64
-        };
+        let mean_dip =
+            |m: &FaultModel| m.subfaults().iter().map(|s| s.dip_deg).sum::<f64>() / m.len() as f64;
         assert!(mean_dip(&casc) < mean_dip(&chile));
     }
 

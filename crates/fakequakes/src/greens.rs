@@ -92,7 +92,9 @@ impl GfLibrary {
         method: GfMethod,
     ) -> FqResult<Self> {
         if fault.is_empty() {
-            return Err(FqError::Geometry("cannot compute GFs for empty fault".into()));
+            return Err(FqError::Geometry(
+                "cannot compute GFs for empty fault".into(),
+            ));
         }
         let mut stations = Vec::with_capacity(network.len());
         for st in network.stations() {
@@ -112,7 +114,10 @@ impl GfLibrary {
                 };
                 responses.push(r);
             }
-            stations.push(StationGf { station_code: st.code.clone(), responses });
+            stations.push(StationGf {
+                station_code: st.code.clone(),
+                responses,
+            });
         }
         Ok(Self {
             fault_name: fault.name().to_string(),
@@ -130,7 +135,12 @@ impl GfLibrary {
         stations: Vec<StationGf>,
         n_subfaults: usize,
     ) -> Self {
-        Self { fault_name, network_name, stations, n_subfaults }
+        Self {
+            fault_name,
+            network_name,
+            stations,
+            n_subfaults,
+        }
     }
 
     /// Fault model name this library was computed for.
@@ -265,7 +275,10 @@ pub fn okada_static(
         sf.length_km,
         sf.width_km,
         sf.dip_deg,
-        &Dislocation { dip_slip: 1.0, ..Default::default() },
+        &Dislocation {
+            dip_slip: 1.0,
+            ..Default::default()
+        },
         POISSON_ALPHA,
     );
     let (e, n, z) = to_enu(sf.strike_deg, &u);
@@ -274,7 +287,11 @@ pub fn okada_static(
 
 /// Unit double-couple moment tensor components in an East-North-Up basis.
 /// Returns `(Mee, Mnn, Muu, Men, Meu, Mnu)`.
-fn moment_tensor_enu(strike_deg: f64, dip_deg: f64, rake_deg: f64) -> (f64, f64, f64, f64, f64, f64) {
+fn moment_tensor_enu(
+    strike_deg: f64,
+    dip_deg: f64,
+    rake_deg: f64,
+) -> (f64, f64, f64, f64, f64, f64) {
     let phi = strike_deg.to_radians();
     let delta = dip_deg.to_radians();
     let lam = rake_deg.to_radians();
@@ -338,10 +355,22 @@ mod tests {
         let near = GeoPoint::new(sf.center.lon + 0.3, sf.center.lat, 0.0);
         let far = GeoPoint::new(sf.center.lon + 3.0, sf.center.lat, 0.0);
         let rn = point_source_static(
-            &f, sf.strike_deg, sf.dip_deg, THRUST_RAKE_DEG, sf.area_km2(), &near, &sf.center,
+            &f,
+            sf.strike_deg,
+            sf.dip_deg,
+            THRUST_RAKE_DEG,
+            sf.area_km2(),
+            &near,
+            &sf.center,
         );
         let rf = point_source_static(
-            &f, sf.strike_deg, sf.dip_deg, THRUST_RAKE_DEG, sf.area_km2(), &far, &sf.center,
+            &f,
+            sf.strike_deg,
+            sf.dip_deg,
+            THRUST_RAKE_DEG,
+            sf.area_km2(),
+            &far,
+            &sf.center,
         );
         assert!(
             rn.magnitude() > rf.magnitude() * 5.0,
@@ -356,12 +385,8 @@ mod tests {
         let f = FaultModel::chilean_subduction(8, 4).unwrap();
         let sf = f.subfault(0);
         let st = GeoPoint::new(sf.center.lon + 0.5, sf.center.lat, 0.0);
-        let r1 = point_source_static(
-            &f, sf.strike_deg, sf.dip_deg, 90.0, 100.0, &st, &sf.center,
-        );
-        let r2 = point_source_static(
-            &f, sf.strike_deg, sf.dip_deg, 90.0, 200.0, &st, &sf.center,
-        );
+        let r1 = point_source_static(&f, sf.strike_deg, sf.dip_deg, 90.0, 100.0, &st, &sf.center);
+        let r2 = point_source_static(&f, sf.strike_deg, sf.dip_deg, 90.0, 200.0, &st, &sf.center);
         assert!((r2.magnitude() / r1.magnitude() - 2.0).abs() < 1e-9);
     }
 
@@ -371,10 +396,13 @@ mod tests {
             let (mee, mnn, muu, men, meu, mnu) = moment_tensor_enu(s, d, r);
             assert!((mee + mnn + muu).abs() < 1e-12, "trace for ({s},{d},{r})");
             // Frobenius norm of a unit double couple is sqrt(2).
-            let frob = (mee * mee + mnn * mnn + muu * muu
-                + 2.0 * (men * men + meu * meu + mnu * mnu))
-                .sqrt();
-            assert!((frob - 2f64.sqrt()).abs() < 1e-9, "frob {frob} for ({s},{d},{r})");
+            let frob =
+                (mee * mee + mnn * mnn + muu * muu + 2.0 * (men * men + meu * meu + mnu * mnu))
+                    .sqrt();
+            assert!(
+                (frob - 2f64.sqrt()).abs() < 1e-9,
+                "frob {frob} for ({s},{d},{r})"
+            );
         }
     }
 
@@ -386,7 +414,13 @@ mod tests {
         let sf = f.subfault(f.index_of(10, 2));
         let st = GeoPoint::new(sf.center.lon + 0.5, sf.center.lat + 0.1, 0.0);
         let r = point_source_static(
-            &f, sf.strike_deg, sf.dip_deg, 90.0, sf.area_km2(), &st, &sf.center,
+            &f,
+            sf.strike_deg,
+            sf.dip_deg,
+            90.0,
+            sf.area_km2(),
+            &st,
+            &sf.center,
         );
         let mag = r.magnitude();
         assert!(mag > 1e-3 && mag < 2.0, "offset {mag} m");
@@ -400,7 +434,13 @@ mod tests {
         // sources are >=5 km deep but the clamp also guards r→0.
         let st = GeoPoint::new(sf.center.lon, sf.center.lat, sf.center.depth_km);
         let r = point_source_static(
-            &f, sf.strike_deg, sf.dip_deg, 90.0, sf.area_km2(), &st, &sf.center,
+            &f,
+            sf.strike_deg,
+            sf.dip_deg,
+            90.0,
+            sf.area_km2(),
+            &st,
+            &sf.center,
         );
         assert!(r.magnitude().is_finite());
     }
@@ -410,8 +450,7 @@ mod tests {
         let f = FaultModel::chilean_subduction(12, 6).unwrap();
         let n = StationNetwork::chilean_input(ChileanInput::Small, 1);
         let point = GfLibrary::compute_with_method(&f, &n, GfMethod::PointSource).unwrap();
-        let okada =
-            GfLibrary::compute_with_method(&f, &n, GfMethod::OkadaRectangular).unwrap();
+        let okada = GfLibrary::compute_with_method(&f, &n, GfMethod::OkadaRectangular).unwrap();
         assert_eq!(okada.n_subfaults(), point.n_subfaults());
         // Same order of magnitude in aggregate (methods differ in detail
         // but describe the same medium).

@@ -70,9 +70,9 @@ pub mod prelude {
     pub use crate::mseed::MseedFile;
     pub use crate::noise::NoiseModel;
     pub use crate::rupture::{MagnitudeLaw, RuptureConfig, RuptureGenerator, RuptureScenario};
+    pub use crate::spectra::{amplitude_spectrum, spectral_summary, SpectralSummary};
     pub use crate::stations::{ChileanInput, Station, StationNetwork};
     pub use crate::stf::StfKind;
-    pub use crate::spectra::{amplitude_spectrum, spectral_summary, SpectralSummary};
     pub use crate::stochastic::FieldMethod;
     pub use crate::waveform::{
         synthesize_all_stations, synthesize_station, GnssWaveform, WaveformConfig,

@@ -26,7 +26,11 @@ pub struct Matrix {
 impl Matrix {
     /// Create a zero-filled matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create an identity matrix of size `n`.
@@ -92,13 +96,13 @@ impl Matrix {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, o) in out.iter_mut().enumerate() {
             let row = self.row(i);
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(v) {
                 acc += a * b;
             }
-            out[i] = acc;
+            *o = acc;
         }
         out
     }
@@ -267,8 +271,7 @@ impl Matrix {
         let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a[(i, i)], i)).collect();
         pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
         let eigenvalues: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-        let eigenvectors =
-            Matrix::from_fn(n, n, |i, k| v[(i, pairs[k].1)]);
+        let eigenvectors = Matrix::from_fn(n, n, |i, k| v[(i, pairs[k].1)]);
         Ok((eigenvalues, eigenvectors))
     }
 }
@@ -348,7 +351,11 @@ mod tests {
                 for k in 0..4 {
                     s += l[(i, k)] * l[(j, k)];
                 }
-                assert!(approx(s, a[(i, j)], 1e-9), "({i},{j}): {s} vs {}", a[(i, j)]);
+                assert!(
+                    approx(s, a[(i, j)], 1e-9),
+                    "({i},{j}): {s} vs {}",
+                    a[(i, j)]
+                );
             }
         }
         // Upper triangle of L must be zero.
@@ -437,9 +444,7 @@ mod tests {
     fn jacobi_reconstruction() {
         // Symmetric matrix; check A ≈ V diag(λ) V^T.
         let n = 6;
-        let m = Matrix::from_fn(n, n, |i, j| {
-            1.0 / (1.0 + (i as f64 - j as f64).abs())
-        });
+        let m = Matrix::from_fn(n, n, |i, j| 1.0 / (1.0 + (i as f64 - j as f64).abs()));
         let (vals, vecs) = m.symmetric_eigen(50).unwrap();
         for i in 0..n {
             for j in 0..n {
@@ -462,9 +467,7 @@ mod tests {
     #[test]
     fn eigenvalue_sum_equals_trace() {
         let n = 8;
-        let m = Matrix::from_fn(n, n, |i, j| {
-            (-((i as f64 - j as f64).powi(2)) / 4.0).exp()
-        });
+        let m = Matrix::from_fn(n, n, |i, j| (-((i as f64 - j as f64).powi(2)) / 4.0).exp());
         let (vals, _) = m.symmetric_eigen(50).unwrap();
         let trace: f64 = (0..n).map(|i| m[(i, i)]).sum();
         let sum: f64 = vals.iter().sum();

@@ -46,7 +46,11 @@ impl MseedFile {
 
     /// Append a record.
     pub fn push(&mut self, code: impl Into<String>, dt_s: f64, samples: Vec<f64>) {
-        self.records.push(MseedRecord { code: code.into(), dt_s, samples });
+        self.records.push(MseedRecord {
+            code: code.into(),
+            dt_s,
+            samples,
+        });
     }
 
     /// Find a record by channel code.
@@ -57,7 +61,9 @@ impl MseedFile {
     /// Serialise to bytes.
     pub fn to_bytes(&self) -> FqResult<Vec<u8>> {
         if self.records.len() > u16::MAX as usize {
-            return Err(FqError::Format("too many records for one mseed file".into()));
+            return Err(FqError::Format(
+                "too many records for one mseed file".into(),
+            ));
         }
         let payload: usize = self
             .records
@@ -95,7 +101,9 @@ impl MseedFile {
         }
         let version = cur.u16()?;
         if version != VERSION {
-            return Err(FqError::Format(format!("unsupported FQMS version {version}")));
+            return Err(FqError::Format(format!(
+                "unsupported FQMS version {version}"
+            )));
         }
         let n = cur.u16()? as usize;
         let mut records = Vec::with_capacity(n);
@@ -118,7 +126,11 @@ impl MseedFile {
                     "CRC mismatch in record '{code}': stored {stored:#010x}, computed {expected:#010x}"
                 )));
             }
-            records.push(MseedRecord { code, dt_s, samples });
+            records.push(MseedRecord {
+                code,
+                dt_s,
+                samples,
+            });
         }
         Ok(Self { records })
     }
@@ -197,7 +209,10 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -264,7 +279,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("gf.mseed");
         let mut f = MseedFile::new();
-        f.push("CH001.GF", 1.0, (0..1000).map(|i| i as f64 * 0.001).collect());
+        f.push(
+            "CH001.GF",
+            1.0,
+            (0..1000).map(|i| i as f64 * 0.001).collect(),
+        );
         f.write(&path).unwrap();
         assert_eq!(MseedFile::read(&path).unwrap(), f);
         std::fs::remove_file(&path).ok();

@@ -61,7 +61,7 @@ impl NoiseModel {
     /// Generate `n` noise samples at `dt_s` spacing, deterministically from
     /// `seed`.
     pub fn generate(&self, n: usize, dt_s: f64, seed: u64) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x4e4f_4953_45u64);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x004e_4f49_5345_u64);
         let mut out = Vec::with_capacity(n);
         let mut walk = 0.0;
         let phase = standard_normal(&mut rng) * std::f64::consts::PI;

@@ -24,7 +24,7 @@ pub fn to_npy_bytes(m: &Matrix) -> Vec<u8> {
     let mut header = header_body.into_bytes();
     let total = preamble_len + header.len() + 1;
     let pad = (64 - total % 64) % 64;
-    header.extend(std::iter::repeat(b' ').take(pad));
+    header.extend(std::iter::repeat_n(b' ', pad));
     header.push(b'\n');
 
     let mut out = Vec::with_capacity(preamble_len + header.len() + m.as_slice().len() * 8);
@@ -206,12 +206,7 @@ mod tests {
 
     #[test]
     fn special_values_roundtrip() {
-        let m = Matrix::from_vec(
-            1,
-            4,
-            vec![f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0],
-        )
-        .unwrap();
+        let m = Matrix::from_vec(1, 4, vec![f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0]).unwrap();
         let back = from_npy_bytes(&to_npy_bytes(&m)).unwrap();
         assert_eq!(back.as_slice()[0], f64::INFINITY);
         assert_eq!(back.as_slice()[1], f64::NEG_INFINITY);

@@ -42,6 +42,7 @@ pub const POISSON_ALPHA: f64 = 0.5;
 /// upper edge at depth `d`, dipping `dip_deg`, carrying `slip`.
 ///
 /// All lengths share one unit; displacements come out in the slip's unit.
+#[allow(clippy::too_many_arguments)]
 pub fn rectangular_dislocation(
     x: f64,
     y: f64,
@@ -53,7 +54,10 @@ pub fn rectangular_dislocation(
     alpha: f64,
 ) -> SurfaceDisplacement {
     assert!(d >= 0.0, "upper edge must be at or below the surface");
-    assert!(length > 0.0 && width > 0.0, "fault must have positive extent");
+    assert!(
+        length > 0.0 && width > 0.0,
+        "fault must have positive extent"
+    );
     let dip = dip_deg.to_radians();
     let (sd, cd) = (dip.sin(), dip.cos());
     let p = y * cd + d * sd;
@@ -119,7 +123,17 @@ pub fn rectangular_dislocation(
             i5 = -alpha * xi * sd / rd;
         }
         let _ = ln_r_eta;
-        Terms { r, ytil, dtil, atan_term, i1, i2, i3, i4, i5 }
+        Terms {
+            r,
+            ytil,
+            dtil,
+            atan_term,
+            i1,
+            i2,
+            i3,
+            i4,
+            i5,
+        }
     };
 
     let mut out = SurfaceDisplacement::default();
@@ -175,8 +189,7 @@ pub fn rectangular_dislocation(
         };
         let f_z = |xi: f64, eta: f64| {
             let t = eval(xi, eta);
-            t.ytil * q / (t.r * (t.r + xi))
-                + cd * (xi * q / (t.r * (t.r + eta)) - t.atan_term)
+            t.ytil * q / (t.r * (t.r + xi)) + cd * (xi * q / (t.r * (t.r + eta)) - t.atan_term)
                 - t.i5 * sd * sd
         };
         let u3 = slip.tensile / (2.0 * std::f64::consts::PI);
@@ -224,8 +237,16 @@ mod tests {
     #[test]
     fn okada_table2_strike_slip() {
         let u = rectangular_dislocation(
-            X, Y, D, L, W, DIP,
-            &Dislocation { strike_slip: 1.0, ..Default::default() },
+            X,
+            Y,
+            D,
+            L,
+            W,
+            DIP,
+            &Dislocation {
+                strike_slip: 1.0,
+                ..Default::default()
+            },
             POISSON_ALPHA,
         );
         assert!(close(u.x, -8.689e-3, 1e-6), "ux {}", u.x);
@@ -236,8 +257,16 @@ mod tests {
     #[test]
     fn okada_table2_dip_slip() {
         let u = rectangular_dislocation(
-            X, Y, D, L, W, DIP,
-            &Dislocation { dip_slip: 1.0, ..Default::default() },
+            X,
+            Y,
+            D,
+            L,
+            W,
+            DIP,
+            &Dislocation {
+                dip_slip: 1.0,
+                ..Default::default()
+            },
             POISSON_ALPHA,
         );
         assert!(close(u.x, -4.682e-3, 1e-6), "ux {}", u.x);
@@ -248,8 +277,16 @@ mod tests {
     #[test]
     fn okada_table2_tensile() {
         let u = rectangular_dislocation(
-            X, Y, D, L, W, DIP,
-            &Dislocation { tensile: 1.0, ..Default::default() },
+            X,
+            Y,
+            D,
+            L,
+            W,
+            DIP,
+            &Dislocation {
+                tensile: 1.0,
+                ..Default::default()
+            },
             POISSON_ALPHA,
         );
         assert!(close(u.x, -2.660e-4, 1e-6), "ux {}", u.x);
@@ -259,7 +296,10 @@ mod tests {
 
     #[test]
     fn displacement_decays_with_distance() {
-        let slip = Dislocation { dip_slip: 1.0, ..Default::default() };
+        let slip = Dislocation {
+            dip_slip: 1.0,
+            ..Default::default()
+        };
         let near = rectangular_dislocation(1.5, 5.0, 4.0, 3.0, 2.0, 20.0, &slip, 0.5);
         let far = rectangular_dislocation(1.5, 80.0, 4.0, 3.0, 2.0, 20.0, &slip, 0.5);
         let mag = |u: &SurfaceDisplacement| (u.x * u.x + u.y * u.y + u.z * u.z).sqrt();
@@ -270,7 +310,10 @@ mod tests {
     fn thrust_uplifts_hanging_wall() {
         // A shallow thrust: the surface above/ahead of the fault (positive
         // y, hanging-wall side) goes up.
-        let slip = Dislocation { dip_slip: 1.0, ..Default::default() };
+        let slip = Dislocation {
+            dip_slip: 1.0,
+            ..Default::default()
+        };
         let u = rectangular_dislocation(5.0, 8.0, 2.0, 10.0, 8.0, 20.0, &slip, 0.5);
         assert!(u.z > 0.0, "hanging wall must rise, got {}", u.z);
     }
@@ -278,18 +321,43 @@ mod tests {
     #[test]
     fn superposition_of_modes() {
         let both = rectangular_dislocation(
-            X, Y, D, L, W, DIP,
-            &Dislocation { strike_slip: 0.7, dip_slip: 1.3, tensile: 0.0 },
+            X,
+            Y,
+            D,
+            L,
+            W,
+            DIP,
+            &Dislocation {
+                strike_slip: 0.7,
+                dip_slip: 1.3,
+                tensile: 0.0,
+            },
             POISSON_ALPHA,
         );
         let ss = rectangular_dislocation(
-            X, Y, D, L, W, DIP,
-            &Dislocation { strike_slip: 0.7, ..Default::default() },
+            X,
+            Y,
+            D,
+            L,
+            W,
+            DIP,
+            &Dislocation {
+                strike_slip: 0.7,
+                ..Default::default()
+            },
             POISSON_ALPHA,
         );
         let ds = rectangular_dislocation(
-            X, Y, D, L, W, DIP,
-            &Dislocation { dip_slip: 1.3, ..Default::default() },
+            X,
+            Y,
+            D,
+            L,
+            W,
+            DIP,
+            &Dislocation {
+                dip_slip: 1.3,
+                ..Default::default()
+            },
             POISSON_ALPHA,
         );
         assert!(close(both.x, ss.x + ds.x, 1e-12));
@@ -300,13 +368,29 @@ mod tests {
     #[test]
     fn linear_in_slip_amplitude() {
         let one = rectangular_dislocation(
-            X, Y, D, L, W, DIP,
-            &Dislocation { dip_slip: 1.0, ..Default::default() },
+            X,
+            Y,
+            D,
+            L,
+            W,
+            DIP,
+            &Dislocation {
+                dip_slip: 1.0,
+                ..Default::default()
+            },
             POISSON_ALPHA,
         );
         let three = rectangular_dislocation(
-            X, Y, D, L, W, DIP,
-            &Dislocation { dip_slip: 3.0, ..Default::default() },
+            X,
+            Y,
+            D,
+            L,
+            W,
+            DIP,
+            &Dislocation {
+                dip_slip: 3.0,
+                ..Default::default()
+            },
             POISSON_ALPHA,
         );
         assert!(close(three.z, 3.0 * one.z, 1e-12));
@@ -314,7 +398,11 @@ mod tests {
 
     #[test]
     fn vertical_fault_branch_is_finite() {
-        let slip = Dislocation { strike_slip: 1.0, dip_slip: 1.0, tensile: 0.5 };
+        let slip = Dislocation {
+            strike_slip: 1.0,
+            dip_slip: 1.0,
+            tensile: 0.5,
+        };
         let u = rectangular_dislocation(1.0, 2.0, 3.0, 4.0, 2.0, 90.0, &slip, 0.5);
         assert!(u.x.is_finite() && u.y.is_finite() && u.z.is_finite());
         // Must differ from a shallow-dip result.
@@ -324,7 +412,11 @@ mod tests {
 
     #[test]
     fn enu_rotation_preserves_norm_and_vertical() {
-        let u = SurfaceDisplacement { x: 0.3, y: -0.4, z: 0.12 };
+        let u = SurfaceDisplacement {
+            x: 0.3,
+            y: -0.4,
+            z: 0.12,
+        };
         for strike in [0.0, 10.0, 90.0, 215.0] {
             let (e, n, z) = to_enu(strike, &u);
             assert!(close(z, u.z, 1e-15));
@@ -335,10 +427,24 @@ mod tests {
             ));
         }
         // Strike 0 (due North): local x maps to North.
-        let (e, n, _) = to_enu(0.0, &SurfaceDisplacement { x: 1.0, y: 0.0, z: 0.0 });
+        let (e, n, _) = to_enu(
+            0.0,
+            &SurfaceDisplacement {
+                x: 1.0,
+                y: 0.0,
+                z: 0.0,
+            },
+        );
         assert!(close(n, 1.0, 1e-12) && close(e, 0.0, 1e-12));
         // Strike 90 (due East): local x maps to East.
-        let (e, n, _) = to_enu(90.0, &SurfaceDisplacement { x: 1.0, y: 0.0, z: 0.0 });
+        let (e, n, _) = to_enu(
+            90.0,
+            &SurfaceDisplacement {
+                x: 1.0,
+                y: 0.0,
+                z: 0.0,
+            },
+        );
         assert!(close(e, 1.0, 1e-12) && close(n, 0.0, 1e-12));
     }
 

@@ -195,8 +195,7 @@ impl<'a> RuptureGenerator<'a> {
             config.scaling.width_km(mid_mw),
             config.hurst,
         );
-        let field =
-            CorrelatedField::from_distances(subfault_distances, &kernel, config.method)?;
+        let field = CorrelatedField::from_distances(subfault_distances, &kernel, config.method)?;
         let grid_km = fault
             .subfaults()
             .iter()
@@ -207,7 +206,12 @@ impl<'a> RuptureGenerator<'a> {
                 )
             })
             .collect();
-        Ok(Self { fault, config, field, grid_km })
+        Ok(Self {
+            fault,
+            config,
+            field,
+            grid_km,
+        })
     }
 
     /// Borrow the generator configuration.
@@ -248,10 +252,9 @@ impl<'a> RuptureGenerator<'a> {
 
         let mut mask = vec![false; n];
         let mut any = false;
-        for i in 0..n {
-            let (x, y) = self.grid_km[i];
+        for (m, &(x, y)) in mask.iter_mut().zip(&self.grid_km) {
             if x >= x0 && x <= x1 && y >= y0 && y <= y1 {
-                mask[i] = true;
+                *m = true;
                 any = true;
             }
         }
@@ -304,7 +307,13 @@ impl<'a> RuptureGenerator<'a> {
         // Rise times: slip-dependent (t_r ∝ sqrt(slip), Graves & Pitarka).
         let rise: Vec<f64> = slip
             .iter()
-            .map(|s| if *s > 0.0 { (2.0 * s.sqrt()).clamp(1.0, 30.0) } else { 0.0 })
+            .map(|s| {
+                if *s > 0.0 {
+                    (2.0 * s.sqrt()).clamp(1.0, 30.0)
+                } else {
+                    0.0
+                }
+            })
             .collect();
 
         RuptureScenario {
@@ -340,8 +349,7 @@ mod tests {
     fn generator_fixture(fault: &FaultModel) -> RuptureGenerator<'_> {
         let net = StationNetwork::chilean_input(ChileanInput::Small, 1);
         let d = DistanceMatrices::compute(fault, &net);
-        RuptureGenerator::new(fault, &d.subfault_to_subfault, RuptureConfig::default())
-            .unwrap()
+        RuptureGenerator::new(fault, &d.subfault_to_subfault, RuptureConfig::default()).unwrap()
     }
 
     #[test]
@@ -352,7 +360,10 @@ mod tests {
         assert!(c.validate().is_err());
         c.mw_range = (5.0, 7.0);
         assert!(c.validate().is_err());
-        c = RuptureConfig { rupture_velocity_kms: 0.0, ..Default::default() };
+        c = RuptureConfig {
+            rupture_velocity_kms: 0.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -360,9 +371,7 @@ mod tests {
     fn mismatched_distance_matrix_rejected() {
         let fault = FaultModel::chilean_subduction(6, 4).unwrap();
         let wrong = Matrix::zeros(10, 10);
-        assert!(
-            RuptureGenerator::new(&fault, &wrong, RuptureConfig::default()).is_err()
-        );
+        assert!(RuptureGenerator::new(&fault, &wrong, RuptureConfig::default()).is_err());
     }
 
     #[test]
@@ -433,18 +442,14 @@ mod tests {
                 .iter()
                 .map(|&i| {
                     let sf = fault.subfault(i);
-                    (
-                        sf.center.distance_3d_km(&hypo_sf.center),
-                        r.onset_s[i],
-                    )
+                    (sf.center.distance_3d_km(&hypo_sf.center), r.onset_s[i])
                 })
                 .collect();
             with_d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             let half = with_d.len() / 2;
-            let near: f64 =
-                with_d[..half].iter().map(|p| p.1).sum::<f64>() / half as f64;
-            let far: f64 = with_d[half..].iter().map(|p| p.1).sum::<f64>()
-                / (with_d.len() - half) as f64;
+            let near: f64 = with_d[..half].iter().map(|p| p.1).sum::<f64>() / half as f64;
+            let far: f64 =
+                with_d[half..].iter().map(|p| p.1).sum::<f64>() / (with_d.len() - half) as f64;
             assert!(far > near, "far {far} <= near {near}");
         }
     }
@@ -457,13 +462,19 @@ mod tests {
         let small = RuptureGenerator::new(
             &fault,
             &d.subfault_to_subfault,
-            RuptureConfig { mw_range: (7.5, 7.5), ..Default::default() },
+            RuptureConfig {
+                mw_range: (7.5, 7.5),
+                ..Default::default()
+            },
         )
         .unwrap();
         let big = RuptureGenerator::new(
             &fault,
             &d.subfault_to_subfault,
-            RuptureConfig { mw_range: (9.0, 9.0), ..Default::default() },
+            RuptureConfig {
+                mw_range: (9.0, 9.0),
+                ..Default::default()
+            },
         )
         .unwrap();
         let avg = |g: &RuptureGenerator<'_>| -> f64 {
@@ -493,15 +504,17 @@ mod tests {
             RuptureGenerator::new(
                 &fault,
                 &d.subfault_to_subfault,
-                RuptureConfig { magnitude_law: law, ..Default::default() },
+                RuptureConfig {
+                    magnitude_law: law,
+                    ..Default::default()
+                },
             )
             .unwrap()
         };
         let uni = mk(MagnitudeLaw::Uniform);
         let gr = mk(MagnitudeLaw::GutenbergRichter { b: 1.0 });
-        let mean = |g: &RuptureGenerator<'_>| {
-            (0..200).map(|i| g.generate(4, i).mw).sum::<f64>() / 200.0
-        };
+        let mean =
+            |g: &RuptureGenerator<'_>| (0..200).map(|i| g.generate(4, i).mw).sum::<f64>() / 200.0;
         let mu = mean(&uni);
         let mg = mean(&gr);
         assert!(

@@ -166,14 +166,11 @@ mod tests {
     #[test]
     fn parseval_energy_conserved() {
         let n = 64;
-        let series: Vec<f64> = (0..n)
-            .map(|i| ((i * 7) % 13) as f64 * 0.3 - 1.0)
-            .collect();
+        let series: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 * 0.3 - 1.0).collect();
         let mut buf: Vec<(f64, f64)> = series.iter().map(|x| (*x, 0.0)).collect();
         fft_in_place(&mut buf).unwrap();
         let time_energy: f64 = series.iter().map(|x| x * x).sum();
-        let freq_energy: f64 =
-            buf.iter().map(|(r, i)| r * r + i * i).sum::<f64>() / n as f64;
+        let freq_energy: f64 = buf.iter().map(|(r, i)| r * r + i * i).sum::<f64>() / n as f64;
         assert!(
             (time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0),
             "{time_energy} vs {freq_energy}"
@@ -186,10 +183,7 @@ mod tests {
         let dt = 1.0;
         let cycle_bin = 16; // frequency = 16/(256*1) Hz
         let series: Vec<f64> = (0..n)
-            .map(|i| {
-                (2.0 * std::f64::consts::PI * cycle_bin as f64 * i as f64 / n as f64)
-                    .sin()
-            })
+            .map(|i| (2.0 * std::f64::consts::PI * cycle_bin as f64 * i as f64 / n as f64).sin())
             .collect();
         let (freqs, amps) = amplitude_spectrum(&series, dt).unwrap();
         let peak = amps
@@ -229,7 +223,10 @@ mod tests {
         let gen = RuptureGenerator::new(
             &fault,
             &d.subfault_to_subfault,
-            RuptureConfig { mw_range: (8.5, 8.5), ..Default::default() },
+            RuptureConfig {
+                mw_range: (8.5, 8.5),
+                ..Default::default()
+            },
         )
         .unwrap();
         let sc = gen.generate(2, 0);

@@ -83,7 +83,10 @@ impl StationNetwork {
                 sample_rate_hz: 1.0,
             });
         }
-        Ok(Self { name: format!("chile_{n}"), stations })
+        Ok(Self {
+            name: format!("chile_{n}"),
+            stations,
+        })
     }
 
     /// Build the network for one of the paper's two input sizes.
@@ -117,7 +120,10 @@ impl StationNetwork {
                 sample_rate_hz: 1.0,
             });
         }
-        Ok(Self { name: format!("cascadia_{n}"), stations })
+        Ok(Self {
+            name: format!("cascadia_{n}"),
+            stations,
+        })
     }
 
     /// Network name.
@@ -188,7 +194,10 @@ impl StationNetwork {
         if stations.is_empty() {
             return Err(FqError::Format("station file contained no stations".into()));
         }
-        Ok(Self { name: name.to_string(), stations })
+        Ok(Self {
+            name: name.to_string(),
+            stations,
+        })
     }
 }
 

@@ -67,8 +67,7 @@ impl StfKind {
                 if t >= rise_s {
                     0.0
                 } else {
-                    0.5 * std::f64::consts::PI / rise_s
-                        * (std::f64::consts::PI * t / rise_s).sin()
+                    0.5 * std::f64::consts::PI / rise_s * (std::f64::consts::PI * t / rise_s).sin()
                 }
             }
             StfKind::Triangle => {

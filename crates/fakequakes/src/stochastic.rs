@@ -53,9 +53,7 @@ impl CorrelatedField {
         method: FieldMethod,
     ) -> FqResult<Self> {
         if distances.rows() != distances.cols() {
-            return Err(FqError::Linalg(
-                "distance matrix must be square".into(),
-            ));
+            return Err(FqError::Linalg("distance matrix must be square".into()));
         }
         let n = distances.rows();
         if n == 0 {
@@ -83,9 +81,7 @@ impl CorrelatedField {
                 let (vals, vecs) = cov.symmetric_eigen(30)?;
                 let total: f64 = vals.iter().map(|v| v.max(0.0)).sum();
                 let kept: f64 = vals.iter().take(k).map(|v| v.max(0.0)).sum();
-                let factor = Matrix::from_fn(n, k, |i, m| {
-                    vecs[(i, m)] * vals[m].max(0.0).sqrt()
-                });
+                let factor = Matrix::from_fn(n, k, |i, m| vecs[(i, m)] * vals[m].max(0.0).sqrt());
                 Ok(Self {
                     n,
                     method_label: "karhunen-loeve",
@@ -150,14 +146,24 @@ pub struct FieldStats {
 /// Compute summary statistics of a slice; empty input yields all-zero stats.
 pub fn field_stats(x: &[f64]) -> FieldStats {
     if x.is_empty() {
-        return FieldStats { mean: 0.0, std: 0.0, min: 0.0, max: 0.0 };
+        return FieldStats {
+            mean: 0.0,
+            std: 0.0,
+            min: 0.0,
+            max: 0.0,
+        };
     }
     let n = x.len() as f64;
     let mean = x.iter().sum::<f64>() / n;
     let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
     let min = x.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    FieldStats { mean, std: var.sqrt(), min, max }
+    FieldStats {
+        mean,
+        std: var.sqrt(),
+        min,
+        max,
+    }
 }
 
 #[cfg(test)]
@@ -173,7 +179,11 @@ mod tests {
         let d = DistanceMatrices::compute(&fault, &net);
         CorrelatedField::from_distances(
             &d.subfault_to_subfault,
-            &VonKarman { a_strike_km: 120.0, a_dip_km: 60.0, hurst: 0.75 },
+            &VonKarman {
+                a_strike_km: 120.0,
+                a_dip_km: 60.0,
+                hurst: 0.75,
+            },
             method,
         )
         .unwrap()
@@ -258,13 +268,9 @@ mod tests {
     fn rejects_bad_inputs() {
         let vk = VonKarman::default();
         let rect = Matrix::zeros(2, 3);
-        assert!(
-            CorrelatedField::from_distances(&rect, &vk, FieldMethod::Cholesky).is_err()
-        );
+        assert!(CorrelatedField::from_distances(&rect, &vk, FieldMethod::Cholesky).is_err());
         let empty = Matrix::zeros(0, 0);
-        assert!(
-            CorrelatedField::from_distances(&empty, &vk, FieldMethod::Cholesky).is_err()
-        );
+        assert!(CorrelatedField::from_distances(&empty, &vk, FieldMethod::Cholesky).is_err());
     }
 
     #[test]

@@ -21,7 +21,11 @@ pub struct VonKarman {
 
 impl Default for VonKarman {
     fn default() -> Self {
-        Self { a_strike_km: 30.0, a_dip_km: 15.0, hurst: 0.75 }
+        Self {
+            a_strike_km: 30.0,
+            a_dip_km: 15.0,
+            hurst: 0.75,
+        }
     }
 }
 
@@ -50,9 +54,8 @@ impl VonKarman {
     /// Anisotropic correlation for separations expressed in the fault's
     /// strike/dip frame.
     pub fn correlation_anisotropic(&self, dr_strike_km: f64, dr_dip_km: f64) -> f64 {
-        let x = ((dr_strike_km / self.a_strike_km).powi(2)
-            + (dr_dip_km / self.a_dip_km).powi(2))
-        .sqrt();
+        let x = ((dr_strike_km / self.a_strike_km).powi(2) + (dr_dip_km / self.a_dip_km).powi(2))
+            .sqrt();
         von_karman_kernel(x, self.hurst)
     }
 }
@@ -77,10 +80,10 @@ pub fn gamma(x: f64) -> f64 {
     // Lanczos g=7, n=9 coefficients.
     const G: f64 = 7.0;
     const C: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_81,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -166,7 +169,8 @@ fn bessel_i0(x: f64) -> f64 {
                         + t * (-0.001_575_65
                             + t * (0.009_162_81
                                 + t * (-0.020_577_06
-                                    + t * (0.026_355_37 + t * (-0.016_476_33 + t * 0.003_923_77))))))))
+                                    + t * (0.026_355_37
+                                        + t * (-0.016_476_33 + t * 0.003_923_77))))))))
     }
 }
 
@@ -188,7 +192,8 @@ fn bessel_i1(x: f64) -> f64 {
                     + t * (0.001_638_01
                         + t * (-0.010_315_55
                             + t * (0.022_829_67
-                                + t * (-0.028_953_12 + t * (0.017_876_54 + t * (-0.004_200_59))))))));
+                                + t * (-0.028_953_12
+                                    + t * (0.017_876_54 + t * (-0.004_200_59))))))));
         ax.exp() / ax.sqrt() * top
     };
     if x < 0.0 {
@@ -301,7 +306,11 @@ mod tests {
 
     #[test]
     fn correlation_respects_anisotropy() {
-        let vk = VonKarman { a_strike_km: 40.0, a_dip_km: 10.0, hurst: 0.75 };
+        let vk = VonKarman {
+            a_strike_km: 40.0,
+            a_dip_km: 10.0,
+            hurst: 0.75,
+        };
         // Same physical distance decorrelates faster in the dip direction.
         let along = vk.correlation_anisotropic(20.0, 0.0);
         let down = vk.correlation_anisotropic(0.0, 20.0);

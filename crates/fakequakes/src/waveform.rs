@@ -96,10 +96,8 @@ impl GnssWaveform {
     pub fn pgd_m(&self) -> f64 {
         let mut peak = 0.0f64;
         for i in 0..self.len() {
-            let v = (self.east_m[i].powi(2)
-                + self.north_m[i].powi(2)
-                + self.up_m[i].powi(2))
-            .sqrt();
+            let v =
+                (self.east_m[i].powi(2) + self.north_m[i].powi(2) + self.up_m[i].powi(2)).sqrt();
             peak = peak.max(v);
         }
         peak
@@ -221,7 +219,15 @@ pub fn synthesize_all_stations(
     (0..gfs.n_stations())
         .into_par_iter()
         .map(|si| {
-            synthesize_station(fault, gfs, station_distances, scenario, si, config, noise_seed)
+            synthesize_station(
+                fault,
+                gfs,
+                station_distances,
+                scenario,
+                si,
+                config,
+                noise_seed,
+            )
         })
         .collect()
 }
@@ -238,7 +244,15 @@ pub fn synthesize_all_stations_seq(
 ) -> FqResult<Vec<GnssWaveform>> {
     (0..gfs.n_stations())
         .map(|si| {
-            synthesize_station(fault, gfs, station_distances, scenario, si, config, noise_seed)
+            synthesize_station(
+                fault,
+                gfs,
+                station_distances,
+                scenario,
+                si,
+                config,
+                noise_seed,
+            )
         })
         .collect()
 }
@@ -265,23 +279,39 @@ mod tests {
         let gen = RuptureGenerator::new(
             &fault,
             &dists.subfault_to_subfault,
-            RuptureConfig { mw_range: (8.5, 8.5), ..Default::default() },
+            RuptureConfig {
+                mw_range: (8.5, 8.5),
+                ..Default::default()
+            },
         )
         .unwrap();
         let scenario = gen.generate(1, 0);
-        Fixture { fault, gfs, dists, scenario }
+        Fixture {
+            fault,
+            gfs,
+            dists,
+            scenario,
+        }
     }
 
     fn quiet_config() -> WaveformConfig {
-        WaveformConfig { noise: NoiseModel::none(), ..Default::default() }
+        WaveformConfig {
+            noise: NoiseModel::none(),
+            ..Default::default()
+        }
     }
 
     #[test]
     fn waveform_has_configured_length() {
         let fx = fixture();
         let w = synthesize_station(
-            &fx.fault, &fx.gfs, &fx.dists.station_to_subfault, &fx.scenario, 0,
-            &quiet_config(), 1,
+            &fx.fault,
+            &fx.gfs,
+            &fx.dists.station_to_subfault,
+            &fx.scenario,
+            0,
+            &quiet_config(),
+            1,
         )
         .unwrap();
         assert_eq!(w.len(), 512);
@@ -295,15 +325,23 @@ mod tests {
     fn starts_at_zero_and_reaches_permanent_offset() {
         let fx = fixture();
         let w = synthesize_station(
-            &fx.fault, &fx.gfs, &fx.dists.station_to_subfault, &fx.scenario, 0,
-            &quiet_config(), 1,
+            &fx.fault,
+            &fx.gfs,
+            &fx.dists.station_to_subfault,
+            &fx.scenario,
+            0,
+            &quiet_config(),
+            1,
         )
         .unwrap();
         assert_eq!(w.east_m[0], 0.0);
         assert_eq!(w.north_m[0], 0.0);
         assert_eq!(w.up_m[0], 0.0);
         let offset = w.static_offset_m();
-        assert!(offset > 1e-4, "Mw 8.5 should displace a Chilean station: {offset}");
+        assert!(
+            offset > 1e-4,
+            "Mw 8.5 should displace a Chilean station: {offset}"
+        );
         // Displacement settles: last two samples nearly equal.
         let n = w.len();
         assert!((w.east_m[n - 1] - w.east_m[n - 2]).abs() < 1e-6);
@@ -313,8 +351,13 @@ mod tests {
     fn pgd_bounds_static_offset() {
         let fx = fixture();
         let w = synthesize_station(
-            &fx.fault, &fx.gfs, &fx.dists.station_to_subfault, &fx.scenario, 0,
-            &quiet_config(), 1,
+            &fx.fault,
+            &fx.gfs,
+            &fx.dists.station_to_subfault,
+            &fx.scenario,
+            0,
+            &quiet_config(),
+            1,
         )
         .unwrap();
         assert!(w.pgd_m() >= w.static_offset_m() * 0.99);
@@ -324,13 +367,23 @@ mod tests {
     fn noise_changes_but_does_not_dominate() {
         let fx = fixture();
         let quiet = synthesize_station(
-            &fx.fault, &fx.gfs, &fx.dists.station_to_subfault, &fx.scenario, 0,
-            &quiet_config(), 1,
+            &fx.fault,
+            &fx.gfs,
+            &fx.dists.station_to_subfault,
+            &fx.scenario,
+            0,
+            &quiet_config(),
+            1,
         )
         .unwrap();
         let noisy = synthesize_station(
-            &fx.fault, &fx.gfs, &fx.dists.station_to_subfault, &fx.scenario, 0,
-            &WaveformConfig::default(), 1,
+            &fx.fault,
+            &fx.gfs,
+            &fx.dists.station_to_subfault,
+            &fx.scenario,
+            0,
+            &WaveformConfig::default(),
+            1,
         )
         .unwrap();
         assert_ne!(quiet.east_m, noisy.east_m);
@@ -342,7 +395,11 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .sum::<f64>()
             / quiet.len() as f64;
-        assert!(diff < quiet.pgd_m(), "noise {diff} vs pgd {}", quiet.pgd_m());
+        assert!(
+            diff < quiet.pgd_m(),
+            "noise {diff} vs pgd {}",
+            quiet.pgd_m()
+        );
     }
 
     #[test]
@@ -350,11 +407,21 @@ mod tests {
         let fx = fixture();
         let cfg = quiet_config();
         let par = synthesize_all_stations(
-            &fx.fault, &fx.gfs, &fx.dists.station_to_subfault, &fx.scenario, &cfg, 2,
+            &fx.fault,
+            &fx.gfs,
+            &fx.dists.station_to_subfault,
+            &fx.scenario,
+            &cfg,
+            2,
         )
         .unwrap();
         let seq = synthesize_all_stations_seq(
-            &fx.fault, &fx.gfs, &fx.dists.station_to_subfault, &fx.scenario, &cfg, 2,
+            &fx.fault,
+            &fx.gfs,
+            &fx.dists.station_to_subfault,
+            &fx.scenario,
+            &cfg,
+            2,
         )
         .unwrap();
         assert_eq!(par.len(), seq.len());
@@ -368,8 +435,13 @@ mod tests {
     fn bad_station_index_rejected() {
         let fx = fixture();
         assert!(synthesize_station(
-            &fx.fault, &fx.gfs, &fx.dists.station_to_subfault, &fx.scenario, 99,
-            &quiet_config(), 1,
+            &fx.fault,
+            &fx.gfs,
+            &fx.dists.station_to_subfault,
+            &fx.scenario,
+            99,
+            &quiet_config(),
+            1,
         )
         .is_err());
     }
@@ -377,22 +449,41 @@ mod tests {
     #[test]
     fn bad_config_rejected() {
         let fx = fixture();
-        let cfg = WaveformConfig { dt_s: 0.0, ..Default::default() };
+        let cfg = WaveformConfig {
+            dt_s: 0.0,
+            ..Default::default()
+        };
         assert!(synthesize_station(
-            &fx.fault, &fx.gfs, &fx.dists.station_to_subfault, &fx.scenario, 0, &cfg, 1,
+            &fx.fault,
+            &fx.gfs,
+            &fx.dists.station_to_subfault,
+            &fx.scenario,
+            0,
+            &cfg,
+            1,
         )
         .is_err());
-        assert!(WaveformConfig { duration_s: -1.0, ..Default::default() }
-            .validate()
-            .is_err());
-        assert!(WaveformConfig { s_wave_kms: 0.0, ..Default::default() }
-            .validate()
-            .is_err());
+        assert!(WaveformConfig {
+            duration_s: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(WaveformConfig {
+            s_wave_kms: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn n_samples_rounds_up() {
-        let cfg = WaveformConfig { dt_s: 1.0, duration_s: 511.5, ..Default::default() };
+        let cfg = WaveformConfig {
+            dt_s: 1.0,
+            duration_s: 511.5,
+            ..Default::default()
+        };
         assert_eq!(cfg.n_samples(), 512);
     }
 
@@ -401,11 +492,23 @@ mod tests {
         let fx = fixture();
         let cfg = WaveformConfig::default();
         let a = synthesize_station(
-            &fx.fault, &fx.gfs, &fx.dists.station_to_subfault, &fx.scenario, 0, &cfg, 1,
+            &fx.fault,
+            &fx.gfs,
+            &fx.dists.station_to_subfault,
+            &fx.scenario,
+            0,
+            &cfg,
+            1,
         )
         .unwrap();
         let b = synthesize_station(
-            &fx.fault, &fx.gfs, &fx.dists.station_to_subfault, &fx.scenario, 0, &cfg, 2,
+            &fx.fault,
+            &fx.gfs,
+            &fx.dists.station_to_subfault,
+            &fx.scenario,
+            0,
+            &cfg,
+            2,
         )
         .unwrap();
         assert_ne!(a.east_m, b.east_m);

@@ -13,9 +13,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::event::{Event, EventQueue};
-use crate::job::{
-    JobEvent, JobEventKind, JobId, JobSpec, JobState, OwnerId, SubmitRequest,
-};
+use crate::fault::{FaultConfig, FaultPlan, HoldReason, BLACK_HOLE_FAIL_S, EXIT_BLACK_HOLE};
+use crate::job::{JobEvent, JobEventKind, JobId, JobSpec, JobState, OwnerId, SubmitRequest};
 use crate::pool::{MachineId, Pool, PoolConfig};
 use crate::rand_util::exponential;
 use crate::time::SimTime;
@@ -51,12 +50,17 @@ pub struct ClusterConfig {
     /// Remove a job from the queue after this many evictions (HTCondor's
     /// `periodic_remove` guard against crash-looping nodes). 0 = never.
     pub max_evictions_per_job: u32,
+    /// Injected fault mix (all-zero by default: a well-behaved pool).
+    pub faults: FaultConfig,
 }
 
 impl ClusterConfig {
     /// Default configuration with the cache enabled.
     pub fn with_cache() -> Self {
-        Self { cache_enabled: true, ..Default::default() }
+        Self {
+            cache_enabled: true,
+            ..Default::default()
+        }
     }
 }
 
@@ -69,6 +73,13 @@ struct JobRuntime {
     serial: u64,
     /// Evictions suffered so far (drives `max_evictions_per_job`).
     evictions: u32,
+    /// Submission attempt index of this job's name under this owner
+    /// (0 for the first submission, 1 for the first DAGMan retry, …) —
+    /// the salt that lets transient faults differ across retries.
+    attempt: u64,
+    /// Exit code the current execution attempt is fated to fail with
+    /// (decided at execute start, delivered at ExecDone).
+    pending_exit: Option<i32>,
 }
 
 /// One negotiation-cycle snapshot of pool state — the "OSG's variable
@@ -98,6 +109,10 @@ pub struct RunReport {
     pub completed: usize,
     /// Total evictions observed.
     pub evictions: u64,
+    /// Total hold (012) events observed.
+    pub holds: u64,
+    /// Total non-zero-exit terminations observed.
+    pub exec_failures: u64,
     /// Stash cache hit rate over the run.
     pub cache_hit_rate: f64,
     /// Job-id to job-name mapping (for phase attribution).
@@ -112,7 +127,12 @@ pub struct RunReport {
 impl RunReport {
     /// Convenience: name lookup closure for [`UserLog::jobs_csv`].
     pub fn name_of(&self) -> impl Fn(JobId) -> String + '_ {
-        move |j| self.job_names.get(&j).cloned().unwrap_or_else(|| "?".into())
+        move |j| {
+            self.job_names
+                .get(&j)
+                .cloned()
+                .unwrap_or_else(|| "?".into())
+        }
     }
 }
 
@@ -142,6 +162,12 @@ pub struct Cluster {
     /// completion release the counter correctly).
     origin_users: std::collections::HashSet<JobId>,
     pool_series: Vec<PoolSample>,
+    /// The realised fault schedule (a no-op unless faults are enabled).
+    plan: FaultPlan,
+    /// Submission counts per (owner, job name) — the attempt index.
+    attempt_counts: HashMap<(OwnerId, String), u64>,
+    holds: u64,
+    exec_failures: u64,
 }
 
 impl Cluster {
@@ -153,6 +179,7 @@ impl Cluster {
         } else {
             StashCache::disabled()
         };
+        let plan = FaultPlan::new(config.faults);
         Self {
             config,
             rng: StdRng::seed_from_u64(seed ^ 0x4854_434f_4e44_4f52),
@@ -172,6 +199,10 @@ impl Cluster {
             active_origin: 0,
             origin_users: std::collections::HashSet::new(),
             pool_series: Vec::new(),
+            plan,
+            attempt_counts: HashMap::new(),
+            holds: 0,
+            exec_failures: 0,
         }
     }
 
@@ -203,6 +234,8 @@ impl Cluster {
             makespan: self.log.makespan(),
             completed: self.log.completed_count(),
             evictions: self.evictions,
+            holds: self.holds,
+            exec_failures: self.exec_failures,
             cache_hit_rate: self.cache.hit_rate(),
             log: self.log,
             job_names: self.job_names,
@@ -221,7 +254,8 @@ impl Cluster {
         }
         let interval = self.pool.config().arrival_interval_s();
         let next = exponential(&mut self.rng, interval) as u64;
-        self.queue.push(self.now + next.max(1), Event::MachineArrive);
+        self.queue
+            .push(self.now + next.max(1), Event::MachineArrive);
         self.queue.push(
             self.now + self.config.pool.negotiation_period_s,
             Event::Negotiate,
@@ -230,7 +264,10 @@ impl Cluster {
 
     fn all_jobs_settled(&self) -> bool {
         self.jobs.values().all(|j| {
-            matches!(j.state, JobState::Completed | JobState::Removed)
+            matches!(
+                j.state,
+                JobState::Completed | JobState::Removed | JobState::Failed
+            )
         })
     }
 
@@ -248,6 +285,15 @@ impl Cluster {
         let id = JobId(self.next_job);
         self.next_job += 1;
         self.job_names.insert(id, req.spec.name.clone());
+        let attempt = {
+            let n = self
+                .attempt_counts
+                .entry((req.owner, req.spec.name.clone()))
+                .or_insert(0);
+            let a = *n;
+            *n += 1;
+            a
+        };
         self.jobs.insert(
             id,
             JobRuntime {
@@ -257,6 +303,8 @@ impl Cluster {
                 machine: None,
                 serial: 0,
                 evictions: 0,
+                attempt,
+                pending_exit: None,
             },
         );
         if !self.owner_order.contains(&req.owner) {
@@ -268,9 +316,41 @@ impl Cluster {
     }
 
     fn emit(&mut self, job: JobId, owner: OwnerId, kind: JobEventKind) {
-        let ev = JobEvent { time: self.now, job, owner, kind };
+        self.emit_event(JobEvent::new(self.now, job, owner, kind));
+    }
+
+    fn emit_event(&mut self, ev: JobEvent) {
         self.log.record(ev);
         self.pending_events.push(ev);
+    }
+
+    /// Per-execution-attempt fault salt: distinct across DAGMan retries
+    /// (`attempt`) and across in-queue reruns of the same JobId after an
+    /// eviction or release (`serial`).
+    fn fault_salt(attempt: u64, serial: u64) -> u64 {
+        attempt.wrapping_mul(1_000_003).wrapping_add(serial)
+    }
+
+    /// Put a job on hold: release its slot, emit a 012 event, and
+    /// schedule the automatic release back to Idle.
+    fn hold_job(&mut self, job: JobId, reason: HoldReason) {
+        let Some(j) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        let machine = j.machine.take();
+        j.state = JobState::Held;
+        j.serial += 1;
+        j.pending_exit = None;
+        let serial = j.serial;
+        let owner = j.owner;
+        if let Some(m) = machine {
+            self.pool.release_slot(m);
+        }
+        self.holds += 1;
+        let wait = (self.config.faults.hold_release_s as u64).max(1);
+        self.queue
+            .push(self.now + wait, Event::Release(job, serial));
+        self.emit_event(JobEvent::new(self.now, job, owner, JobEventKind::Held).with_hold(reason));
     }
 
     fn handle(&mut self, ev: Event) {
@@ -281,7 +361,8 @@ impl Cluster {
                     .push(self.now + (life as u64).max(60), Event::MachineDepart(id));
                 let interval = self.pool.config().arrival_interval_s();
                 let next = exponential(&mut self.rng, interval) as u64;
-                self.queue.push(self.now + next.max(1), Event::MachineArrive);
+                self.queue
+                    .push(self.now + next.max(1), Event::MachineArrive);
             }
             Event::MachineDepart(mid) => {
                 if self.pool.remove_machine(mid).is_some() {
@@ -299,46 +380,145 @@ impl Cluster {
                 if self.origin_users.remove(&job) {
                     self.active_origin = self.active_origin.saturating_sub(1);
                 }
-                if let Some(j) = self.jobs.get_mut(&job) {
-                    if j.state == JobState::TransferringInput {
-                        j.state = JobState::Running;
-                        j.serial += 1;
-                        let speed = j
-                            .machine
-                            .and_then(|m| self.pool.machine(m))
-                            .map(|m| m.speed)
-                            .unwrap_or(1.0);
-                        let dur = (j.spec.exec.sample(&mut self.rng) / speed).max(1.0);
-                        let owner = j.owner;
-                        self.queue
-                            .push(self.now + dur as u64, Event::ExecDone(job));
-                        self.emit(job, owner, JobEventKind::ExecuteStarted);
+                let Some(j) = self.jobs.get_mut(&job) else {
+                    return;
+                };
+                if j.state != JobState::TransferringInput {
+                    return;
+                }
+                let salt = Self::fault_salt(j.attempt, j.serial);
+                if self.plan.any_enabled() {
+                    let name = j.spec.name.clone();
+                    if self.plan.stage_in_fails(&name, salt) {
+                        self.hold_job(job, HoldReason::TransferInputError);
+                        return;
+                    }
+                    if let Some(reason) = self.plan.hold(&name, salt) {
+                        self.hold_job(job, reason);
+                        return;
                     }
                 }
+                let j = self.jobs.get_mut(&job).expect("checked above");
+                j.state = JobState::Running;
+                j.serial += 1;
+                let machine = j.machine;
+                let speed = machine
+                    .and_then(|m| self.pool.machine(m))
+                    .map(|m| m.speed)
+                    .unwrap_or(1.0);
+                let mut dur = (j.spec.exec.sample(&mut self.rng) / speed).max(1.0);
+                // A black-hole machine kills the job fast; otherwise the
+                // attempt's fate is drawn from the fault plan.
+                if machine
+                    .map(|m| self.plan.is_black_hole(m.0))
+                    .unwrap_or(false)
+                {
+                    j.pending_exit = Some(EXIT_BLACK_HOLE);
+                    dur = dur.min(BLACK_HOLE_FAIL_S);
+                } else {
+                    j.pending_exit = self.plan.exec_exit(&j.spec.name, salt);
+                }
+                let owner = j.owner;
+                let serial = j.serial;
+                let timeout = j.spec.timeout_s;
+                if timeout > 0.0 && dur > timeout {
+                    // The attempt will not finish in time: the wall-time
+                    // policy fires first (periodic_hold → periodic_remove).
+                    self.queue
+                        .push(self.now + timeout as u64, Event::Timeout(job, serial));
+                } else {
+                    self.queue.push(self.now + dur as u64, Event::ExecDone(job));
+                }
+                self.emit(job, owner, JobEventKind::ExecuteStarted);
             }
             Event::ExecDone(job) => {
-                if let Some(j) = self.jobs.get_mut(&job) {
-                    if j.state == JobState::Running {
-                        j.state = JobState::TransferringOutput;
-                        j.serial += 1;
-                        let dur =
-                            self.cache.stage_out_secs(&j.spec, &self.config.transfer);
-                        self.queue
-                            .push(self.now + (dur as u64).max(1), Event::StageOutDone(job));
-                    }
+                let Some(j) = self.jobs.get_mut(&job) else {
+                    return;
+                };
+                if j.state != JobState::Running {
+                    return;
                 }
+                if let Some(code) = j.pending_exit.take() {
+                    // Failed attempts produce no output to stage back.
+                    j.state = JobState::Failed;
+                    j.serial += 1;
+                    let owner = j.owner;
+                    if let Some(m) = j.machine.take() {
+                        self.pool.release_slot(m);
+                    }
+                    self.exec_failures += 1;
+                    self.emit_event(
+                        JobEvent::new(self.now, job, owner, JobEventKind::Failed).with_exit(code),
+                    );
+                    return;
+                }
+                j.state = JobState::TransferringOutput;
+                j.serial += 1;
+                let dur = self.cache.stage_out_secs(&j.spec, &self.config.transfer);
+                self.queue
+                    .push(self.now + (dur as u64).max(1), Event::StageOutDone(job));
             }
             Event::StageOutDone(job) => {
-                if let Some(j) = self.jobs.get_mut(&job) {
-                    if j.state == JobState::TransferringOutput {
-                        j.state = JobState::Completed;
-                        let owner = j.owner;
-                        if let Some(m) = j.machine.take() {
-                            self.pool.release_slot(m);
-                        }
-                        self.emit(job, owner, JobEventKind::Completed);
+                let Some(j) = self.jobs.get_mut(&job) else {
+                    return;
+                };
+                if j.state != JobState::TransferringOutput {
+                    return;
+                }
+                let salt = Self::fault_salt(j.attempt, j.serial);
+                if self.plan.any_enabled() {
+                    let name = j.spec.name.clone();
+                    if self.plan.stage_out_fails(&name, salt) {
+                        self.hold_job(job, HoldReason::TransferOutputError);
+                        return;
                     }
                 }
+                let j = self.jobs.get_mut(&job).expect("checked above");
+                j.state = JobState::Completed;
+                let owner = j.owner;
+                if let Some(m) = j.machine.take() {
+                    self.pool.release_slot(m);
+                }
+                self.emit_event(
+                    JobEvent::new(self.now, job, owner, JobEventKind::Completed).with_exit(0),
+                );
+            }
+            Event::Release(job, serial) => {
+                let Some(j) = self.jobs.get_mut(&job) else {
+                    return;
+                };
+                if j.state != JobState::Held || j.serial != serial {
+                    return;
+                }
+                j.state = JobState::Idle;
+                j.serial += 1;
+                let owner = j.owner;
+                self.idle.entry(owner).or_default().push_back(job);
+                self.emit(job, owner, JobEventKind::Released);
+            }
+            Event::Timeout(job, serial) => {
+                let Some(j) = self.jobs.get_mut(&job) else {
+                    return;
+                };
+                if j.state != JobState::Running || j.serial != serial {
+                    return;
+                }
+                // periodic_hold fires, then periodic_remove reaps the held
+                // job: the queue sees 012 followed by removal, and DAGMan
+                // decides whether the node retries.
+                j.state = JobState::Removed;
+                j.serial += 1;
+                j.pending_exit = None;
+                let owner = j.owner;
+                if let Some(m) = j.machine.take() {
+                    self.pool.release_slot(m);
+                }
+                self.holds += 1;
+                self.emit_event(
+                    JobEvent::new(self.now, job, owner, JobEventKind::Held)
+                        .with_hold(HoldReason::WallTimeExceeded),
+                );
+                self.emit(job, owner, JobEventKind::Removed);
             }
         }
     }
@@ -416,7 +596,9 @@ impl Cluster {
                 if budget == 0 {
                     break;
                 }
-                let Some(q) = self.idle.get_mut(owner) else { continue };
+                let Some(q) = self.idle.get_mut(owner) else {
+                    continue;
+                };
                 let Some(job) = q.pop_front() else { continue };
                 // Stale entries (evicted jobs re-queued twice, removed
                 // jobs) are skipped.
@@ -436,8 +618,7 @@ impl Cluster {
                     let spec = &self.jobs[&job].spec;
                     (spec.memory_mb, spec.disk_mb)
                 };
-                let Some(slot) = self.pick_slot(&mut free, need_mem, need_disk)
-                else {
+                let Some(slot) = self.pick_slot(&mut free, need_mem, need_disk) else {
                     // Requirements unmatched this cycle: hold the job back.
                     held.entry(*owner).or_default().push(job);
                     progressed = true;
@@ -520,7 +701,12 @@ mod tests {
     impl BagDriver {
         fn new(specs: Vec<JobSpec>) -> Self {
             let total = specs.len();
-            Self { to_submit: specs, completed: 0, total, assigned: Vec::new() }
+            Self {
+                to_submit: specs,
+                completed: 0,
+                total,
+                assigned: Vec::new(),
+            }
         }
     }
 
@@ -532,7 +718,10 @@ mod tests {
                 .count();
             std::mem::take(&mut self.to_submit)
                 .into_iter()
-                .map(|spec| SubmitRequest { owner: OwnerId(0), spec })
+                .map(|spec| SubmitRequest {
+                    owner: OwnerId(0),
+                    spec,
+                })
                 .collect()
         }
 
@@ -560,8 +749,9 @@ mod tests {
 
     #[test]
     fn bag_of_tasks_completes() {
-        let specs: Vec<JobSpec> =
-            (0..40).map(|i| JobSpec::fixed(format!("task.{i}"), 120.0)).collect();
+        let specs: Vec<JobSpec> = (0..40)
+            .map(|i| JobSpec::fixed(format!("task.{i}"), 120.0))
+            .collect();
         let mut driver = BagDriver::new(specs);
         let report = Cluster::new(quick_config(), 1).run(&mut driver);
         assert!(!report.timed_out);
@@ -575,8 +765,9 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let mk = || {
-            let specs: Vec<JobSpec> =
-                (0..25).map(|i| JobSpec::fixed(format!("t.{i}"), 200.0)).collect();
+            let specs: Vec<JobSpec> = (0..25)
+                .map(|i| JobSpec::fixed(format!("t.{i}"), 200.0))
+                .collect();
             let mut d = BagDriver::new(specs);
             Cluster::new(quick_config(), 99).run(&mut d).makespan
         };
@@ -617,8 +808,9 @@ mod tests {
             },
             ..ClusterConfig::with_cache()
         };
-        let specs: Vec<JobSpec> =
-            (0..100).map(|i| JobSpec::fixed(format!("t.{i}"), 300.0)).collect();
+        let specs: Vec<JobSpec> = (0..100)
+            .map(|i| JobSpec::fixed(format!("t.{i}"), 300.0))
+            .collect();
         let mut d = BagDriver::new(specs);
         let report = Cluster::new(cfg, 5).run(&mut d);
         assert_eq!(report.completed, 100);
@@ -642,8 +834,9 @@ mod tests {
             },
             ..ClusterConfig::with_cache()
         };
-        let specs: Vec<JobSpec> =
-            (0..60).map(|i| JobSpec::fixed(format!("t.{i}"), 500.0)).collect();
+        let specs: Vec<JobSpec> = (0..60)
+            .map(|i| JobSpec::fixed(format!("t.{i}"), 500.0))
+            .collect();
         let mut d = BagDriver::new(specs);
         let report = Cluster::new(cfg, 3).run(&mut d);
         assert_eq!(report.completed, 60, "all jobs eventually complete");
@@ -685,7 +878,11 @@ mod tests {
         };
         let mut d = BagDriver::new(specs);
         let report = Cluster::new(cfg, 4).run(&mut d);
-        assert!(report.cache_hit_rate > 0.5, "hit rate {}", report.cache_hit_rate);
+        assert!(
+            report.cache_hit_rate > 0.5,
+            "hit rate {}",
+            report.cache_hit_rate
+        );
     }
 
     #[test]
@@ -737,7 +934,11 @@ mod tests {
             },
             ..ClusterConfig::with_cache()
         };
-        let mut d = TwoOwner { submitted: false, done: 0, first_30: Vec::new() };
+        let mut d = TwoOwner {
+            submitted: false,
+            done: 0,
+            first_30: Vec::new(),
+        };
         let report = Cluster::new(cfg, 8).run(&mut d);
         assert_eq!(report.completed, 80);
         let owner1_share = d.first_30.iter().filter(|o| o.0 == 1).count();
@@ -788,8 +989,9 @@ mod tests {
 
     #[test]
     fn pool_series_records_cycles() {
-        let specs: Vec<JobSpec> =
-            (0..20).map(|i| JobSpec::fixed(format!("t.{i}"), 300.0)).collect();
+        let specs: Vec<JobSpec> = (0..20)
+            .map(|i| JobSpec::fixed(format!("t.{i}"), 300.0))
+            .collect();
         let mut d = BagDriver::new(specs);
         let report = Cluster::new(quick_config(), 2).run(&mut d);
         assert!(!report.pool_series.is_empty());
@@ -802,6 +1004,231 @@ mod tests {
         }
         // At least one cycle saw our jobs running.
         assert!(report.pool_series.iter().any(|s| s.busy_slots > 0));
+    }
+
+    /// Like BagDriver but done when every job reaches *any* terminal
+    /// state (completed, failed, or removed) — what a chaos run needs.
+    struct ChaosBag {
+        to_submit: Vec<JobSpec>,
+        settled: usize,
+        total: usize,
+    }
+
+    impl ChaosBag {
+        fn new(specs: Vec<JobSpec>) -> Self {
+            let total = specs.len();
+            Self {
+                to_submit: specs,
+                settled: 0,
+                total,
+            }
+        }
+    }
+
+    impl WorkloadDriver for ChaosBag {
+        fn poll(&mut self, _now: SimTime, events: &[JobEvent]) -> Vec<SubmitRequest> {
+            self.settled += events
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e.kind,
+                        JobEventKind::Completed | JobEventKind::Failed | JobEventKind::Removed
+                    )
+                })
+                .count();
+            std::mem::take(&mut self.to_submit)
+                .into_iter()
+                .map(|spec| SubmitRequest {
+                    owner: OwnerId(0),
+                    spec,
+                })
+                .collect()
+        }
+
+        fn is_done(&self) -> bool {
+            self.to_submit.is_empty() && self.settled >= self.total
+        }
+    }
+
+    fn stable_config(faults: crate::fault::FaultConfig) -> ClusterConfig {
+        ClusterConfig {
+            pool: PoolConfig {
+                target_slots: 32,
+                glidein_slots: 8,
+                avail_mean: 1.0,
+                avail_sigma: 0.0,
+                glidein_lifetime_s: 1e9,
+                ..Default::default()
+            },
+            faults,
+            ..ClusterConfig::with_cache()
+        }
+    }
+
+    #[test]
+    fn transient_faults_surface_as_failed_events() {
+        let faults = crate::fault::FaultConfig {
+            seed: 11,
+            transient_exit_prob: 0.4,
+            ..Default::default()
+        };
+        let specs: Vec<JobSpec> = (0..40)
+            .map(|i| JobSpec::fixed(format!("t.{i}"), 120.0))
+            .collect();
+        let mut d = ChaosBag::new(specs);
+        let report = Cluster::new(stable_config(faults), 1).run(&mut d);
+        assert!(!report.timed_out);
+        assert!(report.exec_failures > 0, "some attempts must fail");
+        assert!(report.completed > 0, "some attempts must survive");
+        assert_eq!(report.completed as u64 + report.exec_failures, 40);
+        // Every Failed event carries the transient exit code.
+        for e in report.log.events() {
+            if e.kind == JobEventKind::Failed {
+                assert_eq!(e.exit_code, Some(crate::fault::EXIT_TRANSIENT));
+            }
+        }
+    }
+
+    #[test]
+    fn black_hole_pool_kills_everything_fast() {
+        let faults = crate::fault::FaultConfig {
+            seed: 5,
+            black_hole_fraction: 1.0,
+            ..Default::default()
+        };
+        let specs: Vec<JobSpec> = (0..20)
+            .map(|i| JobSpec::fixed(format!("t.{i}"), 3000.0))
+            .collect();
+        let mut d = ChaosBag::new(specs);
+        let report = Cluster::new(stable_config(faults), 2).run(&mut d);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.exec_failures, 20);
+        for e in report.log.events() {
+            if e.kind == JobEventKind::Failed {
+                assert_eq!(e.exit_code, Some(EXIT_BLACK_HOLE));
+            }
+        }
+        // Fail-fast: a 3000 s job dies within BLACK_HOLE_FAIL_S of its
+        // execute start, so the whole run is much shorter than one job.
+        assert!(report.makespan.as_secs() < 3000);
+    }
+
+    #[test]
+    fn held_jobs_are_released_and_eventually_complete() {
+        let faults = crate::fault::FaultConfig {
+            seed: 9,
+            hold_prob: 0.3,
+            hold_release_s: 120.0,
+            ..Default::default()
+        };
+        let specs: Vec<JobSpec> = (0..30)
+            .map(|i| JobSpec::fixed(format!("t.{i}"), 60.0))
+            .collect();
+        let mut d = BagDriver::new(specs);
+        let report = Cluster::new(stable_config(faults), 3).run(&mut d);
+        assert!(!report.timed_out);
+        assert_eq!(report.completed, 30, "holds only delay, never lose, jobs");
+        assert!(report.holds > 0, "p=0.3 over 30 jobs must hold someone");
+        let held = report
+            .log
+            .events()
+            .iter()
+            .filter(|e| e.kind == JobEventKind::Held)
+            .count() as u64;
+        let released = report
+            .log
+            .events()
+            .iter()
+            .filter(|e| e.kind == JobEventKind::Released)
+            .count() as u64;
+        assert_eq!(held, report.holds);
+        assert_eq!(held, released, "every hold is followed by a release");
+        for e in report.log.events() {
+            if e.kind == JobEventKind::Held {
+                assert_eq!(e.hold_reason, Some(HoldReason::PolicyHold));
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_faults_hold_with_transfer_reasons() {
+        let faults = crate::fault::FaultConfig {
+            seed: 21,
+            transfer_fail_prob: 0.25,
+            hold_release_s: 60.0,
+            ..Default::default()
+        };
+        let specs: Vec<JobSpec> = (0..30)
+            .map(|i| JobSpec::fixed(format!("t.{i}"), 60.0))
+            .collect();
+        let mut d = BagDriver::new(specs);
+        let report = Cluster::new(stable_config(faults), 4).run(&mut d);
+        assert_eq!(report.completed, 30);
+        let reasons: Vec<HoldReason> = report
+            .log
+            .events()
+            .iter()
+            .filter_map(|e| e.hold_reason)
+            .collect();
+        assert!(!reasons.is_empty());
+        assert!(reasons.iter().all(|r| matches!(
+            r,
+            HoldReason::TransferInputError | HoldReason::TransferOutputError
+        )));
+    }
+
+    #[test]
+    fn wall_time_limit_holds_then_removes() {
+        let mut spec = JobSpec::fixed("slow.0", 500.0);
+        spec.timeout_s = 60.0;
+        let mut d = ChaosBag::new(vec![spec]);
+        let report = Cluster::new(stable_config(Default::default()), 6).run(&mut d);
+        assert_eq!(report.completed, 0);
+        let kinds: Vec<JobEventKind> = report.log.events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&JobEventKind::Held));
+        assert!(kinds.contains(&JobEventKind::Removed));
+        let held = report
+            .log
+            .events()
+            .iter()
+            .find(|e| e.kind == JobEventKind::Held)
+            .unwrap();
+        assert_eq!(held.hold_reason, Some(HoldReason::WallTimeExceeded));
+        // The limit fires at 60 s of execution, not at the 500 s runtime.
+        let exec_start = report
+            .log
+            .events()
+            .iter()
+            .find(|e| e.kind == JobEventKind::ExecuteStarted)
+            .unwrap()
+            .time;
+        assert_eq!(held.time.since(exec_start), 60);
+    }
+
+    #[test]
+    fn fault_runs_replay_identically() {
+        let mk = || {
+            let faults = crate::fault::FaultConfig {
+                seed: 77,
+                transient_exit_prob: 0.3,
+                hold_prob: 0.1,
+                hold_release_s: 90.0,
+                ..Default::default()
+            };
+            let specs: Vec<JobSpec> = (0..30)
+                .map(|i| JobSpec::fixed(format!("t.{i}"), 100.0))
+                .collect();
+            let mut d = ChaosBag::new(specs);
+            let r = Cluster::new(stable_config(faults), 13).run(&mut d);
+            (
+                r.makespan,
+                r.completed,
+                r.exec_failures,
+                r.holds,
+                r.log.len(),
+            )
+        };
+        assert_eq!(mk(), mk());
     }
 
     #[test]
@@ -817,8 +1244,9 @@ mod tests {
             },
             ..ClusterConfig::with_cache()
         };
-        let specs: Vec<JobSpec> =
-            (0..500).map(|i| JobSpec::fixed(format!("t.{i}"), 4000.0)).collect();
+        let specs: Vec<JobSpec> = (0..500)
+            .map(|i| JobSpec::fixed(format!("t.{i}"), 4000.0))
+            .collect();
         let mut d = BagDriver::new(specs);
         let report = Cluster::new(cfg, 9).run(&mut d);
         assert!(report.timed_out);

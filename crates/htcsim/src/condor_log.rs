@@ -9,16 +9,19 @@
 //! ...
 //! 001 (042.000.000) 01/02 03:14:05 Job executing on host: <ospool>
 //! ...
-//! 005 (042.000.000) 01/02 03:30:00 Job terminated.
+//! 005 (042.000.000) 01/02 03:30:00 Job terminated (return value 0).
 //! ...
 //! ```
 //!
 //! Event codes used (the observable subset): `000` submitted, `001`
-//! executing, `004` evicted, `005` terminated, `009` aborted (removed).
+//! executing, `004` evicted, `005` terminated (with its return value —
+//! a non-zero value distinguishes a failed attempt), `009` aborted
+//! (removed), `012` held (with its hold reason), `013` released.
 //! Matchmaking (`Matched`) has no ULOG representation and is omitted, as
 //! in real HTCondor logs. Timestamps encode simulated time as
 //! `01/DD HH:MM:SS` with day 1 = simulation start.
 
+use crate::fault::HoldReason;
 use crate::job::{JobEvent, JobEventKind, JobId, OwnerId};
 use crate::time::SimTime;
 use crate::userlog::UserLog;
@@ -55,15 +58,36 @@ pub fn is_loggable(kind: JobEventKind) -> bool {
     !matches!(kind, JobEventKind::Matched)
 }
 
-fn code_and_text(kind: JobEventKind) -> Option<(&'static str, &'static str)> {
-    match kind {
-        JobEventKind::Submitted => Some(("000", "Job submitted from host: <sim>")),
-        JobEventKind::ExecuteStarted => {
-            Some(("001", "Job executing on host: <ospool>"))
-        }
-        JobEventKind::Evicted => Some(("004", "Job was evicted.")),
-        JobEventKind::Completed => Some(("005", "Job terminated.")),
-        JobEventKind::Removed => Some(("009", "Job was aborted by the user.")),
+fn code_and_text(ev: &JobEvent) -> Option<(&'static str, String)> {
+    match ev.kind {
+        JobEventKind::Submitted => Some(("000", "Job submitted from host: <sim>".into())),
+        JobEventKind::ExecuteStarted => Some(("001", "Job executing on host: <ospool>".into())),
+        JobEventKind::Evicted => Some(("004", "Job was evicted.".into())),
+        JobEventKind::Completed => Some((
+            "005",
+            format!(
+                "Job terminated (return value {}).",
+                ev.exit_code.unwrap_or(0)
+            ),
+        )),
+        JobEventKind::Failed => Some((
+            "005",
+            format!(
+                "Job terminated (return value {}).",
+                ev.exit_code.unwrap_or(1)
+            ),
+        )),
+        JobEventKind::Removed => Some(("009", "Job was aborted by the user.".into())),
+        JobEventKind::Held => Some((
+            "012",
+            format!(
+                "Job was held. Reason: {}",
+                ev.hold_reason
+                    .map(HoldReason::text)
+                    .unwrap_or("Unspecified")
+            ),
+        )),
+        JobEventKind::Released => Some(("013", "Job was released.".into())),
         JobEventKind::Matched => None,
     }
 }
@@ -74,7 +98,9 @@ fn code_and_text(kind: JobEventKind) -> Option<(&'static str, &'static str)> {
 pub fn to_condor_log(log: &UserLog) -> String {
     let mut out = String::new();
     for ev in log.events() {
-        let Some((code, text)) = code_and_text(ev.kind) else { continue };
+        let Some((code, text)) = code_and_text(ev) else {
+            continue;
+        };
         out.push_str(&format!(
             "{code} ({:03}.{:03}.000) {} {text}\n...\n",
             ev.job.0,
@@ -96,14 +122,6 @@ pub fn parse_condor_log(text: &str) -> Result<UserLog, String> {
         let err = |what: &str| format!("line {}: {what}", lineno + 1);
         // "CODE (JJJ.OOO.000) MM/DD HH:MM:SS text..."
         let (code, rest) = line.split_once(' ').ok_or_else(|| err("missing code"))?;
-        let kind = match code {
-            "000" => JobEventKind::Submitted,
-            "001" => JobEventKind::ExecuteStarted,
-            "004" => JobEventKind::Evicted,
-            "005" => JobEventKind::Completed,
-            "009" => JobEventKind::Removed,
-            other => return Err(err(&format!("unknown event code '{other}'"))),
-        };
         let rest = rest.trim_start();
         if !rest.starts_with('(') {
             return Err(err("missing job id"));
@@ -125,7 +143,43 @@ pub fn parse_condor_log(text: &str) -> Result<UserLog, String> {
             return Err(err("truncated timestamp"));
         }
         let time = parse_time(&after[..14]).map_err(|e| err(&e))?;
-        log.record(JobEvent { time, job: JobId(job), owner: OwnerId(owner), kind });
+        let (job, owner) = (JobId(job), OwnerId(owner));
+        let body = after[14..].trim();
+        let ev = match code {
+            "000" => JobEvent::new(time, job, owner, JobEventKind::Submitted),
+            "001" => JobEvent::new(time, job, owner, JobEventKind::ExecuteStarted),
+            "004" => JobEvent::new(time, job, owner, JobEventKind::Evicted),
+            "005" => {
+                // The return value decides success vs failure.
+                let rv: i32 = body
+                    .find("return value ")
+                    .and_then(|i| {
+                        let tail = &body[i + "return value ".len()..];
+                        let end = tail.find(')').unwrap_or(tail.len());
+                        tail[..end].trim().parse().ok()
+                    })
+                    .ok_or_else(|| err("005 event missing return value"))?;
+                let kind = if rv == 0 {
+                    JobEventKind::Completed
+                } else {
+                    JobEventKind::Failed
+                };
+                JobEvent::new(time, job, owner, kind).with_exit(rv)
+            }
+            "009" => JobEvent::new(time, job, owner, JobEventKind::Removed),
+            "012" => {
+                let mut ev = JobEvent::new(time, job, owner, JobEventKind::Held);
+                if let Some(i) = body.find("Reason: ") {
+                    if let Some(r) = HoldReason::parse(body[i + "Reason: ".len()..].trim()) {
+                        ev = ev.with_hold(r);
+                    }
+                }
+                ev
+            }
+            "013" => JobEvent::new(time, job, owner, JobEventKind::Released),
+            other => return Err(err(&format!("unknown event code '{other}'"))),
+        };
+        log.record(ev);
     }
     Ok(log)
 }
@@ -136,20 +190,21 @@ mod tests {
 
     fn sample_log() -> UserLog {
         let mut log = UserLog::new();
-        let ev = |t: u64, j: u64, o: u32, kind| JobEvent {
-            time: SimTime(t),
-            job: JobId(j),
-            owner: OwnerId(o),
-            kind,
-        };
+        let ev =
+            |t: u64, j: u64, o: u32, kind| JobEvent::new(SimTime(t), JobId(j), OwnerId(o), kind);
         log.record(ev(0, 1, 0, JobEventKind::Submitted));
         log.record(ev(30, 1, 0, JobEventKind::Matched)); // not loggable
         log.record(ev(95, 1, 0, JobEventKind::ExecuteStarted));
         log.record(ev(200, 1, 0, JobEventKind::Evicted));
         log.record(ev(400, 1, 0, JobEventKind::ExecuteStarted));
-        log.record(ev(90_061, 1, 0, JobEventKind::Completed)); // day 2
+        log.record(ev(90_061, 1, 0, JobEventKind::Completed).with_exit(0)); // day 2
         log.record(ev(10, 2, 3, JobEventKind::Submitted));
         log.record(ev(500, 2, 3, JobEventKind::Removed));
+        log.record(ev(20, 3, 0, JobEventKind::Submitted));
+        log.record(ev(50, 3, 0, JobEventKind::Held).with_hold(HoldReason::TransferInputError));
+        log.record(ev(650, 3, 0, JobEventKind::Released));
+        log.record(ev(700, 3, 0, JobEventKind::ExecuteStarted));
+        log.record(ev(900, 3, 0, JobEventKind::Failed).with_exit(2));
         log
     }
 
@@ -158,11 +213,16 @@ mod tests {
         let text = to_condor_log(&sample_log());
         assert!(text.contains("000 (001.000.000) 01/01 00:00:00 Job submitted from host: <sim>"));
         assert!(text.contains("001 (001.000.000) 01/01 00:01:35 Job executing on host: <ospool>"));
-        assert!(text.contains("005 (001.000.000) 01/02 01:01:01 Job terminated."));
+        assert!(text.contains("005 (001.000.000) 01/02 01:01:01 Job terminated (return value 0)."));
         assert!(text.contains("009 (002.003.000)"));
+        assert!(text.contains(
+            "012 (003.000.000) 01/01 00:00:50 Job was held. Reason: Transfer input files failure"
+        ));
+        assert!(text.contains("013 (003.000.000) 01/01 00:10:50 Job was released."));
+        assert!(text.contains("005 (003.000.000) 01/01 00:15:00 Job terminated (return value 2)."));
         // The canonical separator after every event.
         let events = text.matches("\n...\n").count();
-        assert_eq!(events, 7, "7 loggable events, each with a separator");
+        assert_eq!(events, 12, "12 loggable events, each with a separator");
         // Matched never appears.
         assert!(!text.contains("028"));
     }
@@ -189,6 +249,25 @@ mod tests {
     }
 
     #[test]
+    fn exit_codes_and_hold_reasons_roundtrip() {
+        let parsed = parse_condor_log(&to_condor_log(&sample_log())).unwrap();
+        let failed: Vec<&JobEvent> = parsed
+            .events()
+            .iter()
+            .filter(|e| e.kind == JobEventKind::Failed)
+            .collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].exit_code, Some(2));
+        let held: Vec<&JobEvent> = parsed
+            .events()
+            .iter()
+            .filter(|e| e.kind == JobEventKind::Held)
+            .collect();
+        assert_eq!(held.len(), 1);
+        assert_eq!(held[0].hold_reason, Some(HoldReason::TransferInputError));
+    }
+
+    #[test]
     fn timestamps_roundtrip() {
         for t in [0u64, 59, 3600, 86_399, 86_400, 20 * 86_400 + 86_399] {
             let s = format_time(SimTime(t));
@@ -203,6 +282,10 @@ mod tests {
         assert!(parse_condor_log("000 (001.000.000 01/01 00:00:00 x\n").is_err());
         assert!(parse_condor_log("000 (abc.000.000) 01/01 00:00:00 x\n").is_err());
         assert!(parse_condor_log("000 (001.000.000) 01/01\n").is_err());
+        assert!(
+            parse_condor_log("005 (001.000.000) 01/01 00:00:00 Job terminated.\n").is_err(),
+            "005 without a return value is rejected"
+        );
         assert!(parse_time("13/00 00:00:00").is_err());
         assert!(parse_time("01/01 99:xx:00").is_err());
         // Empty input parses to an empty log.
@@ -212,11 +295,19 @@ mod tests {
     #[test]
     fn grep_style_counting_works() {
         // The paper's shell scripts count completions by grepping for the
-        // 005 event code — verify that works on our output.
+        // 005 event code — with exit codes in the log, success vs failure
+        // is the return value.
         let text = to_condor_log(&sample_log());
-        let completions = text.lines().filter(|l| l.starts_with("005 ")).count();
-        assert_eq!(completions, 1);
+        let terminations = text.lines().filter(|l| l.starts_with("005 ")).count();
+        assert_eq!(terminations, 2);
+        let successes = text
+            .lines()
+            .filter(|l| l.contains("return value 0"))
+            .count();
+        assert_eq!(successes, 1);
         let submissions = text.lines().filter(|l| l.starts_with("000 ")).count();
-        assert_eq!(submissions, 2);
+        assert_eq!(submissions, 3);
+        let holds = text.lines().filter(|l| l.starts_with("012 ")).count();
+        assert_eq!(holds, 1);
     }
 }

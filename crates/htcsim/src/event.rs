@@ -23,6 +23,14 @@ pub enum Event {
     ExecDone(JobId),
     /// Output staging finished; the job is complete.
     StageOutDone(JobId),
+    /// A held job's hold period expired; release it back to Idle. The
+    /// `u64` is the job serial at hold time — a stale release (the job
+    /// moved on) is ignored.
+    Release(JobId, u64),
+    /// A running job hit its wall-time limit; hold then remove it. The
+    /// `u64` is the job serial at execute time — stale timeouts (the
+    /// attempt already ended) are ignored.
+    Timeout(JobId, u64),
 }
 
 #[derive(Debug, PartialEq, Eq)]

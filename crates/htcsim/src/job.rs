@@ -1,6 +1,7 @@
 //! Job descriptions and lifecycle records — the simulator's analogue of
 //! HTCondor submit description files and job ClassAds.
 
+use crate::fault::HoldReason;
 use crate::time::SimTime;
 
 /// Identifier of a submitted job, unique within one cluster run
@@ -79,6 +80,10 @@ pub struct JobSpec {
     pub output_mb: f64,
     /// Execution-time model.
     pub exec: ExecModel,
+    /// Allowed wall time in seconds; an execution attempt that would run
+    /// longer is held then removed (HTCondor `periodic_hold` →
+    /// `periodic_remove`). `0.0` disables the limit.
+    pub timeout_s: f64,
 }
 
 impl JobSpec {
@@ -93,6 +98,7 @@ impl JobSpec {
             inputs: Vec::new(),
             output_mb: 10.0,
             exec: ExecModel::Fixed(secs),
+            timeout_s: 0.0,
         }
     }
 
@@ -129,6 +135,11 @@ pub enum JobState {
     Evicted,
     /// Removed from the queue (e.g. bursted away by a policy).
     Removed,
+    /// On hold; will be released back to Idle after the hold period.
+    Held,
+    /// Terminated with a non-zero exit code (terminal for this job;
+    /// whether the *node* retries is DAGMan's decision).
+    Failed,
 }
 
 /// Events reported to workload drivers and recorded in the user log.
@@ -146,6 +157,13 @@ pub enum JobEventKind {
     Completed,
     /// Job was removed from the queue without completing.
     Removed,
+    /// Job terminated with a non-zero exit code (ULOG 005 with a
+    /// non-zero return value).
+    Failed,
+    /// Job was put on hold (ULOG 012).
+    Held,
+    /// Job was released from hold back to the idle queue (ULOG 013).
+    Released,
 }
 
 /// One timestamped job event.
@@ -159,6 +177,37 @@ pub struct JobEvent {
     pub owner: OwnerId,
     /// What happened.
     pub kind: JobEventKind,
+    /// Exit code, for terminated jobs: `Some(0)` on [`JobEventKind::Completed`],
+    /// the failing code on [`JobEventKind::Failed`], `None` elsewhere.
+    pub exit_code: Option<i32>,
+    /// Hold reason, on [`JobEventKind::Held`] events.
+    pub hold_reason: Option<HoldReason>,
+}
+
+impl JobEvent {
+    /// An event with no exit code or hold reason attached.
+    pub fn new(time: SimTime, job: JobId, owner: OwnerId, kind: JobEventKind) -> Self {
+        JobEvent {
+            time,
+            job,
+            owner,
+            kind,
+            exit_code: None,
+            hold_reason: None,
+        }
+    }
+
+    /// Attach an exit code (005 events).
+    pub fn with_exit(mut self, code: i32) -> Self {
+        self.exit_code = Some(code);
+        self
+    }
+
+    /// Attach a hold reason (012 events).
+    pub fn with_hold(mut self, reason: HoldReason) -> Self {
+        self.hold_reason = Some(reason);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -183,7 +232,10 @@ mod tests {
 
     #[test]
     fn lognormal_median_accessor() {
-        let m = ExecModel::LogNormalMedian { median_s: 900.0, sigma: 0.25 };
+        let m = ExecModel::LogNormalMedian {
+            median_s: 900.0,
+            sigma: 0.25,
+        };
         assert_eq!(m.median_s(), 900.0);
         let mut rng = StdRng::seed_from_u64(2);
         let mut xs: Vec<f64> = (0..10_001).map(|_| m.sample(&mut rng)).collect();
@@ -200,10 +252,28 @@ mod tests {
     }
 
     #[test]
+    fn event_builders_attach_metadata() {
+        let base = JobEvent::new(SimTime(5), JobId(1), OwnerId(0), JobEventKind::Completed);
+        assert_eq!(base.exit_code, None);
+        assert_eq!(base.with_exit(0).exit_code, Some(0));
+        let held = JobEvent::new(SimTime(9), JobId(2), OwnerId(0), JobEventKind::Held)
+            .with_hold(HoldReason::PolicyHold);
+        assert_eq!(held.hold_reason, Some(HoldReason::PolicyHold));
+    }
+
+    #[test]
     fn total_input_mb_sums() {
         let mut j = JobSpec::fixed("w", 1.0);
-        j.inputs.push(InputFile { name: "a.npy".into(), size_mb: 100.0, cacheable: true });
-        j.inputs.push(InputFile { name: "b.mseed".into(), size_mb: 900.0, cacheable: true });
+        j.inputs.push(InputFile {
+            name: "a.npy".into(),
+            size_mb: 100.0,
+            cacheable: true,
+        });
+        j.inputs.push(InputFile {
+            name: "b.mseed".into(),
+            size_mb: 900.0,
+            cacheable: true,
+        });
         assert_eq!(j.total_input_mb(), 1000.0);
     }
 }

@@ -12,6 +12,9 @@
 //! * **background contention** — a stochastic available-capacity process
 //!   standing in for the rest of the pool's users ([`pool`]);
 //! * **file staging through a Stash/OSDF-style site cache** ([`transfer`]);
+//! * **deterministic fault injection** — transient/permanent exit codes,
+//!   black-hole machines, transfer failures, holds and wall-time limits
+//!   ([`fault`]), so retry and rescue machinery can be exercised;
 //! * **HTCondor-style user logs** and the statistics the paper's shell
 //!   scripts derive from them ([`userlog`]), exportable as the CSV pair
 //!   the VDC bursting simulator consumes;
@@ -50,6 +53,7 @@ pub mod cluster;
 pub mod condor_log;
 pub mod csvlite;
 pub mod event;
+pub mod fault;
 pub mod job;
 pub mod pool;
 pub mod rand_util;
@@ -61,14 +65,15 @@ pub mod userlog;
 /// Glob import of the most-used types.
 pub mod prelude {
     pub use crate::cluster::{Cluster, ClusterConfig, PoolSample, RunReport, WorkloadDriver};
+    pub use crate::condor_log::{parse_condor_log, to_condor_log};
+    pub use crate::fault::{FaultConfig, FaultPlan, HoldReason};
     pub use crate::job::{
-        ExecModel, InputFile, JobEvent, JobEventKind, JobId, JobSpec, JobState,
-        OwnerId, SubmitRequest,
+        ExecModel, InputFile, JobEvent, JobEventKind, JobId, JobSpec, JobState, OwnerId,
+        SubmitRequest,
     };
     pub use crate::pool::{MachineId, Pool, PoolConfig};
     pub use crate::single::{SingleMachine, SingleRunReport};
     pub use crate::time::SimTime;
     pub use crate::transfer::{SiteId, StashCache, TransferConfig};
-    pub use crate::condor_log::{parse_condor_log, to_condor_log};
     pub use crate::userlog::{JobTimes, UserLog};
 }

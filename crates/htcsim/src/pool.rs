@@ -136,7 +136,11 @@ impl Pool {
         let site = SiteId(rng.gen_range(0..self.config.n_sites));
         let speed = lognormal_median(rng, 1.0, self.config.speed_sigma);
         let big = rng.gen::<f64>() < self.config.big_slot_fraction;
-        let (mem, disk) = if big { (32_768, 32_768) } else { (8_192, 8_192) };
+        let (mem, disk) = if big {
+            (32_768, 32_768)
+        } else {
+            (8_192, 8_192)
+        };
         self.machines.push(Machine {
             id,
             site,
@@ -219,7 +223,16 @@ impl Pool {
             .machines
             .iter()
             .filter(|m| m.free() > 0)
-            .map(|m| (m.id, m.site, m.speed, m.free(), m.slot_memory_mb, m.slot_disk_mb))
+            .map(|m| {
+                (
+                    m.id,
+                    m.site,
+                    m.speed,
+                    m.free(),
+                    m.slot_memory_mb,
+                    m.slot_disk_mb,
+                )
+            })
             .collect();
         v.sort_by_key(|e| e.0);
         v

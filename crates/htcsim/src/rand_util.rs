@@ -79,8 +79,9 @@ mod tests {
     #[test]
     fn lognormal_median_is_median() {
         let mut r = rng();
-        let mut xs: Vec<f64> =
-            (0..20_001).map(|_| lognormal_median(&mut r, 900.0, 0.3)).collect();
+        let mut xs: Vec<f64> = (0..20_001)
+            .map(|_| lognormal_median(&mut r, 900.0, 0.3))
+            .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = xs[xs.len() / 2];
         assert!((med / 900.0 - 1.0).abs() < 0.05, "median {med}");

@@ -20,7 +20,10 @@ pub struct SingleMachine {
 
 impl Default for SingleMachine {
     fn default() -> Self {
-        Self { slots: 1, speed: 1.0 }
+        Self {
+            slots: 1,
+            speed: 1.0,
+        }
     }
 }
 
@@ -72,8 +75,9 @@ mod tests {
     #[test]
     fn serial_runtime_is_sum() {
         let m = SingleMachine::default();
-        let specs: Vec<JobSpec> =
-            (0..10).map(|i| JobSpec::fixed(format!("j{i}"), 100.0)).collect();
+        let specs: Vec<JobSpec> = (0..10)
+            .map(|i| JobSpec::fixed(format!("j{i}"), 100.0))
+            .collect();
         let r = m.run(&specs, 1);
         assert_eq!(r.makespan.as_secs(), 1000);
         assert_eq!(r.jobs, 10);
@@ -82,17 +86,30 @@ mod tests {
 
     #[test]
     fn more_slots_divide_runtime() {
-        let specs: Vec<JobSpec> =
-            (0..12).map(|i| JobSpec::fixed(format!("j{i}"), 100.0)).collect();
-        let serial = SingleMachine { slots: 1, speed: 1.0 }.run(&specs, 1);
-        let quad = SingleMachine { slots: 4, speed: 1.0 }.run(&specs, 1);
+        let specs: Vec<JobSpec> = (0..12)
+            .map(|i| JobSpec::fixed(format!("j{i}"), 100.0))
+            .collect();
+        let serial = SingleMachine {
+            slots: 1,
+            speed: 1.0,
+        }
+        .run(&specs, 1);
+        let quad = SingleMachine {
+            slots: 4,
+            speed: 1.0,
+        }
+        .run(&specs, 1);
         assert_eq!(quad.makespan.as_secs() * 4, serial.makespan.as_secs());
     }
 
     #[test]
     fn speed_scales_runtime() {
         let specs = vec![JobSpec::fixed("j", 100.0)];
-        let slow = SingleMachine { slots: 1, speed: 0.5 }.run(&specs, 1);
+        let slow = SingleMachine {
+            slots: 1,
+            speed: 0.5,
+        }
+        .run(&specs, 1);
         assert_eq!(slow.makespan.as_secs(), 200);
     }
 
@@ -106,7 +123,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one slot")]
     fn zero_slots_panics() {
-        SingleMachine { slots: 0, speed: 1.0 }.run(&[], 1);
+        SingleMachine {
+            slots: 0,
+            speed: 1.0,
+        }
+        .run(&[], 1);
     }
 
     #[test]

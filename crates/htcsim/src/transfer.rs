@@ -64,13 +64,19 @@ pub struct StashCache {
 impl StashCache {
     /// Create an enabled cache.
     pub fn new() -> Self {
-        Self { enabled: true, ..Default::default() }
+        Self {
+            enabled: true,
+            ..Default::default()
+        }
     }
 
     /// Create a disabled cache (every fetch goes to the origin) — the
     /// `ablate_cache` bench baseline.
     pub fn disabled() -> Self {
-        Self { enabled: false, ..Default::default() }
+        Self {
+            enabled: false,
+            ..Default::default()
+        }
     }
 
     /// Whether caching is active.
@@ -102,12 +108,7 @@ impl StashCache {
     /// seconds, updating cache state. Cacheable files fetched at a site
     /// for the first time are pulled from the origin and become cached
     /// there.
-    pub fn stage_in_secs(
-        &mut self,
-        site: SiteId,
-        spec: &JobSpec,
-        cfg: &TransferConfig,
-    ) -> f64 {
+    pub fn stage_in_secs(&mut self, site: SiteId, spec: &JobSpec, cfg: &TransferConfig) -> f64 {
         self.stage_in_secs_contended(site, spec, cfg, 1).0
     }
 
@@ -125,9 +126,8 @@ impl StashCache {
         let mut secs = cfg.setup_latency_s;
         let mut used_origin = false;
         for f in &spec.inputs {
-            let cached = self.enabled
-                && f.cacheable
-                && self.cached.contains(&(site, f.name.clone()));
+            let cached =
+                self.enabled && f.cacheable && self.cached.contains(&(site, f.name.clone()));
             if cached {
                 self.hits += 1;
                 secs += f.size_mb / cfg.cache_mbps;
@@ -157,7 +157,11 @@ mod tests {
 
     fn job_with_input(name: &str, mb: f64, cacheable: bool) -> JobSpec {
         let mut j = JobSpec::fixed("t", 60.0);
-        j.inputs.push(InputFile { name: name.into(), size_mb: mb, cacheable });
+        j.inputs.push(InputFile {
+            name: name.into(),
+            size_mb: mb,
+            cacheable,
+        });
         j
     }
 
@@ -215,7 +219,10 @@ mod tests {
         let mut cache = StashCache::new();
         let cfg = TransferConfig::default();
         let j = JobSpec::fixed("t", 60.0);
-        assert_eq!(cache.stage_in_secs(SiteId(0), &j, &cfg), cfg.setup_latency_s);
+        assert_eq!(
+            cache.stage_in_secs(SiteId(0), &j, &cfg),
+            cfg.setup_latency_s
+        );
     }
 
     #[test]
@@ -272,7 +279,11 @@ mod tests {
         let mut cache = StashCache::new();
         let cfg = TransferConfig::default();
         let mut j = job_with_input("a.npy", 250.0, true);
-        j.inputs.push(InputFile { name: "b.npy".into(), size_mb: 250.0, cacheable: true });
+        j.inputs.push(InputFile {
+            name: "b.npy".into(),
+            size_mb: 250.0,
+            cacheable: true,
+        });
         let t = cache.stage_in_secs(SiteId(0), &j, &cfg);
         assert!((t - (10.0 + 500.0 / 25.0)).abs() < 1e-9);
     }

@@ -27,6 +27,11 @@ pub struct JobTimes {
     pub evictions: u32,
     /// Whether the job was removed without completing.
     pub removed: bool,
+    /// Number of times the job was held (012 events).
+    pub holds: u32,
+    /// Final exit code: `Some(0)` for a completion, the failing code for
+    /// a non-zero termination, `None` if the job never terminated.
+    pub exit_code: Option<i32>,
 }
 
 impl JobTimes {
@@ -96,6 +101,8 @@ impl UserLog {
                             completed: None,
                             evictions: 0,
                             removed: false,
+                            holds: 0,
+                            exit_code: None,
                         },
                     );
                 }
@@ -115,6 +122,7 @@ impl UserLog {
                 JobEventKind::Completed => {
                     if let Some(jt) = map.get_mut(&ev.job) {
                         jt.completed = Some(ev.time);
+                        jt.exit_code = ev.exit_code.or(Some(0));
                     }
                 }
                 JobEventKind::Removed => {
@@ -122,7 +130,17 @@ impl UserLog {
                         jt.removed = true;
                     }
                 }
-                JobEventKind::Matched => {}
+                JobEventKind::Failed => {
+                    if let Some(jt) = map.get_mut(&ev.job) {
+                        jt.exit_code = ev.exit_code;
+                    }
+                }
+                JobEventKind::Held => {
+                    if let Some(jt) = map.get_mut(&ev.job) {
+                        jt.holds += 1;
+                    }
+                }
+                JobEventKind::Matched | JobEventKind::Released => {}
             }
         }
         order.into_iter().filter_map(|id| map.remove(&id)).collect()
@@ -140,7 +158,11 @@ impl UserLog {
     pub fn makespan(&self) -> SimTime {
         // Max rather than last: the cluster records in time order, but the
         // log API stays correct for callers that append out of order.
-        self.events.iter().map(|e| e.time).max().unwrap_or(SimTime::ZERO)
+        self.events
+            .iter()
+            .map(|e| e.time)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Per-second instant throughput ω = completed / elapsed-minutes
@@ -173,7 +195,10 @@ impl UserLog {
                 JobEventKind::ExecuteStarted => {
                     started.insert(e.job, e.time);
                 }
-                JobEventKind::Completed | JobEventKind::Evicted => {
+                JobEventKind::Completed
+                | JobEventKind::Evicted
+                | JobEventKind::Failed
+                | JobEventKind::Held => {
                     if let Some(s) = started.remove(&e.job) {
                         delta[s.as_secs() as usize] += 1;
                         delta[e.time.as_secs() as usize] -= 1;
@@ -196,6 +221,35 @@ impl UserLog {
         out
     }
 
+    /// Goodput/badput split: seconds of execution that led to a
+    /// successful completion vs seconds lost to evictions, failures and
+    /// holds — the "wasted OSG cycles" the paper's discussion attributes
+    /// to the pool's volatility. Time from the last execute start to the
+    /// terminal event counts toward whichever bucket that event selects.
+    pub fn goodput_badput(&self) -> (u64, u64) {
+        let mut started: HashMap<JobId, SimTime> = HashMap::new();
+        let (mut good, mut bad) = (0u64, 0u64);
+        for e in &self.events {
+            match e.kind {
+                JobEventKind::ExecuteStarted => {
+                    started.insert(e.job, e.time);
+                }
+                JobEventKind::Completed => {
+                    if let Some(s) = started.remove(&e.job) {
+                        good += e.time.since(s);
+                    }
+                }
+                JobEventKind::Evicted | JobEventKind::Failed | JobEventKind::Held => {
+                    if let Some(s) = started.remove(&e.job) {
+                        bad += e.time.since(s);
+                    }
+                }
+                _ => {}
+            }
+        }
+        (good, bad)
+    }
+
     /// Export the batch-level CSV the bursting simulator requires:
     /// one row `(submit, execute, terminate)` for the whole DAGMan batch.
     pub fn batch_csv(&self) -> String {
@@ -214,7 +268,11 @@ impl UserLog {
         let term = self.makespan().as_secs();
         csvlite::encode(
             &["submit_s", "execute_s", "terminate_s"],
-            &[vec![submit.to_string(), execute.to_string(), term.to_string()]],
+            &[vec![
+                submit.to_string(),
+                execute.to_string(),
+                term.to_string(),
+            ]],
         )
     }
 
@@ -235,13 +293,24 @@ impl UserLog {
                     jt.owner.0.to_string(),
                     phase,
                     jt.submitted.as_secs().to_string(),
-                    jt.first_execute.map(|t| t.as_secs().to_string()).unwrap_or_default(),
-                    jt.completed.map(|t| t.as_secs().to_string()).unwrap_or_default(),
+                    jt.first_execute
+                        .map(|t| t.as_secs().to_string())
+                        .unwrap_or_default(),
+                    jt.completed
+                        .map(|t| t.as_secs().to_string())
+                        .unwrap_or_default(),
                 ]
             })
             .collect();
         csvlite::encode(
-            &["job", "owner", "phase", "submit_s", "execute_s", "terminate_s"],
+            &[
+                "job",
+                "owner",
+                "phase",
+                "submit_s",
+                "execute_s",
+                "terminate_s",
+            ],
             &rows,
         )
     }
@@ -252,7 +321,7 @@ mod tests {
     use super::*;
 
     fn ev(t: u64, j: u64, kind: JobEventKind) -> JobEvent {
-        JobEvent { time: SimTime(t), job: JobId(j), owner: OwnerId(0), kind }
+        JobEvent::new(SimTime(t), JobId(j), OwnerId(0), kind)
     }
 
     fn sample_log() -> UserLog {
@@ -311,6 +380,40 @@ mod tests {
         log.record(ev(0, 1, JobEventKind::Submitted));
         log.record(ev(99, 1, JobEventKind::Removed));
         assert!(log.job_times()[0].removed);
+    }
+
+    #[test]
+    fn holds_and_exit_codes_tracked() {
+        let mut log = UserLog::new();
+        log.record(ev(0, 1, JobEventKind::Submitted));
+        log.record(ev(10, 1, JobEventKind::Held));
+        log.record(ev(70, 1, JobEventKind::Released));
+        log.record(ev(100, 1, JobEventKind::ExecuteStarted));
+        log.record(ev(160, 1, JobEventKind::Failed).with_exit(2));
+        let jt = &log.job_times()[0];
+        assert_eq!(jt.holds, 1);
+        assert_eq!(jt.exit_code, Some(2));
+        assert!(jt.completed.is_none());
+        // A plain Completed without an explicit code reads as exit 0.
+        let mut ok = UserLog::new();
+        ok.record(ev(0, 1, JobEventKind::Submitted));
+        ok.record(ev(90, 1, JobEventKind::Completed));
+        assert_eq!(ok.job_times()[0].exit_code, Some(0));
+    }
+
+    #[test]
+    fn goodput_badput_split() {
+        let mut log = UserLog::new();
+        log.record(ev(0, 1, JobEventKind::Submitted));
+        log.record(ev(10, 1, JobEventKind::ExecuteStarted));
+        log.record(ev(50, 1, JobEventKind::Evicted)); // 40 s badput
+        log.record(ev(100, 1, JobEventKind::ExecuteStarted));
+        log.record(ev(160, 1, JobEventKind::Completed)); // 60 s goodput
+        log.record(ev(0, 2, JobEventKind::Submitted));
+        log.record(ev(20, 2, JobEventKind::ExecuteStarted));
+        log.record(ev(50, 2, JobEventKind::Failed).with_exit(1)); // 30 s badput
+        assert_eq!(log.goodput_badput(), (60, 70));
+        assert_eq!(UserLog::new().goodput_badput(), (0, 0));
     }
 
     #[test]

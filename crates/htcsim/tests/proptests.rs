@@ -122,17 +122,15 @@ proptest! {
         for (i, (submit, wait, exec)) in jobs.iter().enumerate() {
             let id = JobId(i as u64);
             let owner = OwnerId(0);
-            log.record(JobEvent {
-                time: SimTime(*submit), job: id, owner, kind: JobEventKind::Submitted,
-            });
-            log.record(JobEvent {
-                time: SimTime(submit + wait), job: id, owner,
-                kind: JobEventKind::ExecuteStarted,
-            });
-            log.record(JobEvent {
-                time: SimTime(submit + wait + exec), job: id, owner,
-                kind: JobEventKind::Completed,
-            });
+            log.record(JobEvent::new(
+                SimTime(*submit), id, owner, JobEventKind::Submitted,
+            ));
+            log.record(JobEvent::new(
+                SimTime(submit + wait), id, owner, JobEventKind::ExecuteStarted,
+            ));
+            log.record(JobEvent::new(
+                SimTime(submit + wait + exec), id, owner, JobEventKind::Completed,
+            ));
         }
         prop_assert_eq!(log.completed_count(), jobs.len());
         let thr = log.instant_throughput_series();
@@ -195,6 +193,7 @@ proptest! {
             transfer: Default::default(),
             cache_enabled: true,
             max_evictions_per_job: 0,
+            faults: Default::default(),
         };
         let n = 25;
         let specs: Vec<JobSpec> =

@@ -140,12 +140,12 @@ pub fn simulate_elastic(
         // empty window would burst before OSG has shown what it can do
         // (the elastic analogue of Policy 1's arming rule).
         if window.len() as u64 >= policy.window_s
-            && (t - t0) % policy.control_period_s == 0
+            && (t - t0).is_multiple_of(policy.control_period_s)
         {
             let error = policy.target_jpm - recent_jpm;
             let delta = (policy.gain * error).round() as i64;
-            slots_target = (slots_target as i64 + delta)
-                .clamp(0, policy.max_vdc_slots as i64) as usize;
+            slots_target =
+                (slots_target as i64 + delta).clamp(0, policy.max_vdc_slots as i64) as usize;
         }
 
         // Fill free VDC slots: longest-queued job first, then the last
@@ -183,7 +183,10 @@ pub fn simulate_elastic(
         0.0
     } else {
         let m = windowed_samples.iter().sum::<f64>() / windowed_samples.len() as f64;
-        (windowed_samples.iter().map(|x| (x - m).powi(2)).sum::<f64>()
+        (windowed_samples
+            .iter()
+            .map(|x| (x - m).powi(2))
+            .sum::<f64>()
             / windowed_samples.len() as f64)
             .sqrt()
     };
@@ -206,7 +209,10 @@ pub fn simulate_elastic(
 }
 
 fn active_vdc_count(state: &[State]) -> usize {
-    state.iter().filter(|s| matches!(s, State::Bursted(_))).count()
+    state
+        .iter()
+        .filter(|s| matches!(s, State::Bursted(_)))
+        .count()
 }
 
 /// The next job to burst: the queued OSG job waiting longest, else the
@@ -217,9 +223,7 @@ fn pick_candidate(input: &BatchInput, state: &[State], t: u64) -> Option<usize> 
         .iter()
         .enumerate()
         .filter(|(i, j)| {
-            state[*i] == State::Osg
-                && j.submit_s <= t
-                && j.execute_s.map(|e| e > t).unwrap_or(true)
+            state[*i] == State::Osg && j.submit_s <= t && j.execute_s.map(|e| e > t).unwrap_or(true)
         })
         .min_by_key(|(_, j)| j.submit_s);
     if let Some((i, _)) = queued {
@@ -251,7 +255,11 @@ mod tests {
             .collect();
         let term = jobs.iter().filter_map(|j| j.terminate_s).max().unwrap();
         BatchInput {
-            batch: BatchRecord { submit_s: 0, execute_s: 600, terminate_s: term },
+            batch: BatchRecord {
+                submit_s: 0,
+                execute_s: 600,
+                terminate_s: term,
+            },
             jobs,
         }
     }
@@ -261,7 +269,10 @@ mod tests {
         let input = slow_batch(20);
         let out = simulate_elastic(
             &input,
-            &ElasticPolicy { target_jpm: 0.0, ..Default::default() },
+            &ElasticPolicy {
+                target_jpm: 0.0,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(out.base.bursted_jobs, 0);
@@ -274,7 +285,10 @@ mod tests {
         let input = slow_batch(40);
         let out = simulate_elastic(
             &input,
-            &ElasticPolicy { target_jpm: 30.0, ..Default::default() },
+            &ElasticPolicy {
+                target_jpm: 30.0,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(out.base.bursted_jobs > 0);
@@ -317,12 +331,20 @@ mod tests {
             })
             .collect();
         let input = BatchInput {
-            batch: BatchRecord { submit_s: 0, execute_s: 5, terminate_s: 110 },
+            batch: BatchRecord {
+                submit_s: 0,
+                execute_s: 5,
+                terminate_s: 110,
+            },
             jobs,
         };
         let out = simulate_elastic(
             &input,
-            &ElasticPolicy { target_jpm: 30.0, window_s: 30, ..Default::default() },
+            &ElasticPolicy {
+                target_jpm: 30.0,
+                window_s: 30,
+                ..Default::default()
+            },
         )
         .unwrap();
         // OSG alone delivers ~120 JPM, far above target: no slots needed.
@@ -334,12 +356,18 @@ mod tests {
         let input = slow_batch(5);
         assert!(simulate_elastic(
             &input,
-            &ElasticPolicy { control_period_s: 0, ..Default::default() }
+            &ElasticPolicy {
+                control_period_s: 0,
+                ..Default::default()
+            }
         )
         .is_err());
         assert!(simulate_elastic(
             &input,
-            &ElasticPolicy { window_s: 0, ..Default::default() }
+            &ElasticPolicy {
+                window_s: 0,
+                ..Default::default()
+            }
         )
         .is_err());
     }
@@ -349,26 +377,26 @@ mod tests {
         let input = slow_batch(30);
         let out = simulate_elastic(
             &input,
-            &ElasticPolicy { target_jpm: 10.0, ..Default::default() },
+            &ElasticPolicy {
+                target_jpm: 10.0,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(out.base.total_jobs, 30);
         assert_eq!(out.base.unfinished_jobs, 0);
-        assert!(
-            (out.base.cost_usd - out.base.vdc_minutes * CLOUD_COST_PER_MIN).abs()
-                < 1e-12
-        );
+        assert!((out.base.cost_usd - out.base.vdc_minutes * CLOUD_COST_PER_MIN).abs() < 1e-12);
         // Every bursted waveform job contributes exactly 144 s.
-        assert!(
-            (out.base.vdc_minutes - out.base.bursted_jobs as f64 * 144.0 / 60.0).abs()
-                < 1e-9
-        );
+        assert!((out.base.vdc_minutes - out.base.bursted_jobs as f64 * 144.0 / 60.0).abs() < 1e-9);
     }
 
     #[test]
     fn deterministic() {
         let input = slow_batch(25);
-        let p = ElasticPolicy { target_jpm: 15.0, ..Default::default() };
+        let p = ElasticPolicy {
+            target_jpm: 15.0,
+            ..Default::default()
+        };
         let a = simulate_elastic(&input, &p).unwrap();
         let b = simulate_elastic(&input, &p).unwrap();
         assert_eq!(a.base.instant_series, b.base.instant_series);

@@ -20,7 +20,10 @@ pub struct ThroughputPolicy {
 
 impl Default for ThroughputPolicy {
     fn default() -> Self {
-        Self { probe_secs: 10, threshold_jpm: 34.0 }
+        Self {
+            probe_secs: 10,
+            threshold_jpm: 34.0,
+        }
     }
 }
 
@@ -36,7 +39,10 @@ pub struct QueueTimePolicy {
 
 impl Default for QueueTimePolicy {
     fn default() -> Self {
-        Self { max_queue_secs: 90 * 60, check_secs: 60 }
+        Self {
+            max_queue_secs: 90 * 60,
+            check_secs: 60,
+        }
     }
 }
 
@@ -51,7 +57,10 @@ pub struct SubmissionGapPolicy {
 
 impl Default for SubmissionGapPolicy {
     fn default() -> Self {
-        Self { max_gap_secs: 20 * 60, check_secs: 60 }
+        Self {
+            max_gap_secs: 20 * 60,
+            check_secs: 60,
+        }
     }
 }
 
@@ -76,7 +85,10 @@ impl BurstPolicies {
     /// given probe time, Policy 2 with the given queue limit.
     pub fn paper_sweep(probe_secs: u64, max_queue_mins: u64) -> Self {
         Self {
-            throughput: Some(ThroughputPolicy { probe_secs, threshold_jpm: 34.0 }),
+            throughput: Some(ThroughputPolicy {
+                probe_secs,
+                threshold_jpm: 34.0,
+            }),
             queue_time: Some(QueueTimePolicy {
                 max_queue_secs: max_queue_mins * 60,
                 check_secs: 60,
@@ -93,9 +105,7 @@ impl BurstPolicies {
 
     /// True when no policy is enabled.
     pub fn is_control(&self) -> bool {
-        self.throughput.is_none()
-            && self.queue_time.is_none()
-            && self.submission_gap.is_none()
+        self.throughput.is_none() && self.queue_time.is_none() && self.submission_gap.is_none()
     }
 }
 

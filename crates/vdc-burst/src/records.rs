@@ -100,7 +100,9 @@ impl JobRecord {
                 if s.is_empty() {
                     Ok(None)
                 } else {
-                    s.parse().map(Some).map_err(|_| format!("row {}: bad time '{s}'", n + 2))
+                    s.parse()
+                        .map(Some)
+                        .map_err(|_| format!("row {}: bad time '{s}'", n + 2))
                 }
             };
             out.push(Self {

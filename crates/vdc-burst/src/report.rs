@@ -39,8 +39,16 @@ pub fn format_sweep_table(rows: &[SweepRow]) -> String {
         "batch", "probe", "queue", "AIT(jpm)", "VDC(%)", "runtime", "bursted", "cost($)"
     ));
     for r in rows {
-        let probe = if r.probe_secs == 0 { "ctrl".to_string() } else { r.probe_secs.to_string() };
-        let queue = if r.queue_mins == 0 { "-".to_string() } else { r.queue_mins.to_string() };
+        let probe = if r.probe_secs == 0 {
+            "ctrl".to_string()
+        } else {
+            r.probe_secs.to_string()
+        };
+        let queue = if r.queue_mins == 0 {
+            "-".to_string()
+        } else {
+            r.queue_mins.to_string()
+        };
         out.push_str(&format!(
             "{:<8} {:>6} {:>6} {:>9.1} {:>8.1} {:>8.2}h {:>9} {:>9.2}\n",
             r.batch,
@@ -118,8 +126,18 @@ mod tests {
     #[test]
     fn sweep_table_formats() {
         let rows = vec![
-            SweepRow { batch: "batch1".into(), probe_secs: 0, queue_mins: 0, outcome: outcome() },
-            SweepRow { batch: "batch1".into(), probe_secs: 5, queue_mins: 90, outcome: outcome() },
+            SweepRow {
+                batch: "batch1".into(),
+                probe_secs: 0,
+                queue_mins: 0,
+                outcome: outcome(),
+            },
+            SweepRow {
+                batch: "batch1".into(),
+                probe_secs: 5,
+                queue_mins: 90,
+                outcome: outcome(),
+            },
         ];
         let table = format_sweep_table(&rows);
         assert!(table.contains("ctrl"));

@@ -134,7 +134,7 @@ pub fn simulate(input: &BatchInput, policies: &BurstPolicies) -> Result<BurstOut
                 armed = true;
             }
             if p.probe_secs > 0
-                && elapsed % p.probe_secs == 0
+                && elapsed.is_multiple_of(p.probe_secs)
                 && armed
                 && omega < p.threshold_jpm
                 && can_burst(bursted)
@@ -151,7 +151,7 @@ pub fn simulate(input: &BatchInput, policies: &BurstPolicies) -> Result<BurstOut
 
         // Policy 2: congested queue.
         if let Some(p) = policies.queue_time {
-            if p.check_secs > 0 && elapsed % p.check_secs == 0 {
+            if p.check_secs > 0 && elapsed.is_multiple_of(p.check_secs) {
                 for (i, job) in input.jobs.iter().enumerate() {
                     if !can_burst(bursted) {
                         break;
@@ -172,7 +172,7 @@ pub fn simulate(input: &BatchInput, policies: &BurstPolicies) -> Result<BurstOut
 
         // Policy 3: submission gaps.
         if let Some(p) = policies.submission_gap {
-            if p.check_secs > 0 && elapsed % p.check_secs == 0 && can_burst(bursted) {
+            if p.check_secs > 0 && elapsed.is_multiple_of(p.check_secs) && can_burst(bursted) {
                 let last_sub = input
                     .jobs
                     .iter()
@@ -235,9 +235,7 @@ fn last_unsubmitted(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{
-        BurstPolicies, QueueTimePolicy, SubmissionGapPolicy, ThroughputPolicy,
-    };
+    use crate::policy::{BurstPolicies, QueueTimePolicy, SubmissionGapPolicy, ThroughputPolicy};
     use crate::records::{BatchRecord, JobRecord};
 
     /// A batch of `n` waveform jobs completing one per minute after a slow
@@ -254,7 +252,11 @@ mod tests {
             .collect();
         let term = jobs.iter().filter_map(|j| j.terminate_s).max().unwrap();
         BatchInput {
-            batch: BatchRecord { submit_s: 0, execute_s: 1000, terminate_s: term },
+            batch: BatchRecord {
+                submit_s: 0,
+                execute_s: 1000,
+                terminate_s: term,
+            },
             jobs,
         }
     }
@@ -282,7 +284,10 @@ mod tests {
     fn queue_policy_bursts_long_waiters_and_shortens_runtime() {
         let input = slow_batch(20);
         let policies = BurstPolicies {
-            queue_time: Some(QueueTimePolicy { max_queue_secs: 300, check_secs: 30 }),
+            queue_time: Some(QueueTimePolicy {
+                max_queue_secs: 300,
+                check_secs: 30,
+            }),
             ..Default::default()
         };
         let out = simulate(&input, &policies).unwrap();
@@ -301,7 +306,10 @@ mod tests {
         // must never fire.
         let input = slow_batch(10);
         let policies = BurstPolicies {
-            throughput: Some(ThroughputPolicy { probe_secs: 1, threshold_jpm: 1000.0 }),
+            throughput: Some(ThroughputPolicy {
+                probe_secs: 1,
+                threshold_jpm: 1000.0,
+            }),
             ..Default::default()
         };
         let out = simulate(&input, &policies).unwrap();
@@ -332,11 +340,18 @@ mod tests {
             });
         }
         let input = BatchInput {
-            batch: BatchRecord { submit_s: 0, execute_s: 10, terminate_s: 12_000 },
+            batch: BatchRecord {
+                submit_s: 0,
+                execute_s: 10,
+                terminate_s: 12_000,
+            },
             jobs,
         };
         let policies = BurstPolicies {
-            throughput: Some(ThroughputPolicy { probe_secs: 1, threshold_jpm: 15.0 }),
+            throughput: Some(ThroughputPolicy {
+                probe_secs: 1,
+                threshold_jpm: 15.0,
+            }),
             ..Default::default()
         };
         let out = simulate(&input, &policies).unwrap();
@@ -390,7 +405,11 @@ mod tests {
             terminate_s: Some(6000),
         });
         let input = BatchInput {
-            batch: BatchRecord { submit_s: 0, execute_s: 200, terminate_s: 6000 },
+            batch: BatchRecord {
+                submit_s: 0,
+                execute_s: 200,
+                terminate_s: 6000,
+            },
             jobs,
         };
         let policies = BurstPolicies {
@@ -409,12 +428,19 @@ mod tests {
     fn burst_cap_enforced() {
         let input = slow_batch(40);
         let policies = BurstPolicies {
-            queue_time: Some(QueueTimePolicy { max_queue_secs: 60, check_secs: 10 }),
+            queue_time: Some(QueueTimePolicy {
+                max_queue_secs: 60,
+                check_secs: 10,
+            }),
             max_burst_fraction: Some(0.30),
             ..Default::default()
         };
         let out = simulate(&input, &policies).unwrap();
-        assert!(out.burst_fraction() <= 0.30 + 1e-9, "{}", out.burst_fraction());
+        assert!(
+            out.burst_fraction() <= 0.30 + 1e-9,
+            "{}",
+            out.burst_fraction()
+        );
         assert!(out.bursted_jobs <= 12);
     }
 
@@ -429,15 +455,16 @@ mod tests {
     fn cost_is_minutes_times_rate() {
         let input = slow_batch(20);
         let policies = BurstPolicies {
-            queue_time: Some(QueueTimePolicy { max_queue_secs: 120, check_secs: 10 }),
+            queue_time: Some(QueueTimePolicy {
+                max_queue_secs: 120,
+                check_secs: 10,
+            }),
             ..Default::default()
         };
         let out = simulate(&input, &policies).unwrap();
         assert!((out.cost_usd - out.vdc_minutes * CLOUD_COST_PER_MIN).abs() < 1e-12);
         // Every bursted waveform job costs 144 s of VDC time.
-        assert!(
-            (out.vdc_minutes - out.bursted_jobs as f64 * 144.0 / 60.0).abs() < 1e-9
-        );
+        assert!((out.vdc_minutes - out.bursted_jobs as f64 * 144.0 / 60.0).abs() < 1e-9);
     }
 
     #[test]
@@ -450,14 +477,21 @@ mod tests {
             terminate_s: None,
         }];
         let input = BatchInput {
-            batch: BatchRecord { submit_s: 0, execute_s: 0, terminate_s: 100 },
+            batch: BatchRecord {
+                submit_s: 0,
+                execute_s: 0,
+                terminate_s: 100,
+            },
             jobs,
         };
         let out = simulate(&input, &BurstPolicies::control()).unwrap();
         assert_eq!(out.unfinished_jobs, 1);
         // …but policy 2 rescues it.
         let policies = BurstPolicies {
-            queue_time: Some(QueueTimePolicy { max_queue_secs: 50, check_secs: 10 }),
+            queue_time: Some(QueueTimePolicy {
+                max_queue_secs: 50,
+                check_secs: 10,
+            }),
             ..Default::default()
         };
         let out = simulate(&input, &policies).unwrap();

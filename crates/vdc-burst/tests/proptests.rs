@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use vdc_burst::policy::{
-    BurstPolicies, QueueTimePolicy, SubmissionGapPolicy, ThroughputPolicy,
-};
+use vdc_burst::policy::{BurstPolicies, QueueTimePolicy, SubmissionGapPolicy, ThroughputPolicy};
 use vdc_burst::records::{BatchInput, BatchRecord, JobPhase, JobRecord};
 use vdc_burst::simulator::{simulate, CLOUD_COST_PER_MIN};
 
@@ -22,7 +20,11 @@ fn arb_batch() -> impl Strategy<Value = BatchInput> {
             .enumerate()
             .map(|(i, (submit, wait, exec, is_wave))| JobRecord {
                 job: i as u64,
-                phase: if *is_wave { JobPhase::Waveform } else { JobPhase::Rupture },
+                phase: if *is_wave {
+                    JobPhase::Waveform
+                } else {
+                    JobPhase::Rupture
+                },
                 submit_s: *submit,
                 execute_s: Some(submit + wait),
                 terminate_s: Some(submit + wait + exec),
@@ -32,7 +34,11 @@ fn arb_batch() -> impl Strategy<Value = BatchInput> {
         let execute = jobs.iter().filter_map(|j| j.execute_s).min().unwrap();
         let term = jobs.iter().filter_map(|j| j.terminate_s).max().unwrap();
         BatchInput {
-            batch: BatchRecord { submit_s: submit, execute_s: execute, terminate_s: term },
+            batch: BatchRecord {
+                submit_s: submit,
+                execute_s: execute,
+                terminate_s: term,
+            },
             jobs,
         }
     })

@@ -217,7 +217,10 @@ impl VdcCatalog {
             .get_mut(id.0 as usize)
             .ok_or_else(|| format!("unknown record {id:?}"))?;
         if r.tags.insert(tag.to_string()) {
-            self.tag_index.entry(tag.to_string()).or_default().insert(id);
+            self.tag_index
+                .entry(tag.to_string())
+                .or_default()
+                .insert(id);
         }
         Ok(())
     }
@@ -285,8 +288,15 @@ mod tests {
             .unwrap();
         c.curate(gf).unwrap();
         // An uncurated deposit from another region.
-        c.deposit("run2/waveforms/x.mseed", "waveform", "cascadia", Some(8.0), 10.0, 200)
-            .unwrap();
+        c.deposit(
+            "run2/waveforms/x.mseed",
+            "waveform",
+            "cascadia",
+            Some(8.0),
+            10.0,
+            200,
+        )
+        .unwrap();
         c
     }
 
@@ -346,7 +356,8 @@ mod tests {
         let c = seeded();
         assert_eq!(c.query(&Query::all().tag("eew-training")).len(), 10);
         assert_eq!(
-            c.query(&Query::all().tag("eew-training").tag("validated")).len(),
+            c.query(&Query::all().tag("eew-training").tag("validated"))
+                .len(),
             5
         );
         assert!(c.query(&Query::all().tag("nonexistent")).is_empty());
@@ -375,7 +386,10 @@ mod tests {
         use fdw_core::config::FdwConfig;
         let manifest = ArchiveManifest::for_run(
             "runX",
-            &FdwConfig { n_waveforms: 5, ..Default::default() },
+            &FdwConfig {
+                n_waveforms: 5,
+                ..Default::default()
+            },
         );
         let mut c = VdcCatalog::new();
         let ids = c.deposit_manifest(&manifest, "chile", 1).unwrap();

@@ -96,7 +96,12 @@ impl<'a> DeliveryCache<'a> {
             capacity_mb,
             used_mb: 0.0,
             lru: Vec::new(),
-            stats: DeliveryStats { requests: 0, hits: 0, origin_mb: 0.0, prefetches: 0 },
+            stats: DeliveryStats {
+                requests: 0,
+                hits: 0,
+                origin_mb: 0.0,
+                prefetches: 0,
+            },
         }
     }
 
@@ -252,7 +257,14 @@ mod tests {
     #[test]
     fn transition_model_learns_most_frequent_successor() {
         let mut m = TransitionModel::default();
-        m.train(&[RecordId(0), RecordId(1), RecordId(0), RecordId(1), RecordId(0), RecordId(2)]);
+        m.train(&[
+            RecordId(0),
+            RecordId(1),
+            RecordId(0),
+            RecordId(1),
+            RecordId(0),
+            RecordId(2),
+        ]);
         assert_eq!(m.predict(RecordId(0)), Some(RecordId(1)));
         assert_eq!(m.predict(RecordId(9)), None);
         assert_eq!(m.len(), 2);

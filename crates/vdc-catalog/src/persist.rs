@@ -91,10 +91,14 @@ pub fn from_text(text: &str) -> Result<VdcCatalog, String> {
             .deposit(fields[8], fields[2], fields[3], mw, size_mb, deposited_at)
             .map_err(|e| format!("line {}: {e}", lineno + 2))?;
         for t in &tags {
-            catalog.tag(id, t).map_err(|e| format!("line {}: {e}", lineno + 2))?;
+            catalog
+                .tag(id, t)
+                .map_err(|e| format!("line {}: {e}", lineno + 2))?;
         }
         if state == CurationState::Curated {
-            catalog.curate(id).map_err(|e| format!("line {}: {e}", lineno + 2))?;
+            catalog
+                .curate(id)
+                .map_err(|e| format!("line {}: {e}", lineno + 2))?;
         }
     }
     Ok(catalog)
@@ -136,7 +140,11 @@ mod tests {
                     &format!("run/w{i}.mseed"),
                     "waveform",
                     if i % 2 == 0 { "chile" } else { "cascadia" },
-                    if i < 4 { Some(7.5 + i as f64 * 0.3) } else { None },
+                    if i < 4 {
+                        Some(7.5 + i as f64 * 0.3)
+                    } else {
+                        None
+                    },
                     10.0 + i as f64,
                     1000 + i as u64,
                 )
@@ -191,10 +199,7 @@ mod tests {
             "{HEADER}\n0\tcurated\tgf\tchile\tnotamw\t1\t0\t-\tp\n"
         ))
         .is_err());
-        assert!(from_text(&format!(
-            "{HEADER}\n0\tfrozen\tgf\tchile\t-\t1\t0\t-\tp\n"
-        ))
-        .is_err());
+        assert!(from_text(&format!("{HEADER}\n0\tfrozen\tgf\tchile\t-\t1\t0\t-\tp\n")).is_err());
         // Duplicate paths in the file are rejected by deposit.
         assert!(from_text(&format!(
             "{HEADER}\n0\traw\tgf\tchile\t-\t1\t0\t-\tp\n1\traw\tgf\tchile\t-\t1\t0\t-\tp\n"

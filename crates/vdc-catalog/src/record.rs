@@ -54,7 +54,7 @@ impl DataRecord {
         if self.region.trim().is_empty() {
             return Err(format!("record '{}' has no region", self.path));
         }
-        if !(self.size_mb > 0.0) {
+        if self.size_mb.is_nan() || self.size_mb <= 0.0 {
             return Err(format!("record '{}' has non-positive size", self.path));
         }
         if let Some(mw) = self.mw {

@@ -5,7 +5,10 @@ use proptest::prelude::*;
 use vdc_catalog::prelude::*;
 
 /// Strategy: a list of (kind, region, mw, size, tags) deposits.
-fn arb_deposits() -> impl Strategy<Value = Vec<(String, String, Option<f64>, f64, Vec<String>)>> {
+/// (kind, region, mw, size_mb, tags) for one deposit.
+type Deposit = (String, String, Option<f64>, f64, Vec<String>);
+
+fn arb_deposits() -> impl Strategy<Value = Vec<Deposit>> {
     proptest::collection::vec(
         (
             prop_oneof![
@@ -22,9 +25,7 @@ fn arb_deposits() -> impl Strategy<Value = Vec<(String, String, Option<f64>, f64
     )
 }
 
-fn build(
-    deposits: &[(String, String, Option<f64>, f64, Vec<String>)],
-) -> (VdcCatalog, Vec<RecordId>) {
+fn build(deposits: &[Deposit]) -> (VdcCatalog, Vec<RecordId>) {
     let mut cat = VdcCatalog::new();
     let mut ids = Vec::new();
     for (i, (kind, region, mw, size, tags)) in deposits.iter().enumerate() {

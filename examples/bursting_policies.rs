@@ -4,9 +4,9 @@
 //!
 //! Run with: `cargo run --release --example bursting_policies`
 
+use fakequakes::stations::ChileanInput;
 use fdw_core::prelude::*;
 use fdw_suite::vdc_burst::prelude::*;
-use fakequakes::stations::ChileanInput;
 
 fn main() {
     // Record one 4,000-waveform full-input batch on the simulated pool.
@@ -15,7 +15,10 @@ fn main() {
         station_input: StationInput::Chilean(ChileanInput::Full),
         ..Default::default()
     };
-    println!("recording a {}-job FDW batch on the simulated OSPool...", cfg.total_jobs());
+    println!(
+        "recording a {}-job FDW batch on the simulated OSPool...",
+        cfg.total_jobs()
+    );
     let out = run_fdw(&cfg, osg_cluster_config(), 5).expect("recording run");
 
     // The CSV pair is the simulator's actual input format (§3.1).
@@ -33,14 +36,20 @@ fn main() {
         (
             "policy 1: throughput < 34 JPM, 5 s probe",
             BurstPolicies {
-                throughput: Some(ThroughputPolicy { probe_secs: 5, threshold_jpm: 34.0 }),
+                throughput: Some(ThroughputPolicy {
+                    probe_secs: 5,
+                    threshold_jpm: 34.0,
+                }),
                 ..Default::default()
             },
         ),
         (
             "policy 2: queue > 90 min",
             BurstPolicies {
-                queue_time: Some(QueueTimePolicy { max_queue_secs: 90 * 60, check_secs: 60 }),
+                queue_time: Some(QueueTimePolicy {
+                    max_queue_secs: 90 * 60,
+                    check_secs: 60,
+                }),
                 ..Default::default()
             },
         ),
@@ -57,8 +66,14 @@ fn main() {
         (
             "all three, <=30% bursted",
             BurstPolicies {
-                throughput: Some(ThroughputPolicy { probe_secs: 5, threshold_jpm: 34.0 }),
-                queue_time: Some(QueueTimePolicy { max_queue_secs: 90 * 60, check_secs: 60 }),
+                throughput: Some(ThroughputPolicy {
+                    probe_secs: 5,
+                    threshold_jpm: 34.0,
+                }),
+                queue_time: Some(QueueTimePolicy {
+                    max_queue_secs: 90 * 60,
+                    check_secs: 60,
+                }),
                 submission_gap: Some(SubmissionGapPolicy {
                     max_gap_secs: 20 * 60,
                     check_secs: 60,

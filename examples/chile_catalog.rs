@@ -28,7 +28,9 @@ fn main() {
     std::fs::write(out_dir.join("subfault_distances.npy"), &sub_npy).unwrap();
     std::fs::write(out_dir.join("station_distances.npy"), &sta_npy).unwrap();
     let gf_mseed = artifacts::gf_library_to_mseed(&gfs);
-    gf_mseed.write(&out_dir.join("gf_chile.mseed")).expect("write GF mseed");
+    gf_mseed
+        .write(&out_dir.join("gf_chile.mseed"))
+        .expect("write GF mseed");
     println!(
         "  wrote {} + {} bytes of .npy, {} bytes of .mseed",
         sub_npy.len(),
@@ -42,8 +44,14 @@ fn main() {
         &network,
         Some(matrices),
         Some(gfs),
-        RuptureConfig { mw_range: (7.8, 9.0), ..Default::default() },
-        WaveformConfig { duration_s: 512.0, ..Default::default() },
+        RuptureConfig {
+            mw_range: (7.8, 9.0),
+            ..Default::default()
+        },
+        WaveformConfig {
+            duration_s: 512.0,
+            ..Default::default()
+        },
         8,
         42,
     )
@@ -59,7 +67,10 @@ fn main() {
         file.write(&path).expect("write waveforms");
     }
 
-    println!("\n{:>4} {:>6} {:>8} {:>10} {:>10} {:>9}", "id", "Mw", "patches", "peak slip", "max PGD", "duration");
+    println!(
+        "\n{:>4} {:>6} {:>8} {:>10} {:>10} {:>9}",
+        "id", "Mw", "patches", "peak slip", "max PGD", "duration"
+    );
     for s in catalog.summaries() {
         println!(
             "{:>4} {:>6.2} {:>8} {:>8.1} m {:>8.3} m {:>7.0} s",

@@ -5,9 +5,9 @@
 //!
 //! Run with: `cargo run --release --example concurrent_dagmans`
 
+use fakequakes::stations::ChileanInput;
 use fdw_core::prelude::*;
 use fdw_suite::dagman::monitor::mean_sd;
-use fakequakes::stations::ChileanInput;
 
 const TOTAL: u64 = 8_000;
 
@@ -22,8 +22,8 @@ fn main() {
         "DAGMans", "jobs/DAGMan", "runtime h (mean±sd)", "per-DAG JPM (mean±sd)"
     );
     for n in [1usize, 2, 4, 8] {
-        let out = run_concurrent_fdw(&base, n, TOTAL, osg_cluster_config(), 3)
-            .expect("run completes");
+        let out =
+            run_concurrent_fdw(&base, n, TOTAL, osg_cluster_config(), 3).expect("run completes");
         let rt = mean_sd(&out.runtimes_hours());
         let thpts: Vec<f64> = out
             .throughput_inputs()
@@ -33,12 +33,7 @@ fn main() {
         let tp = mean_sd(&thpts);
         println!(
             "{:>8} {:>16} {:>12.1} ± {:<5.1} {:>14.2} ± {:<5.2}",
-            n,
-            out.stats[0].completed,
-            rt.mean,
-            rt.sd,
-            tp.mean,
-            tp.sd
+            n, out.stats[0].completed, rt.mean, rt.sd, tp.mean, tp.sd
         );
     }
     println!("\nPartitioning work into concurrent DAGMans does not shrink runtime —");

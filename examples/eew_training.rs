@@ -22,17 +22,21 @@ fn main() {
         &network,
         None,
         None,
-        RuptureConfig { mw_range: (7.5, 9.0), ..Default::default() },
-        WaveformConfig { duration_s: 512.0, ..Default::default() },
+        RuptureConfig {
+            mw_range: (7.5, 9.0),
+            ..Default::default()
+        },
+        WaveformConfig {
+            duration_s: 512.0,
+            ..Default::default()
+        },
         48,
         2024,
     )
     .expect("catalog");
 
     // 2. Extract PGD observations and split train/test by event.
-    let obs = fdw_suite::eew::dataset::observations_from_catalog(
-        &catalog, &fault, &network, 0.01,
-    );
+    let obs = fdw_suite::eew::dataset::observations_from_catalog(&catalog, &fault, &network, 0.01);
     println!(
         "extracted {} PGD observations above the 1 cm noise floor",
         obs.len()
@@ -69,14 +73,23 @@ fn main() {
     // 5. The EEW scenario: network median magnitude for fresh events the
     //    model never saw.
     println!("\nnetwork magnitude estimates for 6 fresh events:");
-    println!("{:>8} {:>10} {:>10} {:>8}", "event", "true Mw", "est Mw", "error");
+    println!(
+        "{:>8} {:>10} {:>10} {:>8}",
+        "event", "true Mw", "est Mw", "error"
+    );
     let fresh = generate_catalog(
         &fault,
         &network,
         None,
         None,
-        RuptureConfig { mw_range: (7.6, 8.9), ..Default::default() },
-        WaveformConfig { duration_s: 512.0, ..Default::default() },
+        RuptureConfig {
+            mw_range: (7.6, 8.9),
+            ..Default::default()
+        },
+        WaveformConfig {
+            duration_s: 512.0,
+            ..Default::default()
+        },
         6,
         9_999,
     )

@@ -51,7 +51,12 @@ seed = 7
     );
 
     // 4. The live science path: what each job actually computes.
-    let live_cfg = FdwConfig { n_waveforms: 2, fault_nx: 16, fault_nd: 8, ..cfg };
+    let live_cfg = FdwConfig {
+        n_waveforms: 2,
+        fault_nx: 16,
+        fault_nd: 8,
+        ..cfg
+    };
     let catalog = fdw_core::live::live_full_run(&live_cfg, 256.0).expect("live run");
     println!("\n== live science products (2 scenarios) ==");
     for summary in catalog.summaries() {

@@ -11,7 +11,10 @@ use fdw_suite::vdc_catalog::prelude::*;
 
 fn main() {
     // 1. An FDW run's archive manifest (64 scenarios).
-    let cfg = FdwConfig { n_waveforms: 64, ..Default::default() };
+    let cfg = FdwConfig {
+        n_waveforms: 64,
+        ..Default::default()
+    };
     let manifest = ArchiveManifest::for_run("chile_2026_run1", &cfg);
     println!(
         "FDW run produced {} products ({:.0} MB)",
@@ -29,7 +32,9 @@ fn main() {
         let rec = catalog.record(*id).unwrap().clone();
         if rec.kind == "waveform" {
             // Curators attach the scenario magnitude and training tags.
-            catalog.set_magnitude(*id, 7.5 + (i % 15) as f64 * 0.1).unwrap();
+            catalog
+                .set_magnitude(*id, 7.5 + (i % 15) as f64 * 0.1)
+                .unwrap();
             catalog.tag(*id, "eew-training").unwrap();
             if i % 3 == 0 {
                 catalog.tag(*id, "validated").unwrap();
@@ -39,7 +44,11 @@ fn main() {
     println!("deposited + curated {} records", catalog.len());
 
     // 3. Discovery: what an EEW researcher actually asks for.
-    let q = Query::all().kind("waveform").region("chile").tag("eew-training").mw(8.0, 9.0);
+    let q = Query::all()
+        .kind("waveform")
+        .region("chile")
+        .tag("eew-training")
+        .mw(8.0, 9.0);
     let hits = catalog.query(&q);
     println!(
         "\nquery [waveform, chile, #eew-training, Mw 8.0-9.0]: {} records, {:.0} MB",

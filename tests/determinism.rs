@@ -18,6 +18,7 @@ fn cluster() -> ClusterConfig {
         transfer: Default::default(),
         cache_enabled: true,
         max_evictions_per_job: 0,
+        faults: Default::default(),
     }
 }
 
@@ -28,7 +29,12 @@ fn full_stack_replay_is_bit_identical() {
         let out = run_fdw(&cfg, cluster(), 11).unwrap();
         let jobs_csv = out.report.log.jobs_csv(out.report.name_of());
         let batch_csv = out.report.log.batch_csv();
-        (out.report.makespan, out.report.evictions, batch_csv, jobs_csv)
+        (
+            out.report.makespan,
+            out.report.evictions,
+            batch_csv,
+            jobs_csv,
+        )
     };
     let a = run();
     let b = run();
@@ -64,11 +70,25 @@ fn science_is_seed_stable_across_catalog_sizes() {
         ..Default::default()
     };
     let small = generate_catalog(
-        &fault, &net, None, None, RuptureConfig::default(), wcfg, 2, 9,
+        &fault,
+        &net,
+        None,
+        None,
+        RuptureConfig::default(),
+        wcfg,
+        2,
+        9,
     )
     .unwrap();
     let large = generate_catalog(
-        &fault, &net, None, None, RuptureConfig::default(), wcfg, 6, 9,
+        &fault,
+        &net,
+        None,
+        None,
+        RuptureConfig::default(),
+        wcfg,
+        6,
+        9,
     )
     .unwrap();
     for k in 0..2 {

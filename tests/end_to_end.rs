@@ -22,16 +22,15 @@ fn test_cluster() -> ClusterConfig {
         transfer: Default::default(),
         cache_enabled: true,
         max_evictions_per_job: 0,
+        faults: Default::default(),
     }
 }
 
 #[test]
 fn config_to_bursting_pipeline() {
     // 1. Parse a user config.
-    let cfg = FdwConfig::parse(
-        "station_input = small\nn_waveforms = 128\nseed = 3\n",
-    )
-    .expect("config parses");
+    let cfg = FdwConfig::parse("station_input = small\nn_waveforms = 128\nseed = 3\n")
+        .expect("config parses");
     assert_eq!(cfg.total_jobs(), 8 + 64 + 2);
 
     // 2. Build and sanity-check the DAG.
@@ -72,7 +71,10 @@ fn config_to_bursting_pipeline() {
 
     // 6. An aggressive queue policy bursts something and never loses jobs.
     let policies = BurstPolicies {
-        queue_time: Some(QueueTimePolicy { max_queue_secs: 60, check_secs: 10 }),
+        queue_time: Some(QueueTimePolicy {
+            max_queue_secs: 60,
+            check_secs: 10,
+        }),
         ..Default::default()
     };
     let bursted = simulate(&input, &policies).expect("bursted");
@@ -94,10 +96,12 @@ fn config_to_bursting_pipeline() {
     // 7. The HTCondor-dialect text log round-trips and stays greppable —
     //    the artifact the paper's shell scripts actually parse.
     let condor_text = fdw_suite::htcsim::condor_log::to_condor_log(&out.report.log);
-    let reparsed =
-        fdw_suite::htcsim::condor_log::parse_condor_log(&condor_text).unwrap();
+    let reparsed = fdw_suite::htcsim::condor_log::parse_condor_log(&condor_text).unwrap();
     assert_eq!(reparsed.completed_count(), out.report.completed);
-    let grep_005 = condor_text.lines().filter(|l| l.starts_with("005 ")).count();
+    let grep_005 = condor_text
+        .lines()
+        .filter(|l| l.starts_with("005 "))
+        .count();
     assert_eq!(grep_005 as u64, cfg.total_jobs());
 }
 
@@ -129,13 +133,14 @@ fn concurrent_dagmans_fair_share_shape() {
 
 #[test]
 fn recycled_npy_skips_matrix_job_in_real_run() {
-    let cfg = FdwConfig::parse(
-        "station_input = small\nn_waveforms = 64\nrecycle_npy = true\n",
-    )
-    .unwrap();
+    let cfg =
+        FdwConfig::parse("station_input = small\nn_waveforms = 64\nrecycle_npy = true\n").unwrap();
     let out = run_fdw(&cfg, test_cluster(), 9).unwrap();
     assert!(
-        !out.report.job_names.values().any(|n| n.starts_with("matrix")),
+        !out.report
+            .job_names
+            .values()
+            .any(|n| n.starts_with("matrix")),
         "recycled run must not submit a matrix job"
     );
     assert_eq!(out.stats[0].completed as u64, cfg.total_jobs());

@@ -120,7 +120,8 @@ fn fig7_pipeline_works_for_cascadia_too() {
         vdc.curate(*id).unwrap();
     }
     assert_eq!(
-        vdc.query(&Query::all().region("cascadia").kind("waveform")).len(),
+        vdc.query(&Query::all().region("cascadia").kind("waveform"))
+            .len(),
         6
     );
 }

@@ -52,22 +52,15 @@ fn phase_artifacts_roundtrip_through_files() {
     let bundle = artifacts::gf_library_to_mseed(&gfs);
     bundle.write(&dir.join("gf.mseed")).unwrap();
     let loaded = MseedFile::read(&dir.join("gf.mseed")).unwrap();
-    let gfs2 = artifacts::gf_library_from_mseed(
-        inputs.fault.name(),
-        inputs.network.name(),
-        &loaded,
-    )
-    .unwrap();
+    let gfs2 =
+        artifacts::gf_library_from_mseed(inputs.fault.name(), inputs.network.name(), &loaded)
+            .unwrap();
     assert_eq!(gfs2.n_stations(), 5);
 
     // C-phase with recycled artifacts equals C-phase with fresh ones.
     let scenarios = live::live_rupture_job(&cfg, &inputs, &recycled, 0, 4).unwrap();
-    let fresh =
-        live::live_waveform_job(&cfg, &inputs, &matrices, &gfs, &scenarios, 64.0)
-            .unwrap();
-    let warm =
-        live::live_waveform_job(&cfg, &inputs, &recycled, &gfs2, &scenarios, 64.0)
-            .unwrap();
+    let fresh = live::live_waveform_job(&cfg, &inputs, &matrices, &gfs, &scenarios, 64.0).unwrap();
+    let warm = live::live_waveform_job(&cfg, &inputs, &recycled, &gfs2, &scenarios, 64.0).unwrap();
     for (a, b) in fresh.iter().flatten().zip(warm.iter().flatten()) {
         assert_eq!(a.east_m, b.east_m, "recycling must be bit-exact");
         assert_eq!(a.up_m, b.up_m);
@@ -77,7 +70,10 @@ fn phase_artifacts_roundtrip_through_files() {
 
 #[test]
 fn waveform_products_roundtrip_and_carry_signal() {
-    let cfg = FdwConfig { mw_range: (8.4, 8.4), ..tiny_cfg() };
+    let cfg = FdwConfig {
+        mw_range: (8.4, 8.4),
+        ..tiny_cfg()
+    };
     let catalog = live::live_full_run(&cfg, 256.0).unwrap();
     assert_eq!(catalog.len(), 4);
 
@@ -89,9 +85,7 @@ fn waveform_products_roundtrip_and_carry_signal() {
     let bytes = file.to_bytes().unwrap();
     let loaded = MseedFile::from_bytes(&bytes).unwrap();
     for w in &catalog.waveforms[0] {
-        let back =
-            artifacts::waveform_from_mseed(&loaded, &w.station_code, w.scenario_id)
-                .unwrap();
+        let back = artifacts::waveform_from_mseed(&loaded, &w.station_code, w.scenario_id).unwrap();
         assert_eq!(back.east_m, w.east_m);
     }
 
@@ -110,7 +104,10 @@ fn dag_counts_match_live_work_partition() {
     // The DAG's job count must exactly cover the scenario ids the live
     // path would compute: n_rupture_jobs * ruptures_per_job >= n and the
     // last job handles the remainder.
-    let cfg = FdwConfig { n_waveforms: 7, ..tiny_cfg() };
+    let cfg = FdwConfig {
+        n_waveforms: 7,
+        ..tiny_cfg()
+    };
     let dag = fdw_suite::fdw_core::phases::build_fdw_dag(&cfg).unwrap();
     let rupture_nodes = dag
         .nodes()

@@ -1,0 +1,154 @@
+//! Offline minimal stand-in for the `criterion` benchmark API.
+//!
+//! The build environment has no registry access, so the workspace's
+//! `harness = false` bench targets link against this shim instead. It
+//! preserves the API shape (`Criterion`, groups, `BenchmarkId`,
+//! `b.iter`, the `criterion_group!`/`criterion_main!` macros) and reports
+//! a simple mean wall-clock per iteration — no statistics, outlier
+//! rejection, or HTML reports.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark function.
+const TARGET_BUDGET: Duration = Duration::from_millis(500);
+const MAX_ITERS: u64 = 50;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _parent: self }
+    }
+
+    /// Run a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a prefix (and, upstream, a config).
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark label, optionally `function/parameter` structured.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label of the form `function/parameter`.
+    pub fn new(function: &str, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Passed to the closure under measurement; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `f` repeatedly until the time budget or iteration cap.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up run.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            self.iters += 1;
+            self.elapsed = start.elapsed();
+            if self.elapsed >= TARGET_BUDGET || self.iters >= MAX_ITERS {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &BenchmarkId, mut f: F) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = if b.iters > 0 {
+        b.elapsed / b.iters as u32
+    } else {
+        Duration::ZERO
+    };
+    println!(
+        "  {:<40} {:>12.3?}/iter ({} iters)",
+        id.label, per_iter, b.iters
+    );
+}
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a named runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `fn main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,307 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of proptest its tests actually use: the `proptest!` macro,
+//! `Strategy` with `prop_map`, ranges / `Just` / `any` / tuple / regex-lite
+//! string strategies, `collection::{vec, hash_set}`, `option::of`,
+//! `prop_oneof!`, and the `prop_assert*` macros. Failing inputs are
+//! reported but **not shrunk**; generation is deterministic per test name
+//! so failures reproduce exactly.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`vec`, `hash_set`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// A target size drawn from a range, mirroring proptest's `SizeRange`.
+    pub trait IntoSizeRange {
+        /// Inclusive lower bound and exclusive upper bound.
+        fn bounds(&self) -> (usize, usize);
+    }
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end.max(self.start + 1))
+        }
+    }
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.usize_in(self.lo, self.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy { element, lo, hi }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with a *distinct-element* count
+    /// drawn from `size` (best-effort: bails out if the element domain is
+    /// too small to reach the target).
+    pub struct HashSetStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.usize_in(self.lo, self.hi);
+            let mut out = HashSet::new();
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < 20 * (n + 1) {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// `proptest::collection::hash_set(element, size)`.
+    pub fn hash_set<S: Strategy>(element: S, size: impl IntoSizeRange) -> HashSetStrategy<S> {
+        let (lo, hi) = size.bounds();
+        HashSetStrategy { element, lo, hi }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `None` half the time, `Some` otherwise.
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `proptest::option::of(element)`.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+}
+
+/// The glob-import surface used by test files.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Run the test body over generated inputs.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(8))]   // optional
+///     #[test]
+///     fn name(a in strategy_a, b in strategy_b) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                $(
+                    #[allow(unused_mut)]
+                    let mut $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )+
+                let run = || -> () { $body };
+                let result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(run),
+                );
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest case {}/{} failed in '{}' (no shrinking in \
+                         offline stub)",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// Skip the current case when its precondition does not hold. The offline
+/// stub simply abandons the case (the body runs as a closure per case), so
+/// assumption-heavy tests see fewer effective cases rather than retries.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// `assert_ne!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Uniform choice among several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(
+            a in 0u64..100,
+            b in -5i64..5,
+            pair in (1usize..4, 0.0..1.0f64),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(a < 100);
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((1..4).contains(&pair.0));
+            prop_assert!((0.0..1.0).contains(&pair.1));
+            prop_assert_eq!(flag as u8 <= 1, true);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn collections_strings_oneof(
+            names in crate::collection::vec("[a-z][a-z0-9]{0,8}", 0..20),
+            uniq in crate::collection::hash_set("[a-z]{1,6}", 0..10),
+            pick in prop_oneof![Just(0usize), 1usize..8],
+            opt in crate::option::of(6.0..9.5f64),
+            mapped in (0u8..3).prop_map(|k| k * 10),
+        ) {
+            for n in &names {
+                prop_assert!(!n.is_empty() && n.len() <= 9);
+                prop_assert!(n.chars().next().unwrap().is_ascii_lowercase());
+            }
+            prop_assert!(uniq.len() < 10);
+            for u in &uniq {
+                prop_assert!((1..=6).contains(&u.len()));
+            }
+            prop_assert!(pick < 8);
+            if let Some(mw) = opt {
+                prop_assert!((6.0..9.5).contains(&mw));
+            }
+            prop_assert!(mapped % 10 == 0 && mapped <= 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = crate::collection::vec(0u64..1000, 5..10);
+        let mut r1 = TestRng::for_test("x");
+        let mut r2 = TestRng::for_test("x");
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+}

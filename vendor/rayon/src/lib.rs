@@ -1,0 +1,80 @@
+//! Offline sequential shim for the slice of the `rayon` API this
+//! workspace uses (`into_par_iter` / `par_iter` followed by ordinary
+//! iterator adapters). The build environment has no registry access, so
+//! "parallel" iterators here are plain sequential `std` iterators — the
+//! API shape is preserved, the work-stealing pool is not. Results are
+//! identical because the call sites only use order-preserving adapters
+//! (`map` + `collect`).
+
+/// The rayon prelude: parallel-iterator conversion traits.
+pub mod prelude {
+    /// Owned conversion: `collection.into_par_iter()`.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// Iterator type (sequential in this shim).
+        type Iter: Iterator<Item = Self::Item>;
+        /// Convert into a "parallel" (here: sequential) iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Borrowed conversion: `collection.par_iter()`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element type (a reference).
+        type Item: 'data;
+        /// Iterator type (sequential in this shim).
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterate over `&self` "in parallel" (here: sequentially).
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Item = <&'data C as IntoIterator>::Item;
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn par_map_collect_matches_sequential() {
+        let v: Vec<u64> = (0u64..100).into_par_iter().map(|x| x * x).collect();
+        let s: Vec<u64> = (0u64..100).map(|x| x * x).collect();
+        assert_eq!(v, s);
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled[10], v[10] * 2);
+    }
+
+    #[test]
+    fn par_collect_result_short_circuits() {
+        let r: Result<Vec<u64>, String> = (0u64..10).into_par_iter().map(Ok).collect();
+        assert_eq!(r.unwrap().len(), 10);
+        let e: Result<Vec<u64>, String> = (0u64..10)
+            .into_par_iter()
+            .map(|x| {
+                if x == 3 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert!(e.is_err());
+    }
+}
