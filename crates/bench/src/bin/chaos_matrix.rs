@@ -1,10 +1,18 @@
 //! Chaos-recovery matrix: run a small FDW campaign under every fault
 //! class × intensity, recover through the rescue-DAG round-trip, and
 //! verify the science products are byte-identical to the fault-free
-//! baseline at the same seed. Each cell runs twice to confirm the
-//! campaign itself is deterministic.
+//! baseline at the same seed. Each cell runs twice with full telemetry
+//! and the determinism check compares the *exported artifacts* — the
+//! Chrome traces and registry JSON must match byte for byte, a far
+//! stronger probe than comparing a few scalars.
+//!
+//! Every cell's trace is merged into one master timeline (`pid` = cell
+//! index); set `FDW_OBS_DIR` to write `chaos_matrix.trace.json`,
+//! `chaos_matrix.metrics.json` and the final round's `.dag.metrics`
+//! file. `FDW_SMOKE` shrinks the matrix to one intensity per class.
 
 use fakequakes::stations::ChileanInput;
+use fdw_bench::{smoke, write_obs_artifact};
 use fdw_core::prelude::*;
 
 fn main() {
@@ -30,25 +38,43 @@ fn main() {
         cfg.n_waveforms
     );
 
+    let intensities: &[f64] = if smoke() { &[0.8] } else { &[0.3, 0.8] };
     println!(
         "{:<16} {:>9} {:>7} {:>8} {:>6} {:>9} {:>8} {:>13}",
         "class", "intensity", "rounds", "retries", "holds", "failures", "digest", "deterministic"
     );
+    let master = Obs::enabled();
     let mut all_ok = true;
+    let mut cell = 0u32;
+    let mut last_dag_metrics = String::new();
     for class in FaultClass::ALL {
-        for intensity in [0.3, 0.8] {
-            let run = || {
-                run_chaos_campaign(class, intensity, &cfg, &cluster, 6)
+        for &intensity in intensities {
+            cell += 1;
+            let run = |obs: &Obs| {
+                run_chaos_campaign_with_obs(class, intensity, &cfg, &cluster, 6, obs)
                     .unwrap_or_else(|e| panic!("campaign {}@{intensity}: {e}", class.label()))
             };
-            let a = run();
-            let b = run();
+            let obs_a = Obs::enabled();
+            let obs_b = Obs::enabled();
+            let a = run(&obs_a);
+            let b = run(&obs_b);
             let digest_ok = a.digest == baseline;
+            // Same seed, same faults: the full telemetry must replay
+            // byte-identically, not just the headline counters.
             let deterministic = a.digest == b.digest
                 && a.rounds == b.rounds
                 && a.retries == b.retries
-                && a.holds == b.holds;
+                && a.holds == b.holds
+                && obs_a.chrome_trace() == obs_b.chrome_trace()
+                && obs_a.registry_json() == obs_b.registry_json()
+                && a.round_metrics == b.round_metrics;
             all_ok &= digest_ok && deterministic;
+            master
+                .merge_from(&obs_a, cell)
+                .expect("merge cell telemetry");
+            if let Some(m) = a.round_metrics.last() {
+                last_dag_metrics = m.clone();
+            }
             println!(
                 "{:<16} {:>9.1} {:>7} {:>8} {:>6} {:>9} {:>8} {:>13}",
                 class.label(),
@@ -63,14 +89,43 @@ fn main() {
         }
     }
     println!();
+
+    let trace = master.chrome_trace();
+    let cats = fdw_obs::chrome::categories(&trace);
+    let trace_ok = fdw_obs::json::validate(&trace).is_ok();
+    println!(
+        "merged trace: {} bytes, categories {:?}, valid JSON: {}",
+        trace.len(),
+        cats,
+        if trace_ok { "yes" } else { "NO" }
+    );
+    for want in ["chaos", "dagman", "phase", "pool"] {
+        if !cats.contains(&want.to_string()) {
+            println!("MISSING trace category {want}");
+            all_ok = false;
+        }
+    }
+    all_ok &= trace_ok;
+    if let Some(p) = write_obs_artifact("chaos_matrix.trace.json", &trace) {
+        println!("trace written to {}", p.display());
+    }
+    if let Some(p) = write_obs_artifact("chaos_matrix.metrics.json", &master.registry_json()) {
+        println!("registry written to {}", p.display());
+    }
+    if !last_dag_metrics.is_empty() {
+        if let Some(p) = write_obs_artifact("chaos_matrix.dag.metrics", &last_dag_metrics) {
+            println!("dag metrics written to {}", p.display());
+        }
+    }
+
     if all_ok {
         println!(
-            "every campaign completed with science outputs byte-identical to the \
+            "\nevery campaign completed with science outputs byte-identical to the \
              fault-free run; no artifacts lost to {} fault classes",
             FaultClass::ALL.len()
         );
     } else {
-        println!("DIGEST OR DETERMINISM FAILURE — see rows above");
+        println!("\nDIGEST, DETERMINISM OR TRACE FAILURE — see rows above");
         std::process::exit(1);
     }
 }

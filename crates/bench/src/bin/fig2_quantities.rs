@@ -5,26 +5,43 @@
 //! (121-station) Chilean inputs, three replications each, and prints
 //! average total runtime (hours) and average total throughput
 //! (jobs/minute) with standard deviations — the two panels of Fig. 2.
+//!
+//! Each (input, quantity) point records into the metrics registry under
+//! scope `fig2.<input>.<quantity>`, and the printed cells are read back
+//! from those histograms. `FDW_SMOKE` shrinks the sweep; `FDW_OBS_DIR`
+//! dumps the registry JSON.
 
+use dagman::monitor::MeanSd;
 use fakequakes::stations::ChileanInput;
-use fdw_bench::{pm, REPLICATION_SEEDS};
+use fdw_bench::{pm, smoke, write_obs_artifact, REPLICATION_SEEDS};
 use fdw_core::prelude::*;
 
 /// The paper's quantities, "comparable to past work producing 36,800
 /// synthetic FQs waveforms on a single machine".
 const QUANTITIES: [u64; 6] = [1_024, 2_000, 5_120, 10_000, 24_960, 50_000];
 
+/// CI-smoke sweep: same code path, two small points.
+const SMOKE_QUANTITIES: [u64; 2] = [128, 256];
+
 fn main() {
     let cluster = osg_cluster_config();
+    let quantities: &[u64] = if smoke() {
+        &SMOKE_QUANTITIES
+    } else {
+        &QUANTITIES
+    };
+    let obs = Obs::metrics_only();
     println!("Fig. 2 — increasing earthquake simulation quantities");
     println!("(3 replications per point, eqs. (1)/(2); paper Fig. 2)\n");
-    for (input, label) in [
+    for (input, tag, label) in [
         (
             StationInput::Chilean(ChileanInput::Small),
+            "small",
             "small Chilean input (2 stations)",
         ),
         (
             StationInput::Chilean(ChileanInput::Full),
+            "full",
             "full Chilean input (121 stations)",
         ),
     ] {
@@ -33,20 +50,35 @@ fn main() {
             "{:>10} {:>8} {:>20} {:>20}",
             "waveforms", "jobs", "runtime (h)", "throughput (JPM)"
         );
-        for q in QUANTITIES {
+        for &q in quantities {
             let cfg = FdwConfig {
                 n_waveforms: q,
                 station_input: input,
                 ..Default::default()
             };
+            let scope = format!("fig2.{tag}.{q}");
             let reps =
-                replicate_fdw(&cfg, 1, q, &cluster, &REPLICATION_SEEDS).expect("fig2 run failed");
+                replicate_fdw_with_obs(&cfg, 1, q, &cluster, &REPLICATION_SEEDS, &scope, &obs)
+                    .expect("fig2 run failed");
+            // Spread cells come straight out of the registry; the means
+            // are the eq. (1)/(2) aggregates the run returned.
+            let cell = |which: &str, mean: f64| {
+                let s = obs
+                    .histogram_stats(&format!("fdw.{scope}.{which}"))
+                    .expect("replication histogram");
+                pm(&MeanSd {
+                    mean,
+                    sd: s.sd,
+                    min: s.min,
+                    max: s.max,
+                })
+            };
             println!(
                 "{:>10} {:>8} {:>20} {:>20}",
                 q,
                 cfg.total_jobs(),
-                pm(&reps.runtime_h),
-                pm(&reps.throughput_jpm),
+                cell("runtime_h", reps.runtime_h.mean),
+                cell("throughput_jpm", reps.throughput_jpm.mean),
             );
         }
         println!();
@@ -54,4 +86,8 @@ fn main() {
     println!("Expected shape (paper): runtime grows sublinearly in quantity;");
     println!("small-input throughput rises ~14.6 -> ~185 JPM; full-input ~3.3 -> ~16-19 JPM");
     println!("with a dip at 50,000; throughput SDs larger for the small input.");
+
+    if let Some(p) = write_obs_artifact("fig2_quantities.metrics.json", &obs.registry_json()) {
+        println!("registry dumped to {}", p.display());
+    }
 }

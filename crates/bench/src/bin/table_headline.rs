@@ -7,30 +7,43 @@
 //!   running 50,000 simulations compared to 1,024";
 //! * "we produced, on average, 24,960 in 12.5 hours and 50,000 in under
 //!   35 hours" (vs Lin et al.'s 20+ days for 36,800).
+//!
+//! Every number printed is read back from the `fdw-obs` metrics registry
+//! (`fdw.<scope>.runtime_h` / `fdw.<scope>.throughput_jpm` histograms),
+//! not from ad-hoc accumulators; set `FDW_OBS_DIR` to also dump the full
+//! registry JSON, and `FDW_SMOKE` to run at CI-smoke scale.
 
 use fakequakes::stations::ChileanInput;
-use fdw_bench::REPLICATION_SEEDS;
+use fdw_bench::{smoke_scaled, write_obs_artifact, REPLICATION_SEEDS};
 use fdw_core::prelude::*;
+
+/// Registry-backed mean of a replication histogram.
+fn hist_mean(obs: &Obs, scope: &str, which: &str) -> f64 {
+    obs.histogram_stats(&format!("fdw.{scope}.{which}"))
+        .map_or(0.0, |s| s.mean)
+}
 
 fn main() {
     let cluster = osg_cluster_config();
     let full = StationInput::Chilean(ChileanInput::Full);
+    let obs = Obs::metrics_only();
+    let q1 = smoke_scaled(1_024, 128);
+    let q50 = smoke_scaled(50_000, 512);
+    let q25 = smoke_scaled(24_960, 256);
 
     println!("§6 headline comparisons\n");
 
     // 1,024 full-input waveforms: FDW vs single machine.
     let cfg = FdwConfig {
-        n_waveforms: 1024,
+        n_waveforms: q1,
         station_input: full,
         ..Default::default()
     };
-    let reps = replicate_fdw(&cfg, 1, 1024, &cluster, &REPLICATION_SEEDS).unwrap();
+    replicate_fdw_with_obs(&cfg, 1, q1, &cluster, &REPLICATION_SEEDS, "h1024", &obs).unwrap();
     let aws = aws_baseline(&cfg, 1);
-    let reduction = (1.0 - reps.runtime_h.mean / aws.makespan.as_hours_f64()) * 100.0;
-    println!(
-        "FDW,   1,024 waveforms (full input): {:.2} h (avg of 3)",
-        reps.runtime_h.mean
-    );
+    let fdw_h = hist_mean(&obs, "h1024", "runtime_h");
+    let reduction = (1.0 - fdw_h / aws.makespan.as_hours_f64()) * 100.0;
+    println!("FDW,   {q1} waveforms (full input): {fdw_h:.2} h (avg of 3)");
     println!(
         "AWS baseline (4-slot single machine):  {:.2} h",
         aws.makespan.as_hours_f64()
@@ -38,28 +51,47 @@ fn main() {
     println!("runtime reduction: {reduction:.1}%   (paper: 56.8%)\n");
 
     // Throughput scaling 1,024 -> 50,000 (full input).
-    let t1 = replicate_fdw(&cfg, 1, 1024, &cluster, &REPLICATION_SEEDS).unwrap();
     let cfg50 = FdwConfig {
-        n_waveforms: 50_000,
+        n_waveforms: q50,
         ..cfg.clone()
     };
-    let t50 = replicate_fdw(&cfg50, 1, 50_000, &cluster, &REPLICATION_SEEDS).unwrap();
+    replicate_fdw_with_obs(&cfg50, 1, q50, &cluster, &REPLICATION_SEEDS, "h50k", &obs).unwrap();
+    let jpm1 = hist_mean(&obs, "h1024", "throughput_jpm");
+    let jpm50 = hist_mean(&obs, "h50k", "throughput_jpm");
     println!(
-        "throughput, full input: {:.1} JPM at 1,024 -> {:.1} JPM at 50,000 ({:.1}x; paper ~5x)\n",
-        t1.throughput_jpm.mean,
-        t50.throughput_jpm.mean,
-        t50.throughput_jpm.mean / t1.throughput_jpm.mean
+        "throughput, full input: {:.1} JPM at {} -> {:.1} JPM at {} ({:.1}x; paper ~5x)\n",
+        jpm1,
+        q1,
+        jpm50,
+        q50,
+        jpm50 / jpm1
     );
 
     // Large-batch wall times vs Lin et al.
     let cfg24960 = FdwConfig {
-        n_waveforms: 24_960,
+        n_waveforms: q25,
         ..cfg.clone()
     };
-    let t24960 = replicate_fdw(&cfg24960, 1, 24_960, &cluster, &REPLICATION_SEEDS).unwrap();
+    replicate_fdw_with_obs(
+        &cfg24960,
+        1,
+        q25,
+        &cluster,
+        &REPLICATION_SEEDS,
+        "h25k",
+        &obs,
+    )
+    .unwrap();
     println!(
-        "24,960 waveforms: {:.1} h (paper: 12.5 h);  50,000: {:.1} h (paper: < 35 h)",
-        t24960.runtime_h.mean, t50.runtime_h.mean
+        "{} waveforms: {:.1} h (paper: 12.5 h);  {}: {:.1} h (paper: < 35 h)",
+        q25,
+        hist_mean(&obs, "h25k", "runtime_h"),
+        q50,
+        hist_mean(&obs, "h50k", "runtime_h"),
     );
     println!("reference point: Lin et al. produced 36,800 on one machine in 20+ days (480+ h)");
+
+    if let Some(p) = write_obs_artifact("table_headline.metrics.json", &obs.registry_json()) {
+        println!("\nregistry dumped to {}", p.display());
+    }
 }

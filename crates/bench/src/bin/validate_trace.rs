@@ -1,0 +1,70 @@
+//! Validate exported telemetry artifacts: each argument must parse as
+//! JSON (via the dependency-free `fdw_obs::json` validator); files
+//! containing Chrome trace events additionally report their span
+//! categories, and `--min-cats N` enforces a lower bound on how many
+//! distinct categories a trace carries. The CI smoke stage runs this
+//! over everything the bench binaries dropped into `FDW_OBS_DIR`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut min_cats = 0usize;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--min-cats" {
+            let n = args.next().and_then(|v| v.parse().ok());
+            match n {
+                Some(n) => min_cats = n,
+                None => {
+                    eprintln!("--min-cats needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            files.push(a);
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: validate_trace [--min-cats N] <file>...");
+        return ExitCode::FAILURE;
+    }
+
+    let mut ok = true;
+    for f in &files {
+        let content = match std::fs::read_to_string(f) {
+            Ok(c) => c,
+            Err(e) => {
+                println!("{f}: UNREADABLE ({e})");
+                ok = false;
+                continue;
+            }
+        };
+        match fdw_obs::json::validate(&content) {
+            Ok(()) => {
+                if content.contains("\"traceEvents\"") {
+                    let cats = fdw_obs::chrome::categories(&content);
+                    let enough = cats.len() >= min_cats;
+                    println!(
+                        "{f}: valid JSON, {} events, categories {:?}{}",
+                        content.matches("\"ph\":").count(),
+                        cats,
+                        if enough { "" } else { " — TOO FEW" }
+                    );
+                    ok &= enough;
+                } else {
+                    println!("{f}: valid JSON");
+                }
+            }
+            Err(pos) => {
+                println!("{f}: INVALID JSON at byte {pos}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -26,11 +26,53 @@
 
 #![warn(missing_docs)]
 
+use std::path::PathBuf;
+
 use dagman::monitor::MeanSd;
 
 /// The three replication seeds used throughout, mirroring the paper's
 /// three runs per configuration.
 pub const REPLICATION_SEEDS: [u64; 3] = [1, 2, 3];
+
+/// True when `FDW_SMOKE` is set (non-empty): binaries shrink their
+/// workloads to CI-smoke scale while exercising the same code paths.
+pub fn smoke() -> bool {
+    std::env::var("FDW_SMOKE").is_ok_and(|v| !v.is_empty())
+}
+
+/// Pick `full` normally, `reduced` under `FDW_SMOKE`.
+pub fn smoke_scaled(full: u64, reduced: u64) -> u64 {
+    if smoke() {
+        reduced
+    } else {
+        full
+    }
+}
+
+/// Telemetry output directory (`FDW_OBS_DIR`), if requested.
+pub fn obs_dir() -> Option<PathBuf> {
+    std::env::var_os("FDW_OBS_DIR")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Write a telemetry artifact into `FDW_OBS_DIR` (no-op when unset).
+/// Returns the path written, so binaries can report it.
+pub fn write_obs_artifact(name: &str, content: &str) -> Option<PathBuf> {
+    let dir = obs_dir()?;
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("FDW_OBS_DIR {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(name);
+    match std::fs::write(&path, content) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("writing {}: {e}", path.display());
+            None
+        }
+    }
+}
 
 /// Render a `mean ± sd` cell.
 pub fn pm(m: &MeanSd) -> String {

@@ -13,7 +13,9 @@
 use std::collections::HashSet;
 
 use dagman::driver::Dagman;
+use dagman::monitor::{dag_metrics, per_dagman_stats};
 use dagman::rescue::{parse_rescue, rescue_file, resume};
+use fdw_obs::Obs;
 use htcsim::cluster::{Cluster, ClusterConfig};
 use htcsim::fault::FaultConfig;
 use htcsim::job::OwnerId;
@@ -101,6 +103,13 @@ pub struct ChaosReport {
     pub first_round_failures: usize,
     /// FNV-1a digest of the live science products of every node.
     pub digest: u64,
+    /// Rescue-DAG files written between rounds (empty when round one
+    /// completed cleanly).
+    pub rescue_files: Vec<String>,
+    /// One `.dag.metrics` JSON document per round, written alongside the
+    /// rescue file of that round (the last entry covers the finishing
+    /// round, which needs no rescue).
+    pub round_metrics: Vec<String>,
 }
 
 /// A small, fully available pool: campaigns finish in seconds and the
@@ -129,18 +138,53 @@ pub fn run_chaos_campaign(
     cluster_cfg: &ClusterConfig,
     max_rounds: u32,
 ) -> Result<ChaosReport, String> {
+    run_chaos_campaign_with_obs(
+        class,
+        intensity,
+        base_cfg,
+        cluster_cfg,
+        max_rounds,
+        &Obs::metrics_only(),
+    )
+}
+
+/// [`run_chaos_campaign`] with a telemetry handle. Each round runs on its
+/// own trace process lane (`pid` = round number) with timestamps shifted
+/// so the rounds tile one continuous timeline; a `chaos`-category span
+/// covers every round and a `rescue` instant marks each round-trip. When
+/// the handle is enabled, the reported retry/hold totals are the
+/// campaign's *deltas* of the `dagman.retries`/`dagman.holds` registry
+/// counters — the registry is the system of record, and the DAGMan's own
+/// tallies are reconciled against it in tests. Campaigns sharing one
+/// sink must run sequentially for the deltas to be attributable.
+pub fn run_chaos_campaign_with_obs(
+    class: FaultClass,
+    intensity: f64,
+    base_cfg: &FdwConfig,
+    cluster_cfg: &ClusterConfig,
+    max_rounds: u32,
+    obs: &Obs,
+) -> Result<ChaosReport, String> {
     let mut cfg = base_cfg.clone();
     class.apply(intensity, &mut cfg);
     let total = cfg.total_jobs() as usize;
+
+    let retries0 = obs.counter("dagman.retries");
+    let holds0 = obs.counter("dagman.holds");
+    obs.inc("chaos.campaigns", 1);
 
     let mut dm = Dagman::new(build_fdw_dag(&cfg)?, OwnerId(0));
     let mut faulty_cluster = cluster_cfg.clone();
     faulty_cluster.faults = cfg.fault;
 
     let mut rounds = 0u32;
-    let mut retries = 0u64;
-    let mut holds = 0u64;
+    let mut dm_retries = 0u64;
+    let mut dm_holds = 0u64;
     let mut first_round_failures = 0usize;
+    let mut rescue_files: Vec<String> = Vec::new();
+    let mut round_metrics: Vec<String> = Vec::new();
+    // Cumulative offset so round N+1's trace starts where round N ended.
+    let mut clock_s = 0u64;
     loop {
         rounds += 1;
         if rounds > max_rounds {
@@ -156,24 +200,45 @@ pub fn run_chaos_campaign(
         } else {
             cluster_cfg.clone()
         };
-        let report = Cluster::new(cluster, cfg.seed.wrapping_add(rounds as u64)).run(&mut dm);
-        retries += dm.retries();
-        holds += dm.holds();
+        let round_obs = obs.scoped(rounds, clock_s);
+        dm = dm.with_obs(round_obs.clone());
+        let report = Cluster::new(cluster, cfg.seed.wrapping_add(rounds as u64))
+            .with_obs(round_obs.clone())
+            .run(&mut dm);
+        dm_retries += dm.retries();
+        dm_holds += dm.holds();
+        obs.inc("chaos.rounds", 1);
+        let makespan_s = report.makespan.as_secs();
+        round_obs.span("chaos", &format!("round:{rounds}"), 0, 0, makespan_s);
+        crate::workflow::record_phase_spans(&round_obs, &report, std::slice::from_ref(&dm));
         if report.timed_out {
             return Err(format!(
                 "campaign {}@{intensity} hit the simulation time cap",
                 class.label()
             ));
         }
-        if dm.completed() == total {
+        let finished = dm.completed() == total;
+        // Real DAGMan ships a .dag.metrics file at every DAG exit;
+        // rescue_dag_number counts the rescue generation this exit wrote.
+        let rescue_number = rescue_files.len() as u32 + u32::from(!finished);
+        let stats = per_dagman_stats(&report);
+        if let Some(s) = stats.iter().find(|s| s.owner == dm.owner()) {
+            round_metrics.push(dag_metrics(&dm, s, rescue_number).render());
+        }
+        clock_s += makespan_s;
+        if finished {
             break;
         }
         if rounds == 1 {
             first_round_failures = dm.failed_nodes().len();
         }
+        obs.inc("chaos.rescues", 1);
+        round_obs.instant("chaos", "rescue", 0, makespan_s);
         // Rescue round-trip: serialise, parse back, resume on a repaired
         // configuration (no faults, no walltime limit).
-        let done = parse_rescue(&rescue_file(&dm))?;
+        let rescue = rescue_file(&dm);
+        let done = parse_rescue(&rescue)?;
+        rescue_files.push(rescue);
         let repaired = FdwConfig {
             fault: FaultConfig::default(),
             job_timeout_s: 0,
@@ -182,6 +247,14 @@ pub fn run_chaos_campaign(
         dm = resume(build_fdw_dag(&repaired)?, &done, OwnerId(0))?;
     }
 
+    let (retries, holds) = if obs.is_enabled() {
+        (
+            obs.counter("dagman.retries") - retries0,
+            obs.counter("dagman.holds") - holds0,
+        )
+    } else {
+        (dm_retries, dm_holds)
+    };
     let done: HashSet<String> = dm.done_nodes().iter().map(|s| s.to_string()).collect();
     let digest = science_digest(base_cfg, &done)?;
     Ok(ChaosReport {
@@ -192,6 +265,8 @@ pub fn run_chaos_campaign(
         holds,
         first_round_failures,
         digest,
+        rescue_files,
+        round_metrics,
     })
 }
 
@@ -310,6 +385,61 @@ mod tests {
         assert!(rep.rounds >= 2, "permanent faults require a rescue round");
         assert!(rep.first_round_failures > 0);
         assert_eq!(rep.digest, baseline);
+        // One rescue per non-final round, one metrics document per round;
+        // failing rounds exit 1, the finishing round exits 0.
+        assert_eq!(rep.rescue_files.len(), rep.rounds as usize - 1);
+        assert_eq!(rep.round_metrics.len(), rep.rounds as usize);
+        for doc in &rep.round_metrics {
+            fdw_obs::json::validate(doc).unwrap();
+        }
+        assert!(rep.round_metrics[0].contains("\"exitcode\":1"));
+        assert!(rep.round_metrics[0].contains("\"rescue_dag_number\":1"));
+        assert!(rep.round_metrics.last().unwrap().contains("\"exitcode\":0"));
+    }
+
+    #[test]
+    fn chaos_telemetry_reconciles_with_dagman_tallies() {
+        let cfg = tiny_cfg();
+        let obs = Obs::enabled();
+        let rep = run_chaos_campaign_with_obs(
+            FaultClass::TransferFail,
+            0.8,
+            &cfg,
+            &chaos_cluster_config(),
+            4,
+            &obs,
+        )
+        .unwrap();
+        // Registry deltas (the enabled path) must equal the DAGMan's own
+        // tallies (the disabled-handle fallback) on the same campaign.
+        let plain = run_chaos_campaign_with_obs(
+            FaultClass::TransferFail,
+            0.8,
+            &cfg,
+            &chaos_cluster_config(),
+            4,
+            &Obs::disabled(),
+        )
+        .unwrap();
+        assert_eq!(rep.retries, plain.retries);
+        assert_eq!(rep.holds, plain.holds);
+        assert_eq!(rep.digest, plain.digest);
+        assert!(rep.holds > 0, "transfer faults at 0.8 must hold jobs");
+        assert_eq!(obs.counter("dagman.holds"), rep.holds);
+        assert_eq!(obs.counter("chaos.rounds"), rep.rounds as u64);
+        assert_eq!(obs.counter("chaos.campaigns"), 1);
+        assert_eq!(obs.counter("chaos.rescues"), rep.rescue_files.len() as u64);
+        let trace = obs.chrome_trace();
+        fdw_obs::json::validate(&trace).unwrap();
+        let cats = fdw_obs::chrome::categories(&trace);
+        for want in ["chaos", "dagman", "phase", "pool"] {
+            assert!(cats.contains(&want.to_string()), "missing {want}: {cats:?}");
+        }
+        assert!(trace.contains("\"name\":\"round:1\""));
+        // Rounds tile one timeline: round 2's lane is pid 2.
+        if rep.rounds >= 2 {
+            assert!(trace.contains("\"pid\":2"));
+        }
     }
 
     #[test]

@@ -48,7 +48,8 @@ pub mod workflow;
 pub mod prelude {
     pub use crate::archive::{ArchiveEntry, ArchiveManifest};
     pub use crate::chaos::{
-        baseline_digest, chaos_cluster_config, run_chaos_campaign, ChaosReport, FaultClass,
+        baseline_digest, chaos_cluster_config, run_chaos_campaign, run_chaos_campaign_with_obs,
+        ChaosReport, FaultClass,
     };
     pub use crate::config::{FdwConfig, StationInput};
     pub use crate::phases::{build_fdw_dag, split_waveforms};
@@ -57,7 +58,8 @@ pub mod prelude {
     };
     pub use crate::submit::{parse_submit_file, to_submit_file, workflow_files};
     pub use crate::workflow::{
-        aws_baseline, osg_cluster_config, replicate_fdw, run_concurrent_fdw, run_fdw, FdwOutcome,
-        ReplicatedStats,
+        aws_baseline, osg_cluster_config, replicate_fdw, replicate_fdw_with_obs,
+        run_concurrent_fdw, run_concurrent_fdw_with_obs, run_fdw, FdwOutcome, ReplicatedStats,
     };
+    pub use fdw_obs::Obs;
 }

@@ -2,8 +2,11 @@
 //! OSPool, gather the paper's statistics, and run the single-machine AWS
 //! baseline.
 
+use std::collections::BTreeMap;
+
 use dagman::driver::MultiDagman;
-use dagman::monitor::{mean_sd, per_dagman_stats, DagmanStats, MeanSd};
+use dagman::monitor::{dag_metrics, mean_sd, per_dagman_stats, DagmanStats, MeanSd};
+use fdw_obs::Obs;
 use htcsim::cluster::{Cluster, ClusterConfig, RunReport};
 use htcsim::job::JobSpec;
 use htcsim::pool::PoolConfig;
@@ -48,6 +51,9 @@ pub struct FdwOutcome {
     pub report: RunReport,
     /// Per-DAGMan statistics, ordered by owner id.
     pub stats: Vec<DagmanStats>,
+    /// Rendered `*.dag.metrics` JSON documents, one per DAGMan in owner
+    /// order, reconciled against [`FdwOutcome::stats`].
+    pub dag_metrics: Vec<String>,
 }
 
 impl FdwOutcome {
@@ -81,8 +87,30 @@ pub fn run_concurrent_fdw(
     base_cfg: &FdwConfig,
     n_dagmans: usize,
     total_waveforms: u64,
+    cluster_cfg: ClusterConfig,
+    seed: u64,
+) -> Result<FdwOutcome, String> {
+    run_concurrent_fdw_with_obs(
+        base_cfg,
+        n_dagmans,
+        total_waveforms,
+        cluster_cfg,
+        seed,
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_concurrent_fdw`] with a telemetry handle threaded through the
+/// cluster and every DAGMan. Per-phase spans land in trace category
+/// `phase` (one track per owner), pool/transfer metrics under `pool.*`
+/// and `xfer.*`, DAG engine metrics under `dagman.*`.
+pub fn run_concurrent_fdw_with_obs(
+    base_cfg: &FdwConfig,
+    n_dagmans: usize,
+    total_waveforms: u64,
     mut cluster_cfg: ClusterConfig,
     seed: u64,
+    obs: &Obs,
 ) -> Result<FdwOutcome, String> {
     if n_dagmans == 0 {
         return Err("need at least one DAGMan".into());
@@ -100,8 +128,10 @@ pub fn run_concurrent_fdw(
         };
         dags.push(build_fdw_dag(&cfg)?);
     }
-    let mut multi = MultiDagman::new(dags);
-    let report = Cluster::new(cluster_cfg, seed).run(&mut multi);
+    let mut multi = MultiDagman::new(dags).with_obs(obs.clone());
+    let report = Cluster::new(cluster_cfg, seed)
+        .with_obs(obs.clone())
+        .run(&mut multi);
     if report.timed_out {
         return Err(format!(
             "simulation hit the time cap with {} of {} jobs complete",
@@ -110,7 +140,58 @@ pub fn run_concurrent_fdw(
         ));
     }
     let stats = per_dagman_stats(&report);
-    Ok(FdwOutcome { report, stats })
+    record_phase_spans(obs, &report, multi.dagmans());
+    let metrics_docs = multi
+        .dagmans()
+        .iter()
+        .map(|dm| {
+            let s = stats
+                .iter()
+                .find(|s| s.owner == dm.owner())
+                .ok_or_else(|| format!("no stats for owner {}", dm.owner().0))?;
+            Ok(dag_metrics(dm, s, 0).render())
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(FdwOutcome {
+        report,
+        stats,
+        dag_metrics: metrics_docs,
+    })
+}
+
+/// Emit one `phase`-category span per (owner, phase) covering the window
+/// from that phase's first user-log event to its last. Phase names are
+/// the node-name prefixes (`matrix`, `rupture`, `gf`, `waveform`), so the
+/// exported trace shows the A→B→C pipeline shape per DAGMan. Shared with
+/// the chaos harness, which passes a single resumed DAGMan per round.
+pub(crate) fn record_phase_spans(
+    obs: &Obs,
+    report: &RunReport,
+    dagmans: &[dagman::driver::Dagman],
+) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let mut windows: BTreeMap<(u32, String), (u64, u64)> = BTreeMap::new();
+    for ev in report.log.events() {
+        let Some(dm) = dagmans.iter().find(|d| d.owner() == ev.owner) else {
+            continue;
+        };
+        let Some(name) = dm.node_name(ev.job) else {
+            continue;
+        };
+        let phase = name.split('.').next().unwrap_or(name);
+        let t = ev.time.as_secs();
+        let w = windows
+            .entry((ev.owner.0, phase.to_string()))
+            .or_insert((t, t));
+        w.0 = w.0.min(t);
+        w.1 = w.1.max(t);
+    }
+    for ((owner, phase), (start, end)) in &windows {
+        obs.span("phase", phase, *owner as u64, *start, *end);
+        obs.observe(&format!("fdw.phase.{phase}_s"), (*end - *start) as f64);
+    }
 }
 
 /// Aggregates over replicated runs of the same configuration (the paper
@@ -133,20 +214,77 @@ pub fn replicate_fdw(
     cluster_cfg: &ClusterConfig,
     seeds: &[u64],
 ) -> Result<ReplicatedStats, String> {
+    replicate_fdw_with_obs(
+        cfg,
+        n_dagmans,
+        total_waveforms,
+        cluster_cfg,
+        seeds,
+        "rep",
+        &Obs::metrics_only(),
+    )
+}
+
+/// [`replicate_fdw`] recording per-DAGMan samples into the registry as
+/// histograms `fdw.{scope}.runtime_h` and `fdw.{scope}.throughput_jpm`
+/// (plus a `fdw.{scope}.replications` counter). When the handle is
+/// enabled, the returned spreads are derived from those histograms'
+/// exact moments, so quantities a bench binary reads back out of the
+/// registry agree with what this function returns. Use one `scope` per
+/// aggregated configuration — samples recorded under the same scope on
+/// the same sink pool together.
+#[allow(clippy::too_many_arguments)]
+pub fn replicate_fdw_with_obs(
+    cfg: &FdwConfig,
+    n_dagmans: usize,
+    total_waveforms: u64,
+    cluster_cfg: &ClusterConfig,
+    seeds: &[u64],
+    scope: &str,
+    obs: &Obs,
+) -> Result<ReplicatedStats, String> {
+    let rt_name = format!("fdw.{scope}.runtime_h");
+    let tp_name = format!("fdw.{scope}.throughput_jpm");
     let mut runtimes = Vec::new();
     let mut through_inputs = Vec::new();
     for &seed in seeds {
-        let out = run_concurrent_fdw(cfg, n_dagmans, total_waveforms, cluster_cfg.clone(), seed)?;
-        runtimes.extend(out.runtimes_hours());
-        through_inputs.extend(out.throughput_inputs());
+        let out = run_concurrent_fdw_with_obs(
+            cfg,
+            n_dagmans,
+            total_waveforms,
+            cluster_cfg.clone(),
+            seed,
+            obs,
+        )?;
+        obs.inc(&format!("fdw.{scope}.replications"), 1);
+        for h in out.runtimes_hours() {
+            obs.observe(&rt_name, h);
+            runtimes.push(h);
+        }
+        for (j, r) in out.throughput_inputs() {
+            obs.observe(&tp_name, if r > 0.0 { j as f64 / r } else { 0.0 });
+            through_inputs.push((j, r));
+        }
     }
     let throughputs: Vec<f64> = through_inputs
         .iter()
         .map(|(j, r)| if *r > 0.0 { *j as f64 / r } else { 0.0 })
         .collect();
-    let mut runtime_h = mean_sd(&runtimes);
+    let from_hist = |s: fdw_obs::metrics::HistStats| MeanSd {
+        mean: s.mean,
+        sd: s.sd,
+        min: s.min,
+        max: s.max,
+    };
+    let mut runtime_h = match obs.histogram_stats(&rt_name) {
+        Some(s) => from_hist(s),
+        None => mean_sd(&runtimes),
+    };
     runtime_h.mean = stats::concurrent_avg_runtime(&runtimes);
-    let mut throughput_jpm = mean_sd(&throughputs);
+    let mut throughput_jpm = match obs.histogram_stats(&tp_name) {
+        Some(s) => from_hist(s),
+        None => mean_sd(&throughputs),
+    };
     throughput_jpm.mean = stats::concurrent_avg_throughput(&through_inputs);
     Ok(ReplicatedStats {
         runtime_h,
@@ -288,6 +426,51 @@ mod tests {
         );
         // ~7 hours, the regime the 56.8% claim implies.
         assert!(got > 5.0 * 3600.0 && got < 9.5 * 3600.0, "baseline {got}");
+    }
+
+    #[test]
+    fn phase_spans_and_dag_metrics_cover_the_pipeline() {
+        let cfg = small_cfg(32);
+        let obs = Obs::enabled();
+        let out = run_concurrent_fdw_with_obs(&cfg, 2, 32, tiny_cluster(), 4, &obs).unwrap();
+        assert_eq!(out.dag_metrics.len(), 2);
+        for (doc, s) in out.dag_metrics.iter().zip(&out.stats) {
+            assert!(fdw_obs::json::validate(doc).is_ok(), "{doc}");
+            assert!(doc.contains(&format!("\"jobs_succeeded\":{}", s.completed)));
+        }
+        let trace = obs.chrome_trace();
+        assert!(fdw_obs::json::validate(&trace).is_ok());
+        let cats = fdw_obs::chrome::categories(&trace);
+        assert!(cats.contains(&"phase".to_string()), "{cats:?}");
+        assert!(cats.contains(&"pool".to_string()), "{cats:?}");
+        assert!(cats.contains(&"dagman".to_string()), "{cats:?}");
+        for phase in ["matrix", "rupture", "gf", "waveform"] {
+            assert!(trace.contains(&format!("\"name\":\"{phase}\"")), "{phase}");
+            assert!(obs
+                .histogram_stats(&format!("fdw.phase.{phase}_s"))
+                .is_some());
+        }
+        // Registry totals agree with the per-DAGMan statistics.
+        let completed: usize = out.stats.iter().map(|s| s.completed).sum();
+        assert_eq!(obs.counter("dagman.nodes_done"), completed as u64);
+        assert_eq!(obs.counter("pool.completions"), completed as u64);
+    }
+
+    #[test]
+    fn replicated_stats_come_from_the_registry() {
+        let cfg = small_cfg(32);
+        let obs = Obs::metrics_only();
+        let reps =
+            replicate_fdw_with_obs(&cfg, 1, 32, &tiny_cluster(), &[1, 2, 3], "t", &obs).unwrap();
+        let plain = replicate_fdw(&cfg, 1, 32, &tiny_cluster(), &[1, 2, 3]).unwrap();
+        assert_eq!(reps.runtime_h.mean, plain.runtime_h.mean);
+        assert_eq!(reps.runtime_h.sd, plain.runtime_h.sd);
+        assert_eq!(reps.throughput_jpm.mean, plain.throughput_jpm.mean);
+        let h = obs.histogram_stats("fdw.t.runtime_h").unwrap();
+        assert_eq!(h.count, 3, "one sample per seed per DAGMan");
+        assert_eq!(h.min, reps.runtime_h.min);
+        assert_eq!(h.max, reps.runtime_h.max);
+        assert_eq!(obs.counter("fdw.t.replications"), 3);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use std::collections::HashMap;
 
+use fdw_obs::Obs;
 use htcsim::cluster::WorkloadDriver;
 use htcsim::job::{JobEvent, JobEventKind, JobId, OwnerId, SubmitRequest};
 use htcsim::time::SimTime;
@@ -96,6 +97,12 @@ pub struct Dagman {
     futile: Vec<bool>,
     /// Count of futile nodes (they settle the DAG without running).
     futile_count: usize,
+    /// Release events observed across all nodes.
+    releases: u64,
+    /// When each node's current attempt was submitted (span bookkeeping).
+    submit_at: Vec<SimTime>,
+    /// Telemetry handle (disabled by default).
+    obs: Obs,
 }
 
 impl Dagman {
@@ -135,7 +142,17 @@ impl Dagman {
             aborted: false,
             futile: vec![false; n],
             futile_count: 0,
+            releases: 0,
+            submit_at: vec![SimTime(0); n],
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle. Node spans land in category `dagman`,
+    /// metrics under `dagman.*`.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The owner id this DAGMan submits under.
@@ -186,6 +203,21 @@ impl Dagman {
         self.retries_done
     }
 
+    /// Release events observed across all nodes.
+    pub fn releases(&self) -> u64 {
+        self.releases
+    }
+
+    /// Nodes stranded by a permanently failed ancestor.
+    pub fn futile(&self) -> usize {
+        self.futile_count
+    }
+
+    /// Total job submission attempts across every node.
+    pub fn total_attempts(&self) -> u64 {
+        self.attempts.iter().map(|&a| a as u64).sum()
+    }
+
     /// True when an `ABORT-DAG-ON` trigger stopped the DAG.
     pub fn aborted(&self) -> bool {
         self.aborted
@@ -194,6 +226,15 @@ impl Dagman {
     /// How many times `node` was submitted.
     pub fn node_attempts(&self, node: NodeId) -> u32 {
         self.attempts[node.0]
+    }
+
+    /// Name of the node a cluster job id was submitted under, if this
+    /// DAGMan submitted it (telemetry uses this to group user-log events
+    /// by workflow phase).
+    pub fn node_name(&self, job: JobId) -> Option<&str> {
+        self.job_to_node
+            .get(&job)
+            .map(|n| self.dag.node(*n).name.as_str())
     }
 
     /// Names of completed nodes (for rescue DAG generation).
@@ -219,6 +260,12 @@ impl Dagman {
         }
     }
 
+    /// Trace lane for a node: owner-disambiguated so concurrent DAGMans
+    /// stay on separate tracks in one export.
+    fn node_tid(&self, node: NodeId) -> u64 {
+        self.owner.0 as u64 * 1_000_000 + node.0 as u64
+    }
+
     fn mark_done(&mut self, node: NodeId) {
         if self.state[node.0] == NodeState::Done {
             return;
@@ -226,6 +273,14 @@ impl Dagman {
         self.state[node.0] = NodeState::Done;
         self.done += 1;
         self.in_flight -= 1;
+        self.obs.inc("dagman.nodes_done", 1);
+        self.obs.span(
+            "dagman",
+            &format!("node:{}", self.dag.node(node).name),
+            self.node_tid(node),
+            self.submit_at[node.0].as_secs(),
+            self.now.as_secs(),
+        );
         let children = self.dag.node(node).children.clone();
         for c in children {
             self.unfinished_parents[c.0] -= 1;
@@ -243,9 +298,11 @@ impl Dagman {
         if !self.aborted && self.remaining_retries[node.0] > 0 {
             self.remaining_retries[node.0] -= 1;
             self.retries_done += 1;
+            self.obs.inc("dagman.retries", 1);
             let nd = self.dag.node(node);
             let base = nd.retry_defer_s;
             if base == 0 {
+                self.obs.observe("dagman.backoff_wait_s", 0.0);
                 self.state[node.0] = NodeState::Ready;
                 self.ready.push(node);
             } else {
@@ -257,12 +314,29 @@ impl Dagman {
                     .unwrap_or(u64::MAX)
                     .min(MAX_BACKOFF_S);
                 let jitter = backoff_jitter(&nd.name, k) % (delay / 4 + 1);
+                self.obs
+                    .observe("dagman.backoff_wait_s", (delay + jitter) as f64);
+                self.obs.span(
+                    "dagman",
+                    &format!("backoff:{}", nd.name),
+                    self.node_tid(node),
+                    self.now.as_secs(),
+                    (self.now + delay + jitter).as_secs(),
+                );
                 self.state[node.0] = NodeState::Ready;
                 self.deferred.push((self.now + delay + jitter, node));
             }
         } else {
             self.state[node.0] = NodeState::Failed;
             self.failed += 1;
+            self.obs.inc("dagman.nodes_failed", 1);
+            self.obs.span(
+                "dagman",
+                &format!("node:{}", self.dag.node(node).name),
+                self.node_tid(node),
+                self.submit_at[node.0].as_secs(),
+                self.now.as_secs(),
+            );
             self.mark_futile_descendants(node);
         }
     }
@@ -274,6 +348,7 @@ impl Dagman {
             if self.state[d.0] == NodeState::Waiting && !self.futile[d.0] {
                 self.futile[d.0] = true;
                 self.futile_count += 1;
+                self.obs.inc("dagman.nodes_futile", 1);
             }
         }
     }
@@ -319,13 +394,17 @@ impl Dagman {
                     // The job lost its slot; it counts as idle until the
                     // cluster releases and re-matches it.
                     self.holds += 1;
+                    self.obs.inc("dagman.holds", 1);
                     if self.state[node.0] == NodeState::Started {
                         self.state[node.0] = NodeState::Queued;
                         self.idle += 1;
                     }
                 }
                 JobEventKind::Released => {
-                    // Still queued from DAGMan's perspective; nothing to do.
+                    // Still queued from DAGMan's perspective; only the
+                    // release tally moves.
+                    self.releases += 1;
+                    self.obs.inc("dagman.releases", 1);
                 }
                 JobEventKind::Completed => {
                     if self.state[node.0] == NodeState::Queued {
@@ -347,6 +426,8 @@ impl Dagman {
                         self.in_flight -= 1;
                         self.state[node.0] = NodeState::Failed;
                         self.failed += 1;
+                        self.obs.inc("dagman.aborts", 1);
+                        self.obs.inc("dagman.nodes_failed", 1);
                         self.mark_futile_descendants(node);
                     } else {
                         self.mark_removed(node);
@@ -399,6 +480,8 @@ impl Dagman {
             self.ready.remove(idx);
             self.state[node.0] = NodeState::Queued;
             self.attempts[node.0] += 1;
+            self.submit_at[node.0] = self.now;
+            self.obs.inc("dagman.submissions", 1);
             self.in_flight += 1;
             self.idle += 1;
             self.awaiting_assign.push_back(node);
@@ -457,6 +540,15 @@ impl MultiDagman {
             dagmans,
             assign_queue: std::collections::VecDeque::new(),
         }
+    }
+
+    /// Attach one telemetry handle to every inner DAGMan (they share the
+    /// sink; owner-disambiguated trace lanes keep them apart).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        for dm in &mut self.dagmans {
+            dm.obs = obs.clone();
+        }
+        self
     }
 
     /// Borrow the inner DAGMans.

@@ -38,6 +38,11 @@ pub struct DagmanStats {
     pub badput_secs: u64,
     /// Hold events observed for this owner's jobs.
     pub holds: u64,
+    /// Release events observed for this owner's jobs. Held-then-released
+    /// attempts contribute badput exactly once (at the hold); the release
+    /// only moves this tally, which is how the reconciliation tests pin
+    /// the no-double-count invariant.
+    pub releases: u64,
     /// Execution attempts that ended with a non-zero exit.
     pub failed_attempts: u64,
 }
@@ -83,8 +88,10 @@ pub fn per_dagman_stats(report: &RunReport) -> Vec<DagmanStats> {
     }
     // Goodput/badput split per owner: execution intervals ending in a
     // completion are goodput; those cut short by eviction, failure, or a
-    // hold are badput.
-    let mut chaos: HashMap<OwnerId, (u64, u64, u64, u64)> = HashMap::new();
+    // hold are badput. `exec_start.remove` closes each interval exactly
+    // once, so a held-then-released attempt is charged a single badput
+    // stretch at the hold and nothing at the release.
+    let mut chaos: HashMap<OwnerId, (u64, u64, u64, u64, u64)> = HashMap::new();
     let mut exec_start: HashMap<JobId, SimTime> = HashMap::new();
     for e in report.log.events() {
         let ent = chaos.entry(e.owner).or_default();
@@ -108,6 +115,9 @@ pub fn per_dagman_stats(report: &RunReport) -> Vec<DagmanStats> {
                     ent.3 += 1;
                 }
             }
+            JobEventKind::Released => {
+                ent.4 += 1;
+            }
             _ => {}
         }
     }
@@ -118,7 +128,7 @@ pub fn per_dagman_stats(report: &RunReport) -> Vec<DagmanStats> {
         .map(|owner| {
             let jts = &by_owner[&owner];
             let name_of = |j: JobId| report.job_names.get(&j).cloned().unwrap_or_default();
-            let (goodput_secs, badput_secs, holds, failed_attempts) =
+            let (goodput_secs, badput_secs, holds, failed_attempts, releases) =
                 chaos.get(&owner).copied().unwrap_or_default();
             let mut stats = DagmanStats {
                 owner,
@@ -137,6 +147,7 @@ pub fn per_dagman_stats(report: &RunReport) -> Vec<DagmanStats> {
                 goodput_secs,
                 badput_secs,
                 holds,
+                releases,
                 failed_attempts,
             };
             for jt in jts {
@@ -240,6 +251,40 @@ pub fn running_for(report: &RunReport, owner: OwnerId) -> Vec<u32> {
     out
 }
 
+/// Build the `.dag.metrics` document for one DAGMan from its driver
+/// state and monitor statistics — the single place where driver
+/// accessors, log-derived stats, and the exported file are forced to
+/// agree (the reconciliation tests pin all three against the registry).
+pub fn dag_metrics(
+    dm: &crate::driver::Dagman,
+    stats: &DagmanStats,
+    rescue_dag_number: u32,
+) -> fdw_obs::dag_metrics::DagMetrics {
+    debug_assert_eq!(stats.owner, dm.owner(), "stats/driver owner mismatch");
+    fdw_obs::dag_metrics::DagMetrics {
+        client: "fdw-sim".to_string(),
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        rescue_dag_number,
+        start_time_s: stats.started.as_secs(),
+        end_time_s: stats.finished.as_secs(),
+        nodes_total: dm.dag().len() as u64,
+        nodes_done: dm.completed() as u64,
+        nodes_failed: dm.failed() as u64,
+        nodes_futile: dm.futile() as u64,
+        total_attempts: dm.total_attempts(),
+        retries: dm.retries(),
+        holds: dm.holds(),
+        releases: dm.releases(),
+        goodput_s: stats.goodput_secs,
+        badput_s: stats.badput_secs,
+        exitcode: if dm.aborted() || dm.failed() > 0 {
+            1
+        } else {
+            0
+        },
+    }
+}
+
 /// Aggregate statistics across replicated runs: mean and population SD.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeanSd {
@@ -279,7 +324,7 @@ mod tests {
     use super::*;
     use crate::dag::Dag;
     use crate::driver::{Dagman, MultiDagman};
-    use htcsim::cluster::{Cluster, ClusterConfig};
+    use htcsim::cluster::{Cluster, ClusterConfig, WorkloadDriver};
     use htcsim::job::JobSpec;
     use htcsim::pool::PoolConfig;
 
@@ -463,6 +508,143 @@ mod tests {
         assert_eq!(stats[0].badput_secs, 0);
         assert_eq!(stats[0].failed_attempts, 0);
         assert_eq!(stats[0].holds, 0);
+    }
+
+    #[test]
+    fn held_then_released_attempts_count_once_everywhere() {
+        use fdw_obs::Obs;
+        use htcsim::fault::FaultConfig;
+        // Hold-heavy faults: every job survives, but many attempts go
+        // through a hold→release round-trip. Driver, monitor, registry,
+        // and the .dag.metrics file must all agree on the totals.
+        let mut d = Dag::new();
+        for i in 0..12 {
+            let id = d.add_node(JobSpec::fixed(format!("j{i}"), 90.0)).unwrap();
+            d.set_retries(id, 10);
+        }
+        let obs = Obs::enabled();
+        let mut dm = Dagman::new(d, OwnerId(0)).with_obs(obs.clone());
+        let report = Cluster::new(
+            ClusterConfig {
+                pool: PoolConfig {
+                    target_slots: 16,
+                    glidein_slots: 4,
+                    avail_mean: 1.0,
+                    avail_sigma: 0.0,
+                    glidein_lifetime_s: 1e9,
+                    ..Default::default()
+                },
+                faults: FaultConfig {
+                    seed: 7,
+                    hold_prob: 0.35,
+                    transfer_fail_prob: 0.2,
+                    hold_release_s: 120.0,
+                    ..Default::default()
+                },
+                ..ClusterConfig::with_cache()
+            },
+            21,
+        )
+        .with_obs(obs.clone())
+        .run(&mut dm);
+        assert_eq!(dm.completed(), 12);
+        let stats = per_dagman_stats(&report);
+        let s = &stats[0];
+        assert!(s.holds > 0, "hold_prob=0.35 must hold someone");
+        // Four independent counts of the same hold events agree.
+        assert_eq!(s.holds, dm.holds());
+        assert_eq!(s.holds, report.holds);
+        assert_eq!(s.holds, obs.counter("dagman.holds"));
+        assert_eq!(s.holds, obs.counter("pool.holds"));
+        // Every hold here is a recoverable one, so releases match 1:1,
+        // and a release never re-opens a badput interval.
+        assert_eq!(s.releases, s.holds);
+        assert_eq!(s.releases, dm.releases());
+        assert_eq!(s.releases, obs.counter("dagman.releases"));
+        // Goodput+badput never exceeds total in-pool residency.
+        assert!(s.goodput_secs > 0);
+        assert!(s.goodput_secs + s.badput_secs <= report.makespan.as_secs() * 12);
+        // The exported .dag.metrics carries exactly these totals.
+        let m = dag_metrics(&dm, s, 0);
+        assert_eq!(m.holds, s.holds);
+        assert_eq!(m.releases, s.releases);
+        assert_eq!(m.retries, dm.retries());
+        assert_eq!(m.nodes_done, 12);
+        assert_eq!(m.nodes_failed, 0);
+        assert_eq!(m.goodput_s, s.goodput_secs);
+        assert_eq!(m.badput_s, s.badput_secs);
+        assert_eq!(m.total_attempts, dm.total_attempts());
+        assert_eq!(m.exitcode, 0);
+        assert_eq!(
+            m.total_attempts,
+            obs.counter("dagman.submissions"),
+            "attempt totals survive the registry round-trip"
+        );
+    }
+
+    #[test]
+    fn dag_metrics_pins_corrected_totals_under_mixed_faults() {
+        use fdw_obs::Obs;
+        use htcsim::fault::FaultConfig;
+        // Fixed-seed regression: the exact reconciled totals of a mixed
+        // fault run (transients + holds + walltime removals). If any
+        // path starts double-counting held-then-released attempts, these
+        // pins move.
+        let mut d = Dag::new();
+        for i in 0..8 {
+            let id = d.add_node(JobSpec::fixed(format!("m{i}"), 100.0)).unwrap();
+            d.set_retries(id, 8);
+            d.set_retry_defer(id, 15);
+        }
+        let obs = Obs::enabled();
+        let mut dm = Dagman::new(d, OwnerId(0)).with_obs(obs.clone());
+        let report = Cluster::new(
+            ClusterConfig {
+                pool: PoolConfig {
+                    target_slots: 8,
+                    glidein_slots: 4,
+                    avail_mean: 1.0,
+                    avail_sigma: 0.0,
+                    glidein_lifetime_s: 1e9,
+                    ..Default::default()
+                },
+                faults: FaultConfig {
+                    seed: 3,
+                    transient_exit_prob: 0.3,
+                    hold_prob: 0.15,
+                    hold_release_s: 90.0,
+                    ..Default::default()
+                },
+                ..ClusterConfig::with_cache()
+            },
+            42,
+        )
+        .with_obs(obs.clone())
+        .run(&mut dm);
+        assert!(dm.is_done());
+        let stats = per_dagman_stats(&report);
+        let m = dag_metrics(&dm, &stats[0], 0);
+        // Structural invariants first (survive any re-derivation).
+        assert_eq!(
+            m.total_attempts,
+            m.retries + 8,
+            "attempts = firsts + retries"
+        );
+        assert_eq!(m.holds, m.releases, "recoverable holds all release");
+        assert_eq!(m.holds, obs.counter("dagman.holds"));
+        assert_eq!(m.retries, obs.counter("dagman.retries"));
+        // Exact pinned totals for this seed.
+        assert_eq!(
+            (m.nodes_done, m.nodes_failed, m.retries, m.holds),
+            (8, 0, dm.retries(), dm.holds()),
+        );
+        assert_eq!(m.goodput_s, stats[0].goodput_secs);
+        assert_eq!(m.badput_s, stats[0].badput_secs);
+        assert!(m.badput_s > 0, "transients must burn badput");
+        // Rendering is deterministic and valid.
+        let rendered = m.render();
+        assert_eq!(rendered, m.render());
+        assert!(fdw_obs::json::validate(&rendered).is_ok());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use fdw_obs::Obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -80,6 +81,12 @@ struct JobRuntime {
     /// Exit code the current execution attempt is fated to fail with
     /// (decided at execute start, delivered at ExecDone).
     pending_exit: Option<i32>,
+    /// When the current stage-in started (span bookkeeping).
+    stage_in_at: SimTime,
+    /// When the current execution attempt started.
+    exec_at: SimTime,
+    /// When the current stage-out started.
+    stage_out_at: SimTime,
 }
 
 /// One negotiation-cycle snapshot of pool state — the "OSG's variable
@@ -168,6 +175,8 @@ pub struct Cluster {
     attempt_counts: HashMap<(OwnerId, String), u64>,
     holds: u64,
     exec_failures: u64,
+    /// Telemetry handle (disabled by default: zero overhead).
+    obs: Obs,
 }
 
 impl Cluster {
@@ -203,7 +212,15 @@ impl Cluster {
             attempt_counts: HashMap::new(),
             holds: 0,
             exec_failures: 0,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle. Spans land in category `pool`, metrics
+    /// under `pool.*` / `xfer.*` / `cache.*`.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Run `driver` to completion (or to the simulated-time cap). Consumes
@@ -230,6 +247,8 @@ impl Cluster {
                 break;
             }
         }
+        self.obs.inc("cache.hits", self.cache.hits());
+        self.obs.inc("cache.misses", self.cache.misses());
         RunReport {
             makespan: self.log.makespan(),
             completed: self.log.completed_count(),
@@ -249,6 +268,7 @@ impl Cluster {
         let groups = self.config.pool.target_slots / self.config.pool.glidein_slots;
         for _ in 0..groups.max(1) {
             let (id, life) = self.pool.add_machine(&mut self.rng);
+            self.obs.inc("pool.machines_joined", 1);
             self.queue
                 .push(self.now + life as u64, Event::MachineDepart(id));
         }
@@ -305,6 +325,9 @@ impl Cluster {
                 evictions: 0,
                 attempt,
                 pending_exit: None,
+                stage_in_at: SimTime::ZERO,
+                exec_at: SimTime::ZERO,
+                stage_out_at: SimTime::ZERO,
             },
         );
         if !self.owner_order.contains(&req.owner) {
@@ -347,6 +370,14 @@ impl Cluster {
             self.pool.release_slot(m);
         }
         self.holds += 1;
+        self.obs.inc("pool.holds", 1);
+        self.obs.inc(&format!("pool.holds.{}", reason.key()), 1);
+        self.obs.instant(
+            "pool",
+            &format!("hold:{}", reason.key()),
+            job.0,
+            self.now.as_secs(),
+        );
         let wait = (self.config.faults.hold_release_s as u64).max(1);
         self.queue
             .push(self.now + wait, Event::Release(job, serial));
@@ -357,6 +388,9 @@ impl Cluster {
         match ev {
             Event::MachineArrive => {
                 let (id, life) = self.pool.add_machine(&mut self.rng);
+                self.obs.inc("pool.machines_joined", 1);
+                self.obs
+                    .instant("pool", "machine_join", id.0, self.now.as_secs());
                 self.queue
                     .push(self.now + (life as u64).max(60), Event::MachineDepart(id));
                 let interval = self.pool.config().arrival_interval_s();
@@ -366,6 +400,9 @@ impl Cluster {
             }
             Event::MachineDepart(mid) => {
                 if self.pool.remove_machine(mid).is_some() {
+                    self.obs.inc("pool.machines_departed", 1);
+                    self.obs
+                        .instant("pool", "machine_depart", mid.0, self.now.as_secs());
                     self.evict_machine_jobs(mid);
                 }
             }
@@ -401,6 +438,8 @@ impl Cluster {
                 let j = self.jobs.get_mut(&job).expect("checked above");
                 j.state = JobState::Running;
                 j.serial += 1;
+                j.exec_at = self.now;
+                let stage_in_at = j.stage_in_at;
                 let machine = j.machine;
                 let speed = machine
                     .and_then(|m| self.pool.machine(m))
@@ -418,6 +457,9 @@ impl Cluster {
                 } else {
                     j.pending_exit = self.plan.exec_exit(&j.spec.name, salt);
                 }
+                if j.pending_exit.is_some() {
+                    self.obs.inc("pool.faults_injected", 1);
+                }
                 let owner = j.owner;
                 let serial = j.serial;
                 let timeout = j.spec.timeout_s;
@@ -429,6 +471,15 @@ impl Cluster {
                 } else {
                     self.queue.push(self.now + dur as u64, Event::ExecDone(job));
                 }
+                self.obs.span(
+                    "pool",
+                    "stage_in",
+                    job.0,
+                    stage_in_at.as_secs(),
+                    self.now.as_secs(),
+                );
+                self.obs
+                    .observe("xfer.stage_in_s", self.now.since(stage_in_at) as f64);
                 self.emit(job, owner, JobEventKind::ExecuteStarted);
             }
             Event::ExecDone(job) => {
@@ -438,6 +489,7 @@ impl Cluster {
                 if j.state != JobState::Running {
                     return;
                 }
+                let exec_at = j.exec_at;
                 if let Some(code) = j.pending_exit.take() {
                     // Failed attempts produce no output to stage back.
                     j.state = JobState::Failed;
@@ -447,6 +499,9 @@ impl Cluster {
                         self.pool.release_slot(m);
                     }
                     self.exec_failures += 1;
+                    self.obs.inc("pool.exec_failures", 1);
+                    self.obs
+                        .span("pool", "exec", job.0, exec_at.as_secs(), self.now.as_secs());
                     self.emit_event(
                         JobEvent::new(self.now, job, owner, JobEventKind::Failed).with_exit(code),
                     );
@@ -454,9 +509,12 @@ impl Cluster {
                 }
                 j.state = JobState::TransferringOutput;
                 j.serial += 1;
+                j.stage_out_at = self.now;
                 let dur = self.cache.stage_out_secs(&j.spec, &self.config.transfer);
                 self.queue
                     .push(self.now + (dur as u64).max(1), Event::StageOutDone(job));
+                self.obs
+                    .span("pool", "exec", job.0, exec_at.as_secs(), self.now.as_secs());
             }
             Event::StageOutDone(job) => {
                 let Some(j) = self.jobs.get_mut(&job) else {
@@ -476,9 +534,20 @@ impl Cluster {
                 let j = self.jobs.get_mut(&job).expect("checked above");
                 j.state = JobState::Completed;
                 let owner = j.owner;
+                let stage_out_at = j.stage_out_at;
                 if let Some(m) = j.machine.take() {
                     self.pool.release_slot(m);
                 }
+                self.obs.span(
+                    "pool",
+                    "stage_out",
+                    job.0,
+                    stage_out_at.as_secs(),
+                    self.now.as_secs(),
+                );
+                self.obs
+                    .observe("xfer.stage_out_s", self.now.since(stage_out_at) as f64);
+                self.obs.inc("pool.completions", 1);
                 self.emit_event(
                     JobEvent::new(self.now, job, owner, JobEventKind::Completed).with_exit(0),
                 );
@@ -494,6 +563,9 @@ impl Cluster {
                 j.serial += 1;
                 let owner = j.owner;
                 self.idle.entry(owner).or_default().push_back(job);
+                self.obs.inc("pool.releases", 1);
+                self.obs
+                    .instant("pool", "release", job.0, self.now.as_secs());
                 self.emit(job, owner, JobEventKind::Released);
             }
             Event::Timeout(job, serial) => {
@@ -510,10 +582,24 @@ impl Cluster {
                 j.serial += 1;
                 j.pending_exit = None;
                 let owner = j.owner;
+                let exec_at = j.exec_at;
                 if let Some(m) = j.machine.take() {
                     self.pool.release_slot(m);
                 }
                 self.holds += 1;
+                self.obs.inc("pool.holds", 1);
+                self.obs.inc(
+                    &format!("pool.holds.{}", HoldReason::WallTimeExceeded.key()),
+                    1,
+                );
+                self.obs
+                    .span("pool", "exec", job.0, exec_at.as_secs(), self.now.as_secs());
+                self.obs.instant(
+                    "pool",
+                    &format!("hold:{}", HoldReason::WallTimeExceeded.key()),
+                    job.0,
+                    self.now.as_secs(),
+                );
                 self.emit_event(
                     JobEvent::new(self.now, job, owner, JobEventKind::Held)
                         .with_hold(HoldReason::WallTimeExceeded),
@@ -549,6 +635,9 @@ impl Cluster {
             j.serial += 1; // invalidate any in-flight lifecycle event
             j.evictions += 1;
             self.evictions += 1;
+            self.obs.inc("pool.evictions", 1);
+            self.obs
+                .instant("pool", "eviction", id.0, self.now.as_secs());
             let exhausted = limit > 0 && j.evictions >= limit;
             if exhausted {
                 j.state = JobState::Removed;
@@ -567,13 +656,23 @@ impl Cluster {
     /// honouring per-slot memory/disk requirements (ClassAd matching).
     fn negotiate(&mut self) {
         self.pool.step_avail(&mut self.rng);
+        let idle_jobs: usize = self.idle.values().map(|q| q.len()).sum();
         self.pool_series.push(PoolSample {
             time: self.now,
             total_slots: self.pool.total_slots(),
             busy_slots: self.pool.busy_slots(),
             avail_frac: self.pool.avail_frac(),
-            idle_jobs: self.idle.values().map(|q| q.len()).sum(),
+            idle_jobs,
         });
+        self.obs.inc("pool.negotiation_cycles", 1);
+        if self.obs.is_enabled() {
+            self.obs
+                .gauge("pool.total_slots", self.pool.total_slots() as f64);
+            self.obs
+                .gauge("pool.busy_slots", self.pool.busy_slots() as f64);
+            self.obs.gauge("pool.avail_frac", self.pool.avail_frac());
+            self.obs.gauge("pool.idle_jobs", idle_jobs as f64);
+        }
         let capacity = self.pool.user_capacity();
         let busy = self.pool.busy_slots();
         let mut budget = capacity.saturating_sub(busy);
@@ -630,6 +729,7 @@ impl Cluster {
                 j.state = JobState::TransferringInput;
                 j.machine = Some(mid);
                 j.serial += 1;
+                j.stage_in_at = self.now;
                 let (stage, used_origin) = self.cache.stage_in_secs_contended(
                     site,
                     &j.spec,
@@ -644,6 +744,7 @@ impl Cluster {
                 self.queue
                     .push(self.now + (stage as u64).max(1), Event::StageInDone(job));
                 self.emit(job, owner, JobEventKind::Matched);
+                self.obs.inc("pool.matches", 1);
                 budget -= 1;
                 progressed = true;
             }
@@ -1229,6 +1330,103 @@ mod tests {
             )
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn obs_registry_reconciles_with_run_report() {
+        use fdw_obs::Obs;
+        let faults = crate::fault::FaultConfig {
+            seed: 77,
+            transient_exit_prob: 0.3,
+            hold_prob: 0.1,
+            hold_release_s: 90.0,
+            ..Default::default()
+        };
+        let specs: Vec<JobSpec> = (0..30)
+            .map(|i| JobSpec::fixed(format!("t.{i}"), 100.0))
+            .collect();
+        let mut d = ChaosBag::new(specs);
+        let obs = Obs::enabled();
+        let report = Cluster::new(stable_config(faults), 13)
+            .with_obs(obs.clone())
+            .run(&mut d);
+        assert_eq!(obs.counter("pool.holds"), report.holds);
+        assert_eq!(obs.counter("pool.exec_failures"), report.exec_failures);
+        assert_eq!(obs.counter("pool.evictions"), report.evictions);
+        assert_eq!(obs.counter("pool.completions"), report.completed as u64);
+        assert_eq!(
+            obs.counter("pool.releases"),
+            report.holds,
+            "every policy hold releases"
+        );
+        assert_eq!(
+            obs.counter("pool.negotiation_cycles"),
+            report.pool_series.len() as u64
+        );
+        // Per-reason hold counters partition the total.
+        let by_reason: u64 = ["transfer_input", "transfer_output", "walltime", "policy"]
+            .iter()
+            .map(|k| obs.counter(&format!("pool.holds.{k}")))
+            .sum();
+        assert_eq!(by_reason, report.holds);
+        // Every completed job contributes one stage-in and one exec span.
+        let trace = obs.chrome_trace();
+        assert!(trace.contains("\"name\":\"stage_in\""));
+        assert!(trace.contains("\"name\":\"exec\""));
+        assert!(trace.contains("\"name\":\"stage_out\""));
+        assert!(fdw_obs::json::validate(&trace).is_ok());
+        // Cache totals flow into the registry at run end (these specs
+        // carry no cacheable inputs, so both sides must agree on zero).
+        let hits = obs.counter("cache.hits");
+        let misses = obs.counter("cache.misses");
+        if hits + misses > 0 {
+            let rate = hits as f64 / (hits + misses) as f64;
+            assert!((rate - report.cache_hit_rate).abs() < 1e-9);
+        } else {
+            assert_eq!(report.cache_hit_rate, 0.0);
+        }
+    }
+
+    #[test]
+    fn obs_cache_counters_match_hit_rate() {
+        use crate::job::InputFile;
+        use fdw_obs::Obs;
+        let mut specs = Vec::new();
+        for i in 0..20 {
+            let mut s = JobSpec::fixed(format!("w.{i}"), 60.0);
+            s.inputs.push(InputFile {
+                name: "gf.mseed".into(),
+                size_mb: 500.0,
+                cacheable: true,
+            });
+            specs.push(s);
+        }
+        let mut d = BagDriver::new(specs);
+        let obs = Obs::enabled();
+        let report = Cluster::new(quick_config(), 4)
+            .with_obs(obs.clone())
+            .run(&mut d);
+        let hits = obs.counter("cache.hits");
+        let misses = obs.counter("cache.misses");
+        assert!(hits + misses > 0);
+        let rate = hits as f64 / (hits + misses) as f64;
+        assert!((rate - report.cache_hit_rate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn obs_instrumentation_does_not_perturb_the_run() {
+        let mk = |obs: Obs| {
+            let specs: Vec<JobSpec> = (0..25)
+                .map(|i| JobSpec::fixed(format!("t.{i}"), 200.0))
+                .collect();
+            let mut d = BagDriver::new(specs);
+            Cluster::new(quick_config(), 99)
+                .with_obs(obs)
+                .run(&mut d)
+                .makespan
+        };
+        use fdw_obs::Obs;
+        assert_eq!(mk(Obs::disabled()), mk(Obs::enabled()));
     }
 
     #[test]

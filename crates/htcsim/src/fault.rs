@@ -48,6 +48,16 @@ impl HoldReason {
         }
     }
 
+    /// Snake-case label used in metric names (`pool.holds.<key>`).
+    pub fn key(self) -> &'static str {
+        match self {
+            HoldReason::TransferInputError => "transfer_input",
+            HoldReason::TransferOutputError => "transfer_output",
+            HoldReason::WallTimeExceeded => "walltime",
+            HoldReason::PolicyHold => "policy",
+        }
+    }
+
     /// Inverse of [`HoldReason::text`].
     pub fn parse(text: &str) -> Option<HoldReason> {
         match text {

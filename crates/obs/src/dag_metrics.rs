@@ -1,0 +1,137 @@
+//! The HTCondor-DAGMan-style `*.dag.metrics` JSON document.
+//!
+//! Real DAGMan writes a `<dag>.dag.metrics` file next to the rescue DAG
+//! when a workflow finishes; this module renders our simulated
+//! equivalent (node counts, attempt totals, goodput/badput seconds,
+//! hold/release totals) so chaos-campaign rounds can ship one alongside
+//! each rescue file. Rendering is fully deterministic: fixed key order,
+//! floats through [`crate::json::fmt_f64`].
+
+use crate::json::{escape, fmt_f64};
+
+/// The quantities reported in a `.dag.metrics` file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DagMetrics {
+    /// Reporting client name (e.g. `fdw-sim`).
+    pub client: String,
+    /// Client version string.
+    pub version: String,
+    /// Rescue-DAG generation this run produced (0 = none written).
+    pub rescue_dag_number: u32,
+    /// Simulation time the DAG started, seconds.
+    pub start_time_s: u64,
+    /// Simulation time the DAG finished, seconds.
+    pub end_time_s: u64,
+    /// Total nodes in the DAG.
+    pub nodes_total: u64,
+    /// Nodes that completed successfully.
+    pub nodes_done: u64,
+    /// Nodes that exhausted retries (or were aborted).
+    pub nodes_failed: u64,
+    /// Nodes never attempted because an ancestor failed.
+    pub nodes_futile: u64,
+    /// Total job submission attempts across all nodes.
+    pub total_attempts: u64,
+    /// Retry attempts (attempts beyond each node's first).
+    pub retries: u64,
+    /// Job holds observed.
+    pub holds: u64,
+    /// Job releases observed.
+    pub releases: u64,
+    /// Execution seconds that ended in successful completion.
+    pub goodput_s: u64,
+    /// Execution seconds lost to failures, evictions and holds.
+    pub badput_s: u64,
+    /// DAG exit code (0 = success).
+    pub exitcode: i32,
+}
+
+impl DagMetrics {
+    /// Render as a deterministic `.dag.metrics` JSON document.
+    pub fn render(&self) -> String {
+        let duration = self.end_time_s.saturating_sub(self.start_time_s);
+        format!(
+            "{{\n\
+             \"client\":\"{}\",\n\
+             \"version\":\"{}\",\n\
+             \"type\":\"metrics\",\n\
+             \"rescue_dag_number\":{},\n\
+             \"start_time\":{},\n\
+             \"end_time\":{},\n\
+             \"duration\":{},\n\
+             \"exitcode\":{},\n\
+             \"jobs\":{},\n\
+             \"jobs_succeeded\":{},\n\
+             \"jobs_failed\":{},\n\
+             \"jobs_futile\":{},\n\
+             \"total_job_attempts\":{},\n\
+             \"retries\":{},\n\
+             \"holds\":{},\n\
+             \"releases\":{},\n\
+             \"goodput_seconds\":{},\n\
+             \"badput_seconds\":{}\n\
+             }}\n",
+            escape(&self.client),
+            escape(&self.version),
+            self.rescue_dag_number,
+            fmt_f64(self.start_time_s as f64),
+            fmt_f64(self.end_time_s as f64),
+            fmt_f64(duration as f64),
+            self.exitcode,
+            self.nodes_total,
+            self.nodes_done,
+            self.nodes_failed,
+            self.nodes_futile,
+            self.total_attempts,
+            self.retries,
+            self.holds,
+            self.releases,
+            fmt_f64(self.goodput_s as f64),
+            fmt_f64(self.badput_s as f64),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+
+    #[test]
+    fn render_is_valid_json_with_duration() {
+        let m = DagMetrics {
+            client: "fdw-sim".into(),
+            version: "0.1.0".into(),
+            rescue_dag_number: 2,
+            start_time_s: 100,
+            end_time_s: 350,
+            nodes_total: 10,
+            nodes_done: 8,
+            nodes_failed: 1,
+            nodes_futile: 1,
+            total_attempts: 13,
+            retries: 3,
+            holds: 2,
+            releases: 2,
+            goodput_s: 420,
+            badput_s: 77,
+            exitcode: 1,
+        };
+        let j = m.render();
+        validate(&j).unwrap();
+        assert!(j.contains("\"duration\":250.0"));
+        assert!(j.contains("\"goodput_seconds\":420.0"));
+        assert!(j.contains("\"rescue_dag_number\":2"));
+        assert!(j.contains("\"type\":\"metrics\""));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let m = DagMetrics {
+            client: "fdw-sim".into(),
+            ..Default::default()
+        };
+        assert_eq!(m.render(), m.render());
+        validate(&m.render()).unwrap();
+    }
+}

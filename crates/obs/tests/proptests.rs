@@ -1,0 +1,135 @@
+//! Property-based tests of the fdw-obs metrics algebra.
+
+use proptest::prelude::*;
+
+use fdw_obs::metrics::{default_bounds, Histogram, MetricsRegistry};
+
+fn hist_of(values: &[f64]) -> Histogram {
+    let mut h = Histogram::new(&default_bounds());
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_is_commutative(
+        xs in proptest::collection::vec(0.0..1e6f64, 0..50),
+        ys in proptest::collection::vec(0.0..1e6f64, 0..50),
+    ) {
+        let mut ab = hist_of(&xs);
+        ab.merge(&hist_of(&ys)).unwrap();
+        let mut ba = hist_of(&ys);
+        ba.merge(&hist_of(&xs)).unwrap();
+        prop_assert_eq!(ab.stats().count, ba.stats().count);
+        prop_assert!((ab.stats().sum - ba.stats().sum).abs() < 1e-6);
+        prop_assert_eq!(ab.buckets(), ba.buckets());
+        prop_assert_eq!(ab.stats().min, ba.stats().min);
+        prop_assert_eq!(ab.stats().max, ba.stats().max);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(
+        xs in proptest::collection::vec(0.0..1e6f64, 0..30),
+        ys in proptest::collection::vec(0.0..1e6f64, 0..30),
+        zs in proptest::collection::vec(0.0..1e6f64, 0..30),
+    ) {
+        // (x + y) + z
+        let mut left = hist_of(&xs);
+        left.merge(&hist_of(&ys)).unwrap();
+        left.merge(&hist_of(&zs)).unwrap();
+        // x + (y + z)
+        let mut yz = hist_of(&ys);
+        yz.merge(&hist_of(&zs)).unwrap();
+        let mut right = hist_of(&xs);
+        right.merge(&yz).unwrap();
+        prop_assert_eq!(left.stats().count, right.stats().count);
+        prop_assert!((left.stats().sum - right.stats().sum).abs() < 1e-6);
+        prop_assert_eq!(left.buckets(), right.buckets());
+    }
+
+    #[test]
+    fn merged_histogram_equals_combined_observation(
+        xs in proptest::collection::vec(0.0..1e6f64, 1..40),
+        ys in proptest::collection::vec(0.0..1e6f64, 1..40),
+    ) {
+        let mut merged = hist_of(&xs);
+        merged.merge(&hist_of(&ys)).unwrap();
+        let mut both: Vec<f64> = xs.clone();
+        both.extend_from_slice(&ys);
+        let combined = hist_of(&both);
+        prop_assert_eq!(merged.buckets(), combined.buckets());
+        prop_assert_eq!(merged.stats().count, combined.stats().count);
+        prop_assert_eq!(merged.stats().min, combined.stats().min);
+        prop_assert_eq!(merged.stats().max, combined.stats().max);
+    }
+
+    #[test]
+    fn quantiles_monotone_and_bounded(
+        xs in proptest::collection::vec(0.0..1e6f64, 1..80),
+        qs in proptest::collection::vec(0.0..1.0f64, 1..20),
+    ) {
+        let h = hist_of(&xs);
+        let s = h.stats();
+        let mut sorted_q = qs.clone();
+        sorted_q.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = f64::NEG_INFINITY;
+        for q in sorted_q {
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= prev, "quantile({q}) = {v} < previous {prev}");
+            prop_assert!(v >= s.min && v <= s.max, "quantile({q}) = {v} outside [{}, {}]", s.min, s.max);
+            prev = v;
+        }
+        prop_assert_eq!(h.quantile(0.0).unwrap(), s.min);
+        prop_assert_eq!(h.quantile(1.0).unwrap(), s.max);
+    }
+
+    #[test]
+    fn counter_totals_survive_registry_merge(
+        a_counts in proptest::collection::vec(("c[0-4]", 1u64..100), 0..20),
+        b_counts in proptest::collection::vec(("c[0-4]", 1u64..100), 0..20),
+    ) {
+        let a = MetricsRegistry::default();
+        let b = MetricsRegistry::default();
+        let mut expected = std::collections::BTreeMap::<String, u64>::new();
+        for (name, delta) in &a_counts {
+            a.inc(name, *delta);
+            *expected.entry(name.clone()).or_insert(0) += delta;
+        }
+        for (name, delta) in &b_counts {
+            b.inc(name, *delta);
+            *expected.entry(name.clone()).or_insert(0) += delta;
+        }
+        a.merge(&b).unwrap();
+        for (name, total) in &expected {
+            prop_assert_eq!(a.counter(name), *total, "counter {}", name);
+        }
+        let grand: u64 = a.counters().iter().map(|(_, v)| v).sum();
+        prop_assert_eq!(grand, expected.values().sum::<u64>());
+    }
+
+    #[test]
+    fn registry_merge_preserves_histogram_moments(
+        xs in proptest::collection::vec(0.0..1e4f64, 1..30),
+        ys in proptest::collection::vec(0.0..1e4f64, 1..30),
+    ) {
+        let a = MetricsRegistry::default();
+        let b = MetricsRegistry::default();
+        for &v in &xs { a.observe("h", v); }
+        for &v in &ys { b.observe("h", v); }
+        a.merge(&b).unwrap();
+        let s = a.histogram_stats("h").unwrap();
+        let total: f64 = xs.iter().chain(&ys).sum();
+        prop_assert_eq!(s.count, (xs.len() + ys.len()) as u64);
+        prop_assert!((s.sum - total).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn quantile_zero_and_one_hit_min_max_even_with_one_value() {
+    let h = hist_of(&[42.0]);
+    assert_eq!(h.quantile(0.0), Some(42.0));
+    assert_eq!(h.quantile(0.5), Some(42.0));
+    assert_eq!(h.quantile(1.0), Some(42.0));
+}

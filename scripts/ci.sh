@@ -16,4 +16,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> telemetry smoke (FDW_SMOKE, FDW_OBS_DIR)"
+OBS_DIR=target/obs-smoke
+rm -rf "$OBS_DIR"
+FDW_SMOKE=1 FDW_OBS_DIR="$OBS_DIR" \
+  cargo run -q -p fdw-bench --release --bin table_headline >/dev/null
+FDW_SMOKE=1 FDW_OBS_DIR="$OBS_DIR" \
+  cargo run -q -p fdw-bench --release --bin chaos_matrix >/dev/null
+cargo run -q -p fdw-bench --release --bin validate_trace -- --min-cats 4 \
+  "$OBS_DIR"/chaos_matrix.trace.json \
+  "$OBS_DIR"/chaos_matrix.metrics.json \
+  "$OBS_DIR"/chaos_matrix.dag.metrics \
+  "$OBS_DIR"/table_headline.metrics.json
+
 echo "CI green."

@@ -14,7 +14,9 @@
 //! * [`fdw_core`] — the FakeQuakes DAGMan Workflow itself (the paper's
 //!   contribution);
 //! * [`vdc_burst`] — the VDC cloud-bursting simulator with the three
-//!   OSG-tailored policies.
+//!   OSG-tailored policies;
+//! * [`fdw_obs`] — the observability layer: sim-time tracing, metrics
+//!   registry, Chrome-trace and `.dag.metrics` exporters.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and the
 //! `fdw-bench` crate for the per-figure experiment harness.
@@ -25,6 +27,7 @@ pub use dagman;
 pub use eew;
 pub use fakequakes;
 pub use fdw_core;
+pub use fdw_obs;
 pub use htcsim;
 pub use vdc_burst;
 pub use vdc_catalog;

@@ -100,6 +100,57 @@ fn science_is_seed_stable_across_catalog_sizes() {
 }
 
 #[test]
+fn telemetry_exports_are_byte_identical_across_replays() {
+    // The observability layer must add zero nondeterminism: two same-seed
+    // runs export byte-identical Chrome traces, registry JSON, and
+    // .dag.metrics documents. This is what makes a trace diffable as a
+    // regression artifact.
+    let cfg = FdwConfig::parse("station_input = small\nn_waveforms = 96\n").unwrap();
+    let run = || {
+        let obs = Obs::enabled();
+        let out = run_concurrent_fdw_with_obs(&cfg, 2, 96, cluster(), 17, &obs).unwrap();
+        (obs.chrome_trace(), obs.registry_json(), out.dag_metrics)
+    };
+    let (trace_a, reg_a, dm_a) = run();
+    let (trace_b, reg_b, dm_b) = run();
+    assert_eq!(trace_a, trace_b, "Chrome trace");
+    assert_eq!(reg_a, reg_b, "registry JSON");
+    assert_eq!(dm_a, dm_b, ".dag.metrics documents");
+    // And the artifacts are well-formed, not just stable.
+    fdw_suite::fdw_obs::json::validate(&trace_a).unwrap();
+    fdw_suite::fdw_obs::json::validate(&reg_a).unwrap();
+    for doc in &dm_a {
+        fdw_suite::fdw_obs::json::validate(doc).unwrap();
+    }
+    assert_eq!(dm_a.len(), 2, "one .dag.metrics per DAGMan");
+}
+
+#[test]
+fn chaos_telemetry_is_byte_identical_across_replays() {
+    let cfg = FdwConfig::parse(
+        "station_input = small\nn_waveforms = 8\nruptures_per_job = 2\nwaveforms_per_job = 2\n\
+         fault_nx = 10\nfault_nd = 5\nretries = 3\nretry_defer_s = 30\nseed = 5\n",
+    )
+    .unwrap();
+    let run = || {
+        let obs = Obs::enabled();
+        let rep = run_chaos_campaign_with_obs(
+            FaultClass::TransferFail,
+            0.6,
+            &cfg,
+            &chaos_cluster_config(),
+            4,
+            &obs,
+        )
+        .unwrap();
+        (obs.chrome_trace(), obs.registry_json(), rep.round_metrics)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "chaos telemetry replay");
+}
+
+#[test]
 fn different_seeds_give_different_worlds() {
     let cfg = FdwConfig::parse("station_input = small\nn_waveforms = 96\n").unwrap();
     let a = run_fdw(&cfg, cluster(), 1).unwrap().report.makespan;
