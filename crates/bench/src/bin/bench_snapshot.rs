@@ -1,0 +1,276 @@
+//! Perf snapshot harness: times each optimised compute kernel against its
+//! retained baseline **in the same process and run**, then writes the
+//! results as `BENCH_kernels.json` (median ns per kernel, machine info,
+//! git revision).
+//!
+//! The committed snapshot is the evidence for the PR-level acceptance
+//! criteria (≥5× on `symmetric_eigen` at n = 240, ≥2× on the end-to-end
+//! rupture draw with factor recycling); CI re-runs it at reduced scale
+//! under `FDW_SMOKE=1` to keep the baseline/optimised pairs honest.
+//!
+//! Output path: `BENCH_kernels.json` in the working directory, or
+//! `$FDW_BENCH_OUT` when set. Regenerate with
+//! `cargo run --release -p fdw-bench --bin bench_snapshot`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use fakequakes::distance::DistanceMatrices;
+use fakequakes::geometry::FaultModel;
+use fakequakes::rupture::{RuptureConfig, RuptureGenerator};
+use fakequakes::stations::StationNetwork;
+use fakequakes::stochastic::{assemble_covariance, assemble_covariance_seq, FactorCache};
+use fakequakes::vonkarman::VonKarman;
+
+/// One timed baseline-vs-optimised pair.
+struct KernelRow {
+    name: &'static str,
+    n: usize,
+    baseline: &'static str,
+    baseline_median_ns: u64,
+    baseline_iters: usize,
+    optimized: &'static str,
+    optimized_median_ns: u64,
+    optimized_iters: usize,
+}
+
+impl KernelRow {
+    fn speedup(&self) -> f64 {
+        self.baseline_median_ns as f64 / self.optimized_median_ns.max(1) as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"n\":{},",
+                "\"baseline\":\"{}\",\"baseline_median_ns\":{},\"baseline_iters\":{},",
+                "\"optimized\":\"{}\",\"optimized_median_ns\":{},\"optimized_iters\":{},",
+                "\"speedup\":{:.3}}}"
+            ),
+            self.name,
+            self.n,
+            self.baseline,
+            self.baseline_median_ns,
+            self.baseline_iters,
+            self.optimized,
+            self.optimized_median_ns,
+            self.optimized_iters,
+            self.speedup(),
+        )
+    }
+}
+
+/// Median wall-clock nanoseconds over repeated calls: at least
+/// `min_iters` iterations, continuing until `budget` elapses (capped at
+/// 1000 iterations so fast kernels terminate).
+fn median_ns(min_iters: usize, budget: Duration, mut f: impl FnMut()) -> (u64, usize) {
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    loop {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos() as u64);
+        if (samples.len() >= min_iters && start.elapsed() >= budget) || samples.len() >= 1000 {
+            break;
+        }
+    }
+    samples.sort_unstable();
+    (samples[samples.len() / 2], samples.len())
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn main() {
+    let smoke = fdw_bench::smoke();
+    // Full scale matches the acceptance criterion (24×10 ⇒ n = 240);
+    // smoke keeps the same pairs honest at CI-friendly size.
+    let (nx, nd) = if smoke { (12, 5) } else { (24, 10) };
+    let budget = if smoke {
+        Duration::from_millis(40)
+    } else {
+        Duration::from_millis(300)
+    };
+
+    let fault = FaultModel::chilean_subduction(nx, nd).expect("fault mesh");
+    let net = StationNetwork::chilean(8, 1).expect("station network");
+    let n = fault.len();
+    let dists = DistanceMatrices::compute(&fault, &net);
+    let kernel = VonKarman::default();
+    let cov = assemble_covariance(&dists.subfault_to_subfault, &kernel);
+    let mut rows = Vec::new();
+
+    eprintln!("bench_snapshot: n = {n} ({nx}×{nd} mesh), smoke = {smoke}");
+
+    // 1. Symmetric eigensolver: classical Jacobi vs Householder+QL.
+    let (b_ns, b_it) = median_ns(3, budget, || {
+        black_box(cov.jacobi_eigen_reference(30).unwrap());
+    });
+    let (o_ns, o_it) = median_ns(3, budget, || {
+        black_box(cov.symmetric_eigen(30).unwrap());
+    });
+    rows.push(KernelRow {
+        name: "symmetric_eigen",
+        n,
+        baseline: "jacobi_eigen_reference",
+        baseline_median_ns: b_ns,
+        baseline_iters: b_it,
+        optimized: "symmetric_eigen",
+        optimized_median_ns: o_ns,
+        optimized_iters: o_it,
+    });
+
+    // 2. Truncated KL eigensolver vs the full decomposition it replaces.
+    let k = (n / 4).max(1);
+    let (o_ns, o_it) = median_ns(3, budget, || {
+        black_box(cov.symmetric_eigen_topk(k, 30).unwrap());
+    });
+    rows.push(KernelRow {
+        name: "symmetric_eigen_topk",
+        n,
+        baseline: "symmetric_eigen",
+        baseline_median_ns: rows[0].optimized_median_ns,
+        baseline_iters: rows[0].optimized_iters,
+        optimized: "symmetric_eigen_topk",
+        optimized_median_ns: o_ns,
+        optimized_iters: o_it,
+    });
+
+    // 3. Cholesky: row-ordered reference vs column-panel parallel.
+    let (b_ns, b_it) = median_ns(5, budget, || {
+        black_box(cov.cholesky_reference().unwrap());
+    });
+    let (o_ns, o_it) = median_ns(5, budget, || {
+        black_box(cov.cholesky().unwrap());
+    });
+    rows.push(KernelRow {
+        name: "cholesky",
+        n,
+        baseline: "cholesky_reference",
+        baseline_median_ns: b_ns,
+        baseline_iters: b_it,
+        optimized: "cholesky",
+        optimized_median_ns: o_ns,
+        optimized_iters: o_it,
+    });
+
+    // 4. Covariance assembly: full-matrix sequential vs symmetric-half
+    //    parallel (halves the expensive Bessel-kernel evaluations).
+    let (b_ns, b_it) = median_ns(3, budget, || {
+        black_box(assemble_covariance_seq(
+            &dists.subfault_to_subfault,
+            &kernel,
+        ));
+    });
+    let (o_ns, o_it) = median_ns(3, budget, || {
+        black_box(assemble_covariance(&dists.subfault_to_subfault, &kernel));
+    });
+    rows.push(KernelRow {
+        name: "assemble_covariance",
+        n,
+        baseline: "assemble_covariance_seq",
+        baseline_median_ns: b_ns,
+        baseline_iters: b_it,
+        optimized: "assemble_covariance",
+        optimized_median_ns: o_ns,
+        optimized_iters: o_it,
+    });
+
+    // 5. Distance-matrix construction (A-phase bootstrap).
+    let (b_ns, b_it) = median_ns(3, budget, || {
+        black_box(DistanceMatrices::compute_seq(&fault, &net));
+    });
+    let (o_ns, o_it) = median_ns(3, budget, || {
+        black_box(DistanceMatrices::compute(&fault, &net));
+    });
+    rows.push(KernelRow {
+        name: "distance_matrices",
+        n,
+        baseline: "compute_seq",
+        baseline_median_ns: b_ns,
+        baseline_iters: b_it,
+        optimized: "compute",
+        optimized_median_ns: o_ns,
+        optimized_iters: o_it,
+    });
+
+    // 6. End-to-end rupture draw: build a generator and draw one scenario,
+    //    fresh factorisation vs recycled factor from a warmed cache.
+    let rcfg = RuptureConfig::default();
+    let cache = FactorCache::new();
+    RuptureGenerator::new_cached(&fault, &dists.subfault_to_subfault, rcfg.clone(), &cache)
+        .expect("warm factor cache");
+    let (b_ns, b_it) = median_ns(3, budget, || {
+        let g = RuptureGenerator::new(&fault, &dists.subfault_to_subfault, rcfg.clone()).unwrap();
+        black_box(g.generate(7, 1));
+    });
+    let (o_ns, o_it) = median_ns(3, budget, || {
+        let g =
+            RuptureGenerator::new_cached(&fault, &dists.subfault_to_subfault, rcfg.clone(), &cache)
+                .unwrap();
+        black_box(g.generate(7, 1));
+    });
+    rows.push(KernelRow {
+        name: "rupture_draw_end_to_end",
+        n,
+        baseline: "fresh_factorization",
+        baseline_median_ns: b_ns,
+        baseline_iters: b_it,
+        optimized: "recycled_factor",
+        optimized_median_ns: o_ns,
+        optimized_iters: o_it,
+    });
+
+    let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let stats = cache.stats();
+    let doc = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"fdw-bench-kernels-v1\",\n",
+            "  \"git_rev\": \"{}\",\n",
+            "  \"smoke\": {},\n",
+            "  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {}}},\n",
+            "  \"mesh\": {{\"nx\": {}, \"nd\": {}, \"n_subfaults\": {}}},\n",
+            "  \"factor_cache\": {{\"hits\": {}, \"misses\": {}}},\n",
+            "  \"kernels\": [\n    {}\n  ]\n",
+            "}}\n"
+        ),
+        git_rev(),
+        smoke,
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        cpus,
+        nx,
+        nd,
+        n,
+        stats.hits,
+        stats.misses,
+        rows.iter()
+            .map(KernelRow::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
+    );
+    fdw_obs::json::validate(&doc).expect("snapshot JSON must parse");
+
+    for r in &rows {
+        eprintln!(
+            "  {:<26} n={:<4} {:>12} ns -> {:>12} ns  ({:.2}x)",
+            r.name,
+            r.n,
+            r.baseline_median_ns,
+            r.optimized_median_ns,
+            r.speedup()
+        );
+    }
+
+    let out = std::env::var("FDW_BENCH_OUT").unwrap_or_else(|_| "BENCH_kernels.json".into());
+    std::fs::write(&out, &doc).expect("write snapshot");
+    println!("wrote {out}");
+}

@@ -245,17 +245,41 @@ pub fn replicate_fdw_with_obs(
 ) -> Result<ReplicatedStats, String> {
     let rt_name = format!("fdw.{scope}.runtime_h");
     let tp_name = format!("fdw.{scope}.throughput_jpm");
+    // Seeds are independent replications, so with no telemetry sink
+    // attached they fan out across threads. With a sink they stay
+    // sequential: parallel recording would make the floating-point
+    // accumulation (and trace) order seed-interleaved, breaking the
+    // byte-identical-telemetry guarantee.
+    let outcomes: Vec<Result<FdwOutcome, String>> = if obs.is_enabled() {
+        seeds
+            .iter()
+            .map(|&seed| {
+                run_concurrent_fdw_with_obs(
+                    cfg,
+                    n_dagmans,
+                    total_waveforms,
+                    cluster_cfg.clone(),
+                    seed,
+                    obs,
+                )
+            })
+            .collect()
+    } else {
+        fakequakes::par::map_indexed(seeds.len(), 1, |i| {
+            run_concurrent_fdw_with_obs(
+                cfg,
+                n_dagmans,
+                total_waveforms,
+                cluster_cfg.clone(),
+                seeds[i],
+                obs,
+            )
+        })
+    };
     let mut runtimes = Vec::new();
     let mut through_inputs = Vec::new();
-    for &seed in seeds {
-        let out = run_concurrent_fdw_with_obs(
-            cfg,
-            n_dagmans,
-            total_waveforms,
-            cluster_cfg.clone(),
-            seed,
-            obs,
-        )?;
+    for out in outcomes {
+        let out = out?;
         obs.inc(&format!("fdw.{scope}.replications"), 1);
         for h in out.runtimes_hours() {
             obs.observe(&rt_name, h);

@@ -15,7 +15,7 @@ use crate::geometry::FaultModel;
 use crate::greens::GfLibrary;
 use crate::rupture::{RuptureConfig, RuptureGenerator, RuptureScenario};
 use crate::stations::StationNetwork;
-use crate::stochastic::field_stats;
+use crate::stochastic::{field_stats, FactorCache};
 use crate::waveform::{synthesize_all_stations, GnssWaveform, WaveformConfig};
 
 /// Everything one batch produces: scenarios plus their waveforms.
@@ -102,7 +102,15 @@ pub fn generate_catalog(
         Some(g) => g,
         None => GfLibrary::compute(fault, network)?,
     };
-    let generator = RuptureGenerator::new(fault, &distances.subfault_to_subfault, rupture_config)?;
+    // Recycle the correlated-field factorisation across calls: batches on
+    // the same mesh with the same correlation parameters skip the O(n³)
+    // eigendecomposition/Cholesky entirely after the first build.
+    let generator = RuptureGenerator::new_cached(
+        fault,
+        &distances.subfault_to_subfault,
+        rupture_config,
+        FactorCache::global(),
+    )?;
 
     // Scenario generation is embarrassingly parallel — the property the
     // whole paper builds on.

@@ -15,6 +15,7 @@
 use crate::error::{FqError, FqResult};
 use crate::geometry::FaultModel;
 use crate::linalg::Matrix;
+use crate::par;
 use crate::stations::StationNetwork;
 
 /// The pair of recyclable distance matrices.
@@ -33,8 +34,58 @@ impl DistanceMatrices {
     ///
     /// Cost is O(n_sub² + n_sta·n_sub); for the full Chilean mesh this is
     /// the dominant startup cost, which is exactly why the FDW recycles
-    /// the result.
+    /// the result. The upper-triangle rows of the subfault matrix and the
+    /// station rows fan out across threads; each element is a pure
+    /// distance, so the result is byte-identical to
+    /// [`DistanceMatrices::compute_seq`].
     pub fn compute(fault: &FaultModel, network: &StationNetwork) -> Self {
+        let subs = fault.subfaults();
+        let n = subs.len();
+        let mut ss = Matrix::zeros(n, n);
+        if n > 0 {
+            let data = ss.as_mut_slice();
+            par::for_each_chunk(data, par::chunk_for(n, 8) * n, |start, rows_chunk| {
+                let first_row = start / n;
+                for (r, row) in rows_chunk.chunks_mut(n).enumerate() {
+                    let i = first_row + r;
+                    for (j, slot) in row.iter_mut().enumerate().skip(i + 1) {
+                        *slot = subs[i].center.distance_3d_km(&subs[j].center);
+                    }
+                }
+            });
+            // Mirror the upper half (cheap copies, sequential).
+            for i in 1..n {
+                for j in 0..i {
+                    data[i * n + j] = data[j * n + i];
+                }
+            }
+        }
+        let stations = network.stations();
+        let m = stations.len();
+        let mut sta = Matrix::zeros(m, n);
+        if m > 0 && n > 0 {
+            let data = sta.as_mut_slice();
+            par::for_each_chunk(data, par::chunk_for(m, 2) * n, |start, rows_chunk| {
+                let first_row = start / n;
+                for (r, row) in rows_chunk.chunks_mut(n).enumerate() {
+                    let st = &stations[first_row + r];
+                    for (slot, sf) in row.iter_mut().zip(subs) {
+                        *slot = st.location.distance_3d_km(&sf.center);
+                    }
+                }
+            });
+        }
+        Self {
+            fault_name: fault.name().to_string(),
+            network_name: network.name().to_string(),
+            subfault_to_subfault: ss,
+            station_to_subfault: sta,
+        }
+    }
+
+    /// The original sequential loops (pre-optimisation), kept as the
+    /// determinism oracle and `bench_snapshot` baseline.
+    pub fn compute_seq(fault: &FaultModel, network: &StationNetwork) -> Self {
         let subs = fault.subfaults();
         let n = subs.len();
         let mut ss = Matrix::zeros(n, n);
@@ -179,6 +230,21 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parallel_compute_matches_sequential_bytewise() {
+        let (f, n) = small_setup();
+        let par = DistanceMatrices::compute(&f, &n);
+        let seq = DistanceMatrices::compute_seq(&f, &n);
+        assert_eq!(
+            par.subfault_to_subfault.as_slice(),
+            seq.subfault_to_subfault.as_slice()
+        );
+        assert_eq!(
+            par.station_to_subfault.as_slice(),
+            seq.station_to_subfault.as_slice()
+        );
     }
 
     #[test]

@@ -86,6 +86,10 @@ impl GfLibrary {
     }
 
     /// Compute the library with an explicit Green's-function method.
+    ///
+    /// Stations fan out across threads — each station's response vector
+    /// is an independent pure function of the geometry, so the result is
+    /// identical to the sequential loop.
     pub fn compute_with_method(
         fault: &FaultModel,
         network: &StationNetwork,
@@ -96,11 +100,13 @@ impl GfLibrary {
                 "cannot compute GFs for empty fault".into(),
             ));
         }
-        let mut stations = Vec::with_capacity(network.len());
-        for st in network.stations() {
-            let mut responses = Vec::with_capacity(fault.len());
-            for sf in fault.subfaults() {
-                let r = match method {
+        let all = network.stations();
+        let stations = crate::par::map_indexed(all.len(), 1, |si| {
+            let st = &all[si];
+            let responses: Vec<StaticResponse> = fault
+                .subfaults()
+                .iter()
+                .map(|sf| match method {
                     GfMethod::PointSource => point_source_static(
                         fault,
                         sf.strike_deg,
@@ -111,14 +117,13 @@ impl GfLibrary {
                         &sf.center,
                     ),
                     GfMethod::OkadaRectangular => okada_static(sf, &st.location),
-                };
-                responses.push(r);
-            }
-            stations.push(StationGf {
+                })
+                .collect();
+            StationGf {
                 station_code: st.code.clone(),
                 responses,
-            });
-        }
+            }
+        });
         Ok(Self {
             fault_name: fault.name().to_string(),
             network_name: network.name().to_string(),

@@ -51,6 +51,7 @@ pub mod mseed;
 pub mod noise;
 pub mod npy;
 pub mod okada;
+pub mod par;
 pub mod rupture;
 pub mod spectra;
 pub mod stations;
@@ -73,7 +74,7 @@ pub mod prelude {
     pub use crate::spectra::{amplitude_spectrum, spectral_summary, SpectralSummary};
     pub use crate::stations::{ChileanInput, Station, StationNetwork};
     pub use crate::stf::StfKind;
-    pub use crate::stochastic::FieldMethod;
+    pub use crate::stochastic::{FactorCache, FactorCacheStats, FieldMethod};
     pub use crate::waveform::{
         synthesize_all_stations, synthesize_station, GnssWaveform, WaveformConfig,
     };

@@ -10,10 +10,12 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use std::sync::Arc;
+
 use crate::error::{FqError, FqResult};
 use crate::geometry::{moment_from_mw, mw_from_moment, FaultModel, ScalingLaw};
 use crate::linalg::Matrix;
-use crate::stochastic::{standard_normal, CorrelatedField, FieldMethod};
+use crate::stochastic::{standard_normal, CorrelatedField, FactorCache, FieldMethod};
 use crate::vonkarman::VonKarman;
 
 /// How target magnitudes are drawn from `mw_range`.
@@ -165,7 +167,7 @@ impl RuptureScenario {
 pub struct RuptureGenerator<'a> {
     fault: &'a FaultModel,
     config: RuptureConfig,
-    field: CorrelatedField,
+    field: Arc<CorrelatedField>,
     /// Strike/dip grid coordinates (km) of each subfault centre, used for
     /// rectangular patch selection.
     grid_km: Vec<(f64, f64)>,
@@ -178,6 +180,28 @@ impl<'a> RuptureGenerator<'a> {
         fault: &'a FaultModel,
         subfault_distances: &Matrix,
         config: RuptureConfig,
+    ) -> FqResult<Self> {
+        Self::build(fault, subfault_distances, config, None)
+    }
+
+    /// Like [`RuptureGenerator::new`], but the covariance factor is
+    /// fetched from (or inserted into) `cache`, so repeated generator
+    /// construction over the same mesh/kernel/method — e.g. one per grid
+    /// job, or per batch in a replicated campaign — factorises once.
+    pub fn new_cached(
+        fault: &'a FaultModel,
+        subfault_distances: &Matrix,
+        config: RuptureConfig,
+        cache: &FactorCache,
+    ) -> FqResult<Self> {
+        Self::build(fault, subfault_distances, config, Some(cache))
+    }
+
+    fn build(
+        fault: &'a FaultModel,
+        subfault_distances: &Matrix,
+        config: RuptureConfig,
+        cache: Option<&FactorCache>,
     ) -> FqResult<Self> {
         config.validate()?;
         if subfault_distances.rows() != fault.len() {
@@ -195,7 +219,14 @@ impl<'a> RuptureGenerator<'a> {
             config.scaling.width_km(mid_mw),
             config.hurst,
         );
-        let field = CorrelatedField::from_distances(subfault_distances, &kernel, config.method)?;
+        let field = match cache {
+            Some(c) => c.get_or_build(fault.name(), subfault_distances, &kernel, config.method)?,
+            None => Arc::new(CorrelatedField::from_distances(
+                subfault_distances,
+                &kernel,
+                config.method,
+            )?),
+        };
         let grid_km = fault
             .subfaults()
             .iter()

@@ -8,6 +8,10 @@
 //! are cheap — exactly the cost structure that makes the A Phase
 //! embarrassingly parallel once the `.npy` matrices exist.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
 use rand::rngs::StdRng;
 use rand::Rng;
 #[cfg(test)]
@@ -15,6 +19,7 @@ use rand::SeedableRng;
 
 use crate::error::{FqError, FqResult};
 use crate::linalg::Matrix;
+use crate::par;
 use crate::vonkarman::VonKarman;
 
 /// How to factor the covariance for sampling.
@@ -59,13 +64,7 @@ impl CorrelatedField {
         if n == 0 {
             return Err(FqError::Linalg("empty distance matrix".into()));
         }
-        let cov = Matrix::from_fn(n, n, |i, j| {
-            if i == j {
-                1.0
-            } else {
-                kernel.correlation(distances[(i, j)])
-            }
-        });
+        let cov = assemble_covariance(distances, kernel);
         match method {
             FieldMethod::Cholesky => {
                 let l = cov.cholesky()?;
@@ -78,7 +77,15 @@ impl CorrelatedField {
             }
             FieldMethod::KarhunenLoeve { modes } => {
                 let k = modes.clamp(1, n);
-                let (vals, vecs) = cov.symmetric_eigen(30)?;
+                // The truncated path skips the O(n³) eigenvector
+                // accumulation for the n − k discarded modes; it still
+                // returns all n eigenvalues, so variance bookkeeping is
+                // exact. With k = n the full QL path is cheaper.
+                let (vals, vecs) = if k < n {
+                    cov.symmetric_eigen_topk(k, 30)?
+                } else {
+                    cov.symmetric_eigen(30)?
+                };
                 let total: f64 = vals.iter().map(|v| v.max(0.0)).sum();
                 let kept: f64 = vals.iter().take(k).map(|v| v.max(0.0)).sum();
                 let factor = Matrix::from_fn(n, k, |i, m| vecs[(i, m)] * vals[m].max(0.0).sqrt());
@@ -117,6 +124,187 @@ impl CorrelatedField {
         let k = self.factor.cols();
         let z: Vec<f64> = (0..k).map(|_| standard_normal(rng)).collect();
         self.factor.matvec(&z)
+    }
+}
+
+/// Assemble the von Kármán correlation matrix over a symmetric distance
+/// matrix, evaluating the kernel for the **upper half only** and
+/// mirroring — the kernel's fractional-order Bessel quadrature is the
+/// expensive part, and `correlation(d_ij)` ≡ `correlation(d_ji)` because
+/// the distance matrix is exactly symmetric. Rows of the upper triangle
+/// fan out across threads; the result is byte-identical to
+/// [`assemble_covariance_seq`].
+pub fn assemble_covariance(distances: &Matrix, kernel: &VonKarman) -> Matrix {
+    let n = distances.rows();
+    let mut cov = Matrix::zeros(n, n);
+    if n == 0 {
+        return cov;
+    }
+    {
+        let data = cov.as_mut_slice();
+        let chunk = par::chunk_for(n, 4) * n;
+        par::for_each_chunk(data, chunk, |start, rows_chunk| {
+            let first_row = start / n;
+            for (r, row) in rows_chunk.chunks_mut(n).enumerate() {
+                let i = first_row + r;
+                row[i] = 1.0;
+                for (j, slot) in row.iter_mut().enumerate().skip(i + 1) {
+                    *slot = kernel.correlation(distances[(i, j)]);
+                }
+            }
+        });
+        // Mirror the computed upper half into the lower half (cheap
+        // copies, sequential).
+        for i in 1..n {
+            for j in 0..i {
+                data[i * n + j] = data[j * n + i];
+            }
+        }
+    }
+    cov
+}
+
+/// Sequential full-matrix covariance assembly (the pre-optimisation
+/// code path, evaluating the kernel for every off-diagonal element).
+/// Kept as the determinism oracle and `bench_snapshot` baseline.
+pub fn assemble_covariance_seq(distances: &Matrix, kernel: &VonKarman) -> Matrix {
+    let n = distances.rows();
+    Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            1.0
+        } else {
+            kernel.correlation(distances[(i, j)])
+        }
+    })
+}
+
+/// Method component of a [`FactorCache`] key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum MethodKey {
+    Cholesky,
+    KarhunenLoeve(usize),
+}
+
+impl From<FieldMethod> for MethodKey {
+    fn from(m: FieldMethod) -> Self {
+        match m {
+            FieldMethod::Cholesky => MethodKey::Cholesky,
+            FieldMethod::KarhunenLoeve { modes } => MethodKey::KarhunenLoeve(modes),
+        }
+    }
+}
+
+/// Cache key: fault-mesh identity, matrix size, an FNV digest of the
+/// distance matrix bits, the kernel parameters (bit-exact), and the
+/// factorisation method.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FactorKey {
+    mesh: String,
+    n: usize,
+    dist_digest: u64,
+    kernel_bits: [u64; 3],
+    method: MethodKey,
+}
+
+/// FNV-1a over the raw bit patterns of a float slice — cheap (O(n²) for
+/// a distance matrix vs the O(n³) factorisation it guards) and exact:
+/// any bitwise difference in the distances produces a different key.
+fn fnv1a_f64(xs: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for x in xs {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Hit/miss/entry counts of a [`FactorCache`], for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FactorCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to factorise.
+    pub misses: u64,
+    /// Distinct factors currently cached.
+    pub entries: usize,
+}
+
+/// A cache of factored [`CorrelatedField`]s keyed by
+/// `(fault-mesh id, distance-matrix digest, correlation params, method)`,
+/// so a catalog of N rupture draws factorises once and draws N times —
+/// the same recycling the FDW applies to its `.npy` distance matrices
+/// and Green's-function libraries.
+///
+/// Thread-safe; the factorisation itself runs outside the lock, so
+/// concurrent misses on different keys don't serialise (concurrent
+/// misses on the *same* key may both factorise — last insert wins, and
+/// both results are identical by determinism).
+#[derive(Debug, Default)]
+pub struct FactorCache {
+    map: Mutex<HashMap<FactorKey, Arc<CorrelatedField>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FactorCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide shared cache.
+    pub fn global() -> &'static FactorCache {
+        static CACHE: OnceLock<FactorCache> = OnceLock::new();
+        CACHE.get_or_init(FactorCache::new)
+    }
+
+    /// Fetch the factored field for this mesh/kernel/method, building it
+    /// via [`CorrelatedField::from_distances`] on a miss.
+    pub fn get_or_build(
+        &self,
+        mesh_id: &str,
+        distances: &Matrix,
+        kernel: &VonKarman,
+        method: FieldMethod,
+    ) -> FqResult<Arc<CorrelatedField>> {
+        let key = FactorKey {
+            mesh: mesh_id.to_string(),
+            n: distances.rows(),
+            dist_digest: fnv1a_f64(distances.as_slice()),
+            kernel_bits: [
+                kernel.a_strike_km.to_bits(),
+                kernel.a_dip_km.to_bits(),
+                kernel.hurst.to_bits(),
+            ],
+            method: method.into(),
+        };
+        if let Some(hit) = self.map.lock().expect("factor cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(CorrelatedField::from_distances(distances, kernel, method)?);
+        let mut map = self.map.lock().expect("factor cache poisoned");
+        let entry = map.entry(key).or_insert_with(|| Arc::clone(&built));
+        Ok(Arc::clone(entry))
+    }
+
+    /// Snapshot of hit/miss/entry counts.
+    pub fn stats(&self) -> FactorCacheStats {
+        FactorCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("factor cache poisoned").len(),
+        }
+    }
+
+    /// Drop all cached factors and reset counters (tests, benchmarks).
+    pub fn clear(&self) {
+        self.map.lock().expect("factor cache poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -271,6 +459,109 @@ mod tests {
         assert!(CorrelatedField::from_distances(&rect, &vk, FieldMethod::Cholesky).is_err());
         let empty = Matrix::zeros(0, 0);
         assert!(CorrelatedField::from_distances(&empty, &vk, FieldMethod::Cholesky).is_err());
+    }
+
+    #[test]
+    fn half_assembly_matches_sequential_bytewise() {
+        let fault = FaultModel::chilean_subduction(9, 5).unwrap();
+        let net = StationNetwork::chilean_input(ChileanInput::Small, 1);
+        let d = DistanceMatrices::compute(&fault, &net);
+        let vk = VonKarman {
+            a_strike_km: 80.0,
+            a_dip_km: 35.0,
+            hurst: 0.6,
+        };
+        let par = assemble_covariance(&d.subfault_to_subfault, &vk);
+        let seq = assemble_covariance_seq(&d.subfault_to_subfault, &vk);
+        assert_eq!(par.as_slice(), seq.as_slice());
+        assert_eq!(assemble_covariance(&Matrix::zeros(0, 0), &vk).rows(), 0);
+    }
+
+    #[test]
+    fn kl_truncated_path_matches_full_eigen_metadata() {
+        // modes < n takes the top-k path; its variance bookkeeping must
+        // agree with the full path because both see all n eigenvalues.
+        let full = field_fixture(FieldMethod::KarhunenLoeve { modes: 32 });
+        let trunc = field_fixture(FieldMethod::KarhunenLoeve { modes: 12 });
+        assert!(trunc.variance_captured() < full.variance_captured());
+        assert!(trunc.variance_captured() > 0.5);
+    }
+
+    #[test]
+    fn factor_cache_hits_on_identical_inputs() {
+        let fault = FaultModel::chilean_subduction(6, 3).unwrap();
+        let net = StationNetwork::chilean_input(ChileanInput::Small, 1);
+        let d = DistanceMatrices::compute(&fault, &net);
+        let vk = VonKarman::default();
+        let cache = FactorCache::new();
+        let a = cache
+            .get_or_build(
+                "mesh-a",
+                &d.subfault_to_subfault,
+                &vk,
+                FieldMethod::Cholesky,
+            )
+            .unwrap();
+        let b = cache
+            .get_or_build(
+                "mesh-a",
+                &d.subfault_to_subfault,
+                &vk,
+                FieldMethod::Cholesky,
+            )
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be a cache hit");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        // Different method → different entry.
+        cache
+            .get_or_build(
+                "mesh-a",
+                &d.subfault_to_subfault,
+                &vk,
+                FieldMethod::KarhunenLoeve { modes: 4 },
+            )
+            .unwrap();
+        assert_eq!(cache.stats().entries, 2);
+        // Different kernel parameters → different entry.
+        let vk2 = VonKarman {
+            hurst: vk.hurst * 0.5,
+            ..vk
+        };
+        cache
+            .get_or_build(
+                "mesh-a",
+                &d.subfault_to_subfault,
+                &vk2,
+                FieldMethod::Cholesky,
+            )
+            .unwrap();
+        assert_eq!(cache.stats().entries, 3);
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn cached_factor_draw_is_bit_identical_to_fresh() {
+        let fault = FaultModel::chilean_subduction(6, 3).unwrap();
+        let net = StationNetwork::chilean_input(ChileanInput::Small, 1);
+        let d = DistanceMatrices::compute(&fault, &net);
+        let vk = VonKarman::default();
+        let cache = FactorCache::new();
+        let fresh =
+            CorrelatedField::from_distances(&d.subfault_to_subfault, &vk, FieldMethod::Cholesky)
+                .unwrap();
+        // Warm the cache, then read it back.
+        cache
+            .get_or_build("m", &d.subfault_to_subfault, &vk, FieldMethod::Cholesky)
+            .unwrap();
+        let cached = cache
+            .get_or_build("m", &d.subfault_to_subfault, &vk, FieldMethod::Cholesky)
+            .unwrap();
+        let mut r1 = StdRng::seed_from_u64(31);
+        let mut r2 = StdRng::seed_from_u64(31);
+        assert_eq!(fresh.sample(&mut r1), cached.sample(&mut r2));
     }
 
     #[test]

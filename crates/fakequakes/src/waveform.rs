@@ -159,11 +159,20 @@ pub fn synthesize_station(
         let travel = station_distances[(station_idx, j)] / config.s_wave_kms;
         let t0 = onset + travel;
         let rise = scenario.rise_time_s[j];
-        for k in 0..n {
+        // Hoist the onset test out of the sample loop: find the first k
+        // with `k·dt > t0` (the same predicate the loop used to evaluate
+        // per sample). The guess from division is corrected by exact
+        // comparisons in both directions, so no sample is mis-classified
+        // by floating-point rounding of the quotient.
+        let mut k_start = ((t0 / config.dt_s).max(0.0) as usize).min(n);
+        while k_start > 0 && (k_start - 1) as f64 * config.dt_s > t0 {
+            k_start -= 1;
+        }
+        while k_start < n && k_start as f64 * config.dt_s <= t0 {
+            k_start += 1;
+        }
+        for k in k_start..n {
             let t = k as f64 * config.dt_s;
-            if t <= t0 {
-                continue;
-            }
             let f = config.stf.cumulative(t - t0, rise);
             if f <= 0.0 {
                 continue;

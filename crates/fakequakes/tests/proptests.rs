@@ -11,8 +11,12 @@ use fakequakes::npy;
 use fakequakes::rupture::{RuptureConfig, RuptureGenerator};
 use fakequakes::stations::StationNetwork;
 use fakequakes::stf::StfKind;
-use fakequakes::stochastic::field_stats;
-use fakequakes::vonkarman::von_karman_kernel;
+use fakequakes::stochastic::{
+    assemble_covariance, field_stats, standard_normal, CorrelatedField, FactorCache, FieldMethod,
+};
+use fakequakes::vonkarman::{von_karman_kernel, VonKarman};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn finite_f64() -> impl Strategy<Value = f64> {
     // Payload values that survive exact roundtrips.
@@ -217,5 +221,88 @@ proptest! {
             prop_assert_eq!(r.slip_m[i] > 0.0, r.onset_s[i].is_finite());
         }
         prop_assert!(r.duration_s().is_finite());
+    }
+
+    #[test]
+    fn truncated_kl_draw_matches_full_eigen_truncation(
+        seed in any::<u64>(),
+        nx in 4usize..8,
+        nd in 3usize..6,
+        modes in 1usize..4,
+    ) {
+        // The fast top-k path behind `FieldMethod::KarhunenLoeve` must
+        // draw the same field the full eigendecomposition would after
+        // keeping the same modes.
+        let fault = FaultModel::chilean_subduction(nx, nd).unwrap();
+        let net = StationNetwork::chilean(2, 1).unwrap();
+        let d = DistanceMatrices::compute(&fault, &net);
+        let n = fault.len();
+        let k = modes.min(n);
+        let kernel = VonKarman::default();
+        let cov = assemble_covariance(&d.subfault_to_subfault, &kernel);
+        let (vals, vecs) = cov.symmetric_eigen(50).unwrap();
+        // Near-degenerate retained modes admit basis rotations the two
+        // solvers may resolve differently; only well-separated spectra
+        // pin the eigenvectors down to sign canonicalisation.
+        let scale = vals[0].abs().max(1e-12);
+        for m in 0..k {
+            prop_assume!((vals[m] - vals[m + 1]).abs() / scale > 1e-6);
+        }
+        let field = CorrelatedField::from_distances(
+            &d.subfault_to_subfault,
+            &kernel,
+            FieldMethod::KarhunenLoeve { modes: k },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draw = field.sample(&mut rng);
+        // Reference draw: full eigendecomposition, truncated to the same
+        // modes, applied to the same normal deviates.
+        let mut rng_ref = StdRng::seed_from_u64(seed);
+        let z: Vec<f64> = (0..k).map(|_| standard_normal(&mut rng_ref)).collect();
+        for i in 0..n {
+            let want: f64 = (0..k)
+                .map(|m| vecs[(i, m)] * vals[m].max(0.0).sqrt() * z[m])
+                .sum();
+            prop_assert!(
+                (draw[i] - want).abs() < 1e-7 * scale.max(1.0),
+                "component {i}: truncated {} vs full {want}",
+                draw[i]
+            );
+        }
+    }
+
+    #[test]
+    fn recycled_factor_draw_is_bit_identical_to_fresh(
+        seed in any::<u64>(),
+        id in 0u64..500,
+        cholesky in any::<bool>(),
+    ) {
+        let fault = FaultModel::chilean_subduction(8, 4).unwrap();
+        let net = StationNetwork::chilean(2, 1).unwrap();
+        let d = DistanceMatrices::compute(&fault, &net);
+        let cfg = RuptureConfig {
+            method: if cholesky {
+                FieldMethod::Cholesky
+            } else {
+                FieldMethod::KarhunenLoeve { modes: 8 }
+            },
+            ..Default::default()
+        };
+        let fresh =
+            RuptureGenerator::new(&fault, &d.subfault_to_subfault, cfg.clone()).unwrap();
+        let cache = FactorCache::new();
+        // Warm the cache, then build a second generator that must hit it.
+        RuptureGenerator::new_cached(&fault, &d.subfault_to_subfault, cfg.clone(), &cache)
+            .unwrap();
+        let cached =
+            RuptureGenerator::new_cached(&fault, &d.subfault_to_subfault, cfg, &cache).unwrap();
+        prop_assert!(cache.stats().hits >= 1, "second build must hit the cache");
+        let a = fresh.generate(seed, id);
+        let b = cached.generate(seed, id);
+        prop_assert_eq!(a.slip_m, b.slip_m);
+        prop_assert_eq!(a.onset_s, b.onset_s);
+        prop_assert_eq!(a.rise_time_s, b.rise_time_s);
+        prop_assert_eq!(a.hypocenter_idx, b.hypocenter_idx);
     }
 }

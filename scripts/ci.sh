@@ -16,6 +16,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> kernel bench smoke (compile + run benches in test mode)"
+cargo bench -q -p fdw-bench --bench kernels -- --test
+
+echo "==> perf snapshot smoke (FDW_SMOKE, reduced scale)"
+FDW_SMOKE=1 FDW_BENCH_OUT=target/BENCH_kernels.smoke.json \
+  cargo run -q -p fdw-bench --release --bin bench_snapshot >/dev/null
+
 echo "==> telemetry smoke (FDW_SMOKE, FDW_OBS_DIR)"
 OBS_DIR=target/obs-smoke
 rm -rf "$OBS_DIR"

@@ -151,6 +151,76 @@ fn chaos_telemetry_is_byte_identical_across_replays() {
 }
 
 #[test]
+fn parallel_covariance_and_distance_npy_bytes_match_sequential() {
+    // The blocked/parallel kernels must not change a single bit of the
+    // serialised science artifacts relative to their sequential oracles.
+    use fdw_suite::fakequakes::{artifacts, npy, stochastic, vonkarman::VonKarman};
+    let fault = FaultModel::chilean_subduction(12, 6).unwrap();
+    let net = StationNetwork::chilean(4, 3).unwrap();
+    let par = DistanceMatrices::compute(&fault, &net);
+    let seq = DistanceMatrices::compute_seq(&fault, &net);
+    assert_eq!(
+        artifacts::distance_matrices_to_npy(&par),
+        artifacts::distance_matrices_to_npy(&seq),
+        "distance-matrix .npy bytes"
+    );
+    let kernel = VonKarman::default();
+    let cov_par = stochastic::assemble_covariance(&par.subfault_to_subfault, &kernel);
+    let cov_seq = stochastic::assemble_covariance_seq(&seq.subfault_to_subfault, &kernel);
+    assert_eq!(
+        npy::to_npy_bytes(&cov_par),
+        npy::to_npy_bytes(&cov_seq),
+        "covariance .npy bytes"
+    );
+}
+
+#[test]
+fn parallel_waveform_mseed_bytes_match_sequential() {
+    use fdw_suite::fakequakes::{artifacts, mseed::MseedFile, waveform};
+    let fault = FaultModel::chilean_subduction(10, 5).unwrap();
+    let net = StationNetwork::chilean(4, 2).unwrap();
+    let dists = DistanceMatrices::compute(&fault, &net);
+    let gfs = GfLibrary::compute(&fault, &net).unwrap();
+    let generator = RuptureGenerator::new(
+        &fault,
+        &dists.subfault_to_subfault,
+        RuptureConfig::default(),
+    )
+    .unwrap();
+    let scenario = generator.generate(3, 1);
+    let cfg = WaveformConfig {
+        duration_s: 64.0,
+        ..Default::default()
+    };
+    let to_bytes = |wfs: &[GnssWaveform]| {
+        let mut f = MseedFile::new();
+        for w in wfs {
+            artifacts::waveform_to_mseed(&mut f, w);
+        }
+        f.to_bytes().unwrap()
+    };
+    let par = waveform::synthesize_all_stations(
+        &fault,
+        &gfs,
+        &dists.station_to_subfault,
+        &scenario,
+        &cfg,
+        5,
+    )
+    .unwrap();
+    let seq = waveform::synthesize_all_stations_seq(
+        &fault,
+        &gfs,
+        &dists.station_to_subfault,
+        &scenario,
+        &cfg,
+        5,
+    )
+    .unwrap();
+    assert_eq!(to_bytes(&par), to_bytes(&seq), "waveform .mseed bytes");
+}
+
+#[test]
 fn different_seeds_give_different_worlds() {
     let cfg = FdwConfig::parse("station_input = small\nn_waveforms = 96\n").unwrap();
     let a = run_fdw(&cfg, cluster(), 1).unwrap().report.makespan;

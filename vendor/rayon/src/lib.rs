@@ -1,10 +1,64 @@
-//! Offline sequential shim for the slice of the `rayon` API this
-//! workspace uses (`into_par_iter` / `par_iter` followed by ordinary
-//! iterator adapters). The build environment has no registry access, so
-//! "parallel" iterators here are plain sequential `std` iterators — the
-//! API shape is preserved, the work-stealing pool is not. Results are
-//! identical because the call sites only use order-preserving adapters
-//! (`map` + `collect`).
+//! Offline shim for the slice of the `rayon` API this workspace uses.
+//!
+//! Two layers:
+//!
+//! * the **prelude** (`into_par_iter` / `par_iter` followed by ordinary
+//!   iterator adapters) stays sequential — the API shape is preserved,
+//!   the work-stealing pool is not, and results are identical because
+//!   the call sites only use order-preserving adapters (`map` +
+//!   `collect`);
+//! * [`join`] / [`current_num_threads`] are **genuinely parallel**,
+//!   built on `std::thread::scope`. The numeric kernels in `fakequakes`
+//!   fan out through recursive `join` with deterministic split points,
+//!   so their outputs are byte-identical to the sequential path
+//!   regardless of scheduling.
+
+use std::sync::OnceLock;
+
+/// Number of worker threads the fork-join primitives may use: the
+/// machine's available parallelism, overridable (like real rayon) with
+/// `RAYON_NUM_THREADS`. Cached after the first call.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+///
+/// `b` runs on a scoped worker thread while `a` runs on the caller;
+/// with a single available core (or under `RAYON_NUM_THREADS=1`) both
+/// run inline on the caller to avoid spawn overhead. Panics in either
+/// closure propagate to the caller, as in real rayon.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
 
 /// The rayon prelude: parallel-iterator conversion traits.
 pub mod prelude {
@@ -51,6 +105,24 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = crate::join(|| 2 + 2, || "ok".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_nests() {
+        let ((a, b), c) = crate::join(|| crate::join(|| 1, || 2), || 3);
+        assert_eq!(a + b + c, 6);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(crate::current_num_threads() >= 1);
+    }
 
     #[test]
     fn par_map_collect_matches_sequential() {
