@@ -3,6 +3,7 @@
 //! the delivery time of the large, compressed .mseed files (possibly
 //! exceeding 1GB)"; this quantifies what it buys.
 
+#![forbid(unsafe_code)]
 use fakequakes::stations::ChileanInput;
 use fdw_bench::REPLICATION_SEEDS;
 use fdw_core::prelude::*;

@@ -2,6 +2,7 @@
 //! period and pool contention level. Quantifies how much of the FDW's
 //! wait-time behaviour comes from matchmaking cadence vs raw capacity.
 
+#![forbid(unsafe_code)]
 use fakequakes::stations::ChileanInput;
 use fdw_core::prelude::*;
 

@@ -12,6 +12,7 @@
 //! `$FDW_BENCH_OUT` when set. Regenerate with
 //! `cargo run --release -p fdw-bench --bin bench_snapshot`.
 
+#![forbid(unsafe_code)]
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 

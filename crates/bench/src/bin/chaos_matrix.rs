@@ -11,6 +11,7 @@
 //! `chaos_matrix.metrics.json` and the final round's `.dag.metrics`
 //! file. `FDW_SMOKE` shrinks the matrix to one intensity per class.
 
+#![forbid(unsafe_code)]
 use fakequakes::stations::ChileanInput;
 use fdw_bench::{smoke, write_obs_artifact};
 use fdw_core::prelude::*;

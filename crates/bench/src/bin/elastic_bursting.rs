@@ -5,6 +5,7 @@
 //! throughput consistency; the controller targets exactly that metric
 //! (windowed-throughput SD).
 
+#![forbid(unsafe_code)]
 use fakequakes::stations::ChileanInput;
 use fdw_core::prelude::*;
 use vdc_burst::prelude::*;

@@ -11,6 +11,7 @@
 //! from those histograms. `FDW_SMOKE` shrinks the sweep; `FDW_OBS_DIR`
 //! dumps the registry JSON.
 
+#![forbid(unsafe_code)]
 use dagman::monitor::MeanSd;
 use fakequakes::stations::ChileanInput;
 use fdw_bench::{pm, smoke, write_obs_artifact, REPLICATION_SEEDS};

@@ -4,6 +4,7 @@
 //! the full Chilean input (three replications each); prints the average
 //! total runtime and average total throughput per DAGMan, eqs. (3)/(4).
 
+#![forbid(unsafe_code)]
 use dagman::monitor::mean_sd;
 use fakequakes::stations::ChileanInput;
 use fdw_bench::{pm_range, REPLICATION_SEEDS};

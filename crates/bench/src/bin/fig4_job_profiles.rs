@@ -2,6 +2,7 @@
 //! duration), instant throughput and running-job count over each
 //! workflow's lifetime, for 1/2/4/8 concurrent DAGMans.
 
+#![forbid(unsafe_code)]
 use dagman::monitor::{instant_throughput_for, running_for, DagmanStats};
 use fakequakes::stations::ChileanInput;
 use fdw_bench::{five_number, sorted_minutes, sparkline};

@@ -4,6 +4,7 @@
 //! times {90, 120 min}, over two recorded DAGMan batches; the original
 //! OSG records serve as controls (§4.3).
 
+#![forbid(unsafe_code)]
 use fakequakes::stations::ChileanInput;
 use fdw_core::prelude::*;
 use vdc_burst::prelude::*;

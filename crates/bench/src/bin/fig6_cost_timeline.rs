@@ -2,6 +2,7 @@
 //! for the two recorded batches: control vs a bursted configuration, with
 //! the ≤30 % bursted-jobs constraint of the cost experiment.
 
+#![forbid(unsafe_code)]
 use fakequakes::stations::ChileanInput;
 use fdw_bench::{downsample, sparkline};
 use fdw_core::prelude::*;

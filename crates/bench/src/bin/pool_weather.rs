@@ -3,6 +3,7 @@
 //! §6 explanation that volatility comes from "OSG's variable resources
 //! and many simulations".
 
+#![forbid(unsafe_code)]
 use fakequakes::stations::ChileanInput;
 use fdw_bench::sparkline;
 use fdw_core::prelude::*;

@@ -13,6 +13,7 @@
 //! not from ad-hoc accumulators; set `FDW_OBS_DIR` to also dump the full
 //! registry JSON, and `FDW_SMOKE` to run at CI-smoke scale.
 
+#![forbid(unsafe_code)]
 use fakequakes::stations::ChileanInput;
 use fdw_bench::{smoke_scaled, write_obs_artifact, REPLICATION_SEEDS};
 use fdw_core::prelude::*;

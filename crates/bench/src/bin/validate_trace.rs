@@ -5,6 +5,7 @@
 //! distinct categories a trace carries. The CI smoke stage runs this
 //! over everything the bench binaries dropped into `FDW_OBS_DIR`.
 
+#![forbid(unsafe_code)]
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

@@ -24,6 +24,7 @@
 //! This library holds the shared formatting/summary helpers the binaries
 //! use.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::path::PathBuf;

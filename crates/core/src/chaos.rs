@@ -10,7 +10,7 @@
 //! loss by digesting the live science products of every completed node and
 //! comparing against the fault-free baseline at the same seed.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use dagman::driver::Dagman;
 use dagman::monitor::{dag_metrics, per_dagman_stats};
@@ -255,7 +255,7 @@ pub fn run_chaos_campaign_with_obs(
     } else {
         (dm_retries, dm_holds)
     };
-    let done: HashSet<String> = dm.done_nodes().iter().map(|s| s.to_string()).collect();
+    let done: BTreeSet<String> = dm.done_nodes().iter().map(|s| s.to_string()).collect();
     let digest = science_digest(base_cfg, &done)?;
     Ok(ChaosReport {
         class,
@@ -274,7 +274,7 @@ pub fn run_chaos_campaign_with_obs(
 /// completes, so every science product is present.
 pub fn baseline_digest(cfg: &FdwConfig) -> Result<u64, String> {
     let dag = build_fdw_dag(cfg)?;
-    let all: HashSet<String> = dag.nodes().iter().map(|n| n.name.clone()).collect();
+    let all: BTreeSet<String> = dag.nodes().iter().map(|n| n.name.clone()).collect();
     science_digest(cfg, &all)
 }
 
@@ -293,7 +293,7 @@ fn fnv_u64(mut h: u64, v: u64) -> u64 {
 /// rupture job's slip distributions, plus a station-0 waveform sample of
 /// the first waveform job. Errors if any expected node is missing — a
 /// lost artifact must fail loudly, not produce a different digest.
-pub fn science_digest(cfg: &FdwConfig, completed: &HashSet<String>) -> Result<u64, String> {
+pub fn science_digest(cfg: &FdwConfig, completed: &BTreeSet<String>) -> Result<u64, String> {
     let dag = build_fdw_dag(cfg)?;
     for node in dag.nodes() {
         if !completed.contains(&node.name) {
@@ -446,7 +446,7 @@ mod tests {
     fn digest_detects_lost_artifacts() {
         let cfg = tiny_cfg();
         let dag = build_fdw_dag(&cfg).unwrap();
-        let mut done: HashSet<String> = dag.nodes().iter().map(|n| n.name.clone()).collect();
+        let mut done: BTreeSet<String> = dag.nodes().iter().map(|n| n.name.clone()).collect();
         done.remove("waveform.1");
         let err = science_digest(&cfg, &done).unwrap_err();
         assert!(err.contains("lost artifact"), "{err}");

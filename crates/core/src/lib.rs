@@ -32,6 +32,7 @@
 //! assert_eq!(out.stats[0].completed as u64, cfg.total_jobs());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod archive;

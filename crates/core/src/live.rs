@@ -24,14 +24,16 @@ use crate::config::{FdwConfig, StationInput};
 
 /// Run `f`, timing it on the wall clock, and record the duration as a
 /// `fq`-category microsecond span plus a `fq.{kernel}_us` histogram
-/// sample. Free when the handle is disabled.
+/// sample. Free when the handle is disabled. The clock is read through
+/// [`fdw_obs::wallclock::WallTimer`] — the one allowlisted wall-clock
+/// site — so sim code stays `Instant`-free (fdwlint `wall-clock-in-sim`).
 fn timed<T>(obs: &Obs, kernel: &str, tid: u64, f: impl FnOnce() -> T) -> T {
     if !obs.is_enabled() {
         return f();
     }
-    let t0 = std::time::Instant::now();
+    let t0 = fdw_obs::wallclock::WallTimer::start();
     let out = f();
-    let us = t0.elapsed().as_micros() as u64;
+    let us = t0.elapsed_us();
     obs.span_us("fq", kernel, tid, 0, us);
     obs.observe(&format!("fq.{kernel}_us"), us as f64);
     out

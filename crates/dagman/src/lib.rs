@@ -23,6 +23,7 @@
 //! assert_eq!(report.completed, 2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dag;

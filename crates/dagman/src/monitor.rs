@@ -238,6 +238,7 @@ pub fn running_for(report: &RunReport, owner: OwnerId) -> Vec<u32> {
             _ => {}
         }
     }
+    // fdwlint::allow(unordered-hash-iteration): commutative accumulation into a delta array — `+=` per bucket is order-insensitive
     for (_, s) in started {
         delta[s] += 1;
         delta[len] -= 1;

@@ -2,7 +2,7 @@
 //! rescue file marking completed nodes `DONE` so a re-submission skips
 //! them. This module generates and applies that file.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 #[cfg(test)]
 use htcsim::cluster::WorkloadDriver;
@@ -32,8 +32,8 @@ pub fn rescue_file(dagman: &Dagman) -> String {
 }
 
 /// Parse a rescue file into the set of done node names.
-pub fn parse_rescue(text: &str) -> Result<HashSet<String>, String> {
-    let mut done = HashSet::new();
+pub fn parse_rescue(text: &str) -> Result<BTreeSet<String>, String> {
+    let mut done = BTreeSet::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
@@ -58,7 +58,7 @@ pub fn parse_rescue(text: &str) -> Result<HashSet<String>, String> {
 /// nodes as complete. Errors if the rescue file names unknown nodes.
 pub fn resume(
     dag: Dag,
-    done: &HashSet<String>,
+    done: &BTreeSet<String>,
     owner: htcsim::job::OwnerId,
 ) -> Result<Dagman, String> {
     for name in done {
@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn resume_skips_done_nodes() {
-        let done: HashSet<String> = ["A".to_string(), "B".to_string()].into();
+        let done: BTreeSet<String> = ["A".to_string(), "B".to_string()].into();
         let dm = resume(chain(), &done, OwnerId(0)).unwrap();
         assert_eq!(dm.completed(), 2);
         assert_eq!(dm.node_state(NodeId(0)), NodeState::Done);
@@ -136,20 +136,20 @@ mod tests {
 
     #[test]
     fn resume_with_all_done_is_complete() {
-        let done: HashSet<String> = ["A".to_string(), "B".to_string(), "C".to_string()].into();
+        let done: BTreeSet<String> = ["A".to_string(), "B".to_string(), "C".to_string()].into();
         let dm = resume(chain(), &done, OwnerId(0)).unwrap();
         assert!(dm.is_done());
     }
 
     #[test]
     fn resume_rejects_unknown_nodes() {
-        let done: HashSet<String> = ["ZZZ".to_string()].into();
+        let done: BTreeSet<String> = ["ZZZ".to_string()].into();
         assert!(resume(chain(), &done, OwnerId(0)).is_err());
     }
 
     #[test]
     fn rescue_file_from_dagman() {
-        let done: HashSet<String> = ["A".to_string()].into();
+        let done: BTreeSet<String> = ["A".to_string()].into();
         let dm = resume(chain(), &done, OwnerId(0)).unwrap();
         let text = rescue_file(&dm);
         assert!(text.contains("DONE A"));
@@ -194,9 +194,29 @@ mod tests {
     }
 
     #[test]
+    fn rescue_bytes_stable_across_roundtrip() {
+        // Byte-identity for the BTreeSet rewrite: serialising, parsing,
+        // resuming, and re-serialising must reproduce the exact bytes,
+        // and the parsed set must iterate in sorted order regardless of
+        // line order — the property a HashSet could not guarantee.
+        let mut d = Dag::new();
+        for name in ["delta", "alpha", "charlie", "bravo"] {
+            d.add_node(JobSpec::fixed(name, 10.0)).unwrap();
+        }
+        let done = parse_rescue("DONE delta\nDONE alpha\nDONE bravo\n").unwrap();
+        let in_order: Vec<&String> = done.iter().collect();
+        assert_eq!(in_order, ["alpha", "bravo", "delta"]);
+        let first = rescue_file(&resume(d.clone(), &done, OwnerId(0)).unwrap());
+        // DONE lines follow node-id order, pinned here byte-for-byte.
+        assert_eq!(first, "# Rescue DAG\nDONE delta\nDONE alpha\nDONE bravo\n");
+        let second = rescue_file(&resume(d, &parse_rescue(&first).unwrap(), OwnerId(0)).unwrap());
+        assert_eq!(first, second, "rescue roundtrip is not byte-stable");
+    }
+
+    #[test]
     #[should_panic(expected = "force_done")]
     fn force_done_twice_panics() {
-        let done: HashSet<String> = HashSet::new();
+        let done: BTreeSet<String> = BTreeSet::new();
         let mut dm = resume(chain(), &done, OwnerId(0)).unwrap();
         dm.force_done(NodeId(0));
         dm.force_done(NodeId(0));

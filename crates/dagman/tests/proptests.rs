@@ -10,7 +10,7 @@ use dagman::rescue::{parse_rescue, rescue_file, resume};
 use htcsim::cluster::{Cluster, ClusterConfig};
 use htcsim::job::{JobSpec, OwnerId};
 use htcsim::pool::PoolConfig;
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 /// Build a random DAG from (n, forward edges) — edges always point from a
 /// lower to a higher index, so the graph is acyclic by construction.
@@ -100,7 +100,7 @@ proptest! {
         for name in &names {
             dag.add_node(JobSpec::fixed(name.clone(), 10.0)).unwrap();
         }
-        let done: HashSet<String> = names.iter().take(names.len() / 2).cloned().collect();
+        let done: BTreeSet<String> = names.iter().take(names.len() / 2).cloned().collect();
         let dm = resume(dag, &done, OwnerId(0)).unwrap();
         let parsed = parse_rescue(&rescue_file(&dm)).unwrap();
         prop_assert_eq!(parsed, done);
@@ -187,7 +187,7 @@ proptest! {
 
         // The done set is exactly the nodes with no failing ancestor that
         // are not failing themselves.
-        let mut expected_done: HashSet<String> = HashSet::new();
+        let mut expected_done: BTreeSet<String> = BTreeSet::new();
         for k in 0..n {
             if failing.contains(&k) {
                 continue;
@@ -203,7 +203,7 @@ proptest! {
                 expected_done.insert(dag_copy.node(NodeId(k)).name.clone());
             }
         }
-        let done_now: HashSet<String> =
+        let done_now: BTreeSet<String> =
             dm.done_nodes().iter().map(|s| s.to_string()).collect();
         prop_assert_eq!(&done_now, &expected_done);
 

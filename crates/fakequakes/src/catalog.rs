@@ -115,11 +115,13 @@ pub fn generate_catalog(
     // Scenario generation is embarrassingly parallel — the property the
     // whole paper builds on.
     let scenarios: Vec<RuptureScenario> = (0..n_scenarios)
+        // fdwlint::allow(raw-parallelism): ordered indexed map — each scenario is a pure function of its index and collect preserves order, so parallel == sequential bitwise
         .into_par_iter()
         .map(|id| generator.generate(seed, id))
         .collect();
 
     let waveforms: Vec<Vec<GnssWaveform>> = scenarios
+        // fdwlint::allow(raw-parallelism): ordered indexed map over an already-ordered Vec; collect preserves order, so parallel == sequential bitwise
         .par_iter()
         .map(|sc| {
             synthesize_all_stations(

@@ -37,6 +37,7 @@
 //! assert!(catalog.summaries()[0].peak_slip_m > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod artifacts;

@@ -226,6 +226,7 @@ pub fn synthesize_all_stations(
     noise_seed: u64,
 ) -> FqResult<Vec<GnssWaveform>> {
     (0..gfs.n_stations())
+        // fdwlint::allow(raw-parallelism): ordered indexed map — each station is a pure function of its index and collect preserves order, so parallel == sequential bitwise
         .into_par_iter()
         .map(|si| {
             synthesize_station(

@@ -1,0 +1,198 @@
+//! The ratcheting baseline: a committed JSON file freezing the number of
+//! known violations per `(rule, crate)` bucket. CI fails when any bucket
+//! grows; `--update-baseline` rewrites it and refuses to raise a count,
+//! so the only way a number moves is *down* (or through an explicit allow
+//! directive with a rationale, which removes the finding entirely).
+//!
+//! The file is written with `fdw_obs::json` (same escaping and
+//! deterministic formatting as the telemetry exporters) and re-validated
+//! with `fdw_obs::json::validate` on every load, so one JSON dialect
+//! covers the whole workspace.
+
+use std::collections::BTreeMap;
+
+/// Schema version stamped into the file.
+pub const VERSION: u64 = 1;
+
+/// Frozen violation counts per `rule/crate` bucket.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Bucket → frozen count. BTreeMap so rendering is deterministic.
+    pub counts: BTreeMap<String, u64>,
+}
+
+impl Baseline {
+    /// Frozen count for `bucket` (0 when absent).
+    pub fn count(&self, bucket: &str) -> u64 {
+        self.counts.get(bucket).copied().unwrap_or(0)
+    }
+
+    /// Render as a pretty, deterministic JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"version\": {VERSION},\n"));
+        out.push_str("  \"counts\": {");
+        let mut first = true;
+        for (bucket, n) in &self.counts {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    \"{}\": {}",
+                fdw_obs::json::escape(bucket),
+                n
+            ));
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        debug_assert!(fdw_obs::json::validate(&out).is_ok());
+        out
+    }
+
+    /// Parse a baseline document. The input must be well-formed JSON (per
+    /// the shared validator) shaped as
+    /// `{"version": 1, "counts": {"<bucket>": <u64>, ...}}`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        fdw_obs::json::validate(text)
+            .map_err(|off| format!("baseline is not well-formed JSON (byte {off})"))?;
+        let mut p = Parser {
+            b: text.as_bytes(),
+            pos: 0,
+        };
+        p.ws();
+        p.expect(b'{')?;
+        let mut version = None;
+        let mut counts = BTreeMap::new();
+        loop {
+            p.ws();
+            if p.eat(b'}') {
+                break;
+            }
+            let key = p.string()?;
+            p.ws();
+            p.expect(b':')?;
+            p.ws();
+            match key.as_str() {
+                "version" => version = Some(p.number()?),
+                "counts" => {
+                    p.expect(b'{')?;
+                    loop {
+                        p.ws();
+                        if p.eat(b'}') {
+                            break;
+                        }
+                        let bucket = p.string()?;
+                        p.ws();
+                        p.expect(b':')?;
+                        p.ws();
+                        let n = p.number()?;
+                        counts.insert(bucket, n);
+                        p.ws();
+                        p.eat(b',');
+                    }
+                }
+                other => return Err(format!("baseline has unknown key '{other}'")),
+            }
+            p.ws();
+            p.eat(b',');
+        }
+        match version {
+            Some(VERSION) => Ok(Self { counts }),
+            Some(v) => Err(format!("baseline version {v} unsupported (want {VERSION})")),
+            None => Err("baseline missing 'version'".into()),
+        }
+    }
+}
+
+/// Tiny cursor over the (already validated) baseline document — only the
+/// subset of JSON the schema uses: objects, strings, unsigned integers.
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while matches!(self.b.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+    fn eat(&mut self, c: u8) -> bool {
+        if self.b.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!(
+                "baseline parse error at byte {}: expected '{}'",
+                self.pos, c as char
+            ))
+        }
+    }
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&c) = self.b.get(self.pos) {
+            if c == b'\\' {
+                return Err("baseline bucket names must not contain escapes".into());
+            }
+            if c == b'"' {
+                let s = std::str::from_utf8(&self.b[start..self.pos])
+                    .map_err(|_| "baseline: invalid utf-8".to_string())?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err("baseline: unterminated string".into())
+    }
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while self.b.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("baseline: expected unsigned integer at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        let mut b = Baseline::default();
+        b.counts.insert("unwrap-in-lib/htcsim".into(), 12);
+        b.counts.insert("raw-parallelism/fakequakes".into(), 3);
+        let json = b.to_json();
+        assert!(fdw_obs::json::validate(&json).is_ok());
+        assert_eq!(Baseline::parse(&json).unwrap(), b);
+    }
+
+    #[test]
+    fn empty_roundtrips() {
+        let b = Baseline::default();
+        assert_eq!(Baseline::parse(&b.to_json()).unwrap(), b);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Baseline::parse("{").is_err());
+        assert!(Baseline::parse("{\"version\": 99, \"counts\": {}}").is_err());
+        assert!(Baseline::parse("{\"counts\": {}}").is_err());
+        assert!(Baseline::parse("{\"version\": 1, \"nope\": {}}").is_err());
+    }
+}

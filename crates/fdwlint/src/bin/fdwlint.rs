@@ -1,0 +1,155 @@
+//! The `fdwlint` CLI — scan the workspace, compare against the committed
+//! ratchet baseline, and report.
+//!
+//! ```text
+//! fdwlint [--root DIR] [--baseline FILE] [--json] [--update-baseline] [--list-rules]
+//! ```
+//!
+//! Exit status: 0 clean, 1 violations (over-budget buckets or bad allow
+//! directives), 2 usage/IO errors. `--update-baseline` rewrites the
+//! baseline with the current counts and **refuses to raise any count** —
+//! the ratchet only turns one way; new violations must be fixed or
+//! carry an inline `fdwlint::allow` with a rationale.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fdwlint::{collect_workspace_sources, find_root, report, rules, Baseline, Ratchet};
+
+struct Args {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: bool,
+    update_baseline: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        baseline: None,
+        json: false,
+        update_baseline: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = Some(it.next().ok_or("--root needs a path")?.into()),
+            "--baseline" => {
+                args.baseline = Some(it.next().ok_or("--baseline needs a path")?.into())
+            }
+            "--json" => args.json = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                return Err("usage: fdwlint [--root DIR] [--baseline FILE] [--json] \
+                     [--update-baseline] [--list-rules]"
+                    .into())
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for r in rules::RULES {
+            println!("{:<26} {}", r.name, r.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match args
+        .root
+        .or_else(|| std::env::current_dir().ok().and_then(|d| find_root(&d)))
+    {
+        Some(r) => r,
+        None => {
+            eprintln!("fdwlint: could not locate the workspace root (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = args
+        .baseline
+        .unwrap_or_else(|| root.join("fdwlint.baseline.json"));
+
+    let sources = match collect_workspace_sources(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fdwlint: failed to read workspace sources: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = fdwlint::scan_sources(&sources);
+
+    let have_baseline = baseline_path.is_file();
+    let baseline = if have_baseline {
+        match std::fs::read_to_string(&baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| Baseline::parse(&t))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("fdwlint: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Baseline::default()
+    };
+
+    let ratchet = Ratchet::compare(&outcome, &baseline);
+
+    if args.update_baseline {
+        // The ratchet only tightens: once a baseline exists, refuse to
+        // freeze *new* debt. The sole exception is bootstrap — with no
+        // committed baseline yet, the current counts become the initial
+        // budget. Directive errors block either way.
+        if (have_baseline && !ratchet.over_budget.is_empty())
+            || !outcome.directive_errors.is_empty()
+        {
+            eprint!("{}", report::human(&outcome, &ratchet));
+            eprintln!(
+                "fdwlint: refusing to update the baseline while buckets are over budget — \
+                 fix the findings or add `fdwlint::allow(<rule>): <reason>` directives"
+            );
+            return ExitCode::FAILURE;
+        }
+        let tightened = ratchet.tightened();
+        if let Err(e) = std::fs::write(&baseline_path, tightened.to_json()) {
+            eprintln!("fdwlint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "fdwlint: baseline written to {} ({} bucket(s), {} violation(s) frozen)",
+            baseline_path.display(),
+            tightened.counts.len(),
+            tightened.counts.values().sum::<u64>()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.json {
+        print!("{}", report::json(&outcome, &ratchet, &baseline));
+    } else {
+        eprint!("{}", report::human(&outcome, &ratchet));
+        println!("{}", report::summary(&outcome, &ratchet));
+    }
+    if ratchet.is_clean(&outcome) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,204 @@
+//! Report rendering: human `file:line` diagnostics for the terminal and
+//! a machine-readable JSON document (one JSON dialect with the telemetry
+//! exporters — escaped with `fdw_obs::json::escape`, validated by
+//! `fdw_obs::json::validate`).
+
+use crate::{Ratchet, ScanOutcome};
+use fdw_obs::json::escape;
+
+/// Human diagnostics: over-budget buckets with every member finding,
+/// directive errors, and improvement notes. Empty string when there is
+/// nothing to say.
+pub fn human(outcome: &ScanOutcome, ratchet: &Ratchet) -> String {
+    let mut out = String::new();
+    for e in &outcome.directive_errors {
+        out.push_str(&format!(
+            "error[bad-allow-directive]: {}:{}: {}\n",
+            e.rel_path, e.line, e.message
+        ));
+    }
+    for (bucket, frozen, now, members) in &ratchet.over_budget {
+        out.push_str(&format!(
+            "error[{bucket}]: {now} violation(s), ratchet budget is {frozen}\n"
+        ));
+        for f in members {
+            out.push_str(&format!(
+                "  {}:{}: [{}] {}\n",
+                f.rel_path, f.line, f.rule, f.excerpt
+            ));
+        }
+    }
+    for (bucket, frozen, now) in &ratchet.improved {
+        out.push_str(&format!(
+            "note[{bucket}]: improved {frozen} -> {now}; run `fdwlint --update-baseline` to ratchet down\n"
+        ));
+    }
+    out
+}
+
+/// One-line summary for the happy path.
+pub fn summary(outcome: &ScanOutcome, ratchet: &Ratchet) -> String {
+    let current: u64 = ratchet.counts.values().sum();
+    format!(
+        "fdwlint: {} file(s), {} rule(s), {} frozen violation(s), {} bucket(s) over budget",
+        outcome.files_scanned,
+        crate::rules::RULES.len(),
+        current,
+        ratchet.over_budget.len()
+    )
+}
+
+/// The machine-readable report. Always well-formed JSON (debug-asserted
+/// against the shared validator).
+pub fn json(outcome: &ScanOutcome, ratchet: &Ratchet, baseline: &crate::Baseline) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"tool\": \"fdwlint\",\n");
+    out.push_str(&format!("  \"version\": {},\n", crate::baseline::VERSION));
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n",
+        outcome.files_scanned
+    ));
+    out.push_str(&format!(
+        "  \"status\": \"{}\",\n",
+        if ratchet.is_clean(outcome) {
+            "clean"
+        } else {
+            "violations"
+        }
+    ));
+
+    out.push_str("  \"rules\": [");
+    for (i, r) in crate::rules::RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"description\": \"{}\"}}",
+            escape(r.name),
+            escape(r.description)
+        ));
+    }
+    out.push_str("\n  ],\n");
+
+    let obj = |map: &std::collections::BTreeMap<String, u64>| {
+        let mut s = String::from("{");
+        for (i, (k, v)) in map.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    \"{}\": {}", escape(k), v));
+        }
+        if !map.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push('}');
+        s
+    };
+    out.push_str(&format!("  \"counts\": {},\n", obj(&ratchet.counts)));
+    out.push_str(&format!("  \"baseline\": {},\n", obj(&baseline.counts)));
+
+    out.push_str("  \"directive_errors\": [");
+    for (i, e) in outcome.directive_errors.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            escape(&e.rel_path),
+            e.line,
+            escape(&e.message)
+        ));
+    }
+    out.push_str("\n  ],\n");
+
+    out.push_str("  \"over_budget\": [");
+    let mut first = true;
+    for (bucket, frozen, now, members) in &ratchet.over_budget {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"bucket\": \"{}\", \"baseline\": {frozen}, \"current\": {now}, \"findings\": [",
+            escape(bucket)
+        ));
+        for (i, f) in members.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n      {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"excerpt\": \"{}\"}}",
+                escape(f.rule),
+                escape(&f.rel_path),
+                f.line,
+                escape(&f.excerpt)
+            ));
+        }
+        out.push_str("\n    ]}");
+    }
+    out.push_str("\n  ],\n");
+
+    out.push_str("  \"improved\": [");
+    for (i, (bucket, frozen, now)) in ratchet.improved.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"bucket\": \"{}\", \"baseline\": {frozen}, \"current\": {now}}}",
+            escape(bucket)
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    debug_assert!(fdw_obs::json::validate(&out).is_ok());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, SourceFile};
+    use crate::{scan_sources, Baseline, Ratchet};
+
+    fn sample() -> (ScanOutcome, Ratchet, Baseline) {
+        let files = [SourceFile {
+            crate_name: "htcsim".into(),
+            rel_path: "crates/htcsim/src/x.rs".into(),
+            text: "fn f() { let t = std::time::Instant::now(); }\n".into(),
+        }];
+        let outcome = scan_sources(&files);
+        let base = Baseline::default();
+        let ratchet = Ratchet::compare(&outcome, &base);
+        (outcome, ratchet, base)
+    }
+
+    #[test]
+    fn json_report_validates_and_carries_findings() {
+        let (outcome, ratchet, base) = sample();
+        let doc = json(&outcome, &ratchet, &base);
+        assert!(fdw_obs::json::validate(&doc).is_ok());
+        assert!(doc.contains("\"status\": \"violations\""));
+        assert!(doc.contains("wall-clock-in-sim/htcsim"));
+        assert!(doc.contains("\"line\": 1"));
+    }
+
+    #[test]
+    fn human_report_is_file_line_addressable() {
+        let (outcome, ratchet, _) = sample();
+        let text = human(&outcome, &ratchet);
+        assert!(text.contains("crates/htcsim/src/x.rs:1:"), "{text}");
+        assert!(text.contains("ratchet budget is 0"), "{text}");
+        let _ = summary(&outcome, &ratchet);
+    }
+
+    #[test]
+    fn finding_bucket_format() {
+        let f = Finding {
+            rule: "unwrap-in-lib",
+            crate_name: "dagman".into(),
+            rel_path: "crates/dagman/src/dag.rs".into(),
+            line: 3,
+            excerpt: String::new(),
+        };
+        assert_eq!(f.bucket(), "unwrap-in-lib/dagman");
+    }
+}

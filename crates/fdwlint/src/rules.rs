@@ -1,0 +1,652 @@
+//! The determinism rule set and the per-file scanner.
+//!
+//! Each rule encodes one invariant the suite's reproducibility guarantees
+//! depend on (DESIGN.md §5/§8/§9). Rules run over the masked code channel
+//! of [`crate::lexer::mask`], skip test regions, honour inline
+//! `fdwlint::allow(<rule>): <reason>` / file-level
+//! `fdwlint::allow-file(<rule>): <reason>` directives, and are scoped per
+//! crate so e.g. the bench harness may read the wall clock while
+//! simulation crates may not.
+
+use crate::lexer::mask;
+
+/// Rule identifiers, in report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "wall-clock-in-sim",
+        description: "Instant::now/SystemTime::now outside the bench crate and the single \
+                      allowlisted fdw-obs wallclock helper: sim crates must take time from \
+                      SimTime or fdw_obs::wallclock so seeded runs never observe the host clock",
+    },
+    RuleInfo {
+        name: "unordered-hash-iteration",
+        description: "iterating a HashMap/HashSet in a crate whose output must be byte-stable \
+                      (htcsim, dagman, fdw-obs, vdc-*) without sorting or an order-insensitive \
+                      consumer: ULOG/metrics/rescue bytes must not depend on hasher state",
+    },
+    RuleInfo {
+        name: "unseeded-randomness",
+        description: "thread_rng/rand::random/from_entropy/OsRng: every RNG in the workspace \
+                      must be constructed from an explicit u64 seed",
+    },
+    RuleInfo {
+        name: "raw-parallelism",
+        description: "parallel constructs (thread::spawn, rayon::join/scope, par_iter) outside \
+                      fakequakes::par's chunk-aligned helpers, which are the only fan-out \
+                      primitives proven bitwise parallel==sequential",
+    },
+    RuleInfo {
+        name: "unwrap-in-lib",
+        description: ".unwrap()/panic! in non-test library code: each crate has a frozen budget \
+                      in the ratchet baseline that may only decrease",
+    },
+];
+
+/// Static metadata of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// The identifier used in directives, buckets and reports.
+    pub name: &'static str,
+    /// One-sentence statement of the invariant.
+    pub description: &'static str,
+}
+
+/// True iff `name` names a known rule.
+pub fn is_rule(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name)
+}
+
+/// Crates whose emitted artifacts (ULOG, rescue files, metrics/trace
+/// JSON, CSV, catalog listings) must be byte-stable across runs and
+/// hasher seeds — the scope of `unordered-hash-iteration`.
+pub const BYTE_STABLE_CRATES: &[&str] =
+    &["htcsim", "dagman", "fdw-obs", "vdc-burst", "vdc-catalog"];
+
+/// The single sanctioned wall-clock read (see `fdw_obs::wallclock`).
+pub const WALLCLOCK_ALLOWLIST: &[&str] = &["crates/obs/src/wallclock.rs"];
+
+/// The single sanctioned home of parallel primitives.
+pub const PARALLELISM_ALLOWLIST: &[&str] = &["crates/fakequakes/src/par.rs"];
+
+/// One source file handed to the scanner. `rel_path` is
+/// workspace-root-relative with forward slashes; `crate_name` is the
+/// package name (`htcsim`, `fdw-core`, ...).
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Package name owning the file.
+    pub crate_name: String,
+    /// Workspace-relative path (`crates/htcsim/src/cluster.rs`).
+    pub rel_path: String,
+    /// Full source text.
+    pub text: String,
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule that fired.
+    pub rule: &'static str,
+    /// Package name (baseline bucket component).
+    pub crate_name: String,
+    /// Workspace-relative path.
+    pub rel_path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl Finding {
+    /// The ratchet bucket this finding counts against.
+    pub fn bucket(&self) -> String {
+        format!("{}/{}", self.rule, self.crate_name)
+    }
+}
+
+/// A malformed or unknown allow directive — reported as a hard error so
+/// escape hatches can't silently rot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectiveError {
+    /// Workspace-relative path.
+    pub rel_path: String,
+    /// 1-based line number of the directive.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Parsed allow directives of one file.
+#[derive(Default)]
+struct Allows {
+    /// (line, rule) pairs: suppress `rule` on that line and the next.
+    inline: Vec<(usize, String)>,
+    /// Rules suppressed for the whole file.
+    file: Vec<String>,
+    errors: Vec<DirectiveError>,
+}
+
+/// Extract `fdwlint::allow(...)` / `fdwlint::allow-file(...)` directives
+/// from the per-line comment channel. A directive must name a known rule
+/// and carry a non-empty `: <reason>` tail, and must open the comment
+/// (`// fdwlint::allow(...)`) — prose *mentioning* the syntax mid-comment
+/// is not a directive.
+fn parse_allows(rel_path: &str, comments: &[String]) -> Allows {
+    let mut out = Allows::default();
+    for (idx, text) in comments.iter().enumerate() {
+        let trimmed = text.trim_start();
+        let Some(rest) = trimmed.strip_prefix("fdwlint::allow") else {
+            continue;
+        };
+        let (is_file, rest) = match rest.strip_prefix("-file") {
+            Some(r) => (true, r),
+            None => (false, rest),
+        };
+        let mut err = |msg: String| {
+            out.errors.push(DirectiveError {
+                rel_path: rel_path.to_string(),
+                line: idx + 1,
+                message: msg,
+            });
+        };
+        let Some(rest) = rest.strip_prefix('(') else {
+            err("allow directive missing '(<rule>)'".into());
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            err("allow directive missing closing ')'".into());
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !is_rule(&rule) {
+            err(format!("allow directive names unknown rule '{rule}'"));
+            continue;
+        }
+        let tail = &rest[close + 1..];
+        let reason_ok = tail
+            .strip_prefix(':')
+            .map(str::trim)
+            .is_some_and(|r| !r.is_empty());
+        if !reason_ok {
+            err(format!(
+                "allow({rule}) needs a rationale: `fdwlint::allow({rule}): <why>`"
+            ));
+            continue;
+        }
+        if is_file {
+            out.file.push(rule);
+        } else {
+            out.inline.push((idx + 1, rule));
+        }
+    }
+    out
+}
+
+/// Scan one file against every applicable rule.
+pub fn scan_file(file: &SourceFile) -> (Vec<Finding>, Vec<DirectiveError>) {
+    let m = mask(&file.text);
+    let allows = parse_allows(&file.rel_path, &m.comments);
+    let mut findings = Vec::new();
+
+    let is_test_path = ["tests/", "benches/", "examples/"]
+        .iter()
+        .any(|d| file.rel_path.starts_with(d) || file.rel_path.contains(&format!("/{d}")));
+    if is_test_path {
+        return (findings, allows.errors);
+    }
+
+    let allowed = |rule: &str, line: usize| {
+        allows.file.iter().any(|r| r == rule)
+            || allows
+                .inline
+                .iter()
+                .any(|(l, r)| r == rule && (*l == line || *l + 1 == line))
+    };
+    let mut push = |rule: &'static str, line: usize| {
+        if allowed(rule, line) {
+            return;
+        }
+        findings.push(Finding {
+            rule,
+            crate_name: file.crate_name.clone(),
+            rel_path: file.rel_path.clone(),
+            line,
+            excerpt: file
+                .text
+                .lines()
+                .nth(line - 1)
+                .unwrap_or("")
+                .trim()
+                .to_string(),
+        });
+    };
+
+    let hash_names = collect_hash_names(&m.code, &m.in_test);
+
+    for (idx, code) in m.code.iter().enumerate() {
+        if m.in_test[idx] {
+            continue;
+        }
+        let line = idx + 1;
+
+        // wall-clock-in-sim
+        if file.crate_name != "fdw-bench"
+            && !WALLCLOCK_ALLOWLIST.contains(&file.rel_path.as_str())
+            && (code.contains("Instant::now") || code.contains("SystemTime::now"))
+        {
+            push("wall-clock-in-sim", line);
+        }
+
+        // unseeded-randomness
+        if [
+            "thread_rng",
+            "rand::random",
+            "from_entropy",
+            "OsRng",
+            "getrandom",
+        ]
+        .iter()
+        .any(|p| code.contains(p))
+        {
+            push("unseeded-randomness", line);
+        }
+
+        // raw-parallelism
+        if !PARALLELISM_ALLOWLIST.contains(&file.rel_path.as_str())
+            && [
+                "thread::spawn",
+                "rayon::join",
+                "rayon::scope",
+                "rayon::spawn",
+                "par_iter",
+                "par_chunks",
+                "par_bridge",
+            ]
+            .iter()
+            .any(|p| code.contains(p))
+        {
+            push("raw-parallelism", line);
+        }
+
+        // unordered-hash-iteration
+        if BYTE_STABLE_CRATES.contains(&file.crate_name.as_str())
+            && iterates_hash(code, &hash_names)
+            && !order_insensitive(&m.code, idx)
+        {
+            push("unordered-hash-iteration", line);
+        }
+
+        // unwrap-in-lib: library sources only (not bin targets), and the
+        // bench harness is exempt wholesale (its bins may panic freely).
+        if file.crate_name != "fdw-bench" && !file.rel_path.contains("/src/bin/") {
+            let hits = count_occurrences(code, ".unwrap()") + count_occurrences(code, "panic!(");
+            for _ in 0..hits {
+                push("unwrap-in-lib", line);
+            }
+        }
+    }
+    (findings, allows.errors)
+}
+
+/// Names bound to a `HashMap`/`HashSet` anywhere in the file's non-test
+/// code: `x: HashMap<..>` (let, param, field) and
+/// `x = HashMap::new()` / `HashSet::with_capacity(..)` forms. A
+/// name-level (not type-level) analysis — deliberately conservative, with
+/// the allow directive as the escape hatch.
+fn collect_hash_names(code: &[String], in_test: &[bool]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for (idx, line) in code.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        for marker in ["HashMap", "HashSet"] {
+            let mut from = 0usize;
+            while let Some(p) = line[from..].find(marker) {
+                let abs = from + p;
+                // Word boundary on both sides (skip e.g. `XHashMapY`).
+                let before = line[..abs].chars().next_back();
+                let after = line[abs + marker.len()..].chars().next();
+                let bounded = !before.is_some_and(|c| c.is_alphanumeric() || c == '_')
+                    && !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+                if bounded {
+                    if let Some(name) = binder_before(&line[..abs]) {
+                        if !names.contains(&name) {
+                            names.push(name);
+                        }
+                    }
+                }
+                from = abs + marker.len();
+            }
+        }
+    }
+    names
+}
+
+/// Given the text preceding a `HashMap`/`HashSet` token, extract the
+/// identifier it is bound to: `... name : [&mut] [path::]` or
+/// `... name = `.
+fn binder_before(prefix: &str) -> Option<String> {
+    let mut rest = prefix.trim_end();
+    // Strip type-path/reference noise between the binder and the marker:
+    // `std::collections::`, `&`, `&mut`, `Option<`, etc. Walk back over
+    // path segments and punctuation until we hit `:` or `=`.
+    loop {
+        rest = rest.trim_end();
+        if rest.ends_with("::") {
+            rest = &rest[..rest.len() - 2];
+            rest = rest.trim_end_matches(|c: char| c.is_alphanumeric() || c == '_');
+        } else if rest.ends_with('&') || rest.ends_with('<') || rest.ends_with('(') {
+            rest = &rest[..rest.len() - 1];
+        } else if rest.ends_with("mut") {
+            rest = &rest[..rest.len() - 3];
+        } else {
+            break;
+        }
+    }
+    rest = rest.trim_end();
+    let sep = rest.chars().next_back()?;
+    if sep != ':' && sep != '=' {
+        return None;
+    }
+    // `::` path separator is not a binder.
+    if sep == ':' && rest.len() >= 2 && rest.as_bytes()[rest.len() - 2] == b':' {
+        return None;
+    }
+    if sep == '='
+        && rest.len() >= 2
+        && matches!(rest.as_bytes()[rest.len() - 2], b'=' | b'!' | b'<' | b'>')
+    {
+        return None;
+    }
+    let rest = rest[..rest.len() - 1].trim_end();
+    let name: String = rest
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Does this masked line iterate one of the hash-typed names?
+fn iterates_hash(code: &str, names: &[String]) -> bool {
+    for name in names {
+        for suffix in [
+            ".iter()",
+            ".iter_mut()",
+            ".keys()",
+            ".values()",
+            ".values_mut()",
+            ".drain(",
+            ".into_iter()",
+            ".into_keys()",
+            ".into_values()",
+        ] {
+            let pat = format!("{name}{suffix}");
+            if contains_ident(code, &pat, name.len()) {
+                return true;
+            }
+        }
+        // `for x in name` / `for x in &name` / `for x in self.name`
+        if let Some(p) = code.find(" in ") {
+            let tail = code[p + 4..].trim_start();
+            let tail = tail
+                .trim_start_matches(['&', ' '])
+                .trim_start_matches("mut ");
+            let tail = tail.strip_prefix("self.").unwrap_or(tail);
+            if tail.starts_with(name.as_str()) {
+                let after = tail[name.len()..].chars().next();
+                if !after.is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '(') {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Non-overlapping occurrences of `pat` in `code` — the unwrap budget
+/// counts call sites, not lines.
+fn count_occurrences(code: &str, pat: &str) -> usize {
+    let mut n = 0;
+    let mut from = 0;
+    while let Some(p) = code[from..].find(pat) {
+        n += 1;
+        from += p + pat.len();
+    }
+    n
+}
+
+/// `pat` occurs in `code` with an identifier boundary before the name
+/// part (so `self.map.iter()` matches `map.iter()` but `bitmap.iter()`
+/// does not match `map.iter()`).
+fn contains_ident(code: &str, pat: &str, name_len: usize) -> bool {
+    let mut from = 0usize;
+    while let Some(p) = code[from..].find(pat) {
+        let abs = from + p;
+        let before = code[..abs].chars().next_back();
+        if !before.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            return true;
+        }
+        from = abs + name_len.max(1);
+    }
+    false
+}
+
+/// Is the iteration starting at line `idx` consumed order-insensitively?
+/// Looks ahead up to 4 lines for a sort, a BTree re-collection, or a
+/// commutative consumer; an opening `{` stops the window, because a loop
+/// body observes elements in hash order no matter what follows it.
+fn order_insensitive(code: &[String], idx: usize) -> bool {
+    let mut stmt = String::new();
+    for line in code.iter().skip(idx).take(4) {
+        stmt.push_str(line);
+        stmt.push(' ');
+        if line.trim_end().ends_with('{') {
+            break;
+        }
+    }
+    [
+        ".sort", // sort()/sort_by/sort_unstable after collect
+        "BTree", // re-collected into an ordered container
+        ".sum()",
+        ".sum::",
+        ".product()",
+        ".count()",
+        ".all(",
+        ".any(",
+        ".fold(", // only safe for commutative folds; reviewed case by case
+        ".min(",
+        ".max(",
+        ".min_by",
+        ".max_by",
+        ".contains(",
+        ".extend(", // extending an ordered/keyed container re-sorts on key
+    ]
+    .iter()
+    .any(|p| stmt.contains(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(crate_name: &str, rel_path: &str, text: &str) -> SourceFile {
+        SourceFile {
+            crate_name: crate_name.into(),
+            rel_path: rel_path.into(),
+            text: text.into(),
+        }
+    }
+
+    fn rules_fired(f: &SourceFile) -> Vec<&'static str> {
+        scan_file(f).0.into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn binder_extraction() {
+        assert_eq!(binder_before("    let mut held: "), Some("held".into()));
+        assert_eq!(binder_before("    jobs: "), Some("jobs".into()));
+        assert_eq!(
+            binder_before("let m = std::collections::"),
+            Some("m".into())
+        );
+        assert_eq!(binder_before("    counts: BTreeMap<String, "), None);
+        assert_eq!(binder_before("use std::collections::"), None);
+        assert_eq!(binder_before("    pub fn f(x: &mut "), Some("x".into()));
+    }
+
+    #[test]
+    fn wall_clock_fires_and_scopes() {
+        let f = file(
+            "htcsim",
+            "crates/htcsim/src/x.rs",
+            "fn f() { let t = std::time::Instant::now(); }\n",
+        );
+        assert_eq!(rules_fired(&f), vec!["wall-clock-in-sim"]);
+        // Bench crate is exempt (crate-level allow).
+        let b = file(
+            "fdw-bench",
+            "crates/bench/src/bin/x.rs",
+            "fn f() { let t = Instant::now(); }\n",
+        );
+        assert!(rules_fired(&b).is_empty());
+        // The one obs helper is allowlisted.
+        let o = file(
+            "fdw-obs",
+            "crates/obs/src/wallclock.rs",
+            "fn f() { let t = Instant::now(); }\n",
+        );
+        assert!(rules_fired(&o).is_empty());
+    }
+
+    #[test]
+    fn directives_suppress_and_validate() {
+        let same_line = file(
+            "fdw-core",
+            "crates/core/src/x.rs",
+            "let t = Instant::now(); // fdwlint::allow(wall-clock-in-sim): bench-only path\n",
+        );
+        assert!(rules_fired(&same_line).is_empty());
+        let prev_line = file(
+            "fdw-core",
+            "crates/core/src/x.rs",
+            "// fdwlint::allow(wall-clock-in-sim): measured outside sim\nlet t = Instant::now();\n",
+        );
+        assert!(rules_fired(&prev_line).is_empty());
+        let whole_file = file(
+            "fdw-core",
+            "crates/core/src/x.rs",
+            "// fdwlint::allow-file(wall-clock-in-sim): this file is wall-time tooling\n\nfn f() { Instant::now(); }\n",
+        );
+        assert!(rules_fired(&whole_file).is_empty());
+
+        let bad_rule = file(
+            "fdw-core",
+            "crates/core/src/x.rs",
+            "// fdwlint::allow(no-such-rule): whatever\n",
+        );
+        let (_, errs) = scan_file(&bad_rule);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("unknown rule"));
+
+        let no_reason = file(
+            "fdw-core",
+            "crates/core/src/x.rs",
+            "// fdwlint::allow(unwrap-in-lib)\nx.unwrap();\n",
+        );
+        let (f, errs) = scan_file(&no_reason);
+        assert_eq!(errs.len(), 1, "reason-less directive is an error");
+        assert_eq!(f.len(), 1, "and does not suppress");
+    }
+
+    #[test]
+    fn hash_iteration_fires_only_in_byte_stable_crates() {
+        let src = "fn f() {\n    let mut m: HashMap<u32, u32> = HashMap::new();\n    for (k, v) in &m { emit(k, v); }\n}\n";
+        let hit = file("htcsim", "crates/htcsim/src/x.rs", src);
+        assert_eq!(rules_fired(&hit), vec!["unordered-hash-iteration"]);
+        let other = file("fakequakes", "crates/fakequakes/src/x.rs", src);
+        assert!(rules_fired(&other).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_suppressed_by_sort_or_commutative_consumer() {
+        for src in [
+            "fn f(m: HashMap<u32, u32>) {\n    let mut v: Vec<_> = m.keys().collect();\n    v.sort();\n}\n",
+            "fn f(m: HashMap<u32, u32>) -> u32 { m.values().sum() }\n",
+            "fn f(m: HashMap<u32, u32>) -> bool { m.values().all(|v| *v > 0) }\n",
+            "fn f(m: HashSet<u32>) -> usize { m.iter().count() }\n",
+        ] {
+            let f = file("dagman", "crates/dagman/src/x.rs", src);
+            assert!(rules_fired(&f).is_empty(), "should not fire: {src}");
+        }
+    }
+
+    #[test]
+    fn unseeded_randomness_and_raw_parallelism() {
+        let r = file(
+            "eew",
+            "crates/eew/src/x.rs",
+            "fn f() { let mut rng = rand::thread_rng(); }\n",
+        );
+        assert_eq!(rules_fired(&r), vec!["unseeded-randomness"]);
+        let p = file(
+            "fdw-core",
+            "crates/core/src/x.rs",
+            "fn f() { std::thread::spawn(|| work()); }\n",
+        );
+        assert_eq!(rules_fired(&p), vec!["raw-parallelism"]);
+        let par = file(
+            "fakequakes",
+            "crates/fakequakes/src/par.rs",
+            "fn f() { rayon::join(|| a(), || b()); }\n",
+        );
+        assert!(
+            rules_fired(&par).is_empty(),
+            "par.rs is the sanctioned home"
+        );
+    }
+
+    #[test]
+    fn patterns_in_strings_comments_and_tests_do_not_fire() {
+        let src = concat!(
+            "// Instant::now() would be wrong here\n",
+            "const HINT: &str = \"never call thread_rng or x.unwrap()\";\n",
+            "const RAW: &str = r#\"par_iter in a raw string\"#;\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { let t = std::time::Instant::now(); x.unwrap(); }\n",
+            "}\n",
+        );
+        let f = file("htcsim", "crates/htcsim/src/x.rs", src);
+        assert!(rules_fired(&f).is_empty(), "{:?}", scan_file(&f).0);
+    }
+
+    #[test]
+    fn unwrap_budget_counts_lib_code_only() {
+        let lib = file(
+            "dagman",
+            "crates/dagman/src/x.rs",
+            "fn f() { x.unwrap(); panic!(\"boom\"); }\n",
+        );
+        assert_eq!(rules_fired(&lib), vec!["unwrap-in-lib", "unwrap-in-lib"]);
+        let bin = file(
+            "fdw-core",
+            "crates/core/src/bin/tool.rs",
+            "fn main() { x.unwrap(); }\n",
+        );
+        assert!(rules_fired(&bin).is_empty());
+        let test_file = file(
+            "dagman",
+            "crates/dagman/tests/proptests.rs",
+            "fn f() { x.unwrap(); }\n",
+        );
+        assert!(rules_fired(&test_file).is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! The workspace self-check: scanning the repository this test lives in
+//! must come back clean against the committed `fdwlint.baseline.json`.
+//! This is the same gate `scripts/ci.sh` runs via the CLI, wired into
+//! `cargo test` so a violating edit fails before CI ever sees it.
+
+use std::path::PathBuf;
+
+use fdwlint::{collect_workspace_sources, report, scan_sources, Baseline, Ratchet};
+
+fn workspace_root() -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    root.canonicalize().expect("workspace root resolves")
+}
+
+#[test]
+fn workspace_is_clean_against_committed_baseline() {
+    let root = workspace_root();
+    let sources = collect_workspace_sources(&root).expect("workspace sources readable");
+    assert!(
+        sources.len() > 50,
+        "suspiciously few sources ({}) — walker broken?",
+        sources.len()
+    );
+    // This very file must be in the walk (tests are scanned for
+    // directive errors even though path-scoped rules skip them).
+    assert!(sources
+        .iter()
+        .any(|s| s.rel_path == "crates/fdwlint/tests/selfcheck.rs"));
+
+    let outcome = scan_sources(&sources);
+    assert!(
+        outcome.directive_errors.is_empty(),
+        "broken allow directives:\n{:#?}",
+        outcome.directive_errors
+    );
+
+    let baseline_text = std::fs::read_to_string(root.join("fdwlint.baseline.json"))
+        .expect("committed fdwlint.baseline.json");
+    let baseline = Baseline::parse(&baseline_text).expect("committed baseline parses");
+    let ratchet = Ratchet::compare(&outcome, &baseline);
+    assert!(
+        ratchet.is_clean(&outcome),
+        "workspace over fdwlint budget — fix the findings, add an allow \
+         with a rationale, or (for reductions only) run \
+         `cargo run -p fdwlint -- --update-baseline`:\n{}",
+        report::human(&outcome, &ratchet)
+    );
+}
+
+#[test]
+fn committed_baseline_is_canonical() {
+    // The committed file must be byte-for-byte what fdwlint itself would
+    // write: hand-edits that reorder keys or tweak whitespace break the
+    // "one canonical artifact" property diffs rely on.
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("fdwlint.baseline.json")).unwrap();
+    assert!(fdw_obs::json::validate(&text).is_ok());
+    let parsed = Baseline::parse(&text).unwrap();
+    assert_eq!(text, parsed.to_json(), "baseline not in canonical form");
+}
+
+#[test]
+fn json_report_of_the_workspace_validates() {
+    let root = workspace_root();
+    let sources = collect_workspace_sources(&root).unwrap();
+    let outcome = scan_sources(&sources);
+    let baseline =
+        Baseline::parse(&std::fs::read_to_string(root.join("fdwlint.baseline.json")).unwrap())
+            .unwrap();
+    let ratchet = Ratchet::compare(&outcome, &baseline);
+    let doc = report::json(&outcome, &ratchet, &baseline);
+    assert!(
+        fdw_obs::json::validate(&doc).is_ok(),
+        "fdwlint --json emits invalid JSON"
+    );
+    assert!(doc.contains("\"tool\": \"fdwlint\""));
+    assert!(doc.contains("\"status\": \"clean\""));
+}

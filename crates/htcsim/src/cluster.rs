@@ -7,7 +7,7 @@
 //! whenever the glidein underneath disappears — exactly the observable
 //! state machine of an OSPool job.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use fdw_obs::Obs;
 use rand::rngs::StdRng;
@@ -686,8 +686,11 @@ impl Cluster {
         // Round-robin across owners that have idle jobs. Jobs whose
         // requirements no current slot satisfies go to a hold-back buffer
         // so the cycle terminates; they return to the queue afterwards.
+        // BTreeMap, not HashMap: the buffer is drained back into the idle
+        // queues below, and that walk must not depend on hasher state
+        // (fdwlint `unordered-hash-iteration`).
         let owners: Vec<OwnerId> = self.owner_order.clone();
-        let mut held: HashMap<OwnerId, Vec<JobId>> = HashMap::new();
+        let mut held: BTreeMap<OwnerId, Vec<JobId>> = BTreeMap::new();
         let mut progressed = true;
         while budget > 0 && progressed {
             progressed = false;
@@ -719,6 +722,7 @@ impl Cluster {
                 };
                 let Some(slot) = self.pick_slot(&mut free, need_mem, need_disk) else {
                     // Requirements unmatched this cycle: hold the job back.
+                    self.obs.inc("pool.holdbacks", 1);
                     held.entry(*owner).or_default().push(job);
                     progressed = true;
                     continue;
@@ -749,11 +753,12 @@ impl Cluster {
                 progressed = true;
             }
         }
-        // Held-back jobs return to the front of their queues, preserving
-        // FIFO order for the next cycle.
-        for (owner, jobs) in held {
+        // Held-back jobs return to the front of their queues in owner
+        // order, preserving FIFO order within each owner for the next
+        // cycle.
+        for (owner, held_jobs) in held {
             let q = self.idle.entry(owner).or_default();
-            for job in jobs.into_iter().rev() {
+            for job in held_jobs.into_iter().rev() {
                 q.push_front(job);
             }
         }

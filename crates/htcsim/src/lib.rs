@@ -47,6 +47,7 @@
 //! assert_eq!(report.completed, 10);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cluster;

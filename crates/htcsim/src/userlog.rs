@@ -208,6 +208,7 @@ impl UserLog {
             }
         }
         // Jobs still running at makespan.
+        // fdwlint::allow(unordered-hash-iteration): commutative accumulation into a delta array — `+=` per bucket is order-insensitive
         for (_, s) in started {
             delta[s.as_secs() as usize] += 1;
             delta[end + 1] -= 1;

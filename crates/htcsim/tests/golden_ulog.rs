@@ -9,6 +9,7 @@
 //! `GOLDEN_REGEN=1 cargo test -p htcsim --test golden_ulog` (then review
 //! the fixture diff like any other code change).
 
+use fdw_obs::Obs;
 use htcsim::cluster::{Cluster, ClusterConfig, WorkloadDriver};
 use htcsim::condor_log::{parse_condor_log, to_condor_log};
 use htcsim::fault::{FaultConfig, HoldReason};
@@ -173,6 +174,75 @@ fn faulty_run_log() -> UserLog {
         ..ClusterConfig::with_cache()
     };
     Cluster::new(cfg, 11).run(&mut Bag::new(6)).log
+}
+
+/// Two owners submitting a mix of big (16 GB) and small jobs into a pool
+/// where only half the slots are big: every negotiation cycle routes the
+/// unmatched big jobs through the hold-back buffer, the path rewritten
+/// from `HashMap` to `BTreeMap` for the `unordered-hash-iteration` lint.
+fn holdback_run(obs: Obs) -> htcsim::cluster::RunReport {
+    let cfg = ClusterConfig {
+        pool: PoolConfig {
+            target_slots: 8,
+            glidein_slots: 2,
+            avail_mean: 1.0,
+            avail_sigma: 0.0,
+            glidein_lifetime_s: 1e9,
+            big_slot_fraction: 0.5,
+            ..Default::default()
+        },
+        ..ClusterConfig::with_cache()
+    };
+    let mut pending = Vec::new();
+    for owner in [0u32, 1, 2] {
+        for i in 0..3u32 {
+            let mut spec = JobSpec::fixed(format!("big.{owner}.{i}"), 250.0);
+            spec.memory_mb = 16_384;
+            spec.disk_mb = 16_384;
+            pending.push(SubmitRequest {
+                owner: OwnerId(owner),
+                spec,
+            });
+            pending.push(SubmitRequest {
+                owner: OwnerId(owner),
+                spec: JobSpec::fixed(format!("small.{owner}.{i}"), 200.0),
+            });
+        }
+    }
+    let outstanding = pending.len();
+    Cluster::new(cfg, 23).with_obs(obs).run(&mut Bag {
+        pending,
+        outstanding,
+    })
+}
+
+#[test]
+fn holdback_negotiation_is_byte_identical_and_matches_golden() {
+    // Byte-identity: two runs with the same seed must render the same
+    // ULOG text and the same metrics-registry JSON, and both must match
+    // the committed fixture — proving the BTreeMap hold-back buffer
+    // changed nothing observable while removing hasher-order dependence.
+    let obs_a = Obs::enabled();
+    let obs_b = Obs::enabled();
+    let a = holdback_run(obs_a.clone());
+    let b = holdback_run(obs_b.clone());
+    let text_a = to_condor_log(&a.log);
+    let text_b = to_condor_log(&b.log);
+    assert_eq!(text_a, text_b, "ULOG bytes differ across identical runs");
+    assert_eq!(
+        obs_a.registry_json(),
+        obs_b.registry_json(),
+        "metrics JSON differs across identical runs"
+    );
+    assert_golden(&text_a, "holdback_run.log");
+    assert_eq!(a.completed, 18);
+    // The scenario really exercises the hold-back path: with 9 big jobs
+    // and only half the slots big-capable, some negotiation cycle must
+    // have deferred at least one job past an incompatible slot.
+    assert!(
+        obs_a.counter("pool.holdbacks") > 0,
+        "workload never exercised the hold-back buffer; fixture is weak"
+    );
 }
 
 #[test]

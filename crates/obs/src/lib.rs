@@ -35,6 +35,7 @@
 //! assert!(fdw_obs::json::validate(&obs.chrome_trace()).is_ok());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chrome;
@@ -42,6 +43,7 @@ pub mod dag_metrics;
 pub mod json;
 pub mod metrics;
 pub mod trace;
+pub mod wallclock;
 
 use std::sync::Arc;
 

@@ -1,0 +1,45 @@
+//! The **single** sanctioned wall-clock read of the workspace.
+//!
+//! Everything in the suite is stamped with simulation time so seeded runs
+//! export byte-identical artifacts; the one legitimate use of the host
+//! clock is *measuring how long real kernels take* (`fq.kernel.*` spans,
+//! bench harness timing). That read lives here, behind [`WallTimer`], so
+//! the `fdwlint` `wall-clock-in-sim` rule can allowlist exactly one file
+//! (`crates/obs/src/wallclock.rs`) and flag any `Instant::now()` that
+//! creeps into simulation code paths. (The bench crate carries its own
+//! crate-level allow — see DESIGN.md §9.)
+
+/// A started wall-clock timer. Durations only — wall-clock *instants*
+/// deliberately have no accessor, so measured time can annotate telemetry
+/// but can never leak into simulation state or serialised artifacts.
+#[derive(Debug, Clone, Copy)]
+pub struct WallTimer {
+    start: std::time::Instant,
+}
+
+impl WallTimer {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Self {
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed since [`WallTimer::start`].
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_is_monotonic() {
+        let t = WallTimer::start();
+        let a = t.elapsed_us();
+        let b = t.elapsed_us();
+        assert!(b >= a);
+    }
+}

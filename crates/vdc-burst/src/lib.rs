@@ -26,6 +26,7 @@
 //! assert_eq!(control.runtime_secs, 600);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod elastic;

@@ -10,6 +10,12 @@ cargo build --workspace --release
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> fdwlint (determinism lints vs ratchet baseline)"
+cargo run -q -p fdwlint
+cargo run -q -p fdwlint -- --json > target/fdwlint.report.json
+cargo run -q -p fdw-bench --release --bin validate_trace -- \
+  target/fdwlint.report.json
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Opt-in dynamic determinism pass (DESIGN.md §9) — the runtime complement
+# of the static `fdwlint` gate. Two stages:
+#
+#   1. Thread-count determinism smoke: run the artifact-writing science
+#      path at FDW_THREADS ∈ {1, 2, 8} and byte-compare every `.npy` and
+#      `.mseed` product across thread counts. Parallel must equal
+#      sequential bitwise, all the way down to the serialised bytes.
+#   2. ThreadSanitizer over the parallel kernels — requires a nightly
+#      toolchain with the rust-src component; skipped (with a notice,
+#      exit 0) when unavailable, so the script is safe to run anywhere.
+#
+# Not part of scripts/ci.sh: run it by hand or from a scheduled job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> thread-count determinism smoke (FDW_THREADS 1/2/8)"
+SMOKE_ROOT="$PWD/target/sanitize"
+rm -rf "$SMOKE_ROOT"
+for n in 1 2 8; do
+  dir="$SMOKE_ROOT/threads-$n"
+  mkdir -p "$dir"
+  echo "  -> FDW_THREADS=$n"
+  # fakequakes::par sizes its fan-out from the Rayon pool, so the
+  # suite's FDW_THREADS knob maps onto RAYON_NUM_THREADS; the example
+  # writes its products under \$TMPDIR.
+  FDW_THREADS="$n" RAYON_NUM_THREADS="$n" TMPDIR="$dir" \
+    cargo run -q --release --example chile_catalog >/dev/null
+done
+
+baseline_dir="$SMOKE_ROOT/threads-1/fdw_chile_catalog"
+artifacts=$(cd "$baseline_dir" && ls ./*.npy ./*.mseed)
+[ -n "$artifacts" ] || { echo "no .npy/.mseed artifacts produced"; exit 1; }
+fail=0
+for n in 2 8; do
+  for f in $artifacts; do
+    if cmp -s "$baseline_dir/$f" "$SMOKE_ROOT/threads-$n/fdw_chile_catalog/$f"; then
+      :
+    else
+      echo "  BYTE MISMATCH: $f differs between FDW_THREADS=1 and FDW_THREADS=$n"
+      fail=1
+    fi
+  done
+  echo "  -> threads-$n vs threads-1: $(echo "$artifacts" | wc -w) artifact(s) compared"
+done
+[ "$fail" -eq 0 ] || { echo "thread-count determinism smoke FAILED"; exit 1; }
+echo "  byte-identical across FDW_THREADS 1/2/8."
+
+echo "==> ThreadSanitizer (nightly, opt-in)"
+if ! command -v rustup >/dev/null 2>&1; then
+  echo "  rustup not installed — skipping TSan stage."
+  exit 0
+fi
+if ! rustup toolchain list 2>/dev/null | grep -q nightly; then
+  echo "  no nightly toolchain installed — skipping TSan stage."
+  echo "  (install with: rustup toolchain install nightly --component rust-src)"
+  exit 0
+fi
+if ! rustup component list --toolchain nightly 2>/dev/null \
+    | grep -q '^rust-src (installed)'; then
+  echo "  nightly lacks rust-src (needed for -Zbuild-std) — skipping TSan stage."
+  echo "  (install with: rustup component add rust-src --toolchain nightly)"
+  exit 0
+fi
+host=$(rustc -vV | sed -n 's/^host: //p')
+echo "  running TSan over the parallel kernels (fakequakes) on $host..."
+RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+  cargo +nightly test -Zbuild-std --target "$host" -p fakequakes --lib
+echo "sanitize pass green."

@@ -21,6 +21,7 @@
 //! See `examples/quickstart.rs` for a five-minute tour and the
 //! `fdw-bench` crate for the per-figure experiment harness.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use dagman;
