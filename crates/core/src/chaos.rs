@@ -20,12 +20,13 @@ use htcsim::cluster::{Cluster, ClusterConfig};
 use htcsim::fault::FaultConfig;
 use htcsim::job::OwnerId;
 use htcsim::pool::PoolConfig;
+use htcsim::scoreboard::DefenseStats;
 
 use crate::config::FdwConfig;
 use crate::live;
 use crate::phases::build_fdw_dag;
 
-/// The six fault classes the chaos matrix exercises.
+/// The seven fault classes the chaos matrix exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultClass {
     /// Execution attempts exit non-zero at random; retries cure them.
@@ -42,17 +43,22 @@ pub enum FaultClass {
     Hold,
     /// A tight walltime limit holds-and-removes long jobs.
     Timeout,
+    /// Cached transfer payloads are silently corrupted; without the
+    /// checksum defense the corruption surfaces only as a late exec
+    /// failure after the full runtime is burned.
+    Corruption,
 }
 
 impl FaultClass {
     /// Every class, in matrix order.
-    pub const ALL: [FaultClass; 6] = [
+    pub const ALL: [FaultClass; 7] = [
         FaultClass::TransientExit,
         FaultClass::PermanentExit,
         FaultClass::BlackHole,
         FaultClass::TransferFail,
         FaultClass::Hold,
         FaultClass::Timeout,
+        FaultClass::Corruption,
     ];
 
     /// Human-readable label used in reports.
@@ -64,6 +70,7 @@ impl FaultClass {
             FaultClass::TransferFail => "transfer-fail",
             FaultClass::Hold => "hold",
             FaultClass::Timeout => "timeout",
+            FaultClass::Corruption => "corruption",
         }
     }
 
@@ -82,6 +89,7 @@ impl FaultClass {
                 // of rupture jobs; higher intensity squeezes harder.
                 cfg.job_timeout_s = (600.0 * (1.0 - intensity)).max(60.0) as u64;
             }
+            FaultClass::Corruption => cfg.fault.corrupt_prob = intensity,
         }
     }
 }
@@ -110,6 +118,20 @@ pub struct ChaosReport {
     /// rescue file of that round (the last entry covers the finishing
     /// round, which needs no rescue).
     pub round_metrics: Vec<String>,
+    /// Execution seconds that ended in a completion, summed over rounds.
+    pub goodput_s: u64,
+    /// Execution seconds lost to failures, evictions, holds and cancelled
+    /// speculative duplicates, summed over rounds.
+    pub badput_s: u64,
+    /// Simulated wall-clock seconds to finish the campaign (all rounds).
+    pub makespan_s: u64,
+    /// Pool-side defense actions (blacklists, paroles, quarantines),
+    /// summed over rounds. All-zero when defenses are off.
+    pub defense: DefenseStats,
+    /// Speculative duplicates launched by the straggler defense.
+    pub speculations: u64,
+    /// Execution seconds burned by cancelled speculative losers.
+    pub spec_wasted_s: f64,
 }
 
 /// A small, fully available pool: campaigns finish in seconds and the
@@ -173,9 +195,14 @@ pub fn run_chaos_campaign_with_obs(
     let holds0 = obs.counter("dagman.holds");
     obs.inc("chaos.campaigns", 1);
 
-    let mut dm = Dagman::new(build_fdw_dag(&cfg)?, OwnerId(0));
+    let mut dm = Dagman::new(build_fdw_dag(&cfg)?, OwnerId(0)).with_speculation(cfg.speculation);
     let mut faulty_cluster = cluster_cfg.clone();
     faulty_cluster.faults = cfg.fault;
+    // Defenses stay configured across every round: the operator repairs
+    // the pool faults between rounds, not the defense layer.
+    faulty_cluster.defense = cfg.defense;
+    let mut repaired_cluster = cluster_cfg.clone();
+    repaired_cluster.defense = cfg.defense;
 
     let mut rounds = 0u32;
     let mut dm_retries = 0u64;
@@ -183,6 +210,11 @@ pub fn run_chaos_campaign_with_obs(
     let mut first_round_failures = 0usize;
     let mut rescue_files: Vec<String> = Vec::new();
     let mut round_metrics: Vec<String> = Vec::new();
+    let mut goodput_s = 0u64;
+    let mut badput_s = 0u64;
+    let mut defense = DefenseStats::default();
+    let mut speculations = 0u64;
+    let mut spec_wasted_s = 0f64;
     // Cumulative offset so round N+1's trace starts where round N ended.
     let mut clock_s = 0u64;
     loop {
@@ -198,7 +230,7 @@ pub fn run_chaos_campaign_with_obs(
         let cluster = if rounds == 1 {
             faulty_cluster.clone()
         } else {
-            cluster_cfg.clone()
+            repaired_cluster.clone()
         };
         let round_obs = obs.scoped(rounds, clock_s);
         dm = dm.with_obs(round_obs.clone());
@@ -207,6 +239,11 @@ pub fn run_chaos_campaign_with_obs(
             .run(&mut dm);
         dm_retries += dm.retries();
         dm_holds += dm.holds();
+        defense.blacklists += report.defense.blacklists;
+        defense.paroles += report.defense.paroles;
+        defense.quarantines += report.defense.quarantines;
+        speculations += dm.speculations();
+        spec_wasted_s += dm.wasted_speculative_seconds();
         obs.inc("chaos.rounds", 1);
         let makespan_s = report.makespan.as_secs();
         round_obs.span("chaos", &format!("round:{rounds}"), 0, 0, makespan_s);
@@ -223,7 +260,9 @@ pub fn run_chaos_campaign_with_obs(
         let rescue_number = rescue_files.len() as u32 + u32::from(!finished);
         let stats = per_dagman_stats(&report);
         if let Some(s) = stats.iter().find(|s| s.owner == dm.owner()) {
-            round_metrics.push(dag_metrics(&dm, s, rescue_number).render());
+            goodput_s += s.goodput_secs;
+            badput_s += s.badput_secs;
+            round_metrics.push(dag_metrics(&dm, s, rescue_number, report.defense).render());
         }
         clock_s += makespan_s;
         if finished {
@@ -244,7 +283,8 @@ pub fn run_chaos_campaign_with_obs(
             job_timeout_s: 0,
             ..cfg.clone()
         };
-        dm = resume(build_fdw_dag(&repaired)?, &done, OwnerId(0))?;
+        dm =
+            resume(build_fdw_dag(&repaired)?, &done, OwnerId(0))?.with_speculation(cfg.speculation);
     }
 
     let (retries, holds) = if obs.is_enabled() {
@@ -267,6 +307,12 @@ pub fn run_chaos_campaign_with_obs(
         digest,
         rescue_files,
         round_metrics,
+        goodput_s,
+        badput_s,
+        makespan_s: clock_s,
+        defense,
+        speculations,
+        spec_wasted_s,
     })
 }
 
@@ -440,6 +486,48 @@ mod tests {
         if rep.rounds >= 2 {
             assert!(trace.contains("\"pid\":2"));
         }
+    }
+
+    #[test]
+    fn corruption_campaign_recovers_with_and_without_checksums() {
+        let cfg = tiny_cfg();
+        let baseline = baseline_digest(&cfg).unwrap();
+        // Undefended: silent corruption surfaces as late exec failures
+        // (the full runtime is burned before the bad input is noticed);
+        // retries on a fresh generation eventually cure each job.
+        let off = run_chaos_campaign(
+            FaultClass::Corruption,
+            0.9,
+            &cfg,
+            &chaos_cluster_config(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(off.digest, baseline, "corruption must never alter products");
+        assert!(off.retries > 0, "p=0.9 must poison some stage-ins");
+        // Defended: verify-on-read quarantines the bad copy at stage-in
+        // and re-fetches from origin — same products, no poisoned runs.
+        let mut defended = cfg.clone();
+        defended.defense.checksum_enabled = true;
+        let on = run_chaos_campaign(
+            FaultClass::Corruption,
+            0.9,
+            &defended,
+            &chaos_cluster_config(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(on.digest, baseline);
+        assert!(
+            on.defense.quarantines > 0,
+            "checksums must catch corruption"
+        );
+        assert!(
+            on.badput_s < off.badput_s,
+            "verify-on-read must beat burn-the-runtime: on={} off={}",
+            on.badput_s,
+            off.badput_s
+        );
     }
 
     #[test]

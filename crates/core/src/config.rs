@@ -5,9 +5,11 @@
 //! The format is `key = value` lines with `#` comments — serialisable via
 //! [`FdwConfig::to_config_file`] and parsed by [`FdwConfig::parse`].
 
+use dagman::driver::SpeculationConfig;
 use fakequakes::stations::ChileanInput;
 use fakequakes::stf::StfKind;
 use htcsim::fault::FaultConfig;
+use htcsim::scoreboard::DefenseConfig;
 
 /// Which subduction margin to simulate. The paper evaluates Chile; §7
 /// names "regions beyond Chile" as future work, realised here as
@@ -105,6 +107,10 @@ pub struct FdwConfig {
     pub job_timeout_s: u64,
     /// Fault-injection plan applied to the cluster (all-zero = no faults).
     pub fault: FaultConfig,
+    /// Pool-side failure defenses (scoreboard, checksums; off by default).
+    pub defense: DefenseConfig,
+    /// DAGMan straggler speculation (off by default).
+    pub speculation: SpeculationConfig,
 }
 
 impl Default for FdwConfig {
@@ -127,6 +133,8 @@ impl Default for FdwConfig {
             retry_defer_s: 60,
             job_timeout_s: 0,
             fault: FaultConfig::default(),
+            defense: DefenseConfig::default(),
+            speculation: SpeculationConfig::default(),
         }
     }
 }
@@ -150,6 +158,8 @@ impl FdwConfig {
             return Err("mw_range must be ordered".into());
         }
         self.fault.validate()?;
+        self.defense.validate()?;
+        self.speculation.validate()?;
         Ok(())
     }
 
@@ -196,7 +206,20 @@ impl FdwConfig {
              fault_black_hole = {}\n\
              fault_transfer = {}\n\
              fault_hold = {}\n\
-             fault_hold_release_s = {}\n",
+             fault_hold_release_s = {}\n\
+             fault_corrupt = {}\n\
+             defense_scoreboard = {}\n\
+             defense_ewma_alpha = {}\n\
+             defense_fast_fail_s = {}\n\
+             defense_deprioritize = {}\n\
+             defense_blacklist_after = {}\n\
+             defense_parole_s = {}\n\
+             defense_checksum = {}\n\
+             defense_checksum_requeue_s = {}\n\
+             speculation = {}\n\
+             speculation_multiplier = {}\n\
+             speculation_quantile = {}\n\
+             speculation_min_samples = {}\n",
             self.region.label(),
             self.fault_nx,
             self.fault_nd,
@@ -221,6 +244,19 @@ impl FdwConfig {
             self.fault.transfer_fail_prob,
             self.fault.hold_prob,
             self.fault.hold_release_s,
+            self.fault.corrupt_prob,
+            self.defense.scoreboard_enabled,
+            self.defense.ewma_alpha,
+            self.defense.fast_fail_s,
+            self.defense.deprioritize_threshold,
+            self.defense.blacklist_after,
+            self.defense.parole_s,
+            self.defense.checksum_enabled,
+            self.defense.checksum_requeue_s,
+            self.speculation.enabled,
+            self.speculation.multiplier,
+            self.speculation.quantile,
+            self.speculation.min_samples,
         )
     }
 
@@ -297,6 +333,55 @@ impl FdwConfig {
                 "fault_hold_release_s" => {
                     cfg.fault.hold_release_s =
                         value.parse().map_err(|_| bad("fault_hold_release_s"))?
+                }
+                "fault_corrupt" => {
+                    cfg.fault.corrupt_prob = value.parse().map_err(|_| bad("fault_corrupt"))?
+                }
+                "defense_scoreboard" => {
+                    cfg.defense.scoreboard_enabled =
+                        value.parse().map_err(|_| bad("defense_scoreboard"))?
+                }
+                "defense_ewma_alpha" => {
+                    cfg.defense.ewma_alpha = value.parse().map_err(|_| bad("defense_ewma_alpha"))?
+                }
+                "defense_fast_fail_s" => {
+                    cfg.defense.fast_fail_s =
+                        value.parse().map_err(|_| bad("defense_fast_fail_s"))?
+                }
+                "defense_deprioritize" => {
+                    cfg.defense.deprioritize_threshold =
+                        value.parse().map_err(|_| bad("defense_deprioritize"))?
+                }
+                "defense_blacklist_after" => {
+                    cfg.defense.blacklist_after =
+                        value.parse().map_err(|_| bad("defense_blacklist_after"))?
+                }
+                "defense_parole_s" => {
+                    cfg.defense.parole_s = value.parse().map_err(|_| bad("defense_parole_s"))?
+                }
+                "defense_checksum" => {
+                    cfg.defense.checksum_enabled =
+                        value.parse().map_err(|_| bad("defense_checksum"))?
+                }
+                "defense_checksum_requeue_s" => {
+                    cfg.defense.checksum_requeue_s = value
+                        .parse()
+                        .map_err(|_| bad("defense_checksum_requeue_s"))?
+                }
+                "speculation" => {
+                    cfg.speculation.enabled = value.parse().map_err(|_| bad("speculation"))?
+                }
+                "speculation_multiplier" => {
+                    cfg.speculation.multiplier =
+                        value.parse().map_err(|_| bad("speculation_multiplier"))?
+                }
+                "speculation_quantile" => {
+                    cfg.speculation.quantile =
+                        value.parse().map_err(|_| bad("speculation_quantile"))?
+                }
+                "speculation_min_samples" => {
+                    cfg.speculation.min_samples =
+                        value.parse().map_err(|_| bad("speculation_min_samples"))?
                 }
                 other => return Err(format!("line {}: unknown key '{other}'", lineno + 1)),
             }
@@ -388,13 +473,52 @@ mod tests {
                 transfer_fail_prob: 0.05,
                 hold_prob: 0.02,
                 hold_release_s: 300.0,
+                corrupt_prob: 0.03,
             },
             ..Default::default()
         };
         let text = cfg.to_config_file();
         assert!(text.contains("fault_transient = 0.25"));
+        assert!(text.contains("fault_corrupt = 0.03"));
         let parsed = FdwConfig::parse(&text).unwrap();
         assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn defense_keys_roundtrip() {
+        let cfg = FdwConfig {
+            defense: DefenseConfig {
+                scoreboard_enabled: true,
+                ewma_alpha: 0.3,
+                fast_fail_s: 45.0,
+                deprioritize_threshold: 0.6,
+                blacklist_after: 3,
+                parole_s: 900.0,
+                checksum_enabled: true,
+                checksum_requeue_s: 20.0,
+            },
+            speculation: SpeculationConfig {
+                enabled: true,
+                multiplier: 2.5,
+                quantile: 0.9,
+                min_samples: 4,
+            },
+            ..Default::default()
+        };
+        let text = cfg.to_config_file();
+        assert!(text.contains("defense_scoreboard = true"));
+        assert!(text.contains("speculation_multiplier = 2.5"));
+        let parsed = FdwConfig::parse(&text).unwrap();
+        assert_eq!(parsed, cfg);
+        // Defaults keep every defense off, so legacy configs are
+        // untouched by the new knobs.
+        let d = FdwConfig::default();
+        assert!(!d.defense.any_enabled());
+        assert!(!d.speculation.enabled);
+        // Bad knob values are rejected at validate time.
+        assert!(FdwConfig::parse("defense_scoreboard = true\ndefense_ewma_alpha = 2.0\n").is_err());
+        assert!(FdwConfig::parse("speculation = true\nspeculation_multiplier = 0.5\n").is_err());
+        assert!(FdwConfig::parse("defense_scoreboards = true\n").is_err());
     }
 
     #[test]

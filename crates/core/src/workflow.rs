@@ -41,6 +41,7 @@ pub fn osg_cluster_config() -> ClusterConfig {
         // OSG does not cap evictions for FDW jobs; retries are free.
         max_evictions_per_job: 0,
         faults: Default::default(),
+        defense: Default::default(),
     }
 }
 
@@ -120,6 +121,10 @@ pub fn run_concurrent_fdw_with_obs(
     if base_cfg.fault.any_enabled() {
         cluster_cfg.faults = base_cfg.fault;
     }
+    // Same for the pool-side defense layer.
+    if base_cfg.defense.any_enabled() {
+        cluster_cfg.defense = base_cfg.defense;
+    }
     let mut dags = Vec::with_capacity(n_dagmans);
     for share in split_waveforms(total_waveforms, n_dagmans) {
         let cfg = FdwConfig {
@@ -128,7 +133,9 @@ pub fn run_concurrent_fdw_with_obs(
         };
         dags.push(build_fdw_dag(&cfg)?);
     }
-    let mut multi = MultiDagman::new(dags).with_obs(obs.clone());
+    let mut multi = MultiDagman::new(dags)
+        .with_obs(obs.clone())
+        .with_speculation(base_cfg.speculation);
     let report = Cluster::new(cluster_cfg, seed)
         .with_obs(obs.clone())
         .run(&mut multi);
@@ -149,7 +156,7 @@ pub fn run_concurrent_fdw_with_obs(
                 .iter()
                 .find(|s| s.owner == dm.owner())
                 .ok_or_else(|| format!("no stats for owner {}", dm.owner().0))?;
-            Ok(dag_metrics(dm, s, 0).render())
+            Ok(dag_metrics(dm, s, 0, report.defense).render())
         })
         .collect::<Result<Vec<_>, String>>()?;
     Ok(FdwOutcome {

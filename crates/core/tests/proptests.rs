@@ -75,6 +75,8 @@ fn arb_config() -> impl Strategy<Value = FdwConfig> {
                     retry_defer_s: defer,
                     job_timeout_s: timeout,
                     fault,
+                    defense: Default::default(),
+                    speculation: Default::default(),
                 }
             },
         )
@@ -162,5 +164,70 @@ proptest! {
         );
         // GF bundle grows with the station list.
         prop_assert!(gf_mseed(stations + 1).size_mb > gf_mseed(stations).size_mb);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The self-healing defenses change scheduling, never science: for
+    /// any seeded black-hole + corruption campaign, the product digest
+    /// with every defense on is byte-identical to the digest with all of
+    /// them off, and both match the fault-free baseline.
+    #[test]
+    fn defenses_never_change_science_products(
+        seed in 1u64..500,
+        fseed in any::<u64>(),
+        bh in 0u8..4,
+        cp in 0u8..5,
+    ) {
+        use fdw_core::chaos::{
+            baseline_digest, chaos_cluster_config, run_chaos_campaign, FaultClass,
+        };
+
+        let mut cfg = FdwConfig {
+            fault_nx: 10,
+            fault_nd: 5,
+            station_input: StationInput::Chilean(ChileanInput::Small),
+            n_waveforms: 4,
+            ruptures_per_job: 2,
+            waveforms_per_job: 2,
+            retries: 3,
+            retry_defer_s: 30,
+            seed,
+            ..Default::default()
+        };
+        cfg.fault.seed = fseed;
+        cfg.fault.corrupt_prob = f64::from(cp) / 8.0;
+        // Every slot big: an unlucky pool seed must not starve the 16 GB
+        // matrix/GF requests — this test is about defenses, not matching.
+        let mut cluster = chaos_cluster_config();
+        cluster.pool.big_slot_fraction = 1.0;
+        let baseline = baseline_digest(&cfg).unwrap();
+
+        let off = run_chaos_campaign(
+            FaultClass::BlackHole,
+            f64::from(bh) / 10.0,
+            &cfg,
+            &cluster,
+            6,
+        )
+        .unwrap();
+        prop_assert_eq!(off.digest, baseline);
+
+        let mut defended = cfg.clone();
+        defended.defense.scoreboard_enabled = true;
+        defended.defense.checksum_enabled = true;
+        defended.speculation.enabled = true;
+        let on = run_chaos_campaign(
+            FaultClass::BlackHole,
+            f64::from(bh) / 10.0,
+            &defended,
+            &cluster,
+            6,
+        )
+        .unwrap();
+        prop_assert_eq!(on.digest, baseline, "defenses must never alter products");
+        prop_assert_eq!(on.digest, off.digest);
     }
 }

@@ -1,10 +1,12 @@
 //! The DAGMan scheduler: a [`WorkloadDriver`] that walks a [`Dag`] on the
 //! cluster, submitting nodes whose parents have finished, subject to
 //! `maxjobs`/`maxidle` throttles, with per-node retries, exponential
-//! retry backoff (`RETRY ... DEFER`), hold/release accounting, and
-//! `ABORT-DAG-ON` exit-code handling.
+//! retry backoff (`RETRY ... DEFER`), hold/release accounting,
+//! `ABORT-DAG-ON` exit-code handling, and optional straggler speculation
+//! (a duplicate submission for nodes running far past their phase's
+//! expected cost; first finisher wins, the loser is condor_rm'd).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use fdw_obs::Obs;
 use htcsim::cluster::WorkloadDriver;
@@ -15,6 +17,52 @@ use crate::dag::{Dag, NodeId};
 
 /// Retry backoff never exceeds this many seconds, whatever the attempt.
 const MAX_BACKOFF_S: u64 = 3600;
+
+/// Straggler-speculation knobs. Off by default: existing runs are
+/// bit-identical until `enabled` is set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeculationConfig {
+    /// Master switch for speculative re-execution.
+    pub enabled: bool,
+    /// A started node becomes a straggler when its runtime exceeds
+    /// `multiplier` times the phase's expected cost.
+    pub multiplier: f64,
+    /// Quantile of the phase's completed execution times used as the
+    /// expected cost (0.5 = median).
+    pub quantile: f64,
+    /// Completed samples a phase needs before speculation can trigger.
+    pub min_samples: usize,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            multiplier: 2.0,
+            quantile: 0.75,
+            min_samples: 3,
+        }
+    }
+}
+
+impl SpeculationConfig {
+    /// Reject meaningless knob settings.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if self.multiplier < 1.0 || self.multiplier.is_nan() {
+            return Err("speculation multiplier must be >= 1".into());
+        }
+        if !(self.quantile > 0.0 && self.quantile <= 1.0) {
+            return Err("speculation quantile must be in (0, 1]".into());
+        }
+        if self.min_samples == 0 {
+            return Err("speculation min_samples must be positive".into());
+        }
+        Ok(())
+    }
+}
 
 /// A permanently failed node, as reported by [`Dagman::failed_nodes`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,8 +122,9 @@ pub struct Dagman {
     idle: usize,
     done: usize,
     failed: usize,
-    /// Pending submissions awaiting id assignment, in order.
-    awaiting_assign: std::collections::VecDeque<NodeId>,
+    /// Pending submissions awaiting id assignment, in order; the flag
+    /// marks speculative duplicates.
+    awaiting_assign: std::collections::VecDeque<(NodeId, bool)>,
     /// Whether any node carries a non-zero priority (enables the
     /// priority-aware ready-set scan).
     has_priorities: bool,
@@ -103,6 +152,29 @@ pub struct Dagman {
     submit_at: Vec<SimTime>,
     /// Telemetry handle (disabled by default).
     obs: Obs,
+    /// Straggler-speculation knobs (defense layer; off by default).
+    spec_cfg: SpeculationConfig,
+    /// Execution start time of each live attempt, by job id.
+    exec_started: HashMap<JobId, SimTime>,
+    /// The current primary attempt's job id per node.
+    primary_job: Vec<Option<JobId>>,
+    /// Outstanding speculative duplicate per node.
+    spec_job: Vec<Option<JobId>>,
+    /// Whether the node's current attempt already spawned a duplicate.
+    speculated: Vec<bool>,
+    /// Completed execution seconds per workflow phase (node-name prefix),
+    /// feeding the straggler threshold. Kept separate from telemetry so
+    /// observability can never perturb scheduling.
+    phase_durations: BTreeMap<String, Vec<f64>>,
+    /// Losers awaiting condor_rm, drained by `cancellations`.
+    pending_cancel: Vec<JobId>,
+    /// Jobs this DAGMan removed itself: their terminal events are
+    /// bookkeeping, not node outcomes.
+    cancelled: HashSet<JobId>,
+    speculations: u64,
+    spec_wins: u64,
+    spec_losses: u64,
+    wasted_spec_s: f64,
 }
 
 impl Dagman {
@@ -145,7 +217,25 @@ impl Dagman {
             releases: 0,
             submit_at: vec![SimTime(0); n],
             obs: Obs::disabled(),
+            spec_cfg: SpeculationConfig::default(),
+            exec_started: HashMap::new(),
+            primary_job: vec![None; n],
+            spec_job: vec![None; n],
+            speculated: vec![false; n],
+            phase_durations: BTreeMap::new(),
+            pending_cancel: Vec::new(),
+            cancelled: HashSet::new(),
+            speculations: 0,
+            spec_wins: 0,
+            spec_losses: 0,
+            wasted_spec_s: 0.0,
         }
+    }
+
+    /// Enable/configure straggler speculation.
+    pub fn with_speculation(mut self, cfg: SpeculationConfig) -> Self {
+        self.spec_cfg = cfg;
+        self
     }
 
     /// Attach a telemetry handle. Node spans land in category `dagman`,
@@ -221,6 +311,26 @@ impl Dagman {
     /// True when an `ABORT-DAG-ON` trigger stopped the DAG.
     pub fn aborted(&self) -> bool {
         self.aborted
+    }
+
+    /// Speculative duplicates launched.
+    pub fn speculations(&self) -> u64 {
+        self.speculations
+    }
+
+    /// Speculated nodes where the duplicate finished first.
+    pub fn spec_wins(&self) -> u64 {
+        self.spec_wins
+    }
+
+    /// Speculated nodes where the original attempt finished first.
+    pub fn spec_losses(&self) -> u64 {
+        self.spec_losses
+    }
+
+    /// Execution seconds burned by cancelled speculative losers.
+    pub fn wasted_speculative_seconds(&self) -> f64 {
+        self.wasted_spec_s
     }
 
     /// How many times `node` was submitted.
@@ -375,9 +485,15 @@ impl Dagman {
             let Some(&node) = self.job_to_node.get(&ev.job) else {
                 continue;
             };
+            if self.cancelled.contains(&ev.job) {
+                self.settle_cancelled(ev, node);
+                continue;
+            }
+            let is_primary = self.primary_job[node.0] == Some(ev.job);
             match ev.kind {
                 JobEventKind::ExecuteStarted => {
-                    if self.state[node.0] == NodeState::Queued {
+                    self.exec_started.insert(ev.job, ev.time);
+                    if is_primary && self.state[node.0] == NodeState::Queued {
                         self.state[node.0] = NodeState::Started;
                         self.idle = self.idle.saturating_sub(1);
                     }
@@ -385,7 +501,8 @@ impl Dagman {
                 JobEventKind::Evicted => {
                     // Cluster re-queues evicted jobs automatically; the
                     // node is idle again for throttle purposes.
-                    if self.state[node.0] == NodeState::Started {
+                    self.exec_started.remove(&ev.job);
+                    if is_primary && self.state[node.0] == NodeState::Started {
                         self.state[node.0] = NodeState::Queued;
                         self.idle += 1;
                     }
@@ -393,9 +510,10 @@ impl Dagman {
                 JobEventKind::Held => {
                     // The job lost its slot; it counts as idle until the
                     // cluster releases and re-matches it.
+                    self.exec_started.remove(&ev.job);
                     self.holds += 1;
                     self.obs.inc("dagman.holds", 1);
-                    if self.state[node.0] == NodeState::Started {
+                    if is_primary && self.state[node.0] == NodeState::Started {
                         self.state[node.0] = NodeState::Queued;
                         self.idle += 1;
                     }
@@ -406,22 +524,29 @@ impl Dagman {
                     self.releases += 1;
                     self.obs.inc("dagman.releases", 1);
                 }
-                JobEventKind::Completed => {
-                    if self.state[node.0] == NodeState::Queued {
-                        self.idle = self.idle.saturating_sub(1);
-                    }
-                    self.last_exit[node.0] = ev.exit_code.or(Some(0));
-                    self.mark_done(node);
-                }
+                JobEventKind::Completed => self.complete(ev, node),
                 JobEventKind::Failed => {
-                    if self.state[node.0] == NodeState::Queued {
-                        self.idle = self.idle.saturating_sub(1);
+                    self.exec_started.remove(&ev.job);
+                    if self.spec_job[node.0] == Some(ev.job) {
+                        // The duplicate died on its own; the original
+                        // attempt is unaffected.
+                        self.spec_job[node.0] = None;
+                        continue;
+                    }
+                    if !is_primary {
+                        continue;
                     }
                     self.last_exit[node.0] = ev.exit_code;
                     let trigger = self.dag.node(node).abort_dag_on;
                     if trigger.is_some() && trigger == ev.exit_code {
                         // ABORT-DAG-ON: the node fails for good and the
                         // whole DAG stops submitting.
+                        if self.state[node.0] == NodeState::Queued {
+                            self.idle = self.idle.saturating_sub(1);
+                        }
+                        if let Some(dup) = self.spec_job[node.0].take() {
+                            self.cancel(dup);
+                        }
                         self.aborted = true;
                         self.in_flight -= 1;
                         self.state[node.0] = NodeState::Failed;
@@ -429,20 +554,181 @@ impl Dagman {
                         self.obs.inc("dagman.aborts", 1);
                         self.obs.inc("dagman.nodes_failed", 1);
                         self.mark_futile_descendants(node);
+                    } else if self.promote_duplicate(node) {
+                        // The duplicate carries on; no retry consumed.
                     } else {
+                        if self.state[node.0] == NodeState::Queued {
+                            self.idle = self.idle.saturating_sub(1);
+                        }
                         self.mark_removed(node);
                     }
                 }
                 JobEventKind::Removed => {
+                    self.exec_started.remove(&ev.job);
+                    if self.spec_job[node.0] == Some(ev.job) {
+                        self.spec_job[node.0] = None;
+                        continue;
+                    }
+                    if !is_primary {
+                        continue;
+                    }
+                    self.last_exit[node.0] = None;
+                    if self.promote_duplicate(node) {
+                        continue;
+                    }
                     if self.state[node.0] == NodeState::Queued {
                         self.idle = self.idle.saturating_sub(1);
                     }
-                    self.last_exit[node.0] = None;
                     self.mark_removed(node);
                 }
                 JobEventKind::Submitted | JobEventKind::Matched => {}
             }
         }
+    }
+
+    /// First finisher wins a speculated node: settle the node, record the
+    /// phase sample, and condor_rm the losing copy.
+    fn complete(&mut self, ev: &JobEvent, node: NodeId) {
+        if self.state[node.0] == NodeState::Done {
+            // The slower copy finished before its condor_rm landed; the
+            // winner already settled the node.
+            return;
+        }
+        if let Some(start) = self.exec_started.remove(&ev.job) {
+            let phase = phase_of(&self.dag.node(node).name).to_string();
+            self.phase_durations
+                .entry(phase)
+                .or_default()
+                .push(ev.time.since(start) as f64);
+        }
+        let dup = self.spec_job[node.0].take();
+        let primary = self.primary_job[node.0].take();
+        if dup == Some(ev.job) {
+            self.spec_wins += 1;
+            self.obs.inc("dagman.spec_wins", 1);
+            if let Some(loser) = primary {
+                self.cancel(loser);
+            }
+        } else if let Some(loser) = dup {
+            self.spec_losses += 1;
+            self.obs.inc("dagman.spec_losses", 1);
+            self.cancel(loser);
+        }
+        if self.state[node.0] == NodeState::Queued {
+            self.idle = self.idle.saturating_sub(1);
+        }
+        self.last_exit[node.0] = ev.exit_code.or(Some(0));
+        self.mark_done(node);
+    }
+
+    /// Queue a condor_rm for the losing copy of a speculated node.
+    fn cancel(&mut self, job: JobId) {
+        self.cancelled.insert(job);
+        self.pending_cancel.push(job);
+    }
+
+    /// Terminal event of a job this DAGMan removed itself: account the
+    /// wasted execution and drop the tracking state. Not a node outcome.
+    fn settle_cancelled(&mut self, ev: &JobEvent, node: NodeId) {
+        match ev.kind {
+            JobEventKind::Removed | JobEventKind::Failed | JobEventKind::Completed => {
+                self.cancelled.remove(&ev.job);
+                if let Some(start) = self.exec_started.remove(&ev.job) {
+                    let wasted = ev.time.since(start) as f64;
+                    self.wasted_spec_s += wasted;
+                    self.obs.observe("dagman.spec_wasted_s", wasted);
+                }
+                if self.spec_job[node.0] == Some(ev.job) {
+                    self.spec_job[node.0] = None;
+                }
+                if self.primary_job[node.0] == Some(ev.job) {
+                    self.primary_job[node.0] = None;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Primary attempt died with a speculative duplicate still in the
+    /// queue: the duplicate becomes the primary and the node keeps its
+    /// in-flight status without consuming a retry.
+    fn promote_duplicate(&mut self, node: NodeId) -> bool {
+        let Some(dup) = self.spec_job[node.0].take() else {
+            return false;
+        };
+        self.primary_job[node.0] = Some(dup);
+        let running = self.exec_started.contains_key(&dup);
+        match (self.state[node.0], running) {
+            (NodeState::Started, false) => {
+                self.state[node.0] = NodeState::Queued;
+                self.idle += 1;
+            }
+            (NodeState::Queued, true) => {
+                self.state[node.0] = NodeState::Started;
+                self.idle = self.idle.saturating_sub(1);
+            }
+            _ => {}
+        }
+        true
+    }
+
+    /// Expected cost of a phase: the configured quantile over completed
+    /// execution times, once enough samples exist.
+    fn phase_expected(&self, phase: &str) -> Option<f64> {
+        let samples = self.phase_durations.get(phase)?;
+        if samples.len() < self.spec_cfg.min_samples {
+            return None;
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((sorted.len() - 1) as f64 * self.spec_cfg.quantile).round() as usize;
+        Some(sorted[idx.min(sorted.len() - 1)])
+    }
+
+    /// Straggler scan: launch one speculative duplicate for any started
+    /// node whose attempt has run well past its phase's expected cost.
+    fn speculation_submissions(&mut self) -> Vec<SubmitRequest> {
+        if !self.spec_cfg.enabled {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for i in 0..self.dag.len() {
+            if self.state[i] != NodeState::Started
+                || self.speculated[i]
+                || self.spec_job[i].is_some()
+            {
+                continue;
+            }
+            let Some(pj) = self.primary_job[i] else {
+                continue;
+            };
+            let Some(&start) = self.exec_started.get(&pj) else {
+                continue;
+            };
+            let Some(expected) = self.phase_expected(phase_of(&self.dag.node(NodeId(i)).name))
+            else {
+                continue;
+            };
+            if (self.now.since(start) as f64) <= expected * self.spec_cfg.multiplier {
+                continue;
+            }
+            self.speculated[i] = true;
+            self.speculations += 1;
+            self.attempts[i] += 1;
+            self.obs.inc("dagman.speculations", 1);
+            self.obs.instant(
+                "dagman",
+                "speculate",
+                self.node_tid(NodeId(i)),
+                self.now.as_secs(),
+            );
+            self.awaiting_assign.push_back((NodeId(i), true));
+            out.push(SubmitRequest {
+                owner: self.owner,
+                spec: self.dag.node(NodeId(i)).spec.clone(),
+            });
+        }
+        out
     }
 
     /// Index in `ready` of the next node to submit: highest priority
@@ -484,7 +770,11 @@ impl Dagman {
             self.obs.inc("dagman.submissions", 1);
             self.in_flight += 1;
             self.idle += 1;
-            self.awaiting_assign.push_back(node);
+            // A fresh attempt gets a fresh speculation budget.
+            self.speculated[node.0] = false;
+            self.primary_job[node.0] = None;
+            self.spec_job[node.0] = None;
+            self.awaiting_assign.push_back((node, false));
             out.push(SubmitRequest {
                 owner: self.owner,
                 spec: self.dag.node(node).spec.clone(),
@@ -492,6 +782,12 @@ impl Dagman {
         }
         out
     }
+}
+
+/// Workflow phase of a node: the name prefix before the first `.`
+/// (`rupt.3` → `rupt`), matching the telemetry grouping.
+fn phase_of(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
 }
 
 impl WorkloadDriver for Dagman {
@@ -502,15 +798,26 @@ impl WorkloadDriver for Dagman {
         if self.aborted {
             return Vec::new();
         }
-        self.submissions()
+        let mut subs = self.submissions();
+        subs.extend(self.speculation_submissions());
+        subs
     }
 
     fn on_assigned(&mut self, job: JobId, _name: &str) {
-        let node = self
+        let (node, is_spec) = self
             .awaiting_assign
             .pop_front()
             .expect("assignment without pending submission");
         self.job_to_node.insert(job, node);
+        if is_spec {
+            self.spec_job[node.0] = Some(job);
+        } else {
+            self.primary_job[node.0] = Some(job);
+        }
+    }
+
+    fn cancellations(&mut self) -> Vec<JobId> {
+        std::mem::take(&mut self.pending_cancel)
     }
 
     fn is_done(&self) -> bool {
@@ -551,6 +858,14 @@ impl MultiDagman {
         self
     }
 
+    /// Apply one speculation config to every inner DAGMan.
+    pub fn with_speculation(mut self, cfg: SpeculationConfig) -> Self {
+        for dm in &mut self.dagmans {
+            dm.spec_cfg = cfg;
+        }
+        self
+    }
+
     /// Borrow the inner DAGMans.
     pub fn dagmans(&self) -> &[Dagman] {
         &self.dagmans
@@ -586,6 +901,14 @@ impl WorkloadDriver for MultiDagman {
             .pop_front()
             .expect("assignment without pending submission");
         self.dagmans[i].on_assigned(job, name);
+    }
+
+    fn cancellations(&mut self) -> Vec<JobId> {
+        let mut out = Vec::new();
+        for dm in &mut self.dagmans {
+            out.extend(dm.cancellations());
+        }
+        out
     }
 
     fn is_done(&self) -> bool {
@@ -962,6 +1285,71 @@ mod tests {
         assert_eq!(dm.completed(), 8, "held jobs are released and finish");
         assert!(dm.holds() > 0);
         assert_eq!(dm.holds(), report.holds);
+    }
+
+    #[test]
+    fn speculation_duplicates_stragglers_first_finisher_wins() {
+        use htcsim::job::ExecModel;
+        // Heavy-tailed runtimes: the lognormal tail plus machine speed
+        // spread guarantees stragglers well past 2x the median quantile.
+        let mut dag = Dag::new();
+        for i in 0..40 {
+            let mut spec = JobSpec::fixed(format!("w.{i}"), 120.0);
+            spec.exec = ExecModel::LogNormalMedian {
+                median_s: 120.0,
+                sigma: 1.2,
+            };
+            dag.add_node(spec).unwrap();
+        }
+        let mut dm = Dagman::new(dag, OwnerId(0)).with_speculation(SpeculationConfig {
+            enabled: true,
+            multiplier: 2.0,
+            quantile: 0.5,
+            min_samples: 3,
+        });
+        let report = quick_cluster(21).run(&mut dm);
+        assert!(dm.is_done());
+        assert_eq!(dm.completed(), 40);
+        assert_eq!(dm.failed(), 0);
+        assert!(
+            dm.speculations() > 0,
+            "heavy-tailed runtimes must trigger speculative duplicates"
+        );
+        // Every speculated node settles as exactly one win or one loss.
+        assert_eq!(dm.spec_wins() + dm.spec_losses(), dm.speculations());
+        assert_eq!(dm.retries(), 0, "speculation must not consume retries");
+        // Losing copies are condor_rm'd: Removed events in the user log.
+        let removed = report
+            .log
+            .events()
+            .iter()
+            .filter(|e| e.kind == JobEventKind::Removed)
+            .count() as u64;
+        assert_eq!(removed, dm.speculations(), "one condor_rm per race loser");
+    }
+
+    #[test]
+    fn speculation_disabled_never_duplicates() {
+        use htcsim::job::ExecModel;
+        let mut dag = Dag::new();
+        for i in 0..12 {
+            let mut spec = JobSpec::fixed(format!("w.{i}"), 120.0);
+            spec.exec = ExecModel::LogNormalMedian {
+                median_s: 120.0,
+                sigma: 1.2,
+            };
+            dag.add_node(spec).unwrap();
+        }
+        let mut dm = Dagman::new(dag, OwnerId(0));
+        let report = quick_cluster(21).run(&mut dm);
+        assert_eq!(dm.completed(), 12);
+        assert_eq!(dm.speculations(), 0);
+        assert_eq!(dm.spec_wins() + dm.spec_losses(), 0);
+        assert!(report
+            .log
+            .events()
+            .iter()
+            .all(|e| e.kind != JobEventKind::Removed));
     }
 
     #[test]

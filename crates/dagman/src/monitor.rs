@@ -3,10 +3,11 @@
 //! throughput, per-job wait/execution time distributions, and running-job
 //! footprints (the quantities plotted in Figs. 2–4).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use htcsim::cluster::RunReport;
 use htcsim::job::{JobEventKind, JobId, OwnerId};
+use htcsim::scoreboard::DefenseStats;
 use htcsim::time::SimTime;
 use htcsim::userlog::JobTimes;
 
@@ -93,6 +94,10 @@ pub fn per_dagman_stats(report: &RunReport) -> Vec<DagmanStats> {
     // stretch at the hold and nothing at the release.
     let mut chaos: HashMap<OwnerId, (u64, u64, u64, u64, u64)> = HashMap::new();
     let mut exec_start: HashMap<JobId, SimTime> = HashMap::new();
+    // First finisher wins a speculated node: a later completion under the
+    // same job name is duplicate work, charged to badput so speculative
+    // copies never double-count as goodput.
+    let mut completed_names: HashSet<(OwnerId, String)> = HashSet::new();
     for e in report.log.events() {
         let ent = chaos.entry(e.owner).or_default();
         match e.kind {
@@ -100,11 +105,20 @@ pub fn per_dagman_stats(report: &RunReport) -> Vec<DagmanStats> {
                 exec_start.insert(e.job, e.time);
             }
             JobEventKind::Completed => {
+                let name = report.job_names.get(&e.job).cloned().unwrap_or_default();
+                let first = completed_names.insert((e.owner, name));
                 if let Some(s) = exec_start.remove(&e.job) {
-                    ent.0 += e.time.since(s);
+                    if first {
+                        ent.0 += e.time.since(s);
+                    } else {
+                        ent.1 += e.time.since(s);
+                    }
                 }
             }
-            JobEventKind::Evicted | JobEventKind::Failed | JobEventKind::Held => {
+            JobEventKind::Evicted
+            | JobEventKind::Failed
+            | JobEventKind::Held
+            | JobEventKind::Removed => {
                 if let Some(s) = exec_start.remove(&e.job) {
                     ent.1 += e.time.since(s);
                 }
@@ -119,6 +133,19 @@ pub fn per_dagman_stats(report: &RunReport) -> Vec<DagmanStats> {
                 ent.4 += 1;
             }
             _ => {}
+        }
+    }
+    // Winner per job name: earliest completion, ties to the lower job id
+    // (the primary copy). Only the winner contributes to job-level stats.
+    let mut winner: HashMap<(OwnerId, String), (SimTime, JobId)> = HashMap::new();
+    for jt in &times {
+        let Some(c) = jt.completed else {
+            continue;
+        };
+        let name = report.job_names.get(&jt.job).cloned().unwrap_or_default();
+        let e = winner.entry((jt.owner, name)).or_insert((c, jt.job));
+        if c < e.0 || (c == e.0 && jt.job < e.1) {
+            *e = (c, jt.job);
         }
     }
     let mut owners: Vec<OwnerId> = by_owner.keys().copied().collect();
@@ -154,9 +181,14 @@ pub fn per_dagman_stats(report: &RunReport) -> Vec<DagmanStats> {
                 let Some(completed) = jt.completed else {
                     continue;
                 };
+                let name = name_of(jt.job);
+                if winner.get(&(owner, name.clone())).map(|w| w.1) != Some(jt.job) {
+                    // The slower copy of a speculated node: duplicate
+                    // work, not a second completion.
+                    continue;
+                }
                 stats.completed += 1;
                 stats.finished = stats.finished.max(completed);
-                let name = name_of(jt.job);
                 if let (Some(w), Some(e)) = (jt.wait_secs(), jt.exec_secs()) {
                     stats.wait_secs.push(w);
                     stats.exec_secs.push(e);
@@ -260,6 +292,7 @@ pub fn dag_metrics(
     dm: &crate::driver::Dagman,
     stats: &DagmanStats,
     rescue_dag_number: u32,
+    defense: DefenseStats,
 ) -> fdw_obs::dag_metrics::DagMetrics {
     debug_assert_eq!(stats.owner, dm.owner(), "stats/driver owner mismatch");
     fdw_obs::dag_metrics::DagMetrics {
@@ -283,6 +316,13 @@ pub fn dag_metrics(
         } else {
             0
         },
+        speculations: dm.speculations(),
+        spec_wins: dm.spec_wins(),
+        spec_losses: dm.spec_losses(),
+        spec_wasted_s: dm.wasted_speculative_seconds().round() as u64,
+        machines_blacklisted: defense.blacklists,
+        machines_paroled: defense.paroles,
+        transfers_quarantined: defense.quarantines,
     }
 }
 
@@ -566,7 +606,7 @@ mod tests {
         assert!(s.goodput_secs > 0);
         assert!(s.goodput_secs + s.badput_secs <= report.makespan.as_secs() * 12);
         // The exported .dag.metrics carries exactly these totals.
-        let m = dag_metrics(&dm, s, 0);
+        let m = dag_metrics(&dm, s, 0, report.defense);
         assert_eq!(m.holds, s.holds);
         assert_eq!(m.releases, s.releases);
         assert_eq!(m.retries, dm.retries());
@@ -624,7 +664,7 @@ mod tests {
         .run(&mut dm);
         assert!(dm.is_done());
         let stats = per_dagman_stats(&report);
-        let m = dag_metrics(&dm, &stats[0], 0);
+        let m = dag_metrics(&dm, &stats[0], 0, report.defense);
         // Structural invariants first (survive any re-derivation).
         assert_eq!(
             m.total_attempts,

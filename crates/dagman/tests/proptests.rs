@@ -45,6 +45,7 @@ fn fast_cluster(seed: u64) -> Cluster {
             cache_enabled: true,
             max_evictions_per_job: 0,
             faults: Default::default(),
+            defense: Default::default(),
         },
         seed,
     )
@@ -280,5 +281,57 @@ proptest! {
         // Monitor stats agree with the report.
         let stats = per_dagman_stats(&report);
         prop_assert_eq!(stats[0].completed, n);
+    }
+
+    /// Speculative duplicates never double-count as goodput: for any fan
+    /// of heavy-tailed nodes with speculation on, the monitor reports
+    /// exactly one completion and one goodput interval per node, every
+    /// speculated node settles as exactly one win or loss, and any
+    /// duplicate completion in the log is charged to badput.
+    #[test]
+    fn speculation_never_double_counts_goodput(
+        n in 4usize..24,
+        seed in any::<u64>(),
+    ) {
+        use dagman::driver::SpeculationConfig;
+        use htcsim::job::{ExecModel, JobEventKind};
+
+        let mut dag = Dag::new();
+        for i in 0..n {
+            let mut spec = JobSpec::fixed(format!("w.{i}"), 120.0);
+            spec.exec = ExecModel::LogNormalMedian { median_s: 120.0, sigma: 1.2 };
+            dag.add_node(spec).unwrap();
+        }
+        let mut dm = Dagman::new(dag, OwnerId(0)).with_speculation(SpeculationConfig {
+            enabled: true,
+            multiplier: 1.5,
+            quantile: 0.5,
+            min_samples: 3,
+        });
+        let report = fast_cluster(seed).run(&mut dm);
+        prop_assert!(!report.timed_out);
+        prop_assert_eq!(dm.completed(), n);
+        prop_assert_eq!(dm.spec_wins() + dm.spec_losses(), dm.speculations());
+        let stats = per_dagman_stats(&report);
+        prop_assert_eq!(stats[0].completed, n, "duplicates must not inflate completions");
+        prop_assert_eq!(stats[0].exec_secs.len(), n, "one goodput interval per node");
+        prop_assert_eq!(
+            stats[0].goodput_secs,
+            stats[0].exec_secs.iter().sum::<u64>(),
+            "goodput is exactly the winners' execution seconds"
+        );
+        let completions = report
+            .log
+            .events()
+            .iter()
+            .filter(|e| e.kind == JobEventKind::Completed)
+            .count();
+        prop_assert!(completions >= n);
+        if completions > n {
+            prop_assert!(
+                stats[0].badput_secs > 0,
+                "a losing copy that ran to completion is badput"
+            );
+        }
     }
 }

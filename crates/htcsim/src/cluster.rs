@@ -14,10 +14,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::event::{Event, EventQueue};
-use crate::fault::{FaultConfig, FaultPlan, HoldReason, BLACK_HOLE_FAIL_S, EXIT_BLACK_HOLE};
+use crate::fault::{
+    FaultConfig, FaultPlan, HoldReason, BLACK_HOLE_FAIL_S, EXIT_BLACK_HOLE, EXIT_CORRUPT,
+};
 use crate::job::{JobEvent, JobEventKind, JobId, JobSpec, JobState, OwnerId, SubmitRequest};
 use crate::pool::{MachineId, Pool, PoolConfig};
 use crate::rand_util::exponential;
+use crate::scoreboard::{DefenseConfig, DefenseStats, Scoreboard};
 use crate::time::SimTime;
 use crate::transfer::{StashCache, TransferConfig};
 use crate::userlog::UserLog;
@@ -37,6 +40,14 @@ pub trait WorkloadDriver {
     /// True when the workload has nothing more to submit and considers
     /// itself finished.
     fn is_done(&self) -> bool;
+
+    /// Jobs the workload wants removed from the queue (`condor_rm`),
+    /// drained after every poll. Used by speculative re-execution to
+    /// cancel the losing duplicate; the default workload cancels
+    /// nothing.
+    fn cancellations(&mut self) -> Vec<JobId> {
+        Vec::new()
+    }
 }
 
 /// Cluster-wide configuration.
@@ -53,6 +64,8 @@ pub struct ClusterConfig {
     pub max_evictions_per_job: u32,
     /// Injected fault mix (all-zero by default: a well-behaved pool).
     pub faults: FaultConfig,
+    /// Self-healing defense knobs (all off by default).
+    pub defense: DefenseConfig,
 }
 
 impl ClusterConfig {
@@ -81,6 +94,12 @@ struct JobRuntime {
     /// Exit code the current execution attempt is fated to fail with
     /// (decided at execute start, delivered at ExecDone).
     pending_exit: Option<i32>,
+    /// The last stage-in detected (and quarantined) a corrupted cache
+    /// entry: the job must be held with a checksum-mismatch reason.
+    corrupt_detected: bool,
+    /// The last stage-in silently delivered a corrupted file (checksum
+    /// verification off): the attempt is fated to fail.
+    poisoned_input: bool,
     /// When the current stage-in started (span bookkeeping).
     stage_in_at: SimTime,
     /// When the current execution attempt started.
@@ -129,6 +148,8 @@ pub struct RunReport {
     pub timed_out: bool,
     /// Per-negotiation-cycle pool telemetry.
     pub pool_series: Vec<PoolSample>,
+    /// Defense-action totals (blacklists, paroles, quarantines).
+    pub defense: DefenseStats,
 }
 
 impl RunReport {
@@ -173,6 +194,8 @@ pub struct Cluster {
     plan: FaultPlan,
     /// Submission counts per (owner, job name) — the attempt index.
     attempt_counts: HashMap<(OwnerId, String), u64>,
+    /// Per-machine reliability scoreboard (inert when defenses are off).
+    scoreboard: Scoreboard,
     holds: u64,
     exec_failures: u64,
     /// Telemetry handle (disabled by default: zero overhead).
@@ -189,6 +212,7 @@ impl Cluster {
             StashCache::disabled()
         };
         let plan = FaultPlan::new(config.faults);
+        let scoreboard = Scoreboard::new(config.defense);
         Self {
             config,
             rng: StdRng::seed_from_u64(seed ^ 0x4854_434f_4e44_4f52),
@@ -210,6 +234,7 @@ impl Cluster {
             pool_series: Vec::new(),
             plan,
             attempt_counts: HashMap::new(),
+            scoreboard,
             holds: 0,
             exec_failures: 0,
             obs: Obs::disabled(),
@@ -249,6 +274,7 @@ impl Cluster {
         }
         self.obs.inc("cache.hits", self.cache.hits());
         self.obs.inc("cache.misses", self.cache.misses());
+        self.obs.inc("cache.quarantines", self.cache.quarantines());
         RunReport {
             makespan: self.log.makespan(),
             completed: self.log.completed_count(),
@@ -260,6 +286,7 @@ impl Cluster {
             job_names: self.job_names,
             timed_out,
             pool_series: self.pool_series,
+            defense: self.scoreboard.stats(),
         }
     }
 
@@ -299,6 +326,38 @@ impl Cluster {
             let name = self.job_names[&id].clone();
             driver.on_assigned(id, &name);
         }
+        for job in driver.cancellations() {
+            self.remove_job(job);
+        }
+    }
+
+    /// `condor_rm`: remove a job from the queue wherever it is. A
+    /// non-terminal job releases its resources and emits a 009 Removed
+    /// event; terminal jobs are left untouched.
+    fn remove_job(&mut self, job: JobId) {
+        if self.origin_users.remove(&job) {
+            self.active_origin = self.active_origin.saturating_sub(1);
+        }
+        let Some(j) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        if matches!(
+            j.state,
+            JobState::Completed | JobState::Removed | JobState::Failed
+        ) {
+            return;
+        }
+        j.state = JobState::Removed;
+        j.serial += 1;
+        j.pending_exit = None;
+        let owner = j.owner;
+        if let Some(m) = j.machine.take() {
+            self.pool.release_slot(m);
+        }
+        self.obs.inc("pool.removals", 1);
+        self.obs
+            .instant("pool", "remove", job.0, self.now.as_secs());
+        self.emit(job, owner, JobEventKind::Removed);
     }
 
     fn submit(&mut self, req: SubmitRequest) -> JobId {
@@ -325,6 +384,8 @@ impl Cluster {
                 evictions: 0,
                 attempt,
                 pending_exit: None,
+                corrupt_detected: false,
+                poisoned_input: false,
                 stage_in_at: SimTime::ZERO,
                 exec_at: SimTime::ZERO,
                 stage_out_at: SimTime::ZERO,
@@ -345,6 +406,26 @@ impl Cluster {
     fn emit_event(&mut self, ev: JobEvent) {
         self.log.record(ev);
         self.pending_events.push(ev);
+    }
+
+    /// Feed one execution outcome into the reliability scoreboard and
+    /// surface any resulting blacklist in the telemetry.
+    fn record_exec_outcome(&mut self, machine: MachineId, exec_at: SimTime, failed: bool) {
+        if !self.config.defense.scoreboard_enabled {
+            return;
+        }
+        let before = self.scoreboard.stats().blacklists;
+        self.scoreboard.record_exec(
+            machine,
+            self.now.as_secs() as f64,
+            self.now.since(exec_at) as f64,
+            failed,
+        );
+        if self.scoreboard.stats().blacklists > before {
+            self.obs.inc("pool.defense.blacklists", 1);
+            self.obs
+                .instant("pool", "blacklist", machine.0, self.now.as_secs());
+        }
     }
 
     /// Per-execution-attempt fault salt: distinct across DAGMan retries
@@ -378,7 +459,13 @@ impl Cluster {
             job.0,
             self.now.as_secs(),
         );
-        let wait = (self.config.faults.hold_release_s as u64).max(1);
+        // Checksum holds are a defense-internal re-queue (release, then
+        // re-fetch from origin), far shorter than an operator-scale hold.
+        let wait = if reason == HoldReason::ChecksumMismatch {
+            (self.config.defense.checksum_requeue_s as u64).max(1)
+        } else {
+            (self.config.faults.hold_release_s as u64).max(1)
+        };
         self.queue
             .push(self.now + wait, Event::Release(job, serial));
         self.emit_event(JobEvent::new(self.now, job, owner, JobEventKind::Held).with_hold(reason));
@@ -435,6 +522,13 @@ impl Cluster {
                         return;
                     }
                 }
+                // Verify-on-read checksum defense: the corrupted cache
+                // entry was detected (and quarantined) during transfer;
+                // the job is held and its release re-fetches from origin.
+                if self.jobs[&job].corrupt_detected {
+                    self.hold_job(job, HoldReason::ChecksumMismatch);
+                    return;
+                }
                 let j = self.jobs.get_mut(&job).expect("checked above");
                 j.state = JobState::Running;
                 j.serial += 1;
@@ -449,11 +543,16 @@ impl Cluster {
                 // A black-hole machine kills the job fast; otherwise the
                 // attempt's fate is drawn from the fault plan.
                 if machine
-                    .map(|m| self.plan.is_black_hole(m.0))
+                    .map(|m| self.scoreboard.black_hole_kills(&self.plan, m))
                     .unwrap_or(false)
                 {
                     j.pending_exit = Some(EXIT_BLACK_HOLE);
                     dur = dur.min(BLACK_HOLE_FAIL_S);
+                } else if j.poisoned_input {
+                    // A silently corrupted input (checksums off): the job
+                    // burns its full runtime, then fails when the bad
+                    // payload surfaces.
+                    j.pending_exit = Some(EXIT_CORRUPT);
                 } else {
                     j.pending_exit = self.plan.exec_exit(&j.spec.name, salt);
                 }
@@ -490,6 +589,7 @@ impl Cluster {
                     return;
                 }
                 let exec_at = j.exec_at;
+                let machine = j.machine;
                 if let Some(code) = j.pending_exit.take() {
                     // Failed attempts produce no output to stage back.
                     j.state = JobState::Failed;
@@ -497,6 +597,9 @@ impl Cluster {
                     let owner = j.owner;
                     if let Some(m) = j.machine.take() {
                         self.pool.release_slot(m);
+                    }
+                    if let Some(m) = machine {
+                        self.record_exec_outcome(m, exec_at, true);
                     }
                     self.exec_failures += 1;
                     self.obs.inc("pool.exec_failures", 1);
@@ -511,6 +614,9 @@ impl Cluster {
                 j.serial += 1;
                 j.stage_out_at = self.now;
                 let dur = self.cache.stage_out_secs(&j.spec, &self.config.transfer);
+                if let Some(m) = machine {
+                    self.record_exec_outcome(m, exec_at, false);
+                }
                 self.queue
                     .push(self.now + (dur as u64).max(1), Event::StageOutDone(job));
                 self.obs
@@ -679,8 +785,24 @@ impl Cluster {
         if budget == 0 {
             return;
         }
-        let mut free = self.pool.free_slots();
+        let free = self.pool.free_slots();
         if free.is_empty() {
+            return;
+        }
+        // Scoreboard matchmaking: blacklisted machines are filtered out,
+        // suspect machines (paroled or over the EWMA threshold) fall to a
+        // second tier matched only when no trusted machine fits. With the
+        // scoreboard off this is the identity.
+        let paroles_before = self.scoreboard.stats().paroles;
+        let (mut good, split) = self
+            .scoreboard
+            .admit(self.now.as_secs() as f64, free, |e| e.0);
+        let paroled = self.scoreboard.stats().paroles - paroles_before;
+        if paroled > 0 {
+            self.obs.inc("pool.defense.paroles", paroled);
+        }
+        let mut suspect = good.split_off(split);
+        if good.is_empty() && suspect.is_empty() {
             return;
         }
         // Round-robin across owners that have idle jobs. Jobs whose
@@ -720,7 +842,11 @@ impl Cluster {
                     let spec = &self.jobs[&job].spec;
                     (spec.memory_mb, spec.disk_mb)
                 };
-                let Some(slot) = self.pick_slot(&mut free, need_mem, need_disk) else {
+                let picked = match self.pick_slot(&mut good, need_mem, need_disk) {
+                    Some(s) => Some(s),
+                    None => self.pick_slot(&mut suspect, need_mem, need_disk),
+                };
+                let Some(slot) = picked else {
                     // Requirements unmatched this cycle: hold the job back.
                     self.obs.inc("pool.holdbacks", 1);
                     held.entry(*owner).or_default().push(job);
@@ -734,19 +860,34 @@ impl Cluster {
                 j.machine = Some(mid);
                 j.serial += 1;
                 j.stage_in_at = self.now;
-                let (stage, used_origin) = self.cache.stage_in_secs_contended(
+                let staged = self.cache.stage_in_verified(
                     site,
                     &j.spec,
                     &self.config.transfer,
                     self.active_origin + 1,
+                    &self.plan,
+                    self.config.defense.checksum_enabled,
                 );
-                if used_origin {
+                j.corrupt_detected = staged.quarantined > 0;
+                j.poisoned_input = staged.poisoned;
+                if staged.used_origin {
                     self.active_origin += 1;
                     self.origin_users.insert(job);
                 }
                 let owner = j.owner;
-                self.queue
-                    .push(self.now + (stage as u64).max(1), Event::StageInDone(job));
+                for _ in 0..staged.quarantined {
+                    self.scoreboard.record_quarantine();
+                }
+                if staged.quarantined > 0 {
+                    self.obs
+                        .inc("pool.defense.quarantines", staged.quarantined as u64);
+                    self.obs
+                        .instant("pool", "quarantine", job.0, self.now.as_secs());
+                }
+                self.queue.push(
+                    self.now + (staged.secs as u64).max(1),
+                    Event::StageInDone(job),
+                );
                 self.emit(job, owner, JobEventKind::Matched);
                 self.obs.inc("pool.matches", 1);
                 budget -= 1;
@@ -1219,6 +1360,243 @@ mod tests {
         assert!(report.makespan.as_secs() < 3000);
     }
 
+    /// A bag that resubmits failed/removed jobs up to `max_attempts`
+    /// times per name (a minimal retrying scheduler for defense tests).
+    struct RetryBag {
+        to_submit: Vec<JobSpec>,
+        specs: HashMap<String, JobSpec>,
+        names: HashMap<JobId, String>,
+        attempts: HashMap<String, u32>,
+        max_attempts: u32,
+        settled: usize,
+        completed: usize,
+        total: usize,
+    }
+
+    impl RetryBag {
+        fn new(specs: Vec<JobSpec>, max_attempts: u32) -> Self {
+            let total = specs.len();
+            let by_name = specs.iter().map(|s| (s.name.clone(), s.clone())).collect();
+            Self {
+                to_submit: specs,
+                specs: by_name,
+                names: HashMap::new(),
+                attempts: HashMap::new(),
+                max_attempts,
+                settled: 0,
+                completed: 0,
+                total,
+            }
+        }
+    }
+
+    impl WorkloadDriver for RetryBag {
+        fn poll(&mut self, _now: SimTime, events: &[JobEvent]) -> Vec<SubmitRequest> {
+            let mut subs: Vec<SubmitRequest> = std::mem::take(&mut self.to_submit)
+                .into_iter()
+                .map(|spec| SubmitRequest {
+                    owner: OwnerId(0),
+                    spec,
+                })
+                .collect();
+            for e in events {
+                match e.kind {
+                    JobEventKind::Completed => {
+                        self.completed += 1;
+                        self.settled += 1;
+                    }
+                    JobEventKind::Failed | JobEventKind::Removed => {
+                        let name = self.names.get(&e.job).cloned().unwrap_or_default();
+                        let tries = self.attempts.entry(name.clone()).or_insert(1);
+                        if *tries < self.max_attempts {
+                            *tries += 1;
+                            subs.push(SubmitRequest {
+                                owner: OwnerId(0),
+                                spec: self.specs[&name].clone(),
+                            });
+                        } else {
+                            self.settled += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            subs
+        }
+
+        fn on_assigned(&mut self, job: JobId, name: &str) {
+            self.names.insert(job, name.to_string());
+            self.attempts.entry(name.to_string()).or_insert(1);
+        }
+
+        fn is_done(&self) -> bool {
+            self.to_submit.is_empty() && self.settled >= self.total
+        }
+    }
+
+    #[test]
+    fn scoreboard_defense_starves_black_holes() {
+        let faults = crate::fault::FaultConfig {
+            seed: 5,
+            black_hole_fraction: 0.3,
+            ..Default::default()
+        };
+        let run = |defense: DefenseConfig| {
+            let specs: Vec<JobSpec> = (0..40)
+                .map(|i| JobSpec::fixed(format!("t.{i}"), 300.0))
+                .collect();
+            let mut d = RetryBag::new(specs, 50);
+            let mut cfg = stable_config(faults);
+            // One slot per glidein: 32 distinct machines, so a 0.3
+            // black-hole fraction yields a meaningful offender set.
+            cfg.pool.glidein_slots = 1;
+            cfg.defense = defense;
+            let r = Cluster::new(cfg, 2).run(&mut d);
+            assert!(!r.timed_out);
+            assert_eq!(d.completed, 40, "every job must eventually complete");
+            r
+        };
+        let off = run(DefenseConfig::default());
+        let on = run(DefenseConfig {
+            scoreboard_enabled: true,
+            ..Default::default()
+        });
+        assert_eq!(off.defense, DefenseStats::default());
+        assert!(on.defense.blacklists > 0, "offenders must be blacklisted");
+        assert!(
+            on.exec_failures < off.exec_failures,
+            "avoidance must cut black-hole kills: {} vs {}",
+            on.exec_failures,
+            off.exec_failures
+        );
+    }
+
+    #[test]
+    fn checksum_defense_quarantines_and_completes() {
+        use crate::job::InputFile;
+        let faults = crate::fault::FaultConfig {
+            seed: 8,
+            corrupt_prob: 1.0,
+            ..Default::default()
+        };
+        let specs: Vec<JobSpec> = (0..20)
+            .map(|i| {
+                let mut s = JobSpec::fixed(format!("w.{i}"), 120.0);
+                s.inputs.push(InputFile {
+                    name: "gf.mseed".into(),
+                    size_mb: 500.0,
+                    cacheable: true,
+                });
+                s
+            })
+            .collect();
+        let mut d = BagDriver::new(specs);
+        let mut cfg = stable_config(faults);
+        cfg.defense.checksum_enabled = true;
+        let report = Cluster::new(cfg, 4).run(&mut d);
+        assert_eq!(report.completed, 20, "verification must save every job");
+        assert_eq!(report.exec_failures, 0, "no poisoned run reaches exec");
+        assert!(report.defense.quarantines > 0, "p=1 must quarantine");
+        let checksum_holds = report
+            .log
+            .events()
+            .iter()
+            .filter(|e| e.hold_reason == Some(HoldReason::ChecksumMismatch))
+            .count() as u64;
+        assert_eq!(checksum_holds, report.defense.quarantines);
+    }
+
+    #[test]
+    fn unverified_corruption_fails_jobs_with_exit_corrupt() {
+        use crate::job::InputFile;
+        let faults = crate::fault::FaultConfig {
+            seed: 8,
+            corrupt_prob: 1.0,
+            ..Default::default()
+        };
+        let specs: Vec<JobSpec> = (0..20)
+            .map(|i| {
+                let mut s = JobSpec::fixed(format!("w.{i}"), 120.0);
+                s.inputs.push(InputFile {
+                    name: "gf.mseed".into(),
+                    size_mb: 500.0,
+                    cacheable: true,
+                });
+                s
+            })
+            .collect();
+        let mut d = ChaosBag::new(specs);
+        let report = Cluster::new(stable_config(faults), 4).run(&mut d);
+        assert!(report.exec_failures > 0, "cache hits deliver poison");
+        assert!(report.completed > 0, "origin fetchers still succeed");
+        assert_eq!(report.defense.quarantines, 0);
+        for e in report.log.events() {
+            if e.kind == JobEventKind::Failed {
+                assert_eq!(e.exit_code, Some(EXIT_CORRUPT));
+            }
+        }
+    }
+
+    #[test]
+    fn driver_cancellations_remove_jobs() {
+        struct CancelSecond {
+            to_submit: Vec<JobSpec>,
+            jobs: Vec<JobId>,
+            cancel_queued: bool,
+            pending_cancel: Vec<JobId>,
+            completed: usize,
+            removed: usize,
+        }
+        impl WorkloadDriver for CancelSecond {
+            fn poll(&mut self, _now: SimTime, events: &[JobEvent]) -> Vec<SubmitRequest> {
+                for e in events {
+                    match e.kind {
+                        JobEventKind::Completed => self.completed += 1,
+                        JobEventKind::Removed => self.removed += 1,
+                        // Cancel the second job once the first runs.
+                        JobEventKind::ExecuteStarted
+                            if !self.cancel_queued && e.job == self.jobs[0] =>
+                        {
+                            self.cancel_queued = true;
+                            self.pending_cancel.push(self.jobs[1]);
+                        }
+                        _ => {}
+                    }
+                }
+                std::mem::take(&mut self.to_submit)
+                    .into_iter()
+                    .map(|spec| SubmitRequest {
+                        owner: OwnerId(0),
+                        spec,
+                    })
+                    .collect()
+            }
+            fn on_assigned(&mut self, job: JobId, _name: &str) {
+                self.jobs.push(job);
+            }
+            fn cancellations(&mut self) -> Vec<JobId> {
+                std::mem::take(&mut self.pending_cancel)
+            }
+            fn is_done(&self) -> bool {
+                self.to_submit.is_empty() && self.completed + self.removed >= 2
+            }
+        }
+        let mut d = CancelSecond {
+            to_submit: vec![JobSpec::fixed("a.0", 300.0), JobSpec::fixed("a.1", 300.0)],
+            jobs: Vec::new(),
+            cancel_queued: false,
+            pending_cancel: Vec::new(),
+            completed: 0,
+            removed: 0,
+        };
+        let report = Cluster::new(stable_config(Default::default()), 3).run(&mut d);
+        assert!(!report.timed_out);
+        assert_eq!(d.completed, 1);
+        assert_eq!(d.removed, 1);
+        let kinds: Vec<JobEventKind> = report.log.events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&JobEventKind::Removed), "009 must be logged");
+    }
+
     #[test]
     fn held_jobs_are_released_and_eventually_complete() {
         let faults = crate::fault::FaultConfig {
@@ -1369,10 +1747,16 @@ mod tests {
             report.pool_series.len() as u64
         );
         // Per-reason hold counters partition the total.
-        let by_reason: u64 = ["transfer_input", "transfer_output", "walltime", "policy"]
-            .iter()
-            .map(|k| obs.counter(&format!("pool.holds.{k}")))
-            .sum();
+        let by_reason: u64 = [
+            "transfer_input",
+            "transfer_output",
+            "walltime",
+            "policy",
+            "checksum",
+        ]
+        .iter()
+        .map(|k| obs.counter(&format!("pool.holds.{k}")))
+        .sum();
         assert_eq!(by_reason, report.holds);
         // Every completed job contributes one stage-in and one exec span.
         let trace = obs.chrome_trace();

@@ -19,6 +19,10 @@ pub const EXIT_TRANSIENT: i32 = 1;
 pub const EXIT_PERMANENT: i32 = 2;
 /// Exit code used when a black-hole machine kills a job.
 pub const EXIT_BLACK_HOLE: i32 = 3;
+/// Exit code used when a job consumed a silently corrupted cache entry
+/// (only reachable with checksum verification disabled — the defense
+/// detects the corruption at stage-in instead).
+pub const EXIT_CORRUPT: i32 = 4;
 
 /// Seconds a black-hole machine takes to kill a job: they fail *fast*,
 /// which is exactly why they eat a disproportionate share of matches.
@@ -35,6 +39,9 @@ pub enum HoldReason {
     WallTimeExceeded,
     /// Administrative/policy hold (the catch-all bucket).
     PolicyHold,
+    /// A staged-in file failed checksum verification (corrupted cache
+    /// entry detected by the verify-on-read defense).
+    ChecksumMismatch,
 }
 
 impl HoldReason {
@@ -45,6 +52,7 @@ impl HoldReason {
             HoldReason::TransferOutputError => "Transfer output files failure",
             HoldReason::WallTimeExceeded => "Job exceeded allowed walltime",
             HoldReason::PolicyHold => "Policy hold",
+            HoldReason::ChecksumMismatch => "Transfer checksum validation failed",
         }
     }
 
@@ -55,6 +63,7 @@ impl HoldReason {
             HoldReason::TransferOutputError => "transfer_output",
             HoldReason::WallTimeExceeded => "walltime",
             HoldReason::PolicyHold => "policy",
+            HoldReason::ChecksumMismatch => "checksum",
         }
     }
 
@@ -65,6 +74,7 @@ impl HoldReason {
             "Transfer output files failure" => Some(HoldReason::TransferOutputError),
             "Job exceeded allowed walltime" => Some(HoldReason::WallTimeExceeded),
             "Policy hold" => Some(HoldReason::PolicyHold),
+            "Transfer checksum validation failed" => Some(HoldReason::ChecksumMismatch),
             _ => None,
         }
     }
@@ -92,6 +102,10 @@ pub struct FaultConfig {
     /// Probability that a matched job is held at execute time for
     /// policy reasons ([`HoldReason::PolicyHold`]).
     pub hold_prob: f64,
+    /// Probability that a cacheable file lands in a site cache silently
+    /// corrupted. Each (site, file, insert-generation) rolls once, so a
+    /// re-fetch after quarantine rolls fresh.
+    pub corrupt_prob: f64,
     /// Seconds a held job waits before it is automatically released
     /// back to the idle queue.
     pub hold_release_s: f64,
@@ -106,6 +120,7 @@ impl Default for FaultConfig {
             black_hole_fraction: 0.0,
             transfer_fail_prob: 0.0,
             hold_prob: 0.0,
+            corrupt_prob: 0.0,
             hold_release_s: 600.0,
         }
     }
@@ -119,6 +134,7 @@ impl FaultConfig {
             || self.black_hole_fraction > 0.0
             || self.transfer_fail_prob > 0.0
             || self.hold_prob > 0.0
+            || self.corrupt_prob > 0.0
     }
 
     /// Validate the probability ranges.
@@ -129,6 +145,7 @@ impl FaultConfig {
             ("black_hole_fraction", self.black_hole_fraction),
             ("transfer_fail_prob", self.transfer_fail_prob),
             ("hold_prob", self.hold_prob),
+            ("corrupt_prob", self.corrupt_prob),
         ];
         for (name, p) in probs {
             if !(0.0..=1.0).contains(&p) {
@@ -228,6 +245,17 @@ impl FaultPlan {
         self.chance("stage-out", name, salt, self.cfg.transfer_fail_prob)
     }
 
+    /// Is the copy of `file` inserted into `site`'s cache at this insert
+    /// `generation` silently corrupted? Keyed per insertion, so a fresh
+    /// origin re-fetch after a quarantine rolls a new (usually clean)
+    /// copy.
+    pub fn cache_corrupts(&self, site: u32, file: &str, generation: u64) -> bool {
+        let salt = (site as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(generation);
+        self.chance("corrupt", file, salt, self.cfg.corrupt_prob)
+    }
+
     /// Policy hold (if any) for this attempt.
     pub fn hold(&self, name: &str, salt: u64) -> Option<HoldReason> {
         if self.chance("hold", name, salt, self.cfg.hold_prob) {
@@ -261,6 +289,7 @@ mod tests {
             assert!(!p.stage_in_fails("waveform.3", i));
             assert!(!p.stage_out_fails("waveform.3", i));
             assert_eq!(p.hold("waveform.3", i), None);
+            assert!(!p.cache_corrupts(3, "gf.mseed", i));
         }
     }
 
@@ -319,13 +348,35 @@ mod tests {
             c.transfer_fail_prob = 1.0;
             c.hold_prob = 1.0;
             c.black_hole_fraction = 1.0;
+            c.corrupt_prob = 1.0;
         });
         assert!(all.is_black_hole(7));
         assert!(all.stage_in_fails("x", 0) && all.stage_out_fails("x", 0));
         assert_eq!(all.hold("x", 0), Some(HoldReason::PolicyHold));
+        assert!(all.cache_corrupts(0, "x", 0));
         let only_transfer = plan(|c| c.transfer_fail_prob = 1.0);
         assert_eq!(only_transfer.exec_exit("x", 0), None);
         assert!(!only_transfer.is_black_hole(7));
+        assert!(!only_transfer.cache_corrupts(0, "x", 0));
+    }
+
+    #[test]
+    fn corruption_rolls_fresh_per_generation() {
+        let p = plan(|c| c.corrupt_prob = 0.5);
+        let rolls: Vec<bool> = (0..64)
+            .map(|g| p.cache_corrupts(1, "gf.mseed", g))
+            .collect();
+        assert!(rolls.iter().any(|&c| c), "p=0.5 must corrupt sometimes");
+        assert!(!rolls.iter().all(|&c| c), "p=0.5 must stay clean sometimes");
+        // Same (site, file, generation) is a pure function.
+        for (g, &r) in rolls.iter().enumerate() {
+            assert_eq!(p.cache_corrupts(1, "gf.mseed", g as u64), r);
+        }
+        // Sites are independent.
+        let other: Vec<bool> = (0..64)
+            .map(|g| p.cache_corrupts(2, "gf.mseed", g))
+            .collect();
+        assert_ne!(rolls, other);
     }
 
     #[test]
@@ -335,6 +386,7 @@ mod tests {
             HoldReason::TransferOutputError,
             HoldReason::WallTimeExceeded,
             HoldReason::PolicyHold,
+            HoldReason::ChecksumMismatch,
         ] {
             assert_eq!(HoldReason::parse(r.text()), Some(r));
         }

@@ -58,6 +58,7 @@ pub mod fault;
 pub mod job;
 pub mod pool;
 pub mod rand_util;
+pub mod scoreboard;
 pub mod single;
 pub mod time;
 pub mod transfer;
@@ -73,6 +74,7 @@ pub mod prelude {
         SubmitRequest,
     };
     pub use crate::pool::{MachineId, Pool, PoolConfig};
+    pub use crate::scoreboard::{DefenseConfig, DefenseStats, Scoreboard};
     pub use crate::single::{SingleMachine, SingleRunReport};
     pub use crate::time::SimTime;
     pub use crate::transfer::{SiteId, StashCache, TransferConfig};

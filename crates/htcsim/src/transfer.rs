@@ -7,8 +7,9 @@
 //! faster. This module models exactly that, plus plain origin transfers for
 //! non-cacheable files and outputs.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
+use crate::fault::FaultPlan;
 use crate::job::JobSpec;
 
 /// Identifier of a site (a university cluster contributing glideins).
@@ -52,12 +53,39 @@ impl TransferConfig {
     }
 }
 
+/// Outcome of one defended stage-in ([`StashCache::stage_in_verified`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StagedIn {
+    /// Transfer time in seconds (includes time spent pulling a copy
+    /// that then failed verification).
+    pub secs: f64,
+    /// Whether any input came over the origin uplink.
+    pub used_origin: bool,
+    /// Corrupted cache entries detected and evicted during this
+    /// stage-in (non-zero only with verification on).
+    pub quarantined: u32,
+    /// Whether an *undetected* corrupted file was delivered to the job
+    /// (non-zero corruption with verification off).
+    pub poisoned: bool,
+}
+
 /// The Stash cache: per-site sets of already-cached file names.
+///
+/// Corruption model: each insertion of a cacheable file rolls the fault
+/// plan's `corrupt` domain once, keyed by `(site, file, generation)`
+/// where the generation counts insertions of that key — so a re-fetch
+/// after a quarantine rolls a fresh (usually clean) copy. A corrupted
+/// entry serves poisoned bytes on every hit until verify-on-read
+/// quarantines it.
 #[derive(Debug, Clone, Default)]
 pub struct StashCache {
     cached: HashSet<(SiteId, String)>,
+    /// Insertion count per key (point lookups only; never iterated).
+    generations: HashMap<(SiteId, String), u64>,
+    corrupt: HashSet<(SiteId, String)>,
     hits: u64,
     misses: u64,
+    quarantines: u64,
     enabled: bool,
 }
 
@@ -94,6 +122,11 @@ impl StashCache {
         self.misses
     }
 
+    /// Corrupted entries detected and evicted so far.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines
+    }
+
     /// Hit rate in `[0, 1]`; zero when nothing has been fetched.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -123,24 +156,67 @@ impl StashCache {
         cfg: &TransferConfig,
         active_origin: usize,
     ) -> (f64, bool) {
-        let mut secs = cfg.setup_latency_s;
-        let mut used_origin = false;
+        let clean = FaultPlan::new(crate::fault::FaultConfig::default());
+        let staged = self.stage_in_verified(site, spec, cfg, active_origin, &clean, false);
+        (staged.secs, staged.used_origin)
+    }
+
+    /// Full defended stage-in: like [`Self::stage_in_secs_contended`],
+    /// but cache insertions roll `plan`'s corruption domain and — with
+    /// `verify` on — cache hits are checksum-verified. A corrupt hit
+    /// under verification is quarantined (evicted from the cache) after
+    /// paying its transfer time; the caller is expected to hold and
+    /// re-queue the job, whose retry re-fetches from origin. A corrupt
+    /// hit without verification is delivered silently and reported as
+    /// `poisoned`.
+    pub fn stage_in_verified(
+        &mut self,
+        site: SiteId,
+        spec: &JobSpec,
+        cfg: &TransferConfig,
+        active_origin: usize,
+        plan: &FaultPlan,
+        verify: bool,
+    ) -> StagedIn {
+        let mut out = StagedIn {
+            secs: cfg.setup_latency_s,
+            used_origin: false,
+            quarantined: 0,
+            poisoned: false,
+        };
         for f in &spec.inputs {
-            let cached =
-                self.enabled && f.cacheable && self.cached.contains(&(site, f.name.clone()));
+            let key = (site, f.name.clone());
+            let cached = self.enabled && f.cacheable && self.cached.contains(&key);
             if cached {
+                // The transfer itself happens either way; verification
+                // runs on the delivered bytes.
                 self.hits += 1;
-                secs += f.size_mb / cfg.cache_mbps;
+                out.secs += f.size_mb / cfg.cache_mbps;
+                if self.corrupt.contains(&key) {
+                    if verify {
+                        self.cached.remove(&key);
+                        self.corrupt.remove(&key);
+                        self.quarantines += 1;
+                        out.quarantined += 1;
+                    } else {
+                        out.poisoned = true;
+                    }
+                }
             } else {
                 if self.enabled && f.cacheable {
                     self.misses += 1;
-                    self.cached.insert((site, f.name.clone()));
+                    self.cached.insert(key.clone());
+                    let generation = self.generations.entry(key.clone()).or_insert(0);
+                    *generation += 1;
+                    if plan.cache_corrupts(site.0, &f.name, *generation) {
+                        self.corrupt.insert(key);
+                    }
                 }
-                secs += f.size_mb / cfg.effective_origin_mbps(active_origin);
-                used_origin = true;
+                out.secs += f.size_mb / cfg.effective_origin_mbps(active_origin);
+                out.used_origin = true;
             }
         }
-        (secs, used_origin)
+        out
     }
 
     /// Compute the stage-out time of a job's output, seconds. Outputs are
@@ -272,6 +348,75 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(cfg.effective_origin_mbps(1_000_000), 25.0);
+    }
+
+    #[test]
+    fn verified_read_quarantines_and_refetch_is_clean() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        // Every insertion corrupts; verification must catch each one.
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 7,
+            corrupt_prob: 1.0,
+            ..Default::default()
+        });
+        let cfg = TransferConfig::default();
+        let j = job_with_input("gf.mseed", 1000.0, true);
+        let site = SiteId(3);
+        let mut cache = StashCache::new();
+        let cold = cache.stage_in_verified(site, &j, &cfg, 1, &plan, true);
+        assert!(cold.used_origin && cold.quarantined == 0 && !cold.poisoned);
+        // The cached copy is corrupt: the verified read pays the cache
+        // transfer, detects, and evicts.
+        let bad = cache.stage_in_verified(site, &j, &cfg, 1, &plan, true);
+        assert_eq!(bad.quarantined, 1);
+        assert!(!bad.poisoned && !bad.used_origin);
+        assert_eq!(cache.quarantines(), 1);
+        // Retry after quarantine: entry gone, origin re-fetch.
+        let retry = cache.stage_in_verified(site, &j, &cfg, 1, &plan, true);
+        assert!(retry.used_origin);
+        assert_eq!(retry.quarantined, 0);
+    }
+
+    #[test]
+    fn unverified_read_delivers_poison_silently() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 7,
+            corrupt_prob: 1.0,
+            ..Default::default()
+        });
+        let cfg = TransferConfig::default();
+        let j = job_with_input("gf.mseed", 1000.0, true);
+        let site = SiteId(3);
+        let mut cache = StashCache::new();
+        cache.stage_in_verified(site, &j, &cfg, 1, &plan, false);
+        // Without verification the corrupt entry persists and poisons
+        // every subsequent hit at the site.
+        for _ in 0..3 {
+            let hit = cache.stage_in_verified(site, &j, &cfg, 1, &plan, false);
+            assert!(hit.poisoned && hit.quarantined == 0);
+        }
+        assert_eq!(cache.quarantines(), 0);
+    }
+
+    #[test]
+    fn zero_corruption_plan_matches_legacy_path() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let plan = FaultPlan::new(FaultConfig::default());
+        let cfg = TransferConfig::default();
+        let j = job_with_input("a.npy", 400.0, true);
+        let mut a = StashCache::new();
+        let mut b = StashCache::new();
+        for site in [SiteId(0), SiteId(0), SiteId(1)] {
+            let (secs, origin) = a.stage_in_secs_contended(site, &j, &cfg, 2);
+            let v = b.stage_in_verified(site, &j, &cfg, 2, &plan, true);
+            assert_eq!(secs, v.secs);
+            assert_eq!(origin, v.used_origin);
+            assert_eq!(v.quarantined, 0);
+            assert!(!v.poisoned);
+        }
+        assert_eq!(a.hits(), b.hits());
+        assert_eq!(a.misses(), b.misses());
     }
 
     #[test]

@@ -198,7 +198,8 @@ impl UserLog {
                 JobEventKind::Completed
                 | JobEventKind::Evicted
                 | JobEventKind::Failed
-                | JobEventKind::Held => {
+                | JobEventKind::Held
+                | JobEventKind::Removed => {
                     if let Some(s) = started.remove(&e.job) {
                         delta[s.as_secs() as usize] += 1;
                         delta[e.time.as_secs() as usize] -= 1;
@@ -240,7 +241,12 @@ impl UserLog {
                         good += e.time.since(s);
                     }
                 }
-                JobEventKind::Evicted | JobEventKind::Failed | JobEventKind::Held => {
+                JobEventKind::Evicted
+                | JobEventKind::Failed
+                | JobEventKind::Held
+                | JobEventKind::Removed => {
+                    // A mid-execution removal (condor_rm of a speculative
+                    // loser, walltime policy) wastes its cycles.
                     if let Some(s) = started.remove(&e.job) {
                         bad += e.time.since(s);
                     }

@@ -68,6 +68,13 @@ fn synthetic_log() -> UserLog {
     log.record(ev(760, 4, 1, JobEventKind::Released));
     log.record(ev(800, 4, 1, JobEventKind::ExecuteStarted));
     log.record(ev(860, 4, 1, JobEventKind::Failed).with_exit(137));
+    // Job 5: checksum hold (quarantined corrupt transfer), re-fetched and
+    // released, then condor_rm'd mid-execution (a speculative race loser).
+    log.record(ev(40, 5, 0, JobEventKind::Submitted));
+    log.record(ev(900, 5, 0, JobEventKind::Held).with_hold(HoldReason::ChecksumMismatch));
+    log.record(ev(930, 5, 0, JobEventKind::Released));
+    log.record(ev(960, 5, 0, JobEventKind::ExecuteStarted));
+    log.record(ev(1020, 5, 0, JobEventKind::Removed));
     log
 }
 
@@ -95,12 +102,15 @@ fn synthetic_fixture_spot_checks() {
         "009 (003.000.000) 01/01 00:11:00 Job was aborted by the user.",
         "012 (004.001.000) 01/01 00:11:40 Job was held. Reason: Policy hold",
         "005 (004.001.000) 01/01 00:14:20 Job terminated (return value 137).",
+        "012 (005.000.000) 01/01 00:15:00 Job was held. Reason: Transfer checksum validation failed",
+        "013 (005.000.000) 01/01 00:15:30 Job was released.",
+        "009 (005.000.000) 01/01 00:17:00 Job was aborted by the user.",
     ] {
         assert!(text.contains(want), "missing line: {want}\n---\n{text}");
     }
     // Every event line is followed by the canonical separator, and the
     // Matched event never surfaces.
-    assert_eq!(text.matches("\n...\n").count(), 20);
+    assert_eq!(text.matches("\n...\n").count(), 25);
     assert!(!text.contains("Matched"));
 }
 
@@ -243,6 +253,143 @@ fn holdback_negotiation_is_byte_identical_and_matches_golden() {
         obs_a.counter("pool.holdbacks") > 0,
         "workload never exercised the hold-back buffer; fixture is weak"
     );
+}
+
+/// A bag of jobs that resubmits failures up to a per-name attempt cap —
+/// the minimal driver that survives black holes and poisoned inputs.
+struct RetryBag {
+    to_submit: Vec<JobSpec>,
+    specs: std::collections::HashMap<String, JobSpec>,
+    names: std::collections::HashMap<JobId, String>,
+    attempts: std::collections::HashMap<String, u32>,
+    settled: usize,
+    total: usize,
+}
+
+impl RetryBag {
+    fn new(specs: Vec<JobSpec>) -> Self {
+        let total = specs.len();
+        let by_name = specs.iter().map(|s| (s.name.clone(), s.clone())).collect();
+        RetryBag {
+            to_submit: specs,
+            specs: by_name,
+            names: Default::default(),
+            attempts: Default::default(),
+            settled: 0,
+            total,
+        }
+    }
+}
+
+impl WorkloadDriver for RetryBag {
+    fn poll(&mut self, _now: SimTime, events: &[JobEvent]) -> Vec<SubmitRequest> {
+        let mut subs: Vec<SubmitRequest> = std::mem::take(&mut self.to_submit)
+            .into_iter()
+            .map(|spec| SubmitRequest {
+                owner: OwnerId(0),
+                spec,
+            })
+            .collect();
+        for e in events {
+            match e.kind {
+                JobEventKind::Completed => self.settled += 1,
+                JobEventKind::Failed | JobEventKind::Removed => {
+                    let name = self.names.get(&e.job).cloned().unwrap_or_default();
+                    let tries = self.attempts.entry(name.clone()).or_insert(1);
+                    if *tries < 20 {
+                        *tries += 1;
+                        subs.push(SubmitRequest {
+                            owner: OwnerId(0),
+                            spec: self.specs[&name].clone(),
+                        });
+                    } else {
+                        self.settled += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        subs
+    }
+
+    fn on_assigned(&mut self, job: JobId, name: &str) {
+        self.names.insert(job, name.to_string());
+    }
+
+    fn is_done(&self) -> bool {
+        self.settled == self.total
+    }
+}
+
+/// Black holes plus silent cache corruption, with the scoreboard and
+/// checksum defenses on: the run that emits every defense-visible line
+/// of the dialect — checksum holds, re-fetch releases, fast black-hole
+/// failures — under a retrying driver.
+fn defended_run() -> htcsim::cluster::RunReport {
+    use htcsim::job::InputFile;
+    use htcsim::scoreboard::DefenseConfig;
+    let cfg = ClusterConfig {
+        pool: PoolConfig {
+            target_slots: 8,
+            glidein_slots: 1,
+            avail_mean: 1.0,
+            avail_sigma: 0.0,
+            glidein_lifetime_s: 1e9,
+            ..Default::default()
+        },
+        faults: FaultConfig {
+            seed: 9,
+            black_hole_fraction: 0.3,
+            corrupt_prob: 0.5,
+            ..Default::default()
+        },
+        defense: DefenseConfig {
+            scoreboard_enabled: true,
+            checksum_enabled: true,
+            ..Default::default()
+        },
+        ..ClusterConfig::with_cache()
+    };
+    let specs: Vec<JobSpec> = (0..10)
+        .map(|i| {
+            let mut s = JobSpec::fixed(format!("job.{i}"), 300.0);
+            s.inputs.push(InputFile {
+                name: "gf.mseed".to_string(),
+                size_mb: 500.0,
+                cacheable: true,
+            });
+            s
+        })
+        .collect();
+    Cluster::new(cfg, 7).run(&mut RetryBag::new(specs))
+}
+
+#[test]
+fn defended_run_matches_golden_fixture() {
+    let a = defended_run();
+    let text = to_condor_log(&a.log);
+    // Byte-determinism first: the defenses add scoreboard state to the
+    // negotiation path, and none of it may depend on hasher order.
+    let b = defended_run();
+    assert_eq!(
+        text,
+        to_condor_log(&b.log),
+        "defended run is not byte-deterministic"
+    );
+    assert_golden(&text, "defended_run.log");
+    assert_eq!(a.completed, 10, "every job must survive the campaign");
+    assert!(
+        a.defense.quarantines > 0,
+        "corruption at p=0.5 must trip the checksum defense"
+    );
+    assert!(
+        a.defense.blacklists > 0,
+        "black holes at 0.3 must trip the scoreboard"
+    );
+    assert!(text.contains("Job was held. Reason: Transfer checksum validation failed"));
+    let parsed = parse_condor_log(&text).unwrap();
+    assert_eq!(parsed.completed_count(), a.log.completed_count());
+    assert_eq!(parsed.goodput_badput(), a.log.goodput_badput());
 }
 
 #[test]

@@ -194,6 +194,7 @@ proptest! {
             cache_enabled: true,
             max_evictions_per_job: 0,
             faults: Default::default(),
+            defense: Default::default(),
         };
         let n = 25;
         let specs: Vec<JobSpec> =

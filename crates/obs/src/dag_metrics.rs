@@ -44,6 +44,20 @@ pub struct DagMetrics {
     pub badput_s: u64,
     /// DAG exit code (0 = success).
     pub exitcode: i32,
+    /// Speculative duplicate submissions (straggler defense).
+    pub speculations: u64,
+    /// Speculated nodes won by the duplicate.
+    pub spec_wins: u64,
+    /// Speculated nodes won by the original attempt.
+    pub spec_losses: u64,
+    /// Execution seconds burned by cancelled speculative losers.
+    pub spec_wasted_s: u64,
+    /// Machines blacklisted by the reliability scoreboard.
+    pub machines_blacklisted: u64,
+    /// Machines paroled back after serving a blacklist term.
+    pub machines_paroled: u64,
+    /// Cache entries quarantined by the transfer-checksum defense.
+    pub transfers_quarantined: u64,
 }
 
 impl DagMetrics {
@@ -69,7 +83,14 @@ impl DagMetrics {
              \"holds\":{},\n\
              \"releases\":{},\n\
              \"goodput_seconds\":{},\n\
-             \"badput_seconds\":{}\n\
+             \"badput_seconds\":{},\n\
+             \"speculations\":{},\n\
+             \"spec_wins\":{},\n\
+             \"spec_losses\":{},\n\
+             \"spec_wasted_seconds\":{},\n\
+             \"machines_blacklisted\":{},\n\
+             \"machines_paroled\":{},\n\
+             \"transfers_quarantined\":{}\n\
              }}\n",
             escape(&self.client),
             escape(&self.version),
@@ -88,6 +109,13 @@ impl DagMetrics {
             self.releases,
             fmt_f64(self.goodput_s as f64),
             fmt_f64(self.badput_s as f64),
+            self.speculations,
+            self.spec_wins,
+            self.spec_losses,
+            fmt_f64(self.spec_wasted_s as f64),
+            self.machines_blacklisted,
+            self.machines_paroled,
+            self.transfers_quarantined,
         )
     }
 }
@@ -116,6 +144,13 @@ mod tests {
             goodput_s: 420,
             badput_s: 77,
             exitcode: 1,
+            speculations: 4,
+            spec_wins: 3,
+            spec_losses: 1,
+            spec_wasted_s: 55,
+            machines_blacklisted: 2,
+            machines_paroled: 1,
+            transfers_quarantined: 6,
         };
         let j = m.render();
         validate(&j).unwrap();
@@ -123,6 +158,10 @@ mod tests {
         assert!(j.contains("\"goodput_seconds\":420.0"));
         assert!(j.contains("\"rescue_dag_number\":2"));
         assert!(j.contains("\"type\":\"metrics\""));
+        assert!(j.contains("\"spec_wins\":3"));
+        assert!(j.contains("\"spec_wasted_seconds\":55.0"));
+        assert!(j.contains("\"machines_blacklisted\":2"));
+        assert!(j.contains("\"transfers_quarantined\":6"));
     }
 
     #[test]

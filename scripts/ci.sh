@@ -42,4 +42,8 @@ cargo run -q -p fdw-bench --release --bin validate_trace -- --min-cats 4 \
   "$OBS_DIR"/chaos_matrix.dag.metrics \
   "$OBS_DIR"/table_headline.metrics.json
 
+echo "==> defense ablation smoke (defenses-on badput must not exceed defenses-off)"
+FDW_SMOKE=1 FDW_BENCH_OUT=target/BENCH_defenses.smoke.json \
+  cargo run -q -p fdw-bench --release --bin defense_ablation >/dev/null
+
 echo "CI green."

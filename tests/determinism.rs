@@ -19,6 +19,7 @@ fn cluster() -> ClusterConfig {
         cache_enabled: true,
         max_evictions_per_job: 0,
         faults: Default::default(),
+        defense: Default::default(),
     }
 }
 

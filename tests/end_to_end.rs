@@ -23,6 +23,7 @@ fn test_cluster() -> ClusterConfig {
         cache_enabled: true,
         max_evictions_per_job: 0,
         faults: Default::default(),
+        defense: Default::default(),
     }
 }
 
