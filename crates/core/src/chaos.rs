@@ -262,7 +262,9 @@ pub fn run_chaos_campaign_with_obs(
         if let Some(s) = stats.iter().find(|s| s.owner == dm.owner()) {
             goodput_s += s.goodput_secs;
             badput_s += s.badput_secs;
-            round_metrics.push(dag_metrics(&dm, s, rescue_number, report.defense).render());
+            round_metrics.push(
+                dag_metrics(&dm, s, rescue_number, report.defense, report.federation).render(),
+            );
         }
         clock_s += makespan_s;
         if finished {

@@ -9,6 +9,7 @@ use dagman::driver::SpeculationConfig;
 use fakequakes::stations::ChileanInput;
 use fakequakes::stf::StfKind;
 use htcsim::fault::FaultConfig;
+use htcsim::federation::FederationConfig;
 use htcsim::scoreboard::DefenseConfig;
 
 /// Which subduction margin to simulate. The paper evaluates Chile; §7
@@ -111,6 +112,9 @@ pub struct FdwConfig {
     pub defense: DefenseConfig,
     /// DAGMan straggler speculation (off by default).
     pub speculation: SpeculationConfig,
+    /// Federated multi-pool layer: pool fault domains, circuit-breaker
+    /// failover, checkpoint/restart migration (off by default).
+    pub federation: FederationConfig,
 }
 
 impl Default for FdwConfig {
@@ -135,6 +139,7 @@ impl Default for FdwConfig {
             fault: FaultConfig::default(),
             defense: DefenseConfig::default(),
             speculation: SpeculationConfig::default(),
+            federation: FederationConfig::default(),
         }
     }
 }
@@ -160,6 +165,7 @@ impl FdwConfig {
         self.fault.validate()?;
         self.defense.validate()?;
         self.speculation.validate()?;
+        self.federation.validate()?;
         Ok(())
     }
 
@@ -219,7 +225,22 @@ impl FdwConfig {
              speculation = {}\n\
              speculation_multiplier = {}\n\
              speculation_quantile = {}\n\
-             speculation_min_samples = {}\n",
+             speculation_min_samples = {}\n\
+             federation_enabled = {}\n\
+             federation_failover = {}\n\
+             federation_burst_idle = {}\n\
+             federation_breaker_threshold = {}\n\
+             federation_breaker_probe_s = {}\n\
+             federation_spinup_s = {}\n\
+             checkpoint_enabled = {}\n\
+             checkpoint_interval_s = {}\n\
+             fault_pool_outage_pool = {}\n\
+             fault_pool_outage_start_s = {}\n\
+             fault_pool_outage_s = {}\n\
+             fault_partition_pool = {}\n\
+             fault_partition_start_s = {}\n\
+             fault_partition_s = {}\n\
+             fault_preempt = {}\n",
             self.region.label(),
             self.fault_nx,
             self.fault_nd,
@@ -257,6 +278,21 @@ impl FdwConfig {
             self.speculation.multiplier,
             self.speculation.quantile,
             self.speculation.min_samples,
+            self.federation.enabled,
+            self.federation.failover_enabled,
+            self.federation.burst_idle_threshold,
+            self.federation.breaker_failure_threshold,
+            self.federation.breaker_probe_s,
+            self.federation.cloud_spinup_s,
+            self.federation.checkpoint_enabled,
+            self.federation.checkpoint_interval_s,
+            self.fault.pool.outage_pool,
+            self.fault.pool.outage_start_s,
+            self.fault.pool.outage_duration_s,
+            self.fault.pool.partition_pool,
+            self.fault.pool.partition_start_s,
+            self.fault.pool.partition_duration_s,
+            self.fault.pool.preempt_prob,
         )
     }
 
@@ -383,6 +419,67 @@ impl FdwConfig {
                     cfg.speculation.min_samples =
                         value.parse().map_err(|_| bad("speculation_min_samples"))?
                 }
+                "federation_enabled" => {
+                    cfg.federation.enabled = value.parse().map_err(|_| bad("federation_enabled"))?
+                }
+                "federation_failover" => {
+                    cfg.federation.failover_enabled =
+                        value.parse().map_err(|_| bad("federation_failover"))?
+                }
+                "federation_burst_idle" => {
+                    cfg.federation.burst_idle_threshold =
+                        value.parse().map_err(|_| bad("federation_burst_idle"))?
+                }
+                "federation_breaker_threshold" => {
+                    cfg.federation.breaker_failure_threshold = value
+                        .parse()
+                        .map_err(|_| bad("federation_breaker_threshold"))?
+                }
+                "federation_breaker_probe_s" => {
+                    cfg.federation.breaker_probe_s = value
+                        .parse()
+                        .map_err(|_| bad("federation_breaker_probe_s"))?
+                }
+                "federation_spinup_s" => {
+                    cfg.federation.cloud_spinup_s =
+                        value.parse().map_err(|_| bad("federation_spinup_s"))?
+                }
+                "checkpoint_enabled" => {
+                    cfg.federation.checkpoint_enabled =
+                        value.parse().map_err(|_| bad("checkpoint_enabled"))?
+                }
+                "checkpoint_interval_s" => {
+                    cfg.federation.checkpoint_interval_s =
+                        value.parse().map_err(|_| bad("checkpoint_interval_s"))?
+                }
+                "fault_pool_outage_pool" => {
+                    cfg.fault.pool.outage_pool =
+                        value.parse().map_err(|_| bad("fault_pool_outage_pool"))?
+                }
+                "fault_pool_outage_start_s" => {
+                    cfg.fault.pool.outage_start_s = value
+                        .parse()
+                        .map_err(|_| bad("fault_pool_outage_start_s"))?
+                }
+                "fault_pool_outage_s" => {
+                    cfg.fault.pool.outage_duration_s =
+                        value.parse().map_err(|_| bad("fault_pool_outage_s"))?
+                }
+                "fault_partition_pool" => {
+                    cfg.fault.pool.partition_pool =
+                        value.parse().map_err(|_| bad("fault_partition_pool"))?
+                }
+                "fault_partition_start_s" => {
+                    cfg.fault.pool.partition_start_s =
+                        value.parse().map_err(|_| bad("fault_partition_start_s"))?
+                }
+                "fault_partition_s" => {
+                    cfg.fault.pool.partition_duration_s =
+                        value.parse().map_err(|_| bad("fault_partition_s"))?
+                }
+                "fault_preempt" => {
+                    cfg.fault.pool.preempt_prob = value.parse().map_err(|_| bad("fault_preempt"))?
+                }
                 other => return Err(format!("line {}: unknown key '{other}'", lineno + 1)),
             }
         }
@@ -474,6 +571,7 @@ mod tests {
                 hold_prob: 0.02,
                 hold_release_s: 300.0,
                 corrupt_prob: 0.03,
+                pool: Default::default(),
             },
             ..Default::default()
         };
@@ -519,6 +617,51 @@ mod tests {
         assert!(FdwConfig::parse("defense_scoreboard = true\ndefense_ewma_alpha = 2.0\n").is_err());
         assert!(FdwConfig::parse("speculation = true\nspeculation_multiplier = 0.5\n").is_err());
         assert!(FdwConfig::parse("defense_scoreboards = true\n").is_err());
+    }
+
+    #[test]
+    fn federation_keys_roundtrip() {
+        let cfg = FdwConfig {
+            federation: FederationConfig {
+                enabled: true,
+                failover_enabled: true,
+                burst_idle_threshold: 12,
+                breaker_failure_threshold: 5,
+                breaker_probe_s: 450.0,
+                checkpoint_enabled: true,
+                checkpoint_interval_s: 90.0,
+                cloud_spinup_s: 240.0,
+            },
+            fault: FaultConfig {
+                pool: htcsim::fault::PoolFaultConfig {
+                    outage_pool: 1,
+                    outage_start_s: 400.0,
+                    outage_duration_s: 1800.0,
+                    partition_pool: 0,
+                    partition_start_s: 120.0,
+                    partition_duration_s: 900.0,
+                    preempt_prob: 0.35,
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let text = cfg.to_config_file();
+        assert!(text.contains("federation_failover = true"));
+        assert!(text.contains("checkpoint_interval_s = 90"));
+        assert!(text.contains("fault_preempt = 0.35"));
+        let parsed = FdwConfig::parse(&text).unwrap();
+        assert_eq!(parsed, cfg);
+        // Defaults keep the federation off, so legacy configs still run
+        // on the single flat pool.
+        assert!(!FdwConfig::default().federation.enabled);
+        // Bad knob values are rejected at validate time.
+        assert!(
+            FdwConfig::parse("federation_enabled = true\nfederation_breaker_probe_s = 0\n")
+                .is_err()
+        );
+        assert!(FdwConfig::parse("fault_preempt = 1.5\n").is_err());
+        assert!(FdwConfig::parse("federation_failovers = true\n").is_err());
     }
 
     #[test]

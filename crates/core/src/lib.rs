@@ -17,6 +17,9 @@
 //! * [`chaos`] — the fault-injection campaign harness: run the FDW under a
 //!   fault class, recover through the rescue-DAG round-trip, and prove the
 //!   science products match the fault-free baseline;
+//! * [`failover`] — the federated-failover ablation: the same campaign on
+//!   the three-pool federation under pool-level faults, with the
+//!   health-gated burst controller on vs off;
 //! * [`archive`] — output congregation and manifest labelling (§3).
 //!
 //! ```
@@ -39,6 +42,7 @@ pub mod archive;
 pub mod calibration;
 pub mod chaos;
 pub mod config;
+pub mod failover;
 pub mod live;
 pub mod phases;
 pub mod stats;
@@ -53,6 +57,10 @@ pub mod prelude {
         ChaosReport, FaultClass,
     };
     pub use crate::config::{FdwConfig, StationInput};
+    pub use crate::failover::{
+        federated_cluster_config, run_failover_campaign, run_failover_campaign_with_obs,
+        FailoverReport,
+    };
     pub use crate::phases::{build_fdw_dag, split_waveforms};
     pub use crate::stats::{
         avg_total_runtime, avg_total_throughput, concurrent_avg_runtime, concurrent_avg_throughput,

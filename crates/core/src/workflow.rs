@@ -42,6 +42,7 @@ pub fn osg_cluster_config() -> ClusterConfig {
         max_evictions_per_job: 0,
         faults: Default::default(),
         defense: Default::default(),
+        federation: Default::default(),
     }
 }
 
@@ -125,6 +126,10 @@ pub fn run_concurrent_fdw_with_obs(
     if base_cfg.defense.any_enabled() {
         cluster_cfg.defense = base_cfg.defense;
     }
+    // And the federated multi-pool layer.
+    if base_cfg.federation.enabled {
+        cluster_cfg.federation = base_cfg.federation;
+    }
     let mut dags = Vec::with_capacity(n_dagmans);
     for share in split_waveforms(total_waveforms, n_dagmans) {
         let cfg = FdwConfig {
@@ -156,7 +161,7 @@ pub fn run_concurrent_fdw_with_obs(
                 .iter()
                 .find(|s| s.owner == dm.owner())
                 .ok_or_else(|| format!("no stats for owner {}", dm.owner().0))?;
-            Ok(dag_metrics(dm, s, 0, report.defense).render())
+            Ok(dag_metrics(dm, s, 0, report.defense, report.federation).render())
         })
         .collect::<Result<Vec<_>, String>>()?;
     Ok(FdwOutcome {

@@ -77,6 +77,7 @@ fn arb_config() -> impl Strategy<Value = FdwConfig> {
                     fault,
                     defense: Default::default(),
                     speculation: Default::default(),
+                    federation: Default::default(),
                 }
             },
         )
@@ -229,5 +230,114 @@ proptest! {
         .unwrap();
         prop_assert_eq!(on.digest, baseline, "defenses must never alter products");
         prop_assert_eq!(on.digest, off.digest);
+    }
+}
+
+/// A tiny federated campaign under cloud spot preemption and a mid-run
+/// outage of the dedicated pool, for the checkpoint/restart properties.
+fn federated_faulty_cfg(seed: u64, fseed: u64, preempt: f64) -> FdwConfig {
+    use htcsim::fault::PoolFaultConfig;
+    use htcsim::federation::FederationConfig;
+    let mut cfg = FdwConfig {
+        fault_nx: 10,
+        fault_nd: 5,
+        station_input: StationInput::Chilean(ChileanInput::Small),
+        n_waveforms: 8,
+        ruptures_per_job: 2,
+        waveforms_per_job: 2,
+        retries: 3,
+        retry_defer_s: 30,
+        seed,
+        federation: FederationConfig {
+            enabled: true,
+            burst_idle_threshold: 0,
+            checkpoint_enabled: true,
+            checkpoint_interval_s: 5.0,
+            cloud_spinup_s: 60.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    cfg.fault.seed = fseed;
+    cfg.fault.pool = PoolFaultConfig {
+        outage_pool: 1,
+        outage_start_s: 500.0,
+        outage_duration_s: 1500.0,
+        partition_pool: 0,
+        partition_start_s: 0.0,
+        partition_duration_s: 0.0,
+        preempt_prob: preempt,
+    };
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Checkpoint/restart moves work, never changes it: for any seeded
+    /// spot-preemption + pool-outage campaign, resuming preempted jobs
+    /// from their checkpoints yields science products byte-identical to
+    /// the uninterrupted fault-free run — and to the no-failover arm that
+    /// re-runs every preempted job from scratch.
+    #[test]
+    fn checkpoint_resume_is_byte_identical_to_uninterrupted(
+        seed in 1u64..400,
+        fseed in any::<u64>(),
+        preempt in 5u8..10,
+    ) {
+        use fdw_core::chaos::baseline_digest;
+        use fdw_core::failover::{federated_cluster_config, run_failover_campaign};
+
+        let cfg = federated_faulty_cfg(seed, fseed, f64::from(preempt) / 10.0);
+        let baseline = baseline_digest(&cfg).unwrap();
+        let cluster = federated_cluster_config();
+        let on = run_failover_campaign(&cfg, &cluster, true).unwrap();
+        prop_assert_eq!(on.digest, baseline, "resume must not alter products");
+        let off = run_failover_campaign(&cfg, &cluster, false).unwrap();
+        prop_assert_eq!(off.digest, baseline, "re-run must not alter products");
+    }
+
+    /// A migrated (preempted, checkpointed, resumed elsewhere) job is
+    /// counted exactly once in goodput: the monitor's goodput total must
+    /// equal an independent tally of one final-attempt interval per
+    /// completed job from the user log — never the earlier, displaced
+    /// attempts.
+    #[test]
+    fn migrated_jobs_count_exactly_once_in_goodput(
+        seed in 1u64..400,
+        fseed in any::<u64>(),
+    ) {
+        use std::collections::HashMap;
+        use fdw_core::failover::federated_cluster_config;
+        use fdw_core::workflow::run_fdw;
+        use htcsim::job::{JobEventKind, JobId};
+
+        let cfg = federated_faulty_cfg(seed, fseed, 0.8);
+        let out = run_fdw(&cfg, federated_cluster_config(), seed).unwrap();
+        let stats = &out.stats[0];
+        prop_assert_eq!(stats.completed as u64, cfg.total_jobs());
+
+        // Independent goodput tally: the last execute-start before each
+        // job's completion opens its one goodput interval.
+        let mut open: HashMap<JobId, u64> = HashMap::new();
+        let mut expected = 0u64;
+        let mut completions = 0u64;
+        for e in out.report.log.events() {
+            match e.kind {
+                JobEventKind::ExecuteStarted => {
+                    open.insert(e.job, e.time.as_secs());
+                }
+                JobEventKind::Completed => {
+                    completions += 1;
+                    if let Some(s) = open.remove(&e.job) {
+                        expected += e.time.as_secs() - s;
+                    }
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(completions, cfg.total_jobs(), "one completion per job");
+        prop_assert_eq!(stats.goodput_secs, expected,
+            "goodput must count exactly one final attempt per job");
     }
 }

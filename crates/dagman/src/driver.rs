@@ -498,9 +498,11 @@ impl Dagman {
                         self.idle = self.idle.saturating_sub(1);
                     }
                 }
-                JobEventKind::Evicted => {
-                    // Cluster re-queues evicted jobs automatically; the
-                    // node is idle again for throttle purposes.
+                JobEventKind::Evicted | JobEventKind::Preempted | JobEventKind::PoolOutage => {
+                    // Cluster re-queues evicted, preempted and
+                    // outage-displaced jobs automatically; the node is
+                    // idle again for throttle purposes. Pool-level
+                    // displacements consume no DAGMan retry.
                     self.exec_started.remove(&ev.job);
                     if is_primary && self.state[node.0] == NodeState::Started {
                         self.state[node.0] = NodeState::Queued;
@@ -581,7 +583,10 @@ impl Dagman {
                     }
                     self.mark_removed(node);
                 }
-                JobEventKind::Submitted | JobEventKind::Matched => {}
+                JobEventKind::Submitted
+                | JobEventKind::Matched
+                | JobEventKind::PartitionStalled
+                | JobEventKind::Migrated => {}
             }
         }
     }

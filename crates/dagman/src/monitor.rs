@@ -6,6 +6,7 @@
 use std::collections::{HashMap, HashSet};
 
 use htcsim::cluster::RunReport;
+use htcsim::federation::FederationStats;
 use htcsim::job::{JobEventKind, JobId, OwnerId};
 use htcsim::scoreboard::DefenseStats;
 use htcsim::time::SimTime;
@@ -118,7 +119,9 @@ pub fn per_dagman_stats(report: &RunReport) -> Vec<DagmanStats> {
             JobEventKind::Evicted
             | JobEventKind::Failed
             | JobEventKind::Held
-            | JobEventKind::Removed => {
+            | JobEventKind::Removed
+            | JobEventKind::Preempted
+            | JobEventKind::PoolOutage => {
                 if let Some(s) = exec_start.remove(&e.job) {
                     ent.1 += e.time.since(s);
                 }
@@ -261,7 +264,9 @@ pub fn running_for(report: &RunReport, owner: OwnerId) -> Vec<u32> {
             JobEventKind::Completed
             | JobEventKind::Evicted
             | JobEventKind::Failed
-            | JobEventKind::Held => {
+            | JobEventKind::Held
+            | JobEventKind::Preempted
+            | JobEventKind::PoolOutage => {
                 if let Some(s) = started.remove(&e.job) {
                     delta[s] += 1;
                     delta[idx] -= 1;
@@ -293,6 +298,7 @@ pub fn dag_metrics(
     stats: &DagmanStats,
     rescue_dag_number: u32,
     defense: DefenseStats,
+    federation: FederationStats,
 ) -> fdw_obs::dag_metrics::DagMetrics {
     debug_assert_eq!(stats.owner, dm.owner(), "stats/driver owner mismatch");
     fdw_obs::dag_metrics::DagMetrics {
@@ -323,6 +329,14 @@ pub fn dag_metrics(
         machines_blacklisted: defense.blacklists,
         machines_paroled: defense.paroles,
         transfers_quarantined: defense.quarantines,
+        pool_outages: federation.outages,
+        preemptions: federation.preemptions,
+        checkpoints: federation.checkpoints,
+        resumes: federation.resumes,
+        migrations: federation.migrations,
+        partition_stalls: federation.partition_stalls,
+        breaker_opens: federation.breaker_opens,
+        jobs_drained: federation.drained,
     }
 }
 
@@ -606,7 +620,7 @@ mod tests {
         assert!(s.goodput_secs > 0);
         assert!(s.goodput_secs + s.badput_secs <= report.makespan.as_secs() * 12);
         // The exported .dag.metrics carries exactly these totals.
-        let m = dag_metrics(&dm, s, 0, report.defense);
+        let m = dag_metrics(&dm, s, 0, report.defense, report.federation);
         assert_eq!(m.holds, s.holds);
         assert_eq!(m.releases, s.releases);
         assert_eq!(m.retries, dm.retries());
@@ -664,7 +678,7 @@ mod tests {
         .run(&mut dm);
         assert!(dm.is_done());
         let stats = per_dagman_stats(&report);
-        let m = dag_metrics(&dm, &stats[0], 0, report.defense);
+        let m = dag_metrics(&dm, &stats[0], 0, report.defense, report.federation);
         // Structural invariants first (survive any re-derivation).
         assert_eq!(
             m.total_attempts,

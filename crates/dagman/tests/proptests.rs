@@ -46,6 +46,7 @@ fn fast_cluster(seed: u64) -> Cluster {
             max_evictions_per_job: 0,
             faults: Default::default(),
             defense: Default::default(),
+            federation: Default::default(),
         },
         seed,
     )

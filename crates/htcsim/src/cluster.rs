@@ -17,6 +17,7 @@ use crate::event::{Event, EventQueue};
 use crate::fault::{
     FaultConfig, FaultPlan, HoldReason, BLACK_HOLE_FAIL_S, EXIT_BLACK_HOLE, EXIT_CORRUPT,
 };
+use crate::federation::{Checkpoint, Federation, FederationConfig, FederationStats};
 use crate::job::{JobEvent, JobEventKind, JobId, JobSpec, JobState, OwnerId, SubmitRequest};
 use crate::pool::{MachineId, Pool, PoolConfig};
 use crate::rand_util::exponential;
@@ -66,6 +67,8 @@ pub struct ClusterConfig {
     pub faults: FaultConfig,
     /// Self-healing defense knobs (all off by default).
     pub defense: DefenseConfig,
+    /// Federated multi-pool layer (disabled by default: one flat pool).
+    pub federation: FederationConfig,
 }
 
 impl ClusterConfig {
@@ -106,6 +109,18 @@ struct JobRuntime {
     exec_at: SimTime,
     /// When the current stage-out started.
     stage_out_at: SimTime,
+    /// Checkpoint saved by the last preemption/outage (federated runs
+    /// with checkpointing on; the next attempt resumes here).
+    checkpoint: Option<Checkpoint>,
+    /// Total work of the current attempt, work-seconds at speed 1.0.
+    work_total: f64,
+    /// Displaced by a pool fault (preemption, outage, drain); the next
+    /// match checks whether it lands in a different pool (= migration).
+    displaced: bool,
+    /// Pool of the last machine this job matched.
+    last_pool: Option<u32>,
+    /// The current transfer already emitted its partition-stall event.
+    stall_flagged: bool,
 }
 
 /// One negotiation-cycle snapshot of pool state — the "OSG's variable
@@ -150,6 +165,8 @@ pub struct RunReport {
     pub pool_series: Vec<PoolSample>,
     /// Defense-action totals (blacklists, paroles, quarantines).
     pub defense: DefenseStats,
+    /// Federation event totals (all-zero when no federation runs).
+    pub federation: FederationStats,
 }
 
 impl RunReport {
@@ -196,6 +213,8 @@ pub struct Cluster {
     attempt_counts: HashMap<(OwnerId, String), u64>,
     /// Per-machine reliability scoreboard (inert when defenses are off).
     scoreboard: Scoreboard,
+    /// Federated multi-pool layer (None: classic single-pool run).
+    federation: Option<Federation>,
     holds: u64,
     exec_failures: u64,
     /// Telemetry handle (disabled by default: zero overhead).
@@ -213,6 +232,10 @@ impl Cluster {
         };
         let plan = FaultPlan::new(config.faults);
         let scoreboard = Scoreboard::new(config.defense);
+        let federation = config
+            .federation
+            .enabled
+            .then(|| Federation::new(config.federation));
         Self {
             config,
             rng: StdRng::seed_from_u64(seed ^ 0x4854_434f_4e44_4f52),
@@ -235,6 +258,7 @@ impl Cluster {
             plan,
             attempt_counts: HashMap::new(),
             scoreboard,
+            federation,
             holds: 0,
             exec_failures: 0,
             obs: Obs::disabled(),
@@ -275,6 +299,41 @@ impl Cluster {
         self.obs.inc("cache.hits", self.cache.hits());
         self.obs.inc("cache.misses", self.cache.misses());
         self.obs.inc("cache.quarantines", self.cache.quarantines());
+        // Settle trust state at campaign end: a machine blacklisted right
+        // at the end must not read as still-blacklisted in final metrics
+        // once its parole timer elapsed.
+        let paroles_before = self.scoreboard.stats().paroles;
+        self.scoreboard.reckon(self.now.as_secs() as f64);
+        let settled = self.scoreboard.stats().paroles - paroles_before;
+        if settled > 0 {
+            self.obs.inc("pool.defense.paroles", settled);
+        }
+        let federation = self
+            .federation
+            .as_ref()
+            .map(|f| f.stats())
+            .unwrap_or_default();
+        if self.federation.is_some() {
+            self.obs.inc("pool.federation.outages", federation.outages);
+            self.obs
+                .inc("pool.federation.preemptions", federation.preemptions);
+            self.obs.inc(
+                "pool.federation.partition_stalls",
+                federation.partition_stalls,
+            );
+            self.obs
+                .inc("pool.federation.migrations", federation.migrations);
+            self.obs
+                .inc("pool.federation.checkpoints", federation.checkpoints);
+            self.obs.inc("pool.federation.resumes", federation.resumes);
+            self.obs
+                .inc("pool.federation.breaker_opens", federation.breaker_opens);
+            self.obs
+                .inc("pool.federation.breaker_probes", federation.breaker_probes);
+            self.obs
+                .inc("pool.federation.breaker_closes", federation.breaker_closes);
+            self.obs.inc("pool.federation.drained", federation.drained);
+        }
         RunReport {
             makespan: self.log.makespan(),
             completed: self.log.completed_count(),
@@ -287,6 +346,7 @@ impl Cluster {
             timed_out,
             pool_series: self.pool_series,
             defense: self.scoreboard.stats(),
+            federation,
         }
     }
 
@@ -295,9 +355,37 @@ impl Cluster {
         let groups = self.config.pool.target_slots / self.config.pool.glidein_slots;
         for _ in 0..groups.max(1) {
             let (id, life) = self.pool.add_machine(&mut self.rng);
+            if let Some(f) = self.federation.as_mut() {
+                f.assign_machine(id);
+            }
             self.obs.inc("pool.machines_joined", 1);
             self.queue
                 .push(self.now + life as u64, Event::MachineDepart(id));
+        }
+        // Pool-granularity fault windows are scheduled up front: they are
+        // part of the (deterministic) world, not reactions to it.
+        if self.federation.is_some() {
+            let pf = self.config.faults.pool;
+            if pf.outage_duration_s > 0.0 {
+                self.queue.push(
+                    SimTime(pf.outage_start_s as u64),
+                    Event::PoolOutageStart(pf.outage_pool),
+                );
+                self.queue.push(
+                    SimTime((pf.outage_start_s + pf.outage_duration_s) as u64),
+                    Event::PoolOutageEnd(pf.outage_pool),
+                );
+            }
+            if pf.partition_duration_s > 0.0 {
+                self.queue.push(
+                    SimTime(pf.partition_start_s as u64),
+                    Event::PartitionStart(pf.partition_pool),
+                );
+                self.queue.push(
+                    SimTime((pf.partition_start_s + pf.partition_duration_s) as u64),
+                    Event::PartitionEnd(pf.partition_pool),
+                );
+            }
         }
         let interval = self.pool.config().arrival_interval_s();
         let next = exponential(&mut self.rng, interval) as u64;
@@ -389,6 +477,11 @@ impl Cluster {
                 stage_in_at: SimTime::ZERO,
                 exec_at: SimTime::ZERO,
                 stage_out_at: SimTime::ZERO,
+                checkpoint: None,
+                work_total: 0.0,
+                displaced: false,
+                last_pool: None,
+                stall_flagged: false,
             },
         );
         if !self.owner_order.contains(&req.owner) {
@@ -475,6 +568,9 @@ impl Cluster {
         match ev {
             Event::MachineArrive => {
                 let (id, life) = self.pool.add_machine(&mut self.rng);
+                if let Some(f) = self.federation.as_mut() {
+                    f.assign_machine(id);
+                }
                 self.obs.inc("pool.machines_joined", 1);
                 self.obs
                     .instant("pool", "machine_join", id.0, self.now.as_secs());
@@ -487,6 +583,9 @@ impl Cluster {
             }
             Event::MachineDepart(mid) => {
                 if self.pool.remove_machine(mid).is_some() {
+                    if let Some(f) = self.federation.as_mut() {
+                        f.forget_machine(mid);
+                    }
                     self.obs.inc("pool.machines_departed", 1);
                     self.obs
                         .instant("pool", "machine_depart", mid.0, self.now.as_secs());
@@ -510,6 +609,53 @@ impl Cluster {
                 if j.state != JobState::TransferringInput {
                     return;
                 }
+                // A network partition between this job's pool and the
+                // submit node stalls the transfer. With failover on, the
+                // burst controller drains the job back to Idle so it can
+                // re-match in a healthy pool; without it, the transfer
+                // just waits out the partition window on its slot.
+                let part_pool = self.federation.as_ref().and_then(|f| {
+                    self.jobs[&job]
+                        .machine
+                        .and_then(|m| f.pool_of(m))
+                        .filter(|&p| f.is_partitioned(p))
+                });
+                if let Some(pool) = part_pool {
+                    let j = self.jobs.get_mut(&job).expect("checked above");
+                    let owner = j.owner;
+                    let flagged = j.stall_flagged;
+                    j.stall_flagged = true;
+                    if !flagged {
+                        let f = self.federation.as_mut().expect("federated");
+                        f.record_partition_stall();
+                        f.record_failure(pool, self.now.as_secs() as f64);
+                        self.obs
+                            .instant("pool", "partition_stall", job.0, self.now.as_secs());
+                        self.emit(job, owner, JobEventKind::PartitionStalled);
+                    }
+                    if self.config.federation.failover_enabled {
+                        // Drain-and-migrate: give the slot back, requeue.
+                        let j = self.jobs.get_mut(&job).expect("checked above");
+                        if let Some(m) = j.machine.take() {
+                            self.pool.release_slot(m);
+                        }
+                        j.state = JobState::Idle;
+                        j.serial += 1;
+                        j.displaced = true;
+                        j.stall_flagged = false;
+                        self.idle.entry(owner).or_default().push_back(job);
+                        self.federation.as_mut().expect("federated").record_drain();
+                    } else {
+                        let pf = self.config.faults.pool;
+                        let end = (pf.partition_start_s + pf.partition_duration_s) as u64 + 1;
+                        self.queue.push(
+                            SimTime(end.max(self.now.as_secs() + 1)),
+                            Event::StageInDone(job),
+                        );
+                    }
+                    return;
+                }
+                let j = self.jobs.get_mut(&job).expect("checked above");
                 let salt = Self::fault_salt(j.attempt, j.serial);
                 if self.plan.any_enabled() {
                     let name = j.spec.name.clone();
@@ -533,13 +679,33 @@ impl Cluster {
                 j.state = JobState::Running;
                 j.serial += 1;
                 j.exec_at = self.now;
+                j.stall_flagged = false;
                 let stage_in_at = j.stage_in_at;
                 let machine = j.machine;
                 let speed = machine
                     .and_then(|m| self.pool.machine(m))
                     .map(|m| m.speed)
                     .unwrap_or(1.0);
-                let mut dur = (j.spec.exec.sample(&mut self.rng) / speed).max(1.0);
+                // Always draw the attempt's work from the rng so resumed
+                // attempts do not shift the stream other jobs see — both
+                // ablation arms consume identical rng sequences.
+                let sampled = j.spec.exec.sample(&mut self.rng);
+                let checkpointing =
+                    self.config.federation.enabled && self.config.federation.checkpoint_enabled;
+                let resumed = if checkpointing { j.checkpoint } else { None };
+                let (work_total, remaining) = match resumed {
+                    Some(ck) => (ck.work_total, (ck.work_total - ck.work_done).max(1.0)),
+                    None => (sampled, sampled),
+                };
+                j.work_total = work_total;
+                if resumed.is_some() {
+                    if let Some(f) = self.federation.as_mut() {
+                        f.record_resume();
+                    }
+                    self.obs
+                        .instant("pool", "resume", job.0, self.now.as_secs());
+                }
+                let mut dur = (remaining / speed).max(1.0);
                 // A black-hole machine kills the job fast; otherwise the
                 // attempt's fate is drawn from the fault plan.
                 if machine
@@ -569,6 +735,21 @@ impl Cluster {
                         .push(self.now + timeout as u64, Event::Timeout(job, serial));
                 } else {
                     self.queue.push(self.now + dur as u64, Event::ExecDone(job));
+                }
+                // Spot reclamation: attempts on the elastic cloud pool
+                // may be preempted partway through. Drawn statelessly so
+                // both ablation arms see the identical reclamation.
+                if let Some(f) = self.federation.as_ref() {
+                    let cloud = machine
+                        .and_then(|m| f.pool_of(m))
+                        .is_some_and(|p| f.is_cloud(p));
+                    if cloud && self.plan.preempts(&j.spec.name, salt) {
+                        let delay = (self.plan.preempt_frac(&j.spec.name, salt) * dur).max(1.0);
+                        if delay < dur {
+                            self.queue
+                                .push(self.now + delay as u64, Event::Preempt(job, serial));
+                        }
+                    }
                 }
                 self.obs.span(
                     "pool",
@@ -629,6 +810,37 @@ impl Cluster {
                 if j.state != JobState::TransferringOutput {
                     return;
                 }
+                // A partition also stalls output transfer, but the work
+                // is already done: draining would waste it, so both arms
+                // hold the slot and retry once the partition heals.
+                let part_pool = self.federation.as_ref().and_then(|f| {
+                    self.jobs[&job]
+                        .machine
+                        .and_then(|m| f.pool_of(m))
+                        .filter(|&p| f.is_partitioned(p))
+                });
+                if let Some(pool) = part_pool {
+                    let j = self.jobs.get_mut(&job).expect("checked above");
+                    let owner = j.owner;
+                    let flagged = j.stall_flagged;
+                    j.stall_flagged = true;
+                    if !flagged {
+                        let f = self.federation.as_mut().expect("federated");
+                        f.record_partition_stall();
+                        f.record_failure(pool, self.now.as_secs() as f64);
+                        self.obs
+                            .instant("pool", "partition_stall", job.0, self.now.as_secs());
+                        self.emit(job, owner, JobEventKind::PartitionStalled);
+                    }
+                    let pf = self.config.faults.pool;
+                    let end = (pf.partition_start_s + pf.partition_duration_s) as u64 + 1;
+                    self.queue.push(
+                        SimTime(end.max(self.now.as_secs() + 1)),
+                        Event::StageOutDone(job),
+                    );
+                    return;
+                }
+                let j = self.jobs.get_mut(&job).expect("checked above");
                 let salt = Self::fault_salt(j.attempt, j.serial);
                 if self.plan.any_enabled() {
                     let name = j.spec.name.clone();
@@ -639,10 +851,19 @@ impl Cluster {
                 }
                 let j = self.jobs.get_mut(&job).expect("checked above");
                 j.state = JobState::Completed;
+                j.stall_flagged = false;
                 let owner = j.owner;
                 let stage_out_at = j.stage_out_at;
-                if let Some(m) = j.machine.take() {
+                let machine = j.machine.take();
+                if let Some(m) = machine {
                     self.pool.release_slot(m);
+                }
+                // A completion on a pool closes (or keeps closed) its
+                // circuit breaker.
+                if let Some(f) = self.federation.as_mut() {
+                    if let Some(p) = machine.and_then(|m| f.pool_of(m)) {
+                        f.record_success(p);
+                    }
                 }
                 self.obs.span(
                     "pool",
@@ -712,6 +933,164 @@ impl Cluster {
                 );
                 self.emit(job, owner, JobEventKind::Removed);
             }
+            Event::PoolOutageStart(pool) => {
+                let Some(f) = self.federation.as_mut() else {
+                    return;
+                };
+                f.set_down(pool, true);
+                self.obs
+                    .instant("pool", "pool_outage", pool as u64, self.now.as_secs());
+                self.displace_pool_jobs(pool);
+            }
+            Event::PoolOutageEnd(pool) => {
+                if let Some(f) = self.federation.as_mut() {
+                    f.set_down(pool, false);
+                }
+            }
+            Event::PartitionStart(pool) => {
+                if let Some(f) = self.federation.as_mut() {
+                    f.set_partitioned(pool, true);
+                    self.obs
+                        .instant("pool", "partition", pool as u64, self.now.as_secs());
+                }
+            }
+            Event::PartitionEnd(pool) => {
+                if let Some(f) = self.federation.as_mut() {
+                    f.set_partitioned(pool, false);
+                }
+            }
+            Event::Preempt(job, serial) => {
+                if self.federation.is_none() {
+                    return;
+                }
+                let Some(j) = self.jobs.get(&job) else {
+                    return;
+                };
+                if j.state != JobState::Running || j.serial != serial {
+                    return;
+                }
+                // Spot reclamation kills the attempt but consumes neither
+                // an eviction credit nor a DAGMan retry: the fault domain
+                // is the pool, not the job. Save a checkpoint (when
+                // enabled) and requeue for migration.
+                self.checkpoint_job(job);
+                let j = self.jobs.get_mut(&job).expect("checked above");
+                let owner = j.owner;
+                let exec_at = j.exec_at;
+                let machine = j.machine.take();
+                j.state = JobState::Idle;
+                j.serial += 1;
+                j.pending_exit = None;
+                j.displaced = true;
+                if let Some(m) = machine {
+                    self.pool.release_slot(m);
+                }
+                self.idle.entry(owner).or_default().push_back(job);
+                let pool =
+                    machine.and_then(|m| self.federation.as_ref().and_then(|f| f.pool_of(m)));
+                let now_s = self.now.as_secs() as f64;
+                if let Some(f) = self.federation.as_mut() {
+                    f.record_preemption();
+                    if let Some(p) = pool {
+                        f.record_failure(p, now_s);
+                    }
+                }
+                self.obs
+                    .span("pool", "exec", job.0, exec_at.as_secs(), self.now.as_secs());
+                self.obs
+                    .instant("pool", "preempt", job.0, self.now.as_secs());
+                self.emit(job, owner, JobEventKind::Preempted);
+            }
+        }
+    }
+
+    /// Save a phase-aware checkpoint for a running job about to be
+    /// displaced. Progress is quantized *down* to the checkpoint interval
+    /// (only durably recorded phases survive, mirroring per-rupture-batch
+    /// checkpoint files) and never regresses below a prior checkpoint.
+    fn checkpoint_job(&mut self, job: JobId) {
+        let fcfg = self.config.federation;
+        if !(fcfg.enabled && fcfg.checkpoint_enabled) {
+            return;
+        }
+        let Some(j) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        if j.state != JobState::Running {
+            return;
+        }
+        let speed = j
+            .machine
+            .and_then(|m| self.pool.machine(m))
+            .map(|m| m.speed)
+            .unwrap_or(1.0);
+        let prior = j.checkpoint.map(|c| c.work_done).unwrap_or(0.0);
+        let raw = prior + self.now.since(j.exec_at) as f64 * speed;
+        let interval = fcfg.checkpoint_interval_s.max(1.0);
+        let saved = ((raw / interval).floor() * interval)
+            .min(j.work_total)
+            .max(prior);
+        j.checkpoint = Some(Checkpoint {
+            work_total: j.work_total,
+            work_done: saved,
+        });
+        if saved > prior {
+            if let Some(f) = self.federation.as_mut() {
+                f.record_checkpoint();
+            }
+            self.obs
+                .instant("pool", "checkpoint", job.0, self.now.as_secs());
+        }
+    }
+
+    /// Displace every in-flight job on `pool`'s machines when its outage
+    /// window opens: running jobs checkpoint first (when enabled) and all
+    /// victims return to Idle without consuming an eviction credit — the
+    /// fault domain is the pool, not the job.
+    fn displace_pool_jobs(&mut self, pool: u32) {
+        let members: std::collections::BTreeSet<u64> = self
+            .federation
+            .as_ref()
+            .map(|f| f.machines_in(pool).into_iter().map(|m| m.0).collect())
+            .unwrap_or_default();
+        let mut victims: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| {
+                j.machine.is_some_and(|m| members.contains(&m.0))
+                    && matches!(
+                        j.state,
+                        JobState::TransferringInput
+                            | JobState::Running
+                            | JobState::TransferringOutput
+                    )
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        victims.sort();
+        let now_s = self.now.as_secs() as f64;
+        for id in victims {
+            if self.origin_users.remove(&id) {
+                self.active_origin = self.active_origin.saturating_sub(1);
+            }
+            self.checkpoint_job(id);
+            let j = self.jobs.get_mut(&id).expect("victim exists");
+            if let Some(m) = j.machine.take() {
+                self.pool.release_slot(m);
+            }
+            j.state = JobState::Idle;
+            j.serial += 1;
+            j.pending_exit = None;
+            j.displaced = true;
+            j.stall_flagged = false;
+            let owner = j.owner;
+            self.idle.entry(owner).or_default().push_back(id);
+            if let Some(f) = self.federation.as_mut() {
+                f.record_failure(pool, now_s);
+            }
+            self.obs
+                .instant("pool", "outage_evict", id.0, self.now.as_secs());
+            self.emit(id, owner, JobEventKind::PoolOutage);
         }
     }
 
@@ -779,13 +1158,25 @@ impl Cluster {
             self.obs.gauge("pool.avail_frac", self.pool.avail_frac());
             self.obs.gauge("pool.idle_jobs", idle_jobs as f64);
         }
+        // Federated burst gate: evaluated every cycle (even when the
+        // budget is exhausted) so the elastic cloud's spin-up clock
+        // advances deterministically with idle pressure.
+        let gate = self
+            .federation
+            .as_mut()
+            .map(|f| f.gate(self.now.as_secs() as f64, idle_jobs));
         let capacity = self.pool.user_capacity();
         let busy = self.pool.busy_slots();
         let mut budget = capacity.saturating_sub(busy);
         if budget == 0 {
             return;
         }
-        let free = self.pool.free_slots();
+        let mut free = self.pool.free_slots();
+        // Drop slots on pools the burst controller refuses this cycle
+        // (outage, partition, open breaker, cloud not yet spun up).
+        if let (Some(gate), Some(f)) = (&gate, self.federation.as_ref()) {
+            free.retain(|e| f.pool_of(e.0).map(|p| gate[p as usize]).unwrap_or(true));
+        }
         if free.is_empty() {
             return;
         }
@@ -860,6 +1251,19 @@ impl Cluster {
                 j.machine = Some(mid);
                 j.serial += 1;
                 j.stage_in_at = self.now;
+                // A displaced job landing in a different pool than its
+                // last attempt is a cross-pool migration.
+                let mut migrated_to: Option<u32> = None;
+                if let Some(f) = self.federation.as_mut() {
+                    if let Some(pool) = f.pool_of(mid) {
+                        if j.displaced && j.last_pool.is_some() && j.last_pool != Some(pool) {
+                            f.record_migration();
+                            migrated_to = Some(pool);
+                        }
+                        j.last_pool = Some(pool);
+                    }
+                    j.displaced = false;
+                }
                 let staged = self.cache.stage_in_verified(
                     site,
                     &j.spec,
@@ -888,6 +1292,13 @@ impl Cluster {
                     self.now + (staged.secs as u64).max(1),
                     Event::StageInDone(job),
                 );
+                if let Some(pool) = migrated_to {
+                    self.obs
+                        .instant("pool", "migrate", job.0, self.now.as_secs());
+                    self.emit_event(
+                        JobEvent::new(self.now, job, owner, JobEventKind::Migrated).with_pool(pool),
+                    );
+                }
                 self.emit(job, owner, JobEventKind::Matched);
                 self.obs.inc("pool.matches", 1);
                 budget -= 1;
@@ -1838,5 +2249,199 @@ mod tests {
         let report = Cluster::new(cfg, 9).run(&mut d);
         assert!(report.timed_out);
         assert!(report.completed < 500);
+    }
+
+    fn federated_config(
+        faults: crate::fault::FaultConfig,
+        failover: bool,
+        checkpoint: bool,
+    ) -> ClusterConfig {
+        ClusterConfig {
+            federation: crate::federation::FederationConfig {
+                enabled: true,
+                failover_enabled: failover,
+                checkpoint_enabled: checkpoint,
+                checkpoint_interval_s: 30.0,
+                burst_idle_threshold: 0,
+                cloud_spinup_s: 60.0,
+                ..Default::default()
+            },
+            ..stable_config(faults)
+        }
+    }
+
+    #[test]
+    fn spot_preemption_with_checkpoint_completes_everything() {
+        let faults = crate::fault::FaultConfig {
+            seed: 7,
+            pool: crate::fault::PoolFaultConfig {
+                preempt_prob: 1.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let specs: Vec<JobSpec> = (0..40)
+            .map(|i| JobSpec::fixed(format!("t.{i}"), 300.0))
+            .collect();
+        let mut d = BagDriver::new(specs);
+        let report = Cluster::new(federated_config(faults, true, true), 3).run(&mut d);
+        assert!(!report.timed_out);
+        assert_eq!(report.completed, 40);
+        assert!(
+            report.federation.preemptions > 0,
+            "cloud attempts reclaimed"
+        );
+        assert!(
+            report.federation.migrations > 0,
+            "displaced jobs re-match in another pool"
+        );
+        // Preemptions consume no eviction credit and surface as 026 events.
+        let preempted = report
+            .log
+            .events()
+            .iter()
+            .filter(|e| e.kind == JobEventKind::Preempted)
+            .count() as u64;
+        assert_eq!(preempted, report.federation.preemptions);
+        assert_eq!(report.evictions, 0, "spot kills are not glidein evictions");
+    }
+
+    #[test]
+    fn pool_outage_displaces_and_workload_recovers() {
+        let faults = crate::fault::FaultConfig {
+            seed: 7,
+            pool: crate::fault::PoolFaultConfig {
+                outage_pool: 1,
+                outage_start_s: 400.0,
+                outage_duration_s: 2_000.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let specs: Vec<JobSpec> = (0..60)
+            .map(|i| JobSpec::fixed(format!("t.{i}"), 300.0))
+            .collect();
+        let mut d = BagDriver::new(specs);
+        let report = Cluster::new(federated_config(faults, true, true), 3).run(&mut d);
+        assert!(!report.timed_out);
+        assert_eq!(report.completed, 60);
+        assert_eq!(report.federation.outages, 1);
+        let displaced = report
+            .log
+            .events()
+            .iter()
+            .filter(|e| e.kind == JobEventKind::PoolOutage)
+            .count();
+        assert!(displaced > 0, "in-flight jobs on the down pool displaced");
+    }
+
+    #[test]
+    fn partition_drains_under_failover_and_waits_without() {
+        let faults = crate::fault::FaultConfig {
+            seed: 7,
+            pool: crate::fault::PoolFaultConfig {
+                partition_pool: 0,
+                // First matches land at the t=60 negotiation cycle and
+                // their (slow, origin-bound) transfers are still in
+                // flight when the partition opens at t=100.
+                partition_start_s: 100.0,
+                partition_duration_s: 3_000.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let run = |failover: bool| {
+            let specs: Vec<JobSpec> = (0..40)
+                .map(|i| {
+                    let mut s = JobSpec::fixed(format!("t.{i}"), 300.0);
+                    s.inputs.push(crate::job::InputFile {
+                        name: format!("rupt.{i}.bin"),
+                        size_mb: 2_000.0,
+                        cacheable: false,
+                    });
+                    s
+                })
+                .collect();
+            let mut d = BagDriver::new(specs);
+            Cluster::new(federated_config(faults, failover, false), 3).run(&mut d)
+        };
+        let on = run(true);
+        let off = run(false);
+        assert!(!on.timed_out && !off.timed_out);
+        assert_eq!(on.completed, 40);
+        assert_eq!(off.completed, 40);
+        assert!(
+            on.federation.drained > 0,
+            "failover drains stalled stage-ins"
+        );
+        assert_eq!(off.federation.drained, 0, "no-failover arm waits in place");
+        assert!(
+            on.makespan <= off.makespan,
+            "draining around a partition must not be slower: {:?} vs {:?}",
+            on.makespan,
+            off.makespan
+        );
+    }
+
+    #[test]
+    fn federated_runs_are_deterministic_in_both_arms() {
+        let faults = crate::fault::FaultConfig {
+            seed: 13,
+            pool: crate::fault::PoolFaultConfig {
+                preempt_prob: 0.6,
+                outage_pool: 1,
+                outage_start_s: 500.0,
+                outage_duration_s: 1_500.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        for failover in [false, true] {
+            let mk = || {
+                let specs: Vec<JobSpec> = (0..30)
+                    .map(|i| JobSpec::fixed(format!("t.{i}"), 250.0))
+                    .collect();
+                let mut d = BagDriver::new(specs);
+                let r = Cluster::new(federated_config(faults, failover, failover), 11).run(&mut d);
+                (r.makespan, r.federation, r.log.events().len())
+            };
+            assert_eq!(mk(), mk(), "failover={failover}");
+        }
+    }
+
+    #[test]
+    fn federation_counters_reconcile_with_obs_registry() {
+        use fdw_obs::Obs;
+        let faults = crate::fault::FaultConfig {
+            seed: 7,
+            pool: crate::fault::PoolFaultConfig {
+                preempt_prob: 0.8,
+                outage_pool: 1,
+                outage_start_s: 400.0,
+                outage_duration_s: 1_000.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let specs: Vec<JobSpec> = (0..40)
+            .map(|i| JobSpec::fixed(format!("t.{i}"), 300.0))
+            .collect();
+        let mut d = BagDriver::new(specs);
+        let obs = Obs::enabled();
+        let report = Cluster::new(federated_config(faults, true, true), 3)
+            .with_obs(obs.clone())
+            .run(&mut d);
+        let f = report.federation;
+        assert_eq!(obs.counter("pool.federation.outages"), f.outages);
+        assert_eq!(obs.counter("pool.federation.preemptions"), f.preemptions);
+        assert_eq!(obs.counter("pool.federation.migrations"), f.migrations);
+        assert_eq!(obs.counter("pool.federation.checkpoints"), f.checkpoints);
+        assert_eq!(obs.counter("pool.federation.resumes"), f.resumes);
+        assert_eq!(
+            obs.counter("pool.federation.breaker_opens"),
+            f.breaker_opens
+        );
+        assert_eq!(obs.counter("pool.federation.drained"), f.drained);
+        assert!(f.preemptions > 0);
     }
 }

@@ -16,7 +16,10 @@
 //! Event codes used (the observable subset): `000` submitted, `001`
 //! executing, `004` evicted, `005` terminated (with its return value —
 //! a non-zero value distinguishes a failed attempt), `009` aborted
-//! (removed), `012` held (with its hold reason), `013` released.
+//! (removed), `012` held (with its hold reason), `013` released, and the
+//! federated-layer codes: `022` pool-outage eviction, `023` transfer
+//! stalled by a network partition, `026` spot-reclamation preemption,
+//! `030` migration to another pool (with the destination pool index).
 //! Matchmaking (`Matched`) has no ULOG representation and is omitted, as
 //! in real HTCondor logs. Timestamps encode simulated time as
 //! `01/DD HH:MM:SS` with day 1 = simulation start.
@@ -88,6 +91,15 @@ fn code_and_text(ev: &JobEvent) -> Option<(&'static str, String)> {
             ),
         )),
         JobEventKind::Released => Some(("013", "Job was released.".into())),
+        JobEventKind::PoolOutage => Some(("022", "Job was evicted: pool outage.".into())),
+        JobEventKind::PartitionStalled => {
+            Some(("023", "Job transfer stalled: network partition.".into()))
+        }
+        JobEventKind::Preempted => Some(("026", "Job was preempted by spot reclamation.".into())),
+        JobEventKind::Migrated => Some((
+            "030",
+            format!("Job migrated to pool {}.", ev.pool.unwrap_or(0)),
+        )),
         JobEventKind::Matched => None,
     }
 }
@@ -177,6 +189,20 @@ pub fn parse_condor_log(text: &str) -> Result<UserLog, String> {
                 ev
             }
             "013" => JobEvent::new(time, job, owner, JobEventKind::Released),
+            "022" => JobEvent::new(time, job, owner, JobEventKind::PoolOutage),
+            "023" => JobEvent::new(time, job, owner, JobEventKind::PartitionStalled),
+            "026" => JobEvent::new(time, job, owner, JobEventKind::Preempted),
+            "030" => {
+                let pool: u32 = body
+                    .find("pool ")
+                    .and_then(|i| {
+                        let tail = &body[i + "pool ".len()..];
+                        let end = tail.find('.').unwrap_or(tail.len());
+                        tail[..end].trim().parse().ok()
+                    })
+                    .ok_or_else(|| err("030 event missing destination pool"))?;
+                JobEvent::new(time, job, owner, JobEventKind::Migrated).with_pool(pool)
+            }
             other => return Err(err(&format!("unknown event code '{other}'"))),
         };
         log.record(ev);
@@ -265,6 +291,34 @@ mod tests {
             .collect();
         assert_eq!(held.len(), 1);
         assert_eq!(held[0].hold_reason, Some(HoldReason::TransferInputError));
+    }
+
+    #[test]
+    fn federation_event_codes_roundtrip() {
+        let mut log = UserLog::new();
+        let ev = |t: u64, j: u64, kind| JobEvent::new(SimTime(t), JobId(j), OwnerId(0), kind);
+        log.record(ev(0, 1, JobEventKind::Submitted));
+        log.record(ev(50, 1, JobEventKind::PoolOutage));
+        log.record(ev(60, 1, JobEventKind::PartitionStalled));
+        log.record(ev(70, 1, JobEventKind::Preempted));
+        log.record(ev(80, 1, JobEventKind::Migrated).with_pool(2));
+        log.record(ev(200, 1, JobEventKind::Completed).with_exit(0));
+        let text = to_condor_log(&log);
+        assert!(text.contains("022 (001.000.000) 01/01 00:00:50 Job was evicted: pool outage."));
+        assert!(text
+            .contains("023 (001.000.000) 01/01 00:01:00 Job transfer stalled: network partition."));
+        assert!(text
+            .contains("026 (001.000.000) 01/01 00:01:10 Job was preempted by spot reclamation."));
+        assert!(text.contains("030 (001.000.000) 01/01 00:01:20 Job migrated to pool 2."));
+        let parsed = parse_condor_log(&text).unwrap();
+        assert_eq!(parsed.len(), log.len());
+        for (a, b) in parsed.events().iter().zip(log.events()) {
+            assert_eq!(a, b);
+        }
+        assert!(
+            parse_condor_log("030 (001.000.000) 01/01 00:00:00 Job migrated.\n").is_err(),
+            "030 without a destination pool is rejected"
+        );
     }
 
     #[test]

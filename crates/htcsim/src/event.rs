@@ -31,6 +31,18 @@ pub enum Event {
     /// `u64` is the job serial at execute time — stale timeouts (the
     /// attempt already ended) are ignored.
     Timeout(JobId, u64),
+    /// A whole-pool outage window opens for the given pool index.
+    PoolOutageStart(u32),
+    /// The outage window for the given pool index closes.
+    PoolOutageEnd(u32),
+    /// A network partition cuts the given pool off from the submit node.
+    PartitionStart(u32),
+    /// The partition for the given pool index heals.
+    PartitionEnd(u32),
+    /// Spot reclamation kills a running cloud-pool job mid-attempt. The
+    /// `u64` is the job serial at execute time — stale preemptions (the
+    /// attempt already ended) are ignored.
+    Preempt(JobId, u64),
 }
 
 #[derive(Debug, PartialEq, Eq)]

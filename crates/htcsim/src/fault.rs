@@ -109,6 +109,59 @@ pub struct FaultConfig {
     /// Seconds a held job waits before it is automatically released
     /// back to the idle queue.
     pub hold_release_s: f64,
+    /// Pool-granularity fault classes (outage windows, partitions, spot
+    /// preemption); only active when the cluster runs a federation.
+    pub pool: PoolFaultConfig,
+}
+
+/// Pool-granularity fault classes: whole-pool outage windows, network
+/// partitions between a pool and the submit node, and spot-reclamation
+/// preemption in the cloud pool. Everything defaults to zero/off.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PoolFaultConfig {
+    /// Pool index hit by the outage window.
+    pub outage_pool: u32,
+    /// Sim-time the outage starts, seconds.
+    pub outage_start_s: f64,
+    /// Outage length, seconds (0 disables the outage).
+    pub outage_duration_s: f64,
+    /// Pool index cut off by the network partition.
+    pub partition_pool: u32,
+    /// Sim-time the partition starts, seconds.
+    pub partition_start_s: f64,
+    /// Partition length, seconds (0 disables the partition).
+    pub partition_duration_s: f64,
+    /// Probability that one execution attempt in the cloud pool is
+    /// reclaimed mid-run (spot preemption).
+    pub preempt_prob: f64,
+}
+
+impl PoolFaultConfig {
+    /// True when any pool-level fault class is live.
+    pub fn any_enabled(&self) -> bool {
+        self.outage_duration_s > 0.0 || self.partition_duration_s > 0.0 || self.preempt_prob > 0.0
+    }
+
+    /// Validate ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.preempt_prob) {
+            return Err(format!(
+                "preempt_prob must be in [0, 1], got {}",
+                self.preempt_prob
+            ));
+        }
+        for (name, v) in [
+            ("outage_start_s", self.outage_start_s),
+            ("outage_duration_s", self.outage_duration_s),
+            ("partition_start_s", self.partition_start_s),
+            ("partition_duration_s", self.partition_duration_s),
+        ] {
+            if v < 0.0 {
+                return Err(format!("{name} must be non-negative, got {v}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Default for FaultConfig {
@@ -122,6 +175,7 @@ impl Default for FaultConfig {
             hold_prob: 0.0,
             corrupt_prob: 0.0,
             hold_release_s: 600.0,
+            pool: PoolFaultConfig::default(),
         }
     }
 }
@@ -135,6 +189,7 @@ impl FaultConfig {
             || self.transfer_fail_prob > 0.0
             || self.hold_prob > 0.0
             || self.corrupt_prob > 0.0
+            || self.pool.any_enabled()
     }
 
     /// Validate the probability ranges.
@@ -155,7 +210,7 @@ impl FaultConfig {
         if self.hold_prob > 0.0 && self.hold_release_s <= 0.0 {
             return Err("hold_release_s must be positive when hold_prob > 0".into());
         }
-        Ok(())
+        self.pool.validate()
     }
 }
 
@@ -254,6 +309,18 @@ impl FaultPlan {
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add(generation);
         self.chance("corrupt", file, salt, self.cfg.corrupt_prob)
+    }
+
+    /// Is this execution attempt in the cloud pool reclaimed mid-run?
+    pub fn preempts(&self, name: &str, salt: u64) -> bool {
+        self.chance("preempt", name, salt, self.cfg.pool.preempt_prob)
+    }
+
+    /// Fraction of the attempt's runtime that elapses before the
+    /// reclamation lands, in `[0.1, 0.9)` — late enough that work is
+    /// lost, early enough that the job never finishes.
+    pub fn preempt_frac(&self, name: &str, salt: u64) -> f64 {
+        0.1 + 0.8 * self.draw("preempt-frac", name, salt)
     }
 
     /// Policy hold (if any) for this attempt.
@@ -377,6 +444,35 @@ mod tests {
             .map(|g| p.cache_corrupts(2, "gf.mseed", g))
             .collect();
         assert_ne!(rolls, other);
+    }
+
+    #[test]
+    fn preemption_draws_are_deterministic_and_bounded() {
+        let p = plan(|c| c.pool.preempt_prob = 0.5);
+        assert!(p.any_enabled());
+        let rolls: Vec<bool> = (0..64).map(|s| p.preempts("rupture.0", s)).collect();
+        assert!(rolls.iter().any(|&r| r), "p=0.5 must preempt sometimes");
+        assert!(!rolls.iter().all(|&r| r), "p=0.5 must spare sometimes");
+        for (s, &r) in rolls.iter().enumerate() {
+            assert_eq!(p.preempts("rupture.0", s as u64), r);
+            let f = p.preempt_frac("rupture.0", s as u64);
+            assert!((0.1..0.9).contains(&f), "preempt_frac out of range: {f}");
+        }
+        let off = FaultPlan::new(FaultConfig::default());
+        assert!(!off.preempts("rupture.0", 0));
+    }
+
+    #[test]
+    fn pool_fault_validate_rejects_bad_knobs() {
+        let mut cfg = PoolFaultConfig::default();
+        cfg.validate().unwrap();
+        assert!(!cfg.any_enabled());
+        cfg.preempt_prob = 1.5;
+        assert!(cfg.validate().is_err());
+        cfg.preempt_prob = 0.2;
+        assert!(cfg.any_enabled());
+        cfg.outage_start_s = -1.0;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -164,6 +164,18 @@ pub enum JobEventKind {
     Held,
     /// Job was released from hold back to the idle queue (ULOG 013).
     Released,
+    /// Job was killed by spot reclamation in the cloud pool; it returns
+    /// to Idle (resuming from its checkpoint when one exists).
+    Preempted,
+    /// Job was displaced by a whole-pool outage window; it returns to
+    /// Idle like an eviction, but the cause is the pool fault domain.
+    PoolOutage,
+    /// Job's transfer stalled on a network partition between its pool
+    /// and the submit node.
+    PartitionStalled,
+    /// A displaced job restarted in a different pool than its last
+    /// attempt (the federation's drain-and-migrate path).
+    Migrated,
 }
 
 /// One timestamped job event.
@@ -182,6 +194,8 @@ pub struct JobEvent {
     pub exit_code: Option<i32>,
     /// Hold reason, on [`JobEventKind::Held`] events.
     pub hold_reason: Option<HoldReason>,
+    /// Destination pool index, on [`JobEventKind::Migrated`] events.
+    pub pool: Option<u32>,
 }
 
 impl JobEvent {
@@ -194,6 +208,7 @@ impl JobEvent {
             kind,
             exit_code: None,
             hold_reason: None,
+            pool: None,
         }
     }
 
@@ -206,6 +221,12 @@ impl JobEvent {
     /// Attach a hold reason (012 events).
     pub fn with_hold(mut self, reason: HoldReason) -> Self {
         self.hold_reason = Some(reason);
+        self
+    }
+
+    /// Attach the destination pool (migration events).
+    pub fn with_pool(mut self, pool: u32) -> Self {
+        self.pool = Some(pool);
         self
     }
 }

@@ -15,6 +15,10 @@
 //! * **deterministic fault injection** — transient/permanent exit codes,
 //!   black-hole machines, transfer failures, holds and wall-time limits
 //!   ([`fault`]), so retry and rescue machinery can be exercised;
+//! * a **federated multi-pool layer** ([`federation`]) with pool-level
+//!   fault domains (outage windows, network partitions, spot
+//!   preemption), per-pool circuit breakers, an elastic cloud burst
+//!   gate, and checkpoint/restart migration of displaced jobs;
 //! * **HTCondor-style user logs** and the statistics the paper's shell
 //!   scripts derive from them ([`userlog`]), exportable as the CSV pair
 //!   the VDC bursting simulator consumes;
@@ -55,6 +59,7 @@ pub mod condor_log;
 pub mod csvlite;
 pub mod event;
 pub mod fault;
+pub mod federation;
 pub mod job;
 pub mod pool;
 pub mod rand_util;
@@ -68,7 +73,10 @@ pub mod userlog;
 pub mod prelude {
     pub use crate::cluster::{Cluster, ClusterConfig, PoolSample, RunReport, WorkloadDriver};
     pub use crate::condor_log::{parse_condor_log, to_condor_log};
-    pub use crate::fault::{FaultConfig, FaultPlan, HoldReason};
+    pub use crate::fault::{FaultConfig, FaultPlan, HoldReason, PoolFaultConfig};
+    pub use crate::federation::{
+        Federation, FederationConfig, FederationStats, PoolClass, PoolId, PoolSpec,
+    };
     pub use crate::job::{
         ExecModel, InputFile, JobEvent, JobEventKind, JobId, JobSpec, JobState, OwnerId,
         SubmitRequest,

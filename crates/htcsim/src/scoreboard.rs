@@ -269,6 +269,29 @@ impl Scoreboard {
         good.extend(suspect);
         (good, split)
     }
+
+    /// Settle trust state at a point in time without a negotiation
+    /// cycle: blacklist terms that have expired by `now_s` transition to
+    /// parole (counted in [`Scoreboard::stats`]).
+    ///
+    /// Called at end of run so final metrics don't report a machine as
+    /// still blacklisted when its parole timer elapsed — parole
+    /// otherwise only happens when [`Scoreboard::admit`] sees the
+    /// machine, and a machine blacklisted right at campaign end never
+    /// is.
+    pub fn reckon(&mut self, now_s: f64) {
+        if !self.cfg.scoreboard_enabled {
+            return;
+        }
+        for score in self.scores.values_mut() {
+            if let Trust::Blacklisted { until } = score.trust {
+                if now_s >= until {
+                    score.trust = Trust::Parole;
+                    self.stats.paroles += 1;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -374,6 +397,31 @@ mod tests {
         assert_eq!(sb.stats().blacklists, 0);
         let (_, split) = sb.admit(100.0, slots(&[3]), |e| e.0);
         assert_eq!(split, 1, "slow failures never deprioritize");
+    }
+
+    #[test]
+    fn reckon_paroles_expired_blacklists_without_a_negotiation() {
+        // Regression: a machine blacklisted right at campaign end used to
+        // stay "blacklisted" in final metrics forever, because parole only
+        // happened inside admit() and no further negotiation ran.
+        let mut sb = Scoreboard::new(on());
+        sb.record_exec(MachineId(7), 100.0, 30.0, true);
+        sb.record_exec(MachineId(7), 200.0, 30.0, true);
+        assert_eq!(sb.stats().blacklists, 1);
+        assert_eq!(sb.stats().paroles, 0);
+        // Before the term elapses reckon() changes nothing.
+        sb.reckon(300.0);
+        assert_eq!(sb.stats().paroles, 0);
+        // After the term it settles the machine into parole.
+        sb.reckon(200.0 + 1801.0);
+        assert_eq!(sb.stats().paroles, 1);
+        // Idempotent: a second settle does not double-count.
+        sb.reckon(1e9);
+        assert_eq!(sb.stats().paroles, 1);
+        // A disabled scoreboard stays inert.
+        let mut off = Scoreboard::new(DefenseConfig::default());
+        off.reckon(1e9);
+        assert_eq!(off.stats(), DefenseStats::default());
     }
 
     #[test]

@@ -140,7 +140,15 @@ impl UserLog {
                         jt.holds += 1;
                     }
                 }
-                JobEventKind::Matched | JobEventKind::Released => {}
+                // Preemptions and pool outages are displacement events
+                // (like evictions, but charged to the pool fault domain);
+                // JobTimes keeps its stable schema and tracks neither.
+                JobEventKind::Matched
+                | JobEventKind::Released
+                | JobEventKind::Preempted
+                | JobEventKind::PoolOutage
+                | JobEventKind::PartitionStalled
+                | JobEventKind::Migrated => {}
             }
         }
         order.into_iter().filter_map(|id| map.remove(&id)).collect()
@@ -199,7 +207,9 @@ impl UserLog {
                 | JobEventKind::Evicted
                 | JobEventKind::Failed
                 | JobEventKind::Held
-                | JobEventKind::Removed => {
+                | JobEventKind::Removed
+                | JobEventKind::Preempted
+                | JobEventKind::PoolOutage => {
                     if let Some(s) = started.remove(&e.job) {
                         delta[s.as_secs() as usize] += 1;
                         delta[e.time.as_secs() as usize] -= 1;
@@ -244,9 +254,12 @@ impl UserLog {
                 JobEventKind::Evicted
                 | JobEventKind::Failed
                 | JobEventKind::Held
-                | JobEventKind::Removed => {
+                | JobEventKind::Removed
+                | JobEventKind::Preempted
+                | JobEventKind::PoolOutage => {
                     // A mid-execution removal (condor_rm of a speculative
-                    // loser, walltime policy) wastes its cycles.
+                    // loser, walltime policy), spot reclamation, or a
+                    // pool outage wastes its cycles.
                     if let Some(s) = started.remove(&e.job) {
                         bad += e.time.since(s);
                     }
@@ -421,6 +434,27 @@ mod tests {
         log.record(ev(50, 2, JobEventKind::Failed).with_exit(1)); // 30 s badput
         assert_eq!(log.goodput_badput(), (60, 70));
         assert_eq!(UserLog::new().goodput_badput(), (0, 0));
+    }
+
+    #[test]
+    fn preemption_and_outage_count_as_badput_once() {
+        let mut log = UserLog::new();
+        log.record(ev(0, 1, JobEventKind::Submitted));
+        log.record(ev(10, 1, JobEventKind::ExecuteStarted));
+        log.record(ev(40, 1, JobEventKind::Preempted)); // 30 s badput
+        log.record(ev(100, 1, JobEventKind::Migrated).with_pool(1));
+        log.record(ev(100, 1, JobEventKind::ExecuteStarted));
+        log.record(ev(150, 1, JobEventKind::Completed)); // 50 s goodput
+        log.record(ev(0, 2, JobEventKind::Submitted));
+        log.record(ev(20, 2, JobEventKind::ExecuteStarted));
+        log.record(ev(45, 2, JobEventKind::PoolOutage)); // 25 s badput
+        assert_eq!(log.goodput_badput(), (50, 55));
+        // The migrated job's completion is counted exactly once.
+        assert_eq!(log.completed_count(), 1);
+        let r = log.running_series();
+        assert_eq!(r[39], 2);
+        assert_eq!(r[45], 0, "preempted and outaged jobs stop running");
+        assert_eq!(r[120], 1, "resumed attempt runs again");
     }
 
     #[test]

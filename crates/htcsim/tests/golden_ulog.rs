@@ -392,6 +392,135 @@ fn defended_run_matches_golden_fixture() {
     assert_eq!(parsed.goodput_badput(), a.log.goodput_badput());
 }
 
+/// The full federated fault menu in one run — a mid-run outage of the
+/// dedicated pool, a network partition stalling ospool stage-ins, and
+/// cloud spot reclamation — with the failover controller and
+/// checkpointing on: the run that emits every federated-layer line of
+/// the dialect (`022` outage, `023` partition stall, `026` preemption,
+/// `030` migration).
+fn failover_run() -> htcsim::cluster::RunReport {
+    use htcsim::fault::PoolFaultConfig;
+    use htcsim::federation::FederationConfig;
+    use htcsim::job::InputFile;
+    let cfg = ClusterConfig {
+        pool: PoolConfig {
+            target_slots: 24,
+            glidein_slots: 4,
+            avail_mean: 1.0,
+            avail_sigma: 0.0,
+            glidein_lifetime_s: 1e9,
+            ..Default::default()
+        },
+        federation: FederationConfig {
+            enabled: true,
+            failover_enabled: true,
+            checkpoint_enabled: true,
+            checkpoint_interval_s: 30.0,
+            burst_idle_threshold: 0,
+            cloud_spinup_s: 60.0,
+            ..Default::default()
+        },
+        faults: FaultConfig {
+            seed: 7,
+            pool: PoolFaultConfig {
+                outage_pool: 1,
+                outage_start_s: 400.0,
+                outage_duration_s: 2_000.0,
+                partition_pool: 0,
+                // First matches land at the t=60 negotiation cycle; their
+                // slow origin-bound transfers are still in flight when the
+                // partition opens.
+                partition_start_s: 100.0,
+                partition_duration_s: 1_500.0,
+                preempt_prob: 0.9,
+            },
+            ..Default::default()
+        },
+        ..ClusterConfig::with_cache()
+    };
+    let specs: Vec<JobSpec> = (0..40)
+        .map(|i| {
+            let mut s = JobSpec::fixed(format!("t.{i}"), 300.0);
+            s.inputs.push(InputFile {
+                name: format!("rupt.{i}.bin"),
+                size_mb: 2_000.0,
+                cacheable: false,
+            });
+            s
+        })
+        .collect();
+    let mut d = Bag {
+        pending: specs
+            .into_iter()
+            .map(|spec| SubmitRequest {
+                owner: OwnerId(0),
+                spec,
+            })
+            .collect(),
+        outstanding: 40,
+    };
+    Cluster::new(cfg, 3).run(&mut d)
+}
+
+#[test]
+fn failover_run_matches_golden_fixture() {
+    let a = failover_run();
+    let text = to_condor_log(&a.log);
+    // Byte-determinism first: breaker state, drain queues and checkpoint
+    // bookkeeping all feed the emission order, and none of it may depend
+    // on hasher order.
+    let b = failover_run();
+    assert_eq!(
+        text,
+        to_condor_log(&b.log),
+        "failover run is not byte-deterministic"
+    );
+    assert_golden(&text, "failover_run.log");
+    assert_eq!(a.completed, 40, "every job must survive the fault menu");
+    // Each federated-layer code must actually appear, and each as often
+    // as the federation counters claim — the fixture covers the dialect.
+    let count =
+        |kind: JobEventKind| a.log.events().iter().filter(|e| e.kind == kind).count() as u64;
+    let outage_displacements = count(JobEventKind::PoolOutage);
+    assert!(
+        outage_displacements > 0,
+        "022 never emitted; fixture is weak"
+    );
+    assert!(text.contains("022 "), "pool-outage lines missing");
+    assert_eq!(
+        count(JobEventKind::PartitionStalled),
+        a.federation.partition_stalls
+    );
+    assert!(
+        a.federation.partition_stalls > 0,
+        "023 never emitted; fixture is weak"
+    );
+    assert!(text.contains("023 "), "partition-stall lines missing");
+    assert_eq!(count(JobEventKind::Preempted), a.federation.preemptions);
+    assert!(
+        a.federation.preemptions > 0,
+        "026 never emitted; fixture is weak"
+    );
+    assert!(text.contains("026 "), "preemption lines missing");
+    assert_eq!(count(JobEventKind::Migrated), a.federation.migrations);
+    assert!(
+        a.federation.migrations > 0,
+        "030 never emitted; fixture is weak"
+    );
+    assert!(
+        text.contains("Job migrated to pool "),
+        "migration lines missing"
+    );
+    // Spot kills and outage displacements are pool faults, not glidein
+    // evictions — the 004 path must stay clean.
+    assert_eq!(a.evictions, 0);
+    // The text round-trips to the same statistics the simulator reported.
+    let parsed = parse_condor_log(&text).unwrap();
+    assert_eq!(parsed.completed_count(), a.log.completed_count());
+    assert_eq!(parsed.makespan(), a.log.makespan());
+    assert_eq!(parsed.goodput_badput(), a.log.goodput_badput());
+}
+
 #[test]
 fn simulated_faulty_run_matches_golden_fixture() {
     // Pins the cluster's actual emission order and content, not just the

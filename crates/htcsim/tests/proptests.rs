@@ -195,6 +195,7 @@ proptest! {
             max_evictions_per_job: 0,
             faults: Default::default(),
             defense: Default::default(),
+            federation: Default::default(),
         };
         let n = 25;
         let specs: Vec<JobSpec> =

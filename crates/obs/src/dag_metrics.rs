@@ -58,6 +58,22 @@ pub struct DagMetrics {
     pub machines_paroled: u64,
     /// Cache entries quarantined by the transfer-checksum defense.
     pub transfers_quarantined: u64,
+    /// Whole-pool outage windows opened during the run.
+    pub pool_outages: u64,
+    /// Jobs killed by spot reclamation on the elastic cloud pool.
+    pub preemptions: u64,
+    /// Checkpoints saved for displaced jobs.
+    pub checkpoints: u64,
+    /// Attempts resumed from a checkpoint instead of restarting.
+    pub resumes: u64,
+    /// Displaced jobs re-matched into a different pool.
+    pub migrations: u64,
+    /// Transfers stalled by a pool/submit-node network partition.
+    pub partition_stalls: u64,
+    /// Per-pool circuit-breaker trips (closed → open).
+    pub breaker_opens: u64,
+    /// Queued transfers drained away from an unhealthy pool.
+    pub jobs_drained: u64,
 }
 
 impl DagMetrics {
@@ -90,7 +106,15 @@ impl DagMetrics {
              \"spec_wasted_seconds\":{},\n\
              \"machines_blacklisted\":{},\n\
              \"machines_paroled\":{},\n\
-             \"transfers_quarantined\":{}\n\
+             \"transfers_quarantined\":{},\n\
+             \"pool_outages\":{},\n\
+             \"preemptions\":{},\n\
+             \"checkpoints\":{},\n\
+             \"resumes\":{},\n\
+             \"migrations\":{},\n\
+             \"partition_stalls\":{},\n\
+             \"breaker_opens\":{},\n\
+             \"jobs_drained\":{}\n\
              }}\n",
             escape(&self.client),
             escape(&self.version),
@@ -116,6 +140,14 @@ impl DagMetrics {
             self.machines_blacklisted,
             self.machines_paroled,
             self.transfers_quarantined,
+            self.pool_outages,
+            self.preemptions,
+            self.checkpoints,
+            self.resumes,
+            self.migrations,
+            self.partition_stalls,
+            self.breaker_opens,
+            self.jobs_drained,
         )
     }
 }
@@ -151,6 +183,14 @@ mod tests {
             machines_blacklisted: 2,
             machines_paroled: 1,
             transfers_quarantined: 6,
+            pool_outages: 1,
+            preemptions: 9,
+            checkpoints: 7,
+            resumes: 5,
+            migrations: 4,
+            partition_stalls: 3,
+            breaker_opens: 2,
+            jobs_drained: 8,
         };
         let j = m.render();
         validate(&j).unwrap();
@@ -162,6 +202,14 @@ mod tests {
         assert!(j.contains("\"spec_wasted_seconds\":55.0"));
         assert!(j.contains("\"machines_blacklisted\":2"));
         assert!(j.contains("\"transfers_quarantined\":6"));
+        assert!(j.contains("\"pool_outages\":1"));
+        assert!(j.contains("\"preemptions\":9"));
+        assert!(j.contains("\"checkpoints\":7"));
+        assert!(j.contains("\"resumes\":5"));
+        assert!(j.contains("\"migrations\":4"));
+        assert!(j.contains("\"partition_stalls\":3"));
+        assert!(j.contains("\"breaker_opens\":2"));
+        assert!(j.contains("\"jobs_drained\":8"));
     }
 
     #[test]

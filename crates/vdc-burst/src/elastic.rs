@@ -123,7 +123,7 @@ pub fn simulate_elastic(
         window.push_back(completions_now);
         window_sum += completions_now as u64;
         if window.len() as u64 > policy.window_s {
-            window_sum -= window.pop_front().unwrap() as u64;
+            window_sum -= window.pop_front().map_or(0, u64::from);
         }
         let window_mins = window.len() as f64 / 60.0;
         let recent_jpm = if window_mins > 0.0 {

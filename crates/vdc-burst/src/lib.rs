@@ -41,7 +41,7 @@ pub mod prelude {
     pub use crate::policy::{
         BurstPolicies, QueueTimePolicy, SubmissionGapPolicy, ThroughputPolicy,
     };
-    pub use crate::records::{BatchInput, BatchRecord, JobPhase, JobRecord};
+    pub use crate::records::{BatchInput, BatchRecord, JobPhase, JobRecord, RecordError};
     pub use crate::report::{format_sweep_table, sweep_csv, throughput_csv, SweepRow};
     pub use crate::simulator::{simulate, vdc_duration_secs, BurstOutcome};
 }

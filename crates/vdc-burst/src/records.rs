@@ -1,9 +1,105 @@
 //! Input records of the bursting simulator: the two `.csv` files the paper
 //! describes (§3.1) — one row of batch-level times and one row per job —
 //! plus direct construction from an `htcsim` run report.
+//!
+//! Parsing is strict and errors are typed ([`RecordError`]): hand-edited
+//! or truncated CSVs are rejected with the 1-based line number of the
+//! offending row, and records whose timestamps run backwards (a negative
+//! queue or execution duration) never reach the simulation loop.
+
+use std::fmt;
 
 use htcsim::cluster::RunReport;
 use htcsim::csvlite;
+
+/// Why a recorded batch could not be parsed or validated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// The CSV text itself is malformed: bad quoting, ragged rows, or a
+    /// missing required column.
+    Malformed(String),
+    /// A field failed to parse on the given 1-based CSV line.
+    BadField {
+        /// 1-based line number in the CSV text (line 1 is the header).
+        line: usize,
+        /// Column the bad value sat in.
+        column: &'static str,
+        /// The raw offending value.
+        value: String,
+    },
+    /// Timestamps run backwards between consecutive rows on the given
+    /// 1-based CSV line (job records are exported in submission order).
+    NonMonotonic {
+        /// 1-based line number of the out-of-order row.
+        line: usize,
+        /// The submit time that went backwards.
+        submit_s: u64,
+        /// The previous row's submit time it undercut.
+        prev_s: u64,
+    },
+    /// A record describes a negative duration (execution before
+    /// submission, or termination before execution).
+    NegativeDuration {
+        /// 1-based CSV line number, when the record came from a CSV
+        /// (records built in memory report line 0).
+        line: usize,
+        /// What ran backwards.
+        detail: String,
+    },
+    /// Cross-record consistency failure found at validate time.
+    Inconsistent(String),
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::Malformed(d) => write!(f, "malformed CSV: {d}"),
+            RecordError::BadField {
+                line,
+                column,
+                value,
+            } => write!(f, "line {line}: bad {column} value '{value}'"),
+            RecordError::NonMonotonic {
+                line,
+                submit_s,
+                prev_s,
+            } => write!(
+                f,
+                "line {line}: non-monotonic submit time {submit_s} after {prev_s}"
+            ),
+            RecordError::NegativeDuration { line, detail } if *line == 0 => {
+                write!(f, "negative duration: {detail}")
+            }
+            RecordError::NegativeDuration { line, detail } => {
+                write!(f, "line {line}: negative duration: {detail}")
+            }
+            RecordError::Inconsistent(d) => write!(f, "inconsistent records: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl From<RecordError> for String {
+    fn from(e: RecordError) -> Self {
+        e.to_string()
+    }
+}
+
+impl RecordError {
+    fn malformed(detail: String) -> Self {
+        RecordError::Malformed(detail)
+    }
+}
+
+/// Parse one `u64` field, reporting the 1-based CSV line on failure.
+fn field_u64(line: usize, column: &'static str, value: &str) -> Result<u64, RecordError> {
+    value.parse().map_err(|_| RecordError::BadField {
+        line,
+        column,
+        value: value.to_string(),
+    })
+}
 
 /// Which FDW phase a job belongs to; bursted completion times differ per
 /// phase (§3.1.1).
@@ -42,22 +138,37 @@ pub struct BatchRecord {
 
 impl BatchRecord {
     /// Parse the batch CSV (`submit_s,execute_s,terminate_s`, one row).
-    pub fn parse_csv(text: &str) -> Result<Self, String> {
-        let (header, rows) = csvlite::parse(text)?;
-        let row = rows.first().ok_or("batch CSV has no data row")?;
-        let col = |name: &str| -> Result<u64, String> {
-            let idx = csvlite::column(&header, name)?;
-            row[idx]
-                .parse()
-                .map_err(|_| format!("bad {name} value '{}'", row[idx]))
+    pub fn parse_csv(text: &str) -> Result<Self, RecordError> {
+        let (header, rows) = csvlite::parse(text).map_err(RecordError::malformed)?;
+        let row = rows
+            .first()
+            .ok_or_else(|| RecordError::malformed("batch CSV has no data row".into()))?;
+        let col = |name: &'static str| -> Result<u64, RecordError> {
+            let idx = csvlite::column(&header, name).map_err(RecordError::malformed)?;
+            field_u64(2, name, &row[idx])
         };
         let rec = Self {
             submit_s: col("submit_s")?,
             execute_s: col("execute_s")?,
             terminate_s: col("terminate_s")?,
         };
-        if rec.terminate_s < rec.submit_s {
-            return Err("batch terminates before it submits".into());
+        if rec.execute_s < rec.submit_s {
+            return Err(RecordError::NegativeDuration {
+                line: 2,
+                detail: format!(
+                    "batch executes at {} before submitting at {}",
+                    rec.execute_s, rec.submit_s
+                ),
+            });
+        }
+        if rec.terminate_s < rec.execute_s {
+            return Err(RecordError::NegativeDuration {
+                line: 2,
+                detail: format!(
+                    "batch terminates at {} before executing at {}",
+                    rec.terminate_s, rec.execute_s
+                ),
+            });
         }
         Ok(rec)
     }
@@ -85,37 +196,74 @@ pub struct JobRecord {
 }
 
 impl JobRecord {
+    /// Check this record's internal timeline; `line` is the 1-based CSV
+    /// line for error messages (0 for records built in memory).
+    fn check_times(&self, line: usize) -> Result<(), RecordError> {
+        if let Some(e) = self.execute_s {
+            if e < self.submit_s {
+                return Err(RecordError::NegativeDuration {
+                    line,
+                    detail: format!(
+                        "job {} executes at {e} before its submission at {}",
+                        self.job, self.submit_s
+                    ),
+                });
+            }
+            if let Some(t) = self.terminate_s {
+                if t < e {
+                    return Err(RecordError::NegativeDuration {
+                        line,
+                        detail: format!(
+                            "job {} terminates at {t} before executing at {e}",
+                            self.job
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Parse the jobs CSV exported by
-    /// [`htcsim::userlog::UserLog::jobs_csv`].
-    pub fn parse_csv(text: &str) -> Result<Vec<Self>, String> {
-        let (header, rows) = csvlite::parse(text)?;
-        let job_i = csvlite::column(&header, "job")?;
-        let phase_i = csvlite::column(&header, "phase")?;
-        let submit_i = csvlite::column(&header, "submit_s")?;
-        let exec_i = csvlite::column(&header, "execute_s")?;
-        let term_i = csvlite::column(&header, "terminate_s")?;
-        let mut out = Vec::with_capacity(rows.len());
+    /// [`htcsim::userlog::UserLog::jobs_csv`]. Rows must be in
+    /// submission order (the exporter's order); out-of-order or
+    /// backwards-running timestamps are rejected with their line number.
+    pub fn parse_csv(text: &str) -> Result<Vec<Self>, RecordError> {
+        let (header, rows) = csvlite::parse(text).map_err(RecordError::malformed)?;
+        let col = |name: &str| csvlite::column(&header, name).map_err(RecordError::malformed);
+        let job_i = col("job")?;
+        let phase_i = col("phase")?;
+        let submit_i = col("submit_s")?;
+        let exec_i = col("execute_s")?;
+        let term_i = col("terminate_s")?;
+        let mut out: Vec<Self> = Vec::with_capacity(rows.len());
+        let mut prev_submit = 0u64;
         for (n, row) in rows.iter().enumerate() {
-            let parse_opt = |s: &str| -> Result<Option<u64>, String> {
+            let line = n + 2;
+            let parse_opt = |column: &'static str, s: &str| -> Result<Option<u64>, RecordError> {
                 if s.is_empty() {
                     Ok(None)
                 } else {
-                    s.parse()
-                        .map(Some)
-                        .map_err(|_| format!("row {}: bad time '{s}'", n + 2))
+                    field_u64(line, column, s).map(Some)
                 }
             };
-            out.push(Self {
-                job: row[job_i]
-                    .parse()
-                    .map_err(|_| format!("row {}: bad job id", n + 2))?,
+            let rec = Self {
+                job: field_u64(line, "job", &row[job_i])?,
                 phase: JobPhase::parse(&row[phase_i]),
-                submit_s: row[submit_i]
-                    .parse()
-                    .map_err(|_| format!("row {}: bad submit time", n + 2))?,
-                execute_s: parse_opt(&row[exec_i])?,
-                terminate_s: parse_opt(&row[term_i])?,
-            });
+                submit_s: field_u64(line, "submit_s", &row[submit_i])?,
+                execute_s: parse_opt("execute_s", &row[exec_i])?,
+                terminate_s: parse_opt("terminate_s", &row[term_i])?,
+            };
+            if rec.submit_s < prev_submit {
+                return Err(RecordError::NonMonotonic {
+                    line,
+                    submit_s: rec.submit_s,
+                    prev_s: prev_submit,
+                });
+            }
+            prev_submit = rec.submit_s;
+            rec.check_times(line)?;
+            out.push(rec);
         }
         Ok(out)
     }
@@ -132,7 +280,7 @@ pub struct BatchInput {
 
 impl BatchInput {
     /// Parse from the two CSV texts.
-    pub fn from_csv(batch_csv: &str, jobs_csv: &str) -> Result<Self, String> {
+    pub fn from_csv(batch_csv: &str, jobs_csv: &str) -> Result<Self, RecordError> {
         Ok(Self {
             batch: BatchRecord::parse_csv(batch_csv)?,
             jobs: JobRecord::parse_csv(jobs_csv)?,
@@ -140,28 +288,20 @@ impl BatchInput {
     }
 
     /// Extract directly from an `htcsim` run report (single-owner runs).
-    pub fn from_report(report: &RunReport) -> Result<Self, String> {
+    pub fn from_report(report: &RunReport) -> Result<Self, RecordError> {
         let name_of = report.name_of();
         Self::from_csv(&report.log.batch_csv(), &report.log.jobs_csv(name_of))
     }
 
     /// Validate internal consistency (job times within batch bounds,
-    /// execute ≥ submit, terminate ≥ execute).
-    pub fn validate(&self) -> Result<(), String> {
+    /// execute ≥ submit, terminate ≥ execute). CSV-parsed inputs are
+    /// already checked; this covers records built in memory.
+    pub fn validate(&self) -> Result<(), RecordError> {
         if self.jobs.is_empty() {
-            return Err("no job records".into());
+            return Err(RecordError::Inconsistent("no job records".into()));
         }
         for j in &self.jobs {
-            if let Some(e) = j.execute_s {
-                if e < j.submit_s {
-                    return Err(format!("job {} executes before submission", j.job));
-                }
-                if let Some(t) = j.terminate_s {
-                    if t < e {
-                        return Err(format!("job {} terminates before executing", j.job));
-                    }
-                }
-            }
+            j.check_times(0)?;
         }
         Ok(())
     }
@@ -176,8 +316,8 @@ mod tests {
 job,owner,phase,submit_s,execute_s,terminate_s
 0,0,rupture,0,60,200
 1,0,waveform,0,300,900
-2,0,waveform,500,800,1000
 3,0,gf,0,,
+2,0,waveform,500,800,1000
 ";
 
     #[test]
@@ -189,9 +329,18 @@ job,owner,phase,submit_s,execute_s,terminate_s
 
     #[test]
     fn batch_record_rejects_inverted_times() {
-        assert!(BatchRecord::parse_csv("submit_s,execute_s,terminate_s\n100,0,50\n").is_err());
-        assert!(BatchRecord::parse_csv("submit_s,execute_s\n1,2\n").is_err());
-        assert!(BatchRecord::parse_csv("submit_s,execute_s,terminate_s\n").is_err());
+        assert!(matches!(
+            BatchRecord::parse_csv("submit_s,execute_s,terminate_s\n100,0,50\n"),
+            Err(RecordError::NegativeDuration { line: 2, .. })
+        ));
+        assert!(matches!(
+            BatchRecord::parse_csv("submit_s,execute_s\n1,2\n"),
+            Err(RecordError::Malformed(_))
+        ));
+        assert!(matches!(
+            BatchRecord::parse_csv("submit_s,execute_s,terminate_s\n"),
+            Err(RecordError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -200,10 +349,71 @@ job,owner,phase,submit_s,execute_s,terminate_s
         assert_eq!(jobs.len(), 4);
         assert_eq!(jobs[0].phase, JobPhase::Rupture);
         assert_eq!(jobs[1].phase, JobPhase::Waveform);
-        assert_eq!(jobs[3].phase, JobPhase::Other);
-        assert_eq!(jobs[3].execute_s, None);
-        assert_eq!(jobs[3].terminate_s, None);
-        assert_eq!(jobs[2].terminate_s, Some(1000));
+        assert_eq!(jobs[2].phase, JobPhase::Other);
+        assert_eq!(jobs[2].execute_s, None);
+        assert_eq!(jobs[2].terminate_s, None);
+        assert_eq!(jobs[3].terminate_s, Some(1000));
+    }
+
+    #[test]
+    fn malformed_csv_is_rejected_with_line_numbers() {
+        // Ragged row.
+        let ragged = "job,owner,phase,submit_s,execute_s,terminate_s\n0,0,rupture,0,60\n";
+        let err = JobRecord::parse_csv(ragged).unwrap_err();
+        assert!(matches!(err, RecordError::Malformed(_)));
+        assert!(err.to_string().contains("row 2"), "{err}");
+        // Unparseable field carries its line and column.
+        let bad = "job,owner,phase,submit_s,execute_s,terminate_s\n\
+                   0,0,rupture,0,60,200\n1,0,waveform,soon,80,220\n";
+        let err = JobRecord::parse_csv(bad).unwrap_err();
+        assert_eq!(
+            err,
+            RecordError::BadField {
+                line: 3,
+                column: "submit_s",
+                value: "soon".into()
+            }
+        );
+        assert!(err.to_string().contains("line 3"), "{err}");
+        // Negative times never parse as u64 — rejected, not wrapped.
+        let neg = "job,owner,phase,submit_s,execute_s,terminate_s\n0,0,rupture,-5,60,200\n";
+        assert!(matches!(
+            JobRecord::parse_csv(neg),
+            Err(RecordError::BadField { line: 2, .. })
+        ));
+        // Missing required column.
+        let err = JobRecord::parse_csv("job,owner,phase\n0,0,rupture\n").unwrap_err();
+        assert!(matches!(err, RecordError::Malformed(_)));
+    }
+
+    #[test]
+    fn non_monotonic_and_backwards_rows_are_rejected() {
+        // Submission order must be non-decreasing.
+        let shuffled = "job,owner,phase,submit_s,execute_s,terminate_s\n\
+                        0,0,rupture,500,560,700\n1,0,waveform,100,300,900\n";
+        let err = JobRecord::parse_csv(shuffled).unwrap_err();
+        assert_eq!(
+            err,
+            RecordError::NonMonotonic {
+                line: 3,
+                submit_s: 100,
+                prev_s: 500
+            }
+        );
+        // A job executing before its own submission is a negative queue
+        // duration, flagged with its line.
+        let backwards = "job,owner,phase,submit_s,execute_s,terminate_s\n\
+                         0,0,rupture,100,50,200\n";
+        let err = JobRecord::parse_csv(backwards).unwrap_err();
+        assert!(matches!(err, RecordError::NegativeDuration { line: 2, .. }));
+        assert!(err.to_string().contains("line 2"), "{err}");
+        // Terminate before execute is a negative execution duration.
+        let inverted = "job,owner,phase,submit_s,execute_s,terminate_s\n\
+                        0,0,rupture,0,100,90\n";
+        assert!(matches!(
+            JobRecord::parse_csv(inverted),
+            Err(RecordError::NegativeDuration { line: 2, .. })
+        ));
     }
 
     #[test]
@@ -211,11 +421,13 @@ job,owner,phase,submit_s,execute_s,terminate_s
         let input = BatchInput::from_csv(BATCH, JOBS).unwrap();
         assert!(input.validate().is_ok());
         let bad = "job,owner,phase,submit_s,execute_s,terminate_s\n0,0,rupture,100,50,200\n";
-        let input = BatchInput::from_csv(BATCH, bad).unwrap();
-        assert!(input.validate().is_err());
+        assert!(BatchInput::from_csv(BATCH, bad).is_err());
         let empty = "job,owner,phase,submit_s,execute_s,terminate_s\n";
         let input = BatchInput::from_csv(BATCH, empty).unwrap();
-        assert!(input.validate().is_err());
+        assert!(matches!(
+            input.validate(),
+            Err(RecordError::Inconsistent(_))
+        ));
     }
 
     #[test]

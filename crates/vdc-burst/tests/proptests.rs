@@ -14,7 +14,10 @@ fn arb_batch() -> impl Strategy<Value = BatchInput> {
         (0u64..5_000, 0u64..5_000, 1u64..5_000, any::<bool>()),
         1..40,
     )
-    .prop_map(|rows| {
+    .prop_map(|mut rows| {
+        // The CSV exporter writes rows in submission order; the strict
+        // parser rejects anything else, so the generator matches.
+        rows.sort_by_key(|(submit, ..)| *submit);
         let jobs: Vec<JobRecord> = rows
             .iter()
             .enumerate()

@@ -46,4 +46,8 @@ echo "==> defense ablation smoke (defenses-on badput must not exceed defenses-of
 FDW_SMOKE=1 FDW_BENCH_OUT=target/BENCH_defenses.smoke.json \
   cargo run -q -p fdw-bench --release --bin defense_ablation >/dev/null
 
+echo "==> failover ablation smoke (failover-on must not lose time-to-done or badput)"
+FDW_SMOKE=1 FDW_BENCH_OUT=target/BENCH_failover.smoke.json \
+  cargo run -q -p fdw-bench --release --bin failover_ablation >/dev/null
+
 echo "CI green."

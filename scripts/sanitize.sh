@@ -46,6 +46,27 @@ done
 [ "$fail" -eq 0 ] || { echo "thread-count determinism smoke FAILED"; exit 1; }
 echo "  byte-identical across FDW_THREADS 1/2/8."
 
+echo "==> failover-path determinism (FDW_THREADS 1/2/8, BENCH_failover bytes)"
+# The failover ablation digests its science products in-binary and embeds
+# makespans, badput and federation counters in its JSON: byte-comparing
+# the report across thread counts pins the whole federated path — sim,
+# controller, and the rayon-parallel science kernels behind the digest.
+for n in 1 2 8; do
+  echo "  -> FDW_THREADS=$n"
+  FDW_SMOKE=1 FDW_THREADS="$n" RAYON_NUM_THREADS="$n" \
+    FDW_BENCH_OUT="$SMOKE_ROOT/failover-threads-$n.json" \
+    cargo run -q -p fdw-bench --release --bin failover_ablation >/dev/null
+done
+for n in 2 8; do
+  if ! cmp -s "$SMOKE_ROOT/failover-threads-1.json" \
+              "$SMOKE_ROOT/failover-threads-$n.json"; then
+    echo "  BYTE MISMATCH: BENCH_failover differs between FDW_THREADS=1 and FDW_THREADS=$n"
+    fail=1
+  fi
+done
+[ "$fail" -eq 0 ] || { echo "failover-path determinism smoke FAILED"; exit 1; }
+echo "  failover report byte-identical across FDW_THREADS 1/2/8."
+
 echo "==> ThreadSanitizer (nightly, opt-in)"
 if ! command -v rustup >/dev/null 2>&1; then
   echo "  rustup not installed — skipping TSan stage."

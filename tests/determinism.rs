@@ -20,6 +20,7 @@ fn cluster() -> ClusterConfig {
         max_evictions_per_job: 0,
         faults: Default::default(),
         defense: Default::default(),
+        federation: Default::default(),
     }
 }
 

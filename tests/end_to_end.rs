@@ -24,6 +24,7 @@ fn test_cluster() -> ClusterConfig {
         max_evictions_per_job: 0,
         faults: Default::default(),
         defense: Default::default(),
+        federation: Default::default(),
     }
 }
 
