@@ -115,6 +115,10 @@ pub struct FdwConfig {
     /// Federated multi-pool layer: pool fault domains, circuit-breaker
     /// failover, checkpoint/restart migration (off by default).
     pub federation: FederationConfig,
+    /// Physical event-queue shards for the cluster DES (0 = simulator
+    /// default). Output is byte-identical for every value — the event
+    /// order is pinned by the `(time, lane, seq)` key, never by layout.
+    pub des_shards: usize,
 }
 
 impl Default for FdwConfig {
@@ -140,6 +144,7 @@ impl Default for FdwConfig {
             defense: DefenseConfig::default(),
             speculation: SpeculationConfig::default(),
             federation: FederationConfig::default(),
+            des_shards: 0,
         }
     }
 }
@@ -161,6 +166,9 @@ impl FdwConfig {
         }
         if self.mw_range.0 > self.mw_range.1 {
             return Err("mw_range must be ordered".into());
+        }
+        if self.des_shards > 4096 {
+            return Err("des_shards must be at most 4096".into());
         }
         self.fault.validate()?;
         self.defense.validate()?;
@@ -240,7 +248,8 @@ impl FdwConfig {
              fault_partition_pool = {}\n\
              fault_partition_start_s = {}\n\
              fault_partition_s = {}\n\
-             fault_preempt = {}\n",
+             fault_preempt = {}\n\
+             des_shards = {}\n",
             self.region.label(),
             self.fault_nx,
             self.fault_nd,
@@ -293,6 +302,7 @@ impl FdwConfig {
             self.fault.pool.partition_start_s,
             self.fault.pool.partition_duration_s,
             self.fault.pool.preempt_prob,
+            self.des_shards,
         )
     }
 
@@ -480,6 +490,7 @@ impl FdwConfig {
                 "fault_preempt" => {
                     cfg.fault.pool.preempt_prob = value.parse().map_err(|_| bad("fault_preempt"))?
                 }
+                "des_shards" => cfg.des_shards = value.parse().map_err(|_| bad("des_shards"))?,
                 other => return Err(format!("line {}: unknown key '{other}'", lineno + 1)),
             }
         }

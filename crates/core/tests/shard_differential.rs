@@ -1,0 +1,103 @@
+//! End-to-end shard-invariance of the FDW pipeline: `des_shards` is a
+//! performance knob on the simulator's event queue, and the determinism
+//! contract says no value of it may change the science digest, the
+//! `.dag.metrics` document, or any campaign statistic. This is the
+//! fdw-core complement of `htcsim/tests/des_differential.rs`, driving
+//! the full federated failover campaign — DAGMan, matchmaker, pool
+//! faults, checkpoint/restart — instead of bare cluster scenarios.
+
+use fakequakes::stations::ChileanInput;
+use fdw_core::prelude::*;
+use htcsim::fault::PoolFaultConfig;
+use htcsim::federation::FederationConfig;
+
+/// The failover unit tests' tiny federated campaign, shrunk further:
+/// enough jobs to displace work across pools, small enough for tier-1.
+fn campaign_cfg(des_shards: usize) -> FdwConfig {
+    let mut cfg = FdwConfig {
+        fault_nx: 10,
+        fault_nd: 5,
+        station_input: StationInput::Chilean(ChileanInput::Small),
+        n_waveforms: 8,
+        ruptures_per_job: 2,
+        waveforms_per_job: 2,
+        retries: 3,
+        retry_defer_s: 30,
+        seed: 11,
+        des_shards,
+        federation: FederationConfig {
+            enabled: true,
+            burst_idle_threshold: 0,
+            checkpoint_enabled: true,
+            checkpoint_interval_s: 5.0,
+            cloud_spinup_s: 60.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    cfg.fault.pool = PoolFaultConfig {
+        outage_pool: 1,
+        outage_start_s: 500.0,
+        outage_duration_s: 2000.0,
+        partition_pool: 0,
+        partition_start_s: 0.0,
+        partition_duration_s: 0.0,
+        preempt_prob: 0.9,
+    };
+    cfg
+}
+
+#[test]
+fn failover_campaign_is_invariant_to_des_shards() {
+    let cluster = federated_cluster_config();
+    let baseline = run_failover_campaign(&campaign_cfg(0), &cluster, true)
+        .expect("baseline campaign (des_shards = 0)");
+    // The campaign must actually cross lanes, or invariance is vacuous.
+    assert!(baseline.federation.migrations > 0, "no cross-pool traffic");
+    assert!(baseline.federation.preemptions > 0, "no spot reclamation");
+    for shards in [1usize, 4, 16] {
+        let got = run_failover_campaign(&campaign_cfg(shards), &cluster, true)
+            .unwrap_or_else(|e| panic!("campaign at des_shards={shards}: {e}"));
+        assert_eq!(
+            got.digest, baseline.digest,
+            "science digest changed at des_shards={shards}"
+        );
+        assert_eq!(
+            got.dag_metrics, baseline.dag_metrics,
+            ".dag.metrics changed at des_shards={shards}"
+        );
+        assert_eq!(got.makespan_s, baseline.makespan_s, "des_shards={shards}");
+        assert_eq!(got.goodput_s, baseline.goodput_s, "des_shards={shards}");
+        assert_eq!(got.badput_s, baseline.badput_s, "des_shards={shards}");
+        assert_eq!(
+            got.federation, baseline.federation,
+            "federation counters changed at des_shards={shards}"
+        );
+        assert_eq!(got.evictions, baseline.evictions, "des_shards={shards}");
+    }
+}
+
+#[test]
+fn des_shards_round_trips_through_config_text() {
+    let mut cfg = FdwConfig {
+        des_shards: 16,
+        ..Default::default()
+    };
+    let text = cfg.to_config_file();
+    assert!(
+        text.contains("des_shards = 16"),
+        "config file must emit the knob:\n{text}"
+    );
+    let parsed = FdwConfig::parse(&text).expect("rendered config must parse");
+    assert_eq!(parsed.des_shards, 16);
+    assert_eq!(
+        parsed.to_config_file(),
+        text,
+        "render/parse must be a fixpoint"
+    );
+    // The validation guard rejects absurd values but accepts the cap.
+    cfg.des_shards = 4096;
+    assert!(cfg.validate().is_ok());
+    cfg.des_shards = 4097;
+    assert!(cfg.validate().is_err(), "shard cap must be enforced");
+}

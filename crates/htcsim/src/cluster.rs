@@ -13,7 +13,7 @@ use fdw_obs::Obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventQueue, LaneId};
 use crate::fault::{
     FaultConfig, FaultPlan, HoldReason, BLACK_HOLE_FAIL_S, EXIT_BLACK_HOLE, EXIT_CORRUPT,
 };
@@ -69,6 +69,11 @@ pub struct ClusterConfig {
     pub defense: DefenseConfig,
     /// Federated multi-pool layer (disabled by default: one flat pool).
     pub federation: FederationConfig,
+    /// Physical event-queue shards. Lanes (control + one per pool) map
+    /// onto shards by `lane % shards`; 0 is treated as 1. The pop order
+    /// is pinned by [`crate::event::EventKey`], so every shard count
+    /// yields byte-identical runs — this knob only changes heap layout.
+    pub shards: usize,
 }
 
 impl ClusterConfig {
@@ -236,11 +241,12 @@ impl Cluster {
             .federation
             .enabled
             .then(|| Federation::new(config.federation));
+        let queue = EventQueue::with_shards(config.shards);
         Self {
             config,
             rng: StdRng::seed_from_u64(seed ^ 0x4854_434f_4e44_4f52),
             pool,
-            queue: EventQueue::new(),
+            queue,
             log: UserLog::new(),
             cache,
             jobs: HashMap::new(),
@@ -559,9 +565,34 @@ impl Cluster {
         } else {
             (self.config.faults.hold_release_s as u64).max(1)
         };
-        self.queue
-            .push(self.now + wait, Event::Release(job, serial));
+        self.push_job(self.now + wait, job, Event::Release(job, serial));
         self.emit_event(JobEvent::new(self.now, job, owner, JobEventKind::Held).with_hold(reason));
+    }
+
+    /// Logical lane for lifecycle events of a job occupying `machine`:
+    /// lane `pool + 1` under federation, lane 1 when unmatched or not
+    /// federated. Control events (negotiation, glidein churn, pool fault
+    /// windows) stay on [`LaneId::CONTROL`]. A pure function of sim
+    /// state — never of the shard count — so the event merge order (and
+    /// with it every golden fixture) is shard-invariant. Cross-lane
+    /// interactions (migration re-matches, federation displacement)
+    /// always pass through the sequential k-way merge point, which acts
+    /// as the epoch barrier: a lane never observes another lane's state
+    /// except through an event popped under the total order.
+    fn lane_of(federation: &Option<Federation>, machine: Option<MachineId>) -> LaneId {
+        let pool = federation
+            .as_ref()
+            .zip(machine)
+            .and_then(|(f, m)| f.pool_of(m));
+        LaneId(pool.map_or(1, |p| p + 1))
+    }
+
+    /// Schedule a job-lifecycle event on the lane of the job's current
+    /// machine (lane 1 while unmatched).
+    fn push_job(&mut self, time: SimTime, job: JobId, ev: Event) {
+        let machine = self.jobs.get(&job).and_then(|j| j.machine);
+        let lane = Self::lane_of(&self.federation, machine);
+        self.queue.push_lane(time, lane, ev);
     }
 
     fn handle(&mut self, ev: Event) {
@@ -648,8 +679,9 @@ impl Cluster {
                     } else {
                         let pf = self.config.faults.pool;
                         let end = (pf.partition_start_s + pf.partition_duration_s) as u64 + 1;
-                        self.queue.push(
+                        self.push_job(
                             SimTime(end.max(self.now.as_secs() + 1)),
+                            job,
                             Event::StageInDone(job),
                         );
                     }
@@ -728,13 +760,18 @@ impl Cluster {
                 let owner = j.owner;
                 let serial = j.serial;
                 let timeout = j.spec.timeout_s;
+                let lane = Self::lane_of(&self.federation, machine);
                 if timeout > 0.0 && dur > timeout {
                     // The attempt will not finish in time: the wall-time
                     // policy fires first (periodic_hold → periodic_remove).
-                    self.queue
-                        .push(self.now + timeout as u64, Event::Timeout(job, serial));
+                    self.queue.push_lane(
+                        self.now + timeout as u64,
+                        lane,
+                        Event::Timeout(job, serial),
+                    );
                 } else {
-                    self.queue.push(self.now + dur as u64, Event::ExecDone(job));
+                    self.queue
+                        .push_lane(self.now + dur as u64, lane, Event::ExecDone(job));
                 }
                 // Spot reclamation: attempts on the elastic cloud pool
                 // may be preempted partway through. Drawn statelessly so
@@ -746,8 +783,11 @@ impl Cluster {
                     if cloud && self.plan.preempts(&j.spec.name, salt) {
                         let delay = (self.plan.preempt_frac(&j.spec.name, salt) * dur).max(1.0);
                         if delay < dur {
-                            self.queue
-                                .push(self.now + delay as u64, Event::Preempt(job, serial));
+                            self.queue.push_lane(
+                                self.now + delay as u64,
+                                lane,
+                                Event::Preempt(job, serial),
+                            );
                         }
                     }
                 }
@@ -798,8 +838,12 @@ impl Cluster {
                 if let Some(m) = machine {
                     self.record_exec_outcome(m, exec_at, false);
                 }
-                self.queue
-                    .push(self.now + (dur as u64).max(1), Event::StageOutDone(job));
+                let lane = Self::lane_of(&self.federation, machine);
+                self.queue.push_lane(
+                    self.now + (dur as u64).max(1),
+                    lane,
+                    Event::StageOutDone(job),
+                );
                 self.obs
                     .span("pool", "exec", job.0, exec_at.as_secs(), self.now.as_secs());
             }
@@ -834,8 +878,9 @@ impl Cluster {
                     }
                     let pf = self.config.faults.pool;
                     let end = (pf.partition_start_s + pf.partition_duration_s) as u64 + 1;
-                    self.queue.push(
+                    self.push_job(
                         SimTime(end.max(self.now.as_secs() + 1)),
+                        job,
                         Event::StageOutDone(job),
                     );
                     return;
@@ -1288,8 +1333,10 @@ impl Cluster {
                     self.obs
                         .instant("pool", "quarantine", job.0, self.now.as_secs());
                 }
-                self.queue.push(
+                let lane = Self::lane_of(&self.federation, Some(mid));
+                self.queue.push_lane(
                     self.now + (staged.secs as u64).max(1),
+                    lane,
                     Event::StageInDone(job),
                 );
                 if let Some(pool) = migrated_to {

@@ -239,10 +239,30 @@ fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Split an independent per-lane RNG seed off a base seed.
+///
+/// Sharded event lanes each carry their own random stream; splitting
+/// them through splitmix64 (rather than `seed + lane`) keeps streams
+/// statistically independent, and deriving them from the *base* seed
+/// (never the shard count) means re-sharding a run does not change a
+/// single draw — the determinism contract of the sharded engine.
+pub fn lane_seed(seed: u64, lane: u32) -> u64 {
+    let h = fnv1a(0xcbf2_9ce4_8422_2325u64 ^ seed, b"lane");
+    mix(fnv1a(h, &u64::from(lane).to_le_bytes()))
+}
+
 impl FaultPlan {
     /// Build the plan for a fault configuration.
     pub fn new(cfg: FaultConfig) -> Self {
         FaultPlan { cfg }
+    }
+
+    /// Per-lane RNG seed split from this plan's fault seed (see
+    /// [`lane_seed`]). Lane-local state machines (the sharded DES
+    /// engine, per-pool noise sources) seed their streams here so the
+    /// draw sequence is a function of `(fault seed, lane)` only.
+    pub fn lane_seed(&self, lane: u32) -> u64 {
+        lane_seed(self.cfg.seed, lane)
     }
 
     /// The configuration this plan realises.
@@ -487,6 +507,21 @@ mod tests {
             assert_eq!(HoldReason::parse(r.text()), Some(r));
         }
         assert_eq!(HoldReason::parse("gremlins"), None);
+    }
+
+    #[test]
+    fn lane_seeds_are_stable_and_pairwise_distinct() {
+        // Function of (seed, lane) only — shard count never appears.
+        assert_eq!(lane_seed(9, 0), lane_seed(9, 0));
+        let seeds: Vec<u64> = (0..64).map(|l| lane_seed(9, l)).collect();
+        for (i, &a) in seeds.iter().enumerate() {
+            for &b in &seeds[i + 1..] {
+                assert_ne!(a, b, "lane streams must not collide");
+            }
+        }
+        assert_ne!(lane_seed(9, 3), lane_seed(10, 3), "seed must matter");
+        let p = plan(|c| c.seed = 9);
+        assert_eq!(p.lane_seed(3), lane_seed(9, 3));
     }
 
     #[test]

@@ -57,12 +57,14 @@
 pub mod cluster;
 pub mod condor_log;
 pub mod csvlite;
+pub mod des;
 pub mod event;
 pub mod fault;
 pub mod federation;
 pub mod job;
 pub mod pool;
 pub mod rand_util;
+pub mod scenarios;
 pub mod scoreboard;
 pub mod single;
 pub mod time;
@@ -73,6 +75,8 @@ pub mod userlog;
 pub mod prelude {
     pub use crate::cluster::{Cluster, ClusterConfig, PoolSample, RunReport, WorkloadDriver};
     pub use crate::condor_log::{parse_condor_log, to_condor_log};
+    pub use crate::des::{EngineReport, LaneModel, ShardedEngine, SynthConfig};
+    pub use crate::event::{Event, EventKey, EventQueue, LaneId};
     pub use crate::fault::{FaultConfig, FaultPlan, HoldReason, PoolFaultConfig};
     pub use crate::federation::{
         Federation, FederationConfig, FederationStats, PoolClass, PoolId, PoolSpec,

@@ -4,17 +4,19 @@
 //! exact bytes of the rendered log are a contract: these tests pin the
 //! `000`/`001`/`004`/`005`/`009`/`012`/`013` formatting — including hold
 //! reasons and return values — against fixtures under `tests/fixtures/`.
+//! The scenarios themselves live in [`htcsim::scenarios`], shared with
+//! the differential-determinism harness (`tests/des_differential.rs`)
+//! that re-runs them across the {threads} × {shards} matrix.
 //!
 //! To regenerate after an intentional format change:
 //! `GOLDEN_REGEN=1 cargo test -p htcsim --test golden_ulog` (then review
 //! the fixture diff like any other code change).
 
 use fdw_obs::Obs;
-use htcsim::cluster::{Cluster, ClusterConfig, WorkloadDriver};
 use htcsim::condor_log::{parse_condor_log, to_condor_log};
-use htcsim::fault::{FaultConfig, HoldReason};
-use htcsim::job::{JobEvent, JobEventKind, JobId, JobSpec, OwnerId, SubmitRequest};
-use htcsim::pool::PoolConfig;
+use htcsim::fault::HoldReason;
+use htcsim::job::{JobEvent, JobEventKind, JobId, OwnerId};
+use htcsim::scenarios;
 use htcsim::time::SimTime;
 use htcsim::userlog::UserLog;
 
@@ -129,103 +131,6 @@ fn synthetic_fixture_parses_back_losslessly() {
     }
 }
 
-/// A fixed bag of jobs submitted at t=0 — the smallest workload driver
-/// that exercises the cluster end to end.
-struct Bag {
-    pending: Vec<SubmitRequest>,
-    outstanding: usize,
-}
-
-impl Bag {
-    fn new(n: usize) -> Self {
-        Bag {
-            pending: (0..n)
-                .map(|i| SubmitRequest {
-                    owner: OwnerId(0),
-                    spec: JobSpec::fixed(format!("job.{i}"), 300.0),
-                })
-                .collect(),
-            outstanding: n,
-        }
-    }
-}
-
-impl WorkloadDriver for Bag {
-    fn poll(&mut self, _now: SimTime, events: &[JobEvent]) -> Vec<SubmitRequest> {
-        self.outstanding -= events
-            .iter()
-            .filter(|e| e.kind == JobEventKind::Completed)
-            .count();
-        std::mem::take(&mut self.pending)
-    }
-
-    fn is_done(&self) -> bool {
-        self.outstanding == 0
-    }
-}
-
-fn faulty_run_log() -> UserLog {
-    let cfg = ClusterConfig {
-        pool: PoolConfig {
-            target_slots: 4,
-            glidein_slots: 2,
-            avail_mean: 1.0,
-            avail_sigma: 0.0,
-            glidein_lifetime_s: 1e9,
-            ..Default::default()
-        },
-        faults: FaultConfig {
-            seed: 9,
-            transfer_fail_prob: 0.25,
-            hold_prob: 0.25,
-            hold_release_s: 120.0,
-            ..Default::default()
-        },
-        ..ClusterConfig::with_cache()
-    };
-    Cluster::new(cfg, 11).run(&mut Bag::new(6)).log
-}
-
-/// Two owners submitting a mix of big (16 GB) and small jobs into a pool
-/// where only half the slots are big: every negotiation cycle routes the
-/// unmatched big jobs through the hold-back buffer, the path rewritten
-/// from `HashMap` to `BTreeMap` for the `unordered-hash-iteration` lint.
-fn holdback_run(obs: Obs) -> htcsim::cluster::RunReport {
-    let cfg = ClusterConfig {
-        pool: PoolConfig {
-            target_slots: 8,
-            glidein_slots: 2,
-            avail_mean: 1.0,
-            avail_sigma: 0.0,
-            glidein_lifetime_s: 1e9,
-            big_slot_fraction: 0.5,
-            ..Default::default()
-        },
-        ..ClusterConfig::with_cache()
-    };
-    let mut pending = Vec::new();
-    for owner in [0u32, 1, 2] {
-        for i in 0..3u32 {
-            let mut spec = JobSpec::fixed(format!("big.{owner}.{i}"), 250.0);
-            spec.memory_mb = 16_384;
-            spec.disk_mb = 16_384;
-            pending.push(SubmitRequest {
-                owner: OwnerId(owner),
-                spec,
-            });
-            pending.push(SubmitRequest {
-                owner: OwnerId(owner),
-                spec: JobSpec::fixed(format!("small.{owner}.{i}"), 200.0),
-            });
-        }
-    }
-    let outstanding = pending.len();
-    Cluster::new(cfg, 23).with_obs(obs).run(&mut Bag {
-        pending,
-        outstanding,
-    })
-}
-
 #[test]
 fn holdback_negotiation_is_byte_identical_and_matches_golden() {
     // Byte-identity: two runs with the same seed must render the same
@@ -234,8 +139,8 @@ fn holdback_negotiation_is_byte_identical_and_matches_golden() {
     // changed nothing observable while removing hasher-order dependence.
     let obs_a = Obs::enabled();
     let obs_b = Obs::enabled();
-    let a = holdback_run(obs_a.clone());
-    let b = holdback_run(obs_b.clone());
+    let a = scenarios::holdback_run(1, obs_a.clone());
+    let b = scenarios::holdback_run(1, obs_b.clone());
     let text_a = to_condor_log(&a.log);
     let text_b = to_condor_log(&b.log);
     assert_eq!(text_a, text_b, "ULOG bytes differ across identical runs");
@@ -255,122 +160,13 @@ fn holdback_negotiation_is_byte_identical_and_matches_golden() {
     );
 }
 
-/// A bag of jobs that resubmits failures up to a per-name attempt cap —
-/// the minimal driver that survives black holes and poisoned inputs.
-struct RetryBag {
-    to_submit: Vec<JobSpec>,
-    specs: std::collections::HashMap<String, JobSpec>,
-    names: std::collections::HashMap<JobId, String>,
-    attempts: std::collections::HashMap<String, u32>,
-    settled: usize,
-    total: usize,
-}
-
-impl RetryBag {
-    fn new(specs: Vec<JobSpec>) -> Self {
-        let total = specs.len();
-        let by_name = specs.iter().map(|s| (s.name.clone(), s.clone())).collect();
-        RetryBag {
-            to_submit: specs,
-            specs: by_name,
-            names: Default::default(),
-            attempts: Default::default(),
-            settled: 0,
-            total,
-        }
-    }
-}
-
-impl WorkloadDriver for RetryBag {
-    fn poll(&mut self, _now: SimTime, events: &[JobEvent]) -> Vec<SubmitRequest> {
-        let mut subs: Vec<SubmitRequest> = std::mem::take(&mut self.to_submit)
-            .into_iter()
-            .map(|spec| SubmitRequest {
-                owner: OwnerId(0),
-                spec,
-            })
-            .collect();
-        for e in events {
-            match e.kind {
-                JobEventKind::Completed => self.settled += 1,
-                JobEventKind::Failed | JobEventKind::Removed => {
-                    let name = self.names.get(&e.job).cloned().unwrap_or_default();
-                    let tries = self.attempts.entry(name.clone()).or_insert(1);
-                    if *tries < 20 {
-                        *tries += 1;
-                        subs.push(SubmitRequest {
-                            owner: OwnerId(0),
-                            spec: self.specs[&name].clone(),
-                        });
-                    } else {
-                        self.settled += 1;
-                    }
-                }
-                _ => {}
-            }
-        }
-        subs
-    }
-
-    fn on_assigned(&mut self, job: JobId, name: &str) {
-        self.names.insert(job, name.to_string());
-    }
-
-    fn is_done(&self) -> bool {
-        self.settled == self.total
-    }
-}
-
-/// Black holes plus silent cache corruption, with the scoreboard and
-/// checksum defenses on: the run that emits every defense-visible line
-/// of the dialect — checksum holds, re-fetch releases, fast black-hole
-/// failures — under a retrying driver.
-fn defended_run() -> htcsim::cluster::RunReport {
-    use htcsim::job::InputFile;
-    use htcsim::scoreboard::DefenseConfig;
-    let cfg = ClusterConfig {
-        pool: PoolConfig {
-            target_slots: 8,
-            glidein_slots: 1,
-            avail_mean: 1.0,
-            avail_sigma: 0.0,
-            glidein_lifetime_s: 1e9,
-            ..Default::default()
-        },
-        faults: FaultConfig {
-            seed: 9,
-            black_hole_fraction: 0.3,
-            corrupt_prob: 0.5,
-            ..Default::default()
-        },
-        defense: DefenseConfig {
-            scoreboard_enabled: true,
-            checksum_enabled: true,
-            ..Default::default()
-        },
-        ..ClusterConfig::with_cache()
-    };
-    let specs: Vec<JobSpec> = (0..10)
-        .map(|i| {
-            let mut s = JobSpec::fixed(format!("job.{i}"), 300.0);
-            s.inputs.push(InputFile {
-                name: "gf.mseed".to_string(),
-                size_mb: 500.0,
-                cacheable: true,
-            });
-            s
-        })
-        .collect();
-    Cluster::new(cfg, 7).run(&mut RetryBag::new(specs))
-}
-
 #[test]
 fn defended_run_matches_golden_fixture() {
-    let a = defended_run();
+    let a = scenarios::defended_run(1, Obs::disabled());
     let text = to_condor_log(&a.log);
     // Byte-determinism first: the defenses add scoreboard state to the
     // negotiation path, and none of it may depend on hasher order.
-    let b = defended_run();
+    let b = scenarios::defended_run(1, Obs::disabled());
     assert_eq!(
         text,
         to_condor_log(&b.log),
@@ -392,84 +188,14 @@ fn defended_run_matches_golden_fixture() {
     assert_eq!(parsed.goodput_badput(), a.log.goodput_badput());
 }
 
-/// The full federated fault menu in one run — a mid-run outage of the
-/// dedicated pool, a network partition stalling ospool stage-ins, and
-/// cloud spot reclamation — with the failover controller and
-/// checkpointing on: the run that emits every federated-layer line of
-/// the dialect (`022` outage, `023` partition stall, `026` preemption,
-/// `030` migration).
-fn failover_run() -> htcsim::cluster::RunReport {
-    use htcsim::fault::PoolFaultConfig;
-    use htcsim::federation::FederationConfig;
-    use htcsim::job::InputFile;
-    let cfg = ClusterConfig {
-        pool: PoolConfig {
-            target_slots: 24,
-            glidein_slots: 4,
-            avail_mean: 1.0,
-            avail_sigma: 0.0,
-            glidein_lifetime_s: 1e9,
-            ..Default::default()
-        },
-        federation: FederationConfig {
-            enabled: true,
-            failover_enabled: true,
-            checkpoint_enabled: true,
-            checkpoint_interval_s: 30.0,
-            burst_idle_threshold: 0,
-            cloud_spinup_s: 60.0,
-            ..Default::default()
-        },
-        faults: FaultConfig {
-            seed: 7,
-            pool: PoolFaultConfig {
-                outage_pool: 1,
-                outage_start_s: 400.0,
-                outage_duration_s: 2_000.0,
-                partition_pool: 0,
-                // First matches land at the t=60 negotiation cycle; their
-                // slow origin-bound transfers are still in flight when the
-                // partition opens.
-                partition_start_s: 100.0,
-                partition_duration_s: 1_500.0,
-                preempt_prob: 0.9,
-            },
-            ..Default::default()
-        },
-        ..ClusterConfig::with_cache()
-    };
-    let specs: Vec<JobSpec> = (0..40)
-        .map(|i| {
-            let mut s = JobSpec::fixed(format!("t.{i}"), 300.0);
-            s.inputs.push(InputFile {
-                name: format!("rupt.{i}.bin"),
-                size_mb: 2_000.0,
-                cacheable: false,
-            });
-            s
-        })
-        .collect();
-    let mut d = Bag {
-        pending: specs
-            .into_iter()
-            .map(|spec| SubmitRequest {
-                owner: OwnerId(0),
-                spec,
-            })
-            .collect(),
-        outstanding: 40,
-    };
-    Cluster::new(cfg, 3).run(&mut d)
-}
-
 #[test]
 fn failover_run_matches_golden_fixture() {
-    let a = failover_run();
+    let a = scenarios::failover_run(1, Obs::disabled());
     let text = to_condor_log(&a.log);
     // Byte-determinism first: breaker state, drain queues and checkpoint
     // bookkeeping all feed the emission order, and none of it may depend
     // on hasher order.
-    let b = failover_run();
+    let b = scenarios::failover_run(1, Obs::disabled());
     assert_eq!(
         text,
         to_condor_log(&b.log),
@@ -525,7 +251,7 @@ fn failover_run_matches_golden_fixture() {
 fn simulated_faulty_run_matches_golden_fixture() {
     // Pins the cluster's actual emission order and content, not just the
     // formatter: same seed, same faults, same bytes.
-    let log = faulty_run_log();
+    let log = scenarios::faulty_run(1, Obs::disabled()).log;
     let text = to_condor_log(&log);
     assert_golden(&text, "faulty_run.log");
     // The run must actually exercise the hold/release machinery, and the
@@ -538,4 +264,38 @@ fn simulated_faulty_run_matches_golden_fixture() {
     assert_eq!(parsed.completed_count(), log.completed_count());
     assert_eq!(parsed.makespan(), log.makespan());
     assert_eq!(parsed.goodput_badput(), log.goodput_badput());
+}
+
+#[test]
+fn sharded_run_matches_golden_fixture_across_shard_counts() {
+    // The sharded-path fixture: generated at shards = 4, so a fixture
+    // regeneration exercises the multi-heap merge; the contract says
+    // every shard count renders the identical bytes.
+    let a = scenarios::sharded_run(4, Obs::disabled());
+    let text = to_condor_log(&a.log);
+    let b = scenarios::sharded_run(1, Obs::disabled());
+    assert_eq!(
+        text,
+        to_condor_log(&b.log),
+        "shard count changed the ULOG bytes"
+    );
+    assert_golden(&text, "sharded_run.log");
+    assert_eq!(a.completed, 12, "every job must survive the outage");
+    // The scenario's point: the outage displaces jobs out of pool 1 and
+    // their re-matches land in another pool — a different lane and (at
+    // shards > 1) a different physical heap — emitting ULOG 030 lines
+    // across the shard boundary.
+    assert!(
+        a.federation.migrations > 0,
+        "030 never crossed the shard boundary; fixture is weak"
+    );
+    assert!(
+        text.contains("Job migrated to pool "),
+        "migration lines missing"
+    );
+    // Lossless parse-back, per the golden_ulog pattern.
+    let parsed = parse_condor_log(&text).unwrap();
+    assert_eq!(parsed.completed_count(), a.log.completed_count());
+    assert_eq!(parsed.makespan(), a.log.makespan());
+    assert_eq!(parsed.goodput_badput(), a.log.goodput_badput());
 }

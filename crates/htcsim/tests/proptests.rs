@@ -2,8 +2,10 @@
 
 use proptest::prelude::*;
 
+use std::cmp::Ordering;
+
 use htcsim::csvlite;
-use htcsim::event::{Event, EventQueue};
+use htcsim::event::{Event, EventKey, EventQueue, LaneId};
 use htcsim::job::{JobEvent, JobEventKind, JobId, JobSpec, OwnerId};
 use htcsim::pool::{Pool, PoolConfig};
 use htcsim::single::SingleMachine;
@@ -28,6 +30,71 @@ proptest! {
             count += 1;
         }
         prop_assert_eq!(count, times.len());
+    }
+
+    /// `EventKey::cmp` is a strict total order: total, antisymmetric,
+    /// transitive, and equal only on identical keys.
+    #[test]
+    fn event_key_cmp_is_a_strict_total_order(
+        keys in proptest::collection::vec((0u64..50, 0u32..4, 0u64..10), 3..32),
+    ) {
+        let ks: Vec<EventKey> = keys
+            .iter()
+            .map(|&(t, l, s)| EventKey { time: SimTime(t), lane: LaneId(l), seq: s })
+            .collect();
+        for a in &ks {
+            for b in &ks {
+                let ab = a.cmp(b);
+                prop_assert_eq!(ab.reverse(), b.cmp(a));
+                if ab == Ordering::Equal {
+                    prop_assert_eq!((a.time, a.lane, a.seq), (b.time, b.lane, b.seq));
+                }
+                for c in &ks {
+                    if ab == Ordering::Less && b.cmp(c) == Ordering::Less {
+                        prop_assert_eq!(a.cmp(c), Ordering::Less);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Arbitrary interleavings of same-timestamp events across lanes
+    /// always merge in `(timestamp, lane, seq)` order, the merge is
+    /// invariant to the shard count, and replaying the recorded pop log
+    /// through a fresh queue reproduces the identical pop sequence.
+    #[test]
+    fn event_merge_is_shard_invariant_and_replayable(
+        pushes in proptest::collection::vec((0u64..100, 0u32..8), 1..300),
+        shards in 1usize..20,
+    ) {
+        let mut mono = EventQueue::new();
+        let mut sharded = EventQueue::with_shards(shards);
+        for (i, &(t, lane)) in pushes.iter().enumerate() {
+            let ev = Event::StageInDone(JobId(i as u64));
+            mono.push_lane(SimTime(t), LaneId(lane), ev);
+            sharded.push_lane(SimTime(t), LaneId(lane), ev);
+        }
+        let log: Vec<(EventKey, Event)> = std::iter::from_fn(|| mono.pop_keyed()).collect();
+        prop_assert_eq!(log.len(), pushes.len());
+        // Keys pop in strictly increasing (time, lane, seq) order.
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+        // The k-way merge over `shards` heaps yields the same sequence.
+        let sharded_log: Vec<(EventKey, Event)> =
+            std::iter::from_fn(|| sharded.pop_keyed()).collect();
+        prop_assert_eq!(&sharded_log, &log);
+        // Replaying the recorded log (pushing pops back in order) gives
+        // back the identical (time, lane, event) pop sequence.
+        let mut replay = EventQueue::with_shards(shards);
+        for &(k, ev) in &log {
+            replay.push_lane(k.time, k.lane, ev);
+        }
+        let replayed: Vec<(SimTime, LaneId, Event)> =
+            std::iter::from_fn(|| replay.pop_keyed().map(|(k, e)| (k.time, k.lane, e))).collect();
+        let expect: Vec<(SimTime, LaneId, Event)> =
+            log.iter().map(|&(k, e)| (k.time, k.lane, e)).collect();
+        prop_assert_eq!(replayed, expect);
     }
 
     #[test]
@@ -165,6 +232,7 @@ proptest! {
         avail in 0.4..1.0f64,
         lifetime in 1800.0..20_000.0f64,
         seed in any::<u64>(),
+        shards in 0usize..6,
     ) {
         use htcsim::cluster::{Cluster, ClusterConfig, WorkloadDriver};
         use htcsim::job::SubmitRequest;
@@ -196,6 +264,7 @@ proptest! {
             faults: Default::default(),
             defense: Default::default(),
             federation: Default::default(),
+            shards,
         };
         let n = 25;
         let specs: Vec<JobSpec> =

@@ -50,4 +50,17 @@ echo "==> failover ablation smoke (failover-on must not lose time-to-done or bad
 FDW_SMOKE=1 FDW_BENCH_OUT=target/BENCH_failover.smoke.json \
   cargo run -q -p fdw-bench --release --bin failover_ablation >/dev/null
 
+echo "==> des-scaling smoke (sharded engine: identical digests, no slowdown)"
+# The binary exits 1 itself on any digest mismatch or a sharded arm
+# slower than the monolithic baseline; re-check the 2-thread arm from
+# the JSON so a silent gate regression in the binary can't pass CI.
+FDW_SMOKE=1 FDW_BENCH_OUT=target/BENCH_des.smoke.json \
+  cargo run -q -p fdw-bench --release --bin des_scaling >/dev/null
+grep -q '"digest_matches":false' target/BENCH_des.smoke.json && {
+  echo "des-scaling smoke: digest mismatch in report"; exit 1; }
+t2_speedup=$(grep -o '"label":"sharded-t2"[^}]*' target/BENCH_des.smoke.json \
+  | grep -o '"speedup_vs_monolithic":[0-9.]*' | cut -d: -f2)
+awk -v s="$t2_speedup" 'BEGIN { exit !(s >= 1.0) }' || {
+  echo "des-scaling smoke: 2-thread speedup $t2_speedup < 1.0x vs monolithic"; exit 1; }
+
 echo "CI green."

@@ -11,6 +11,9 @@
 #      exit 0) when unavailable, so the script is safe to run anywhere.
 #
 # Not part of scripts/ci.sh: run it by hand or from a scheduled job.
+# (A cargo-test promotion of the byte-compare idea runs on every push:
+# htcsim/tests/des_differential.rs re-runs the golden scenarios across
+# the FDW_THREADS × shards matrix in-process and via subprocesses.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -87,4 +90,9 @@ host=$(rustc -vV | sed -n 's/^host: //p')
 echo "  running TSan over the parallel kernels (fakequakes) on $host..."
 RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
   cargo +nightly test -Zbuild-std --target "$host" -p fakequakes --lib
+echo "  running TSan over the sharded DES event loop (htcsim) on $host..."
+# The des module's epoch-parallel lane drain is the only fork-join in
+# the simulator; its unit tests run it at up to 8 threads.
+RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+  cargo +nightly test -Zbuild-std --target "$host" -p htcsim --lib des::
 echo "sanitize pass green."

@@ -21,6 +21,7 @@ fn cluster() -> ClusterConfig {
         faults: Default::default(),
         defense: Default::default(),
         federation: Default::default(),
+        shards: 1,
     }
 }
 

@@ -25,6 +25,7 @@ fn test_cluster() -> ClusterConfig {
         faults: Default::default(),
         defense: Default::default(),
         federation: Default::default(),
+        shards: 1,
     }
 }
 

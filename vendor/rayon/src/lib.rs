@@ -16,15 +16,18 @@
 use std::sync::OnceLock;
 
 /// Number of worker threads the fork-join primitives may use: the
-/// machine's available parallelism, overridable (like real rayon) with
-/// `RAYON_NUM_THREADS`. Cached after the first call.
+/// machine's available parallelism, overridable with the workspace-wide
+/// `FDW_THREADS` knob or (like real rayon) `RAYON_NUM_THREADS`, in that
+/// precedence order. Cached after the first call.
 pub fn current_num_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
-        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n >= 1 {
-                    return n;
+        for var in ["FDW_THREADS", "RAYON_NUM_THREADS"] {
+            if let Ok(v) = std::env::var(var) {
+                if let Ok(n) = v.trim().parse::<usize>() {
+                    if n >= 1 {
+                        return n;
+                    }
                 }
             }
         }
