@@ -13,6 +13,7 @@
 //! through the Stash cache.
 
 use crate::error::{FqError, FqResult};
+use crate::geo::UnitEcef;
 use crate::geometry::FaultModel;
 use crate::linalg::Matrix;
 use crate::par;
@@ -41,6 +42,11 @@ impl DistanceMatrices {
     pub fn compute(fault: &FaultModel, network: &StationNetwork) -> Self {
         let subs = fault.subfaults();
         let n = subs.len();
+        // Hoist the per-point trig (3 calls each) out of the O(n²) pair
+        // loops; the pair kernel is then dot + asin + 2 sqrt. Both this
+        // path and `compute_seq` call the same UnitEcef kernel, so they
+        // stay bitwise identical.
+        let usubs: Vec<UnitEcef> = subs.iter().map(|s| s.center.unit_ecef()).collect();
         let mut ss = Matrix::zeros(n, n);
         if n > 0 {
             let data = ss.as_mut_slice();
@@ -48,8 +54,9 @@ impl DistanceMatrices {
                 let first_row = start / n;
                 for (r, row) in rows_chunk.chunks_mut(n).enumerate() {
                     let i = first_row + r;
-                    for (j, slot) in row.iter_mut().enumerate().skip(i + 1) {
-                        *slot = subs[i].center.distance_3d_km(&subs[j].center);
+                    let ui = &usubs[i];
+                    for (slot, uj) in row.iter_mut().zip(&usubs).skip(i + 1) {
+                        *slot = ui.distance_3d_km(uj);
                     }
                 }
             });
@@ -64,13 +71,14 @@ impl DistanceMatrices {
         let m = stations.len();
         let mut sta = Matrix::zeros(m, n);
         if m > 0 && n > 0 {
+            let ustas: Vec<UnitEcef> = stations.iter().map(|s| s.location.unit_ecef()).collect();
             let data = sta.as_mut_slice();
             par::for_each_chunk(data, par::chunk_for(m, 2) * n, |start, rows_chunk| {
                 let first_row = start / n;
                 for (r, row) in rows_chunk.chunks_mut(n).enumerate() {
-                    let st = &stations[first_row + r];
-                    for (slot, sf) in row.iter_mut().zip(subs) {
-                        *slot = st.location.distance_3d_km(&sf.center);
+                    let ust = &ustas[first_row + r];
+                    for (slot, uj) in row.iter_mut().zip(&usubs) {
+                        *slot = ust.distance_3d_km(uj);
                     }
                 }
             });
@@ -86,6 +94,44 @@ impl DistanceMatrices {
     /// The original sequential loops (pre-optimisation), kept as the
     /// determinism oracle and `bench_snapshot` baseline.
     pub fn compute_seq(fault: &FaultModel, network: &StationNetwork) -> Self {
+        let subs = fault.subfaults();
+        let n = subs.len();
+        let usubs: Vec<UnitEcef> = subs.iter().map(|s| s.center.unit_ecef()).collect();
+        let mut ss = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = usubs[i].distance_3d_km(&usubs[j]);
+                ss[(i, j)] = d;
+                ss[(j, i)] = d;
+            }
+        }
+        let stations = network.stations();
+        let m = stations.len();
+        let mut sta = Matrix::zeros(m, n);
+        for (k, st) in stations.iter().enumerate() {
+            let ust = st.location.unit_ecef();
+            for (j, uj) in usubs.iter().enumerate() {
+                sta[(k, j)] = ust.distance_3d_km(uj);
+            }
+        }
+        Self {
+            fault_name: fault.name().to_string(),
+            network_name: network.name().to_string(),
+            subfault_to_subfault: ss,
+            station_to_subfault: sta,
+        }
+    }
+
+    /// The pre-optimisation per-pair path, frozen as a timing baseline:
+    /// full haversine trig (2 sin, 2 cos, 1 asin) for every pair, no
+    /// per-point hoisting. [`DistanceMatrices::compute_seq`] shares the
+    /// hoisted `UnitEcef` kernel (it must stay bitwise equal to the
+    /// parallel path), so this is the arm `bench_snapshot` measures the
+    /// trig-hoist win against — same role as
+    /// `assemble_covariance_reference_libm` for the covariance kernel.
+    /// Agrees with [`DistanceMatrices::compute`] to rounding (~1e-9
+    /// relative), not bitwise.
+    pub fn compute_reference_trig(fault: &FaultModel, network: &StationNetwork) -> Self {
         let subs = fault.subfaults();
         let n = subs.len();
         let mut ss = Matrix::zeros(n, n);
@@ -245,6 +291,24 @@ mod tests {
             par.station_to_subfault.as_slice(),
             seq.station_to_subfault.as_slice()
         );
+    }
+
+    #[test]
+    fn trig_reference_agrees_with_hoisted_kernel_closely() {
+        let (f, n) = small_setup();
+        let fast = DistanceMatrices::compute(&f, &n);
+        let trig = DistanceMatrices::compute_reference_trig(&f, &n);
+        for (a, b) in [
+            (&fast.subfault_to_subfault, &trig.subfault_to_subfault),
+            (&fast.station_to_subfault, &trig.station_to_subfault),
+        ] {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert!(
+                    (x - y).abs() <= 1e-6 * y.abs().max(1.0),
+                    "hoisted {x} vs trig {y}"
+                );
+            }
+        }
     }
 
     #[test]

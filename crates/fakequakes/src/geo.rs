@@ -46,6 +46,54 @@ impl GeoPoint {
         let dz = self.depth_km - other.depth_km;
         (s * s + dz * dz).sqrt()
     }
+
+    /// Precompute the unit Earth-centred direction vector (plus depth) for
+    /// the pairwise-distance kernel in [`UnitEcef::distance_3d_km`].
+    pub fn unit_ecef(&self) -> UnitEcef {
+        let lat_r = self.lat.to_radians();
+        let lon_r = self.lon.to_radians();
+        let clat = lat_r.cos();
+        UnitEcef {
+            x: clat * lon_r.cos(),
+            y: clat * lon_r.sin(),
+            z: lat_r.sin(),
+            depth_km: self.depth_km,
+        }
+    }
+}
+
+/// A geodetic point in precomputed form: unit Earth-centred direction
+/// vector plus depth. Building one costs three trig calls; every pairwise
+/// distance after that needs only a dot product, one `asin` and two square
+/// roots, versus two `sin` and two `cos` per pair for raw haversine. The
+/// distance-matrix builders precompute one `UnitEcef` per point and share
+/// this kernel between the parallel path and its sequential oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitEcef {
+    /// Unit-vector component through (lon=0, lat=0).
+    pub x: f64,
+    /// Unit-vector component through (lon=90°E, lat=0).
+    pub y: f64,
+    /// Unit-vector component through the north pole.
+    pub z: f64,
+    /// Depth below the surface in km (positive downwards).
+    pub depth_km: f64,
+}
+
+impl UnitEcef {
+    /// 3-D hypocentral distance in km. Uses the half-versine identity
+    /// `sin²(θ/2) = (1 − cos θ)/2` with `cos θ` from the unit-vector dot
+    /// product — mathematically the haversine central angle, but with all
+    /// per-point trig hoisted out of the pair loop. Symmetric by
+    /// construction (the dot product commutes term-by-term).
+    #[inline]
+    pub fn distance_3d_km(&self, other: &UnitEcef) -> f64 {
+        let dot = self.x * other.x + self.y * other.y + self.z * other.z;
+        let half_versine = (0.5 * (1.0 - dot)).max(0.0);
+        let s = 2.0 * EARTH_RADIUS_KM * half_versine.sqrt().min(1.0).asin();
+        let dz = self.depth_km - other.depth_km;
+        (s * s + dz * dz).sqrt()
+    }
 }
 
 /// A point in a local East-North-Up Cartesian frame (km). Up is negative
@@ -193,6 +241,46 @@ mod tests {
             "enu={} hav={hav}",
             enu.horizontal_norm()
         );
+    }
+
+    #[test]
+    fn unit_ecef_distance_matches_haversine_closely() {
+        // The chord/dot formulation is the same mathematical quantity as
+        // haversine; floating-point round-off is the only difference.
+        let pts = [
+            GeoPoint::new(-71.5, -30.0, 25.0),
+            GeoPoint::new(-70.2, -33.0, 12.0),
+            GeoPoint::new(-72.9, -19.5, 44.0),
+            GeoPoint::new(-71.5, -30.0, 0.0),
+        ];
+        for a in &pts {
+            for b in &pts {
+                let hav = a.distance_3d_km(b);
+                let ecef = a.unit_ecef().distance_3d_km(&b.unit_ecef());
+                assert!(
+                    (hav - ecef).abs() <= 1e-6 * hav.max(1.0),
+                    "hav={hav} ecef={ecef}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unit_ecef_distance_is_bitwise_symmetric_and_zero_on_self() {
+        let a = GeoPoint::new(-70.2, -33.0, 12.0).unit_ecef();
+        let b = GeoPoint::new(-72.9, -19.5, 44.0).unit_ecef();
+        assert_eq!(
+            a.distance_3d_km(&b).to_bits(),
+            b.distance_3d_km(&a).to_bits()
+        );
+        assert_eq!(a.distance_3d_km(&a), 0.0);
+        // Coincident surface positions at different depths: the dot
+        // product can land a hair above 1.0; the max(0.0) clamp keeps the
+        // surface leg at exactly zero instead of NaN.
+        let top = GeoPoint::new(-71.5, -30.0, 0.0).unit_ecef();
+        let deep = GeoPoint::new(-71.5, -30.0, 30.0).unit_ecef();
+        let d = top.distance_3d_km(&deep);
+        assert!((d - 30.0).abs() < 1e-9, "got {d}");
     }
 
     #[test]

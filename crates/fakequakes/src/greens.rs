@@ -101,29 +101,84 @@ impl GfLibrary {
             ));
         }
         let all = network.stations();
+        // Everything that depends only on the subfault — local frame,
+        // moment tensor, Okada corner geometry — is computed once here and
+        // shared across all stations, instead of once per (station,
+        // subfault) pair. The per-pair kernels run the same expressions on
+        // the same inputs, so responses are bit-identical to the unhoisted
+        // loop.
+        let geoms: Vec<PairGeom> = fault
+            .subfaults()
+            .iter()
+            .map(|sf| match method {
+                GfMethod::PointSource => PairGeom::Point(PointSourceGeom::new(
+                    sf.strike_deg,
+                    sf.dip_deg,
+                    THRUST_RAKE_DEG,
+                    sf.area_km2(),
+                    &sf.center,
+                )),
+                GfMethod::OkadaRectangular => PairGeom::Okada(OkadaGeom::new(sf)),
+            })
+            .collect();
         let stations = crate::par::map_indexed(all.len(), 1, |si| {
             let st = &all[si];
-            let responses: Vec<StaticResponse> = fault
-                .subfaults()
-                .iter()
-                .map(|sf| match method {
-                    GfMethod::PointSource => point_source_static(
-                        fault,
-                        sf.strike_deg,
-                        sf.dip_deg,
-                        THRUST_RAKE_DEG,
-                        sf.area_km2(),
-                        &st.location,
-                        &sf.center,
-                    ),
-                    GfMethod::OkadaRectangular => okada_static(sf, &st.location),
-                })
-                .collect();
+            let responses: Vec<StaticResponse> =
+                geoms.iter().map(|g| g.eval(&st.location)).collect();
             StationGf {
                 station_code: st.code.clone(),
                 responses,
             }
         });
+        Ok(Self {
+            fault_name: fault.name().to_string(),
+            network_name: network.name().to_string(),
+            stations,
+            n_subfaults: fault.len(),
+        })
+    }
+
+    /// The original per-pair loop: sequential, rebuilding the per-subfault
+    /// geometry (frame, moment tensor, Okada corner) for every
+    /// (station, subfault) pair through the public kernels. Retained as
+    /// the `bench_snapshot` baseline and the bitwise oracle for the
+    /// hoisted [`GfLibrary::compute_with_method`] path.
+    pub fn compute_reference(
+        fault: &FaultModel,
+        network: &StationNetwork,
+        method: GfMethod,
+    ) -> FqResult<Self> {
+        if fault.is_empty() {
+            return Err(FqError::Geometry(
+                "cannot compute GFs for empty fault".into(),
+            ));
+        }
+        let stations = network
+            .stations()
+            .iter()
+            .map(|st| {
+                let responses: Vec<StaticResponse> = fault
+                    .subfaults()
+                    .iter()
+                    .map(|sf| match method {
+                        GfMethod::PointSource => point_source_static(
+                            fault,
+                            sf.strike_deg,
+                            sf.dip_deg,
+                            THRUST_RAKE_DEG,
+                            sf.area_km2(),
+                            &st.location,
+                            &sf.center,
+                        ),
+                        GfMethod::OkadaRectangular => okada_static(sf, &st.location),
+                    })
+                    .collect();
+                StationGf {
+                    station_code: st.code.clone(),
+                    responses,
+                }
+            })
+            .collect();
         Ok(Self {
             fault_name: fault.name().to_string(),
             network_name: network.name().to_string(),
@@ -186,6 +241,84 @@ impl GfLibrary {
     }
 }
 
+/// Per-subfault precomputed state for one of the two static kernels; the
+/// station loop in [`GfLibrary::compute_with_method`] evaluates these.
+enum PairGeom {
+    Point(PointSourceGeom),
+    Okada(OkadaGeom),
+}
+
+impl PairGeom {
+    fn eval(&self, station: &crate::geo::GeoPoint) -> StaticResponse {
+        match self {
+            PairGeom::Point(g) => g.eval(station),
+            PairGeom::Okada(g) => g.eval(station),
+        }
+    }
+}
+
+/// Station-independent part of [`point_source_static`]: local frame,
+/// source depth, potency and the double-couple moment tensor.
+struct PointSourceGeom {
+    frame: LocalFrame,
+    depth_m: f64,
+    potency: f64,
+    m: (f64, f64, f64, f64, f64, f64),
+}
+
+impl PointSourceGeom {
+    fn new(
+        strike_deg: f64,
+        dip_deg: f64,
+        rake_deg: f64,
+        area_km2: f64,
+        source: &crate::geo::GeoPoint,
+    ) -> Self {
+        Self {
+            frame: LocalFrame::new(*source),
+            depth_m: source.depth_km * 1e3,
+            potency: area_km2 * 1e6, // m² per metre of slip
+            m: moment_tensor_enu(strike_deg, dip_deg, rake_deg),
+        }
+    }
+
+    fn eval(&self, station: &crate::geo::GeoPoint) -> StaticResponse {
+        let enu = self.frame.project(station);
+        // Source is below the frame origin at the subfault depth.
+        let dx = enu.e * 1e3; // metres East
+        let dy = enu.n * 1e3; // metres North
+        let dz = self.depth_m; // station is above source by this much
+        let r = (dx * dx + dy * dy + dz * dz).sqrt().max(1.0);
+
+        // Unit direction source → station.
+        let gx = dx / r;
+        let gy = dy / r;
+        let gz = dz / r; // points up
+
+        let (mee, mnn, muu, men, meu, mnu) = self.m;
+
+        // Far-field static term: u_i ∝ M_ij γ_j γ_i γ — we use the standard
+        // radial far-field pattern u_i = A · γ_i (γ·M·γ) plus a transverse
+        // term, scaled by potency/(4π R²).
+        let gmg = gx * (mee * gx + men * gy + meu * gz)
+            + gy * (men * gx + mnn * gy + mnu * gz)
+            + gz * (meu * gx + mnu * gy + muu * gz);
+        let amp = self.potency / (4.0 * std::f64::consts::PI * r * r);
+        // Free-surface amplification.
+        let fs = 2.0;
+        // Radial (P-like static) + transverse (S-like static) parts.
+        let radial = 1.5 * gmg;
+        let te = mee * gx + men * gy + meu * gz - gmg * gx;
+        let tn = men * gx + mnn * gy + mnu * gz - gmg * gy;
+        let tu = meu * gx + mnu * gy + muu * gz - gmg * gz;
+        StaticResponse {
+            e: fs * amp * (radial * gx + 0.5 * te),
+            n: fs * amp * (radial * gy + 0.5 * tn),
+            u: fs * amp * (radial * gz + 0.5 * tu),
+        }
+    }
+}
+
 /// Static displacement at `station` from unit slip on a point double-couple
 /// at `source` with the given mechanism, in a homogeneous half-space.
 pub fn point_source_static(
@@ -197,44 +330,86 @@ pub fn point_source_static(
     station: &crate::geo::GeoPoint,
     source: &crate::geo::GeoPoint,
 ) -> StaticResponse {
-    let frame = LocalFrame::new(*source);
-    let enu = frame.project(station);
-    // Source is below the frame origin at the subfault depth.
-    let dx = enu.e * 1e3; // metres East
-    let dy = enu.n * 1e3; // metres North
-    let dz = source.depth_km * 1e3; // station is above source by this much
-    let r = (dx * dx + dy * dy + dz * dz).sqrt().max(1.0);
-
-    // Unit direction source → station.
-    let gx = dx / r;
-    let gy = dy / r;
-    let gz = dz / r; // points up
-
-    // Double-couple moment tensor (unit moment) from strike/dip/rake in
-    // North-East-Down, then converted to East-North-Up for the take-off
-    // vector contraction.
-    let (mee, mnn, muu, men, meu, mnu) = moment_tensor_enu(strike_deg, dip_deg, rake_deg);
-
-    // Far-field static term: u_i ∝ M_ij γ_j γ_i γ — we use the standard
-    // radial far-field pattern u_i = A · γ_i (γ·M·γ) plus a transverse term,
-    // scaled by potency/(4π R²).
-    let gmg = gx * (mee * gx + men * gy + meu * gz)
-        + gy * (men * gx + mnn * gy + mnu * gz)
-        + gz * (meu * gx + mnu * gy + muu * gz);
-    let potency = area_km2 * 1e6; // m² per metre of slip
-    let amp = potency / (4.0 * std::f64::consts::PI * r * r);
-    // Free-surface amplification.
-    let fs = 2.0;
-    // Radial (P-like static) + transverse (S-like static) parts.
-    let radial = 1.5 * gmg;
-    let te = mee * gx + men * gy + meu * gz - gmg * gx;
-    let tn = men * gx + mnn * gy + mnu * gz - gmg * gy;
-    let tu = meu * gx + mnu * gy + muu * gz - gmg * gz;
     let _ = fault; // rigidity cancels for displacement per unit slip
-    StaticResponse {
-        e: fs * amp * (radial * gx + 0.5 * te),
-        n: fs * amp * (radial * gy + 0.5 * tn),
-        u: fs * amp * (radial * gz + 0.5 * tu),
+    PointSourceGeom::new(strike_deg, dip_deg, rake_deg, area_km2, source).eval(station)
+}
+
+/// Station-independent part of [`okada_static`]: strike/dip unit vectors,
+/// the up-dip Okada corner and the local frame.
+struct OkadaGeom {
+    frame: LocalFrame,
+    strike_e: f64,
+    strike_n: f64,
+    dipdir_e: f64,
+    dipdir_n: f64,
+    corner_e: f64,
+    corner_n: f64,
+    edge_depth: f64,
+    length_km: f64,
+    width_km: f64,
+    strike_deg: f64,
+    dip_deg: f64,
+}
+
+impl OkadaGeom {
+    fn new(sf: &crate::geometry::Subfault) -> Self {
+        let dip = sf.dip_deg.to_radians();
+        // Upper edge of the rectangle: the subfault centre shifted half a
+        // width up-dip. Okada coordinates originate at the up-dip corner
+        // with x along strike.
+        let edge_depth = (sf.center.depth_km - (sf.width_km / 2.0) * dip.sin()).max(0.05);
+        let strike = sf.strike_deg.to_radians();
+        // Unit vectors (E, N): along strike and horizontal down-dip
+        // (hanging-wall side = strike + 90°).
+        let strike_e = strike.sin();
+        let strike_n = strike.cos();
+        let dipdir_e = (strike + std::f64::consts::FRAC_PI_2).sin();
+        let dipdir_n = (strike + std::f64::consts::FRAC_PI_2).cos();
+        // Horizontal offset of the upper-edge midpoint from the centre:
+        // half a width up-dip (opposite the dip direction).
+        let updip = (sf.width_km / 2.0) * dip.cos();
+        let edge_mid_e = -updip * dipdir_e;
+        let edge_mid_n = -updip * dipdir_n;
+        Self {
+            frame: crate::geo::LocalFrame::new(sf.center),
+            strike_e,
+            strike_n,
+            dipdir_e,
+            dipdir_n,
+            corner_e: edge_mid_e - (sf.length_km / 2.0) * strike_e,
+            corner_n: edge_mid_n - (sf.length_km / 2.0) * strike_n,
+            edge_depth,
+            length_km: sf.length_km,
+            width_km: sf.width_km,
+            strike_deg: sf.strike_deg,
+            dip_deg: sf.dip_deg,
+        }
+    }
+
+    fn eval(&self, station: &crate::geo::GeoPoint) -> StaticResponse {
+        use crate::okada::{rectangular_dislocation, to_enu, Dislocation, POISSON_ALPHA};
+        let enu = self.frame.project(station);
+        // Station offset from the Okada origin (up-dip corner at x = 0).
+        let rel_e = enu.e - self.corner_e;
+        let rel_n = enu.n - self.corner_n;
+        let x = rel_e * self.strike_e + rel_n * self.strike_n;
+        let y = rel_e * self.dipdir_e + rel_n * self.dipdir_n;
+
+        let u = rectangular_dislocation(
+            x,
+            y,
+            self.edge_depth,
+            self.length_km,
+            self.width_km,
+            self.dip_deg,
+            &Dislocation {
+                dip_slip: 1.0,
+                ..Default::default()
+            },
+            POISSON_ALPHA,
+        );
+        let (e, n, z) = to_enu(self.strike_deg, &u);
+        StaticResponse { e, n, u: z }
     }
 }
 
@@ -244,50 +419,7 @@ pub fn okada_static(
     sf: &crate::geometry::Subfault,
     station: &crate::geo::GeoPoint,
 ) -> StaticResponse {
-    use crate::okada::{rectangular_dislocation, to_enu, Dislocation, POISSON_ALPHA};
-
-    let dip = sf.dip_deg.to_radians();
-    // Upper edge of the rectangle: the subfault centre shifted half a
-    // width up-dip. Okada coordinates originate at the up-dip corner with
-    // x along strike.
-    let edge_depth = (sf.center.depth_km - (sf.width_km / 2.0) * dip.sin()).max(0.05);
-    let strike = sf.strike_deg.to_radians();
-    // Unit vectors (E, N): along strike and horizontal down-dip
-    // (hanging-wall side = strike + 90°).
-    let strike_e = strike.sin();
-    let strike_n = strike.cos();
-    let dipdir_e = (strike + std::f64::consts::FRAC_PI_2).sin();
-    let dipdir_n = (strike + std::f64::consts::FRAC_PI_2).cos();
-    // Horizontal offset of the upper-edge midpoint from the centre:
-    // half a width up-dip (opposite the dip direction).
-    let updip = (sf.width_km / 2.0) * dip.cos();
-    let frame = crate::geo::LocalFrame::new(sf.center);
-    let enu = frame.project(station);
-    // Station offset from the Okada origin (up-dip corner at x = 0).
-    let edge_mid_e = -updip * dipdir_e;
-    let edge_mid_n = -updip * dipdir_n;
-    let corner_e = edge_mid_e - (sf.length_km / 2.0) * strike_e;
-    let corner_n = edge_mid_n - (sf.length_km / 2.0) * strike_n;
-    let rel_e = enu.e - corner_e;
-    let rel_n = enu.n - corner_n;
-    let x = rel_e * strike_e + rel_n * strike_n;
-    let y = rel_e * dipdir_e + rel_n * dipdir_n;
-
-    let u = rectangular_dislocation(
-        x,
-        y,
-        edge_depth,
-        sf.length_km,
-        sf.width_km,
-        sf.dip_deg,
-        &Dislocation {
-            dip_slip: 1.0,
-            ..Default::default()
-        },
-        POISSON_ALPHA,
-    );
-    let (e, n, z) = to_enu(sf.strike_deg, &u);
-    StaticResponse { e, n, u: z }
+    OkadaGeom::new(sf).eval(station)
 }
 
 /// Unit double-couple moment tensor components in an East-North-Up basis.
@@ -494,6 +626,37 @@ mod tests {
         assert!(rn.magnitude() > rf.magnitude() * 5.0);
         // Thrust slip uplifts the near-field above the shallow fault edge.
         assert!(rn.magnitude() > 1e-4, "near response {}", rn.magnitude());
+    }
+
+    #[test]
+    fn hoisted_library_matches_per_pair_kernels_bitwise() {
+        // The library path precomputes per-subfault geometry once; the
+        // public per-pair functions rebuild it per call. Same expressions,
+        // same inputs — results must agree to the bit.
+        let f = FaultModel::chilean_subduction(8, 4).unwrap();
+        let n = StationNetwork::chilean_input(ChileanInput::Small, 1);
+        for method in [GfMethod::PointSource, GfMethod::OkadaRectangular] {
+            let lib = GfLibrary::compute_with_method(&f, &n, method).unwrap();
+            for (st, gf) in n.stations().iter().zip(lib.stations()) {
+                for (sf, got) in f.subfaults().iter().zip(&gf.responses) {
+                    let want = match method {
+                        GfMethod::PointSource => point_source_static(
+                            &f,
+                            sf.strike_deg,
+                            sf.dip_deg,
+                            THRUST_RAKE_DEG,
+                            sf.area_km2(),
+                            &st.location,
+                            &sf.center,
+                        ),
+                        GfMethod::OkadaRectangular => okada_static(sf, &st.location),
+                    };
+                    assert_eq!(got.e.to_bits(), want.e.to_bits());
+                    assert_eq!(got.n.to_bits(), want.n.to_bits());
+                    assert_eq!(got.u.to_bits(), want.u.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

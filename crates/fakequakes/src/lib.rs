@@ -54,6 +54,7 @@ pub mod npy;
 pub mod okada;
 pub mod par;
 pub mod rupture;
+pub mod simd;
 pub mod spectra;
 pub mod stations;
 pub mod stf;

@@ -26,6 +26,39 @@
 
 use crate::error::{FqError, FqResult};
 use crate::par;
+use crate::simd;
+
+/// k-panel height of the blocked GEMM: a `MATMUL_KC x cols` panel of
+/// the right-hand matrix is reused across every row of a parallel row
+/// chunk before the next panel is touched. Must stay a multiple of
+/// [`simd::LANES`] so panel boundaries never split a k-quad (which
+/// would change the canonical accumulation order).
+const MATMUL_KC: usize = 128;
+
+/// Order-B microkernel: accumulate `arow[k0..k1] * other[k0..k1, :]`
+/// into `orow`. Four rows of `other` are streamed per ascending k-quad
+/// and folded per output element as `(p0+p1)+(p2+p3)`; a trailing
+/// `k1 == kt` remainder (k not a multiple of 4) is added term by term.
+fn matmul_panel(arow: &[f64], other: &Matrix, orow: &mut [f64], k0: usize, k1: usize, kt: usize) {
+    let kq_end = if k1 == kt { k0 + (k1 - k0) / 4 * 4 } else { k1 };
+    let mut k = k0;
+    while k < kq_end {
+        let a = simd::F64x4::from_slice(&arow[k..k + 4]);
+        let b0 = other.row(k);
+        let b1 = other.row(k + 1);
+        let b2 = other.row(k + 2);
+        let b3 = other.row(k + 3);
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o += (a.0[0] * b0[j] + a.0[1] * b1[j]) + (a.0[2] * b2[j] + a.0[3] * b3[j]);
+        }
+        k += 4;
+    }
+    for (kk, &aik) in arow.iter().enumerate().take(k1).skip(kq_end) {
+        for (o, &bkj) in orow.iter_mut().zip(other.row(kk)) {
+            *o += aik * bkj;
+        }
+    }
+}
 
 /// A dense, row-major `f64` matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,24 +144,31 @@ impl Matrix {
 
     /// Matrix-vector product `self * v`.
     ///
-    /// Rows fan out across threads (each output element is an
-    /// independent dot product in fixed k-order), so the result is
-    /// identical to the sequential loop.
+    /// Rows fan out across threads; each output element is an
+    /// independent order-A laned dot product ([`crate::simd::dot`]), so
+    /// the result is bitwise identical to [`Matrix::matvec_reference`]
+    /// at any thread count.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
-        par::map_indexed(self.rows, 64, |i| {
-            let mut acc = 0.0;
-            for (a, b) in self.row(i).iter().zip(v) {
-                acc += a * b;
-            }
-            acc
-        })
+        par::map_indexed(self.rows, 64, |i| simd::dot(self.row(i), v))
     }
 
-    /// Matrix-matrix product `self * other` (GEMM-style, row-parallel,
-    /// ikj loop order for cache locality). Per-element accumulation is
-    /// in ascending-k order independent of blocking, so the result is
-    /// byte-identical to the naive triple loop.
+    /// Sequential scalar twin of [`Matrix::matvec`]: the order-A oracle.
+    pub fn matvec_reference(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|i| simd::dot_reference(self.row(i), v))
+            .collect()
+    }
+
+    /// Matrix-matrix product `self * other`: row-parallel, cache-blocked
+    /// over k so a `MATMUL_KC`-row panel of `other` is reused across a
+    /// whole row chunk, with a 4-lane (order-B) microkernel inside each
+    /// panel. Per output element the accumulation is one quad sum
+    /// `(p0+p1)+(p2+p3)` per ascending k-quad then the k remainder
+    /// terms individually — independent of blocking and thread count,
+    /// so the result is byte-identical to
+    /// [`Matrix::matmul_reference`].
     pub fn matmul(&self, other: &Matrix) -> FqResult<Matrix> {
         if self.cols != other.rows {
             return Err(FqError::Linalg(format!(
@@ -141,18 +181,59 @@ impl Matrix {
         if m == 0 || p == 0 {
             return Ok(out);
         }
+        let kt = self.cols;
         let row_chunk = par::chunk_for(m, 8);
         par::for_each_chunk(&mut out.data, row_chunk * p, |start, rows_chunk| {
             let first_row = start / p;
-            for (r, orow) in rows_chunk.chunks_mut(p).enumerate() {
-                let arow = self.row(first_row + r);
-                for (k, &aik) in arow.iter().enumerate() {
-                    for (o, &bkj) in orow.iter_mut().zip(other.row(k)) {
-                        *o += aik * bkj;
-                    }
+            // k-panels ascending; panel boundaries are multiples of
+            // LANES so the quad decomposition of each element's k-range
+            // is the same with or without blocking.
+            let mut k0 = 0;
+            while k0 < kt {
+                let k1 = (k0 + MATMUL_KC).min(kt);
+                for (r, orow) in rows_chunk.chunks_mut(p).enumerate() {
+                    let arow = self.row(first_row + r);
+                    matmul_panel(arow, other, orow, k0, k1, kt);
                 }
+                k0 = k1;
             }
         });
+        Ok(out)
+    }
+
+    /// Scalar ijk reference for [`Matrix::matmul`]: one element at a
+    /// time, walking `other` column-wise (deliberately unblocked and
+    /// cache-hostile — this is the pre-optimisation shape and the
+    /// `bench_snapshot` baseline), with the same order-B quad
+    /// accumulation. The bitwise oracle for the blocked kernel.
+    pub fn matmul_reference(&self, other: &Matrix) -> FqResult<Matrix> {
+        if self.cols != other.rows {
+            return Err(FqError::Linalg(format!(
+                "matmul shape mismatch: {}x{} * {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let (m, p, kt) = (self.rows, other.cols, self.cols);
+        let kq = kt / 4 * 4;
+        let mut out = Matrix::zeros(m, p);
+        for i in 0..m {
+            let arow = self.row(i);
+            for j in 0..p {
+                let mut o = 0.0;
+                let mut k = 0;
+                while k < kq {
+                    o += (arow[k] * other.data[k * p + j]
+                        + arow[k + 1] * other.data[(k + 1) * p + j])
+                        + (arow[k + 2] * other.data[(k + 2) * p + j]
+                            + arow[k + 3] * other.data[(k + 3) * p + j]);
+                    k += 4;
+                }
+                for (kk, &aik) in arow.iter().enumerate().take(kt).skip(kq) {
+                    o += aik * other.data[kk * p + j];
+                }
+                out.data[i * p + j] = o;
+            }
+        }
         Ok(out)
     }
 
@@ -209,12 +290,11 @@ impl Matrix {
         let n = self.rows;
         let mut l = Matrix::zeros(n, n);
         for j in 0..n {
-            // Pivot: same op order as the reference (a + jitter, then
-            // subtract squares in ascending k).
-            let mut sum = self.data[j * n + j] + jitter;
-            for v in &l.data[j * n..j * n + j] {
-                sum -= v * v;
-            }
+            // Pivot: a + jitter minus the order-A laned dot of the
+            // pivot row prefix with itself — the same single
+            // subtraction the reference performs.
+            let pivot_prefix = &l.data[j * n..j * n + j];
+            let sum = self.data[j * n + j] + jitter - simd::dot(pivot_prefix, pivot_prefix);
             if sum <= 0.0 {
                 return Err(FqError::Linalg(format!(
                     "non-positive pivot {sum:e} at row {j}"
@@ -223,8 +303,9 @@ impl Matrix {
             let diag = sum.sqrt();
             l.data[j * n + j] = diag;
             // Sub-diagonal panel of column j: rows j+1.. are independent
-            // dot products against the pivot row prefix, so they fan out
-            // across threads with chunk-aligned (row-aligned) splits.
+            // order-A dot products against the pivot row prefix, so they
+            // fan out across threads with chunk-aligned (row-aligned)
+            // splits.
             let (done, below) = l.data.split_at_mut((j + 1) * n);
             let pivot = &done[j * n..j * n + j];
             if below.is_empty() {
@@ -236,10 +317,7 @@ impl Matrix {
                 let first_row = j + 1 + start / n;
                 for (r, row) in rows_chunk.chunks_mut(n).enumerate() {
                     let i = first_row + r;
-                    let mut s = self.data[i * n + j];
-                    for (a, b) in row[..j].iter().zip(pivot) {
-                        s -= a * b;
-                    }
+                    let s = self.data[i * n + j] - simd::dot(&row[..j], pivot);
                     row[j] = s / diag;
                 }
             });
@@ -247,9 +325,11 @@ impl Matrix {
         Ok(l)
     }
 
-    /// The original row-ordered scalar Cholesky (pre-optimisation), kept
-    /// as the determinism oracle and `bench_snapshot` baseline. Same
-    /// jitter-retry schedule as [`Matrix::cholesky`].
+    /// Row-ordered scalar Cholesky, kept as the determinism oracle and
+    /// `bench_snapshot` baseline. Each element uses the same order-A
+    /// prefix dot ([`simd::dot_reference`]) as the blocked kernel, so
+    /// the two agree bit-for-bit; the jitter-retry schedule matches
+    /// [`Matrix::cholesky`].
     pub fn cholesky_reference(&self) -> FqResult<Matrix> {
         if self.rows != self.cols {
             return Err(FqError::Linalg("cholesky requires a square matrix".into()));
@@ -275,13 +355,12 @@ impl Matrix {
         let mut l = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..=i {
-                let mut sum = self[(i, j)];
-                if i == j {
-                    sum += jitter;
-                }
-                for k in 0..j {
-                    sum -= l[(i, k)] * l[(j, k)];
-                }
+                let lij = simd::dot_reference(&l.data[i * n..i * n + j], &l.data[j * n..j * n + j]);
+                let sum = if i == j {
+                    self[(i, j)] + jitter - lij
+                } else {
+                    self[(i, j)] - lij
+                };
                 if i == j {
                     if sum <= 0.0 {
                         return Err(FqError::Linalg(format!(
@@ -444,12 +523,12 @@ impl Matrix {
             for attempt in 0..4usize {
                 lu.solve(&mut x);
                 for prev in &tri_vecs[cluster_start..j] {
-                    let dot: f64 = x.iter().zip(prev).map(|(a, b)| a * b).sum();
+                    let dot = simd::dot(&x, prev);
                     for (xi, pi) in x.iter_mut().zip(prev) {
                         *xi -= dot * pi;
                     }
                 }
-                let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+                let norm = simd::dot(&x, &x).sqrt();
                 if norm.is_finite() && norm > eps3 {
                     for xi in &mut x {
                         *xi /= norm;
@@ -924,20 +1003,54 @@ mod tests {
 
     #[test]
     fn matmul_matches_naive_triple_loop() {
+        // k = 5 exercises one quad plus a remainder lane.
         let a = Matrix::from_fn(7, 5, |i, j| ((i * 3 + j) % 7) as f64 * 0.5 - 1.0);
         let b = Matrix::from_fn(5, 9, |i, j| ((i + 2 * j) % 5) as f64 * 0.25);
         let c = a.matmul(&b).unwrap();
+        // Bitwise vs the order-B scalar oracle...
+        let r = a.matmul_reference(&b).unwrap();
+        assert_eq!(c, r);
+        // ...and approximately vs the plain ascending-k triple loop
+        // (different association, same value up to rounding).
         for i in 0..7 {
             for j in 0..9 {
                 let mut s = 0.0;
                 for k in 0..5 {
                     s += a[(i, k)] * b[(k, j)];
                 }
-                assert_eq!(c[(i, j)], s, "({i},{j})");
+                assert!(approx(c[(i, j)], s, 1e-12), "({i},{j})");
             }
         }
         assert!(a.matmul(&Matrix::zeros(4, 4)).is_err());
         assert_eq!(a.matmul(&Matrix::zeros(5, 0)).unwrap().cols(), 0);
+    }
+
+    #[test]
+    fn matmul_blocked_matches_reference_across_panel_boundary() {
+        // k > MATMUL_KC forces multiple k-panels; k % 4 != 0 leaves a
+        // remainder lane in the final panel.
+        for (m, k, p) in [(3, 130, 5), (2, 256, 3), (5, 131, 7)] {
+            let a = Matrix::from_fn(m, k, |i, j| ((i * 31 + j * 7) % 13) as f64 * 0.21 - 1.1);
+            let b = Matrix::from_fn(k, p, |i, j| ((i * 5 + j * 11) % 17) as f64 * 0.13 - 0.9);
+            assert_eq!(
+                a.matmul(&b).unwrap(),
+                a.matmul_reference(&b).unwrap(),
+                "m={m} k={k} p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn matvec_matches_reference_bitwise_with_remainder() {
+        for cols in [1usize, 4, 5, 61, 243] {
+            let m = Matrix::from_fn(6, cols, |i, j| ((i * 13 + j * 3) % 11) as f64 * 0.4 - 1.7);
+            let v: Vec<f64> = (0..cols).map(|j| (j as f64) * 0.29 - 2.0).collect();
+            let fast = m.matvec(&v);
+            let oracle = m.matvec_reference(&v);
+            for (x, y) in fast.iter().zip(&oracle) {
+                assert_eq!(x.to_bits(), y.to_bits(), "cols={cols}");
+            }
+        }
     }
 
     #[test]

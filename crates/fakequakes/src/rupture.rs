@@ -126,13 +126,16 @@ pub struct RuptureScenario {
 }
 
 impl RuptureScenario {
-    /// Seismic moment implied by the slip distribution (N·m).
+    /// Seismic moment implied by the slip distribution (N·m). Uses the
+    /// same fixed-order lane sum as the generator's rescaling step.
     pub fn moment(&self, fault: &FaultModel) -> f64 {
-        let mut m0 = 0.0;
-        for (i, sf) in fault.subfaults().iter().enumerate() {
-            m0 += fault.rigidity_pa * sf.area_km2() * 1e6 * self.slip_m[i];
-        }
-        m0
+        let terms: Vec<f64> = fault
+            .subfaults()
+            .iter()
+            .enumerate()
+            .map(|(i, sf)| fault.rigidity_pa * sf.area_km2() * 1e6 * self.slip_m[i])
+            .collect();
+        crate::simd::lane_sum(&terms)
     }
 
     /// Indices of subfaults with non-zero slip.
@@ -311,12 +314,17 @@ impl<'a> RuptureGenerator<'a> {
             slip[i] *= tx * ty;
         }
 
-        // Rescale to the exact target moment.
+        // Rescale to the exact target moment. Fixed-order lane sum so the
+        // achieved moment is independent of how the mesh was produced.
         let m0_target = moment_from_mw(mw);
-        let mut m0 = 0.0;
-        for (i, sf) in self.fault.subfaults().iter().enumerate() {
-            m0 += self.fault.rigidity_pa * sf.area_km2() * 1e6 * slip[i];
-        }
+        let m0_terms: Vec<f64> = self
+            .fault
+            .subfaults()
+            .iter()
+            .enumerate()
+            .map(|(i, sf)| self.fault.rigidity_pa * sf.area_km2() * 1e6 * slip[i])
+            .collect();
+        let m0 = crate::simd::lane_sum(&m0_terms);
         let scale = if m0 > 0.0 { m0_target / m0 } else { 0.0 };
         for s in &mut slip {
             *s *= scale;

@@ -113,13 +113,13 @@ pub fn spectral_summary(w: &GnssWaveform) -> FqResult<SpectralSummary> {
             peak_hz: 0.0,
         });
     }
-    let centroid = freqs
+    let weighted: Vec<f64> = freqs
         .iter()
         .zip(&amps)
         .skip(1)
         .map(|(f, a)| f * a * a)
-        .sum::<f64>()
-        / total_energy;
+        .collect();
+    let centroid = crate::simd::lane_sum(&weighted) / total_energy;
     let low: f64 = freqs
         .iter()
         .zip(&amps)

@@ -20,6 +20,7 @@ use rand::SeedableRng;
 use crate::error::{FqError, FqResult};
 use crate::linalg::Matrix;
 use crate::par;
+use crate::simd;
 use crate::vonkarman::VonKarman;
 
 /// How to factor the covariance for sampling.
@@ -148,8 +149,20 @@ pub fn assemble_covariance(distances: &Matrix, kernel: &VonKarman) -> Matrix {
             for (r, row) in rows_chunk.chunks_mut(n).enumerate() {
                 let i = first_row + r;
                 row[i] = 1.0;
-                for (j, slot) in row.iter_mut().enumerate().skip(i + 1) {
-                    *slot = kernel.correlation(distances[(i, j)]);
+                // Full quads of the row tail go through the 4-lane
+                // kernel batch; the j-remainder falls back to the
+                // scalar path, which computes identical bits per lane
+                // (see vonkarman::bessel_k_frac_lanes).
+                let drow = distances.row(i);
+                let quad_end = i + 1 + (n - i - 1) / 4 * 4;
+                let mut j = i + 1;
+                while j < quad_end {
+                    let c = kernel.correlation_x4([drow[j], drow[j + 1], drow[j + 2], drow[j + 3]]);
+                    row[j..j + 4].copy_from_slice(&c);
+                    j += 4;
+                }
+                for jj in quad_end..n {
+                    row[jj] = kernel.correlation(drow[jj]);
                 }
             }
         });
@@ -164,9 +177,9 @@ pub fn assemble_covariance(distances: &Matrix, kernel: &VonKarman) -> Matrix {
     cov
 }
 
-/// Sequential full-matrix covariance assembly (the pre-optimisation
-/// code path, evaluating the kernel for every off-diagonal element).
-/// Kept as the determinism oracle and `bench_snapshot` baseline.
+/// Sequential full-matrix covariance assembly (scalar kernel path,
+/// evaluating every off-diagonal element). Kept as the determinism
+/// oracle: the parallel half-assembly must match it byte for byte.
 pub fn assemble_covariance_seq(distances: &Matrix, kernel: &VonKarman) -> Matrix {
     let n = distances.rows();
     Matrix::from_fn(n, n, |i, j| {
@@ -174,6 +187,23 @@ pub fn assemble_covariance_seq(distances: &Matrix, kernel: &VonKarman) -> Matrix
             1.0
         } else {
             kernel.correlation(distances[(i, j)])
+        }
+    })
+}
+
+/// Frozen pre-SIMD covariance assembly: sequential, full-matrix, on the
+/// libm Bessel quadrature ([`crate::vonkarman::von_karman_kernel_libm`]).
+/// Only the `bench_snapshot` baseline calls this; it is the "before"
+/// arm every committed covariance speedup is measured against.
+pub fn assemble_covariance_reference_libm(distances: &Matrix, kernel: &VonKarman) -> Matrix {
+    let n = distances.rows();
+    let a = (kernel.a_strike_km * kernel.a_dip_km).sqrt();
+    Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            1.0
+        } else {
+            let x = (distances[(i, j)] / a).max(0.0);
+            crate::vonkarman::von_karman_kernel_libm(x, kernel.hurst)
         }
     })
 }
@@ -342,8 +372,9 @@ pub fn field_stats(x: &[f64]) -> FieldStats {
         };
     }
     let n = x.len() as f64;
-    let mean = x.iter().sum::<f64>() / n;
-    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let mean = simd::lane_sum(x) / n;
+    let sq: Vec<f64> = x.iter().map(|v| (v - mean) * (v - mean)).collect();
+    let var = simd::lane_sum(&sq) / n;
     let min = x.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     FieldStats {

@@ -8,6 +8,8 @@
 //! than 1 % over the argument range a correlation kernel ever sees — more
 //! than adequate since the Hurst exponent itself is only known to ~0.1.
 
+use crate::simd;
+
 /// Parameters of a von Kármán correlation kernel.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VonKarman {
@@ -51,6 +53,14 @@ impl VonKarman {
         von_karman_kernel(x, self.hurst)
     }
 
+    /// Four isotropic correlations at once: the lane-batched entry
+    /// `assemble_covariance` uses for full quads of a covariance row.
+    /// Lane `l` is bitwise equal to `self.correlation(r_km[l])`.
+    pub fn correlation_x4(&self, r_km: [f64; 4]) -> [f64; 4] {
+        let a = (self.a_strike_km * self.a_dip_km).sqrt();
+        von_karman_kernel_x4(r_km.map(|r| (r / a).max(0.0)), self.hurst)
+    }
+
     /// Anisotropic correlation for separations expressed in the fault's
     /// strike/dip frame.
     pub fn correlation_anisotropic(&self, dr_strike_km: f64, dr_dip_km: f64) -> f64 {
@@ -62,7 +72,52 @@ impl VonKarman {
 
 /// Normalised von Kármán kernel `G_H(x) = x^H K_H(x) / (2^{H-1} Γ(H))`,
 /// with `G_H(0) = 1`.
+///
+/// The one-lane instantiation of [`von_karman_lanes`]: bitwise equal to
+/// lane `l` of [`von_karman_kernel_x4`] by construction, because the
+/// lane loop carries no cross-lane operations.
 pub fn von_karman_kernel(x: f64, hurst: f64) -> f64 {
+    von_karman_lanes([x], hurst)[0]
+}
+
+/// Four kernel evaluations at once — the batch entry
+/// `assemble_covariance` feeds with quads of distances so the Bessel
+/// quadrature's exp/cosh work runs 4-wide.
+pub fn von_karman_kernel_x4(xs: [f64; 4], hurst: f64) -> [f64; 4] {
+    von_karman_lanes(xs, hurst)
+}
+
+/// Generic-lane von Kármán kernel. Out-of-range abscissae (`x <= 0`
+/// maps to 1, `x > 60` to 0) are substituted with a safe `x = 1` before
+/// the quadrature and patched afterwards, so a mixed quad still runs
+/// every lane through the same instruction stream.
+fn von_karman_lanes<const L: usize>(xs: [f64; L], hurst: f64) -> [f64; L] {
+    let h = hurst.clamp(0.01, 1.0);
+    let mut safe = xs;
+    for v in &mut safe {
+        if *v <= 0.0 || *v > 60.0 {
+            *v = 1.0;
+        }
+    }
+    let kh = bessel_k_frac_lanes(h, safe);
+    let norm = 2f64.powf(h - 1.0) * gamma(h);
+    let mut out = [0.0; L];
+    for l in 0..L {
+        out[l] = if xs[l] <= 0.0 {
+            1.0
+        } else if xs[l] > 60.0 {
+            0.0
+        } else {
+            (xs[l].powf(h) * kh[l] / norm).clamp(0.0, 1.0)
+        };
+    }
+    out
+}
+
+/// Frozen pre-SIMD kernel on the libm quadrature
+/// ([`bessel_k_fractional_libm`]); the `bench_snapshot` covariance
+/// baseline and the cross-check anchor for the fq path.
+pub fn von_karman_kernel_libm(x: f64, hurst: f64) -> f64 {
     if x <= 0.0 {
         return 1.0;
     }
@@ -70,7 +125,7 @@ pub fn von_karman_kernel(x: f64, hurst: f64) -> f64 {
         return 0.0;
     }
     let h = hurst.clamp(0.01, 1.0);
-    let kh = bessel_k_fractional(h, x);
+    let kh = bessel_k_fractional_libm(h, x);
     let norm = 2f64.powf(h - 1.0) * gamma(h);
     (x.powf(h) * kh / norm).clamp(0.0, 1.0)
 }
@@ -152,7 +207,7 @@ pub fn bessel_k1(x: f64) -> f64 {
 }
 
 /// Modified Bessel function of the first kind `I_0(x)`.
-fn bessel_i0(x: f64) -> f64 {
+pub fn bessel_i0(x: f64) -> f64 {
     let ax = x.abs();
     if ax < 3.75 {
         let t = (x / 3.75) * (x / 3.75);
@@ -175,7 +230,7 @@ fn bessel_i0(x: f64) -> f64 {
 }
 
 /// Modified Bessel function of the first kind `I_1(x)`.
-fn bessel_i1(x: f64) -> f64 {
+pub fn bessel_i1(x: f64) -> f64 {
     let ax = x.abs();
     let ans = if ax < 3.75 {
         let t = (x / 3.75) * (x / 3.75);
@@ -207,14 +262,107 @@ fn bessel_i1(x: f64) -> f64 {
 /// representation `K_ν(x) = ∫_0^∞ e^{-x cosh t} cosh(νt) dt` evaluated
 /// with composite Simpson quadrature. Accurate to ~1e-8 relative over the
 /// argument range a correlation kernel sees.
+///
+/// The one-lane instantiation of [`bessel_k_frac_lanes`] — the scalar
+/// path and the 4-lane batch compute identical bits per abscissa.
 pub fn bessel_k_fractional(nu: f64, x: f64) -> f64 {
+    bessel_k_frac_lanes(nu, [x])[0]
+}
+
+/// Four `K_ν` evaluations at once (shared order `ν`, four abscissae).
+pub fn bessel_k_fractional_x4(nu: f64, xs: [f64; 4]) -> [f64; 4] {
+    bessel_k_frac_lanes(nu, xs)
+}
+
+/// Simpson panel count of the `K_ν` quadrature (even, fixed).
+const KNU_PANELS: usize = 400;
+
+/// Generic-lane Simpson quadrature for `K_ν`.
+///
+/// Three things make this the hot-path form (DESIGN.md §13):
+///
+/// 1. **No libm in the inner loop.** `cosh(i·h)` and `cosh(ν·i·h)` are
+///    advanced by the stable three-term recurrence
+///    `c_{i+1} = 2 cosh(h) · c_i − c_{i−1}`, so the only transcendental
+///    per node is one [`simd::fq_exp`] — down from an exp and two coshes.
+/// 2. **Lane-parallel evaluation.** All per-node work is an `l`-indexed
+///    elementwise loop with no cross-lane data flow, which LLVM
+///    autovectorizes at `L = 4` — and which guarantees the `L = 1`
+///    instantiation computes bit-for-bit the lane-`l` value of the
+///    `L = 4` one.
+/// 3. **Fixed accumulation order.** Per lane: `f(0)`, then the interior
+///    nodes ascending with their Simpson weights, then the `t_max`
+///    endpoint taken from the recurrence (not a fresh `cosh(t_max)`),
+///    then the `h/3` scale. This order is canonical and
+///    platform-independent.
+///
+/// Non-positive abscissae are substituted with `x = 1` and patched to
+/// `K_ν(x ≤ 0) = ∞` afterwards.
+fn bessel_k_frac_lanes<const L: usize>(nu: f64, xs: [f64; L]) -> [f64; L] {
+    let nu = nu.clamp(0.0, 1.0);
+    let mut x = xs;
+    for v in &mut x {
+        if *v <= 0.0 {
+            *v = 1.0;
+        }
+    }
+    // Integrand ~ e^{-x cosh t}; negligible once x(cosh t - 1) > 45.
+    let mut h = [0.0; L];
+    for l in 0..L {
+        let b = 1.0 + 45.0 / x[l];
+        h[l] = (b + (b * b - 1.0).sqrt()).ln() / KNU_PANELS as f64;
+    }
+    // Recurrence state: c tracks cosh(i h), d tracks cosh(nu i h).
+    let mut two_ch = [0.0; L];
+    let mut two_cnh = [0.0; L];
+    let mut c_prev = [1.0; L];
+    let mut c_cur = [0.0; L];
+    let mut d_prev = [1.0; L];
+    let mut d_cur = [0.0; L];
+    let mut sum = [0.0; L];
+    for l in 0..L {
+        let ch = simd::fq_cosh(h[l]);
+        let cnh = simd::fq_cosh(nu * h[l]);
+        two_ch[l] = 2.0 * ch;
+        two_cnh[l] = 2.0 * cnh;
+        c_cur[l] = ch;
+        d_cur[l] = cnh;
+        sum[l] = simd::fq_exp(-x[l]); // f(0) = e^{-x cosh 0} cosh 0
+    }
+    for i in 1..KNU_PANELS {
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        for l in 0..L {
+            sum[l] += w * (simd::fq_exp(-(x[l] * c_cur[l])) * d_cur[l]);
+            let c_next = two_ch[l] * c_cur[l] - c_prev[l];
+            c_prev[l] = c_cur[l];
+            c_cur[l] = c_next;
+            let d_next = two_cnh[l] * d_cur[l] - d_prev[l];
+            d_prev[l] = d_cur[l];
+            d_cur[l] = d_next;
+        }
+    }
+    let mut out = [0.0; L];
+    for l in 0..L {
+        let s = sum[l] + simd::fq_exp(-(x[l] * c_cur[l])) * d_cur[l];
+        out[l] = if xs[l] <= 0.0 {
+            f64::INFINITY
+        } else {
+            s * h[l] / 3.0
+        };
+    }
+    out
+}
+
+/// The original libm Simpson quadrature for `K_ν`, frozen pre-SIMD: the
+/// bench baseline and the accuracy cross-check for
+/// [`bessel_k_fractional`]. Not used by any hot path.
+pub fn bessel_k_fractional_libm(nu: f64, x: f64) -> f64 {
     let nu = nu.clamp(0.0, 1.0);
     if x <= 0.0 {
         return f64::INFINITY;
     }
-    // Integrand ~ e^{-x cosh t}; negligible once x(cosh t - 1) > 45.
     let t_max = ((1.0 + 45.0 / x) + ((1.0 + 45.0 / x).powi(2) - 1.0).sqrt()).ln();
-    let n = 400; // even panel count for Simpson
+    let n = KNU_PANELS;
     let h = t_max / n as f64;
     let f = |t: f64| (-(x * t.cosh())).exp() * (nu * t).cosh();
     let mut sum = f(0.0) + f(t_max);
@@ -302,6 +450,131 @@ mod tests {
             assert!(approx(bessel_k_fractional(1.0, x), bessel_k1(x), 1e-4));
         }
         assert_eq!(bessel_k_fractional(0.5, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn bessel_i0_i1_tabulated_values() {
+        // I_0 / I_1 reference values (A&S tables / DLMF 10.25).
+        // The A&S 9.8.1–9.8.4 polynomials carry ~2e-7 error.
+        for (x, want) in [
+            (0.1, 1.002_501_562_934_095_6),
+            (0.5, 1.063_483_370_741_324),
+            (1.0, 1.266_065_877_752_008_4),
+            (2.0, 2.279_585_302_336_067_3),
+            (5.0, 27.239_871_823_604_44),
+        ] {
+            assert!(approx(bessel_i0(x), want, 2e-6), "I0({x})");
+        }
+        for (x, want) in [
+            (0.5, 0.257_894_305_390_896_1),
+            (1.0, 0.565_159_103_992_485_1),
+            (2.0, 1.590_636_854_637_329_3),
+            (5.0, 24.335_642_142_450_53),
+        ] {
+            assert!(approx(bessel_i1(x), want, 2e-6), "I1({x})");
+        }
+    }
+
+    #[test]
+    fn bessel_k0_tabulated_values_tight() {
+        // DLMF-grade references; the A&S polynomial is good to ~1e-7.
+        for (x, want) in [
+            (0.1, 2.427_069_024_702_017),
+            (0.5, 0.924_419_071_227_666),
+            (1.0, 0.421_024_438_240_708_4),
+            (2.0, 0.113_893_872_749_533_5),
+            (5.0, 3.691_098_334_042_594e-3),
+        ] {
+            assert!(approx(bessel_k0(x), want, 2e-6), "K0({x})");
+        }
+    }
+
+    #[test]
+    fn bessel_k_fractional_tabulated_values() {
+        // K_{1/2}(x) = sqrt(pi/(2x)) e^{-x} exactly: pins the laned
+        // quadrature (recurrence + fq_exp) to ~1e-7 against a closed
+        // form, well past the quadrature's own design accuracy.
+        for x in [0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0] {
+            let exact = (std::f64::consts::PI / (2.0 * x)).sqrt() * (-x).exp();
+            assert!(
+                approx(bessel_k_fractional(0.5, x), exact, 1e-7),
+                "K_1/2({x})"
+            );
+        }
+        // Integer-order ends of the nu range against tabulated K0/K1.
+        for (nu, x, want) in [
+            (0.0, 0.5, 0.924_419_071_227_666),
+            (0.0, 1.0, 0.421_024_438_240_708_4),
+            (0.0, 2.0, 0.113_893_872_749_533_5),
+            (1.0, 0.5, 1.656_441_120_003_301),
+            (1.0, 1.0, 0.601_907_230_197_234_6),
+            (1.0, 2.0, 0.139_865_881_816_522_6),
+        ] {
+            assert!(
+                approx(bessel_k_fractional(nu, x), want, 1e-6),
+                "K_{nu}({x})"
+            );
+        }
+    }
+
+    #[test]
+    fn laned_quadrature_matches_scalar_bitwise() {
+        // The x4 batch must compute exactly the scalar path per lane,
+        // including out-of-range lanes mixed into a quad.
+        for nu in [0.0, 0.25, 0.75, 1.0] {
+            let xs = [0.3, 7.0, 0.001, 42.0];
+            let batch = bessel_k_fractional_x4(nu, xs);
+            for (l, x) in xs.into_iter().enumerate() {
+                assert_eq!(
+                    batch[l].to_bits(),
+                    bessel_k_fractional(nu, x).to_bits(),
+                    "nu={nu} lane {l}"
+                );
+            }
+        }
+        let mixed = [-1.0, 0.5, 61.0, 3.0];
+        let batch = von_karman_kernel_x4(mixed, 0.75);
+        for (l, x) in mixed.into_iter().enumerate() {
+            assert_eq!(
+                batch[l].to_bits(),
+                von_karman_kernel(x, 0.75).to_bits(),
+                "lane {l}"
+            );
+        }
+        assert_eq!(batch[0], 1.0, "x <= 0 patches to 1");
+        assert_eq!(batch[2], 0.0, "x > 60 patches to 0");
+        assert_eq!(bessel_k_fractional_x4(0.5, [0.0; 4]), [f64::INFINITY; 4]);
+    }
+
+    #[test]
+    fn fq_quadrature_cross_checks_libm_quadrature() {
+        // Same Simpson rule, different exp/cosh evaluation: the two must
+        // agree to the transcendental error budget (~1e-12), far inside
+        // the quadrature's 1e-8 design accuracy.
+        for nu in [0.0, 0.4, 0.75, 1.0] {
+            for x in [0.05, 0.3, 1.0, 4.0, 20.0, 55.0] {
+                let fq = bessel_k_fractional(nu, x);
+                let libm = bessel_k_fractional_libm(nu, x);
+                assert!(approx(fq, libm, 1e-10), "nu={nu} x={x}: {fq} vs {libm}");
+            }
+        }
+        for x in [0.2, 1.0, 5.0, 30.0] {
+            assert!(approx(
+                von_karman_kernel(x, 0.75),
+                von_karman_kernel_libm(x, 0.75),
+                1e-10
+            ));
+        }
+    }
+
+    #[test]
+    fn correlation_x4_matches_scalar_bitwise() {
+        let vk = VonKarman::default();
+        let rs = [0.0, 3.0, 12.5, 700.0];
+        let batch = vk.correlation_x4(rs);
+        for (l, r) in rs.into_iter().enumerate() {
+            assert_eq!(batch[l].to_bits(), vk.correlation(r).to_bits(), "lane {l}");
+        }
     }
 
     #[test]

@@ -111,7 +111,7 @@ impl GnssWaveform {
             return 0.0;
         }
         let tail = (n / 20).max(1);
-        let avg = |c: &[f64]| c[n - tail..].iter().sum::<f64>() / tail as f64;
+        let avg = |c: &[f64]| crate::simd::lane_sum(&c[n - tail..]) / tail as f64;
         let (e, no, u) = (avg(&self.east_m), avg(&self.north_m), avg(&self.up_m));
         (e * e + no * no + u * u).sqrt()
     }

@@ -40,6 +40,14 @@ pub const RULES: &[RuleInfo] = &[
         description: ".unwrap()/panic! in non-test library code: each crate has a frozen budget \
                       in the ratchet baseline that may only decrease",
     },
+    RuleInfo {
+        name: "naive-float-accum",
+        description: "bare .sum::<f64>() in fakequakes non-test code: hot-path float reductions \
+                      must go through simd::lane_sum, whose lane-width-4 accumulation order is \
+                      the canonical one the goldens and the parallel==sequential proofs pin \
+                      (DESIGN.md §13); a bare iterator sum is both slower and a second, \
+                      unblessed summation order",
+    },
 ];
 
 /// Static metadata of one rule.
@@ -67,6 +75,11 @@ pub const WALLCLOCK_ALLOWLIST: &[&str] = &["crates/obs/src/wallclock.rs"];
 
 /// The single sanctioned home of parallel primitives.
 pub const PARALLELISM_ALLOWLIST: &[&str] = &["crates/fakequakes/src/par.rs"];
+
+/// The sanctioned home of lane-ordered float reductions — the module that
+/// *defines* `lane_sum` may of course spell out scalar sums (its reference
+/// twins and doc text) — the scope exemption of `naive-float-accum`.
+pub const LANE_SUM_ALLOWLIST: &[&str] = &["crates/fakequakes/src/simd.rs"];
 
 /// One source file handed to the scanner. `rel_path` is
 /// workspace-root-relative with forward slashes; `crate_name` is the
@@ -281,6 +294,18 @@ pub fn scan_file(file: &SourceFile) -> (Vec<Finding>, Vec<DirectiveError>) {
             let hits = count_occurrences(code, ".unwrap()") + count_occurrences(code, "panic!(");
             for _ in 0..hits {
                 push("unwrap-in-lib", line);
+            }
+        }
+
+        // naive-float-accum: fakequakes library code only; the simd module
+        // itself (home of lane_sum and its scalar reference twin) is exempt.
+        if file.crate_name == "fakequakes"
+            && !LANE_SUM_ALLOWLIST.contains(&file.rel_path.as_str())
+            && !file.rel_path.contains("/src/bin/")
+        {
+            let hits = count_occurrences(code, ".sum::<f64>()");
+            for _ in 0..hits {
+                push("naive-float-accum", line);
             }
         }
     }
@@ -626,6 +651,33 @@ mod tests {
         );
         let f = file("htcsim", "crates/htcsim/src/x.rs", src);
         assert!(rules_fired(&f).is_empty(), "{:?}", scan_file(&f).0);
+    }
+
+    #[test]
+    fn naive_float_accum_scoped_to_fakequakes_outside_simd() {
+        let src = "fn m0(terms: &[f64]) -> f64 { terms.iter().sum::<f64>() }\n";
+        let hot = file("fakequakes", "crates/fakequakes/src/rupture.rs", src);
+        assert_eq!(rules_fired(&hot), vec!["naive-float-accum"]);
+        // The simd module defines lane_sum and its scalar twin — exempt.
+        let home = file("fakequakes", "crates/fakequakes/src/simd.rs", src);
+        assert!(rules_fired(&home).is_empty());
+        // Other crates are out of scope (their sums feed no goldens).
+        let other = file("htcsim", "crates/htcsim/src/x.rs", src);
+        assert!(rules_fired(&other).is_empty());
+        // Typed sums of other widths and untyped sums are not matched:
+        // the rule targets the one spelling the hot paths actually used.
+        let f32_sum = file(
+            "fakequakes",
+            "crates/fakequakes/src/x.rs",
+            "fn f(x: &[f32]) -> f32 { x.iter().sum::<f32>() }\n",
+        );
+        assert!(rules_fired(&f32_sum).is_empty());
+        let lane = file(
+            "fakequakes",
+            "crates/fakequakes/src/x.rs",
+            "fn f(x: &[f64]) -> f64 { crate::simd::lane_sum(x) }\n",
+        );
+        assert!(rules_fired(&lane).is_empty());
     }
 
     #[test]

@@ -70,6 +70,19 @@ fn per_rule_fixtures() -> Vec<(&'static str, SourceFile, SourceFile)> {
             ),
         ),
         (
+            "naive-float-accum",
+            src(
+                "fakequakes",
+                "crates/fakequakes/src/fx.rs",
+                "fn moment(terms: &[f64]) -> f64 { terms.iter().sum::<f64>() }\n",
+            ),
+            src(
+                "fakequakes",
+                "crates/fakequakes/src/fx.rs",
+                "fn moment(terms: &[f64]) -> f64 { crate::simd::lane_sum(terms) }\n",
+            ),
+        ),
+        (
             "unwrap-in-lib",
             src(
                 "eew",

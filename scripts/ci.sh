@@ -29,6 +29,41 @@ echo "==> perf snapshot smoke (FDW_SMOKE, reduced scale)"
 FDW_SMOKE=1 FDW_BENCH_OUT=target/BENCH_kernels.smoke.json \
   cargo run -q -p fdw-bench --release --bin bench_snapshot >/dev/null
 
+echo "==> kernel perf ratchet (fresh smoke vs committed BENCH_kernels.json)"
+# The laned/blocked kernels must not quietly lose their speedups: the
+# fresh FDW_SMOKE speedup of each headline kernel must stay above the
+# committed figure minus tolerance — half the committed speedup, capped
+# per kernel (absolute speedups grow with mesh size, so the full-scale
+# committed number is an over-ask at smoke scale) and floored at 1.0x so
+# "optimised" can never regress to "slower than the reference".
+# symmetric_eigen_topk is deliberately absent: its ~1.2-1.7x win over the
+# full eigensolve is inside measurement noise at smoke scale.
+kernel_speedup() { # <file> <kernel> -> speedup of the first (primary-mesh) row
+  awk -v k="$2" 'BEGIN { RS = "}" }
+    index($0, "\"name\":\"" k "\"") && match($0, /"speedup":[0-9.]+/) {
+      print substr($0, RSTART + 10, RLENGTH - 10); exit }' "$1"
+}
+for spec in assemble_covariance:3.0 matmul:1.8 cholesky:1.1 \
+            distance_matrices:1.3 symmetric_eigen:5.0 \
+            rupture_draw_end_to_end:5.0 gf_point_source_big_network:1.5; do
+  k=${spec%%:*} cap=${spec##*:}
+  committed=$(kernel_speedup BENCH_kernels.json "$k")
+  fresh=$(kernel_speedup target/BENCH_kernels.smoke.json "$k")
+  if [ -z "$committed" ] || [ -z "$fresh" ]; then
+    echo "kernel ratchet: missing '$k' row (committed='$committed' fresh='$fresh')"
+    exit 1
+  fi
+  awk -v c="$committed" -v f="$fresh" -v cap="$cap" -v k="$k" 'BEGIN {
+    thr = c / 2; if (thr > cap) thr = cap; if (thr < 1.0) thr = 1.0
+    if (f < thr) {
+      printf "kernel ratchet: %s %.2fx below threshold %.2fx (committed %.2fx)\n", \
+        k, f, thr, c
+      exit 1
+    }
+    printf "  %-28s %8.2fx  (>= %.2fx, committed %.2fx)\n", k, f, thr, c
+  }' || exit 1
+done
+
 echo "==> telemetry smoke (FDW_SMOKE, FDW_OBS_DIR)"
 OBS_DIR=target/obs-smoke
 rm -rf "$OBS_DIR"

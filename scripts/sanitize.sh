@@ -70,6 +70,29 @@ done
 [ "$fail" -eq 0 ] || { echo "failover-path determinism smoke FAILED"; exit 1; }
 echo "  failover report byte-identical across FDW_THREADS 1/2/8."
 
+echo "==> simd kernel-chain determinism (FDW_THREADS 1/2/8, bench_snapshot digest)"
+# bench_snapshot's child mode folds every laned/blocked kernel output —
+# distance matrices, von Kármán covariance, Cholesky, matmul, matvec and
+# the hoisted Green's functions — into one FNV-1a digest (DESIGN.md §13).
+# Comparing that digest across thread counts pins the simd layer the same
+# way the artifact byte-compare above pins the catalog path.
+simd_ref=""
+for n in 1 2 8; do
+  d=$(FDW_BENCH_CHILD=digest FDW_SMOKE=1 FDW_THREADS="$n" RAYON_NUM_THREADS="$n" \
+    cargo run -q -p fdw-bench --release --bin bench_snapshot)
+  echo "  -> FDW_THREADS=$n: $d"
+  case "$d" in digest=*) : ;; *)
+    echo "  bench_snapshot child printed no digest"; exit 1 ;; esac
+  if [ -z "$simd_ref" ]; then
+    simd_ref="$d"
+  elif [ "$d" != "$simd_ref" ]; then
+    echo "  DIGEST MISMATCH: simd kernel chain differs at FDW_THREADS=$n"
+    fail=1
+  fi
+done
+[ "$fail" -eq 0 ] || { echo "simd kernel-chain determinism smoke FAILED"; exit 1; }
+echo "  simd kernel digest identical across FDW_THREADS 1/2/8."
+
 echo "==> ThreadSanitizer (nightly, opt-in)"
 if ! command -v rustup >/dev/null 2>&1; then
   echo "  rustup not installed — skipping TSan stage."
