@@ -27,6 +27,7 @@ use crate::config::{FdwConfig, StationInput};
 /// sample. Free when the handle is disabled. The clock is read through
 /// [`fdw_obs::wallclock::WallTimer`] — the one allowlisted wall-clock
 /// site — so sim code stays `Instant`-free (fdwlint `wall-clock-in-sim`).
+// fdwlint::allow(nondet-flow-to-sink): measured host wall time IS the telemetry payload here; spans/histograms are profiling artifacts, excluded from byte-stable comparison (BYTE_STABLE_CRATES) and never folded into science outputs
 fn timed<T>(obs: &Obs, kernel: &str, tid: u64, f: impl FnOnce() -> T) -> T {
     if !obs.is_enabled() {
         return f();

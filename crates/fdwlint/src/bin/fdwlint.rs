@@ -1,38 +1,53 @@
-//! The `fdwlint` CLI — scan the workspace, compare against the committed
-//! ratchet baseline, and report.
+//! The `fdwlint` CLI — scan the workspace (token rules + the call-graph
+//! pass), compare against the committed ratchet baseline, and report.
 //!
 //! ```text
-//! fdwlint [--root DIR] [--baseline FILE] [--json] [--update-baseline] [--list-rules]
+//! fdwlint [--root DIR] [--baseline FILE] [--json] [--taint-depth N]
+//!         [--write-baseline [--force]] [--list-rules] [--explain RULE]
 //! ```
 //!
-//! Exit status: 0 clean, 1 violations (over-budget buckets or bad allow
-//! directives), 2 usage/IO errors. `--update-baseline` rewrites the
-//! baseline with the current counts and **refuses to raise any count** —
-//! the ratchet only turns one way; new violations must be fixed or
-//! carry an inline `fdwlint::allow` with a rationale.
+//! Exit status: `0` clean, `1` violations (over-budget buckets or bad
+//! allow directives), `2` usage/IO errors. `--write-baseline` (alias:
+//! `--update-baseline`) rewrites the baseline with the current counts and
+//! **refuses to raise any count** — the ratchet only turns one way; new
+//! violations must be fixed or carry an inline `fdwlint::allow` with a
+//! rationale. `--force` overrides that refusal and prints exactly which
+//! buckets were loosened and by how much.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fdwlint::{collect_workspace_sources, find_root, report, rules, Baseline, Ratchet};
+use fdwlint::{
+    collect_workspace_sources, find_root, report, rules, AnalysisOptions, Baseline, Ratchet,
+};
 
 struct Args {
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
     json: bool,
-    update_baseline: bool,
+    write_baseline: bool,
+    force: bool,
     list_rules: bool,
+    explain: Option<String>,
+    taint_depth: usize,
 }
+
+const USAGE: &str = "usage: fdwlint [--root DIR] [--baseline FILE] [--json] [--taint-depth N] \
+     [--write-baseline [--force]] [--list-rules] [--explain RULE]\n\
+     exit codes: 0 clean, 1 violations, 2 usage/IO error";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: None,
         baseline: None,
         json: false,
-        update_baseline: false,
+        write_baseline: false,
+        force: false,
         list_rules: false,
+        explain: None,
+        taint_depth: AnalysisOptions::default().taint_depth,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -42,13 +57,18 @@ fn parse_args() -> Result<Args, String> {
                 args.baseline = Some(it.next().ok_or("--baseline needs a path")?.into())
             }
             "--json" => args.json = true,
-            "--update-baseline" => args.update_baseline = true,
+            "--write-baseline" | "--update-baseline" => args.write_baseline = true,
+            "--force" => args.force = true,
             "--list-rules" => args.list_rules = true,
-            "--help" | "-h" => {
-                return Err("usage: fdwlint [--root DIR] [--baseline FILE] [--json] \
-                     [--update-baseline] [--list-rules]"
-                    .into())
+            "--explain" => args.explain = Some(it.next().ok_or("--explain needs a rule name")?),
+            "--taint-depth" => {
+                args.taint_depth = it
+                    .next()
+                    .ok_or("--taint-depth needs a number")?
+                    .parse()
+                    .map_err(|_| "--taint-depth needs a non-negative integer".to_string())?
             }
+            "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown argument '{other}' (try --help)")),
         }
     }
@@ -66,7 +86,21 @@ fn main() -> ExitCode {
 
     if args.list_rules {
         for r in rules::RULES {
-            println!("{:<26} {}", r.name, r.description);
+            println!("{:<32} {}", r.name, r.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(name) = &args.explain {
+        let Some(r) = rules::RULES.iter().find(|r| r.name == *name) else {
+            eprintln!("fdwlint: no rule named '{name}' (see --list-rules)");
+            return ExitCode::from(2);
+        };
+        println!("{}\n", r.name);
+        println!("  invariant: {}\n", r.description);
+        println!("  example (violating):");
+        for line in r.example.lines() {
+            println!("    {line}");
         }
         return ExitCode::SUCCESS;
     }
@@ -92,7 +126,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let outcome = fdwlint::scan_sources(&sources);
+    let opts = AnalysisOptions {
+        taint_depth: args.taint_depth,
+    };
+    let outcome = fdwlint::scan_workspace(&sources, &opts);
 
     let have_baseline = baseline_path.is_file();
     let baseline = if have_baseline {
@@ -112,18 +149,27 @@ fn main() -> ExitCode {
 
     let ratchet = Ratchet::compare(&outcome, &baseline);
 
-    if args.update_baseline {
+    if args.write_baseline {
         // The ratchet only tightens: once a baseline exists, refuse to
-        // freeze *new* debt. The sole exception is bootstrap — with no
-        // committed baseline yet, the current counts become the initial
-        // budget. Directive errors block either way.
-        if (have_baseline && !ratchet.over_budget.is_empty())
-            || !outcome.directive_errors.is_empty()
-        {
+        // freeze *new* debt unless --force. Bootstrap (no committed
+        // baseline yet) initialises the budget from the current counts.
+        // Directive errors block unconditionally — they are syntax
+        // errors, not debt.
+        if !outcome.directive_errors.is_empty() {
+            eprint!("{}", report::human(&outcome, &ratchet));
+            eprintln!("fdwlint: refusing to write a baseline with malformed allow directives");
+            return ExitCode::FAILURE;
+        }
+        let loosened: Vec<(String, u64, u64)> = ratchet
+            .over_budget
+            .iter()
+            .map(|(bucket, frozen, now, _)| (bucket.clone(), *frozen, *now))
+            .collect();
+        if have_baseline && !loosened.is_empty() && !args.force {
             eprint!("{}", report::human(&outcome, &ratchet));
             eprintln!(
-                "fdwlint: refusing to update the baseline while buckets are over budget — \
-                 fix the findings or add `fdwlint::allow(<rule>): <reason>` directives"
+                "fdwlint: refusing to loosen the ratchet — fix the findings, add \
+                 `fdwlint::allow(<rule>): <reason>` directives, or pass --force"
             );
             return ExitCode::FAILURE;
         }
@@ -131,6 +177,12 @@ fn main() -> ExitCode {
         if let Err(e) = std::fs::write(&baseline_path, tightened.to_json()) {
             eprintln!("fdwlint: cannot write {}: {e}", baseline_path.display());
             return ExitCode::from(2);
+        }
+        if !loosened.is_empty() {
+            println!("fdwlint: --force loosened the ratchet:");
+            for (bucket, frozen, now) in &loosened {
+                println!("  {bucket}: {frozen} -> {now}");
+            }
         }
         println!(
             "fdwlint: baseline written to {} ({} bucket(s), {} violation(s) frozen)",

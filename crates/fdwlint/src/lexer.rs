@@ -1,5 +1,5 @@
 //! A small Rust lexer for lint purposes: it does **not** build a syntax
-//! tree, it separates a source file into the three channels the rules
+//! tree, it separates a source file into the four channels the rules
 //! care about —
 //!
 //! 1. *masked code*: the source with every comment and string/char
@@ -8,17 +8,25 @@
 //!    comment;
 //! 2. *comment text per line*: where `fdwlint::allow(...)` directives
 //!    live;
-//! 3. *test-region marks per line*: lines inside `#[cfg(test)]` items or
+//! 3. *string-literal contents per line*: what the literal-aware rules
+//!    (`ulog-code-registry`, `dead-config-knob`) match against — each
+//!    completed `"..."`/`r#"..."#` literal is attributed to the line it
+//!    opened on;
+//! 4. *test-region marks per line*: lines inside `#[cfg(test)]` items or
 //!    `mod tests { ... }` blocks, which every rule skips (test code may
 //!    unwrap, spawn threads, and iterate hash maps freely).
 //!
 //! Handled literal forms: line comments (`//`, `///`, `//!`), nested
-//! block comments, `"..."` with escapes, raw strings `r"..."` /
-//! `r#"..."#` (any hash depth), byte variants `b"..."` / `br#"..."#`,
-//! char and byte-char literals including escapes, and lifetimes (`'a` is
-//! code, not an unterminated char).
+//! block comments, `"..."` with escapes **including the `\`-newline line
+//! continuation** (the escaped newline still flushes a line, so the
+//! line-number accounting the item parser depends on never drifts), raw
+//! strings `r"..."` / `r#"..."#` (any hash depth), byte variants
+//! `b"..."` / `br#"..."#`, char and byte-char literals including escapes
+//! and the `'"'` / `'/'` forms that would otherwise derail string or
+//! comment detection, and lifetimes (`'a` is code, not an unterminated
+//! char).
 
-/// The three channels of one lexed source file. All vectors have one
+/// The four channels of one lexed source file. All vectors have one
 /// entry per source line.
 #[derive(Debug)]
 pub struct Masked {
@@ -26,6 +34,10 @@ pub struct Masked {
     pub code: Vec<String>,
     /// Comment text found on each line (line + block, concatenated).
     pub comments: Vec<String>,
+    /// Completed string-literal contents per line (the line the literal
+    /// *opened* on; multi-line literals are attributed whole to that
+    /// line). Char literals are not collected.
+    pub strings: Vec<Vec<String>>,
     /// True for lines inside `#[cfg(test)]` items or `mod tests` blocks.
     pub in_test: Vec<bool>,
 }
@@ -36,8 +48,12 @@ enum State {
     LineComment,
     BlockComment(u32),
     Str,
+    /// Inside a `"` string, the char after a `\` (escape payload).
+    StrEsc,
     RawStr(u32),
     Char,
+    /// Inside a char literal, the char after a `\`.
+    CharEsc,
 }
 
 /// Lex `source` into its masked channels.
@@ -47,6 +63,10 @@ pub fn mask(source: &str) -> Masked {
     let mut comment = String::with_capacity(64);
     let mut code_lines: Vec<String> = Vec::new();
     let mut comment_lines: Vec<String> = Vec::new();
+    // Completed literals as (0-based start line, content).
+    let mut literals: Vec<(usize, String)> = Vec::new();
+    let mut lit = String::new();
+    let mut lit_start = 0usize;
     let mut st = State::Code;
     let mut i = 0usize;
 
@@ -60,10 +80,16 @@ pub fn mask(source: &str) -> Masked {
     while i < b.len() {
         let c = b[i];
         if c == '\n' {
-            // A line comment ends at the newline; everything else
-            // (including block comments and raw strings) continues.
-            if st == State::LineComment {
-                st = State::Code;
+            match st {
+                // A line comment ends at the newline.
+                State::LineComment => st = State::Code,
+                // `\` + newline is the string line continuation: the
+                // escape consumed the newline itself, the string goes on.
+                State::StrEsc => st = State::Str,
+                // Strings continue across lines; the content keeps the
+                // newline so registry-style exact matches stay honest.
+                State::Str | State::RawStr(_) => lit.push('\n'),
+                _ => {}
             }
             newline!();
             i += 1;
@@ -81,6 +107,7 @@ pub fn mask(source: &str) -> Masked {
                     i += 2;
                 } else if c == '"' {
                     st = State::Str;
+                    lit_start = code_lines.len();
                     code.push(' ');
                     i += 1;
                 } else if is_raw_str_start(&b, i) {
@@ -94,6 +121,7 @@ pub fn mask(source: &str) -> Masked {
                     }
                     // is_raw_str_start guarantees a quote at j.
                     st = State::RawStr(hashes);
+                    lit_start = code_lines.len();
                     for _ in i..=j {
                         code.push(' ');
                     }
@@ -139,40 +167,57 @@ pub fn mask(source: &str) -> Masked {
                 }
             }
             State::Str => {
-                if c == '\\' && i + 1 < b.len() {
-                    code.push_str("  ");
-                    i += 2;
-                } else {
-                    if c == '"' {
-                        st = State::Code;
-                    }
+                if c == '\\' {
+                    lit.push(c);
                     code.push(' ');
-                    i += 1;
+                    st = State::StrEsc;
+                } else if c == '"' {
+                    literals.push((lit_start, std::mem::take(&mut lit)));
+                    st = State::Code;
+                    code.push(' ');
+                } else {
+                    lit.push(c);
+                    code.push(' ');
                 }
+                i += 1;
+            }
+            State::StrEsc => {
+                // The escape payload never opens or closes anything.
+                lit.push(c);
+                code.push(' ');
+                st = State::Str;
+                i += 1;
             }
             State::RawStr(hashes) => {
                 if c == '"' && raw_str_closes(&b, i, hashes) {
+                    literals.push((lit_start, std::mem::take(&mut lit)));
                     for _ in 0..=hashes {
                         code.push(' ');
                     }
                     i += 1 + hashes as usize;
                     st = State::Code;
                 } else {
+                    lit.push(c);
                     code.push(' ');
                     i += 1;
                 }
             }
             State::Char => {
-                if c == '\\' && i + 1 < b.len() {
-                    code.push_str("  ");
-                    i += 2;
+                if c == '\\' {
+                    code.push(' ');
+                    st = State::CharEsc;
                 } else {
                     if c == '\'' {
                         st = State::Code;
                     }
                     code.push(' ');
-                    i += 1;
                 }
+                i += 1;
+            }
+            State::CharEsc => {
+                code.push(' ');
+                st = State::Char;
+                i += 1;
             }
         }
     }
@@ -181,11 +226,21 @@ pub fn mask(source: &str) -> Masked {
     if !source.ends_with('\n') || code_lines.is_empty() {
         newline!();
     }
+    // An unterminated literal at EOF still surfaces (best effort).
+    if !lit.is_empty() {
+        literals.push((lit_start, lit));
+    }
+
+    let mut strings: Vec<Vec<String>> = vec![Vec::new(); code_lines.len()];
+    for (line, text) in literals {
+        strings[line.min(code_lines.len() - 1)].push(text);
+    }
 
     let in_test = mark_test_regions(&code_lines);
     Masked {
         code: code_lines,
         comments: comment_lines,
+        strings,
         in_test,
     }
 }
@@ -348,6 +403,18 @@ mod tests {
     }
 
     #[test]
+    fn raw_string_containing_line_comment_and_quote_stays_masked() {
+        // Regression (parser prerequisite): `//` and `"` inside a raw
+        // string must neither start a comment nor end the literal, and
+        // code after the literal must survive as code.
+        let m = mask("let a = r#\"x // not a comment \" still\"#; call_site();\n");
+        assert!(m.code[0].contains("call_site()"), "{:?}", m.code);
+        assert!(!m.code[0].contains("not a comment"));
+        assert!(m.comments[0].is_empty(), "{:?}", m.comments);
+        assert_eq!(m.strings[0], vec!["x // not a comment \" still"]);
+    }
+
+    #[test]
     fn lifetimes_are_not_char_literals() {
         let m = mask("fn f<'a>(x: &'a str) -> &'static str { x }\nlet c = 'x'; let n = '\\n';\n");
         assert!(m.code[0].contains("'a"));
@@ -361,6 +428,65 @@ mod tests {
         assert!(m.code[0].contains("code()"));
         assert!(!m.code[0].contains("outer"));
         assert!(m.comments[0].contains("inner"));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_terminate_exactly() {
+        // Regression: three levels of nesting, with `*/` pairs inside —
+        // code resumes only after the balanced close.
+        let m = mask("/* 1 /* 2 /* 3 */ 2 */ 1 */ live(); /* x */ more();\n");
+        assert!(m.code[0].contains("live()"), "{:?}", m.code);
+        assert!(m.code[0].contains("more()"));
+        assert!(!m.code[0].contains('1'));
+        assert!(!m.code[0].contains('x'));
+    }
+
+    #[test]
+    fn char_literals_with_quote_and_slash_do_not_derail_masking() {
+        // Regression: `'"'` must not open a string and `'/'` twice must
+        // not start a comment — the trailing call must stay code, the
+        // trailing real comment must stay comment.
+        let src = "let q = '\"'; let a = '/'; let b = '/'; after_chars(); // real comment\n";
+        let m = mask(src);
+        assert!(m.code[0].contains("after_chars()"), "{:?}", m.code);
+        assert!(!m.code[0].contains('"'));
+        assert!(m.comments[0].contains("real comment"));
+        // And a string *after* a quote-char-literal still masks:
+        let m = mask("let q = '\"'; let s = \"Instant::now\"; tail();\n");
+        assert!(m.code[0].contains("tail()"));
+        assert!(!m.code[0].contains("Instant"));
+        assert_eq!(m.strings[0], vec!["Instant::now"]);
+    }
+
+    #[test]
+    fn escaped_newline_keeps_line_accounting() {
+        // Regression: the `\`-newline continuation used to swallow the
+        // newline, shifting every later line number (and so every item
+        // span the parser extracts). Three lines in, three lines out.
+        let src = "let s = \"abc\\\n  def\";\nlet t = Instant::now();\n";
+        let m = mask(src);
+        assert_eq!(m.code.len(), 3, "{:?}", m.code);
+        assert!(m.code[2].contains("Instant::now"), "{:?}", m.code);
+        assert!(!m.code[1].contains("def"));
+        // The literal is attributed to its opening line.
+        assert_eq!(m.strings[0].len(), 1);
+        assert!(m.strings[0][0].contains("def"));
+    }
+
+    #[test]
+    fn string_closing_right_after_continuation_closes() {
+        let src = "let s = \"x\\\n\"; after();\n";
+        let m = mask(src);
+        assert_eq!(m.code.len(), 2);
+        assert!(m.code[1].contains("after()"), "{:?}", m.code);
+    }
+
+    #[test]
+    fn strings_channel_collects_literals_per_line() {
+        let m = mask("emit(\"000\", \"fault_nx\");\nlet raw = r#\"030\"#;\n");
+        assert_eq!(m.strings[0], vec!["000", "fault_nx"]);
+        assert_eq!(m.strings[1], vec!["030"]);
+        assert!(m.code[0].contains("emit("));
     }
 
     #[test]

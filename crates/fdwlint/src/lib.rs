@@ -23,15 +23,20 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod graph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod syntax;
+pub mod taint;
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 pub use baseline::Baseline;
+pub use graph::GraphStats;
 pub use rules::{DirectiveError, Finding, SourceFile};
+pub use taint::{AllowedFlow, AnalysisOptions};
 
 /// Everything one scan produced, before ratcheting.
 #[derive(Debug, Default)]
@@ -42,6 +47,12 @@ pub struct ScanOutcome {
     pub directive_errors: Vec<DirectiveError>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Source→sink flows downgraded by an `fdwlint::allow` on some hop
+    /// (graph pass only). `scripts/sanitize.sh` cross-references these
+    /// against artifacts that differ across thread counts.
+    pub allowed_flows: Vec<AllowedFlow>,
+    /// Call-site resolution statistics of the graph pass, if it ran.
+    pub graph_stats: Option<GraphStats>,
 }
 
 impl ScanOutcome {
@@ -71,6 +82,21 @@ pub fn scan_sources(files: &[SourceFile]) -> ScanOutcome {
         .sort_by(|a, b| (&a.rel_path, a.line, a.rule).cmp(&(&b.rel_path, b.line, b.rule)));
     out.directive_errors
         .sort_by(|a, b| (&a.rel_path, a.line).cmp(&(&b.rel_path, b.line)));
+    out
+}
+
+/// Full workspace analysis: the per-file token rules of [`scan_sources`]
+/// plus the call-graph pass ([`graph`] + [`taint`]) that follows
+/// nondeterminism across function boundaries.
+pub fn scan_workspace(files: &[SourceFile], opts: &AnalysisOptions) -> ScanOutcome {
+    let mut out = scan_sources(files);
+    let g = graph::build(files);
+    let (graph_findings, allowed_flows) = taint::analyze(&g, opts);
+    out.findings.extend(graph_findings);
+    out.findings
+        .sort_by(|a, b| (&a.rel_path, a.line, a.rule).cmp(&(&b.rel_path, b.line, b.rule)));
+    out.allowed_flows = allowed_flows;
+    out.graph_stats = Some(g.stats);
     out
 }
 
@@ -238,6 +264,7 @@ mod tests {
                     rel_path: format!("crates/{krate}/src/x.rs"),
                     line: i + 1,
                     excerpt: String::new(),
+                    chain: Vec::new(),
                 });
             }
         }

@@ -26,6 +26,9 @@ pub fn human(outcome: &ScanOutcome, ratchet: &Ratchet) -> String {
                 "  {}:{}: [{}] {}\n",
                 f.rel_path, f.line, f.rule, f.excerpt
             ));
+            for hop in &f.chain {
+                out.push_str(&format!("    {hop}\n"));
+            }
         }
     }
     for (bucket, frozen, now) in &ratchet.improved {
@@ -39,13 +42,23 @@ pub fn human(outcome: &ScanOutcome, ratchet: &Ratchet) -> String {
 /// One-line summary for the happy path.
 pub fn summary(outcome: &ScanOutcome, ratchet: &Ratchet) -> String {
     let current: u64 = ratchet.counts.values().sum();
-    format!(
+    let mut line = format!(
         "fdwlint: {} file(s), {} rule(s), {} frozen violation(s), {} bucket(s) over budget",
         outcome.files_scanned,
         crate::rules::RULES.len(),
         current,
         ratchet.over_budget.len()
-    )
+    );
+    if let Some(g) = &outcome.graph_stats {
+        line.push_str(&format!(
+            ", call graph {}/{} site(s) resolved ({:.1}%), {} allowed flow(s)",
+            g.workspace_sites + g.non_workspace_sites,
+            g.total_sites,
+            g.resolution_rate() * 100.0,
+            outcome.allowed_flows.len()
+        ));
+    }
+    line
 }
 
 /// The machine-readable report. Always well-formed JSON (debug-asserted
@@ -127,11 +140,12 @@ pub fn json(outcome: &ScanOutcome, ratchet: &Ratchet, baseline: &crate::Baseline
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n      {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"excerpt\": \"{}\"}}",
+                "\n      {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"excerpt\": \"{}\", \"chain\": [{}]}}",
                 escape(f.rule),
                 escape(&f.rel_path),
                 f.line,
-                escape(&f.excerpt)
+                escape(&f.excerpt),
+                str_array(&f.chain)
             ));
         }
         out.push_str("\n    ]}");
@@ -148,9 +162,49 @@ pub fn json(outcome: &ScanOutcome, ratchet: &Ratchet, baseline: &crate::Baseline
             escape(bucket)
         ));
     }
-    out.push_str("\n  ]\n}\n");
+    out.push_str("\n  ],\n");
+
+    out.push_str("  \"allowed_flows\": [");
+    for (i, a) in outcome.allowed_flows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"sink_kind\": \"{}\", \"reason\": \"{}\", \"chain\": [{}]}}",
+            escape(a.rule),
+            escape(&a.rel_path),
+            a.line,
+            escape(&a.sink_kind),
+            escape(&a.reason),
+            str_array(&a.chain)
+        ));
+    }
+    out.push_str("\n  ],\n");
+
+    match &outcome.graph_stats {
+        Some(g) => out.push_str(&format!(
+            "  \"graph\": {{\"total_sites\": {}, \"workspace_sites\": {}, \"non_workspace_sites\": {}, \"unresolved_sites\": {}, \"ambiguous_sites\": {}, \"resolution_rate\": {:.4}}}\n",
+            g.total_sites,
+            g.workspace_sites,
+            g.non_workspace_sites,
+            g.unresolved_sites,
+            g.ambiguous_sites,
+            g.resolution_rate()
+        )),
+        None => out.push_str("  \"graph\": null\n"),
+    }
+    out.push_str("}\n");
     debug_assert!(fdw_obs::json::validate(&out).is_ok());
     out
+}
+
+/// `"a", "b"` — a JSON string array body.
+fn str_array(items: &[String]) -> String {
+    items
+        .iter()
+        .map(|s| format!("\"{}\"", escape(s)))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 #[cfg(test)]
@@ -198,6 +252,7 @@ mod tests {
             rel_path: "crates/dagman/src/dag.rs".into(),
             line: 3,
             excerpt: String::new(),
+            chain: Vec::new(),
         };
         assert_eq!(f.bucket(), "unwrap-in-lib/dagman");
     }

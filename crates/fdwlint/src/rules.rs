@@ -10,35 +10,42 @@
 
 use crate::lexer::mask;
 
-/// Rule identifiers, in report order.
+/// Rule identifiers, in report order. The first six are per-file token
+/// rules; the last four run on the workspace call graph
+/// ([`crate::graph`]/[`crate::taint`], DESIGN.md §14).
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "wall-clock-in-sim",
         description: "Instant::now/SystemTime::now outside the bench crate and the single \
                       allowlisted fdw-obs wallclock helper: sim crates must take time from \
                       SimTime or fdw_obs::wallclock so seeded runs never observe the host clock",
+        example: "let t0 = std::time::Instant::now(); // in a sim crate",
     },
     RuleInfo {
         name: "unordered-hash-iteration",
         description: "iterating a HashMap/HashSet in a crate whose output must be byte-stable \
                       (htcsim, dagman, fdw-obs, vdc-*) without sorting or an order-insensitive \
                       consumer: ULOG/metrics/rescue bytes must not depend on hasher state",
+        example: "for (job, rt) in &self.jobs { out.push_str(&render(job, rt)); }",
     },
     RuleInfo {
         name: "unseeded-randomness",
         description: "thread_rng/rand::random/from_entropy/OsRng: every RNG in the workspace \
                       must be constructed from an explicit u64 seed",
+        example: "let mut rng = rand::thread_rng();",
     },
     RuleInfo {
         name: "raw-parallelism",
         description: "parallel constructs (thread::spawn, rayon::join/scope, par_iter) outside \
                       fakequakes::par's chunk-aligned helpers, which are the only fan-out \
                       primitives proven bitwise parallel==sequential",
+        example: "rayon::join(|| left(), || right()); // outside fakequakes::par",
     },
     RuleInfo {
         name: "unwrap-in-lib",
         description: ".unwrap()/panic! in non-test library code: each crate has a frozen budget \
                       in the ratchet baseline that may only decrease",
+        example: "let spec = self.specs.get(&id).unwrap();",
     },
     RuleInfo {
         name: "naive-float-accum",
@@ -47,6 +54,43 @@ pub const RULES: &[RuleInfo] = &[
                       the canonical one the goldens and the parallel==sequential proofs pin \
                       (DESIGN.md §13); a bare iterator sum is both slower and a second, \
                       unblessed summation order",
+        example: "let total = samples.iter().sum::<f64>(); // use simd::lane_sum",
+    },
+    RuleInfo {
+        name: "nondet-flow-to-sink",
+        description: "a function from which both a nondeterminism source (wall clock, hash \
+                      iteration order, unseeded RNG, non-canonical float fold) and a serialized \
+                      sink (ULOG writer, telemetry exporter, .npy/.mseed serializer, digest, \
+                      BENCH json) are reachable within --taint-depth calls, with no single \
+                      callee joining them deeper: the join point of a tainted dataflow, \
+                      reported with the full call chain",
+        example: "fn report(obs: &Obs) {\n\
+                  \x20   let us = WallTimer::start().elapsed_us(); // wall-clock source\n\
+                  \x20   obs.observe(\"io_us\", us as f64);          // telemetry sink\n\
+                  }",
+    },
+    RuleInfo {
+        name: "dead-config-knob",
+        description: "a key parsed into FdwConfig (crates/core/src/config.rs) whose field is \
+                      never read outside config.rs: a knob that validates but steers nothing \
+                      silently lies to every experiment config that sets it",
+        example: "\"recycle_npy\" => cfg.recycle_npy = value.parse()..., // never read again",
+    },
+    RuleInfo {
+        name: "ulog-code-registry",
+        description: "every ULOG numeric event code is defined exactly once, in \
+                      htcsim::condor_log::codes, and spelled via the registry everywhere else \
+                      in htcsim/dagman: a fat-fingered duplicate literal would silently fork \
+                      the log dialect the paper's shell scripts grep",
+        example: "out.push_str(\"005 \"); // spell it codes::TERMINATED",
+    },
+    RuleInfo {
+        name: "unblessed-parallel-reachability",
+        description: "code reachable from the fakequakes::par / htcsim::des entry points that \
+                      invokes a parallel primitive outside the blessed chunk-aligned helpers: \
+                      the engines' parallel==sequential proofs only cover fan-outs that go \
+                      through par.rs or carry a written raw-parallelism justification",
+        example: "fn drain_epoch() { rayon::scope(|s| ...) } // reachable from des::run",
     },
 ];
 
@@ -57,6 +101,8 @@ pub struct RuleInfo {
     pub name: &'static str,
     /// One-sentence statement of the invariant.
     pub description: &'static str,
+    /// A violating snippet, shown by `fdwlint --explain <rule>`.
+    pub example: &'static str,
 }
 
 /// True iff `name` names a known rule.
@@ -80,6 +126,19 @@ pub const PARALLELISM_ALLOWLIST: &[&str] = &["crates/fakequakes/src/par.rs"];
 /// *defines* `lane_sum` may of course spell out scalar sums (its reference
 /// twins and doc text) — the scope exemption of `naive-float-accum`.
 pub const LANE_SUM_ALLOWLIST: &[&str] = &["crates/fakequakes/src/simd.rs"];
+
+/// Raw parallel-primitive spellings — shared between the per-file
+/// `raw-parallelism` rule and the graph-level
+/// `unblessed-parallel-reachability` rule.
+pub(crate) const PAR_PATTERNS: &[&str] = &[
+    "thread::spawn",
+    "rayon::join",
+    "rayon::scope",
+    "rayon::spawn",
+    "par_iter",
+    "par_chunks",
+    "par_bridge",
+];
 
 /// One source file handed to the scanner. `rel_path` is
 /// workspace-root-relative with forward slashes; `crate_name` is the
@@ -107,6 +166,10 @@ pub struct Finding {
     pub line: usize,
     /// The offending source line, trimmed.
     pub excerpt: String,
+    /// For graph rules: the call chain behind the finding, one hop per
+    /// entry, rendered into the human and JSON reports. Empty for
+    /// per-file rules.
+    pub chain: Vec<String>,
 }
 
 impl Finding {
@@ -130,12 +193,36 @@ pub struct DirectiveError {
 
 /// Parsed allow directives of one file.
 #[derive(Default)]
-struct Allows {
-    /// (line, rule) pairs: suppress `rule` on that line and the next.
-    inline: Vec<(usize, String)>,
-    /// Rules suppressed for the whole file.
-    file: Vec<String>,
-    errors: Vec<DirectiveError>,
+pub(crate) struct Allows {
+    /// (line, rule, reason): suppress `rule` on that line and the next.
+    pub(crate) inline: Vec<(usize, String, String)>,
+    /// (rule, reason) pairs suppressed for the whole file.
+    pub(crate) file: Vec<(String, String)>,
+    pub(crate) errors: Vec<DirectiveError>,
+}
+
+impl Allows {
+    /// Is `rule` suppressed at `line` (directive on the line or the one
+    /// above, or file-wide)?
+    pub(crate) fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.file.iter().any(|(r, _)| r == rule)
+            || self
+                .inline
+                .iter()
+                .any(|(l, r, _)| r == rule && (*l == line || *l + 1 == line))
+    }
+
+    /// The written justification for a suppression of `rule` anywhere in
+    /// the line range `[lo, hi]` (or file-wide), if one exists.
+    pub(crate) fn reason_in_span(&self, rule: &str, lo: usize, hi: usize) -> Option<String> {
+        if let Some((_, reason)) = self.file.iter().find(|(r, _)| r == rule) {
+            return Some(reason.clone());
+        }
+        self.inline
+            .iter()
+            .find(|(l, r, _)| r == rule && *l >= lo && *l <= hi)
+            .map(|(_, _, reason)| reason.clone())
+    }
 }
 
 /// Extract `fdwlint::allow(...)` / `fdwlint::allow-file(...)` directives
@@ -143,7 +230,7 @@ struct Allows {
 /// and carry a non-empty `: <reason>` tail, and must open the comment
 /// (`// fdwlint::allow(...)`) — prose *mentioning* the syntax mid-comment
 /// is not a directive.
-fn parse_allows(rel_path: &str, comments: &[String]) -> Allows {
+pub(crate) fn parse_allows(rel_path: &str, comments: &[String]) -> Allows {
     let mut out = Allows::default();
     for (idx, text) in comments.iter().enumerate() {
         let trimmed = text.trim_start();
@@ -175,20 +262,21 @@ fn parse_allows(rel_path: &str, comments: &[String]) -> Allows {
             continue;
         }
         let tail = &rest[close + 1..];
-        let reason_ok = tail
+        let reason = tail
             .strip_prefix(':')
             .map(str::trim)
-            .is_some_and(|r| !r.is_empty());
-        if !reason_ok {
+            .filter(|r| !r.is_empty())
+            .map(str::to_string);
+        let Some(reason) = reason else {
             err(format!(
                 "allow({rule}) needs a rationale: `fdwlint::allow({rule}): <why>`"
             ));
             continue;
-        }
+        };
         if is_file {
-            out.file.push(rule);
+            out.file.push((rule, reason));
         } else {
-            out.inline.push((idx + 1, rule));
+            out.inline.push((idx + 1, rule, reason));
         }
     }
     out
@@ -207,15 +295,8 @@ pub fn scan_file(file: &SourceFile) -> (Vec<Finding>, Vec<DirectiveError>) {
         return (findings, allows.errors);
     }
 
-    let allowed = |rule: &str, line: usize| {
-        allows.file.iter().any(|r| r == rule)
-            || allows
-                .inline
-                .iter()
-                .any(|(l, r)| r == rule && (*l == line || *l + 1 == line))
-    };
     let mut push = |rule: &'static str, line: usize| {
-        if allowed(rule, line) {
+        if allows.allowed(rule, line) {
             return;
         }
         findings.push(Finding {
@@ -230,6 +311,7 @@ pub fn scan_file(file: &SourceFile) -> (Vec<Finding>, Vec<DirectiveError>) {
                 .unwrap_or("")
                 .trim()
                 .to_string(),
+            chain: Vec::new(),
         });
     };
 
@@ -265,17 +347,7 @@ pub fn scan_file(file: &SourceFile) -> (Vec<Finding>, Vec<DirectiveError>) {
 
         // raw-parallelism
         if !PARALLELISM_ALLOWLIST.contains(&file.rel_path.as_str())
-            && [
-                "thread::spawn",
-                "rayon::join",
-                "rayon::scope",
-                "rayon::spawn",
-                "par_iter",
-                "par_chunks",
-                "par_bridge",
-            ]
-            .iter()
-            .any(|p| code.contains(p))
+            && PAR_PATTERNS.iter().any(|p| code.contains(p))
         {
             push("raw-parallelism", line);
         }
@@ -317,7 +389,7 @@ pub fn scan_file(file: &SourceFile) -> (Vec<Finding>, Vec<DirectiveError>) {
 /// `x = HashMap::new()` / `HashSet::with_capacity(..)` forms. A
 /// name-level (not type-level) analysis — deliberately conservative, with
 /// the allow directive as the escape hatch.
-fn collect_hash_names(code: &[String], in_test: &[bool]) -> Vec<String> {
+pub(crate) fn collect_hash_names(code: &[String], in_test: &[bool]) -> Vec<String> {
     let mut names: Vec<String> = Vec::new();
     for (idx, line) in code.iter().enumerate() {
         if in_test[idx] {
@@ -399,7 +471,7 @@ fn binder_before(prefix: &str) -> Option<String> {
 }
 
 /// Does this masked line iterate one of the hash-typed names?
-fn iterates_hash(code: &str, names: &[String]) -> bool {
+pub(crate) fn iterates_hash(code: &str, names: &[String]) -> bool {
     for name in names {
         for suffix in [
             ".iter()",
@@ -467,7 +539,7 @@ fn contains_ident(code: &str, pat: &str, name_len: usize) -> bool {
 /// Looks ahead up to 4 lines for a sort, a BTree re-collection, or a
 /// commutative consumer; an opening `{` stops the window, because a loop
 /// body observes elements in hash order no matter what follows it.
-fn order_insensitive(code: &[String], idx: usize) -> bool {
+pub(crate) fn order_insensitive(code: &[String], idx: usize) -> bool {
     let mut stmt = String::new();
     for line in code.iter().skip(idx).take(4) {
         stmt.push_str(line);

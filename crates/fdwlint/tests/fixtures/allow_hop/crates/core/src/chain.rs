@@ -1,0 +1,18 @@
+//! Fixture: the depth-2 flow of `taint_depth`, but with an
+//! `fdwlint::allow` on the *intermediate* hop — neither the join point
+//! nor the source leaf. The flow must downgrade to an AllowedFlow.
+
+pub fn join_depth2(obs: &Obs) {
+    let x = mid2();
+    obs.observe("d2", x);
+}
+
+// fdwlint::allow(nondet-flow-to-sink): the measured wall time is the telemetry payload by design in this fixture
+fn mid2() -> f64 {
+    clock_leaf2()
+}
+
+fn clock_leaf2() -> f64 {
+    let _t = std::time::Instant::now();
+    0.0
+}

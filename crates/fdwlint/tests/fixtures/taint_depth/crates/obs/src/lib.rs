@@ -1,0 +1,9 @@
+//! Fixture sink crate: a minimal `Obs` with the telemetry sink method.
+
+pub struct Obs;
+
+impl Obs {
+    pub fn observe(&self, name: &str, v: f64) {
+        let _ = (name, v);
+    }
+}

@@ -29,6 +29,50 @@ use crate::job::{JobEvent, JobEventKind, JobId, OwnerId};
 use crate::time::SimTime;
 use crate::userlog::UserLog;
 
+/// The single registry of ULOG numeric event codes. Every code the
+/// writer emits and the parser accepts is named here exactly once;
+/// spelling a bare 3-digit literal anywhere else in the ULOG-handling
+/// crates is a lint violation (`fdwlint`'s `ulog-code-registry` rule).
+pub mod codes {
+    /// `000` — job submitted.
+    pub const SUBMITTED: &str = "000";
+    /// `001` — job executing.
+    pub const EXECUTE: &str = "001";
+    /// `004` — job evicted.
+    pub const EVICTED: &str = "004";
+    /// `005` — job terminated (return value decides success/failure).
+    pub const TERMINATED: &str = "005";
+    /// `009` — job aborted (removed) by the user.
+    pub const ABORTED: &str = "009";
+    /// `012` — job held.
+    pub const HELD: &str = "012";
+    /// `013` — job released.
+    pub const RELEASED: &str = "013";
+    /// `022` — federated layer: evicted by a pool outage.
+    pub const POOL_OUTAGE: &str = "022";
+    /// `023` — federated layer: transfer stalled by a network partition.
+    pub const PARTITION_STALLED: &str = "023";
+    /// `026` — federated layer: preempted by spot reclamation.
+    pub const PREEMPTED: &str = "026";
+    /// `030` — federated layer: migrated to another pool.
+    pub const MIGRATED: &str = "030";
+
+    /// Every registered code, in numeric order.
+    pub const ALL: &[&str] = &[
+        SUBMITTED,
+        EXECUTE,
+        EVICTED,
+        TERMINATED,
+        ABORTED,
+        HELD,
+        RELEASED,
+        POOL_OUTAGE,
+        PARTITION_STALLED,
+        PREEMPTED,
+        MIGRATED,
+    ];
+}
+
 /// Render a simulated timestamp in the ULOG `MM/DD HH:MM:SS` style
 /// (month fixed at 01; day 1 = simulation start).
 fn format_time(t: SimTime) -> String {
@@ -63,26 +107,30 @@ pub fn is_loggable(kind: JobEventKind) -> bool {
 
 fn code_and_text(ev: &JobEvent) -> Option<(&'static str, String)> {
     match ev.kind {
-        JobEventKind::Submitted => Some(("000", "Job submitted from host: <sim>".into())),
-        JobEventKind::ExecuteStarted => Some(("001", "Job executing on host: <ospool>".into())),
-        JobEventKind::Evicted => Some(("004", "Job was evicted.".into())),
+        JobEventKind::Submitted => {
+            Some((codes::SUBMITTED, "Job submitted from host: <sim>".into()))
+        }
+        JobEventKind::ExecuteStarted => {
+            Some((codes::EXECUTE, "Job executing on host: <ospool>".into()))
+        }
+        JobEventKind::Evicted => Some((codes::EVICTED, "Job was evicted.".into())),
         JobEventKind::Completed => Some((
-            "005",
+            codes::TERMINATED,
             format!(
                 "Job terminated (return value {}).",
                 ev.exit_code.unwrap_or(0)
             ),
         )),
         JobEventKind::Failed => Some((
-            "005",
+            codes::TERMINATED,
             format!(
                 "Job terminated (return value {}).",
                 ev.exit_code.unwrap_or(1)
             ),
         )),
-        JobEventKind::Removed => Some(("009", "Job was aborted by the user.".into())),
+        JobEventKind::Removed => Some((codes::ABORTED, "Job was aborted by the user.".into())),
         JobEventKind::Held => Some((
-            "012",
+            codes::HELD,
             format!(
                 "Job was held. Reason: {}",
                 ev.hold_reason
@@ -90,14 +138,20 @@ fn code_and_text(ev: &JobEvent) -> Option<(&'static str, String)> {
                     .unwrap_or("Unspecified")
             ),
         )),
-        JobEventKind::Released => Some(("013", "Job was released.".into())),
-        JobEventKind::PoolOutage => Some(("022", "Job was evicted: pool outage.".into())),
-        JobEventKind::PartitionStalled => {
-            Some(("023", "Job transfer stalled: network partition.".into()))
+        JobEventKind::Released => Some((codes::RELEASED, "Job was released.".into())),
+        JobEventKind::PoolOutage => {
+            Some((codes::POOL_OUTAGE, "Job was evicted: pool outage.".into()))
         }
-        JobEventKind::Preempted => Some(("026", "Job was preempted by spot reclamation.".into())),
+        JobEventKind::PartitionStalled => Some((
+            codes::PARTITION_STALLED,
+            "Job transfer stalled: network partition.".into(),
+        )),
+        JobEventKind::Preempted => Some((
+            codes::PREEMPTED,
+            "Job was preempted by spot reclamation.".into(),
+        )),
         JobEventKind::Migrated => Some((
-            "030",
+            codes::MIGRATED,
             format!("Job migrated to pool {}.", ev.pool.unwrap_or(0)),
         )),
         JobEventKind::Matched => None,
@@ -158,10 +212,10 @@ pub fn parse_condor_log(text: &str) -> Result<UserLog, String> {
         let (job, owner) = (JobId(job), OwnerId(owner));
         let body = after[14..].trim();
         let ev = match code {
-            "000" => JobEvent::new(time, job, owner, JobEventKind::Submitted),
-            "001" => JobEvent::new(time, job, owner, JobEventKind::ExecuteStarted),
-            "004" => JobEvent::new(time, job, owner, JobEventKind::Evicted),
-            "005" => {
+            codes::SUBMITTED => JobEvent::new(time, job, owner, JobEventKind::Submitted),
+            codes::EXECUTE => JobEvent::new(time, job, owner, JobEventKind::ExecuteStarted),
+            codes::EVICTED => JobEvent::new(time, job, owner, JobEventKind::Evicted),
+            codes::TERMINATED => {
                 // The return value decides success vs failure.
                 let rv: i32 = body
                     .find("return value ")
@@ -178,8 +232,8 @@ pub fn parse_condor_log(text: &str) -> Result<UserLog, String> {
                 };
                 JobEvent::new(time, job, owner, kind).with_exit(rv)
             }
-            "009" => JobEvent::new(time, job, owner, JobEventKind::Removed),
-            "012" => {
+            codes::ABORTED => JobEvent::new(time, job, owner, JobEventKind::Removed),
+            codes::HELD => {
                 let mut ev = JobEvent::new(time, job, owner, JobEventKind::Held);
                 if let Some(i) = body.find("Reason: ") {
                     if let Some(r) = HoldReason::parse(body[i + "Reason: ".len()..].trim()) {
@@ -188,11 +242,13 @@ pub fn parse_condor_log(text: &str) -> Result<UserLog, String> {
                 }
                 ev
             }
-            "013" => JobEvent::new(time, job, owner, JobEventKind::Released),
-            "022" => JobEvent::new(time, job, owner, JobEventKind::PoolOutage),
-            "023" => JobEvent::new(time, job, owner, JobEventKind::PartitionStalled),
-            "026" => JobEvent::new(time, job, owner, JobEventKind::Preempted),
-            "030" => {
+            codes::RELEASED => JobEvent::new(time, job, owner, JobEventKind::Released),
+            codes::POOL_OUTAGE => JobEvent::new(time, job, owner, JobEventKind::PoolOutage),
+            codes::PARTITION_STALLED => {
+                JobEvent::new(time, job, owner, JobEventKind::PartitionStalled)
+            }
+            codes::PREEMPTED => JobEvent::new(time, job, owner, JobEventKind::Preempted),
+            codes::MIGRATED => {
                 let pool: u32 = body
                     .find("pool ")
                     .and_then(|i| {
@@ -232,6 +288,14 @@ mod tests {
         log.record(ev(700, 3, 0, JobEventKind::ExecuteStarted));
         log.record(ev(900, 3, 0, JobEventKind::Failed).with_exit(2));
         log
+    }
+
+    #[test]
+    fn registry_codes_are_unique_and_sorted() {
+        for w in codes::ALL.windows(2) {
+            assert!(w[0] < w[1], "registry out of order or duplicated: {w:?}");
+        }
+        assert_eq!(codes::ALL.len(), 11);
     }
 
     #[test]

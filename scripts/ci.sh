@@ -10,9 +10,19 @@ cargo build --workspace --release
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
-echo "==> fdwlint (determinism lints vs ratchet baseline)"
-cargo run -q -p fdwlint
-cargo run -q -p fdwlint -- --json > target/fdwlint.report.json
+echo "==> fdwlint v2 (token + call-graph determinism lints vs ratchet baseline)"
+# The graph pass (item parse, call resolution, taint over ~all workspace
+# sources) runs on every commit — hold it to a 30s wall-time budget so it
+# can never become the slow stage. The release binary is already built.
+lint_t0=$(date +%s)
+cargo run -q -p fdwlint --release
+cargo run -q -p fdwlint --release -- --json > target/fdwlint.report.json
+lint_wall=$(( $(date +%s) - lint_t0 ))
+if [ "$lint_wall" -ge 30 ]; then
+  echo "fdwlint stage took ${lint_wall}s — over the 30s budget; profile the graph pass"
+  exit 1
+fi
+echo "  fdwlint wall time: ${lint_wall}s (budget 30s)"
 cargo run -q -p fdw-bench --release --bin validate_trace -- \
   target/fdwlint.report.json
 
