@@ -8,6 +8,7 @@
 use dagman::driver::SpeculationConfig;
 use fakequakes::stations::ChileanInput;
 use fakequakes::stf::StfKind;
+use fdw_service::config::ServiceConfig;
 use htcsim::fault::FaultConfig;
 use htcsim::federation::FederationConfig;
 use htcsim::scoreboard::DefenseConfig;
@@ -115,6 +116,9 @@ pub struct FdwConfig {
     /// Federated multi-pool layer: pool fault domains, circuit-breaker
     /// failover, checkpoint/restart migration (off by default).
     pub federation: FederationConfig,
+    /// Multi-tenant campaign front-end: admission control, fair share,
+    /// load shedding, shared artifact store (off by default).
+    pub service: ServiceConfig,
     /// Physical event-queue shards for the cluster DES (0 = simulator
     /// default). Output is byte-identical for every value — the event
     /// order is pinned by the `(time, lane, seq)` key, never by layout.
@@ -144,6 +148,7 @@ impl Default for FdwConfig {
             defense: DefenseConfig::default(),
             speculation: SpeculationConfig::default(),
             federation: FederationConfig::default(),
+            service: ServiceConfig::default(),
             des_shards: 0,
         }
     }
@@ -174,6 +179,7 @@ impl FdwConfig {
         self.defense.validate()?;
         self.speculation.validate()?;
         self.federation.validate()?;
+        self.service.validate()?;
         Ok(())
     }
 
@@ -249,6 +255,20 @@ impl FdwConfig {
              fault_partition_start_s = {}\n\
              fault_partition_s = {}\n\
              fault_preempt = {}\n\
+             service_enabled = {}\n\
+             service_max_concurrent = {}\n\
+             service_fair_share = {}\n\
+             service_degrade_depth = {}\n\
+             service_shed_backlog = {}\n\
+             service_breaker_threshold = {}\n\
+             service_breaker_probe_s = {}\n\
+             service_store = {}\n\
+             service_store_mb = {}\n\
+             service_store_verify = {}\n\
+             tenant_count = {}\n\
+             tenant_quota = {}\n\
+             tenant_queue_depth = {}\n\
+             tenant_deadline_shed = {}\n\
              des_shards = {}\n",
             self.region.label(),
             self.fault_nx,
@@ -302,6 +322,20 @@ impl FdwConfig {
             self.fault.pool.partition_start_s,
             self.fault.pool.partition_duration_s,
             self.fault.pool.preempt_prob,
+            self.service.enabled,
+            self.service.max_concurrent,
+            self.service.fair_share,
+            self.service.degrade_depth,
+            self.service.shed_backlog,
+            self.service.breaker_threshold,
+            self.service.breaker_probe_s,
+            self.service.store_enabled,
+            self.service.store_budget_mb,
+            self.service.store_verify,
+            self.service.tenants,
+            self.service.tenant_quota,
+            self.service.tenant_queue_depth,
+            self.service.tenant_deadline_shed,
             self.des_shards,
         )
     }
@@ -490,6 +524,58 @@ impl FdwConfig {
                 "fault_preempt" => {
                     cfg.fault.pool.preempt_prob = value.parse().map_err(|_| bad("fault_preempt"))?
                 }
+                "service_enabled" => {
+                    cfg.service.enabled = value.parse().map_err(|_| bad("service_enabled"))?
+                }
+                "service_max_concurrent" => {
+                    cfg.service.max_concurrent =
+                        value.parse().map_err(|_| bad("service_max_concurrent"))?
+                }
+                "service_fair_share" => {
+                    cfg.service.fair_share = value.parse().map_err(|_| bad("service_fair_share"))?
+                }
+                "service_degrade_depth" => {
+                    cfg.service.degrade_depth =
+                        value.parse().map_err(|_| bad("service_degrade_depth"))?
+                }
+                "service_shed_backlog" => {
+                    cfg.service.shed_backlog =
+                        value.parse().map_err(|_| bad("service_shed_backlog"))?
+                }
+                "service_breaker_threshold" => {
+                    cfg.service.breaker_threshold = value
+                        .parse()
+                        .map_err(|_| bad("service_breaker_threshold"))?
+                }
+                "service_breaker_probe_s" => {
+                    cfg.service.breaker_probe_s =
+                        value.parse().map_err(|_| bad("service_breaker_probe_s"))?
+                }
+                "service_store" => {
+                    cfg.service.store_enabled = value.parse().map_err(|_| bad("service_store"))?
+                }
+                "service_store_mb" => {
+                    cfg.service.store_budget_mb =
+                        value.parse().map_err(|_| bad("service_store_mb"))?
+                }
+                "service_store_verify" => {
+                    cfg.service.store_verify =
+                        value.parse().map_err(|_| bad("service_store_verify"))?
+                }
+                "tenant_count" => {
+                    cfg.service.tenants = value.parse().map_err(|_| bad("tenant_count"))?
+                }
+                "tenant_quota" => {
+                    cfg.service.tenant_quota = value.parse().map_err(|_| bad("tenant_quota"))?
+                }
+                "tenant_queue_depth" => {
+                    cfg.service.tenant_queue_depth =
+                        value.parse().map_err(|_| bad("tenant_queue_depth"))?
+                }
+                "tenant_deadline_shed" => {
+                    cfg.service.tenant_deadline_shed =
+                        value.parse().map_err(|_| bad("tenant_deadline_shed"))?
+                }
                 "des_shards" => cfg.des_shards = value.parse().map_err(|_| bad("des_shards"))?,
                 other => return Err(format!("line {}: unknown key '{other}'", lineno + 1)),
             }
@@ -628,6 +714,32 @@ mod tests {
         assert!(FdwConfig::parse("defense_scoreboard = true\ndefense_ewma_alpha = 2.0\n").is_err());
         assert!(FdwConfig::parse("speculation = true\nspeculation_multiplier = 0.5\n").is_err());
         assert!(FdwConfig::parse("defense_scoreboards = true\n").is_err());
+    }
+
+    #[test]
+    fn service_keys_roundtrip() {
+        let cfg = FdwConfig {
+            service: ServiceConfig::defended(6),
+            ..Default::default()
+        };
+        let text = cfg.to_config_file();
+        assert!(text.contains("service_enabled = true"));
+        assert!(text.contains("service_fair_share = 600"));
+        assert!(text.contains("tenant_count = 6"));
+        assert!(text.contains("tenant_deadline_shed = true"));
+        let parsed = FdwConfig::parse(&text).unwrap();
+        assert_eq!(parsed, cfg);
+        // Defaults keep the front-end off so legacy configs behave as
+        // before.
+        assert!(!FdwConfig::default().service.enabled);
+        // Inconsistent service knobs fail validation at parse time.
+        assert!(FdwConfig::parse("tenant_count = 0\n").is_err());
+        assert!(FdwConfig::parse("service_breaker_threshold = 3\n").is_err());
+        assert!(FdwConfig::parse("service_degrade_depth = 8\nservice_shed_backlog = 8\n").is_err());
+        assert!(
+            FdwConfig::parse("service_tenants = 4\n").is_err(),
+            "unknown key"
+        );
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! * [`failover`] — the federated-failover ablation: the same campaign on
 //!   the three-pool federation under pool-level faults, with the
 //!   health-gated burst controller on vs off;
+//! * [`service`] — the multi-tenant campaign front-end bridge: map the
+//!   `fdw-service` layer's completed campaigns onto real rupture draws
+//!   and prove the shared artifact store never changes the science;
 //! * [`archive`] — output congregation and manifest labelling (§3).
 //!
 //! ```
@@ -45,6 +48,7 @@ pub mod config;
 pub mod failover;
 pub mod live;
 pub mod phases;
+pub mod service;
 pub mod stats;
 pub mod submit;
 pub mod workflow;
@@ -62,6 +66,9 @@ pub mod prelude {
         FailoverReport,
     };
     pub use crate::phases::{build_fdw_dag, split_waveforms};
+    pub use crate::service::{
+        run_service_campaign, science_digest, ScienceReport, ServiceCampaignReport,
+    };
     pub use crate::stats::{
         avg_total_runtime, avg_total_throughput, concurrent_avg_runtime, concurrent_avg_throughput,
     };

@@ -78,6 +78,7 @@ fn arb_config() -> impl Strategy<Value = FdwConfig> {
                     defense: Default::default(),
                     speculation: Default::default(),
                     federation: Default::default(),
+                    service: Default::default(),
                     des_shards: 0,
                 }
             },

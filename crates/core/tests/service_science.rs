@@ -1,0 +1,63 @@
+//! Property test of the service layer's headline science invariant:
+//! cross-tenant artifact dedupe through one shared, byte-budgeted
+//! factor cache never changes a completed campaign's rupture draws
+//! relative to fully isolated per-campaign recompute. The front-end may
+//! reorder, shed, degrade, quarantine and dedupe freely — the slip
+//! fields of whatever completes must fold to the same digest bit for
+//! bit in either sharing arm.
+//!
+//! Cases are few and the workloads small (real Cholesky/KL
+//! factorisations run inside), but the policy space swept is real:
+//! random seeds, overload levels, failure/corruption rates and both
+//! policy arms.
+
+use fakequakes::stochastic::FactorCache;
+use fdw_core::service::science_digest;
+use fdw_service::config::ServiceConfig;
+use fdw_service::engine::run_service;
+use fdw_service::request::WorkloadConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn shared_store_never_changes_the_science_digest(
+        seed in 0u64..200,
+        overload_permille in 1_500u64..6_000,
+        fail_permille in 0u32..250,
+        corrupt_permille in 0u32..400,
+        defended in any::<bool>(),
+        budget_kb in prop_oneof![Just(0usize), 1usize..64],
+    ) {
+        let cfg = if defended {
+            ServiceConfig::defended(3)
+        } else {
+            ServiceConfig::undefended(3)
+        };
+        let wl = WorkloadConfig {
+            seed,
+            campaigns: 18,
+            classes: 2,
+            overload_x: overload_permille as f64 / 1_000.0,
+            fail_permille,
+            corrupt_permille,
+            replicas: 2,
+            deadline_slack: 3.0,
+        };
+        let report = run_service(&cfg, &wl, 2, 60, 2);
+        prop_assert_eq!(report.unaccounted, 0);
+        // Shared arm: one fleet-wide cache, optionally byte-budgeted so
+        // eviction-and-recompute cycles are in play too. Isolated arm:
+        // every campaign refactorises privately.
+        let shared_cache = FactorCache::with_byte_budget(budget_kb * 1024);
+        let shared = science_digest(&report.outcomes, wl.seed, Some(&shared_cache))
+            .expect("shared science pass");
+        let isolated =
+            science_digest(&report.outcomes, wl.seed, None).expect("isolated science pass");
+        prop_assert_eq!(shared.digest, isolated.digest,
+            "cross-tenant dedupe changed the science");
+        prop_assert_eq!(shared.ruptures, isolated.ruptures);
+        prop_assert_eq!(shared.campaigns, isolated.campaigns);
+    }
+}

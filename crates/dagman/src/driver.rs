@@ -583,10 +583,19 @@ impl Dagman {
                     }
                     self.mark_removed(node);
                 }
+                // Service-layer events (admission/shedding/artifact
+                // store) are emitted by the campaign front-end, never by
+                // the cluster a DAGMan drives; nothing to do here.
                 JobEventKind::Submitted
                 | JobEventKind::Matched
                 | JobEventKind::PartitionStalled
-                | JobEventKind::Migrated => {}
+                | JobEventKind::Migrated
+                | JobEventKind::ServiceAdmitted
+                | JobEventKind::ServiceRejected
+                | JobEventKind::ServiceShed
+                | JobEventKind::ServiceDegraded
+                | JobEventKind::ArtifactHit
+                | JobEventKind::ArtifactQuarantined => {}
             }
         }
     }

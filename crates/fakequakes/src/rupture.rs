@@ -15,7 +15,9 @@ use std::sync::Arc;
 use crate::error::{FqError, FqResult};
 use crate::geometry::{moment_from_mw, mw_from_moment, FaultModel, ScalingLaw};
 use crate::linalg::Matrix;
-use crate::stochastic::{standard_normal, CorrelatedField, FactorCache, FieldMethod};
+use crate::stochastic::{
+    standard_normal, CorrelatedField, FactorBackend, FactorCache, FieldMethod,
+};
 use crate::vonkarman::VonKarman;
 
 /// How target magnitudes are drawn from `mw_range`.
@@ -197,14 +199,31 @@ impl<'a> RuptureGenerator<'a> {
         config: RuptureConfig,
         cache: &FactorCache,
     ) -> FqResult<Self> {
-        Self::build(fault, subfault_distances, config, Some(cache))
+        Self::build(
+            fault,
+            subfault_distances,
+            config,
+            Some(cache as &dyn FactorBackend),
+        )
+    }
+
+    /// Like [`RuptureGenerator::new_cached`], but over any
+    /// [`FactorBackend`] — the seam the service layer's shared
+    /// content-addressed artifact store plugs into.
+    pub fn new_with_backend(
+        fault: &'a FaultModel,
+        subfault_distances: &Matrix,
+        config: RuptureConfig,
+        backend: &dyn FactorBackend,
+    ) -> FqResult<Self> {
+        Self::build(fault, subfault_distances, config, Some(backend))
     }
 
     fn build(
         fault: &'a FaultModel,
         subfault_distances: &Matrix,
         config: RuptureConfig,
-        cache: Option<&FactorCache>,
+        cache: Option<&dyn FactorBackend>,
     ) -> FqResult<Self> {
         config.validate()?;
         if subfault_distances.rows() != fault.len() {
@@ -223,7 +242,7 @@ impl<'a> RuptureGenerator<'a> {
             config.hurst,
         );
         let field = match cache {
-            Some(c) => c.get_or_build(fault.name(), subfault_distances, &kernel, config.method)?,
+            Some(c) => c.fetch(fault.name(), subfault_distances, &kernel, config.method)?,
             None => Arc::new(CorrelatedField::from_distances(
                 subfault_distances,
                 &kernel,
@@ -576,6 +595,46 @@ mod tests {
         let degenerate = MagnitudeLaw::GutenbergRichter { b: 0.0 };
         assert!((degenerate.sample(7.0, 9.0, 0.5) - 8.0).abs() < 1e-12);
         assert!((MagnitudeLaw::Uniform.sample(7.0, 9.0, 0.5) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capped_cache_draws_bit_identical_after_eviction() {
+        // Satellite regression: a byte-budgeted cache must never change
+        // the science. Generators built through a cache small enough to
+        // thrash (every factor evicts its predecessor) draw the same
+        // bits as generators built with no cache at all.
+        let fault = FaultModel::chilean_subduction(8, 4).unwrap();
+        let net = StationNetwork::chilean_input(ChileanInput::Small, 1);
+        let d = DistanceMatrices::compute(&fault, &net);
+        let cache = FactorCache::with_byte_budget(1); // evict-everything budget
+        let configs = [
+            RuptureConfig::default(),
+            RuptureConfig {
+                hurst: 0.5,
+                ..Default::default()
+            },
+            RuptureConfig::default(), // back to the first (now evicted) key
+        ];
+        for cfg in configs {
+            let cached = RuptureGenerator::new_with_backend(
+                &fault,
+                &d.subfault_to_subfault,
+                cfg.clone(),
+                &cache,
+            )
+            .unwrap();
+            let fresh = RuptureGenerator::new(&fault, &d.subfault_to_subfault, cfg).unwrap();
+            for id in 0..3 {
+                let a = cached.generate(21, id);
+                let b = fresh.generate(21, id);
+                assert_eq!(a.slip_m, b.slip_m);
+                assert_eq!(a.onset_s, b.onset_s);
+                assert_eq!(a.rise_time_s, b.rise_time_s);
+            }
+        }
+        let s = cache.stats();
+        assert!(s.evictions >= 1, "budget of 1 byte must evict");
+        assert_eq!(s.entries, 1, "thrashing cache holds only the last factor");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! are cheap — exactly the cost structure that makes the A Phase
 //! embarrassingly parallel once the `.npy` matrices exist.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -126,6 +126,12 @@ impl CorrelatedField {
         let z: Vec<f64> = (0..k).map(|_| standard_normal(rng)).collect();
         self.factor.matvec(&z)
     }
+
+    /// Approximate heap footprint of the factor matrix in bytes (what a
+    /// byte-budgeted [`FactorCache`] charges for this entry).
+    pub fn approx_bytes(&self) -> usize {
+        self.factor.rows() * self.factor.cols() * std::mem::size_of::<f64>()
+    }
 }
 
 /// Assemble the von Kármán correlation matrix over a symmetric distance
@@ -209,7 +215,7 @@ pub fn assemble_covariance_reference_libm(distances: &Matrix, kernel: &VonKarman
 }
 
 /// Method component of a [`FactorCache`] key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 enum MethodKey {
     Cholesky,
     KarhunenLoeve(usize),
@@ -227,7 +233,7 @@ impl From<FieldMethod> for MethodKey {
 /// Cache key: fault-mesh identity, matrix size, an FNV digest of the
 /// distance matrix bits, the kernel parameters (bit-exact), and the
 /// factorisation method.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct FactorKey {
     mesh: String,
     n: usize,
@@ -257,8 +263,44 @@ pub struct FactorCacheStats {
     pub hits: u64,
     /// Lookups that had to factorise.
     pub misses: u64,
+    /// Entries dropped by LRU eviction under a byte budget.
+    pub evictions: u64,
     /// Distinct factors currently cached.
     pub entries: usize,
+    /// Approximate bytes held by cached factor matrices.
+    pub bytes: usize,
+}
+
+/// Source of factored correlated fields — the seam between science code
+/// that *needs* a factor and whatever supplies it (a process-local
+/// [`FactorCache`], the service layer's shared content-addressed store, a
+/// test stub). Implementations must be deterministic: the returned field
+/// must be bit-identical to
+/// [`CorrelatedField::from_distances`] on the same inputs.
+pub trait FactorBackend: Sync {
+    /// Fetch (or compute) the factored field for this mesh/kernel/method.
+    fn fetch(
+        &self,
+        mesh_id: &str,
+        distances: &Matrix,
+        kernel: &VonKarman,
+        method: FieldMethod,
+    ) -> FqResult<Arc<CorrelatedField>>;
+}
+
+/// One cached factor plus its LRU bookkeeping.
+#[derive(Debug)]
+struct CacheEntry {
+    field: Arc<CorrelatedField>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: BTreeMap<FactorKey, CacheEntry>,
+    bytes: usize,
+    tick: u64,
 }
 
 /// A cache of factored [`CorrelatedField`]s keyed by
@@ -267,21 +309,47 @@ pub struct FactorCacheStats {
 /// the same recycling the FDW applies to its `.npy` distance matrices
 /// and Green's-function libraries.
 ///
+/// Memory is bounded: construct with [`FactorCache::with_byte_budget`]
+/// and the least-recently-used factors are evicted once the summed
+/// factor-matrix footprint exceeds the budget. Eviction only discards the
+/// cache's reference — in-flight `Arc`s stay valid — and a later lookup
+/// recomputes the factor, bit-identically, by determinism of the
+/// factorisation. A budget of zero (the default) means unbounded.
+///
 /// Thread-safe; the factorisation itself runs outside the lock, so
 /// concurrent misses on different keys don't serialise (concurrent
-/// misses on the *same* key may both factorise — last insert wins, and
+/// misses on the *same* key may both factorise — first insert wins, and
 /// both results are identical by determinism).
 #[derive(Debug, Default)]
 pub struct FactorCache {
-    map: Mutex<HashMap<FactorKey, Arc<CorrelatedField>>>,
+    inner: Mutex<CacheInner>,
+    byte_budget: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl FactorCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache that evicts least-recently-used factors once the
+    /// summed factor footprint exceeds `bytes` (`0` = unbounded). The
+    /// most recently touched entry is never evicted, so a single factor
+    /// larger than the budget still caches (and the budget is treated as
+    /// best-effort for it).
+    pub fn with_byte_budget(bytes: usize) -> Self {
+        Self {
+            byte_budget: bytes,
+            ..Self::default()
+        }
+    }
+
+    /// The configured eviction budget in bytes (`0` = unbounded).
+    pub fn byte_budget(&self) -> usize {
+        self.byte_budget
     }
 
     /// The process-wide shared cache.
@@ -310,31 +378,100 @@ impl FactorCache {
             ],
             method: method.into(),
         };
-        if let Some(hit) = self.map.lock().expect("factor cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
+        {
+            let mut inner = self.inner.lock().expect("factor cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(&key) {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.field));
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(CorrelatedField::from_distances(distances, kernel, method)?);
-        let mut map = self.map.lock().expect("factor cache poisoned");
-        let entry = map.entry(key).or_insert_with(|| Arc::clone(&built));
-        Ok(Arc::clone(entry))
+        let mut inner = self.inner.lock().expect("factor cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let field = match inner.map.get_mut(&key) {
+            // A concurrent miss on the same key beat us to the insert;
+            // its factor is bit-identical to ours, so serve it.
+            Some(entry) => {
+                entry.last_used = tick;
+                Arc::clone(&entry.field)
+            }
+            None => {
+                let bytes = built.approx_bytes();
+                inner.bytes += bytes;
+                inner.map.insert(
+                    key.clone(),
+                    CacheEntry {
+                        field: Arc::clone(&built),
+                        bytes,
+                        last_used: tick,
+                    },
+                );
+                built
+            }
+        };
+        if self.byte_budget > 0 {
+            while inner.bytes > self.byte_budget && inner.map.len() > 1 {
+                // Victim: smallest last_used tick, excluding the entry we
+                // just touched. BTreeMap iteration order makes the scan
+                // deterministic even on ties (ticks are unique anyway).
+                let victim = inner
+                    .map
+                    .iter()
+                    .filter(|(k, _)| **k != key)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone());
+                match victim {
+                    Some(v) => {
+                        if let Some(evicted) = inner.map.remove(&v) {
+                            inner.bytes -= evicted.bytes;
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+        Ok(field)
     }
 
-    /// Snapshot of hit/miss/entry counts.
+    /// Snapshot of hit/miss/eviction/entry/byte counts.
     pub fn stats(&self) -> FactorCacheStats {
+        let inner = self.inner.lock().expect("factor cache poisoned");
         FactorCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("factor cache poisoned").len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            bytes: inner.bytes,
         }
     }
 
     /// Drop all cached factors and reset counters (tests, benchmarks).
     pub fn clear(&self) {
-        self.map.lock().expect("factor cache poisoned").clear();
+        let mut inner = self.inner.lock().expect("factor cache poisoned");
+        inner.map.clear();
+        inner.bytes = 0;
+        inner.tick = 0;
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+impl FactorBackend for FactorCache {
+    fn fetch(
+        &self,
+        mesh_id: &str,
+        distances: &Matrix,
+        kernel: &VonKarman,
+        method: FieldMethod,
+    ) -> FqResult<Arc<CorrelatedField>> {
+        self.get_or_build(mesh_id, distances, kernel, method)
     }
 }
 
@@ -593,6 +730,102 @@ mod tests {
         let mut r1 = StdRng::seed_from_u64(31);
         let mut r2 = StdRng::seed_from_u64(31);
         assert_eq!(fresh.sample(&mut r1), cached.sample(&mut r2));
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_budget() {
+        let fault = FaultModel::chilean_subduction(6, 3).unwrap();
+        let net = StationNetwork::chilean_input(ChileanInput::Small, 1);
+        let d = DistanceMatrices::compute(&fault, &net);
+        let vk = VonKarman::default();
+        let one_factor = 18 * 18 * std::mem::size_of::<f64>();
+        // Budget fits exactly one Cholesky factor of this mesh.
+        let cache = FactorCache::with_byte_budget(one_factor + 64);
+        assert_eq!(cache.byte_budget(), one_factor + 64);
+        let a = cache
+            .get_or_build("m", &d.subfault_to_subfault, &vk, FieldMethod::Cholesky)
+            .unwrap();
+        assert_eq!(cache.stats().bytes, one_factor);
+        let vk2 = VonKarman {
+            hurst: vk.hurst * 0.5,
+            ..vk
+        };
+        cache
+            .get_or_build("m", &d.subfault_to_subfault, &vk2, FieldMethod::Cholesky)
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1, "first factor evicted under budget");
+        assert_eq!(s.entries, 1);
+        assert!(s.bytes <= cache.byte_budget());
+        // Re-fetching the evicted key recomputes (a miss), and the
+        // recomputed factor draws bit-identically to the evicted one.
+        let a2 = cache
+            .get_or_build("m", &d.subfault_to_subfault, &vk, FieldMethod::Cholesky)
+            .unwrap();
+        assert_eq!(cache.stats().misses, 3, "post-eviction lookup is a miss");
+        assert!(!Arc::ptr_eq(&a, &a2), "recompute, not the original Arc");
+        let mut r1 = StdRng::seed_from_u64(77);
+        let mut r2 = StdRng::seed_from_u64(77);
+        assert_eq!(a.sample(&mut r1), a2.sample(&mut r2));
+    }
+
+    #[test]
+    fn lru_prefers_least_recently_used_victim() {
+        let fault = FaultModel::chilean_subduction(6, 3).unwrap();
+        let net = StationNetwork::chilean_input(ChileanInput::Small, 1);
+        let d = DistanceMatrices::compute(&fault, &net);
+        let vk = |h: f64| VonKarman {
+            hurst: h,
+            ..VonKarman::default()
+        };
+        let one_factor = 18 * 18 * std::mem::size_of::<f64>();
+        // Budget fits two factors; the third insert evicts one.
+        let cache = FactorCache::with_byte_budget(2 * one_factor + 64);
+        let dm = &d.subfault_to_subfault;
+        cache
+            .get_or_build("m", dm, &vk(0.9), FieldMethod::Cholesky)
+            .unwrap();
+        cache
+            .get_or_build("m", dm, &vk(0.8), FieldMethod::Cholesky)
+            .unwrap();
+        // Touch the first key so the second becomes the LRU victim.
+        cache
+            .get_or_build("m", dm, &vk(0.9), FieldMethod::Cholesky)
+            .unwrap();
+        cache
+            .get_or_build("m", dm, &vk(0.7), FieldMethod::Cholesky)
+            .unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        // 0.9 survived (hit); 0.8 was evicted (miss on re-fetch).
+        let hits_before = cache.stats().hits;
+        cache
+            .get_or_build("m", dm, &vk(0.9), FieldMethod::Cholesky)
+            .unwrap();
+        assert_eq!(cache.stats().hits, hits_before + 1);
+        let misses_before = cache.stats().misses;
+        cache
+            .get_or_build("m", dm, &vk(0.8), FieldMethod::Cholesky)
+            .unwrap();
+        assert_eq!(cache.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let fault = FaultModel::chilean_subduction(6, 3).unwrap();
+        let net = StationNetwork::chilean_input(ChileanInput::Small, 1);
+        let d = DistanceMatrices::compute(&fault, &net);
+        let cache = FactorCache::new();
+        for i in 0..5 {
+            let vk = VonKarman {
+                hurst: 0.5 + 0.05 * i as f64,
+                ..VonKarman::default()
+            };
+            cache
+                .get_or_build("m", &d.subfault_to_subfault, &vk, FieldMethod::Cholesky)
+                .unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!((s.evictions, s.entries), (0, 5));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 use crate::fault::HoldReason;
 use crate::job::{JobEvent, JobEventKind, JobId, OwnerId};
+use crate::service::{ArtifactKind, DegradeMode, RejectReason, ServiceDetail, ShedReason};
 use crate::time::SimTime;
 use crate::userlog::UserLog;
 
@@ -56,6 +57,18 @@ pub mod codes {
     pub const PREEMPTED: &str = "026";
     /// `030` — federated layer: migrated to another pool.
     pub const MIGRATED: &str = "030";
+    /// `033` — service layer: campaign admitted.
+    pub const SERVICE_ADMITTED: &str = "033";
+    /// `034` — service layer: campaign rejected by admission control.
+    pub const SERVICE_REJECTED: &str = "034";
+    /// `035` — service layer: campaign shed under load.
+    pub const SERVICE_SHED: &str = "035";
+    /// `036` — service layer: campaign started in a degraded mode.
+    pub const SERVICE_DEGRADED: &str = "036";
+    /// `037` — service layer: artifact served from the shared store.
+    pub const ARTIFACT_HIT: &str = "037";
+    /// `038` — service layer: artifact quarantined on checksum mismatch.
+    pub const ARTIFACT_QUARANTINED: &str = "038";
 
     /// Every registered code, in numeric order.
     pub const ALL: &[&str] = &[
@@ -70,6 +83,12 @@ pub mod codes {
         PARTITION_STALLED,
         PREEMPTED,
         MIGRATED,
+        SERVICE_ADMITTED,
+        SERVICE_REJECTED,
+        SERVICE_SHED,
+        SERVICE_DEGRADED,
+        ARTIFACT_HIT,
+        ARTIFACT_QUARANTINED,
     ];
 }
 
@@ -153,6 +172,60 @@ fn code_and_text(ev: &JobEvent) -> Option<(&'static str, String)> {
         JobEventKind::Migrated => Some((
             codes::MIGRATED,
             format!("Job migrated to pool {}.", ev.pool.unwrap_or(0)),
+        )),
+        JobEventKind::ServiceAdmitted => Some((
+            codes::SERVICE_ADMITTED,
+            "Campaign admitted by the service.".into(),
+        )),
+        JobEventKind::ServiceRejected => Some((
+            codes::SERVICE_REJECTED,
+            format!(
+                "Campaign rejected by admission control. Reason: {}",
+                match ev.service {
+                    Some(ServiceDetail::Reject(r)) => r.text(),
+                    _ => "Per-tenant quota exceeded",
+                }
+            ),
+        )),
+        JobEventKind::ServiceShed => Some((
+            codes::SERVICE_SHED,
+            format!(
+                "Campaign shed under load. Reason: {}",
+                match ev.service {
+                    Some(ServiceDetail::Shed(r)) => r.text(),
+                    _ => "Global backlog overflow",
+                }
+            ),
+        )),
+        JobEventKind::ServiceDegraded => Some((
+            codes::SERVICE_DEGRADED,
+            format!(
+                "Campaign degraded. Mode: {}",
+                match ev.service {
+                    Some(ServiceDetail::Degrade(m)) => m.text(),
+                    _ => DegradeMode::TruncatedKl.text(),
+                }
+            ),
+        )),
+        JobEventKind::ArtifactHit => Some((
+            codes::ARTIFACT_HIT,
+            format!(
+                "Artifact served from shared store: {}.",
+                match ev.service {
+                    Some(ServiceDetail::Artifact(a)) => a.text(),
+                    _ => ArtifactKind::Factor.text(),
+                }
+            ),
+        )),
+        JobEventKind::ArtifactQuarantined => Some((
+            codes::ARTIFACT_QUARANTINED,
+            format!(
+                "Artifact quarantined (checksum mismatch): {}.",
+                match ev.service {
+                    Some(ServiceDetail::Artifact(a)) => a.text(),
+                    _ => ArtifactKind::Factor.text(),
+                }
+            ),
         )),
         JobEventKind::Matched => None,
     }
@@ -259,6 +332,45 @@ pub fn parse_condor_log(text: &str) -> Result<UserLog, String> {
                     .ok_or_else(|| err("030 event missing destination pool"))?;
                 JobEvent::new(time, job, owner, JobEventKind::Migrated).with_pool(pool)
             }
+            codes::SERVICE_ADMITTED => {
+                JobEvent::new(time, job, owner, JobEventKind::ServiceAdmitted)
+            }
+            codes::SERVICE_REJECTED => {
+                let reason = body
+                    .find("Reason: ")
+                    .and_then(|i| RejectReason::parse(&body[i + "Reason: ".len()..]))
+                    .ok_or_else(|| err("034 event missing reject reason"))?;
+                JobEvent::new(time, job, owner, JobEventKind::ServiceRejected)
+                    .with_service(ServiceDetail::Reject(reason))
+            }
+            codes::SERVICE_SHED => {
+                let reason = body
+                    .find("Reason: ")
+                    .and_then(|i| ShedReason::parse(&body[i + "Reason: ".len()..]))
+                    .ok_or_else(|| err("035 event missing shed reason"))?;
+                JobEvent::new(time, job, owner, JobEventKind::ServiceShed)
+                    .with_service(ServiceDetail::Shed(reason))
+            }
+            codes::SERVICE_DEGRADED => {
+                let mode = body
+                    .find("Mode: ")
+                    .and_then(|i| DegradeMode::parse(&body[i + "Mode: ".len()..]))
+                    .ok_or_else(|| err("036 event missing degrade mode"))?;
+                JobEvent::new(time, job, owner, JobEventKind::ServiceDegraded)
+                    .with_service(ServiceDetail::Degrade(mode))
+            }
+            codes::ARTIFACT_HIT | codes::ARTIFACT_QUARANTINED => {
+                let kind = body
+                    .rfind(": ")
+                    .and_then(|i| ArtifactKind::parse(body[i + 2..].trim_end_matches('.')))
+                    .ok_or_else(|| err("artifact event missing artifact kind"))?;
+                let ev_kind = if code == codes::ARTIFACT_HIT {
+                    JobEventKind::ArtifactHit
+                } else {
+                    JobEventKind::ArtifactQuarantined
+                };
+                JobEvent::new(time, job, owner, ev_kind).with_service(ServiceDetail::Artifact(kind))
+            }
             other => return Err(err(&format!("unknown event code '{other}'"))),
         };
         log.record(ev);
@@ -295,7 +407,7 @@ mod tests {
         for w in codes::ALL.windows(2) {
             assert!(w[0] < w[1], "registry out of order or duplicated: {w:?}");
         }
-        assert_eq!(codes::ALL.len(), 11);
+        assert_eq!(codes::ALL.len(), 17);
     }
 
     #[test]
@@ -382,6 +494,85 @@ mod tests {
         assert!(
             parse_condor_log("030 (001.000.000) 01/01 00:00:00 Job migrated.\n").is_err(),
             "030 without a destination pool is rejected"
+        );
+    }
+
+    #[test]
+    fn service_event_codes_roundtrip() {
+        let mut log = UserLog::new();
+        let ev =
+            |t: u64, j: u64, o: u32, kind| JobEvent::new(SimTime(t), JobId(j), OwnerId(o), kind);
+        log.record(ev(0, 1, 0, JobEventKind::Submitted));
+        log.record(ev(0, 1, 0, JobEventKind::ServiceAdmitted));
+        log.record(
+            ev(5, 2, 1, JobEventKind::ServiceRejected)
+                .with_service(ServiceDetail::Reject(RejectReason::QueueFull)),
+        );
+        log.record(
+            ev(9, 3, 2, JobEventKind::ServiceRejected)
+                .with_service(ServiceDetail::Reject(RejectReason::CircuitOpen)),
+        );
+        log.record(
+            ev(12, 4, 0, JobEventKind::ServiceShed)
+                .with_service(ServiceDetail::Shed(ShedReason::DeadlineUnreachable)),
+        );
+        log.record(
+            ev(20, 1, 0, JobEventKind::ServiceDegraded)
+                .with_service(ServiceDetail::Degrade(DegradeMode::ReducedReplicas)),
+        );
+        log.record(
+            ev(21, 1, 0, JobEventKind::ArtifactHit)
+                .with_service(ServiceDetail::Artifact(ArtifactKind::GfLibrary)),
+        );
+        log.record(
+            ev(22, 1, 0, JobEventKind::ArtifactQuarantined)
+                .with_service(ServiceDetail::Artifact(ArtifactKind::DistanceMatrix)),
+        );
+        log.record(ev(90, 1, 0, JobEventKind::Completed).with_exit(0));
+        let text = to_condor_log(&log);
+        assert!(text.contains("033 (001.000.000) 01/01 00:00:00 Campaign admitted by the service."));
+        assert!(text.contains(
+            "034 (002.001.000) 01/01 00:00:05 Campaign rejected by admission control. \
+             Reason: Tenant queue full"
+        ));
+        assert!(text.contains("Reason: Tenant circuit breaker open"));
+        assert!(text.contains(
+            "035 (004.000.000) 01/01 00:00:12 Campaign shed under load. \
+             Reason: Deadline unreachable"
+        ));
+        assert!(text.contains(
+            "036 (001.000.000) 01/01 00:00:20 Campaign degraded. Mode: Reduced replica count"
+        ));
+        assert!(text.contains(
+            "037 (001.000.000) 01/01 00:00:21 Artifact served from shared store: gf-library."
+        ));
+        assert!(text.contains(
+            "038 (001.000.000) 01/01 00:00:22 Artifact quarantined (checksum mismatch): \
+             distance-matrix."
+        ));
+        let parsed = parse_condor_log(&text).unwrap();
+        assert_eq!(parsed.len(), log.len());
+        for (a, b) in parsed.events().iter().zip(log.events()) {
+            assert_eq!(a, b);
+        }
+        // Events whose typed payload is missing or unknown are rejected.
+        assert!(
+            parse_condor_log("034 (001.000.000) 01/01 00:00:00 Campaign rejected.\n").is_err(),
+            "034 without a typed reason is rejected"
+        );
+        assert!(
+            parse_condor_log(
+                "035 (001.000.000) 01/01 00:00:00 Campaign shed under load. Reason: tired\n"
+            )
+            .is_err(),
+            "unknown shed reason is rejected"
+        );
+        assert!(
+            parse_condor_log(
+                "037 (001.000.000) 01/01 00:00:00 Artifact served from shared store: waveform.\n"
+            )
+            .is_err(),
+            "unknown artifact kind is rejected"
         );
     }
 

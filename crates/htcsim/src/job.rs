@@ -2,6 +2,7 @@
 //! HTCondor submit description files and job ClassAds.
 
 use crate::fault::HoldReason;
+use crate::service::ServiceDetail;
 use crate::time::SimTime;
 
 /// Identifier of a submitted job, unique within one cluster run
@@ -176,6 +177,25 @@ pub enum JobEventKind {
     /// A displaced job restarted in a different pool than its last
     /// attempt (the federation's drain-and-migrate path).
     Migrated,
+    /// Service layer: a campaign request passed admission control
+    /// (quota, queue depth and breaker checks) and entered its tenant's
+    /// queue.
+    ServiceAdmitted,
+    /// Service layer: admission control refused the request; the
+    /// event carries a typed [`crate::service::RejectReason`].
+    ServiceRejected,
+    /// Service layer: an admitted request was dropped by the load
+    /// shedder; the event carries a typed [`crate::service::ShedReason`].
+    ServiceShed,
+    /// Service layer: the campaign was started in a degraded mode under
+    /// overload; the event carries a [`crate::service::DegradeMode`].
+    ServiceDegraded,
+    /// Service layer: a campaign artifact was served from the shared
+    /// content-addressed store instead of being recomputed.
+    ArtifactHit,
+    /// Service layer: a stored artifact failed its verify-on-read
+    /// checksum and was quarantined (evicted and recomputed).
+    ArtifactQuarantined,
 }
 
 /// One timestamped job event.
@@ -196,6 +216,8 @@ pub struct JobEvent {
     pub hold_reason: Option<HoldReason>,
     /// Destination pool index, on [`JobEventKind::Migrated`] events.
     pub pool: Option<u32>,
+    /// Typed service-layer payload, on the `Service*`/`Artifact*` events.
+    pub service: Option<ServiceDetail>,
 }
 
 impl JobEvent {
@@ -209,6 +231,7 @@ impl JobEvent {
             exit_code: None,
             hold_reason: None,
             pool: None,
+            service: None,
         }
     }
 
@@ -227,6 +250,12 @@ impl JobEvent {
     /// Attach the destination pool (migration events).
     pub fn with_pool(mut self, pool: u32) -> Self {
         self.pool = Some(pool);
+        self
+    }
+
+    /// Attach a typed service-layer payload (033–038 events).
+    pub fn with_service(mut self, detail: ServiceDetail) -> Self {
+        self.service = Some(detail);
         self
     }
 }

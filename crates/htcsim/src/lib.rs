@@ -66,6 +66,7 @@ pub mod pool;
 pub mod rand_util;
 pub mod scenarios;
 pub mod scoreboard;
+pub mod service;
 pub mod single;
 pub mod time;
 pub mod transfer;
@@ -87,6 +88,7 @@ pub mod prelude {
     };
     pub use crate::pool::{MachineId, Pool, PoolConfig};
     pub use crate::scoreboard::{DefenseConfig, DefenseStats, Scoreboard};
+    pub use crate::service::{ArtifactKind, DegradeMode, RejectReason, ServiceDetail, ShedReason};
     pub use crate::single::{SingleMachine, SingleRunReport};
     pub use crate::time::SimTime;
     pub use crate::transfer::{SiteId, StashCache, TransferConfig};

@@ -1,0 +1,196 @@
+//! Typed vocabulary of the multi-tenant campaign front-end ("FDW as a
+//! service"): the reasons an admission controller rejects a request, the
+//! reasons the load shedder drops one, the graceful-degradation modes,
+//! and the artifact kinds the content-addressed shared store serves.
+//!
+//! These enums ride on [`crate::job::JobEvent`]s (codes `033`–`038` in
+//! [`crate::condor_log::codes`]) the same way [`crate::fault::HoldReason`]
+//! rides on `012` events: each has a stable human-readable `text()` that
+//! the ULOG writer emits and a `parse()` that recovers the variant
+//! losslessly, so the paper-style shell pipeline (`grep '034 ' ... | sort
+//! | uniq -c`) can attribute every dropped request to a typed cause.
+
+/// Why admission control refused a campaign request outright (ULOG `034`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RejectReason {
+    /// The tenant already has its full quota of campaigns outstanding
+    /// (queued + in flight).
+    QuotaExceeded,
+    /// The tenant's bounded submit queue is full.
+    QueueFull,
+    /// The tenant's circuit breaker is open after repeated campaign
+    /// failures; requests are refused until the probe timer expires.
+    CircuitOpen,
+}
+
+impl RejectReason {
+    /// The ULOG reason string.
+    pub fn text(self) -> &'static str {
+        match self {
+            RejectReason::QuotaExceeded => "Per-tenant quota exceeded",
+            RejectReason::QueueFull => "Tenant queue full",
+            RejectReason::CircuitOpen => "Tenant circuit breaker open",
+        }
+    }
+
+    /// Parse a ULOG reason string back to the variant.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim() {
+            "Per-tenant quota exceeded" => Some(RejectReason::QuotaExceeded),
+            "Tenant queue full" => Some(RejectReason::QueueFull),
+            "Tenant circuit breaker open" => Some(RejectReason::CircuitOpen),
+            _ => None,
+        }
+    }
+}
+
+/// Why the load shedder dropped an already-admitted request (ULOG `035`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ShedReason {
+    /// Even starting immediately, the campaign could not finish before
+    /// its deadline — running it would only burn capacity.
+    DeadlineUnreachable,
+    /// The service-wide backlog crossed the shedding watermark; the
+    /// request was dropped to protect queued work that can still win.
+    BacklogOverflow,
+}
+
+impl ShedReason {
+    /// The ULOG reason string.
+    pub fn text(self) -> &'static str {
+        match self {
+            ShedReason::DeadlineUnreachable => "Deadline unreachable",
+            ShedReason::BacklogOverflow => "Global backlog overflow",
+        }
+    }
+
+    /// Parse a ULOG reason string back to the variant.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim() {
+            "Deadline unreachable" => Some(ShedReason::DeadlineUnreachable),
+            "Global backlog overflow" => Some(ShedReason::BacklogOverflow),
+            _ => None,
+        }
+    }
+}
+
+/// Graceful-degradation mode applied to a campaign under sustained
+/// overload (ULOG `036`): the service trades fidelity for throughput
+/// instead of failing the request outright.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeMode {
+    /// Slip fields are drawn from a truncated Karhunen-Loève expansion
+    /// instead of the exact Cholesky factor — cheaper factorisation and
+    /// draws, smoother fields.
+    TruncatedKl,
+    /// Truncated-KL draws *and* half the requested scenario replicas —
+    /// the deepest rung of the ladder.
+    ReducedReplicas,
+}
+
+impl DegradeMode {
+    /// The ULOG mode string.
+    pub fn text(self) -> &'static str {
+        match self {
+            DegradeMode::TruncatedKl => "Truncated Karhunen-Loeve",
+            DegradeMode::ReducedReplicas => "Reduced replica count",
+        }
+    }
+
+    /// Parse a ULOG mode string back to the variant.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim() {
+            "Truncated Karhunen-Loeve" => Some(DegradeMode::TruncatedKl),
+            "Reduced replica count" => Some(DegradeMode::ReducedReplicas),
+            _ => None,
+        }
+    }
+}
+
+/// The recyclable artifact classes the content-addressed shared store
+/// serves fleet-wide (ULOG `037`/`038`) — the FDW's `.npy` distance
+/// matrices, Green's-function libraries, and correlated-field factors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ArtifactKind {
+    /// Subfault/station distance matrices (the recycled `.npy` pair).
+    DistanceMatrix,
+    /// The Green's-function library (B phase).
+    GfLibrary,
+    /// A factored correlated slip field (the `FactorCache` payload).
+    Factor,
+}
+
+impl ArtifactKind {
+    /// The ULOG artifact label.
+    pub fn text(self) -> &'static str {
+        match self {
+            ArtifactKind::DistanceMatrix => "distance-matrix",
+            ArtifactKind::GfLibrary => "gf-library",
+            ArtifactKind::Factor => "factor",
+        }
+    }
+
+    /// Parse a ULOG artifact label back to the variant.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim() {
+            "distance-matrix" => Some(ArtifactKind::DistanceMatrix),
+            "gf-library" => Some(ArtifactKind::GfLibrary),
+            "factor" => Some(ArtifactKind::Factor),
+            _ => None,
+        }
+    }
+
+    /// Every artifact kind, in declaration order.
+    pub const ALL: [ArtifactKind; 3] = [
+        ArtifactKind::DistanceMatrix,
+        ArtifactKind::GfLibrary,
+        ArtifactKind::Factor,
+    ];
+}
+
+/// The service-layer payload a [`crate::job::JobEvent`] may carry —
+/// exactly one of the typed reasons above, selected by the event kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceDetail {
+    /// Payload of a `ServiceRejected` event.
+    Reject(RejectReason),
+    /// Payload of a `ServiceShed` event.
+    Shed(ShedReason),
+    /// Payload of a `ServiceDegraded` event.
+    Degrade(DegradeMode),
+    /// Payload of an `ArtifactHit` / `ArtifactQuarantined` event.
+    Artifact(ArtifactKind),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reasons_roundtrip_through_text() {
+        for r in [
+            RejectReason::QuotaExceeded,
+            RejectReason::QueueFull,
+            RejectReason::CircuitOpen,
+        ] {
+            assert_eq!(RejectReason::parse(r.text()), Some(r));
+        }
+        for s in [ShedReason::DeadlineUnreachable, ShedReason::BacklogOverflow] {
+            assert_eq!(ShedReason::parse(s.text()), Some(s));
+        }
+        for d in [DegradeMode::TruncatedKl, DegradeMode::ReducedReplicas] {
+            assert_eq!(DegradeMode::parse(d.text()), Some(d));
+        }
+        for a in ArtifactKind::ALL {
+            assert_eq!(ArtifactKind::parse(a.text()), Some(a));
+        }
+    }
+
+    #[test]
+    fn unknown_texts_are_rejected() {
+        assert_eq!(RejectReason::parse("Server on fire"), None);
+        assert_eq!(ShedReason::parse(""), None);
+        assert_eq!(DegradeMode::parse("faster"), None);
+        assert_eq!(ArtifactKind::parse("waveform"), None);
+    }
+}

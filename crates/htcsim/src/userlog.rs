@@ -143,12 +143,21 @@ impl UserLog {
                 // Preemptions and pool outages are displacement events
                 // (like evictions, but charged to the pool fault domain);
                 // JobTimes keeps its stable schema and tracks neither.
+                // Service-layer events (admission, shedding, degradation,
+                // artifact store) annotate requests rather than change
+                // job timing, so they pass through untracked too.
                 JobEventKind::Matched
                 | JobEventKind::Released
                 | JobEventKind::Preempted
                 | JobEventKind::PoolOutage
                 | JobEventKind::PartitionStalled
-                | JobEventKind::Migrated => {}
+                | JobEventKind::Migrated
+                | JobEventKind::ServiceAdmitted
+                | JobEventKind::ServiceRejected
+                | JobEventKind::ServiceShed
+                | JobEventKind::ServiceDegraded
+                | JobEventKind::ArtifactHit
+                | JobEventKind::ArtifactQuarantined => {}
             }
         }
         order.into_iter().filter_map(|id| map.remove(&id)).collect()

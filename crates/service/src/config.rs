@@ -1,0 +1,168 @@
+//! Service-layer policy knobs, mirrored into `FdwConfig` by `fdw-core`
+//! as the `service_*` / `tenant_*` keys.
+
+/// Policy configuration of the multi-tenant front-end. The all-off
+/// default (`enabled = false`, every protection zeroed) is the
+/// robustness-ablation baseline arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    /// Master switch; when off the front-end admits everything FIFO
+    /// with no quotas, shedding, degradation or breakers.
+    pub enabled: bool,
+    /// Global cap on concurrently executing campaigns (the service's
+    /// slot pool). Zero means a single slot.
+    pub max_concurrent: u32,
+    /// Deficit-round-robin quantum in work-seconds. Zero disables fair
+    /// share (global FIFO by submit time).
+    pub fair_share: u32,
+    /// Backlog depth at which campaigns start degraded: at `depth` the
+    /// factorisation switches to truncated Karhunen–Loève, at twice
+    /// `depth` replica counts are halved too. Zero never degrades.
+    pub degrade_depth: u32,
+    /// Global queued-campaign cap; arrivals beyond it are shed with
+    /// [`htcsim::service::ShedReason::BacklogOverflow`]. Zero means
+    /// unbounded.
+    pub shed_backlog: u32,
+    /// Consecutive campaign failures that open a tenant's circuit
+    /// breaker. Zero disables breakers.
+    pub breaker_threshold: u32,
+    /// Seconds an open breaker sheds a tenant's arrivals before letting
+    /// traffic probe through again.
+    pub breaker_probe_s: u64,
+    /// Whether the shared content-addressed artifact store serves
+    /// campaigns (off = every campaign recomputes everything).
+    pub store_enabled: bool,
+    /// Artifact-store byte budget in megabytes; least-recently-used
+    /// artifacts are evicted beyond it. Zero means unbounded.
+    pub store_budget_mb: u32,
+    /// Verify artifact checksums on read; a mismatch quarantines the
+    /// entry and recomputes. Off serves silent corruption (the PR-5
+    /// fault class) straight into the campaign.
+    pub store_verify: bool,
+    /// Number of tenants sharing the service.
+    pub tenants: u32,
+    /// Per-tenant cap on outstanding (queued + running) campaigns;
+    /// arrivals beyond it are rejected. Zero means unlimited.
+    pub tenant_quota: u32,
+    /// Per-tenant queue depth; arrivals beyond it are rejected with
+    /// [`htcsim::service::RejectReason::QueueFull`]. Zero means
+    /// unbounded.
+    pub tenant_queue_depth: u32,
+    /// Shed queued campaigns whose deadline can no longer be met
+    /// instead of burning capacity on doomed work.
+    pub tenant_deadline_shed: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            max_concurrent: 8,
+            fair_share: 0,
+            degrade_depth: 0,
+            shed_backlog: 0,
+            breaker_threshold: 0,
+            breaker_probe_s: 0,
+            store_enabled: false,
+            store_budget_mb: 0,
+            store_verify: false,
+            tenants: 4,
+            tenant_quota: 0,
+            tenant_queue_depth: 0,
+            tenant_deadline_shed: false,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A fully defended configuration (every protection on) — the
+    /// robustness-ablation "on" arm.
+    pub fn defended(tenants: u32) -> Self {
+        Self {
+            enabled: true,
+            max_concurrent: 8,
+            fair_share: 600,
+            degrade_depth: 12,
+            shed_backlog: 64,
+            breaker_threshold: 3,
+            breaker_probe_s: 3_600,
+            store_enabled: true,
+            store_budget_mb: 64,
+            store_verify: true,
+            tenants,
+            tenant_quota: 24,
+            tenant_queue_depth: 16,
+            tenant_deadline_shed: true,
+        }
+    }
+
+    /// An undefended front-end over the same tenant count — everything
+    /// admitted FIFO, no store, no shedding.
+    pub fn undefended(tenants: u32) -> Self {
+        Self {
+            enabled: true,
+            tenants,
+            ..Self::default()
+        }
+    }
+
+    /// Validate cross-field consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tenants == 0 {
+            return Err("service tenants must be at least 1".into());
+        }
+        if self.breaker_threshold > 0 && self.breaker_probe_s == 0 {
+            return Err("breaker_probe_s must be positive when breakers are enabled".into());
+        }
+        if self.degrade_depth > 0
+            && self.shed_backlog > 0
+            && self.degrade_depth >= self.shed_backlog
+        {
+            return Err(format!(
+                "degrade_depth ({}) must sit below shed_backlog ({}) or degradation never fires",
+                self.degrade_depth, self.shed_backlog
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_off() {
+        let c = ServiceConfig::default();
+        assert!(c.validate().is_ok());
+        assert!(!c.enabled);
+    }
+
+    #[test]
+    fn defended_arm_is_valid() {
+        let c = ServiceConfig::defended(6);
+        assert!(c.validate().is_ok());
+        assert!(c.enabled && c.store_enabled && c.store_verify);
+    }
+
+    #[test]
+    fn validation_rejects_inconsistencies() {
+        let mut c = ServiceConfig {
+            tenants: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        c = ServiceConfig {
+            breaker_threshold: 2,
+            breaker_probe_s: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        c = ServiceConfig {
+            degrade_depth: 10,
+            shed_backlog: 10,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

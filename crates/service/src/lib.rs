@@ -1,0 +1,59 @@
+//! # fdw-service — FDW-as-a-service campaign front-end
+//!
+//! The paper's workflow serves *one* research group; the obvious next
+//! step for shared cyberinfrastructure is many groups submitting
+//! scenario campaigns against the same federated substrate. This crate
+//! models that front-end as a deterministic, sim-time service layered
+//! over the sharded DES ([`htcsim::des`]):
+//!
+//! * **admission control** — per-tenant outstanding-campaign quotas,
+//!   bounded per-tenant queues, and a global concurrency cap
+//!   ([`config::ServiceConfig`]);
+//! * **fair-share scheduling** — deficit round robin across tenants
+//!   ([`fairshare`]), so one noisy tenant cannot starve the rest;
+//! * **backpressure and load shedding** — a global backlog cap and
+//!   deadline-aware shedding with typed reasons
+//!   ([`htcsim::service::ShedReason`]), so overload degrades goodput
+//!   gracefully instead of collapsing it;
+//! * **per-tenant circuit breakers** ([`breaker`]) — repeated campaign
+//!   failures open the breaker and shed that tenant's arrivals for a
+//!   cool-down, protecting shared capacity;
+//! * **graceful degradation** — under deep backlog, campaigns start in
+//!   a cheaper mode (truncated Karhunen–Loève factorisation, then
+//!   reduced replica counts) instead of being shed;
+//! * a **content-addressed shared artifact store** ([`store`]) — the
+//!   `.npy` distance matrices, Green's-function libraries and
+//!   covariance factors that FDW recycles *within* one campaign are
+//!   deduplicated *across tenants*: computed once fleet-wide, keyed by
+//!   content digest, verified on read (quarantine-and-recompute on
+//!   checksum mismatch), and evicted LRU under a byte budget.
+//!
+//! Every decision the service makes is a pure function of the seed and
+//! the request stream: the engine runs on [`htcsim::des::ShardedEngine`]
+//! and inherits its thread/shard byte-determinism contract, and each
+//! decision is folded into a decision digest so drift is detectable.
+//! Science is *not* computed here — `fdw-core` maps the service's
+//! request outcomes onto actual rupture draws and checks that the
+//! shared store never changes a tenant's science digest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod config;
+pub mod engine;
+pub mod fairshare;
+pub mod request;
+pub mod store;
+
+/// Glob import of the most-used types.
+pub mod prelude {
+    pub use crate::breaker::TenantBreaker;
+    pub use crate::config::ServiceConfig;
+    pub use crate::engine::{run_service, ServiceReport, ServiceStats, TenantReport};
+    pub use crate::fairshare::DeficitRoundRobin;
+    pub use crate::request::{
+        request_stream, CampaignRequest, Disposition, RequestOutcome, WorkloadConfig,
+    };
+    pub use crate::store::{ArtifactStore, StoreStats};
+}

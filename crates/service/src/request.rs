@@ -1,0 +1,244 @@
+//! Campaign requests, terminal dispositions, and the deterministic
+//! multi-tenant request stream the overload campaigns replay.
+
+use htcsim::service::{DegradeMode, RejectReason, ShedReason};
+use htcsim::time::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One tenant's scenario-campaign request: "generate `replicas`
+/// waveform replicas of scenario class `class` before `deadline`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignRequest {
+    /// Request id, unique and dense across the stream (also the ULOG
+    /// job id).
+    pub id: u64,
+    /// Submitting tenant (the ULOG owner).
+    pub tenant: u32,
+    /// Scenario class: selects mesh size and artifact content. Requests
+    /// of the same class share every artifact, whoever submits them.
+    pub class: u32,
+    /// Submission time.
+    pub submit: SimTime,
+    /// Latest useful completion time; later completions are badput.
+    pub deadline: SimTime,
+    /// Waveform replicas requested (the B-phase fan-out width).
+    pub replicas: u32,
+    /// Deterministic fault injection: this campaign's execution fails
+    /// with a non-zero exit code regardless of the service's decisions.
+    pub fails: bool,
+}
+
+/// How one request terminated. Every request in the stream ends in
+/// exactly one of these — the "no dropped-then-forgotten requests"
+/// invariant the report enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Ran to completion with exit code 0.
+    Completed {
+        /// Finish time.
+        finish: SimTime,
+        /// Degraded mode the campaign ran under, if any.
+        degraded: Option<DegradeMode>,
+        /// Replica count actually generated (≤ requested under
+        /// [`DegradeMode::ReducedReplicas`]).
+        replicas: u32,
+        /// Whether it finished by its deadline (goodput) or late.
+        in_deadline: bool,
+    },
+    /// Ran and terminated with a non-zero exit code.
+    Failed {
+        /// Finish time.
+        finish: SimTime,
+    },
+    /// Refused at admission.
+    Rejected(RejectReason),
+    /// Admitted, then dropped by the load shedder.
+    Shed(ShedReason),
+}
+
+/// A request paired with its terminal disposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// The original request.
+    pub request: CampaignRequest,
+    /// How it ended.
+    pub disposition: Disposition,
+}
+
+/// Shape of the synthetic multi-tenant workload. Everything downstream
+/// is a pure function of these fields plus the seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// RNG seed for arrivals, class mix, failures and store corruption.
+    pub seed: u64,
+    /// Total campaign requests across all tenants.
+    pub campaigns: u32,
+    /// Number of distinct scenario classes (shared-artifact groups).
+    pub classes: u32,
+    /// Offered load as a multiple of service capacity: `2.0` submits
+    /// twice as fast as `max_concurrent` slots can drain.
+    pub overload_x: f64,
+    /// Per-mille of campaigns that fail in execution (exercises the
+    /// breakers).
+    pub fail_permille: u32,
+    /// Per-mille of artifact-store inserts that are silently corrupted
+    /// (the PR-5 fault class; exercises verify-on-read).
+    pub corrupt_permille: u32,
+    /// Replicas requested per campaign.
+    pub replicas: u32,
+    /// Deadline slack: deadline = submit + slack × full work.
+    pub deadline_slack: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            campaigns: 120,
+            classes: 4,
+            overload_x: 2.0,
+            fail_permille: 0,
+            corrupt_permille: 0,
+            replicas: 8,
+            deadline_slack: 4.0,
+        }
+    }
+}
+
+/// Per-replica waveform-synthesis seconds in the service's cost model.
+pub const REPLICA_COST_S: u64 = 20;
+
+/// Artifact costs (seconds to compute when the store misses) for one
+/// scenario class: `(distance matrix, GF library, covariance factor)`.
+/// Monotone in class so bigger meshes cost more, mirroring the O(n²)
+/// distance / O(n³) factor scaling of the real pipeline.
+pub fn artifact_costs_s(class: u32) -> (u64, u64, u64) {
+    let c = class as u64;
+    (30 + 10 * c, 60 + 20 * c, 45 + 15 * c)
+}
+
+/// Full (undegraded) work of a request in seconds: all three artifacts
+/// plus the replica fan-out.
+pub fn full_work_s(class: u32, replicas: u32) -> u64 {
+    let (d, g, f) = artifact_costs_s(class);
+    d + g + f + replicas as u64 * REPLICA_COST_S
+}
+
+/// Generate the deterministic request stream: Poisson-ish arrivals at
+/// `overload_x` times the capacity of `max_concurrent` slots, tenants
+/// drawn uniformly, classes drawn uniformly. Returned sorted by
+/// `(submit, id)` with ids dense from 0.
+pub fn request_stream(
+    wl: &WorkloadConfig,
+    tenants: u32,
+    max_concurrent: u32,
+) -> Vec<CampaignRequest> {
+    let mut rng = StdRng::seed_from_u64(wl.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5e47);
+    let tenants = tenants.max(1);
+    let classes = wl.classes.max(1);
+    // Mean service time over the class mix sets the drain rate.
+    let mean_work: f64 = (0..classes)
+        .map(|c| full_work_s(c, wl.replicas) as f64)
+        .sum::<f64>()
+        / classes as f64;
+    let drain_per_s = max_concurrent.max(1) as f64 / mean_work;
+    let mean_interarrival = 1.0 / (drain_per_s * wl.overload_x.max(0.01));
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(wl.campaigns as usize);
+    for id in 0..wl.campaigns as u64 {
+        // Exponential interarrival via inverse CDF.
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        t += -mean_interarrival * u.ln();
+        let tenant = rng.gen_range(0..tenants);
+        let class = rng.gen_range(0..classes);
+        let fails = rng.gen_range(0..1000u32) < wl.fail_permille;
+        let submit = SimTime(t as u64);
+        let work = full_work_s(class, wl.replicas);
+        let deadline = submit + (wl.deadline_slack.max(1.0) * work as f64) as u64;
+        out.push(CampaignRequest {
+            id,
+            tenant,
+            class,
+            submit,
+            deadline,
+            replicas: wl.replicas.max(1),
+            fails,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_dense() {
+        let wl = WorkloadConfig::default();
+        let a = request_stream(&wl, 4, 8);
+        let b = request_stream(&wl, 4, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 120);
+        for (i, r) in a.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert!(r.tenant < 4);
+            assert!(r.class < wl.classes);
+            assert!(r.deadline > r.submit);
+        }
+        // Sorted by submit time (ids assigned in arrival order).
+        assert!(a.windows(2).all(|w| w[0].submit <= w[1].submit));
+    }
+
+    #[test]
+    fn overload_compresses_interarrivals() {
+        let lo = request_stream(
+            &WorkloadConfig {
+                overload_x: 1.0,
+                ..Default::default()
+            },
+            4,
+            8,
+        );
+        let hi = request_stream(
+            &WorkloadConfig {
+                overload_x: 4.0,
+                ..Default::default()
+            },
+            4,
+            8,
+        );
+        let span = |s: &[CampaignRequest]| s.last().expect("nonempty").submit.as_secs();
+        assert!(
+            span(&hi) * 2 < span(&lo),
+            "4x overload must compress the stream: {} vs {}",
+            span(&hi),
+            span(&lo)
+        );
+    }
+
+    #[test]
+    fn work_model_is_monotone_in_class() {
+        for c in 0..5 {
+            assert!(full_work_s(c + 1, 8) > full_work_s(c, 8));
+            let (d, g, f) = artifact_costs_s(c);
+            assert!(d > 0 && g > 0 && f > 0);
+        }
+        assert_eq!(full_work_s(0, 0), 30 + 60 + 45);
+    }
+
+    #[test]
+    fn fail_permille_marks_campaigns() {
+        let wl = WorkloadConfig {
+            fail_permille: 500,
+            campaigns: 400,
+            ..Default::default()
+        };
+        let s = request_stream(&wl, 4, 8);
+        let fails = s.iter().filter(|r| r.fails).count();
+        assert!(
+            (100..300).contains(&fails),
+            "~50% of 400 should fail, got {fails}"
+        );
+    }
+}

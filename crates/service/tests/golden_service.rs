@@ -1,0 +1,163 @@
+//! Golden-file test of the service-layer ULOG dialect (codes 033–038).
+//!
+//! The front-end's user log is the operator's audit trail of every
+//! admission, rejection, shed, degradation and store decision; its exact
+//! bytes are a contract the same way the cluster's 000/001/005 lines
+//! are. This pins a defended overload run's full log against
+//! `tests/fixtures/service_run.log`, proves byte-determinism across
+//! repeat runs and thread counts, and round-trips the text through the
+//! ULOG parser losslessly.
+//!
+//! To regenerate after an intentional format change:
+//! `GOLDEN_REGEN=1 cargo test -p fdw-service --test golden_service`
+//! (then review the fixture diff like any other code change).
+
+use fdw_service::prelude::*;
+use htcsim::condor_log::{parse_condor_log, to_condor_log};
+use htcsim::job::JobEventKind;
+
+fn fixture_path(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Compare rendered text against a fixture byte-for-byte, regenerating
+/// the fixture instead when `GOLDEN_REGEN` is set.
+fn assert_golden(got: &str, name: &str) {
+    let path = fixture_path(name);
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {path}: {e} (run with GOLDEN_REGEN=1)"));
+    assert_eq!(
+        got, want,
+        "rendered service ULOG deviates from {name}; if intentional, regenerate with GOLDEN_REGEN=1"
+    );
+}
+
+/// The fixture scenario: a small, heavily defended front-end under 8x
+/// overload with execution failures and store corruption — chosen so
+/// every service code (033–038) appears in the log.
+fn fixture_run(threads: usize) -> ServiceReport {
+    let cfg = ServiceConfig {
+        enabled: true,
+        max_concurrent: 4,
+        fair_share: 300,
+        degrade_depth: 4,
+        shed_backlog: 12,
+        breaker_threshold: 2,
+        breaker_probe_s: 2_000,
+        store_enabled: true,
+        store_budget_mb: 1,
+        store_verify: true,
+        tenants: 3,
+        tenant_quota: 8,
+        tenant_queue_depth: 5,
+        tenant_deadline_shed: true,
+    };
+    let wl = WorkloadConfig {
+        seed: 9,
+        campaigns: 60,
+        classes: 3,
+        overload_x: 8.0,
+        fail_permille: 250,
+        corrupt_permille: 400,
+        replicas: 6,
+        deadline_slack: 3.0,
+    };
+    run_service(&cfg, &wl, 2, 60, threads)
+}
+
+#[test]
+fn service_run_matches_golden_fixture() {
+    let a = fixture_run(1);
+    let text = to_condor_log(&a.log);
+    // Byte-determinism first: repeat run and a multi-threaded run must
+    // render the identical bytes before the fixture comparison means
+    // anything.
+    assert_eq!(
+        text,
+        to_condor_log(&fixture_run(1).log),
+        "service run is not byte-deterministic"
+    );
+    assert_eq!(
+        text,
+        to_condor_log(&fixture_run(4).log),
+        "thread count changed the service ULOG bytes"
+    );
+    assert_golden(&text, "service_run.log");
+    // The scenario must actually exercise every new code, or the fixture
+    // pins nothing.
+    let count =
+        |kind: JobEventKind| a.log.events().iter().filter(|e| e.kind == kind).count() as u64;
+    assert_eq!(count(JobEventKind::ServiceAdmitted), a.stats.admitted);
+    assert!(a.stats.admitted > 0, "033 never emitted; fixture is weak");
+    assert!(text.contains("033 "), "admission lines missing");
+    let rejected = a.stats.rejected_quota + a.stats.rejected_queue + a.stats.rejected_breaker;
+    assert_eq!(count(JobEventKind::ServiceRejected), rejected);
+    assert!(rejected > 0, "034 never emitted; fixture is weak");
+    assert!(
+        text.contains("Campaign rejected by admission control."),
+        "rejection lines missing"
+    );
+    let shed = a.stats.shed_backlog + a.stats.shed_deadline;
+    assert_eq!(count(JobEventKind::ServiceShed), shed);
+    assert!(shed > 0, "035 never emitted; fixture is weak");
+    assert!(
+        text.contains("Campaign shed under load."),
+        "shed lines missing"
+    );
+    let degraded = a.stats.degraded_kl + a.stats.degraded_replicas;
+    assert_eq!(count(JobEventKind::ServiceDegraded), degraded);
+    assert!(degraded > 0, "036 never emitted; fixture is weak");
+    assert!(
+        text.contains("Campaign degraded. Mode: "),
+        "degrade lines missing"
+    );
+    assert!(
+        count(JobEventKind::ArtifactHit) > 0,
+        "037 never emitted; fixture is weak"
+    );
+    assert!(
+        text.contains("Artifact served from shared store: "),
+        "store-hit lines missing"
+    );
+    assert_eq!(
+        count(JobEventKind::ArtifactQuarantined),
+        a.store.quarantines
+    );
+    assert!(
+        a.store.quarantines > 0,
+        "038 never emitted; fixture is weak"
+    );
+    assert!(
+        text.contains("Artifact quarantined (checksum mismatch): "),
+        "quarantine lines missing"
+    );
+    // Every request terminates; the log's completions match the stats.
+    assert_eq!(a.unaccounted, 0);
+    assert_eq!(a.log.completed_count() as u64, a.stats.completed);
+}
+
+#[test]
+fn service_fixture_parses_back_losslessly() {
+    let a = fixture_run(1);
+    let text = to_condor_log(&a.log);
+    let parsed = parse_condor_log(&text).unwrap();
+    // The ULOG dialect has no representation for Matched-class internal
+    // events; the service log contains only loggable kinds, so the round
+    // trip must be exact, event for event.
+    let loggable: Vec<_> = a
+        .log
+        .events()
+        .iter()
+        .filter(|e| e.kind != JobEventKind::Matched)
+        .collect();
+    assert_eq!(parsed.len(), loggable.len());
+    for (p, o) in parsed.events().iter().zip(loggable) {
+        assert_eq!(p, o);
+    }
+    assert_eq!(parsed.completed_count(), a.log.completed_count());
+    assert_eq!(parsed.goodput_badput(), a.log.goodput_badput());
+}

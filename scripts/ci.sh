@@ -95,6 +95,20 @@ echo "==> failover ablation smoke (failover-on must not lose time-to-done or bad
 FDW_SMOKE=1 FDW_BENCH_OUT=target/BENCH_failover.smoke.json \
   cargo run -q -p fdw-bench --release --bin failover_ablation >/dev/null
 
+echo "==> service overload smoke (defended goodput >= undefended, science store-invariant)"
+# The binary exits 1 itself on any goodput loss, digest drift, dropped
+# request or determinism break; re-check the two headline gates from the
+# JSON so a silent gate regression in the binary can't pass CI.
+FDW_SMOKE=1 FDW_BENCH_OUT=target/BENCH_service.smoke.json \
+  cargo run -q -p fdw-bench --release --bin overload_ablation >/dev/null
+grep -q '"science_store_invariant":false' target/BENCH_service.smoke.json && {
+  echo "service smoke: science digest drifted across store arms"; exit 1; }
+grep -q '"deterministic":false' target/BENCH_service.smoke.json && {
+  echo "service smoke: service decisions vary across threads/shards"; exit 1; }
+if grep -o '"unaccounted":[0-9]*' target/BENCH_service.smoke.json | grep -qv ':0$'; then
+  echo "service smoke: requests dropped without a terminal disposition"; exit 1
+fi
+
 echo "==> des-scaling smoke (sharded engine: identical digests, no slowdown)"
 # The binary exits 1 itself on any digest mismatch or a sharded arm
 # slower than the monolithic baseline; re-check the 2-thread arm from

@@ -101,6 +101,29 @@ done
 [ "$fail" -eq 0 ] || { echo "failover-path determinism smoke FAILED"; exit 1; }
 echo "  failover report byte-identical across FDW_THREADS 1/2/8."
 
+echo "==> service-path determinism (FDW_THREADS 1/2/8, BENCH_service bytes)"
+# The overload ablation runs every arm twice across DES thread and
+# executor-shard counts, folds the completed campaigns' rupture draws
+# through the shared-store and isolated science passes, and embeds every
+# decision counter and digest in its JSON: byte-comparing the report
+# across thread counts pins the whole multi-tenant front-end path — the
+# admission/shedding decisions, the artifact store, and the rayon-
+# parallel factorisations behind the science digest.
+for n in 1 2 8; do
+  echo "  -> FDW_THREADS=$n"
+  FDW_SMOKE=1 FDW_THREADS="$n" RAYON_NUM_THREADS="$n" \
+    FDW_BENCH_OUT="$SMOKE_ROOT/service-threads-$n.json" \
+    cargo run -q -p fdw-bench --release --bin overload_ablation >/dev/null
+done
+for n in 2 8; do
+  if ! cmp -s "$SMOKE_ROOT/service-threads-1.json" \
+              "$SMOKE_ROOT/service-threads-$n.json"; then
+    check_mismatch "BENCH_service" bench-json "$n"
+  fi
+done
+[ "$fail" -eq 0 ] || { echo "service-path determinism smoke FAILED"; exit 1; }
+echo "  service report byte-identical across FDW_THREADS 1/2/8."
+
 echo "==> simd kernel-chain determinism (FDW_THREADS 1/2/8, bench_snapshot digest)"
 # bench_snapshot's child mode folds every laned/blocked kernel output —
 # distance matrices, von Kármán covariance, Cholesky, matmul, matvec and

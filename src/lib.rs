@@ -13,6 +13,9 @@
 //!   DAGs and monitoring;
 //! * [`fdw_core`] — the FakeQuakes DAGMan Workflow itself (the paper's
 //!   contribution);
+//! * [`fdw_service`] — the multi-tenant campaign front-end: admission
+//!   control, fair share, load shedding and the content-addressed
+//!   shared artifact store;
 //! * [`vdc_burst`] — the VDC cloud-bursting simulator with the three
 //!   OSG-tailored policies;
 //! * [`fdw_obs`] — the observability layer: sim-time tracing, metrics
@@ -29,6 +32,7 @@ pub use eew;
 pub use fakequakes;
 pub use fdw_core;
 pub use fdw_obs;
+pub use fdw_service;
 pub use htcsim;
 pub use vdc_burst;
 pub use vdc_catalog;
